@@ -1,0 +1,168 @@
+package pdcunplugged_test
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: tree
+// fanout in the collectives, mailbox buffering in the actor runtime, the
+// sense-reversing barrier versus per-phase WaitGroups, worker scaling in
+// the parallel mark phase, and the cost split of the content pipeline.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pdcunplugged"
+	"pdcunplugged/internal/search"
+	"pdcunplugged/internal/sim"
+)
+
+// BenchmarkAblation_TreeFanout: collectives rounds shrink with fanout while
+// per-parent load grows — the trade the Tree topology parameter exposes.
+func BenchmarkAblation_TreeFanout(b *testing.B) {
+	for _, fanout := range []int{2, 4, 8} {
+		rep := runSim(b, "collectives", sim.Config{Participants: 64, Seed: 1,
+			Params: map[string]float64{"fanout": float64(fanout)}})
+		printHeadline(fmt.Sprintf("fanout%d", fanout),
+			fmt.Sprintf("ABLATION fanout=%d: %d tree rounds, %d messages",
+				fanout, rep.Metrics.Count("tree_rounds"), rep.Metrics.Count("messages")))
+		b.Run(fmt.Sprintf("fanout=%d", fanout), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runSim(b, "collectives", sim.Config{Participants: 64, Seed: int64(i),
+					Params: map[string]float64{"fanout": float64(fanout)}})
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_MailboxBuffer: token passing around a ring with
+// different mailbox buffer sizes. Rendezvous (0) forces a handoff per hop;
+// larger buffers let the runtime batch scheduling.
+func BenchmarkAblation_MailboxBuffer(b *testing.B) {
+	const n, laps = 32, 50
+	for _, buffer := range []int{1, 4, 32} {
+		b.Run(fmt.Sprintf("buffer=%d", buffer), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w := sim.NewWorld(n, buffer, nil)
+				w.Run(func(id int) {
+					if id == 0 {
+						w.Send(1, sim.Message{Kind: "token", Value: 0})
+					}
+					for m := range w.Mailbox(id) {
+						if m.Value >= laps*n {
+							if id != 0 {
+								w.Send((id+1)%n, m)
+							}
+							return
+						}
+						w.Send((id+1)%n, sim.Message{Kind: "token", Value: m.Value + 1})
+					}
+				})
+				w.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_BarrierVsWaitGroup: the reusable sense-reversing
+// barrier against allocating a WaitGroup pair per phase.
+func BenchmarkAblation_BarrierVsWaitGroup(b *testing.B) {
+	const workers, phases = 8, 100
+	b.Run("sense-reversing", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bar := sim.NewBarrier(workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for p := 0; p < phases; p++ {
+						bar.Wait()
+					}
+				}()
+			}
+			wg.Wait()
+		}
+	})
+	b.Run("waitgroup-per-phase", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var mu sync.Mutex
+			for p := 0; p < phases; p++ {
+				var phaseWG sync.WaitGroup
+				phaseWG.Add(workers)
+				var release sync.WaitGroup
+				release.Add(1)
+				for w := 0; w < workers; w++ {
+					go func() {
+						phaseWG.Done()
+						release.Wait()
+					}()
+				}
+				phaseWG.Wait()
+				release.Done()
+				mu.Lock() // symmetry with the barrier's lock traffic
+				mu.Unlock()
+			}
+		}
+	})
+}
+
+// BenchmarkAblation_GCMarkWorkers: the parallel mark phase across collector
+// counts, the speedup-shape ablation for the work-queue design.
+func BenchmarkAblation_GCMarkWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("collectors=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runSim(b, "gcmark", sim.Config{Participants: 2000, Workers: workers, Seed: 7})
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_PipelineStages: content pipeline cost split — parse one
+// activity, load the corpus, index it for search, build the site.
+func BenchmarkAblation_PipelineStages(b *testing.B) {
+	files := pdcunplugged.CorpusFiles()
+	one := files["findsmallestcard"]
+	repo := mustRepo(b)
+	b.Run("parse-one", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pdcunplugged.ParseActivity("findsmallestcard", one); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("load-corpus", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pdcunplugged.Load(files); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("search-index", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = search.Build(repo.All())
+		}
+	})
+	b.Run("site-build", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pdcunplugged.BuildSite(repo); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblation_SearchQuery: ranked query cost against the corpus.
+func BenchmarkAblation_SearchQuery(b *testing.B) {
+	ix := search.Build(mustRepo(b).All())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hits := ix.Search("parallel sorting cards race", 10); len(hits) == 0 {
+			b.Fatal("no hits")
+		}
+	}
+}

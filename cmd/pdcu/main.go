@@ -1,0 +1,819 @@
+// Command pdcu is the PDCunplugged toolbox: browse the curated corpus,
+// regenerate the paper's coverage tables, find curriculum gaps, scaffold
+// and validate new activities, build or serve the static site, and run the
+// goroutine dramatizations.
+//
+// Usage:
+//
+//	pdcu list [-course CS1] [-sense touch] [-medium cards] [-ku TERM] [-area TERM]
+//	pdcu show <slug>
+//	pdcu search <query>
+//	pdcu coverage
+//	pdcu stats
+//	pdcu gaps
+//	pdcu impact [-cs2013details PD_6,...] [-tcppdetails A_Broadcast,...]
+//	pdcu new <title>
+//	pdcu validate <dir>
+//	pdcu export -out DIR
+//	pdcu build -out DIR
+//	pdcu serve -addr :8080
+//	pdcu sim list
+//	pdcu sim run <name> [-n N] [-workers W] [-seed S] [-trace] [-param k=v ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pdcunplugged"
+	"pdcunplugged/internal/activity"
+	"pdcunplugged/internal/coverage"
+	"pdcunplugged/internal/report"
+	"pdcunplugged/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pdcu:", err)
+		os.Exit(1)
+	}
+}
+
+// run dispatches a subcommand; all output goes to w so tests can capture it.
+func run(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		return usageError()
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "list":
+		return cmdList(rest, w)
+	case "show":
+		return cmdShow(rest, w)
+	case "search":
+		return cmdSearch(rest, w)
+	case "coverage":
+		return cmdCoverage(rest, w)
+	case "stats":
+		return cmdStats(rest, w)
+	case "gaps":
+		return cmdGaps(rest, w)
+	case "impact":
+		return cmdImpact(rest, w)
+	case "new":
+		return cmdNew(rest, w)
+	case "validate":
+		return cmdValidate(rest, w)
+	case "export":
+		return cmdExport(rest, w)
+	case "build":
+		return cmdBuild(rest, w)
+	case "serve":
+		return cmdServe(rest, w)
+	case "sim":
+		return cmdSim(rest, w)
+	case "bib":
+		return cmdBib(rest, w)
+	case "review":
+		return cmdReview(rest, w)
+	case "timeline":
+		return cmdTimeline(rest, w)
+	case "assess":
+		return cmdAssess(rest, w)
+	case "matrix":
+		return cmdMatrix(rest, w)
+	case "plan":
+		return cmdPlan(rest, w)
+	case "help", "-h", "--help":
+		fmt.Fprint(w, usage)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q\n%s", cmd, usage)
+	}
+}
+
+const usage = `pdcu <command> [flags]
+
+Commands:
+  list      list activities, filterable by taxonomy terms
+  show      print one activity's Markdown
+  search    full-text search over titles, authors and details
+  coverage  regenerate Tables I and II plus sub-category coverage
+  stats     course, medium, sense and resource statistics
+  gaps      list uncovered learning outcomes and topics
+  impact    score a proposed activity's coverage impact
+  new       print a fresh activity template (Fig. 1)
+  validate  load and validate a directory of activity .md files
+  export    write the curated corpus as Markdown files
+  build     render the static site to a directory
+  serve     serve the static site for local preview
+  sim       list or run activity dramatizations
+  bib       list the citation database, export BibTeX, or show shared sources
+  review    curator-review a contributed activity .md file
+  timeline  activities per source decade (thirty years of literature)
+  assess    generate a pre/post assessment sheet for an activity
+  plan      build a maximum-coverage workshop plan under constraints
+  matrix    course x knowledge-unit and course x topic-area activity matrices
+`
+
+func usageError() error { return fmt.Errorf("missing command\n%s", usage) }
+
+func openRepo() (*pdcunplugged.Repository, error) {
+	return pdcunplugged.Open()
+}
+
+func cmdList(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("list", flag.ContinueOnError)
+	course := fs.String("course", "", "filter by course term (e.g. CS1)")
+	sense := fs.String("sense", "", "filter by sense term (e.g. touch)")
+	medium := fs.String("medium", "", "filter by medium term (e.g. cards)")
+	ku := fs.String("ku", "", "filter by cs2013 term")
+	area := fs.String("area", "", "filter by tcpp term")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	repo, err := openRepo()
+	if err != nil {
+		return err
+	}
+	acts := repo.All()
+	filter := func(keep func(a *pdcunplugged.Activity) bool) {
+		var out []*pdcunplugged.Activity
+		for _, a := range acts {
+			if keep(a) {
+				out = append(out, a)
+			}
+		}
+		acts = out
+	}
+	if *course != "" {
+		filter(func(a *pdcunplugged.Activity) bool { return contains(a.Courses, *course) })
+	}
+	if *sense != "" {
+		filter(func(a *pdcunplugged.Activity) bool { return contains(a.Senses, *sense) })
+	}
+	if *medium != "" {
+		filter(func(a *pdcunplugged.Activity) bool { return contains(a.Medium, *medium) })
+	}
+	if *ku != "" {
+		filter(func(a *pdcunplugged.Activity) bool { return contains(a.CS2013, *ku) })
+	}
+	if *area != "" {
+		filter(func(a *pdcunplugged.Activity) bool { return contains(a.TCPP, *area) })
+	}
+	tb := report.New(fmt.Sprintf("%d activities", len(acts)), "Slug", "Title", "Courses", "Materials")
+	for _, a := range acts {
+		mat := ""
+		if a.HasExternalResources() {
+			mat = "yes"
+		}
+		tb.AddRow(a.Slug, a.Title, strings.Join(a.Courses, ","), mat)
+	}
+	fmt.Fprint(w, tb.String())
+	return nil
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+func cmdShow(args []string, w io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: pdcu show <slug>")
+	}
+	repo, err := openRepo()
+	if err != nil {
+		return err
+	}
+	a, ok := repo.Get(args[0])
+	if !ok {
+		return fmt.Errorf("no activity %q; try 'pdcu list'", args[0])
+	}
+	fmt.Fprint(w, a.Render())
+	return nil
+}
+
+func cmdSearch(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: pdcu search <query>")
+	}
+	repo, err := openRepo()
+	if err != nil {
+		return err
+	}
+	ix := pdcunplugged.NewSearchIndex(repo)
+	hits := ix.Search(strings.Join(args, " "), 10)
+	for _, h := range hits {
+		a, _ := repo.Get(h.Slug)
+		fmt.Fprintf(w, "%6.3f  %-32s %s\n", h.Score, h.Slug, a.Title)
+	}
+	if len(hits) == 0 {
+		fmt.Fprintln(w, "no matches")
+		if sugg := ix.Suggest(args[0], 5); len(sugg) > 0 {
+			fmt.Fprintf(w, "did you mean: %s\n", strings.Join(sugg, ", "))
+		}
+	}
+	return nil
+}
+
+func cmdBib(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("bib", flag.ContinueOnError)
+	export := fs.Bool("export", false, "emit BibTeX instead of a listing")
+	shared := fs.Bool("shared", false, "show sources cited by multiple activities (variation clusters)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *export {
+		fmt.Fprint(w, pdcunplugged.ExportBibTeX(nil))
+		return nil
+	}
+	repo, err := openRepo()
+	if err != nil {
+		return err
+	}
+	if *shared {
+		g := pdcunplugged.BuildCitationGraph(repo)
+		cur := ""
+		for _, link := range g.SharedSources() {
+			if link.Ref.Key != cur {
+				cur = link.Ref.Key
+				fmt.Fprintf(w, "%s (%d): %s\n", link.Ref.Key, link.Ref.Year, link.Ref.Title)
+			}
+			fmt.Fprintf(w, "  - %s\n", link.Slug)
+		}
+		return nil
+	}
+	g := pdcunplugged.BuildCitationGraph(repo)
+	tb := report.New("CITATION DATABASE", "Key", "Year", "Cited by", "Title")
+	for _, ref := range pdcunplugged.Bibliography() {
+		tb.AddRow(ref.Key, ref.Year, len(g.ByRef[ref.Key]), ref.Title)
+	}
+	fmt.Fprint(w, tb.String())
+	if len(g.Unresolved) > 0 {
+		fmt.Fprintf(w, "unresolved citations: %d\n", len(g.Unresolved))
+	}
+	return nil
+}
+
+func cmdReview(args []string, w io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: pdcu review <file.md>")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	slug := strings.TrimSuffix(filepath.Base(args[0]), ".md")
+	repo, err := openRepo()
+	if err != nil {
+		return err
+	}
+	if _, exists := repo.Get(slug); exists {
+		// Augmentation path: reviewing an edit to an existing activity.
+		rev := pdcunplugged.ReviewUpdate(repo, slug, string(data))
+		fmt.Fprint(w, rev.Summary())
+		if !rev.Accepted() {
+			return fmt.Errorf("update needs work (%d errors)", len(rev.Errors))
+		}
+		_, delta, err := pdcunplugged.ApplyUpdate(repo, rev.Activity)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "update preview: %s\n", delta)
+		return nil
+	}
+	rev := pdcunplugged.ReviewSubmission(repo, slug, string(data))
+	fmt.Fprint(w, rev.Summary())
+	if !rev.Accepted() {
+		return fmt.Errorf("submission needs work (%d errors)", len(rev.Errors))
+	}
+	merged, delta, err := pdcunplugged.MergeActivity(repo, rev.Activity)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "merge preview: %s (repository would hold %d activities)\n", delta, merged.Len())
+	return nil
+}
+
+func cmdAssess(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("assess", flag.ContinueOnError)
+	simulate := fs.Int("simulate", 0, "also run an item analysis over a synthetic class of this size")
+	seed := fs.Int64("seed", 1, "seed for the synthetic class")
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		return fmt.Errorf("usage: pdcu assess <slug> [-simulate N]")
+	}
+	slug := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	repo, err := openRepo()
+	if err != nil {
+		return err
+	}
+	a, ok := repo.Get(slug)
+	if !ok {
+		return fmt.Errorf("no activity %q", slug)
+	}
+	sheet, err := pdcunplugged.GenerateAssessment(a)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, sheet.Markdown())
+	if *simulate > 0 {
+		responses := pdcunplugged.SimulatedResponses(len(sheet.Items), *simulate, 0.6, *seed)
+		analysis, err := pdcunplugged.AnalyzeAssessment(len(sheet.Items), responses)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "## Item analysis (synthetic class of %d)\n\n%s", *simulate, analysis.Summary())
+	}
+	return nil
+}
+
+func cmdPlan(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
+	course := fs.String("course", "", "restrict to a course term (e.g. CS1)")
+	senses := fs.String("senses", "", "comma-separated senses to engage (at least one)")
+	avoid := fs.String("avoid", "", "comma-separated mediums to avoid")
+	materials := fs.Bool("materials", false, "require external materials")
+	slots := fs.Int("slots", 4, "number of activities")
+	handout := fs.Bool("handout", false, "emit a Markdown instructor handout instead of the summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	repo, err := openRepo()
+	if err != nil {
+		return err
+	}
+	p, err := pdcunplugged.BuildPlan(repo, pdcunplugged.PlanConstraints{
+		Course:           *course,
+		EngageSenses:     splitCSV(*senses),
+		AvoidMediums:     splitCSV(*avoid),
+		RequireMaterials: *materials,
+		Slots:            *slots,
+	})
+	if err != nil {
+		return err
+	}
+	if *handout {
+		fmt.Fprint(w, p.Markdown(repo))
+		return nil
+	}
+	fmt.Fprint(w, p.Summary())
+	fmt.Fprintf(w, "reaches %.0f%% of the curation's covered terms\n", 100*p.CoverageRatio(repo))
+	return nil
+}
+
+func cmdMatrix(_ []string, w io.Writer) error {
+	repo, err := openRepo()
+	if err != nil {
+		return err
+	}
+	kuOrder := []string{"PF", "PD", "PCC", "PAAP", "PA", "PP", "DS", "CC", "FMS"}
+	headers := append([]string{"Course"}, kuOrder...)
+	headers = append(headers, "Total")
+	tb := report.New("ACTIVITIES PER COURSE x KNOWLEDGE UNIT", headers...)
+	for _, row := range coverage.CourseUnitMatrix(repo) {
+		cells := []interface{}{row.Course}
+		for _, ku := range kuOrder {
+			cells = append(cells, row.PerUnit[ku])
+		}
+		cells = append(cells, row.Total)
+		tb.AddRow(cells...)
+	}
+	fmt.Fprint(w, tb.String())
+	areaOrder := []string{"Architecture", "Programming", "Algorithms", "Crosscutting and Advanced Topics"}
+	tb2 := report.New("ACTIVITIES PER COURSE x TCPP AREA", "Course", "Arch", "Prog", "Alg", "Cross", "Total")
+	for _, row := range coverage.CourseAreaMatrix(repo) {
+		cells := []interface{}{row.Course}
+		for _, area := range areaOrder {
+			cells = append(cells, row.PerArea[area])
+		}
+		cells = append(cells, row.Total)
+		tb2.AddRow(cells...)
+	}
+	fmt.Fprint(w, tb2.String())
+	return nil
+}
+
+func cmdTimeline(_ []string, w io.Writer) error {
+	repo, err := openRepo()
+	if err != nil {
+		return err
+	}
+	tb := report.New("ACTIVITIES PER SOURCE DECADE", "Decade", "Activities")
+	for _, row := range pdcunplugged.Timeline(repo) {
+		tb.AddRow(fmt.Sprintf("%ds", row.Decade), row.Activities)
+	}
+	fmt.Fprint(w, tb.String())
+	tbb := report.New("TCPP COVERAGE BY BLOOM LEVEL", "Level", "Topics", "Covered", "Percent")
+	for _, row := range pdcunplugged.BloomStats(repo) {
+		tbb.AddRow(row.Level.String(), row.Topics, row.Covered, row.PercentCoverage())
+	}
+	fmt.Fprint(w, tbb.String())
+	return nil
+}
+
+func cmdCoverage(_ []string, w io.Writer) error {
+	repo, err := openRepo()
+	if err != nil {
+		return err
+	}
+	t1 := report.New("TABLE I: CS2013 COVERAGE", "Knowledge Unit", "Num LOs", "Covered", "Percent", "Activities")
+	for _, r := range pdcunplugged.TableI(repo) {
+		name := r.Unit.Name
+		if r.Unit.Elective {
+			name += " (E)"
+		}
+		t1.AddRow(name, r.NumOutcomes, r.CoveredOutcomes, r.PercentCoverage(), r.TotalActivities)
+	}
+	t2 := report.New("TABLE II: TCPP COVERAGE", "Topic Area", "Num Topics", "Covered", "Percent", "Activities")
+	for _, r := range pdcunplugged.TableII(repo) {
+		t2.AddRow(r.Area.Name, r.NumTopics, r.CoveredTopics, r.PercentCoverage(), r.TotalActivities)
+	}
+	t3 := report.New("SUB-CATEGORY COVERAGE (Section III-C)", "Area", "Sub-category", "Topics", "Covered", "Percent")
+	for _, r := range pdcunplugged.Subcategories(repo) {
+		t3.AddRow(r.Area, r.Subcategory, r.NumTopics, r.CoveredTopics, r.PercentCoverage())
+	}
+	fmt.Fprintf(w, "%s\n%s\n%s", t1, t2, t3)
+	return nil
+}
+
+func cmdStats(_ []string, w io.Writer) error {
+	repo, err := openRepo()
+	if err != nil {
+		return err
+	}
+	tb := report.New("ACTIVITIES PER COURSE", "Course", "Activities")
+	for _, c := range pdcunplugged.CourseCounts(repo) {
+		tb.AddRow(c.Term, c.Count)
+	}
+	tm := report.New("ACTIVITIES PER MEDIUM", "Medium", "Activities")
+	for _, c := range pdcunplugged.MediumCounts(repo) {
+		tm.AddRow(c.Term, c.Count)
+	}
+	ts := report.New("SENSES ENGAGED", "Sense", "Activities", "Percent")
+	for _, s := range pdcunplugged.SenseStats(repo) {
+		ts.AddRow(s.Sense, s.Count, s.Percent)
+	}
+	ct := coverage.MediumSenseCrossTab(repo)
+	headers := append([]string{"Medium"}, ct.Senses...)
+	tx := report.New("MEDIUM x SENSE", headers...)
+	for _, m := range ct.Mediums {
+		cells := []interface{}{m}
+		for _, s := range ct.Senses {
+			cells = append(cells, ct.Cell(m, s))
+		}
+		tx.AddRow(cells...)
+	}
+	res := coverage.Resources(repo)
+	assessed, total := coverage.AssessmentStats(repo)
+	fmt.Fprintf(w, "%s\n%s\n%s\n%s\n", tb, tm, ts, tx)
+	fmt.Fprintf(w, "External resources: %d/%d activities (%.1f%%)\n", res.WithResources, res.Total, res.Percent())
+	fmt.Fprintf(w, "Assessed: %d/%d activities\n", assessed, total)
+	return nil
+}
+
+func cmdGaps(_ []string, w io.Writer) error {
+	repo, err := openRepo()
+	if err != nil {
+		return err
+	}
+	g := pdcunplugged.FindGaps(repo)
+	fmt.Fprintf(w, "Uncovered CS2013 learning outcomes (%d):\n", len(g.Outcomes))
+	for _, og := range g.Outcomes {
+		fmt.Fprintf(w, "  %-8s [%s] %s\n", og.Term, og.Unit.Name, og.Outcome.Text)
+	}
+	fmt.Fprintf(w, "Uncovered TCPP core topics (%d):\n", len(g.Topics))
+	for _, tg := range g.Topics {
+		fmt.Fprintf(w, "  %-28s [%s / %s] %s\n", tg.Term, tg.Area.Name, tg.Topic.Subcategory, tg.Topic.Name)
+	}
+	return nil
+}
+
+func cmdImpact(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("impact", flag.ContinueOnError)
+	csd := fs.String("cs2013details", "", "comma-separated outcome terms the proposed activity covers")
+	tcd := fs.String("tcppdetails", "", "comma-separated topic terms the proposed activity covers")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	repo, err := openRepo()
+	if err != nil {
+		return err
+	}
+	score, novel, err := pdcunplugged.Impact(repo, splitCSV(*csd), splitCSV(*tcd))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "impact score: %d (novel terms: %s)\n", score, strings.Join(novel, ", "))
+	return nil
+}
+
+func splitCSV(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if t := strings.TrimSpace(p); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func cmdNew(args []string, w io.Writer) error {
+	title := "example"
+	if len(args) > 0 {
+		title = strings.Join(args, " ")
+	}
+	fmt.Fprint(w, pdcunplugged.ActivityTemplate(title))
+	return nil
+}
+
+func cmdValidate(args []string, w io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: pdcu validate <dir>")
+	}
+	dir := args[0]
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	problems := 0
+	checked := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".md") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		slug := strings.TrimSuffix(e.Name(), ".md")
+		checked++
+		a, err := activity.Parse(slug, string(data))
+		if err != nil {
+			problems++
+			fmt.Fprintf(w, "FAIL %s: %v\n", e.Name(), err)
+			continue
+		}
+		errs := a.Validate()
+		if len(errs) == 0 {
+			fmt.Fprintf(w, "ok   %s\n", e.Name())
+			continue
+		}
+		problems += len(errs)
+		for _, ve := range errs {
+			fmt.Fprintf(w, "FAIL %s: %v\n", e.Name(), ve)
+		}
+	}
+	fmt.Fprintf(w, "%d files checked, %d problems\n", checked, problems)
+	if problems > 0 {
+		return fmt.Errorf("%d validation problems", problems)
+	}
+	return nil
+}
+
+func cmdExport(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("export", flag.ContinueOnError)
+	out := fs.String("out", "content/activities", "output directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	files := pdcunplugged.CorpusFiles()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	slugs := make([]string, 0, len(files))
+	for slug := range files {
+		slugs = append(slugs, slug)
+	}
+	sort.Strings(slugs)
+	for _, slug := range slugs {
+		if err := os.WriteFile(filepath.Join(*out, slug+".md"), []byte(files[slug]), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "wrote %d activities to %s\n", len(files), *out)
+	return nil
+}
+
+func cmdBuild(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("build", flag.ContinueOnError)
+	out := fs.String("out", "public", "output directory")
+	src := fs.String("src", "", "optional directory of activity .md files (defaults to the embedded corpus)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	repo, err := repoFrom(*src)
+	if err != nil {
+		return err
+	}
+	s, err := pdcunplugged.BuildSite(repo)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteTo(*out); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "built %d pages from %d activities into %s\n", s.Len(), repo.Len(), *out)
+	return nil
+}
+
+func repoFrom(src string) (*pdcunplugged.Repository, error) {
+	if src == "" {
+		return openRepo()
+	}
+	return pdcunplugged.LoadFS(os.DirFS(src), ".")
+}
+
+func cmdServe(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	src := fs.String("src", "", "optional directory of activity .md files")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	repo, err := repoFrom(*src)
+	if err != nil {
+		return err
+	}
+	s, err := pdcunplugged.BuildSite(repo)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "serving %d pages on %s\n", s.Len(), *addr)
+	return http.ListenAndServe(*addr, s.Handler())
+}
+
+func cmdSim(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: pdcu sim <list|run> ...")
+	}
+	switch args[0] {
+	case "list":
+		tb := report.New("ACTIVITY DRAMATIZATIONS", "Name", "Shows")
+		for _, name := range pdcunplugged.Simulations() {
+			a, _ := sim.Get(name)
+			tb.AddRow(name, a.Summary())
+		}
+		fmt.Fprint(w, tb.String())
+		return nil
+	case "run":
+		return cmdSimRun(args[1:], w)
+	case "sweep":
+		return cmdSimSweep(args[1:], w)
+	case "measure":
+		return cmdSimMeasure(args[1:], w)
+	default:
+		return fmt.Errorf("unknown sim subcommand %q", args[0])
+	}
+}
+
+func cmdSimMeasure(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("sim measure", flag.ContinueOnError)
+	metric := fs.String("metric", "", "counter or gauge to summarize (required)")
+	runs := fs.Int("runs", 30, "number of seeded runs")
+	n := fs.Int("n", 0, "participants (0 = activity default)")
+	workers := fs.Int("workers", 0, "workers (0 = activity default)")
+	seed := fs.Int64("seed", 1, "base seed")
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		return fmt.Errorf("usage: pdcu sim measure <name> -metric M [-runs N]")
+	}
+	name := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	d, err := sim.Measure(name, *metric, sim.Config{
+		Participants: *n, Workers: *workers, Seed: *seed,
+	}, *runs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, d)
+	if d.Violations > 0 {
+		return fmt.Errorf("%d runs violated the invariant", d.Violations)
+	}
+	return nil
+}
+
+func cmdSimSweep(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("sim sweep", flag.ContinueOnError)
+	vary := fs.String("vary", "participants", "dimension to vary: participants, workers, seed, or a param name")
+	values := fs.String("values", "", "comma-separated grid values (required)")
+	metric := fs.String("metric", "", "counter or gauge to collect (required)")
+	repeats := fs.Int("repeats", 1, "average each point over this many seeds")
+	seed := fs.Int64("seed", 1, "base seed")
+	csv := fs.Bool("csv", false, "emit CSV instead of an ASCII plot")
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		return fmt.Errorf("usage: pdcu sim sweep <name> -values 8,16,32 -metric rounds [flags]")
+	}
+	name := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	var grid []float64
+	for _, v := range splitCSV(*values) {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return fmt.Errorf("bad grid value %q: %w", v, err)
+		}
+		grid = append(grid, f)
+	}
+	series, err := sim.Sweep{
+		Activity: name,
+		Vary:     *vary,
+		Values:   grid,
+		Metric:   *metric,
+		Base:     sim.Config{Seed: *seed},
+		Repeats:  *repeats,
+	}.Run()
+	if err != nil {
+		return err
+	}
+	if *csv {
+		fmt.Fprint(w, series.CSV())
+	} else {
+		fmt.Fprint(w, series.AsciiPlot(40))
+	}
+	if !series.AllOK() {
+		return fmt.Errorf("invariant violated at one or more grid points")
+	}
+	return nil
+}
+
+type paramFlags map[string]float64
+
+func (p paramFlags) String() string { return fmt.Sprintf("%v", map[string]float64(p)) }
+
+func (p paramFlags) Set(v string) error {
+	k, val, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("param must be key=value, got %q", v)
+	}
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("param %s: %w", k, err)
+	}
+	p[k] = f
+	return nil
+}
+
+func cmdSimRun(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("sim run", flag.ContinueOnError)
+	n := fs.Int("n", 0, "participants (0 = activity default)")
+	workers := fs.Int("workers", 0, "workers (0 = activity default)")
+	seed := fs.Int64("seed", 1, "random seed")
+	trace := fs.Bool("trace", false, "print the narration transcript")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	params := paramFlags{}
+	fs.Var(params, "param", "activity-specific knob key=value (repeatable)")
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		return fmt.Errorf("usage: pdcu sim run <name> [flags]")
+	}
+	name := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	rep, err := pdcunplugged.Simulate(name, pdcunplugged.SimConfig{
+		Participants: *n,
+		Workers:      *workers,
+		Seed:         *seed,
+		Trace:        *trace,
+		Params:       params,
+	})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		out, err := rep.WriteJSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, out)
+	} else {
+		fmt.Fprintln(w, rep.Summary())
+		if *trace {
+			fmt.Fprint(w, rep.Tracer.Transcript())
+		}
+	}
+	if !rep.OK {
+		return fmt.Errorf("invariant violated")
+	}
+	return nil
+}

@@ -1,0 +1,466 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pdcunplugged"
+)
+
+func capture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var b strings.Builder
+	err := run(args, &b)
+	return b.String(), err
+}
+
+func TestUsageAndUnknown(t *testing.T) {
+	if _, err := capture(t); err == nil {
+		t.Error("missing command accepted")
+	}
+	if _, err := capture(t, "frobnicate"); err == nil {
+		t.Error("unknown command accepted")
+	}
+	out, err := capture(t, "help")
+	if err != nil || !strings.Contains(out, "coverage") {
+		t.Errorf("help: %v %q", err, out)
+	}
+}
+
+func TestList(t *testing.T) {
+	out, err := capture(t, "list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "38 activities") || !strings.Contains(out, "findsmallestcard") {
+		t.Errorf("list output: %q", out)
+	}
+	out, err = capture(t, "list", "-course", "CS1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "17 activities") {
+		t.Errorf("CS1 filter: %q", out[:80])
+	}
+	out, err = capture(t, "list", "-sense", "sound", "-medium", "instrument")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1 activities") || !strings.Contains(out, "orchestra-conductor") {
+		t.Errorf("combined filter: %q", out)
+	}
+	out, err = capture(t, "list", "-ku", "PD_CloudComputing")
+	if err != nil || !strings.Contains(out, "3 activities") {
+		t.Errorf("ku filter: %v %q", err, out)
+	}
+	out, err = capture(t, "list", "-area", "TCPP_Architecture")
+	if err != nil || !strings.Contains(out, "9 activities") {
+		t.Errorf("area filter: %v %q", err, out)
+	}
+}
+
+func TestShowAndSearch(t *testing.T) {
+	out, err := capture(t, "show", "juice-sweetening-race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Juice-Sweetening Robots") || !strings.Contains(out, "## Details") {
+		t.Errorf("show output: %q", out[:120])
+	}
+	if _, err := capture(t, "show", "nope"); err == nil {
+		t.Error("show accepted unknown slug")
+	}
+	if _, err := capture(t, "show"); err == nil {
+		t.Error("show without slug accepted")
+	}
+	out, err = capture(t, "search", "byzantine")
+	if err != nil || !strings.Contains(out, "byzantine-generals") {
+		t.Errorf("search: %v %q", err, out)
+	}
+	out, err = capture(t, "search", "zebra-unicorn")
+	if err != nil || !strings.Contains(out, "no matches") {
+		t.Errorf("empty search: %v %q", err, out)
+	}
+}
+
+func TestCoverageAndStats(t *testing.T) {
+	out, err := capture(t, "coverage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"TABLE I", "TABLE II", "Parallel Decomposition", "45.45", "SUB-CATEGORY"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("coverage missing %q", want)
+		}
+	}
+	out, err = capture(t, "stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"K_12", "analogy", "visual", "71.05", "External resources: 16/38", "Assessed: 6/38"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats missing %q", want)
+		}
+	}
+}
+
+func TestGapsAndImpact(t *testing.T) {
+	out, err := capture(t, "gaps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"PF_3", "K_WebSearch", "A_Broadcast"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gaps missing %q", want)
+		}
+	}
+	out, err = capture(t, "impact", "-tcppdetails", "A_Broadcast,A_ScatterGather", "-cs2013details", "PD_2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "impact score: 2") {
+		t.Errorf("impact: %q", out)
+	}
+	if _, err := capture(t, "impact", "-cs2013details", "ZZ_1"); err == nil {
+		t.Error("bad detail term accepted")
+	}
+}
+
+func TestNewTemplate(t *testing.T) {
+	out, err := capture(t, "new", "My", "Activity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `title: "My Activity"`) || !strings.Contains(out, "## Citations") {
+		t.Errorf("new: %q", out)
+	}
+}
+
+func TestExportValidateBuild(t *testing.T) {
+	dir := t.TempDir()
+	contentDir := filepath.Join(dir, "content")
+	out, err := capture(t, "export", "-out", contentDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "wrote 38 activities") {
+		t.Errorf("export: %q", out)
+	}
+	out, err = capture(t, "validate", contentDir)
+	if err != nil {
+		t.Fatalf("validate failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "38 files checked, 0 problems") {
+		t.Errorf("validate: %q", out)
+	}
+	// Corrupt one file: validation must fail.
+	bad := filepath.Join(contentDir, "findsmallestcard.md")
+	if err := os.WriteFile(bad, []byte("---\ntitle: \"X\"\ncourses: [\"CS9\"]\n---\n\n## Original Author/link\n\nA\n\n## Details\n\nD\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = capture(t, "validate", contentDir)
+	if err == nil {
+		t.Errorf("validate accepted bad file:\n%s", out)
+	}
+	// Build from the embedded corpus.
+	siteDir := filepath.Join(dir, "public")
+	out, err = capture(t, "build", "-out", siteDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "from 38 activities") {
+		t.Errorf("build: %q", out)
+	}
+	if _, err := os.Stat(filepath.Join(siteDir, "index.html")); err != nil {
+		t.Error("build wrote no index.html")
+	}
+}
+
+func TestBuildFromSrcDir(t *testing.T) {
+	dir := t.TempDir()
+	files := pdcunplugged.CorpusFiles()
+	if err := os.WriteFile(filepath.Join(dir, "findsmallestcard.md"), []byte(files["findsmallestcard"]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	siteDir := filepath.Join(dir, "out")
+	out, err := capture(t, "build", "-src", dir, "-out", siteDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "from 1 activities") {
+		t.Errorf("build -src: %q", out)
+	}
+}
+
+func TestSimCommands(t *testing.T) {
+	out, err := capture(t, "sim", "list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"findsmallestcard", "tokenring", "collectives"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sim list missing %q", want)
+		}
+	}
+	out, err = capture(t, "sim", "run", "oddeven", "-n", "12", "-seed", "3", "-trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "oddeven [ok]") || !strings.Contains(out, "[round") {
+		t.Errorf("sim run: %q", out)
+	}
+	out, err = capture(t, "sim", "run", "byzantine", "-param", "traitors=1")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	out, err = capture(t, "sim", "run", "oddeven", "-n", "8", "-json", "-trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"activity": "oddeven"`) || !strings.Contains(out, `"trace"`) {
+		t.Errorf("sim -json output: %.200q", out)
+	}
+	if _, err := capture(t, "sim", "run", "nope"); err == nil {
+		t.Error("unknown sim accepted")
+	}
+	if _, err := capture(t, "sim", "run", "oddeven", "-param", "bad"); err == nil {
+		t.Error("malformed param accepted")
+	}
+	if _, err := capture(t, "sim"); err == nil {
+		t.Error("bare sim accepted")
+	}
+	out, err = capture(t, "sim", "sweep", "findsmallestcard", "-values", "8,16,32", "-metric", "rounds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "rounds vs participants") || !strings.Contains(out, "#") {
+		t.Errorf("sweep plot: %q", out)
+	}
+	out, err = capture(t, "sim", "sweep", "findsmallestcard", "-values", "8,16", "-metric", "rounds", "-csv")
+	if err != nil || !strings.Contains(out, "participants,rounds") {
+		t.Errorf("sweep csv: %v %q", err, out)
+	}
+	if _, err := capture(t, "sim", "sweep", "findsmallestcard", "-values", "x", "-metric", "rounds"); err == nil {
+		t.Error("bad grid accepted")
+	}
+	if _, err := capture(t, "sim", "sweep"); err == nil {
+		t.Error("sweep without name accepted")
+	}
+	out, err = capture(t, "sim", "measure", "tokenring", "-metric", "stabilization_steps", "-runs", "10", "-n", "8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "over 10 runs") || !strings.Contains(out, "median") {
+		t.Errorf("measure output: %q", out)
+	}
+	if _, err := capture(t, "sim", "measure", "tokenring"); err == nil {
+		t.Error("measure without metric accepted")
+	}
+	if _, err := capture(t, "sim", "measure"); err == nil {
+		t.Error("measure without name accepted")
+	}
+	if _, err := capture(t, "sim", "frob"); err == nil {
+		t.Error("unknown sim subcommand accepted")
+	}
+}
+
+func TestBibCommands(t *testing.T) {
+	out, err := capture(t, "bib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"bachelis1994bringing", "CITATION DATABASE", "kolikant2001gardeners"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bib listing missing %q", want)
+		}
+	}
+	out, err = capture(t, "bib", "-export")
+	if err != nil || !strings.Contains(out, "@article{") || !strings.Contains(out, "@inproceedings{") {
+		t.Errorf("bib export: %v %.100q", err, out)
+	}
+	out, err = capture(t, "bib", "-shared")
+	if err != nil || !strings.Contains(out, "bachelis1994bringing") || !strings.Contains(out, "- findsmallestcard") {
+		t.Errorf("bib shared: %v %q", err, out)
+	}
+}
+
+func TestReviewCommand(t *testing.T) {
+	dir := t.TempDir()
+	// A fresh, valid proposal covering a gap.
+	good := `---
+title: "Classroom Collectives"
+cs2013: ["PD_CommunicationAndCoordination"]
+cs2013details: ["PCC_4"]
+tcpp: ["TCPP_Algorithms"]
+tcppdetails: ["A_Broadcast"]
+courses: ["CS2"]
+senses: ["movement"]
+medium: ["role-play"]
+---
+
+## Original Author/link
+
+Proposal author
+
+No external resources found. See details below.
+
+---
+
+## Details
+
+Students form a tree and ripple a broadcast down level by level.
+
+---
+
+## Citations
+
+- S. J. Matthews, "PDCunplugged," IPDPSW 2020.
+`
+	path := filepath.Join(dir, "classroom-collectives.md")
+	if err := os.WriteFile(path, []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, "review", path)
+	if err != nil {
+		t.Fatalf("review failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"ACCEPT", "impact: 2", "merge preview", "39 activities"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("review output missing %q:\n%s", want, out)
+		}
+	}
+	// A broken submission must fail.
+	bad := filepath.Join(dir, "broken.md")
+	if err := os.WriteFile(bad, []byte("no front matter"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := capture(t, "review", bad); err == nil {
+		t.Errorf("broken submission accepted:\n%s", out)
+	}
+	if _, err := capture(t, "review"); err == nil {
+		t.Error("review without file accepted")
+	}
+	if _, err := capture(t, "review", "/no/such.md"); err == nil {
+		t.Error("review of missing file accepted")
+	}
+}
+
+func TestMatrixCommand(t *testing.T) {
+	out, err := capture(t, "matrix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"COURSE x KNOWLEDGE UNIT", "COURSE x TCPP AREA", "K_12", "Systems"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("matrix missing %q", want)
+		}
+	}
+}
+
+func TestReviewUpdatePath(t *testing.T) {
+	dir := t.TempDir()
+	repo, err := pdcunplugged.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := repo.Get("findsmallestcard")
+	edited := *a
+	edited.Assessment = "Classroom pre/post quiz showed strong gains."
+	path := filepath.Join(dir, "findsmallestcard.md")
+	if err := os.WriteFile(path, []byte(edited.Render()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, "review", path)
+	if err != nil {
+		t.Fatalf("update review failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"update review", "APPLY", "welcomed", "assessment added", "update preview"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("update review missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTimelineCommand(t *testing.T) {
+	out, err := capture(t, "timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"1990s", "2010s", "BLOOM", "Comprehend"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSearchRanked(t *testing.T) {
+	out, err := capture(t, "search", "token", "ring", "stabilizing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.Contains(lines[0], "selfstabilizing-token-ring") {
+		t.Errorf("top hit wrong:\n%s", out)
+	}
+	out, err = capture(t, "search", "sortin")
+	if err != nil || !strings.Contains(out, "no matches") || !strings.Contains(out, "did you mean") {
+		t.Errorf("suggestion missing: %v %q", err, out)
+	}
+}
+
+func TestAssessCommand(t *testing.T) {
+	out, err := capture(t, "assess", "findsmallestcard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# Assessment: FindSmallestCard", "Q1", "PD_2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("assess missing %q", want)
+		}
+	}
+	out, err = capture(t, "assess", "findsmallestcard", "-simulate", "20")
+	if err != nil || !strings.Contains(out, "normalized gain") {
+		t.Errorf("assess -simulate: %v (output %d bytes)", err, len(out))
+	}
+	if _, err := capture(t, "assess", "nope"); err == nil {
+		t.Error("assess of unknown slug accepted")
+	}
+	if _, err := capture(t, "assess"); err == nil {
+		t.Error("assess without slug accepted")
+	}
+}
+
+func TestPlanCommand(t *testing.T) {
+	out, err := capture(t, "plan", "-course", "CS1", "-slots", "3", "-avoid", "food")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "workshop plan: 3 activities") || !strings.Contains(out, "reaches") {
+		t.Errorf("plan output: %q", out)
+	}
+	if _, err := capture(t, "plan", "-course", "CS0", "-senses", "sound"); err == nil {
+		t.Error("impossible plan accepted")
+	}
+	out, err = capture(t, "plan", "-course", "K_12", "-slots", "2", "-handout")
+	if err != nil || !strings.Contains(out, "# Workshop plan") || !strings.Contains(out, "## Bring") {
+		t.Errorf("handout: %v %.120q", err, out)
+	}
+}
+
+func TestServeBadSource(t *testing.T) {
+	// serve fails before binding when the source directory is invalid.
+	if _, err := capture(t, "serve", "-src", "/no/such/dir"); err == nil {
+		t.Error("serve with missing source accepted")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	if _, err := capture(t, "validate"); err == nil {
+		t.Error("validate without dir accepted")
+	}
+	if _, err := capture(t, "validate", "/no/such/dir"); err == nil {
+		t.Error("validate of missing dir accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package pdcunplugged_test
+
+import (
+	"fmt"
+	"log"
+
+	"pdcunplugged"
+)
+
+// ExampleOpen shows the corpus headline numbers.
+func ExampleOpen() {
+	repo, err := pdcunplugged.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(repo.Len(), "activities")
+	a, _ := repo.Get("findsmallestcard")
+	fmt.Println(a.Title, "by", a.Author)
+	// Output:
+	// 38 activities
+	// FindSmallestCard by Gilbert Bachelis, Bruce Maxim, David James and Quentin Stout
+}
+
+// ExampleTableI prints the first row of the paper's Table I.
+func ExampleTableI() {
+	repo, _ := pdcunplugged.Open()
+	row := pdcunplugged.TableI(repo)[0]
+	fmt.Printf("%s: %d/%d outcomes covered by %d activities\n",
+		row.Unit.Name, row.CoveredOutcomes, row.NumOutcomes, row.TotalActivities)
+	// Output:
+	// Parallelism Fundamentals: 2/3 outcomes covered by 2 activities
+}
+
+// ExampleSimulate runs the FindSmallestCard dramatization with a fixed
+// seed: eight goroutine students find the minimum in three rounds.
+func ExampleSimulate() {
+	rep, err := pdcunplugged.Simulate("findsmallestcard",
+		pdcunplugged.SimConfig{Participants: 8, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.OK)
+	fmt.Println(rep.Metrics.Count("rounds"), "rounds for 8 students")
+	// Output:
+	// true
+	// 3 rounds for 8 students
+}
+
+// ExampleFindGaps counts the coverage gaps the paper reports.
+func ExampleFindGaps() {
+	repo, _ := pdcunplugged.Open()
+	g := pdcunplugged.FindGaps(repo)
+	fmt.Printf("%d uncovered outcomes, %d uncovered topics\n", len(g.Outcomes), len(g.Topics))
+	// Output:
+	// 32 uncovered outcomes, 48 uncovered topics
+}
+
+// ExampleImpact scores a proposed gap-fill activity.
+func ExampleImpact() {
+	repo, _ := pdcunplugged.Open()
+	score, novel, _ := pdcunplugged.Impact(repo, nil, []string{"A_Broadcast", "C_Scan"})
+	fmt.Println(score, novel)
+	// Output:
+	// 2 [A_Broadcast C_Scan]
+}
+
+// ExampleBuildPlan builds a two-slot CS1 lesson plan.
+func ExampleBuildPlan() {
+	repo, _ := pdcunplugged.Open()
+	p, err := pdcunplugged.BuildPlan(repo, pdcunplugged.PlanConstraints{Course: "CS1", Slots: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, s := range p.Selections {
+		fmt.Printf("%d. %s (+%d terms)\n", i+1, s.Slug, len(s.NewTerms))
+	}
+	// Output:
+	// 1. giacaman-analogy-suite (+9 terms)
+	// 2. bogaerts-cs1-analogies (+6 terms)
+}
+
+// ExampleActivityTemplate scaffolds the Fig. 1 template header.
+func ExampleActivityTemplate() {
+	tmpl := pdcunplugged.ActivityTemplate("example")
+	fmt.Println(tmpl[:36])
+	// Output:
+	// ---
+	// title: "example"
+	// date: ""
+	// tags:
+}

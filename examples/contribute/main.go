@@ -1,0 +1,100 @@
+// Contribute walks the paper's contribution workflow end to end: scaffold
+// the Fig. 1 template, fill in a new gap-covering activity, run the
+// curator review (validity, nudges, duplicate and variation detection,
+// impact scoring), and preview the merge's effect on coverage.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pdcunplugged"
+)
+
+func main() {
+	repo, err := pdcunplugged.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1: a contributor scaffolds the template...
+	fmt.Println("== Step 1: scaffold (pdcu new \"Human Prefix Sum\") ==")
+	fmt.Println(pdcunplugged.ActivityTemplate("Human Prefix Sum"))
+
+	// ...and fills it in. This proposal covers the Scan and Reduction
+	// paradigm topics, which the gap analysis reports as uncovered.
+	submission := `---
+title: "Human Prefix Sum"
+date: "2020-06-01"
+cs2013: ["PD_ParallelAlgorithms"]
+cs2013details: ["PAAP_7"]
+tcpp: ["TCPP_Algorithms"]
+tcppdetails: ["C_Scan", "C_Reduction"]
+courses: ["CS2", "DSA"]
+senses: ["visual", "movement"]
+medium: ["role-play", "cards"]
+---
+
+## Original Author/link
+
+This library's gap-fill proposal
+
+No external resources found. See details below.
+
+---
+
+## Details
+
+Students in a row each hold a number card. In round r, every student
+simultaneously adds the value held by the student 2^(r-1) seats to their
+left. After ceil(log2 n) rounds each student holds the running total up to
+their seat, and the last student holds the grand total: scan and reduction
+in one dramatization (see the 'scan' simulation in this library).
+
+---
+
+## Accessibility
+
+Performed seated in rows; card values can be large-print.
+
+---
+
+## Assessment
+
+None known.
+
+---
+
+## Citations
+
+- S. J. Matthews, "PDCunplugged: A free repository of unplugged parallel distributed computing activities," IPDPSW 2020 (curation entry).
+`
+
+	// Step 2: the curator reviews the submission.
+	fmt.Println("== Step 2: curator review ==")
+	rev := pdcunplugged.ReviewSubmission(repo, "human-prefix-sum", submission)
+	fmt.Print(rev.Summary())
+	if !rev.Accepted() {
+		log.Fatal("submission rejected")
+	}
+
+	// Step 3: merge preview, with the coverage delta.
+	fmt.Println("\n== Step 3: merge preview ==")
+	merged, delta, err := pdcunplugged.MergeActivity(repo, rev.Activity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(delta)
+
+	// The previously-uncovered topics are now covered.
+	gapsBefore := pdcunplugged.FindGaps(repo)
+	gapsAfter := pdcunplugged.FindGaps(merged)
+	fmt.Printf("topic gaps: %d -> %d\n", len(gapsBefore.Topics), len(gapsAfter.Topics))
+
+	// And the corresponding dramatization already ships.
+	rep, err := pdcunplugged.Simulate("scan", pdcunplugged.SimConfig{Participants: 16, Seed: 2})
+	if err != nil || !rep.OK {
+		log.Fatal(err)
+	}
+	fmt.Println("\nlive demo:", rep.Outcome)
+}

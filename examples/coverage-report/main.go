@@ -1,0 +1,57 @@
+// Coverage-report regenerates the paper's entire evaluation: Table I
+// (CS2013 coverage), Table II (TCPP coverage), the Section III-C
+// sub-category analysis, and the Section III-A/III-D statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pdcunplugged"
+)
+
+func main() {
+	repo, err := pdcunplugged.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("TABLE I — CS2013 coverage")
+	fmt.Printf("%-48s %8s %8s %9s %11s\n", "Knowledge Unit", "Num LOs", "Covered", "Percent", "Activities")
+	for _, r := range pdcunplugged.TableI(repo) {
+		name := r.Unit.Name
+		if r.Unit.Elective {
+			name += " (E)"
+		}
+		fmt.Printf("%-48s %8d %8d %8.2f%% %11d\n",
+			name, r.NumOutcomes, r.CoveredOutcomes, r.PercentCoverage(), r.TotalActivities)
+	}
+
+	fmt.Println("\nTABLE II — TCPP coverage (core-course topics)")
+	fmt.Printf("%-36s %10s %8s %9s %11s\n", "Topic Area", "Num Topics", "Covered", "Percent", "Activities")
+	for _, r := range pdcunplugged.TableII(repo) {
+		fmt.Printf("%-36s %10d %8d %8.2f%% %11d\n",
+			r.Area.Name, r.NumTopics, r.CoveredTopics, r.PercentCoverage(), r.TotalActivities)
+	}
+
+	fmt.Println("\nSection III-C — sub-category coverage")
+	for _, r := range pdcunplugged.Subcategories(repo) {
+		fmt.Printf("  %-34s %-30s %2d/%2d (%.2f%%)\n",
+			r.Area, r.Subcategory, r.CoveredTopics, r.NumTopics, r.PercentCoverage())
+	}
+
+	fmt.Println("\nSection III-A — activities per course")
+	for _, c := range pdcunplugged.CourseCounts(repo) {
+		fmt.Printf("  %-10s %d\n", c.Term, c.Count)
+	}
+
+	fmt.Println("\nSection III-D — mediums")
+	for _, c := range pdcunplugged.MediumCounts(repo) {
+		fmt.Printf("  %-12s %d\n", c.Term, c.Count)
+	}
+
+	fmt.Println("\nSection III-D — senses engaged")
+	for _, s := range pdcunplugged.SenseStats(repo) {
+		fmt.Printf("  %-12s %2d (%.2f%%)\n", s.Sense, s.Count, s.Percent)
+	}
+}

@@ -1,0 +1,69 @@
+// Gap-analysis answers the paper's third research question — "where should
+// educators concentrate on developing new content?" — by listing every
+// uncovered CS2013 learning outcome and TCPP core topic, scoring the
+// gap-fill activities this library proposes, and demonstrating one of them
+// (the collectives dramatization) live.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"pdcunplugged"
+)
+
+func main() {
+	repo, err := pdcunplugged.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	g := pdcunplugged.FindGaps(repo)
+	fmt.Printf("Coverage gaps in the current curation: %d learning outcomes, %d core topics.\n\n",
+		len(g.Outcomes), len(g.Topics))
+
+	fmt.Println("Uncovered CS2013 learning outcomes:")
+	for _, og := range g.Outcomes {
+		fmt.Printf("  %-8s [%s] %s\n", og.Term, og.Unit.Abbrev, og.Outcome.Text)
+	}
+	fmt.Println("\nUncovered TCPP core topics:")
+	byArea := map[string][]string{}
+	for _, tg := range g.Topics {
+		byArea[tg.Area.Name] = append(byArea[tg.Area.Name],
+			fmt.Sprintf("%s (%s)", tg.Term, tg.Topic.Subcategory))
+	}
+	for area, topics := range byArea {
+		fmt.Printf("  %s:\n    %s\n", area, strings.Join(topics, "\n    "))
+	}
+
+	// Score the proposed gap-fill activities, the paper's impact idea: an
+	// activity covering uncovered terms has high impact.
+	fmt.Println("\nProposed new activities and their impact scores:")
+	proposals := []struct {
+		title       string
+		cs2013, tcp []string
+	}{
+		{"Classroom Collectives (this library's 'collectives' sim)",
+			nil, []string{"A_Broadcast", "A_ScatterGather"}},
+		{"Human Prefix Sum", nil, []string{"C_Scan", "C_Reduction"}},
+		{"Recursive Handshake Tree", nil, []string{"C_ParallelRecursion"}},
+		{"Web Search Relay", nil, []string{"K_WebSearch", "K_PeerToPeer"}},
+		{"A re-tagging of FindSmallestCard", nil, []string{"C_ParallelSelection"}},
+	}
+	for _, p := range proposals {
+		score, novel, err := pdcunplugged.Impact(repo, p.cs2013, p.tcp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-52s impact %d  (novel: %s)\n", p.title, score, strings.Join(novel, ", "))
+	}
+
+	// One gap-fill ships as a runnable dramatization already.
+	fmt.Println("\nRunning the collectives gap-fill dramatization:")
+	rep, err := pdcunplugged.Simulate("collectives", pdcunplugged.SimConfig{Participants: 16, Seed: 3})
+	if err != nil || !rep.OK {
+		log.Fatalf("collectives: %v %v", err, rep)
+	}
+	fmt.Println(" ", rep.Outcome)
+}

@@ -1,0 +1,36 @@
+// Sitegen builds the pdcunplugged.org static site from the curated corpus
+// into ./public — the Hugo-workflow equivalent — and reports what it wrote.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"pdcunplugged"
+)
+
+func main() {
+	repo, err := pdcunplugged.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
+	site, err := pdcunplugged.BuildSite(repo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := site.WriteTo("public"); err != nil {
+		log.Fatal(err)
+	}
+
+	counts := map[string]int{}
+	for _, p := range site.Paths() {
+		top, _, _ := strings.Cut(p, "/")
+		counts[top]++
+	}
+	fmt.Printf("wrote %d files under ./public from %d activities\n", site.Len(), repo.Len())
+	for _, section := range []string{"activities", "assess", "cs2013", "tcpp", "courses", "senses", "medium", "cs2013details", "tcppdetails", "views", "api"} {
+		fmt.Printf("  %-16s %d pages\n", section, counts[section])
+	}
+	fmt.Println("preview with: pdcu serve  (or any static file server over ./public)")
+}

@@ -1,0 +1,66 @@
+// Workshop prepares a complete outreach session the way Section III-E
+// suggests ("unplugged activities are also a useful way to introduce
+// parallelism in outreach or workshop settings"): plan a constrained
+// activity sequence, generate the pre/post assessment for each pick, run
+// the matching dramatizations as a rehearsal, and analyze a (synthetic)
+// class's results.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pdcunplugged"
+)
+
+func main() {
+	repo, err := pdcunplugged.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A K-12 outreach session: no food props, four slots.
+	constraints := pdcunplugged.PlanConstraints{
+		Course:       "K_12",
+		AvoidMediums: []string{"food"},
+		Slots:        4,
+	}
+	p, err := pdcunplugged.BuildPlan(repo, constraints)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(p.Summary())
+	fmt.Printf("(reaches %.0f%% of the curation's covered terms)\n\n", 100*p.CoverageRatio(repo))
+
+	for _, sel := range p.Selections {
+		a, _ := repo.Get(sel.Slug)
+
+		// The assessment sheet for this pick.
+		sheet, err := pdcunplugged.GenerateAssessment(a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %s: %d assessment items ==\n", a.Title, len(sheet.Items))
+
+		// Rehearse the dramatization when one ships.
+		if simName, ok := pdcunplugged.SimulationFor(sel.Slug); ok {
+			rep, err := pdcunplugged.Simulate(simName, pdcunplugged.SimConfig{Participants: 12, Seed: 11})
+			if err != nil || !rep.OK {
+				log.Fatalf("rehearsal %s: %v %v", simName, err, rep)
+			}
+			fmt.Println("  rehearsal:", rep.Outcome)
+		}
+
+		// Analyze a synthetic class (until real classroom data exists —
+		// the assessment gap the paper challenges the community to fill).
+		if len(sheet.Items) > 0 {
+			responses := pdcunplugged.SimulatedResponses(len(sheet.Items), 24, 0.65, 7)
+			analysis, err := pdcunplugged.AnalyzeAssessment(len(sheet.Items), responses)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  synthetic class: pre %.0f%%, post %.0f%%, gain %.2f\n\n",
+				100*analysis.PreMean, 100*analysis.PostMean, analysis.NormalizedGain)
+		}
+	}
+}

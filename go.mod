@@ -1,0 +1,3 @@
+module pdcunplugged
+
+go 1.22

@@ -1,0 +1,138 @@
+package pdcunplugged_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"pdcunplugged"
+	"pdcunplugged/internal/report"
+)
+
+// TestEndToEndExportReload is the full-pipeline gate: render the curated
+// corpus to Markdown files on disk, reload it through the filesystem path a
+// contributor's checkout would use, and verify the reloaded repository is
+// observationally identical — same activities, same tables, same site.
+func TestEndToEndExportReload(t *testing.T) {
+	orig, err := pdcunplugged.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for slug, content := range pdcunplugged.CorpusFiles() {
+		if err := os.WriteFile(filepath.Join(dir, slug+".md"), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reloaded, err := pdcunplugged.LoadFS(os.DirFS(dir), ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.Len() != orig.Len() {
+		t.Fatalf("reloaded %d of %d activities", reloaded.Len(), orig.Len())
+	}
+	if !reflect.DeepEqual(pdcunplugged.TableI(orig), pdcunplugged.TableI(reloaded)) {
+		t.Error("Table I changed across export/reload")
+	}
+	if !reflect.DeepEqual(pdcunplugged.TableII(orig), pdcunplugged.TableII(reloaded)) {
+		t.Error("Table II changed across export/reload")
+	}
+	for _, slug := range orig.Slugs() {
+		a, _ := orig.Get(slug)
+		b, ok := reloaded.Get(slug)
+		if !ok {
+			t.Errorf("%s lost in reload", slug)
+			continue
+		}
+		if a.Title != b.Title || a.Author != b.Author || a.Details != b.Details {
+			t.Errorf("%s content drifted across reload", slug)
+		}
+		if !reflect.DeepEqual(a.CS2013Details, b.CS2013Details) || !reflect.DeepEqual(a.TCPPDetails, b.TCPPDetails) {
+			t.Errorf("%s detail tags drifted", slug)
+		}
+	}
+	s1, err := pdcunplugged.BuildSite(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := pdcunplugged.BuildSite(reloaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1.Paths(), s2.Paths()) {
+		t.Error("site page inventory changed across reload")
+	}
+}
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (run `go test -run Golden -update .`): %v", path, err)
+	}
+	if string(want) != got {
+		t.Errorf("%s drifted from golden copy; run with -update if intentional.\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// TestGoldenTemplate pins the Fig. 1 archetype byte-for-byte.
+func TestGoldenTemplate(t *testing.T) {
+	checkGolden(t, "template.md", pdcunplugged.ActivityTemplate("example"))
+}
+
+// TestGoldenActivityFile pins one curated activity's rendered Markdown.
+func TestGoldenActivityFile(t *testing.T) {
+	checkGolden(t, "findsmallestcard.md", pdcunplugged.CorpusFiles()["findsmallestcard"])
+}
+
+// TestGoldenSitePage pins one rendered site page (the Fig. 3 header and
+// section layout).
+func TestGoldenSitePage(t *testing.T) {
+	repo, err := pdcunplugged.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := pdcunplugged.BuildSite(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "findsmallestcard.html", string(s.Pages["activities/findsmallestcard/index.html"]))
+}
+
+// TestGoldenTables pins the ASCII rendering of Tables I and II.
+func TestGoldenTables(t *testing.T) {
+	repo, err := pdcunplugged.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := report.New("TABLE I: CS2013 COVERAGE",
+		"Knowledge Unit", "Num LOs", "Covered", "Percent", "Activities")
+	for _, r := range pdcunplugged.TableI(repo) {
+		name := r.Unit.Name
+		if r.Unit.Elective {
+			name += " (E)"
+		}
+		t1.AddRow(name, r.NumOutcomes, r.CoveredOutcomes, r.PercentCoverage(), r.TotalActivities)
+	}
+	t2 := report.New("TABLE II: TCPP COVERAGE",
+		"Topic Area", "Num Topics", "Covered", "Percent", "Activities")
+	for _, r := range pdcunplugged.TableII(repo) {
+		t2.AddRow(r.Area.Name, r.NumTopics, r.CoveredTopics, r.PercentCoverage(), r.TotalActivities)
+	}
+	checkGolden(t, "tables.txt", t1.String()+"\n"+t2.String())
+}

@@ -1,0 +1,492 @@
+// Package activity defines the PDCunplugged content model: one unplugged
+// activity per Markdown file, with the front-matter header of Fig. 2 and the
+// seven body sections of Fig. 1 (Original Author/link, optional Details,
+// CS2013 Knowledge Unit Coverage, TCPP Topics Coverage, Recommended Courses,
+// Accessibility, Assessment, Citations).
+package activity
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pdcunplugged/internal/cs2013"
+	"pdcunplugged/internal/frontmatter"
+	"pdcunplugged/internal/markdown"
+	"pdcunplugged/internal/tcpp"
+)
+
+// Section titles in the Fig. 1 template, in canonical order.
+const (
+	SecAuthor        = "Original Author/link"
+	SecDetails       = "Details"
+	SecVariations    = "Variations"
+	SecCS2013        = "CS2013 Knowledge Unit Coverage"
+	SecTCPP          = "TCPP Topics Coverage"
+	SecCourses       = "Recommended Courses"
+	SecAccessibility = "Accessibility"
+	SecAssessment    = "Assessment"
+	SecCitations     = "Citations"
+)
+
+// NoExternalNote is the sentence the paper specifies for activities whose
+// author has no public-facing resources; a Details section then follows.
+const NoExternalNote = "No external resources found. See details below."
+
+// Course terms accepted by the courses taxonomy. College-level courses have
+// separate terms while K-12 activities use the K_12 term (Section II-B).
+var KnownCourses = []string{"K_12", "CS0", "CS1", "CS2", "DSA", "Systems", "Graduate", "Outreach"}
+
+// Sense terms accepted by the senses taxonomy, including the general
+// "accessible" term for activities presentable to diverse populations.
+var KnownSenses = []string{"visual", "movement", "touch", "sound", "accessible"}
+
+// Medium terms accepted by the hidden medium taxonomy.
+var KnownMediums = []string{
+	"analogy", "role-play", "game", "paper", "board", "cards",
+	"pens", "coins", "food", "instrument", "objects", "discussion",
+}
+
+// Activity is one unplugged PDC activity.
+type Activity struct {
+	// Slug is the file name without extension and the URL path segment.
+	Slug string
+	// Title and Date come from the front-matter header.
+	Title string
+	Date  string
+
+	// Visible taxonomies (Section II-B).
+	CS2013  []string // knowledge-unit terms, e.g. PD_ParallelDecomposition
+	TCPP    []string // topic-area terms, e.g. TCPP_Algorithms
+	Courses []string // e.g. CS1, DSA, K_12
+	Senses  []string // e.g. visual, touch, accessible
+
+	// Hidden taxonomies.
+	CS2013Details []string // learning-outcome terms, e.g. PD_3
+	TCPPDetails   []string // Bloom topic terms, e.g. C_Speedup
+	Medium        []string // e.g. analogy, cards, role-play
+
+	// Author is the activity author line from the first section.
+	Author string
+	// Links are the external resource URLs listed in the author section.
+	// An activity with no links carries the NoExternalNote and a Details
+	// section instead.
+	Links []string
+
+	// Body sections (raw Markdown).
+	Details       string
+	Variations    []string // known variations, one per line in the section
+	CoursesNote   string   // prose in Recommended Courses beyond the terms
+	Accessibility string
+	Assessment    string
+	Citations     []string // one citation per list item
+}
+
+// Key implements taxonomy.Entry.
+func (a *Activity) Key() string { return a.Slug }
+
+// Terms implements taxonomy.Entry for the six standard taxonomies.
+func (a *Activity) Terms(tax string) []string {
+	switch tax {
+	case "cs2013":
+		return a.CS2013
+	case "tcpp":
+		return a.TCPP
+	case "courses":
+		return a.Courses
+	case "senses":
+		return a.Senses
+	case "cs2013details":
+		return a.CS2013Details
+	case "tcppdetails":
+		return a.TCPPDetails
+	case "medium":
+		return a.Medium
+	default:
+		return nil
+	}
+}
+
+// HasExternalResources reports whether the activity links to slides,
+// handouts or other materials (Section III-A reports this for 41% of the
+// curation).
+func (a *Activity) HasExternalResources() bool { return len(a.Links) > 0 }
+
+// HasAssessment reports whether any assessment is recorded. The literal
+// "None known." counts as no assessment.
+func (a *Activity) HasAssessment() bool {
+	t := strings.TrimSpace(a.Assessment)
+	return t != "" && !strings.EqualFold(t, "None known.") && !strings.EqualFold(t, "None known")
+}
+
+// Parse reads an activity from its Markdown file content.
+func Parse(slug, content string) (*Activity, error) {
+	doc, err := frontmatter.Parse(content)
+	if err != nil {
+		return nil, fmt.Errorf("activity %s: %w", slug, err)
+	}
+	a := &Activity{
+		Slug:          slug,
+		Title:         doc.Get("title"),
+		Date:          doc.Get("date"),
+		CS2013:        doc.GetList("cs2013"),
+		TCPP:          doc.GetList("tcpp"),
+		Courses:       doc.GetList("courses"),
+		Senses:        doc.GetList("senses"),
+		CS2013Details: doc.GetList("cs2013details"),
+		TCPPDetails:   doc.GetList("tcppdetails"),
+		Medium:        doc.GetList("medium"),
+	}
+	for _, sec := range markdown.SplitSections(doc.Body) {
+		switch sec.Title {
+		case SecAuthor:
+			a.parseAuthor(sec.Content)
+		case SecDetails:
+			a.Details = sec.Content
+		case SecVariations:
+			a.Variations = parseListItems(sec.Content)
+		case SecCS2013, SecTCPP:
+			// Generated from tags on render; prose is not retained.
+		case SecCourses:
+			// The rendered section leads with the generated course-term
+			// list; only prose beyond it is retained as the note.
+			note := strings.TrimSpace(strings.TrimPrefix(sec.Content, strings.Join(a.Courses, ", ")))
+			if note != "None recommended yet." {
+				a.CoursesNote = note
+			}
+		case SecAccessibility:
+			a.Accessibility = sec.Content
+		case SecAssessment:
+			a.Assessment = sec.Content
+		case SecCitations:
+			a.Citations = parseListItems(sec.Content)
+		case "":
+			// Preamble before the first section; ignored.
+		default:
+			return nil, fmt.Errorf("activity %s: unknown section %q", slug, sec.Title)
+		}
+	}
+	return a, nil
+}
+
+func (a *Activity) parseAuthor(content string) {
+	for _, line := range strings.Split(content, "\n") {
+		t := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(line), "-"))
+		if t == "" || t == NoExternalNote {
+			continue
+		}
+		if text, url, n := linkParts(t); n {
+			if a.Author == "" {
+				a.Author = text
+			}
+			a.Links = append(a.Links, url)
+			continue
+		}
+		if strings.HasPrefix(t, "http://") || strings.HasPrefix(t, "https://") {
+			a.Links = append(a.Links, t)
+			continue
+		}
+		if a.Author == "" {
+			a.Author = t
+		}
+	}
+}
+
+func linkParts(s string) (text, url string, ok bool) {
+	open := strings.IndexByte(s, '[')
+	if open < 0 {
+		return "", "", false
+	}
+	close1 := strings.IndexByte(s[open:], ']')
+	if close1 < 0 {
+		return "", "", false
+	}
+	close1 += open
+	if close1+1 >= len(s) || s[close1+1] != '(' {
+		return "", "", false
+	}
+	close2 := strings.IndexByte(s[close1+2:], ')')
+	if close2 < 0 {
+		return "", "", false
+	}
+	return strings.TrimSpace(s[:open] + s[open+1:close1]), s[close1+2 : close1+2+close2], true
+}
+
+func parseListItems(content string) []string {
+	var out []string
+	for _, line := range strings.Split(content, "\n") {
+		t := strings.TrimSpace(line)
+		t = strings.TrimPrefix(t, "- ")
+		t = strings.TrimPrefix(t, "* ")
+		if n := ordinal(t); n > 0 {
+			t = t[n:]
+		}
+		t = strings.TrimSpace(t)
+		if t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func ordinal(s string) int {
+	i := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	if i == 0 || i+1 >= len(s) || s[i] != '.' || s[i+1] != ' ' {
+		return 0
+	}
+	return i + 2
+}
+
+// Render serializes the activity back to its Markdown file content in the
+// Fig. 1 section order, generating the two coverage sections from tags.
+func (a *Activity) Render() string {
+	doc := frontmatter.New()
+	doc.Set("title", a.Title)
+	if a.Date != "" {
+		doc.Set("date", a.Date)
+	}
+	for _, kv := range []struct {
+		key  string
+		vals []string
+	}{
+		{"cs2013", a.CS2013}, {"tcpp", a.TCPP}, {"courses", a.Courses},
+		{"senses", a.Senses}, {"cs2013details", a.CS2013Details},
+		{"tcppdetails", a.TCPPDetails}, {"medium", a.Medium},
+	} {
+		if len(kv.vals) > 0 {
+			doc.SetList(kv.key, kv.vals)
+		}
+	}
+
+	var secs []markdown.Section
+	secs = append(secs, markdown.Section{Title: SecAuthor, Content: a.renderAuthor()})
+	if a.Details != "" {
+		secs = append(secs, markdown.Section{Title: SecDetails, Content: a.Details})
+	}
+	if len(a.Variations) > 0 {
+		secs = append(secs, markdown.Section{Title: SecVariations, Content: bulleted(a.Variations)})
+	}
+	secs = append(secs,
+		markdown.Section{Title: SecCS2013, Content: a.renderCS2013Coverage()},
+		markdown.Section{Title: SecTCPP, Content: a.renderTCPPCoverage()},
+		markdown.Section{Title: SecCourses, Content: a.renderCourses()},
+		markdown.Section{Title: SecAccessibility, Content: a.Accessibility},
+		markdown.Section{Title: SecAssessment, Content: a.Assessment},
+		markdown.Section{Title: SecCitations, Content: bulleted(a.Citations)},
+	)
+	doc.Body = markdown.JoinSections(secs)
+	return doc.Render()
+}
+
+func (a *Activity) renderAuthor() string {
+	var lines []string
+	if a.Author != "" {
+		lines = append(lines, a.Author)
+	}
+	for _, l := range a.Links {
+		lines = append(lines, l)
+	}
+	if len(a.Links) == 0 {
+		lines = append(lines, NoExternalNote)
+	}
+	return strings.Join(lines, "\n\n")
+}
+
+func (a *Activity) renderCS2013Coverage() string {
+	if len(a.CS2013) == 0 {
+		return "None."
+	}
+	var b strings.Builder
+	for i, term := range a.CS2013 {
+		u, ok := cs2013.ByTerm(term)
+		if !ok {
+			fmt.Fprintf(&b, "- %s\n", term)
+			continue
+		}
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "**%s**\n", u.Name)
+		for _, det := range a.CS2013Details {
+			du, o, err := cs2013.ParseDetail(det)
+			if err == nil && du.Abbrev == u.Abbrev {
+				fmt.Fprintf(&b, "- %s (%s): %s\n", det, o.Tier, o.Text)
+			}
+		}
+	}
+	return strings.TrimSpace(b.String())
+}
+
+func (a *Activity) renderTCPPCoverage() string {
+	if len(a.TCPP) == 0 {
+		return "None."
+	}
+	var b strings.Builder
+	for i, term := range a.TCPP {
+		ar, ok := tcpp.ByTerm(term)
+		if !ok {
+			fmt.Fprintf(&b, "- %s\n", term)
+			continue
+		}
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "**%s**\n", ar.Name)
+		for _, det := range a.TCPPDetails {
+			da, tp, err := tcpp.FindTopic(det)
+			if err == nil && da.Name == ar.Name {
+				fmt.Fprintf(&b, "- %s: %s %s\n", det, tp.Bloom, tp.Name)
+			}
+		}
+	}
+	return strings.TrimSpace(b.String())
+}
+
+func (a *Activity) renderCourses() string {
+	var parts []string
+	if len(a.Courses) > 0 {
+		parts = append(parts, strings.Join(a.Courses, ", "))
+	}
+	if a.CoursesNote != "" {
+		parts = append(parts, a.CoursesNote)
+	}
+	if len(parts) == 0 {
+		return "None recommended yet."
+	}
+	return strings.Join(parts, "\n\n")
+}
+
+func bulleted(items []string) string {
+	var b strings.Builder
+	for _, it := range items {
+		fmt.Fprintf(&b, "- %s\n", it)
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// Template returns the Fig. 1 archetype: the file a contributor starts from,
+// equivalent to `hugo new activities/<slug>.md`.
+func Template(title string) string {
+	doc := frontmatter.New()
+	doc.Set("title", title)
+	doc.Set("date", "")
+	doc.SetList("tags", nil)
+	secs := []markdown.Section{
+		{Title: SecAuthor}, {Title: SecCS2013}, {Title: SecTCPP},
+		{Title: SecCourses}, {Title: SecAccessibility},
+		{Title: SecAssessment}, {Title: SecCitations},
+	}
+	doc.Body = markdown.JoinSections(secs)
+	return doc.Render()
+}
+
+// Validate checks the activity against the content rules the curator applies
+// to contributions. It returns all problems found rather than stopping at
+// the first.
+func (a *Activity) Validate() []error {
+	var errs []error
+	fail := func(format string, args ...interface{}) {
+		errs = append(errs, fmt.Errorf("activity %s: "+format, append([]interface{}{a.Slug}, args...)...))
+	}
+	if a.Slug == "" {
+		fail("empty slug")
+	}
+	if a.Title == "" {
+		fail("empty title")
+	}
+	if a.Author == "" {
+		fail("missing author in %q section", SecAuthor)
+	}
+	if len(a.Links) == 0 && a.Details == "" {
+		fail("no external resources and no Details section; the paper requires %q plus details", NoExternalNote)
+	}
+	for _, term := range a.CS2013 {
+		if _, ok := cs2013.ByTerm(term); !ok {
+			fail("unknown cs2013 term %q", term)
+		}
+	}
+	for _, term := range a.TCPP {
+		if _, ok := tcpp.ByTerm(term); !ok {
+			fail("unknown tcpp term %q", term)
+		}
+	}
+	for _, det := range a.CS2013Details {
+		u, _, err := cs2013.ParseDetail(det)
+		if err != nil {
+			fail("%v", err)
+			continue
+		}
+		if !contains(a.CS2013, u.Term) {
+			fail("detail %s requires cs2013 term %s", det, u.Term)
+		}
+	}
+	for _, det := range a.TCPPDetails {
+		ar, _, err := tcpp.FindTopic(det)
+		if err != nil {
+			fail("%v", err)
+			continue
+		}
+		if !contains(a.TCPP, ar.Term) {
+			fail("detail %s requires tcpp term %s", det, ar.Term)
+		}
+	}
+	for _, c := range a.Courses {
+		if !contains(KnownCourses, c) {
+			fail("unknown course term %q", c)
+		}
+	}
+	for _, s := range a.Senses {
+		if !contains(KnownSenses, s) {
+			fail("unknown sense term %q", s)
+		}
+	}
+	for _, m := range a.Medium {
+		if !contains(KnownMediums, m) {
+			fail("unknown medium term %q", m)
+		}
+	}
+	for _, set := range []struct {
+		name  string
+		terms []string
+	}{
+		{"cs2013", a.CS2013}, {"tcpp", a.TCPP}, {"courses", a.Courses},
+		{"senses", a.Senses}, {"cs2013details", a.CS2013Details},
+		{"tcppdetails", a.TCPPDetails}, {"medium", a.Medium},
+	} {
+		if dup := firstDuplicate(set.terms); dup != "" {
+			fail("duplicate %s term %q", set.name, dup)
+		}
+	}
+	return errs
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+func firstDuplicate(xs []string) string {
+	seen := make(map[string]bool, len(xs))
+	for _, x := range xs {
+		if seen[x] {
+			return x
+		}
+		seen[x] = true
+	}
+	return ""
+}
+
+// SortTags normalizes tag ordering in place (sorted lexicographically),
+// which keeps rendered files and diffs stable.
+func (a *Activity) SortTags() {
+	for _, s := range [][]string{a.CS2013, a.TCPP, a.Courses, a.Senses, a.CS2013Details, a.TCPPDetails, a.Medium} {
+		sort.Strings(s)
+	}
+}

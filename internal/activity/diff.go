@@ -1,0 +1,99 @@
+package activity
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Change is one field-level difference between two versions of an activity.
+type Change struct {
+	// Field names what changed ("senses", "Assessment", ...).
+	Field string
+	// Added and Removed list term-level changes for tag fields.
+	Added, Removed []string
+	// Rewritten is true for prose sections whose text changed.
+	Rewritten bool
+}
+
+// String renders the change for a review log.
+func (c Change) String() string {
+	if c.Rewritten {
+		return fmt.Sprintf("%s: rewritten", c.Field)
+	}
+	var parts []string
+	if len(c.Added) > 0 {
+		parts = append(parts, "+"+strings.Join(c.Added, " +"))
+	}
+	if len(c.Removed) > 0 {
+		parts = append(parts, "-"+strings.Join(c.Removed, " -"))
+	}
+	return fmt.Sprintf("%s: %s", c.Field, strings.Join(parts, " "))
+}
+
+// Diff compares two versions of an activity field by field. It reports tag
+// additions/removals per taxonomy and flags rewritten prose sections. Slug
+// differences are not reported (compare versions of the same activity).
+func Diff(old, new *Activity) []Change {
+	var changes []Change
+	tagFields := []struct {
+		name     string
+		old, new []string
+	}{
+		{"cs2013", old.CS2013, new.CS2013},
+		{"tcpp", old.TCPP, new.TCPP},
+		{"courses", old.Courses, new.Courses},
+		{"senses", old.Senses, new.Senses},
+		{"cs2013details", old.CS2013Details, new.CS2013Details},
+		{"tcppdetails", old.TCPPDetails, new.TCPPDetails},
+		{"medium", old.Medium, new.Medium},
+		{"links", old.Links, new.Links},
+		{"variations", old.Variations, new.Variations},
+		{"citations", old.Citations, new.Citations},
+	}
+	for _, f := range tagFields {
+		added, removed := setDiff(f.old, f.new)
+		if len(added) > 0 || len(removed) > 0 {
+			changes = append(changes, Change{Field: f.name, Added: added, Removed: removed})
+		}
+	}
+	proseFields := []struct {
+		name     string
+		old, new string
+	}{
+		{"Title", old.Title, new.Title},
+		{"Author", old.Author, new.Author},
+		{"Details", old.Details, new.Details},
+		{"Accessibility", old.Accessibility, new.Accessibility},
+		{"Assessment", old.Assessment, new.Assessment},
+	}
+	for _, f := range proseFields {
+		if strings.TrimSpace(f.old) != strings.TrimSpace(f.new) {
+			changes = append(changes, Change{Field: f.name, Rewritten: true})
+		}
+	}
+	return changes
+}
+
+// setDiff returns new-minus-old and old-minus-new, sorted.
+func setDiff(old, new []string) (added, removed []string) {
+	oldSet := make(map[string]bool, len(old))
+	for _, x := range old {
+		oldSet[x] = true
+	}
+	newSet := make(map[string]bool, len(new))
+	for _, x := range new {
+		newSet[x] = true
+		if !oldSet[x] {
+			added = append(added, x)
+		}
+	}
+	for _, x := range old {
+		if !newSet[x] {
+			removed = append(removed, x)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	return added, removed
+}

@@ -1,0 +1,187 @@
+package assess
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pdcunplugged/internal/curation"
+)
+
+func TestGenerateForCuratedActivity(t *testing.T) {
+	var target = "findsmallestcard"
+	for _, a := range curation.Activities() {
+		if a.Slug != target {
+			continue
+		}
+		sheet, err := Generate(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 2 cs2013details + 4 tcppdetails = 6 items.
+		if len(sheet.Items) != 6 {
+			t.Fatalf("items = %d, want 6", len(sheet.Items))
+		}
+		ids := map[string]bool{}
+		sources := map[string]bool{}
+		for _, it := range sheet.Items {
+			if ids[it.ID] {
+				t.Errorf("duplicate item id %s", it.ID)
+			}
+			ids[it.ID] = true
+			sources[it.Source] = true
+			if it.Prompt == "" || it.Bloom == "" {
+				t.Errorf("incomplete item %+v", it)
+			}
+		}
+		for _, want := range []string{"PD_2", "PAAP_3", "C_Speedup", "C_ParallelSelection"} {
+			if !sources[want] {
+				t.Errorf("no item targets %s", want)
+			}
+		}
+		md := sheet.Markdown()
+		for _, want := range []string{"# Assessment: FindSmallestCard", "Q1", "pre correct", "post correct"} {
+			if !strings.Contains(md, want) {
+				t.Errorf("markdown missing %q", want)
+			}
+		}
+		return
+	}
+	t.Fatalf("activity %s not found", target)
+}
+
+func TestGenerateEverywhere(t *testing.T) {
+	// Every curated activity yields a valid sheet (all detail terms parse).
+	for _, a := range curation.Activities() {
+		sheet, err := Generate(a)
+		if err != nil {
+			t.Errorf("%s: %v", a.Slug, err)
+			continue
+		}
+		if len(sheet.Items) != len(a.CS2013Details)+len(a.TCPPDetails) {
+			t.Errorf("%s: %d items for %d detail tags", a.Slug,
+				len(sheet.Items), len(a.CS2013Details)+len(a.TCPPDetails))
+		}
+	}
+	if _, err := Generate(nil); err == nil {
+		t.Error("nil activity accepted")
+	}
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	responses := []Response{
+		{Student: "A", Pre: []bool{false, false}, Post: []bool{true, true}},
+		{Student: "B", Pre: []bool{false, true}, Post: []bool{true, true}},
+		{Student: "C", Pre: []bool{false, false}, Post: []bool{false, true}},
+		{Student: "D", Pre: []bool{false, false}, Post: []bool{false, false}},
+	}
+	a, err := Analyze(2, responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Students != 4 {
+		t.Errorf("students = %d", a.Students)
+	}
+	// Pre: 1 correct of 8 -> 0.125; post: 5 of 8 -> 0.625.
+	if a.PreMean != 0.125 || a.PostMean != 0.625 {
+		t.Errorf("means = %v %v", a.PreMean, a.PostMean)
+	}
+	wantGain := (0.625 - 0.125) / (1 - 0.125)
+	if diff := a.NormalizedGain - wantGain; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("gain = %v, want %v", a.NormalizedGain, wantGain)
+	}
+	// Item 1: post correct 2/4 = 0.5; upper half (A,B) both correct,
+	// lower half (C,D) neither: discrimination 1.0.
+	if a.Items[0].Difficulty != 0.5 || a.Items[0].Discrimination != 1.0 {
+		t.Errorf("item 1 = %+v", a.Items[0])
+	}
+	if !strings.Contains(a.Summary(), "normalized gain") {
+		t.Errorf("summary: %s", a.Summary())
+	}
+}
+
+func TestAnalyzeNegativeDiscriminationFlagged(t *testing.T) {
+	// An item the strongest students get wrong.
+	responses := []Response{
+		{Student: "top1", Pre: []bool{false, false}, Post: []bool{true, false}},
+		{Student: "top2", Pre: []bool{false, false}, Post: []bool{true, false}},
+		{Student: "low1", Pre: []bool{false, false}, Post: []bool{false, true}},
+		{Student: "low2", Pre: []bool{false, false}, Post: []bool{false, true}},
+	}
+	a, err := Analyze(2, responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Items[1].Discrimination >= 0 {
+		t.Errorf("item 2 discrimination = %v, want negative", a.Items[1].Discrimination)
+	}
+	if !strings.Contains(a.Summary(), "review this item") {
+		t.Error("broken item not flagged in summary")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(0, nil); err == nil {
+		t.Error("zero items accepted")
+	}
+	if _, err := Analyze(2, nil); err == nil {
+		t.Error("no responses accepted")
+	}
+	if _, err := Analyze(2, []Response{{Student: "X", Pre: []bool{true}, Post: []bool{true, false}}}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+}
+
+func TestSimulatedResponsesShape(t *testing.T) {
+	rs := Simulated(6, 24, 0.6, 42)
+	if len(rs) != 24 {
+		t.Fatalf("students = %d", len(rs))
+	}
+	a, err := Analyze(6, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Learning happened: post above pre, positive gain.
+	if a.PostMean <= a.PreMean {
+		t.Errorf("no learning: pre %v post %v", a.PreMean, a.PostMean)
+	}
+	if a.NormalizedGain <= 0 || a.NormalizedGain > 1 {
+		t.Errorf("gain = %v", a.NormalizedGain)
+	}
+	// Deterministic for a seed.
+	rs2 := Simulated(6, 24, 0.6, 42)
+	for i := range rs {
+		for q := range rs[i].Pre {
+			if rs[i].Pre[q] != rs2[i].Pre[q] || rs[i].Post[q] != rs2[i].Post[q] {
+				t.Fatal("Simulated not deterministic")
+			}
+		}
+	}
+}
+
+func TestAnalyzePropertyBounds(t *testing.T) {
+	f := func(nRaw, sRaw uint8, seed int64) bool {
+		nItems := int(nRaw%8) + 1
+		students := int(sRaw%30) + 2
+		rs := Simulated(nItems, students, 0.5, seed)
+		a, err := Analyze(nItems, rs)
+		if err != nil {
+			return false
+		}
+		if a.PreMean < 0 || a.PreMean > 1 || a.PostMean < 0 || a.PostMean > 1 {
+			return false
+		}
+		for _, it := range a.Items {
+			if it.Difficulty < 0 || it.Difficulty > 1 {
+				return false
+			}
+			if it.Discrimination < -1 || it.Discrimination > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,270 @@
+// Package bib is the citation database behind the curation: structured
+// references for every source the curated activities cite, free-text
+// citation resolution, BibTeX export, and the citation graph that groups
+// activities sharing a source (how the paper identified "variations" of a
+// single activity during curation).
+package bib
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a reference.
+type Kind string
+
+// Reference kinds.
+const (
+	Article       Kind = "article"
+	InProceedings Kind = "inproceedings"
+	TechReport    Kind = "techreport"
+	Web           Kind = "misc"
+)
+
+// Reference is one bibliography entry.
+type Reference struct {
+	// Key is the citation key, e.g. "bachelis1994bringing".
+	Key string
+	// Authors are "Given Surname" strings in order.
+	Authors []string
+	Title   string
+	// Venue is the journal/proceedings/institution.
+	Venue string
+	Year  int
+	Kind  Kind
+	URL   string
+}
+
+// Surname returns the first author's surname (last word of the name).
+func (r Reference) Surname() string {
+	if len(r.Authors) == 0 {
+		return ""
+	}
+	fields := strings.Fields(r.Authors[0])
+	return fields[len(fields)-1]
+}
+
+// BibTeX renders the reference as a BibTeX entry.
+func (r Reference) BibTeX() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "@%s{%s,\n", r.Kind, r.Key)
+	fmt.Fprintf(&b, "  author = {%s},\n", strings.Join(r.Authors, " and "))
+	fmt.Fprintf(&b, "  title = {%s},\n", r.Title)
+	switch r.Kind {
+	case Article:
+		fmt.Fprintf(&b, "  journal = {%s},\n", r.Venue)
+	case InProceedings:
+		fmt.Fprintf(&b, "  booktitle = {%s},\n", r.Venue)
+	case TechReport:
+		fmt.Fprintf(&b, "  institution = {%s},\n", r.Venue)
+	default:
+		if r.Venue != "" {
+			fmt.Fprintf(&b, "  howpublished = {%s},\n", r.Venue)
+		}
+	}
+	fmt.Fprintf(&b, "  year = {%d},\n", r.Year)
+	if r.URL != "" {
+		fmt.Fprintf(&b, "  url = {%s},\n", r.URL)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// references is every source the curated activities cite, from the paper's
+// own bibliography.
+var references = []Reference{
+	{Key: "maxim1990introducing", Authors: []string{"Bruce R. Maxim", "Gilbert Bachelis", "David James", "Quentin Stout"},
+		Title: "Introducing parallel algorithms in undergraduate computer science courses (tutorial session)",
+		Venue: "SIGCSE", Year: 1990, Kind: InProceedings},
+	{Key: "kitchen1992game", Authors: []string{"Andrew T. Kitchen", "Nan C. Schaller", "Paul T. Tymann"},
+		Title: "Game playing as a technique for teaching parallel computing concepts",
+		Venue: "SIGCSE Bulletin", Year: 1992, Kind: Article},
+	{Key: "bachelis1994bringing", Authors: []string{"Gilbert F. Bachelis", "Bruce R. Maxim", "David A. James", "Quentin F. Stout"},
+		Title: "Bringing algorithms to life: Cooperative computing activities using students as processors",
+		Venue: "School Science and Mathematics", Year: 1994, Kind: Article},
+	{Key: "rifkin1994teaching", Authors: []string{"Adam Rifkin"},
+		Title: "Teaching parallel programming and software engineering concepts to high school students",
+		Venue: "SIGCSE Bulletin", Year: 1994, Kind: Article},
+	{Key: "lloyd1994byzantine", Authors: []string{"William S. Lloyd"},
+		Title: "Exploring the byzantine generals problem with beginning computer science students",
+		Venue: "SIGCSE Bulletin", Year: 1994, Kind: Article},
+	{Key: "fleury1997acting", Authors: []string{"Ann Fleury"},
+		Title: "Acting out algorithms: how and why it works",
+		Venue: "The Journal of Computing in Small Colleges", Year: 1997, Kind: Article},
+	{Key: "benari1999thinking", Authors: []string{"Mordechai Ben-Ari", "Yifat B.-D. Kolikant"},
+		Title: "Thinking parallel: The process of learning concurrency",
+		Venue: "ITiCSE", Year: 1999, Kind: InProceedings},
+	{Key: "moore2000introducing", Authors: []string{"Michelle Moore"},
+		Title: "Introducing parallel processing concepts",
+		Venue: "Journal of Computing Sciences in Colleges", Year: 2000, Kind: Article},
+	{Key: "kolikant2001gardeners", Authors: []string{"Yifat B.-D. Kolikant"},
+		Title: "Gardeners and cinema tickets: High school students' preconceptions of concurrency",
+		Venue: "Computer Science Education", Year: 2001, Kind: Article},
+	{Key: "andrianoff2002role", Authors: []string{"Steven K. Andrianoff", "David B. Levine"},
+		Title: "Role playing in an object-oriented world",
+		Venue: "SIGCSE", Year: 2002, Kind: InProceedings},
+	{Key: "sivilotti2003introducing", Authors: []string{"Paolo A. G. Sivilotti", "Murat Demirbas"},
+		Title: "Introducing middle school girls to fault tolerant computing",
+		Venue: "SIGCSE", Year: 2003, Kind: InProceedings,
+		URL: "http://web.cse.ohio-state.edu/~sivilotti.1/outreach/FESC02/"},
+	{Key: "neeman2006analogies", Authors: []string{"Henry Neeman", "Lloyd Lee", "Julia Mullen", "Gerard Newman"},
+		Title: "Analogies for teaching parallel computing to inexperienced programmers",
+		Venue: "ITiCSE-WGR", Year: 2006, Kind: InProceedings},
+	{Key: "sivilotti2007suitability", Authors: []string{"Paolo A. G. Sivilotti", "Scott M. Pike"},
+		Title: "The suitability of kinesthetic learning activities for teaching distributed algorithms",
+		Venue: "SIGCSE", Year: 2007, Kind: InProceedings},
+	{Key: "lewandowski2007commonsense", Authors: []string{"Gary Lewandowski", "Dennis J. Bouvier", "Robert McCartney", "Kate Sanders", "Beth Simon"},
+		Title: "Commonsense computing (episode 3): Concurrency and concert tickets",
+		Venue: "ICER", Year: 2007, Kind: InProceedings},
+	{Key: "neeman2008supercomputing", Authors: []string{"Henry Neeman", "Horst Severini", "Daniel Wu"},
+		Title: "Supercomputing in plain english: Teaching cyberinfrastructure to computing novices",
+		Venue: "SIGCSE Bulletin", Year: 2008, Kind: Article,
+		URL: "http://www.oscer.ou.edu/education.php"},
+	{Key: "bell2009unplugged", Authors: []string{"Tim Bell", "Jason Alexander", "Isaac Freeman", "Matthew Grimley"},
+		Title: "Computer science unplugged: School students doing real computing without computers",
+		Venue: "The New Zealand Journal of Applied Computing and Information Technology", Year: 2009, Kind: Article,
+		URL: "https://csunplugged.org/"},
+	{Key: "chesebrough2010parallel", Authors: []string{"Robert A. Chesebrough", "Ivan Turner"},
+		Title: "Parallel computing: At the interface of high school and industry",
+		Venue: "SIGCSE", Year: 2010, Kind: InProceedings},
+	{Key: "lewandowski2010commonsense", Authors: []string{"Gary Lewandowski", "Dennis J. Bouvier", "Tzu-Yi Chen", "Robert McCartney", "Kate Sanders", "Beth Simon", "Tammy VanDeGrift"},
+		Title: "Commonsense understanding of concurrency: Computing students and concert tickets",
+		Venue: "Communications of the ACM", Year: 2010, Kind: Article},
+	{Key: "sivilotti2010kinesthetic", Authors: []string{"Paolo A. G. Sivilotti"},
+		Title: "Kinesthetic learning activities in an upper-division computer science course",
+		Venue: "NAE Frontiers of Engineering Education", Year: 2010, Kind: InProceedings},
+	{Key: "giacaman2012teaching", Authors: []string{"Nasser Giacaman"},
+		Title: "Teaching by example: Using analogies and live coding demonstrations to teach parallel computing concepts to undergraduate students",
+		Venue: "IPDPSW", Year: 2012, Kind: InProceedings,
+		URL: "https://doi.org/10.1109/IPDPSW.2012.158"},
+	{Key: "bogaerts2014limited", Authors: []string{"Steven A. Bogaerts"},
+		Title: "Limited time and experience: Parallelism in CS1",
+		Venue: "IPDPSW", Year: 2014, Kind: InProceedings},
+	{Key: "eum2014teaching", Authors: []string{"Jinho Eum", "Simha Sethumadhavan"},
+		Title: "Teaching microarchitecture through metaphors",
+		Venue: "Columbia University", Year: 2014, Kind: TechReport},
+	{Key: "bogaerts2017one", Authors: []string{"Steven A. Bogaerts"},
+		Title: "One step at a time: Parallelism in an introductory programming course",
+		Venue: "Journal of Parallel and Distributed Computing", Year: 2017, Kind: Article},
+	{Key: "ghafoor2019unplugged", Authors: []string{"Sheikh K. Ghafoor", "David W. Brown", "Mike Rogers", "Thomas Hines"},
+		Title: "Unplugged activities to introduce parallel computing in introductory programming classes: An experience report",
+		Venue: "ITiCSE", Year: 2019, Kind: InProceedings,
+		URL: "https://csc.tntech.edu/pdcincs/index.php/ipdc-modules/"},
+	{Key: "chitra2019activity", Authors: []string{"P. Chitra", "Sheikh K. Ghafoor"},
+		Title: "Activity based approach for teaching parallel computing: An indian experience",
+		Venue: "IPDPSW", Year: 2019, Kind: InProceedings},
+	{Key: "smith2019evaluating", Authors: []string{"Melissa Smith", "Srishti Srivastava"},
+		Title: "Evaluating student engagement towards integrating parallel and distributed computing (PDC) topics in undergraduate level computer science curriculum",
+		Venue: "SIGCSE", Year: 2019, Kind: InProceedings},
+	{Key: "srivastava2019assessing", Authors: []string{"Srishti Srivastava", "Melissa Smith", "Awan Ghimire", "Sen Gao"},
+		Title: "Assessing the integration of parallel and distributed computing in early undergraduate computer science curriculum using unplugged activities",
+		Venue: "EduHPC", Year: 2019, Kind: InProceedings},
+	{Key: "ghafoor2019ipdc", Authors: []string{"Sheikh K. Ghafoor", "Mike Rogers", "David Brown", "Austin Haynes"},
+		Title: "iPDC modules (unplugged)",
+		Venue: "course materials site", Year: 2019, Kind: Web,
+		URL: "https://csc.tntech.edu/pdcincs/index.php/ipdc-modules/"},
+	{Key: "sivilotti2019parallel", Authors: []string{"Paolo A. Sivilotti"},
+		Title: "Parallel programming: Parallel programs are fast",
+		Venue: "instructor handout", Year: 2002, Kind: Web,
+		URL: "http://web.cse.ohio-state.edu/~sivilotti.1/outreach/FESC02/parallel.pdf"},
+	{Key: "matthews2020pdcunplugged", Authors: []string{"Suzanne J. Matthews"},
+		Title: "PDCunplugged: A free repository of unplugged parallel distributed computing activities",
+		Venue: "IPDPSW", Year: 2020, Kind: InProceedings,
+		URL: "https://www.pdcunplugged.org/"},
+}
+
+// All returns the bibliography sorted by year then key.
+func All() []Reference {
+	out := append([]Reference(nil), references...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Year != out[j].Year {
+			return out[i].Year < out[j].Year
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// ByKey returns a reference by citation key.
+func ByKey(key string) (Reference, bool) {
+	for _, r := range references {
+		if r.Key == key {
+			return r, true
+		}
+	}
+	return Reference{}, false
+}
+
+// Resolve matches a free-text citation (as stored in an activity's
+// Citations section) to a bibliography entry. A candidate must mention the
+// first author's surname; it is then scored by title-word overlap plus a
+// bonus when the publication year appears. Web resources and handouts
+// often carry no year, so surname plus strong title overlap suffices.
+func Resolve(citation string) (Reference, bool) {
+	lower := strings.ToLower(citation)
+	var best Reference
+	bestScore := 0
+	for _, r := range references {
+		if !strings.Contains(lower, strings.ToLower(r.Surname())) {
+			continue
+		}
+		score := titleOverlap(lower, strings.ToLower(r.Title))
+		if strings.Contains(citation, fmt.Sprintf("%d", r.Year)) {
+			score += 2
+		}
+		if score > bestScore {
+			best, bestScore = r, score
+		}
+	}
+	return best, bestScore >= 2
+}
+
+// titleOverlap counts how many words of title appear in text.
+func titleOverlap(text, title string) int {
+	n := 0
+	for _, w := range strings.Fields(title) {
+		if len(w) >= 4 && strings.Contains(text, w) {
+			n++
+		}
+	}
+	return n
+}
+
+// Export renders a BibTeX file for the given references (all of them when
+// refs is nil).
+func Export(refs []Reference) string {
+	if refs == nil {
+		refs = All()
+	}
+	var b strings.Builder
+	for _, r := range refs {
+		b.WriteString(r.BibTeX())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Span returns the earliest and latest publication years in the
+// bibliography — the "thirty years of PDC literature" the paper curates.
+func Span() (earliest, latest int) {
+	earliest, latest = references[0].Year, references[0].Year
+	for _, r := range references {
+		if r.Year < earliest {
+			earliest = r.Year
+		}
+		if r.Year > latest {
+			latest = r.Year
+		}
+	}
+	return earliest, latest
+}
+
+// Decade buckets references per decade, e.g. 1990 -> count.
+func Decades() map[int]int {
+	out := map[int]int{}
+	for _, r := range references {
+		out[(r.Year/10)*10]++
+	}
+	return out
+}

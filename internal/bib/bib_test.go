@@ -1,0 +1,169 @@
+package bib
+
+import (
+	"strings"
+	"testing"
+
+	"pdcunplugged/internal/curation"
+)
+
+func TestBibliographySpansThirtyYears(t *testing.T) {
+	earliest, latest := Span()
+	// "The earliest paper to advocate for the use of unplugged activities
+	// for teaching PDC concepts is a tutorial ... in 1990"; the curation
+	// covers "thirty years of the PDC literature".
+	if earliest != 1990 {
+		t.Errorf("earliest = %d, want 1990 (the Maxim/Bachelis tutorial)", earliest)
+	}
+	if latest-earliest < 29 {
+		t.Errorf("span %d-%d is under thirty years", earliest, latest)
+	}
+}
+
+func TestAllSortedAndComplete(t *testing.T) {
+	refs := All()
+	if len(refs) < 25 {
+		t.Fatalf("bibliography has %d entries", len(refs))
+	}
+	for i := 1; i < len(refs); i++ {
+		if refs[i].Year < refs[i-1].Year {
+			t.Errorf("not sorted by year: %s before %s", refs[i-1].Key, refs[i].Key)
+		}
+	}
+	seen := map[string]bool{}
+	for _, r := range refs {
+		if seen[r.Key] {
+			t.Errorf("duplicate key %s", r.Key)
+		}
+		seen[r.Key] = true
+		if len(r.Authors) == 0 || r.Title == "" || r.Year == 0 {
+			t.Errorf("incomplete reference %s", r.Key)
+		}
+	}
+}
+
+func TestByKey(t *testing.T) {
+	r, ok := ByKey("bachelis1994bringing")
+	if !ok || r.Year != 1994 {
+		t.Fatalf("ByKey = %+v %v", r, ok)
+	}
+	if _, ok := ByKey("nope"); ok {
+		t.Error("ByKey(nope) succeeded")
+	}
+	if r.Surname() != "Stout" && r.Surname() != "Bachelis" {
+		// First author is Bachelis.
+	}
+	if got := r.Surname(); got != "Bachelis" {
+		t.Errorf("Surname = %q", got)
+	}
+}
+
+func TestBibTeX(t *testing.T) {
+	r, _ := ByKey("kolikant2001gardeners")
+	out := r.BibTeX()
+	for _, want := range []string{"@article{kolikant2001gardeners,", "journal = {Computer Science Education}", "year = {2001}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("BibTeX missing %q in:\n%s", want, out)
+		}
+	}
+	p, _ := ByKey("sivilotti2003introducing")
+	if !strings.Contains(p.BibTeX(), "booktitle = {SIGCSE}") {
+		t.Error("inproceedings should use booktitle")
+	}
+	tr, _ := ByKey("eum2014teaching")
+	if !strings.Contains(tr.BibTeX(), "institution = {Columbia University}") {
+		t.Error("techreport should use institution")
+	}
+	w, _ := ByKey("ghafoor2019ipdc")
+	if !strings.Contains(w.BibTeX(), "howpublished") {
+		t.Error("web reference should use howpublished")
+	}
+	export := Export(nil)
+	if strings.Count(export, "@") != len(All()) {
+		t.Error("Export(nil) should include every entry")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	cases := map[string]string{
+		"G. F. Bachelis, B. R. Maxim, D. A. James, and Q. F. Stout, \"Bringing algorithms to life: Cooperative computing activities using students as processors,\" School Science and Mathematics, vol. 94, no. 4, pp. 176-186, 1994.": "bachelis1994bringing",
+		"A. Rifkin, \"Teaching parallel programming and software engineering concepts to high school students,\" SIGCSE Bull., vol. 26, no. 1, pp. 26-30, 1994.":                                                                        "rifkin1994teaching",
+		"Y. B.-D. Kolikant, \"Gardeners and cinema tickets,\" Computer Science Education, 2001.":                                                                                                                                        "kolikant2001gardeners",
+	}
+	for text, wantKey := range cases {
+		r, ok := Resolve(text)
+		if !ok || r.Key != wantKey {
+			t.Errorf("Resolve(%q) = %s %v, want %s", text[:40], r.Key, ok, wantKey)
+		}
+	}
+	if _, ok := Resolve("Anonymous, Unknown Work, 1850."); ok {
+		t.Error("Resolve matched nonsense")
+	}
+}
+
+func TestResolveDisambiguatesSameAuthorYear(t *testing.T) {
+	// Two Ghafoor 2019 entries exist; title overlap must pick correctly.
+	r, ok := Resolve("S. K. Ghafoor, D. W. Brown, M. Rogers, and T. Hines, \"Unplugged activities to introduce parallel computing in introductory programming classes: An experience report,\" ITiCSE 2019.")
+	if !ok || r.Key != "ghafoor2019unplugged" {
+		t.Errorf("got %s", r.Key)
+	}
+	r, ok = Resolve("S. K. Ghafoor, M. Rogers, D. Brown, and A. Haynes, \"iPDC modules (unplugged),\" course materials site.")
+	// No year digits for this one in some entries; our curation includes none — skip ok check if unresolved.
+	_ = r
+	_ = ok
+}
+
+func TestGraphOverCuration(t *testing.T) {
+	g := BuildGraph(curation.Activities())
+	// Every activity resolves at least one citation.
+	for _, a := range curation.Activities() {
+		if len(g.BySlug[a.Slug]) == 0 {
+			t.Errorf("%s: no citations resolved (citations: %v; unresolved: %v)", a.Slug, a.Citations, g.Unresolved)
+		}
+	}
+	// The Bachelis 1994 paper is a shared source: FindSmallestCard, the
+	// card sort, and the game-playing write-up all cite it.
+	slugs := g.ByRef["bachelis1994bringing"]
+	if len(slugs) < 3 {
+		t.Errorf("bachelis1994bringing cited by %v, want >= 3 activities", slugs)
+	}
+	shared := g.SharedSources()
+	if len(shared) == 0 {
+		t.Fatal("no shared sources found; variation clustering broken")
+	}
+	seenBachelis := false
+	for _, l := range shared {
+		if l.Ref.Key == "bachelis1994bringing" {
+			seenBachelis = true
+		}
+	}
+	if !seenBachelis {
+		t.Error("shared sources missing the Bachelis cluster")
+	}
+	lit := g.Bibliography()
+	if len(lit) < 15 {
+		t.Errorf("curation bibliography has %d distinct sources", len(lit))
+	}
+	for i := 1; i < len(lit); i++ {
+		if lit[i].Year < lit[i-1].Year {
+			t.Error("Bibliography not in year order")
+		}
+	}
+}
+
+func TestDecades(t *testing.T) {
+	d := Decades()
+	if d[1990] < 5 {
+		t.Errorf("1990s entries = %d, the decade that started it all should be well represented", d[1990])
+	}
+	if d[2010] < 8 {
+		t.Errorf("2010s entries = %d", d[2010])
+	}
+	total := 0
+	for _, n := range d {
+		total += n
+	}
+	if total != len(All()) {
+		t.Errorf("decade buckets sum to %d of %d", total, len(All()))
+	}
+}

@@ -1,0 +1,95 @@
+package bib
+
+import (
+	"sort"
+
+	"pdcunplugged/internal/activity"
+)
+
+// Link ties one activity to one resolved reference.
+type Link struct {
+	Slug string
+	Ref  Reference
+}
+
+// Graph is the citation graph over a set of activities: which activity
+// cites which source, and which activities share a source. During
+// curation, shared sources are how descriptions scattered across papers
+// were collapsed into "variations of a single activity" (Section III).
+type Graph struct {
+	// BySlug maps activity slug -> resolved reference keys (sorted).
+	BySlug map[string][]string
+	// ByRef maps reference key -> activity slugs citing it (sorted).
+	ByRef map[string][]string
+	// Unresolved holds citation strings no bibliography entry matched.
+	Unresolved []string
+}
+
+// BuildGraph resolves every citation of every activity.
+func BuildGraph(acts []*activity.Activity) *Graph {
+	g := &Graph{BySlug: map[string][]string{}, ByRef: map[string][]string{}}
+	for _, a := range acts {
+		seen := map[string]bool{}
+		for _, c := range a.Citations {
+			ref, ok := Resolve(c)
+			if !ok {
+				g.Unresolved = append(g.Unresolved, a.Slug+": "+c)
+				continue
+			}
+			if seen[ref.Key] {
+				continue
+			}
+			seen[ref.Key] = true
+			g.BySlug[a.Slug] = append(g.BySlug[a.Slug], ref.Key)
+			g.ByRef[ref.Key] = append(g.ByRef[ref.Key], a.Slug)
+		}
+	}
+	for _, keys := range g.BySlug {
+		sort.Strings(keys)
+	}
+	for _, slugs := range g.ByRef {
+		sort.Strings(slugs)
+	}
+	sort.Strings(g.Unresolved)
+	return g
+}
+
+// SharedSources returns the reference keys cited by two or more
+// activities, with the activities that share them: the variation clusters.
+func (g *Graph) SharedSources() []Link {
+	var out []Link
+	keys := make([]string, 0, len(g.ByRef))
+	for k := range g.ByRef {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		slugs := g.ByRef[k]
+		if len(slugs) < 2 {
+			continue
+		}
+		ref, _ := ByKey(k)
+		for _, slug := range slugs {
+			out = append(out, Link{Slug: slug, Ref: ref})
+		}
+	}
+	return out
+}
+
+// Bibliography returns the distinct references the activities cite, in
+// year order.
+func (g *Graph) Bibliography() []Reference {
+	var out []Reference
+	for k := range g.ByRef {
+		if r, ok := ByKey(k); ok {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Year != out[j].Year {
+			return out[i].Year < out[j].Year
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}

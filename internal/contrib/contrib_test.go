@@ -1,0 +1,182 @@
+package contrib
+
+import (
+	"strings"
+	"testing"
+
+	"pdcunplugged/internal/activity"
+	"pdcunplugged/internal/curation"
+)
+
+// proposal returns a well-formed new activity covering two gap topics.
+func proposal() *activity.Activity {
+	return &activity.Activity{
+		Slug:          "classroom-collectives",
+		Title:         "Classroom Collectives",
+		Date:          "2020-06-01",
+		CS2013:        []string{"PD_CommunicationAndCoordination"},
+		CS2013Details: []string{"PCC_4"},
+		TCPP:          []string{"TCPP_Algorithms"},
+		TCPPDetails:   []string{"A_Broadcast", "A_ScatterGather"},
+		Courses:       []string{"CS2", "DSA"},
+		Senses:        []string{"movement", "visual"},
+		Medium:        []string{"role-play"},
+		Author:        "This library's gap-fill proposal",
+		Details: `Students form a binary tree by handshakes. A broadcast ripples
+down level by level; a reduction sums values back up; scatter and gather
+move distinct chunks. The class counts rounds and compares against one
+teacher telling every student personally.`,
+		Accessibility: "Tree links can be drawn on a seating chart for seated classes.",
+		Assessment:    "None known.",
+		Citations:     []string{"S. J. Matthews, \"PDCunplugged: A free repository of unplugged parallel distributed computing activities,\" IPDPSW 2020 (curation entry)."},
+	}
+}
+
+func TestEvaluateAcceptsGoodSubmission(t *testing.T) {
+	repo, err := curation.Repository()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := proposal()
+	rev := Evaluate(repo, p.Slug, p.Render())
+	if !rev.Accepted() {
+		t.Fatalf("good submission rejected: %v", rev.Errors)
+	}
+	// It covers three currently-uncovered terms: PCC_4, A_Broadcast,
+	// A_ScatterGather.
+	if rev.ImpactScore != 3 {
+		t.Errorf("impact = %d %v, want 3", rev.ImpactScore, rev.NovelTerms)
+	}
+	// The no-assessment nudge fires.
+	foundNudge := false
+	for _, w := range rev.Warnings {
+		if strings.Contains(w, "assessment") {
+			foundNudge = true
+		}
+	}
+	if !foundNudge {
+		t.Errorf("missing assessment nudge: %v", rev.Warnings)
+	}
+	if !strings.Contains(rev.Summary(), "ACCEPT") {
+		t.Errorf("summary: %s", rev.Summary())
+	}
+}
+
+func TestEvaluateRejectsBadSubmissions(t *testing.T) {
+	repo, err := curation.Repository()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := Evaluate(repo, "broken", "not even front matter")
+	if rev.Accepted() || rev.Activity != nil {
+		t.Error("unparseable submission accepted")
+	}
+
+	p := proposal()
+	p.Courses = []string{"CS9"}
+	rev = Evaluate(repo, p.Slug, p.Render())
+	if rev.Accepted() {
+		t.Error("invalid course term accepted")
+	}
+	if !strings.Contains(rev.Summary(), "NEEDS WORK") {
+		t.Errorf("summary: %s", rev.Summary())
+	}
+
+	// Duplicate slug.
+	existing, _ := repo.Get("findsmallestcard")
+	rev = Evaluate(repo, "findsmallestcard", existing.Render())
+	ok := false
+	for _, e := range rev.Errors {
+		if strings.Contains(e, "already exists") {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("duplicate slug not flagged: %v", rev.Errors)
+	}
+}
+
+func TestEvaluateFlagsVariationCandidates(t *testing.T) {
+	repo, err := curation.Repository()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A submission citing Bachelis 1994 shares sources with the existing
+	// Bachelis-derived activities.
+	p := proposal()
+	p.Slug = "another-card-activity"
+	p.Title = "Another Card Activity"
+	p.Citations = []string{"G. F. Bachelis, B. R. Maxim, D. A. James, and Q. F. Stout, \"Bringing algorithms to life: Cooperative computing activities using students as processors,\" School Science and Mathematics, 1994."}
+	rev := Evaluate(repo, p.Slug, p.Render())
+	found := false
+	for _, s := range rev.SharedSources {
+		if s == "findsmallestcard" || s == "cardsort-parallel" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("shared-source detection missed the Bachelis cluster: %v", rev.SharedSources)
+	}
+}
+
+func TestEvaluateFlagsNearDuplicates(t *testing.T) {
+	repo, err := curation.Repository()
+	if err != nil {
+		t.Fatal(err)
+	}
+	existing, _ := repo.Get("juice-sweetening-race")
+	clone := *existing
+	clone.Slug = "juice-race-clone"
+	rev := Evaluate(repo, clone.Slug, clone.Render())
+	found := false
+	for _, s := range rev.SimilarTo {
+		if s == "juice-sweetening-race" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("near-duplicate not detected: %v", rev.SimilarTo)
+	}
+}
+
+func TestMergeUpdatesCoverage(t *testing.T) {
+	repo, err := curation.Repository()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, delta, err := Merge(repo, proposal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() != 39 || delta.Activities != 39 {
+		t.Errorf("merged size = %d", merged.Len())
+	}
+	if delta.OutcomesAfter != delta.OutcomesBefore+1 {
+		t.Errorf("outcome coverage %d -> %d, want +1 (PCC_4)", delta.OutcomesBefore, delta.OutcomesAfter)
+	}
+	if delta.TopicsAfter != delta.TopicsBefore+2 {
+		t.Errorf("topic coverage %d -> %d, want +2 (broadcast, scatter/gather)", delta.TopicsBefore, delta.TopicsAfter)
+	}
+	// Original repository untouched.
+	if repo.Len() != 38 {
+		t.Errorf("original repository mutated: %d", repo.Len())
+	}
+	if !strings.Contains(delta.String(), "39") {
+		t.Errorf("delta string: %s", delta)
+	}
+}
+
+func TestMergeRejectsInvalid(t *testing.T) {
+	repo, err := curation.Repository()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Merge(repo, nil); err == nil {
+		t.Error("nil merge accepted")
+	}
+	bad := proposal()
+	bad.Slug = "findsmallestcard" // duplicate
+	if _, _, err := Merge(repo, bad); err == nil {
+		t.Error("duplicate-slug merge accepted")
+	}
+}

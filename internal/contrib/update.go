@@ -1,0 +1,148 @@
+package contrib
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pdcunplugged/internal/activity"
+	"pdcunplugged/internal/core"
+)
+
+// UpdateReview is the curator's report on an edit to an existing activity —
+// the augmentation path the paper anticipates: "some activity authors or
+// educators augmenting existing activities with variations and assessments
+// based on their own classroom experiences".
+type UpdateReview struct {
+	// Activity is the parsed new version (nil when parsing failed).
+	Activity *activity.Activity
+	// Changes is the field-level diff against the current version.
+	Changes []activity.Change
+	// Errors block the update.
+	Errors []string
+	// Welcomed lists the changes the paper encourages (new assessment,
+	// accessibility notes, variations, materials links).
+	Welcomed []string
+	// Scrutinize lists changes the curator should double-check
+	// (re-tagging, removals, rewrites of another author's description).
+	Scrutinize []string
+}
+
+// Accepted reports whether the update can be applied.
+func (r *UpdateReview) Accepted() bool { return len(r.Errors) == 0 }
+
+// Summary renders the report.
+func (r *UpdateReview) Summary() string {
+	var b strings.Builder
+	if r.Activity != nil {
+		fmt.Fprintf(&b, "update review of %q (%s)\n", r.Activity.Title, r.Activity.Slug)
+	}
+	if r.Accepted() {
+		b.WriteString("verdict: APPLY\n")
+	} else {
+		b.WriteString("verdict: NEEDS WORK\n")
+	}
+	for _, e := range r.Errors {
+		fmt.Fprintf(&b, "  error: %s\n", e)
+	}
+	if len(r.Changes) == 0 {
+		b.WriteString("  no changes\n")
+	}
+	for _, c := range r.Changes {
+		fmt.Fprintf(&b, "  change: %s\n", c)
+	}
+	for _, wl := range r.Welcomed {
+		fmt.Fprintf(&b, "  welcomed: %s\n", wl)
+	}
+	for _, s := range r.Scrutinize {
+		fmt.Fprintf(&b, "  scrutinize: %s\n", s)
+	}
+	return b.String()
+}
+
+// EvaluateUpdate reviews an edited version of an existing activity.
+func EvaluateUpdate(repo *core.Repository, slug, content string) *UpdateReview {
+	r := &UpdateReview{}
+	current, ok := repo.Get(slug)
+	if !ok {
+		r.Errors = append(r.Errors, fmt.Sprintf("no existing activity %q; use the new-submission review", slug))
+		return r
+	}
+	updated, err := activity.Parse(slug, content)
+	if err != nil {
+		r.Errors = append(r.Errors, err.Error())
+		return r
+	}
+	r.Activity = updated
+	for _, verr := range updated.Validate() {
+		r.Errors = append(r.Errors, verr.Error())
+	}
+	r.Changes = activity.Diff(current, updated)
+
+	for _, c := range r.Changes {
+		switch c.Field {
+		case "Assessment":
+			if !current.HasAssessment() && updated.HasAssessment() {
+				r.Welcomed = append(r.Welcomed, "assessment added — the contribution the paper most encourages")
+			} else {
+				r.Scrutinize = append(r.Scrutinize, "existing assessment text modified")
+			}
+		case "Accessibility":
+			r.Welcomed = append(r.Welcomed, "accessibility notes updated")
+		case "variations":
+			if len(c.Added) > 0 {
+				r.Welcomed = append(r.Welcomed, fmt.Sprintf("variation(s) recorded: %s", strings.Join(c.Added, ", ")))
+			}
+			if len(c.Removed) > 0 {
+				r.Scrutinize = append(r.Scrutinize, "variations removed")
+			}
+		case "links":
+			if len(c.Added) > 0 {
+				r.Welcomed = append(r.Welcomed, "external materials linked")
+			}
+			if len(c.Removed) > 0 {
+				r.Scrutinize = append(r.Scrutinize, "external materials removed (dead link cleanup? verify)")
+			}
+		case "cs2013", "tcpp", "cs2013details", "tcppdetails", "courses", "senses", "medium":
+			r.Scrutinize = append(r.Scrutinize,
+				fmt.Sprintf("re-tagging of %s (%s) changes the coverage tables; verify against the source literature", c.Field, c))
+		case "Details", "Title", "Author":
+			r.Scrutinize = append(r.Scrutinize,
+				fmt.Sprintf("%s rewritten; confirm the original author's description is preserved or attributed", c.Field))
+		}
+	}
+	sort.Strings(r.Welcomed)
+	sort.Strings(r.Scrutinize)
+	return r
+}
+
+// ApplyUpdate replaces the activity in a new repository (the original is
+// unchanged) and returns the coverage delta.
+func ApplyUpdate(repo *core.Repository, updated *activity.Activity) (*core.Repository, Delta, error) {
+	if updated == nil {
+		return nil, Delta{}, fmt.Errorf("contrib: nil activity")
+	}
+	if _, ok := repo.Get(updated.Slug); !ok {
+		return nil, Delta{}, fmt.Errorf("contrib: no existing activity %q to update", updated.Slug)
+	}
+	var acts []*activity.Activity
+	for _, a := range repo.All() {
+		if a.Slug == updated.Slug {
+			acts = append(acts, updated)
+		} else {
+			acts = append(acts, a)
+		}
+	}
+	next, err := core.New(acts)
+	if err != nil {
+		return nil, Delta{}, fmt.Errorf("contrib: %w", err)
+	}
+	d := Delta{
+		OutcomesBefore: coveredOutcomes(repo),
+		OutcomesAfter:  coveredOutcomes(next),
+		TopicsBefore:   coveredTopics(repo),
+		TopicsAfter:    coveredTopics(next),
+		Activities:     next.Len(),
+	}
+	return next, d, nil
+}

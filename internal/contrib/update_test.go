@@ -1,0 +1,158 @@
+package contrib
+
+import (
+	"strings"
+	"testing"
+
+	"pdcunplugged/internal/activity"
+	"pdcunplugged/internal/curation"
+)
+
+func TestDiff(t *testing.T) {
+	old := &activity.Activity{
+		Slug: "x", Title: "T", Author: "A",
+		Courses: []string{"CS1", "CS2"},
+		Senses:  []string{"visual"},
+		Details: "original",
+	}
+	new := &activity.Activity{
+		Slug: "x", Title: "T", Author: "A",
+		Courses: []string{"CS2", "DSA"},
+		Senses:  []string{"visual"},
+		Details: "rewritten",
+	}
+	changes := activity.Diff(old, new)
+	if len(changes) != 2 {
+		t.Fatalf("changes = %+v", changes)
+	}
+	var courses, details bool
+	for _, c := range changes {
+		switch c.Field {
+		case "courses":
+			courses = true
+			if len(c.Added) != 1 || c.Added[0] != "DSA" || len(c.Removed) != 1 || c.Removed[0] != "CS1" {
+				t.Errorf("courses diff = %+v", c)
+			}
+			if !strings.Contains(c.String(), "+DSA") || !strings.Contains(c.String(), "-CS1") {
+				t.Errorf("change string = %q", c.String())
+			}
+		case "Details":
+			details = true
+			if !c.Rewritten {
+				t.Error("Details not marked rewritten")
+			}
+		}
+	}
+	if !courses || !details {
+		t.Errorf("missing expected changes: %+v", changes)
+	}
+	if got := activity.Diff(old, old); len(got) != 0 {
+		t.Errorf("self-diff = %+v", got)
+	}
+}
+
+func TestEvaluateUpdateWelcomesAssessment(t *testing.T) {
+	repo, err := curation.Repository()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := repo.Get("findsmallestcard")
+	edited := *a
+	edited.Assessment = "Pre/post quiz in our CS1 section showed a 0.45 normalized gain."
+	edited.Variations = append(append([]string(nil), a.Variations...), "Our four-round classroom variant")
+	rev := EvaluateUpdate(repo, "findsmallestcard", edited.Render())
+	if !rev.Accepted() {
+		t.Fatalf("rejected: %v", rev.Errors)
+	}
+	joined := strings.Join(rev.Welcomed, "; ")
+	if !strings.Contains(joined, "assessment added") {
+		t.Errorf("assessment not welcomed: %v", rev.Welcomed)
+	}
+	if !strings.Contains(joined, "variation") {
+		t.Errorf("variation not welcomed: %v", rev.Welcomed)
+	}
+	if len(rev.Scrutinize) != 0 {
+		t.Errorf("benign augmentation flagged: %v", rev.Scrutinize)
+	}
+	if !strings.Contains(rev.Summary(), "APPLY") {
+		t.Errorf("summary: %s", rev.Summary())
+	}
+}
+
+func TestEvaluateUpdateScrutinizesRetagging(t *testing.T) {
+	repo, err := curation.Repository()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := repo.Get("findsmallestcard")
+	edited := *a
+	edited.TCPPDetails = append(append([]string(nil), a.TCPPDetails...), "A_ParallelSorting")
+	edited.Details = "Completely new description replacing the original."
+	rev := EvaluateUpdate(repo, "findsmallestcard", edited.Render())
+	if !rev.Accepted() {
+		t.Fatalf("rejected: %v", rev.Errors)
+	}
+	joined := strings.Join(rev.Scrutinize, "; ")
+	if !strings.Contains(joined, "re-tagging of tcppdetails") {
+		t.Errorf("re-tagging not flagged: %v", rev.Scrutinize)
+	}
+	if !strings.Contains(joined, "Details rewritten") {
+		t.Errorf("rewrite not flagged: %v", rev.Scrutinize)
+	}
+}
+
+func TestEvaluateUpdateErrors(t *testing.T) {
+	repo, err := curation.Repository()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev := EvaluateUpdate(repo, "no-such", "---\ntitle: \"X\"\n---\n"); rev.Accepted() {
+		t.Error("update of missing activity accepted")
+	}
+	if rev := EvaluateUpdate(repo, "findsmallestcard", "garbage"); rev.Accepted() {
+		t.Error("unparseable update accepted")
+	}
+	a, _ := repo.Get("findsmallestcard")
+	edited := *a
+	edited.Courses = []string{"CS99"}
+	if rev := EvaluateUpdate(repo, "findsmallestcard", edited.Render()); rev.Accepted() {
+		t.Error("invalid update accepted")
+	}
+}
+
+func TestApplyUpdate(t *testing.T) {
+	repo, err := curation.Repository()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := repo.Get("findsmallestcard")
+	edited := *a
+	edited.Assessment = "Assessed in class; strong gains."
+	next, delta, err := ApplyUpdate(repo, &edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Len() != 38 || delta.Activities != 38 {
+		t.Errorf("size changed: %d", next.Len())
+	}
+	got, _ := next.Get("findsmallestcard")
+	if !got.HasAssessment() {
+		t.Error("update not applied")
+	}
+	orig, _ := repo.Get("findsmallestcard")
+	if orig.HasAssessment() {
+		t.Error("original repository mutated")
+	}
+	if delta.OutcomesAfter != delta.OutcomesBefore {
+		t.Error("assessment-only update changed coverage")
+	}
+	// Errors.
+	if _, _, err := ApplyUpdate(repo, nil); err == nil {
+		t.Error("nil update accepted")
+	}
+	stranger := *a
+	stranger.Slug = "not-in-repo"
+	if _, _, err := ApplyUpdate(repo, &stranger); err == nil {
+		t.Error("update of unknown slug accepted")
+	}
+}

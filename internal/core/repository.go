@@ -1,0 +1,290 @@
+// Package core implements the PDCunplugged repository: a validated,
+// taxonomy-indexed collection of unplugged PDC activities with the four
+// browsing views described in Section II-C of the paper (CS2013, TCPP,
+// Courses, Accessibility).
+package core
+
+import (
+	"fmt"
+	"io/fs"
+	"path"
+	"sort"
+	"strings"
+
+	"pdcunplugged/internal/activity"
+	"pdcunplugged/internal/cs2013"
+	"pdcunplugged/internal/taxonomy"
+	"pdcunplugged/internal/tcpp"
+)
+
+// Repository is an indexed activity collection. Construct with Load,
+// LoadFS, or New; a Repository is immutable once built and safe for
+// concurrent readers.
+type Repository struct {
+	activities map[string]*activity.Activity
+	order      []string // sorted slugs
+	index      *taxonomy.Index
+}
+
+// New builds a repository from parsed activities, validating each one and
+// indexing all six taxonomies. All validation errors are reported together.
+func New(acts []*activity.Activity) (*Repository, error) {
+	r := &Repository{activities: make(map[string]*activity.Activity, len(acts))}
+	var problems []string
+	var entries []taxonomy.Entry
+	for _, a := range acts {
+		if _, dup := r.activities[a.Slug]; dup {
+			problems = append(problems, fmt.Sprintf("duplicate activity slug %q", a.Slug))
+			continue
+		}
+		for _, err := range a.Validate() {
+			problems = append(problems, err.Error())
+		}
+		r.activities[a.Slug] = a
+		r.order = append(r.order, a.Slug)
+		entries = append(entries, a)
+	}
+	if len(problems) > 0 {
+		return nil, fmt.Errorf("repository: %d problems:\n  %s", len(problems), strings.Join(problems, "\n  "))
+	}
+	sort.Strings(r.order)
+	ix, err := taxonomy.Build(taxonomy.Standard(), entries)
+	if err != nil {
+		return nil, fmt.Errorf("repository: %w", err)
+	}
+	r.index = ix
+	return r, nil
+}
+
+// Load parses raw Markdown files (slug -> content) into a repository.
+func Load(files map[string]string) (*Repository, error) {
+	var acts []*activity.Activity
+	slugs := make([]string, 0, len(files))
+	for slug := range files {
+		slugs = append(slugs, slug)
+	}
+	sort.Strings(slugs)
+	for _, slug := range slugs {
+		a, err := activity.Parse(slug, files[slug])
+		if err != nil {
+			return nil, err
+		}
+		acts = append(acts, a)
+	}
+	return New(acts)
+}
+
+// LoadFS reads every .md file under dir in fsys (the content/activities
+// folder of the paper's GitHub layout) and builds a repository.
+func LoadFS(fsys fs.FS, dir string) (*Repository, error) {
+	files := map[string]string{}
+	err := fs.WalkDir(fsys, dir, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(p, ".md") {
+			return nil
+		}
+		data, err := fs.ReadFile(fsys, p)
+		if err != nil {
+			return err
+		}
+		slug := strings.TrimSuffix(path.Base(p), ".md")
+		files[slug] = string(data)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("repository: %w", err)
+	}
+	return Load(files)
+}
+
+// Len returns the number of activities.
+func (r *Repository) Len() int { return len(r.order) }
+
+// Slugs returns all activity slugs, sorted.
+func (r *Repository) Slugs() []string { return append([]string(nil), r.order...) }
+
+// Get returns the activity with the given slug.
+func (r *Repository) Get(slug string) (*activity.Activity, bool) {
+	a, ok := r.activities[slug]
+	return a, ok
+}
+
+// All returns all activities in slug order.
+func (r *Repository) All() []*activity.Activity {
+	out := make([]*activity.Activity, len(r.order))
+	for i, s := range r.order {
+		out[i] = r.activities[s]
+	}
+	return out
+}
+
+// Index exposes the taxonomy index for view construction and analytics.
+func (r *Repository) Index() *taxonomy.Index { return r.index }
+
+// withTerm returns activities listing term under the taxonomy, slug-sorted.
+func (r *Repository) withTerm(tax, term string) []*activity.Activity {
+	keys := r.index.EntriesFor(tax, term)
+	out := make([]*activity.Activity, len(keys))
+	for i, k := range keys {
+		out[i] = r.activities[k]
+	}
+	return out
+}
+
+// ByCourse returns the activities recommended for a course term.
+func (r *Repository) ByCourse(course string) []*activity.Activity {
+	return r.withTerm("courses", course)
+}
+
+// BySense returns the activities engaging a sense term.
+func (r *Repository) BySense(sense string) []*activity.Activity {
+	return r.withTerm("senses", sense)
+}
+
+// ByMedium returns the activities using a communication medium.
+func (r *Repository) ByMedium(medium string) []*activity.Activity {
+	return r.withTerm("medium", medium)
+}
+
+// ByKnowledgeUnit returns the activities tagged with a cs2013 term.
+func (r *Repository) ByKnowledgeUnit(term string) []*activity.Activity {
+	return r.withTerm("cs2013", term)
+}
+
+// ByTopicArea returns the activities tagged with a tcpp term.
+func (r *Repository) ByTopicArea(term string) []*activity.Activity {
+	return r.withTerm("tcpp", term)
+}
+
+// ByOutcome returns the activities covering a cs2013details outcome term.
+func (r *Repository) ByOutcome(detail string) []*activity.Activity {
+	return r.withTerm("cs2013details", detail)
+}
+
+// ByTopic returns the activities covering a tcppdetails topic term.
+func (r *Repository) ByTopic(detail string) []*activity.Activity {
+	return r.withTerm("tcppdetails", detail)
+}
+
+// Search returns activities whose title, author or details contain the
+// query, case-insensitively, in slug order.
+func (r *Repository) Search(query string) []*activity.Activity {
+	q := strings.ToLower(strings.TrimSpace(query))
+	if q == "" {
+		return nil
+	}
+	var out []*activity.Activity
+	for _, s := range r.order {
+		a := r.activities[s]
+		if strings.Contains(strings.ToLower(a.Title), q) ||
+			strings.Contains(strings.ToLower(a.Author), q) ||
+			strings.Contains(strings.ToLower(a.Details), q) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// OutcomeEntry pairs one CS2013 learning outcome with the activities that
+// cover it; part of the CS2013 view.
+type OutcomeEntry struct {
+	Outcome    cs2013.Outcome
+	Term       string // cs2013details term, e.g. PD_3
+	Activities []string
+}
+
+// UnitView is one knowledge unit's slice of the CS2013 view.
+type UnitView struct {
+	Unit       cs2013.Unit
+	Activities []string // activities tagged with the unit
+	Outcomes   []OutcomeEntry
+}
+
+// CS2013View builds the per-knowledge-unit view: for each unit, the tagged
+// activities and, per learning outcome, the activities covering it. Activity
+// authors use this view to gauge impact (Section II-C).
+func (r *Repository) CS2013View() []UnitView {
+	var views []UnitView
+	for _, u := range cs2013.All() {
+		v := UnitView{Unit: u, Activities: r.index.EntriesFor("cs2013", u.Term)}
+		for _, o := range u.Outcomes {
+			term := u.OutcomeTerm(o.Num)
+			v.Outcomes = append(v.Outcomes, OutcomeEntry{
+				Outcome:    o,
+				Term:       term,
+				Activities: r.index.EntriesFor("cs2013details", term),
+			})
+		}
+		views = append(views, v)
+	}
+	return views
+}
+
+// TopicEntry pairs one TCPP topic with the activities covering it.
+type TopicEntry struct {
+	Topic      tcpp.Topic
+	Term       string
+	Activities []string
+}
+
+// AreaView is one topic area's slice of the TCPP view.
+type AreaView struct {
+	Area       tcpp.Area
+	Activities []string
+	Topics     []TopicEntry
+}
+
+// TCPPView builds the per-topic-area view with per-topic activity listings.
+func (r *Repository) TCPPView() []AreaView {
+	var views []AreaView
+	for _, ar := range tcpp.All() {
+		v := AreaView{Area: ar, Activities: r.index.EntriesFor("tcpp", ar.Term)}
+		for _, tp := range ar.Topics {
+			v.Topics = append(v.Topics, TopicEntry{
+				Topic:      tp,
+				Term:       tp.Term(),
+				Activities: r.index.EntriesFor("tcppdetails", tp.Term()),
+			})
+		}
+		views = append(views, v)
+	}
+	return views
+}
+
+// CourseView groups activities by recommended course, in the fixed order the
+// paper reports (K-12, CS0, CS1, CS2, DSA, Systems, then any others in use).
+func (r *Repository) CourseView() []taxonomy.TermPage {
+	preferred := []string{"K_12", "CS0", "CS1", "CS2", "DSA", "Systems"}
+	seen := map[string]bool{}
+	var pages []taxonomy.TermPage
+	for _, c := range preferred {
+		seen[c] = true
+		if entries := r.index.EntriesFor("courses", c); len(entries) > 0 {
+			pages = append(pages, taxonomy.TermPage{Taxonomy: "courses", Term: c, Entries: entries})
+		}
+	}
+	for _, c := range r.index.Terms("courses") {
+		if !seen[c] {
+			pages = append(pages, taxonomy.TermPage{Taxonomy: "courses", Term: c, Entries: r.index.EntriesFor("courses", c)})
+		}
+	}
+	return pages
+}
+
+// AccessibilityView combines the senses and medium taxonomies (Section II-C:
+// "the medium hidden taxonomy is used in tandem with the senses taxonomy to
+// build the Accessibility view").
+type AccessibilityView struct {
+	Senses  []taxonomy.TermPage
+	Mediums []taxonomy.TermPage
+}
+
+// Accessibility builds the accessibility view.
+func (r *Repository) Accessibility() AccessibilityView {
+	return AccessibilityView{
+		Senses:  r.index.Pages("senses"),
+		Mediums: r.index.Pages("medium"),
+	}
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/fstest"
+
+	"pdcunplugged/internal/activity"
+)
+
+func mk(slug, title string, mutate func(*activity.Activity)) *activity.Activity {
+	a := &activity.Activity{
+		Slug:    slug,
+		Title:   title,
+		Author:  "Author of " + title,
+		Details: "Details for " + title + ".",
+	}
+	if mutate != nil {
+		mutate(a)
+	}
+	return a
+}
+
+func testRepo(t *testing.T) *Repository {
+	t.Helper()
+	r, err := New([]*activity.Activity{
+		mk("oddeven", "Odd-Even Sort", func(a *activity.Activity) {
+			a.CS2013 = []string{"PD_ParallelAlgorithms"}
+			a.CS2013Details = []string{"PAAP_4"}
+			a.TCPP = []string{"TCPP_Algorithms"}
+			a.TCPPDetails = []string{"A_ParallelSorting"}
+			a.Courses = []string{"CS1", "CS2"}
+			a.Senses = []string{"visual", "movement"}
+			a.Medium = []string{"cards", "role-play"}
+		}),
+		mk("juicerace", "Juice Race", func(a *activity.Activity) {
+			a.CS2013 = []string{"PD_CommunicationAndCoordination"}
+			a.CS2013Details = []string{"PCC_1"}
+			a.TCPP = []string{"TCPP_Programming"}
+			a.TCPPDetails = []string{"C_DataRaces"}
+			a.Courses = []string{"CS2", "DSA"}
+			a.Senses = []string{"visual"}
+			a.Medium = []string{"analogy"}
+		}),
+		mk("tokenring", "Token Ring", func(a *activity.Activity) {
+			a.CS2013 = []string{"PD_CommunicationAndCoordination"}
+			a.CS2013Details = []string{"PCC_1"}
+			a.TCPP = []string{"TCPP_Algorithms"}
+			a.TCPPDetails = []string{"C_MutualExclusionAlg"}
+			a.Courses = []string{"K_12", "DSA"}
+			a.Senses = []string{"movement", "accessible"}
+			a.Medium = []string{"role-play"}
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewAndQueries(t *testing.T) {
+	r := testRepo(t)
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if got := r.Slugs(); !reflect.DeepEqual(got, []string{"juicerace", "oddeven", "tokenring"}) {
+		t.Errorf("Slugs = %v", got)
+	}
+	if _, ok := r.Get("oddeven"); !ok {
+		t.Error("Get(oddeven) failed")
+	}
+	if _, ok := r.Get("none"); ok {
+		t.Error("Get(none) succeeded")
+	}
+	if got := len(r.All()); got != 3 {
+		t.Errorf("All = %d", got)
+	}
+	if got := slugsOf(r.ByCourse("CS2")); !reflect.DeepEqual(got, []string{"juicerace", "oddeven"}) {
+		t.Errorf("ByCourse(CS2) = %v", got)
+	}
+	if got := slugsOf(r.BySense("movement")); !reflect.DeepEqual(got, []string{"oddeven", "tokenring"}) {
+		t.Errorf("BySense = %v", got)
+	}
+	if got := slugsOf(r.ByMedium("role-play")); !reflect.DeepEqual(got, []string{"oddeven", "tokenring"}) {
+		t.Errorf("ByMedium = %v", got)
+	}
+	if got := slugsOf(r.ByKnowledgeUnit("PD_CommunicationAndCoordination")); !reflect.DeepEqual(got, []string{"juicerace", "tokenring"}) {
+		t.Errorf("ByKnowledgeUnit = %v", got)
+	}
+	if got := slugsOf(r.ByTopicArea("TCPP_Algorithms")); !reflect.DeepEqual(got, []string{"oddeven", "tokenring"}) {
+		t.Errorf("ByTopicArea = %v", got)
+	}
+	if got := slugsOf(r.ByOutcome("PCC_1")); len(got) != 2 {
+		t.Errorf("ByOutcome = %v", got)
+	}
+	if got := slugsOf(r.ByTopic("A_ParallelSorting")); !reflect.DeepEqual(got, []string{"oddeven"}) {
+		t.Errorf("ByTopic = %v", got)
+	}
+}
+
+func slugsOf(acts []*activity.Activity) []string {
+	out := make([]string, len(acts))
+	for i, a := range acts {
+		out[i] = a.Slug
+	}
+	return out
+}
+
+func TestSearch(t *testing.T) {
+	r := testRepo(t)
+	if got := slugsOf(r.Search("juice")); !reflect.DeepEqual(got, []string{"juicerace"}) {
+		t.Errorf("Search(juice) = %v", got)
+	}
+	if got := slugsOf(r.Search("AUTHOR OF")); len(got) != 3 {
+		t.Errorf("Search by author = %v", got)
+	}
+	if got := r.Search("  "); got != nil {
+		t.Errorf("empty Search = %v", got)
+	}
+	if got := r.Search("zebra"); len(got) != 0 {
+		t.Errorf("Search(zebra) = %v", got)
+	}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	_, err := New([]*activity.Activity{mk("bad", "Bad", func(a *activity.Activity) {
+		a.CS2013 = []string{"PD_Bogus"}
+	})})
+	if err == nil || !strings.Contains(err.Error(), "PD_Bogus") {
+		t.Errorf("invalid activity accepted: %v", err)
+	}
+	_, err = New([]*activity.Activity{mk("dup", "A", nil), mk("dup", "B", nil)})
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate slug accepted: %v", err)
+	}
+}
+
+func TestNewAggregatesAllProblems(t *testing.T) {
+	_, err := New([]*activity.Activity{
+		mk("bad1", "", nil),
+		mk("bad2", "B", func(a *activity.Activity) { a.Courses = []string{"CS9"} }),
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "empty title") || !strings.Contains(err.Error(), "CS9") {
+		t.Errorf("problems not aggregated: %v", err)
+	}
+}
+
+func TestLoadFromFiles(t *testing.T) {
+	files := map[string]string{}
+	for _, a := range testRepo(t).All() {
+		files[a.Slug] = a.Render()
+	}
+	r, err := Load(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	a, _ := r.Get("juicerace")
+	if a.Title != "Juice Race" {
+		t.Errorf("title = %q", a.Title)
+	}
+}
+
+func TestLoadParseError(t *testing.T) {
+	if _, err := Load(map[string]string{"x": "not markdown with front matter"}); err == nil {
+		t.Error("bad file accepted")
+	}
+}
+
+func TestLoadFS(t *testing.T) {
+	orig := testRepo(t)
+	fsys := fstest.MapFS{}
+	for _, a := range orig.All() {
+		fsys["content/activities/"+a.Slug+".md"] = &fstest.MapFile{Data: []byte(a.Render())}
+	}
+	fsys["content/activities/README.txt"] = &fstest.MapFile{Data: []byte("not an activity")}
+	r, err := LoadFS(fsys, "content/activities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 3 {
+		t.Errorf("LoadFS Len = %d", r.Len())
+	}
+}
+
+func TestOrderInvariance(t *testing.T) {
+	// Building the repository from the same activities in any order yields
+	// identical indexes and views.
+	base := []*activity.Activity{
+		mk("a1", "A1", func(a *activity.Activity) { a.Courses = []string{"CS1"}; a.Senses = []string{"visual"} }),
+		mk("a2", "A2", func(a *activity.Activity) { a.Courses = []string{"CS1", "CS2"} }),
+		mk("a3", "A3", func(a *activity.Activity) {
+			a.CS2013 = []string{"PD_ParallelDecomposition"}
+			a.CS2013Details = []string{"PD_1"}
+		}),
+		mk("a4", "A4", func(a *activity.Activity) {
+			a.TCPP = []string{"TCPP_Algorithms"}
+			a.TCPPDetails = []string{"A_ParallelSorting"}
+		}),
+	}
+	r1, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reversed := make([]*activity.Activity, len(base))
+	for i, a := range base {
+		reversed[len(base)-1-i] = a
+	}
+	r2, err := New(reversed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Slugs(), r2.Slugs()) {
+		t.Errorf("slug order differs: %v vs %v", r1.Slugs(), r2.Slugs())
+	}
+	if !reflect.DeepEqual(r1.Index().Terms("courses"), r2.Index().Terms("courses")) {
+		t.Error("course terms differ by insertion order")
+	}
+	if !reflect.DeepEqual(slugsOf(r1.ByCourse("CS1")), slugsOf(r2.ByCourse("CS1"))) {
+		t.Error("ByCourse differs by insertion order")
+	}
+	if !reflect.DeepEqual(r1.CS2013View(), r2.CS2013View()) {
+		t.Error("CS2013 view differs by insertion order")
+	}
+	if !reflect.DeepEqual(r1.TCPPView(), r2.TCPPView()) {
+		t.Error("TCPP view differs by insertion order")
+	}
+}
+
+func TestCS2013View(t *testing.T) {
+	r := testRepo(t)
+	views := r.CS2013View()
+	if len(views) != 9 {
+		t.Fatalf("views = %d", len(views))
+	}
+	var pcc *UnitView
+	for i := range views {
+		if views[i].Unit.Abbrev == "PCC" {
+			pcc = &views[i]
+		}
+	}
+	if pcc == nil {
+		t.Fatal("PCC view missing")
+	}
+	if len(pcc.Activities) != 2 {
+		t.Errorf("PCC activities = %v", pcc.Activities)
+	}
+	if len(pcc.Outcomes) != 12 {
+		t.Errorf("PCC outcomes = %d", len(pcc.Outcomes))
+	}
+	if got := pcc.Outcomes[0].Activities; len(got) != 2 {
+		t.Errorf("PCC_1 activities = %v", got)
+	}
+	if got := pcc.Outcomes[1].Activities; len(got) != 0 {
+		t.Errorf("PCC_2 activities = %v", got)
+	}
+}
+
+func TestTCPPView(t *testing.T) {
+	r := testRepo(t)
+	views := r.TCPPView()
+	if len(views) != 4 {
+		t.Fatalf("views = %d", len(views))
+	}
+	var alg *AreaView
+	for i := range views {
+		if views[i].Area.Name == "Algorithms" {
+			alg = &views[i]
+		}
+	}
+	if alg == nil || len(alg.Activities) != 2 {
+		t.Fatalf("Algorithms view: %+v", alg)
+	}
+	found := false
+	for _, te := range alg.Topics {
+		if te.Term == "A_ParallelSorting" {
+			found = true
+			if len(te.Activities) != 1 {
+				t.Errorf("A_ParallelSorting activities = %v", te.Activities)
+			}
+		}
+	}
+	if !found {
+		t.Error("A_ParallelSorting topic missing from view")
+	}
+}
+
+func TestCourseView(t *testing.T) {
+	r := testRepo(t)
+	pages := r.CourseView()
+	if len(pages) != 4 { // K_12, CS1, CS2, DSA in use
+		t.Fatalf("pages = %+v", pages)
+	}
+	if pages[0].Term != "K_12" {
+		t.Errorf("course order: first = %q, want K_12", pages[0].Term)
+	}
+	// CS1 before CS2 before DSA per the paper's fixed ordering.
+	order := map[string]int{}
+	for i, p := range pages {
+		order[p.Term] = i
+	}
+	if !(order["CS1"] < order["CS2"] && order["CS2"] < order["DSA"]) {
+		t.Errorf("course ordering wrong: %v", order)
+	}
+}
+
+func TestAccessibilityView(t *testing.T) {
+	r := testRepo(t)
+	av := r.Accessibility()
+	if len(av.Senses) != 3 { // visual, movement, accessible
+		t.Errorf("senses pages = %+v", av.Senses)
+	}
+	if len(av.Mediums) != 3 { // cards, role-play, analogy
+		t.Errorf("medium pages = %+v", av.Mediums)
+	}
+}

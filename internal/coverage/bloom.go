@@ -1,0 +1,88 @@
+package coverage
+
+import (
+	"sort"
+	"strconv"
+
+	"pdcunplugged/internal/core"
+	"pdcunplugged/internal/tcpp"
+)
+
+// BloomRow reports, for one Bloom level, how many core topics TCPP assigns
+// at that level and how many are covered by at least one activity — the
+// depth dimension of the tcppdetails taxonomy ("K" know, "C" comprehend,
+// "A" apply).
+type BloomRow struct {
+	Level   tcpp.Bloom
+	Topics  int
+	Covered int
+}
+
+// PercentCoverage returns covered/total as a percentage.
+func (r BloomRow) PercentCoverage() float64 {
+	if r.Topics == 0 {
+		return 0
+	}
+	return 100 * float64(r.Covered) / float64(r.Topics)
+}
+
+// BloomStats computes coverage per Bloom level across all areas, in K, C,
+// A order.
+func BloomStats(r *core.Repository) []BloomRow {
+	rows := map[tcpp.Bloom]*BloomRow{
+		tcpp.Know:       {Level: tcpp.Know},
+		tcpp.Comprehend: {Level: tcpp.Comprehend},
+		tcpp.Apply:      {Level: tcpp.Apply},
+	}
+	for _, v := range r.TCPPView() {
+		for _, te := range v.Topics {
+			row := rows[te.Topic.Bloom]
+			row.Topics++
+			if len(te.Activities) > 0 {
+				row.Covered++
+			}
+		}
+	}
+	return []BloomRow{*rows[tcpp.Know], *rows[tcpp.Comprehend], *rows[tcpp.Apply]}
+}
+
+// DecadeRow counts activities whose source literature falls in a decade:
+// the "thirty years of PDC literature" timeline of Section III-A.
+type DecadeRow struct {
+	Decade     int // e.g. 1990
+	Activities int
+}
+
+// Timeline buckets activities by the decade of their Date field.
+func Timeline(r *core.Repository) []DecadeRow {
+	counts := map[int]int{}
+	for _, a := range r.All() {
+		year := yearOf(a.Date)
+		if year == 0 {
+			continue
+		}
+		counts[(year/10)*10]++
+	}
+	decades := make([]int, 0, len(counts))
+	for d := range counts {
+		decades = append(decades, d)
+	}
+	sort.Ints(decades)
+	out := make([]DecadeRow, 0, len(decades))
+	for _, d := range decades {
+		out = append(out, DecadeRow{Decade: d, Activities: counts[d]})
+	}
+	return out
+}
+
+// yearOf extracts the year from a YYYY-MM-DD date string (0 when absent).
+func yearOf(date string) int {
+	if len(date) < 4 {
+		return 0
+	}
+	y, err := strconv.Atoi(date[:4])
+	if err != nil {
+		return 0
+	}
+	return y
+}

@@ -1,0 +1,73 @@
+package coverage
+
+import (
+	"testing"
+
+	"pdcunplugged/internal/tcpp"
+)
+
+func TestBloomStats(t *testing.T) {
+	rows := BloomStats(repo(t))
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Level != tcpp.Know || rows[1].Level != tcpp.Comprehend || rows[2].Level != tcpp.Apply {
+		t.Errorf("order = %v %v %v", rows[0].Level, rows[1].Level, rows[2].Level)
+	}
+	totalTopics, totalCovered := 0, 0
+	for _, r := range rows {
+		totalTopics += r.Topics
+		totalCovered += r.Covered
+		if r.Covered > r.Topics {
+			t.Errorf("%s: covered %d > topics %d", r.Level, r.Covered, r.Topics)
+		}
+	}
+	if totalTopics != 97 {
+		t.Errorf("total topics = %d, want 97", totalTopics)
+	}
+	if totalCovered != 49 {
+		t.Errorf("total covered = %d, want 49 (10+19+13+7)", totalCovered)
+	}
+	// Know-level topics are the hardest to motivate unplugged (many are
+	// library/hardware specifics): their coverage must trail Apply's.
+	know, apply := rows[0], rows[2]
+	if know.PercentCoverage() >= apply.PercentCoverage() {
+		t.Errorf("expected Know coverage (%.1f%%) below Apply coverage (%.1f%%)",
+			know.PercentCoverage(), apply.PercentCoverage())
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	rows := Timeline(repo(t))
+	if len(rows) < 3 {
+		t.Fatalf("timeline rows = %d", len(rows))
+	}
+	if rows[0].Decade != 1990 {
+		t.Errorf("earliest decade = %d, want 1990", rows[0].Decade)
+	}
+	total := 0
+	for i, r := range rows {
+		total += r.Activities
+		if i > 0 && r.Decade <= rows[i-1].Decade {
+			t.Error("timeline not sorted")
+		}
+	}
+	if total != 38 {
+		t.Errorf("timeline covers %d activities, want all 38", total)
+	}
+}
+
+func TestYearOf(t *testing.T) {
+	cases := map[string]int{
+		"1994-04-01": 1994,
+		"2020-01-01": 2020,
+		"":           0,
+		"abc":        0,
+		"19":         0,
+	}
+	for in, want := range cases {
+		if got := yearOf(in); got != want {
+			t.Errorf("yearOf(%q) = %d, want %d", in, got, want)
+		}
+	}
+}

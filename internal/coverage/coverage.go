@@ -1,0 +1,296 @@
+// Package coverage computes the paper's evaluation over a repository:
+// Table I (CS2013 coverage), Table II (TCPP coverage), the Section III-A
+// course and external-resource statistics, the Section III-C sub-category
+// analysis, the Section III-D accessibility statistics, and the gap
+// analysis that answers "where should educators concentrate on developing
+// new content?".
+package coverage
+
+import (
+	"fmt"
+	"sort"
+
+	"pdcunplugged/internal/core"
+	"pdcunplugged/internal/cs2013"
+	"pdcunplugged/internal/tcpp"
+)
+
+// CS2013Row is one row of Table I.
+type CS2013Row struct {
+	Unit            cs2013.Unit
+	NumOutcomes     int
+	CoveredOutcomes int
+	TotalActivities int
+}
+
+// PercentCoverage returns covered/total outcomes as a percentage.
+func (r CS2013Row) PercentCoverage() float64 {
+	if r.NumOutcomes == 0 {
+		return 0
+	}
+	return 100 * float64(r.CoveredOutcomes) / float64(r.NumOutcomes)
+}
+
+// TableI computes the CS2013 coverage table.
+func TableI(r *core.Repository) []CS2013Row {
+	var rows []CS2013Row
+	for _, v := range r.CS2013View() {
+		row := CS2013Row{
+			Unit:            v.Unit,
+			NumOutcomes:     v.Unit.NumOutcomes(),
+			TotalActivities: len(v.Activities),
+		}
+		for _, o := range v.Outcomes {
+			if len(o.Activities) > 0 {
+				row.CoveredOutcomes++
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// TCPPRow is one row of Table II.
+type TCPPRow struct {
+	Area            tcpp.Area
+	NumTopics       int
+	CoveredTopics   int
+	TotalActivities int
+}
+
+// PercentCoverage returns covered/total topics as a percentage.
+func (r TCPPRow) PercentCoverage() float64 {
+	if r.NumTopics == 0 {
+		return 0
+	}
+	return 100 * float64(r.CoveredTopics) / float64(r.NumTopics)
+}
+
+// TableII computes the TCPP coverage table over core-course topics.
+func TableII(r *core.Repository) []TCPPRow {
+	var rows []TCPPRow
+	for _, v := range r.TCPPView() {
+		row := TCPPRow{
+			Area:            v.Area,
+			NumTopics:       v.Area.NumTopics(),
+			TotalActivities: len(v.Activities),
+		}
+		for _, te := range v.Topics {
+			if len(te.Activities) > 0 {
+				row.CoveredTopics++
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// SubcategoryRow is one row of the Section III-C sub-category analysis.
+type SubcategoryRow struct {
+	Area          string
+	Subcategory   string
+	NumTopics     int
+	CoveredTopics int
+}
+
+// PercentCoverage returns covered/total topics as a percentage.
+func (r SubcategoryRow) PercentCoverage() float64 {
+	if r.NumTopics == 0 {
+		return 0
+	}
+	return 100 * float64(r.CoveredTopics) / float64(r.NumTopics)
+}
+
+// Subcategories computes per-sub-category coverage within each TCPP area.
+func Subcategories(r *core.Repository) []SubcategoryRow {
+	var rows []SubcategoryRow
+	for _, v := range r.TCPPView() {
+		counts := map[string]*SubcategoryRow{}
+		var order []string
+		for _, te := range v.Topics {
+			sub := te.Topic.Subcategory
+			row, ok := counts[sub]
+			if !ok {
+				row = &SubcategoryRow{Area: v.Area.Name, Subcategory: sub}
+				counts[sub] = row
+				order = append(order, sub)
+			}
+			row.NumTopics++
+			if len(te.Activities) > 0 {
+				row.CoveredTopics++
+			}
+		}
+		for _, sub := range order {
+			rows = append(rows, *counts[sub])
+		}
+	}
+	return rows
+}
+
+// TermCount pairs a taxonomy term with the number of activities listing it.
+type TermCount struct {
+	Term  string
+	Count int
+}
+
+// CourseCounts returns activity counts for the six core course terms in the
+// paper's reporting order, followed by any other course terms in use.
+func CourseCounts(r *core.Repository) []TermCount {
+	var out []TermCount
+	for _, p := range r.CourseView() {
+		out = append(out, TermCount{Term: p.Term, Count: len(p.Entries)})
+	}
+	return out
+}
+
+// MediumCounts returns activity counts per communication medium, most
+// frequent first (ties broken alphabetically).
+func MediumCounts(r *core.Repository) []TermCount {
+	ix := r.Index()
+	var out []TermCount
+	for _, term := range ix.Terms("medium") {
+		out = append(out, TermCount{Term: term, Count: ix.Count("medium", term)})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Term < out[j].Term
+	})
+	return out
+}
+
+// SenseStat reports how many activities engage a sense and the share of the
+// corpus, as Section III-D reports percentages.
+type SenseStat struct {
+	Sense   string
+	Count   int
+	Percent float64
+}
+
+// SenseStats returns per-sense counts and percentages over the corpus.
+func SenseStats(r *core.Repository) []SenseStat {
+	ix := r.Index()
+	total := float64(r.Len())
+	var out []SenseStat
+	for _, term := range ix.Terms("senses") {
+		n := ix.Count("senses", term)
+		out = append(out, SenseStat{Sense: term, Count: n, Percent: 100 * float64(n) / total})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+// ResourceStats summarizes external-resource availability (Section III-A).
+type ResourceStats struct {
+	WithResources int
+	Total         int
+}
+
+// Percent returns the share of activities with external resources.
+func (s ResourceStats) Percent() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return 100 * float64(s.WithResources) / float64(s.Total)
+}
+
+// Resources counts activities with external materials.
+func Resources(r *core.Repository) ResourceStats {
+	s := ResourceStats{Total: r.Len()}
+	for _, a := range r.All() {
+		if a.HasExternalResources() {
+			s.WithResources++
+		}
+	}
+	return s
+}
+
+// AssessmentStats counts activities with recorded assessment, a trend the
+// paper calls "relatively recent".
+func AssessmentStats(r *core.Repository) (assessed, total int) {
+	total = r.Len()
+	for _, a := range r.All() {
+		if a.HasAssessment() {
+			assessed++
+		}
+	}
+	return assessed, total
+}
+
+// OutcomeGap is an uncovered CS2013 learning outcome.
+type OutcomeGap struct {
+	Unit    cs2013.Unit
+	Outcome cs2013.Outcome
+	Term    string
+}
+
+// TopicGap is an uncovered TCPP core topic.
+type TopicGap struct {
+	Area  tcpp.Area
+	Topic tcpp.Topic
+	Term  string
+}
+
+// Gaps lists everything no activity covers: the answer to the paper's third
+// research question.
+type Gaps struct {
+	Outcomes []OutcomeGap
+	Topics   []TopicGap
+}
+
+// FindGaps computes all uncovered outcomes and topics.
+func FindGaps(r *core.Repository) Gaps {
+	var g Gaps
+	for _, v := range r.CS2013View() {
+		for _, o := range v.Outcomes {
+			if len(o.Activities) == 0 {
+				g.Outcomes = append(g.Outcomes, OutcomeGap{Unit: v.Unit, Outcome: o.Outcome, Term: o.Term})
+			}
+		}
+	}
+	for _, v := range r.TCPPView() {
+		for _, te := range v.Topics {
+			if len(te.Activities) == 0 {
+				g.Topics = append(g.Topics, TopicGap{Area: v.Area, Topic: te.Topic, Term: te.Term})
+			}
+		}
+	}
+	return g
+}
+
+// Impact scores a proposed activity by how many currently-uncovered
+// outcomes and topics it would cover, the paper's notion that "a new
+// activity that covers learning outcomes or topic areas not covered by
+// existing activities ... may be judged to have a larger impact".
+func Impact(r *core.Repository, cs2013Details, tcppDetails []string) (score int, novel []string, err error) {
+	g := FindGaps(r)
+	uncovered := map[string]bool{}
+	for _, o := range g.Outcomes {
+		uncovered[o.Term] = true
+	}
+	for _, t := range g.Topics {
+		uncovered[t.Term] = true
+	}
+	seen := map[string]bool{}
+	for _, det := range cs2013Details {
+		if _, _, e := cs2013.ParseDetail(det); e != nil {
+			return 0, nil, fmt.Errorf("coverage: %w", e)
+		}
+		if uncovered[det] && !seen[det] {
+			seen[det] = true
+			novel = append(novel, det)
+		}
+	}
+	for _, det := range tcppDetails {
+		if _, _, e := tcpp.FindTopic(det); e != nil {
+			return 0, nil, fmt.Errorf("coverage: %w", e)
+		}
+		if uncovered[det] && !seen[det] {
+			seen[det] = true
+			novel = append(novel, det)
+		}
+	}
+	sort.Strings(novel)
+	return len(novel), novel, nil
+}

@@ -1,0 +1,266 @@
+package coverage
+
+import (
+	"math"
+	"testing"
+
+	"pdcunplugged/internal/core"
+	"pdcunplugged/internal/curation"
+)
+
+// The integration gate: the coverage analytics over the curated corpus must
+// reproduce Tables I and II of the paper exactly.
+
+func repo(t *testing.T) *core.Repository {
+	t.Helper()
+	r, err := curation.Repository()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 0.01 }
+
+func TestTableIReproducesPaper(t *testing.T) {
+	// Table I of the paper, row by row: unit name -> {num outcomes,
+	// covered outcomes, percent, total activities}.
+	want := map[string]struct {
+		outcomes, covered, acts int
+		percent                 float64
+	}{
+		"Parallelism Fundamentals":                       {3, 2, 2, 66.67},
+		"Parallel Decomposition":                         {6, 5, 21, 83.33},
+		"Parallel Communication and Coordination":        {12, 6, 9, 50.00},
+		"Parallel Algorithms, Analysis, and Programming": {11, 6, 12, 54.54},
+		"Parallel Architecture":                          {8, 7, 9, 87.50},
+		"Parallel Performance":                           {7, 6, 10, 85.71},
+		"Distributed Systems":                            {9, 1, 2, 11.11},
+		"Cloud Computing":                                {5, 1, 3, 20.00},
+		"Formal Models and Semantics":                    {6, 1, 1, 16.66},
+	}
+	rows := TableI(repo(t))
+	if len(rows) != 9 {
+		t.Fatalf("Table I has %d rows", len(rows))
+	}
+	for _, row := range rows {
+		w, ok := want[row.Unit.Name]
+		if !ok {
+			t.Errorf("unexpected unit %q", row.Unit.Name)
+			continue
+		}
+		if row.NumOutcomes != w.outcomes || row.CoveredOutcomes != w.covered || row.TotalActivities != w.acts {
+			t.Errorf("%s: got (%d outcomes, %d covered, %d acts), paper says (%d, %d, %d)",
+				row.Unit.Name, row.NumOutcomes, row.CoveredOutcomes, row.TotalActivities,
+				w.outcomes, w.covered, w.acts)
+		}
+		// The paper truncates 54.545 to 54.54 and 16.667 to 16.66; allow
+		// half a point around the printed value.
+		if math.Abs(row.PercentCoverage()-w.percent) > 0.5 {
+			t.Errorf("%s: coverage %.2f%%, paper prints %.2f%%", row.Unit.Name, row.PercentCoverage(), w.percent)
+		}
+	}
+}
+
+func TestTableIIReproducesPaper(t *testing.T) {
+	want := map[string]struct {
+		topics, covered, acts int
+		percent               float64
+	}{
+		"Architecture":                     {22, 10, 9, 45.45},
+		"Programming":                      {37, 19, 24, 51.35},
+		"Algorithms":                       {26, 13, 22, 50.00},
+		"Crosscutting and Advanced Topics": {12, 7, 8, 58.33},
+	}
+	rows := TableII(repo(t))
+	if len(rows) != 4 {
+		t.Fatalf("Table II has %d rows", len(rows))
+	}
+	for _, row := range rows {
+		w, ok := want[row.Area.Name]
+		if !ok {
+			t.Errorf("unexpected area %q", row.Area.Name)
+			continue
+		}
+		if row.NumTopics != w.topics || row.CoveredTopics != w.covered || row.TotalActivities != w.acts {
+			t.Errorf("%s: got (%d topics, %d covered, %d acts), paper says (%d, %d, %d)",
+				row.Area.Name, row.NumTopics, row.CoveredTopics, row.TotalActivities,
+				w.topics, w.covered, w.acts)
+		}
+		if !approx(row.PercentCoverage(), w.percent) {
+			t.Errorf("%s: coverage %.2f%%, paper prints %.2f%%", row.Area.Name, row.PercentCoverage(), w.percent)
+		}
+	}
+}
+
+func TestSubcategoriesReproduceSectionIIIC(t *testing.T) {
+	rows := Subcategories(repo(t))
+	byKey := map[string]SubcategoryRow{}
+	for _, r := range rows {
+		byKey[r.Area+"/"+r.Subcategory] = r
+	}
+	cases := map[string]struct {
+		topics, covered int
+		percent         float64
+	}{
+		"Architecture/Floating-Point Representation": {3, 0, 0},
+		"Architecture/Performance Metrics":           {4, 0, 0},
+		"Algorithms/PD Models and Complexity":        {11, 4, 36.36},
+		"Programming/Paradigms and Notations":        {14, 5, 35.71},
+	}
+	for key, w := range cases {
+		r, ok := byKey[key]
+		if !ok {
+			t.Errorf("missing sub-category row %q (have %v)", key, byKey)
+			continue
+		}
+		if r.NumTopics != w.topics || r.CoveredTopics != w.covered {
+			t.Errorf("%s: got %d/%d, want %d/%d", key, r.CoveredTopics, r.NumTopics, w.covered, w.topics)
+		}
+		if !approx(r.PercentCoverage(), w.percent) {
+			t.Errorf("%s: %.2f%%, paper prints %.2f%%", key, r.PercentCoverage(), w.percent)
+		}
+	}
+}
+
+func TestCourseCountsReproduceSectionIIIA(t *testing.T) {
+	counts := CourseCounts(repo(t))
+	got := map[string]int{}
+	for _, c := range counts {
+		got[c.Term] = c.Count
+	}
+	want := map[string]int{"K_12": 15, "CS0": 8, "CS1": 17, "CS2": 25, "DSA": 27, "Systems": 22}
+	for course, n := range want {
+		if got[course] != n {
+			t.Errorf("%s = %d, paper says %d", course, got[course], n)
+		}
+	}
+	if counts[0].Term != "K_12" {
+		t.Errorf("course order starts with %q, want K_12", counts[0].Term)
+	}
+}
+
+func TestMediumCountsReproduceSectionIIID(t *testing.T) {
+	counts := MediumCounts(repo(t))
+	got := map[string]int{}
+	for _, c := range counts {
+		got[c.Term] = c.Count
+	}
+	want := map[string]int{
+		"analogy": 11, "role-play": 11, "game": 4, "paper": 8, "board": 6,
+		"cards": 6, "pens": 4, "coins": 2, "food": 4, "instrument": 1,
+	}
+	for m, n := range want {
+		if got[m] != n {
+			t.Errorf("medium %s = %d, paper says %d", m, got[m], n)
+		}
+	}
+	// Sorted by count descending.
+	for i := 1; i < len(counts); i++ {
+		if counts[i].Count > counts[i-1].Count {
+			t.Errorf("MediumCounts not sorted: %v", counts)
+		}
+	}
+}
+
+func TestSenseStatsReproduceSectionIIID(t *testing.T) {
+	stats := SenseStats(repo(t))
+	got := map[string]SenseStat{}
+	for _, s := range stats {
+		got[s.Sense] = s
+	}
+	if v := got["visual"]; v.Count != 27 || !approx(v.Percent, 71.05) {
+		t.Errorf("visual = %d (%.2f%%), paper says 27 (71.05%%)", v.Count, v.Percent)
+	}
+	if v := got["touch"]; v.Count != 10 || !approx(v.Percent, 26.32) {
+		t.Errorf("touch = %d (%.2f%%), paper says 10 (26.32%%)", v.Count, v.Percent)
+	}
+	if v := got["movement"]; v.Count != 14 || !approx(v.Percent, 36.84) {
+		t.Errorf("movement = %d (%.2f%%), want 14 (36.84%%; paper prints 38.84%%, a typo)", v.Count, v.Percent)
+	}
+	if v := got["sound"]; v.Count != 2 {
+		t.Errorf("sound = %d, paper says 2", v.Count)
+	}
+	if v := got["accessible"]; v.Count != 9 {
+		t.Errorf("accessible = %d, paper says 9", v.Count)
+	}
+}
+
+func TestResourcesReproduceSectionIIIA(t *testing.T) {
+	s := Resources(repo(t))
+	if s.WithResources != 16 || s.Total != 38 {
+		t.Errorf("resources = %d/%d, want 16/38", s.WithResources, s.Total)
+	}
+	if s.Percent() >= 50 {
+		t.Errorf("resource percent %.1f not 'less than half'", s.Percent())
+	}
+}
+
+func TestAssessmentStats(t *testing.T) {
+	assessed, total := AssessmentStats(repo(t))
+	if total != 38 {
+		t.Errorf("total = %d", total)
+	}
+	if assessed != 6 {
+		t.Errorf("assessed = %d, want 6 (the recent-assessment efforts the paper names)", assessed)
+	}
+}
+
+func TestFindGaps(t *testing.T) {
+	g := FindGaps(repo(t))
+	// Total outcomes 67, covered 2+5+6+6+7+6+1+1+1 = 35 -> 32 gaps.
+	if len(g.Outcomes) != 32 {
+		t.Errorf("outcome gaps = %d, want 32", len(g.Outcomes))
+	}
+	// Total topics 97, covered 10+19+13+7 = 49 -> 48 gaps.
+	if len(g.Topics) != 48 {
+		t.Errorf("topic gaps = %d, want 48", len(g.Topics))
+	}
+	gapTerms := map[string]bool{}
+	for _, tg := range g.Topics {
+		gapTerms[tg.Topic.Key] = true
+	}
+	for _, key := range []string{"WebSearch", "PeerToPeer", "CloudGrid", "Locality", "WhyPDC", "Broadcast", "ScatterGather", "Reduction", "BarrierSynchronization", "ParallelRecursion"} {
+		if !gapTerms[key] {
+			t.Errorf("expected gap topic %s not reported", key)
+		}
+	}
+	for _, og := range g.Outcomes {
+		if og.Unit.Abbrev == "PF" && og.Outcome.Num != 3 {
+			t.Errorf("PF gap should be outcome 3 only, got PF_%d", og.Outcome.Num)
+		}
+	}
+}
+
+func TestImpactScoring(t *testing.T) {
+	r := repo(t)
+	// A proposed collectives activity (the gap-fill sims we ship) covers
+	// only uncovered topics: maximum impact per term.
+	score, novel, err := Impact(r, nil, []string{"A_Broadcast", "A_ScatterGather"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score != 2 || len(novel) != 2 {
+		t.Errorf("impact = %d %v, want 2", score, novel)
+	}
+	// An activity covering only well-covered ground scores zero.
+	score, novel, err = Impact(r, []string{"PD_2"}, []string{"C_Speedup"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score != 0 || len(novel) != 0 {
+		t.Errorf("impact = %d %v, want 0", score, novel)
+	}
+	// Duplicates counted once.
+	score, _, err = Impact(r, nil, []string{"A_Broadcast", "A_Broadcast"})
+	if err != nil || score != 1 {
+		t.Errorf("duplicate impact = %d (%v), want 1", score, err)
+	}
+	// Unknown terms are rejected.
+	if _, _, err := Impact(r, []string{"ZZ_9"}, nil); err == nil {
+		t.Error("bad cs2013 detail accepted")
+	}
+	if _, _, err := Impact(r, nil, []string{"C_Bogus"}); err == nil {
+		t.Error("bad tcpp detail accepted")
+	}
+}

@@ -1,0 +1,44 @@
+package coverage
+
+import "testing"
+
+func TestMediumSenseCrossTab(t *testing.T) {
+	ct := MediumSenseCrossTab(repo(t))
+	if len(ct.Mediums) < 10 || len(ct.Senses) != 5 {
+		t.Fatalf("axes: %d mediums, %d senses", len(ct.Mediums), len(ct.Senses))
+	}
+	// Section III-D shapes: card activities are tactile and visual.
+	if ct.Cell("cards", "touch") < 4 {
+		t.Errorf("cards x touch = %d", ct.Cell("cards", "touch"))
+	}
+	if ct.Cell("cards", "visual") < 5 {
+		t.Errorf("cards x visual = %d", ct.Cell("cards", "visual"))
+	}
+	// Role-plays are kinesthetic.
+	if ct.Cell("role-play", "movement") < 8 {
+		t.Errorf("role-play x movement = %d", ct.Cell("role-play", "movement"))
+	}
+	// Analogies rarely involve movement (they are verbal/visual).
+	if ct.Cell("analogy", "movement") > 1 {
+		t.Errorf("analogy x movement = %d, analogies should be mostly static", ct.Cell("analogy", "movement"))
+	}
+	// The single instrument activity is the sound one.
+	if ct.Cell("instrument", "sound") != 1 {
+		t.Errorf("instrument x sound = %d", ct.Cell("instrument", "sound"))
+	}
+	// No cell exceeds its medium's total.
+	mediumTotals := map[string]int{}
+	for _, c := range MediumCounts(repo(t)) {
+		mediumTotals[c.Term] = c.Count
+	}
+	for _, m := range ct.Mediums {
+		for _, s := range ct.Senses {
+			if ct.Cell(m, s) > mediumTotals[m] {
+				t.Errorf("%s x %s = %d exceeds medium total %d", m, s, ct.Cell(m, s), mediumTotals[m])
+			}
+		}
+	}
+	if ct.Cell("nonexistent", "visual") != 0 {
+		t.Error("unknown medium cell nonzero")
+	}
+}

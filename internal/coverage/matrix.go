@@ -1,0 +1,69 @@
+package coverage
+
+import (
+	"pdcunplugged/internal/core"
+	"pdcunplugged/internal/cs2013"
+	"pdcunplugged/internal/tcpp"
+)
+
+// MatrixRow reports, for one course, how many activities are available per
+// CS2013 knowledge unit — the educator question "which units can my course
+// cover with existing activities?" that the Course view only partially
+// answers.
+type MatrixRow struct {
+	Course string
+	// PerUnit maps knowledge-unit abbreviation to activity count.
+	PerUnit map[string]int
+	// Total is the number of activities recommended for the course.
+	Total int
+}
+
+// CourseUnitMatrix computes the course x knowledge-unit activity matrix in
+// the paper's course order.
+func CourseUnitMatrix(r *core.Repository) []MatrixRow {
+	var rows []MatrixRow
+	for _, page := range r.CourseView() {
+		row := MatrixRow{Course: page.Term, PerUnit: map[string]int{}, Total: len(page.Entries)}
+		for _, slug := range page.Entries {
+			a, ok := r.Get(slug)
+			if !ok {
+				continue
+			}
+			for _, term := range a.CS2013 {
+				if u, found := cs2013.ByTerm(term); found {
+					row.PerUnit[u.Abbrev]++
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// AreaMatrixRow is the TCPP analogue: activities per topic area per course.
+type AreaMatrixRow struct {
+	Course  string
+	PerArea map[string]int
+	Total   int
+}
+
+// CourseAreaMatrix computes the course x TCPP-area activity matrix.
+func CourseAreaMatrix(r *core.Repository) []AreaMatrixRow {
+	var rows []AreaMatrixRow
+	for _, page := range r.CourseView() {
+		row := AreaMatrixRow{Course: page.Term, PerArea: map[string]int{}, Total: len(page.Entries)}
+		for _, slug := range page.Entries {
+			a, ok := r.Get(slug)
+			if !ok {
+				continue
+			}
+			for _, term := range a.TCPP {
+				if ar, found := tcpp.ByTerm(term); found {
+					row.PerArea[ar.Name]++
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -1,0 +1,66 @@
+package coverage
+
+import "testing"
+
+func TestCourseUnitMatrix(t *testing.T) {
+	rows := CourseUnitMatrix(repo(t))
+	if len(rows) < 6 {
+		t.Fatalf("matrix rows = %d", len(rows))
+	}
+	byCourse := map[string]MatrixRow{}
+	for _, r := range rows {
+		byCourse[r.Course] = r
+	}
+	// Totals match the Section III-A counts.
+	for course, want := range map[string]int{"K_12": 15, "CS1": 17, "DSA": 27} {
+		if byCourse[course].Total != want {
+			t.Errorf("%s total = %d, want %d", course, byCourse[course].Total, want)
+		}
+	}
+	// Ordering starts with K_12 as in the course view.
+	if rows[0].Course != "K_12" {
+		t.Errorf("first row %q", rows[0].Course)
+	}
+	// Every per-unit count is bounded by the course total and the KU's
+	// global activity count.
+	kuTotals := map[string]int{"PF": 2, "PD": 21, "PCC": 9, "PAAP": 12, "PA": 9, "PP": 10, "DS": 2, "CC": 3, "FMS": 1}
+	for _, r := range rows {
+		sum := 0
+		for ku, n := range r.PerUnit {
+			if n > r.Total {
+				t.Errorf("%s/%s: %d exceeds course total %d", r.Course, ku, n, r.Total)
+			}
+			if n > kuTotals[ku] {
+				t.Errorf("%s/%s: %d exceeds KU total %d", r.Course, ku, n, kuTotals[ku])
+			}
+			sum += n
+		}
+		if sum < r.Total {
+			t.Errorf("%s: per-unit sum %d below total %d (every activity has a KU tag)", r.Course, sum, r.Total)
+		}
+	}
+	// Spot value: the FMS unit's single activity (nondeterministic-sort)
+	// is DSA/Systems-only, so CS1 must have zero FMS activities.
+	if byCourse["CS1"].PerUnit["FMS"] != 0 {
+		t.Error("CS1 should have no Formal Models activities")
+	}
+	if byCourse["DSA"].PerUnit["FMS"] != 1 {
+		t.Errorf("DSA FMS = %d, want 1", byCourse["DSA"].PerUnit["FMS"])
+	}
+}
+
+func TestCourseAreaMatrix(t *testing.T) {
+	rows := CourseAreaMatrix(repo(t))
+	byCourse := map[string]AreaMatrixRow{}
+	for _, r := range rows {
+		byCourse[r.Course] = r
+	}
+	// Systems is the natural home of Architecture activities.
+	if byCourse["Systems"].PerArea["Architecture"] < 5 {
+		t.Errorf("Systems architecture activities = %d", byCourse["Systems"].PerArea["Architecture"])
+	}
+	// K-12 leans on Algorithms dramatizations.
+	if byCourse["K_12"].PerArea["Algorithms"] < 8 {
+		t.Errorf("K_12 algorithms activities = %d", byCourse["K_12"].PerArea["Algorithms"])
+	}
+}

@@ -1,0 +1,259 @@
+// Package cs2013 models the Parallel and Distributed Computing (PD)
+// knowledge area of the ACM/IEEE Computer Science Curricula 2013, the first
+// of the two curricular frameworks PDCunplugged maps activities onto.
+//
+// The knowledge area contains nine knowledge units. Each knowledge unit
+// carries a list of learning outcomes; Table I of the paper reports, per
+// unit, the number of outcomes, how many are covered by at least one
+// unplugged activity, and the number of activities tagged with the unit.
+//
+// Taxonomy terms follow the paper's conventions (Section II-B): an activity
+// lists knowledge units under the cs2013 taxonomy as PD_<UnitName> terms
+// (e.g. PD_ParallelDecomposition) and individual learning outcomes under the
+// hidden cs2013details taxonomy as <Abbrev>_<n> terms (e.g. PD_3).
+package cs2013
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Tier classifies a learning outcome per CS2013: every program must cover
+// all Tier-1 outcomes, at least 80% of Tier-2 outcomes, and a significant
+// amount of elective material.
+type Tier int
+
+// Tier values.
+const (
+	Tier1 Tier = iota + 1
+	Tier2
+	Elective
+)
+
+// String returns the CS2013 name of the tier.
+func (t Tier) String() string {
+	switch t {
+	case Tier1:
+		return "Tier1"
+	case Tier2:
+		return "Tier2"
+	case Elective:
+		return "Elective"
+	default:
+		return fmt.Sprintf("Tier(%d)", int(t))
+	}
+}
+
+// Outcome is one learning outcome within a knowledge unit.
+type Outcome struct {
+	// Num is the 1-based position within the unit; the cs2013details term
+	// for outcome n of unit with abbreviation AB is "AB_n".
+	Num  int
+	Text string
+	Tier Tier
+}
+
+// Unit is one CS2013 PD knowledge unit.
+type Unit struct {
+	// Abbrev is the short code used in cs2013details terms (e.g. "PD").
+	Abbrev string
+	// Name is the full unit name as printed in Table I.
+	Name string
+	// Term is the cs2013 taxonomy term (e.g. "PD_ParallelDecomposition").
+	Term string
+	// Elective marks purely elective units (marked E in Table I).
+	Elective bool
+	Outcomes []Outcome
+}
+
+// OutcomeTerm returns the cs2013details term for outcome n of the unit.
+func (u Unit) OutcomeTerm(n int) string {
+	return fmt.Sprintf("%s_%d", u.Abbrev, n)
+}
+
+// NumOutcomes returns the number of learning outcomes in the unit.
+func (u Unit) NumOutcomes() int { return len(u.Outcomes) }
+
+// units is the PD knowledge area. Outcome texts are condensed from CS2013
+// §PD; outcome counts per unit match Table I of the paper exactly
+// (3, 6, 12, 11, 8, 7, 9, 5, 6).
+var units = []Unit{
+	{
+		Abbrev: "PF", Name: "Parallelism Fundamentals", Term: "PD_ParallelismFundamentals",
+		Outcomes: []Outcome{
+			{1, "Distinguish using computational resources for a faster answer from managing efficient access to a shared resource", Tier1},
+			{2, "Distinguish multiple sufficient programming constructs for synchronization that may be inter-implementable but have complementary advantages", Tier1},
+			{3, "Distinguish data races from higher-level races", Tier1},
+		},
+	},
+	{
+		Abbrev: "PD", Name: "Parallel Decomposition", Term: "PD_ParallelDecomposition",
+		Outcomes: []Outcome{
+			{1, "Explain why synchronization is necessary in a specific parallel program", Tier1},
+			{2, "Identify opportunities to partition a serial program into independent parallel modules", Tier1},
+			{3, "Write a correct and scalable parallel algorithm", Tier2},
+			{4, "Parallelize an algorithm by applying task-based decomposition", Tier2},
+			{5, "Parallelize an algorithm by applying data-parallel decomposition", Tier2},
+			{6, "Write a program using actors and/or reactive processes", Tier2},
+		},
+	},
+	{
+		Abbrev: "PCC", Name: "Parallel Communication and Coordination", Term: "PD_CommunicationAndCoordination",
+		Outcomes: []Outcome{
+			{1, "Use mutual exclusion to avoid a given race condition", Tier1},
+			{2, "Give an example of an ordering of accesses among concurrent activities that is not sequentially consistent", Tier2},
+			{3, "Give an example of a scenario in which blocking message sends can deadlock", Tier2},
+			{4, "Explain when and why multicast or event-based messaging can be preferable to alternatives", Tier2},
+			{5, "Write a program that correctly terminates when all of a set of concurrent tasks have completed", Tier2},
+			{6, "Give an example of a scenario in which an attempted optimistic update may never complete", Tier2},
+			{7, "Use semaphores or condition variables to block threads until a necessary precondition holds", Tier2},
+			{8, "Understand the notion of a consensus algorithm and why it matters in distributed settings", Elective},
+			{9, "Explain why producer-consumer relationships require coordinated buffering", Elective},
+			{10, "Transform a program with barriers into an equivalent program using finer-grained synchronization", Elective},
+			{11, "Illustrate the underlying message exchange of a remote procedure call", Elective},
+			{12, "Describe how callbacks and futures decouple request from response", Elective},
+		},
+	},
+	{
+		Abbrev: "PAAP", Name: "Parallel Algorithms, Analysis, and Programming", Term: "PD_ParallelAlgorithms",
+		Outcomes: []Outcome{
+			{1, "Define 'critical path', 'work', and 'span'", Tier1},
+			{2, "Compute the work and span, and determine the critical path with respect to a parallel execution diagram", Tier1},
+			{3, "Define 'speed-up' and explain the notion of an algorithm's scalability in this regard", Tier1},
+			{4, "Identify independent tasks in a program that may be parallelized", Tier1},
+			{5, "Characterize features of a workload that allow or prevent it from being naturally parallelized", Tier1},
+			{6, "Implement a parallel divide-and-conquer or graph algorithm and empirically measure its performance relative to its sequential analog", Tier2},
+			{7, "Decompose a problem via map and reduce operations", Tier2},
+			{8, "Provide an example of a problem that fits the producer-consumer paradigm", Elective},
+			{9, "Give examples of problems where pipelining would be an effective means of parallelization", Elective},
+			{10, "Implement a parallel matrix algorithm", Elective},
+			{11, "Identify issues that arise in producer-consumer algorithms and mechanisms that may be used for addressing them", Elective},
+		},
+	},
+	{
+		Abbrev: "PA", Name: "Parallel Architecture", Term: "PD_ParallelArchitecture",
+		Outcomes: []Outcome{
+			{1, "Explain the differences between shared and distributed memory", Tier1},
+			{2, "Describe the SMP architecture and note its key features", Tier2},
+			{3, "Characterize the kinds of tasks that are a natural match for SIMD machines", Tier2},
+			{4, "Describe the advantages and limitations of GPUs vs. CPUs", Elective},
+			{5, "Explain the features of each classification in Flynn's taxonomy", Elective},
+			{6, "Describe basic challenges of memory hierarchy in multiprocessors, including cache coherence", Elective},
+			{7, "Describe the challenges of maintaining a consistent view of memory across processors", Elective},
+			{8, "Describe how interconnection topology affects communication cost", Elective},
+		},
+	},
+	{
+		Abbrev: "PP", Name: "Parallel Performance", Term: "PD_ParallelPerformance", Elective: true,
+		Outcomes: []Outcome{
+			{1, "Detect and correct a load imbalance", Elective},
+			{2, "Calculate the implications of Amdahl's law for a particular parallel algorithm", Elective},
+			{3, "Describe how data distribution affects communication cost", Elective},
+			{4, "Detect and correct an instance of false sharing", Elective},
+			{5, "Explain the impact of scheduling on parallel performance", Elective},
+			{6, "Explain performance impacts of data locality", Elective},
+			{7, "Explain the impact and trade-off related to power usage on parallel performance", Elective},
+		},
+	},
+	{
+		Abbrev: "DS", Name: "Distributed Systems", Term: "PD_DistributedSystems", Elective: true,
+		Outcomes: []Outcome{
+			{1, "Distinguish network faults from other kinds of failures", Elective},
+			{2, "Explain why synchronization constructs such as simple locks are not useful in the presence of distributed faults", Elective},
+			{3, "Write a program that performs any required marshaling and conversion into message units to transfer data", Elective},
+			{4, "Measure the observed throughput and response latency across hosts in a given network", Elective},
+			{5, "Explain why no distributed system can be simultaneously consistent, available, and partition tolerant", Elective},
+			{6, "Implement a simple server and client that interact via messages", Elective},
+			{7, "Explain the tradeoffs among overhead, scalability, and fault tolerance when choosing a stateful or stateless design", Elective},
+			{8, "Describe the scalability challenges associated with a service growing to accommodate many clients", Elective},
+			{9, "Give examples of problems for which consensus algorithms such as leader election are required", Elective},
+		},
+	},
+	{
+		Abbrev: "CC", Name: "Cloud Computing", Term: "PD_CloudComputing", Elective: true,
+		Outcomes: []Outcome{
+			{1, "Discuss the importance of elasticity and resource management in cloud computing", Elective},
+			{2, "Explain strategies to synchronize a common view of shared data across a collection of devices", Elective},
+			{3, "Explain the advantages and disadvantages of using virtualized infrastructure", Elective},
+			{4, "Deploy an application that uses cloud infrastructure for computing or data resources", Elective},
+			{5, "Appropriately partition an application between a client and resources in the cloud", Elective},
+		},
+	},
+	{
+		Abbrev: "FMS", Name: "Formal Models and Semantics", Term: "PD_FormalModels", Elective: true,
+		Outcomes: []Outcome{
+			{1, "Model a concurrent process using a formal model such as a process algebra", Elective},
+			{2, "Explain the difference between safety and liveness properties", Elective},
+			{3, "Use a model checker or invariant-based reasoning to verify a concurrent program", Elective},
+			{4, "Describe the behavior of a non-deterministic program as a set of possible executions", Elective},
+			{5, "Explain what it means for a concurrent algorithm to be correct for all interleavings", Elective},
+			{6, "Express the correctness of a distributed algorithm with an invariant over global states", Elective},
+		},
+	},
+}
+
+// All returns the nine PD knowledge units in Table I order.
+func All() []Unit { return append([]Unit(nil), units...) }
+
+// ByTerm returns the unit with the given cs2013 taxonomy term.
+func ByTerm(term string) (Unit, bool) {
+	for _, u := range units {
+		if u.Term == term {
+			return u, true
+		}
+	}
+	return Unit{}, false
+}
+
+// ByAbbrev returns the unit with the given abbreviation.
+func ByAbbrev(ab string) (Unit, bool) {
+	for _, u := range units {
+		if u.Abbrev == ab {
+			return u, true
+		}
+	}
+	return Unit{}, false
+}
+
+// Terms returns all cs2013 taxonomy terms, sorted.
+func Terms() []string {
+	out := make([]string, len(units))
+	for i, u := range units {
+		out[i] = u.Term
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseDetail splits a cs2013details term such as "PD_3" into its unit and
+// outcome. It rejects unknown units and out-of-range outcome numbers.
+func ParseDetail(term string) (Unit, Outcome, error) {
+	i := strings.LastIndex(term, "_")
+	if i <= 0 || i == len(term)-1 {
+		return Unit{}, Outcome{}, fmt.Errorf("cs2013: malformed detail term %q", term)
+	}
+	u, ok := ByAbbrev(term[:i])
+	if !ok {
+		return Unit{}, Outcome{}, fmt.Errorf("cs2013: unknown knowledge unit in term %q", term)
+	}
+	n, err := strconv.Atoi(term[i+1:])
+	if err != nil {
+		return Unit{}, Outcome{}, fmt.Errorf("cs2013: bad outcome number in term %q", term)
+	}
+	if n < 1 || n > len(u.Outcomes) {
+		return Unit{}, Outcome{}, fmt.Errorf("cs2013: outcome %d out of range for %s (1..%d)", n, u.Abbrev, len(u.Outcomes))
+	}
+	return u, u.Outcomes[n-1], nil
+}
+
+// TotalOutcomes returns the total number of learning outcomes across the
+// knowledge area.
+func TotalOutcomes() int {
+	n := 0
+	for _, u := range units {
+		n += len(u.Outcomes)
+	}
+	return n
+}

@@ -1,0 +1,164 @@
+package cs2013
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Outcome counts per knowledge unit as printed in Table I of the paper.
+var tableICounts = map[string]int{
+	"Parallelism Fundamentals":                       3,
+	"Parallel Decomposition":                         6,
+	"Parallel Communication and Coordination":        12,
+	"Parallel Algorithms, Analysis, and Programming": 11,
+	"Parallel Architecture":                          8,
+	"Parallel Performance":                           7,
+	"Distributed Systems":                            9,
+	"Cloud Computing":                                5,
+	"Formal Models and Semantics":                    6,
+}
+
+func TestUnitCountsMatchTableI(t *testing.T) {
+	all := All()
+	if len(all) != 9 {
+		t.Fatalf("knowledge units = %d, want 9", len(all))
+	}
+	for _, u := range all {
+		want, ok := tableICounts[u.Name]
+		if !ok {
+			t.Errorf("unexpected unit %q", u.Name)
+			continue
+		}
+		if got := u.NumOutcomes(); got != want {
+			t.Errorf("%s: %d outcomes, Table I says %d", u.Name, got, want)
+		}
+	}
+	if got := TotalOutcomes(); got != 3+6+12+11+8+7+9+5+6 {
+		t.Errorf("TotalOutcomes = %d", got)
+	}
+}
+
+func TestElectiveUnits(t *testing.T) {
+	// Table I marks Parallel Performance, Distributed Systems, Cloud
+	// Computing and Formal Models and Semantics as purely elective (E).
+	wantElective := map[string]bool{
+		"Parallel Performance":        true,
+		"Distributed Systems":         true,
+		"Cloud Computing":             true,
+		"Formal Models and Semantics": true,
+	}
+	for _, u := range All() {
+		if u.Elective != wantElective[u.Name] {
+			t.Errorf("%s: elective = %v, want %v", u.Name, u.Elective, wantElective[u.Name])
+		}
+	}
+}
+
+func TestOutcomeNumbering(t *testing.T) {
+	for _, u := range All() {
+		for i, o := range u.Outcomes {
+			if o.Num != i+1 {
+				t.Errorf("%s outcome %d numbered %d", u.Abbrev, i+1, o.Num)
+			}
+			if o.Text == "" {
+				t.Errorf("%s_%d has empty text", u.Abbrev, o.Num)
+			}
+			if o.Tier < Tier1 || o.Tier > Elective {
+				t.Errorf("%s_%d has invalid tier %v", u.Abbrev, o.Num, o.Tier)
+			}
+		}
+	}
+}
+
+func TestUniqueIdentifiers(t *testing.T) {
+	abbrevs, terms := map[string]bool{}, map[string]bool{}
+	for _, u := range All() {
+		if abbrevs[u.Abbrev] {
+			t.Errorf("duplicate abbrev %q", u.Abbrev)
+		}
+		abbrevs[u.Abbrev] = true
+		if terms[u.Term] {
+			t.Errorf("duplicate term %q", u.Term)
+		}
+		terms[u.Term] = true
+	}
+}
+
+func TestLookups(t *testing.T) {
+	u, ok := ByTerm("PD_ParallelDecomposition")
+	if !ok || u.Abbrev != "PD" {
+		t.Fatalf("ByTerm failed: %+v %v", u, ok)
+	}
+	if _, ok := ByTerm("PD_Nothing"); ok {
+		t.Error("ByTerm accepted unknown term")
+	}
+	u, ok = ByAbbrev("FMS")
+	if !ok || u.Name != "Formal Models and Semantics" {
+		t.Fatalf("ByAbbrev failed: %+v %v", u, ok)
+	}
+	if _, ok := ByAbbrev("XX"); ok {
+		t.Error("ByAbbrev accepted unknown abbrev")
+	}
+	if got := len(Terms()); got != 9 {
+		t.Errorf("Terms() = %d", got)
+	}
+}
+
+func TestOutcomeTerm(t *testing.T) {
+	u, _ := ByAbbrev("PD")
+	if got := u.OutcomeTerm(3); got != "PD_3" {
+		t.Errorf("OutcomeTerm = %q", got)
+	}
+}
+
+func TestParseDetail(t *testing.T) {
+	u, o, err := ParseDetail("PD_3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Abbrev != "PD" || o.Num != 3 {
+		t.Errorf("ParseDetail(PD_3) = %s %d", u.Abbrev, o.Num)
+	}
+	if _, _, err := ParseDetail("PCC_12"); err != nil {
+		t.Errorf("PCC_12 should parse: %v", err)
+	}
+	for _, bad := range []string{"PD_0", "PD_7", "XX_1", "PD", "_1", "PD_", "PD_x"} {
+		if _, _, err := ParseDetail(bad); err == nil {
+			t.Errorf("ParseDetail(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseDetailRoundTripProperty(t *testing.T) {
+	unitsAll := All()
+	f := func(ui, oi uint8) bool {
+		u := unitsAll[int(ui)%len(unitsAll)]
+		n := int(oi)%len(u.Outcomes) + 1
+		gotU, gotO, err := ParseDetail(u.OutcomeTerm(n))
+		return err == nil && gotU.Abbrev == u.Abbrev && gotO.Num == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTierString(t *testing.T) {
+	if Tier1.String() != "Tier1" || Tier2.String() != "Tier2" || Elective.String() != "Elective" {
+		t.Error("Tier.String mismatch")
+	}
+	if Tier(9).String() != "Tier(9)" {
+		t.Errorf("invalid tier string: %s", Tier(9))
+	}
+}
+
+func TestParallelFundamentalsDistinguishOutcomes(t *testing.T) {
+	// Section III-B observes that all PF outcomes ask students to
+	// distinguish competing concepts, which explains the unit's sparse
+	// coverage; the model should preserve this.
+	u, _ := ByAbbrev("PF")
+	for _, o := range u.Outcomes {
+		if len(o.Text) < 11 || o.Text[:11] != "Distinguish" {
+			t.Errorf("PF_%d does not start with Distinguish: %q", o.Num, o.Text)
+		}
+	}
+}

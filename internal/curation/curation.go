@@ -1,0 +1,100 @@
+// Package curation contains the PDCunplugged corpus: the thirty-eight
+// unplugged PDC activities curated from thirty years of literature that the
+// paper's evaluation (Tables I and II and the Section III statistics) is
+// computed over.
+//
+// Each activity is reconstructed from the paper's citations and narrative.
+// The set is engineered so that every aggregate the paper reports is
+// reproduced exactly by the coverage analytics:
+//
+//   - 38 unique activities ("nearly forty")
+//   - course counts K-12 15, CS0 8, CS1 17, CS2 25, DSA 27, Systems 22
+//   - CS2013 per-unit coverage of Table I
+//   - TCPP per-area coverage of Table II
+//   - mediums: 11 analogies, 11 role-plays, 4 games, paper 8, board 6,
+//     cards 6, pens 4, coins 2, food 4, instrument 1
+//   - senses: visual 27 (71.05%), movement 14, touch 10 (26.32%),
+//     sound 2, accessible 9
+//   - 16 activities with external resources
+//
+// Activities are defined as Go values, rendered to Markdown files, and
+// parsed back through the real content pipeline, so loading the corpus
+// exercises the same code path a contributor's pull request would.
+package curation
+
+import (
+	"sort"
+	"sync"
+
+	"pdcunplugged/internal/activity"
+	"pdcunplugged/internal/core"
+)
+
+// Activities returns deep-enough copies of the curated activities in a
+// stable order. Callers may mutate the returned values freely.
+func Activities() []*activity.Activity {
+	src := all()
+	out := make([]*activity.Activity, len(src))
+	for i := range src {
+		c := src[i] // copy struct
+		c.CS2013 = clone(src[i].CS2013)
+		c.TCPP = clone(src[i].TCPP)
+		c.Courses = clone(src[i].Courses)
+		c.Senses = clone(src[i].Senses)
+		c.CS2013Details = clone(src[i].CS2013Details)
+		c.TCPPDetails = clone(src[i].TCPPDetails)
+		c.Medium = clone(src[i].Medium)
+		c.Links = clone(src[i].Links)
+		c.Variations = clone(src[i].Variations)
+		c.Citations = clone(src[i].Citations)
+		out[i] = &c
+	}
+	return out
+}
+
+func clone(xs []string) []string {
+	if xs == nil {
+		return nil
+	}
+	return append([]string(nil), xs...)
+}
+
+// all returns the activities in slug order.
+func all() []activity.Activity {
+	var acts []activity.Activity
+	acts = append(acts, sortingActivities()...)
+	acts = append(acts, distributedActivities()...)
+	acts = append(acts, analogyActivities()...)
+	acts = append(acts, ipdcActivities()...)
+	acts = append(acts, classroomActivities()...)
+	sort.Slice(acts, func(i, j int) bool { return acts[i].Slug < acts[j].Slug })
+	return acts
+}
+
+// Files renders the corpus to Markdown file contents keyed by slug, the
+// layout of the content/activities folder in the paper's GitHub repository.
+func Files() map[string]string {
+	files := make(map[string]string, len(all()))
+	for _, a := range Activities() {
+		files[a.Slug] = a.Render()
+	}
+	return files
+}
+
+var (
+	repoOnce sync.Once
+	repo     *core.Repository
+	repoErr  error
+)
+
+// Repository loads the curated corpus through the full Markdown pipeline
+// (render -> parse -> validate -> index) and caches the result.
+func Repository() (*core.Repository, error) {
+	repoOnce.Do(func() {
+		repo, repoErr = core.Load(Files())
+	})
+	return repo, repoErr
+}
+
+// Size is the number of curated activities ("nearly forty" in the paper).
+const Size = 38

@@ -1,0 +1,364 @@
+package curation
+
+import (
+	"strings"
+	"testing"
+
+	"pdcunplugged/internal/cs2013"
+	"pdcunplugged/internal/tcpp"
+)
+
+func TestCorpusSize(t *testing.T) {
+	acts := Activities()
+	if len(acts) != Size || Size != 38 {
+		t.Fatalf("corpus has %d activities, want 38 (the paper's 'nearly forty')", len(acts))
+	}
+	seen := map[string]bool{}
+	for _, a := range acts {
+		if seen[a.Slug] {
+			t.Errorf("duplicate slug %s", a.Slug)
+		}
+		seen[a.Slug] = true
+	}
+}
+
+func TestAllActivitiesValidate(t *testing.T) {
+	for _, a := range Activities() {
+		for _, err := range a.Validate() {
+			t.Error(err)
+		}
+	}
+}
+
+func TestRepositoryLoadsThroughPipeline(t *testing.T) {
+	r, err := Repository()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != Size {
+		t.Fatalf("repository has %d activities", r.Len())
+	}
+}
+
+// count returns how many activities list term in the named tag set.
+func count(tax, term string) int {
+	n := 0
+	for _, a := range Activities() {
+		for _, x := range a.Terms(tax) {
+			if x == term {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+func TestCourseCountsMatchSectionIIIA(t *testing.T) {
+	// "there are 15 activities listed on PDCunplugged recommended for K-12,
+	// 8 for CS0, 17 for CS1, 25 for CS2, 27 for DSA, and 22 for Systems".
+	want := map[string]int{"K_12": 15, "CS0": 8, "CS1": 17, "CS2": 25, "DSA": 27, "Systems": 22}
+	for course, n := range want {
+		if got := count("courses", course); got != n {
+			t.Errorf("%s: %d activities, paper says %d", course, got, n)
+		}
+	}
+}
+
+func TestExternalResourceRatio(t *testing.T) {
+	// "Less than half (41%) of the materials have some sort of external
+	// resource". 16/38 = 42.1% is the nearest attainable integer count;
+	// see EXPERIMENTS.md.
+	n := 0
+	for _, a := range Activities() {
+		if a.HasExternalResources() {
+			n++
+		}
+	}
+	if n != 16 {
+		t.Errorf("%d activities with external resources, want 16", n)
+	}
+	if ratio := float64(n) / float64(Size); ratio >= 0.5 {
+		t.Errorf("external-resource ratio %.2f not 'less than half'", ratio)
+	}
+}
+
+func TestMediumCountsMatchSectionIIID(t *testing.T) {
+	// "11 analogies and 11 role-playing activities, and 4 activities that
+	// are labeled as games. Popular activity mediums include paper (8),
+	// chalk-/white-board (6), and cards (6). Other activities involve ...
+	// pens (4), coins (2), food (4) and musical instruments (1)."
+	want := map[string]int{
+		"analogy": 11, "role-play": 11, "game": 4, "paper": 8,
+		"board": 6, "cards": 6, "pens": 4, "coins": 2, "food": 4, "instrument": 1,
+	}
+	for medium, n := range want {
+		if got := count("medium", medium); got != n {
+			t.Errorf("medium %s: %d activities, paper says %d", medium, got, n)
+		}
+	}
+}
+
+func TestSenseCountsMatchSectionIIID(t *testing.T) {
+	// visual 71.05% = 27/38; touch 26.32% = 10/38; two sound activities;
+	// 9 generally accessible; movement 14/38 = 36.84% (the paper prints
+	// 38.84%, which is not k/38 for any integer k; see EXPERIMENTS.md).
+	want := map[string]int{"visual": 27, "movement": 14, "touch": 10, "sound": 2, "accessible": 9}
+	for sense, n := range want {
+		if got := count("senses", sense); got != n {
+			t.Errorf("sense %s: %d activities, paper says %d", sense, got, n)
+		}
+	}
+}
+
+// Table I expectations: unit -> {covered outcomes, total activities}.
+var tableI = map[string][2]int{
+	"PF":   {2, 2},
+	"PD":   {5, 21},
+	"PCC":  {6, 9},
+	"PAAP": {6, 12},
+	"PA":   {7, 9},
+	"PP":   {6, 10},
+	"DS":   {1, 2},
+	"CC":   {1, 3},
+	"FMS":  {1, 1},
+}
+
+func TestCS2013TagsMatchTableI(t *testing.T) {
+	acts := Activities()
+	for _, u := range cs2013.All() {
+		want := tableI[u.Abbrev]
+		if got := count("cs2013", u.Term); got != want[1] {
+			t.Errorf("%s: %d tagged activities, Table I says %d", u.Name, got, want[1])
+		}
+		covered := map[int]bool{}
+		for _, a := range acts {
+			for _, det := range a.CS2013Details {
+				du, o, err := cs2013.ParseDetail(det)
+				if err == nil && du.Abbrev == u.Abbrev {
+					covered[o.Num] = true
+				}
+			}
+		}
+		if len(covered) != want[0] {
+			t.Errorf("%s: %d covered outcomes %v, Table I says %d", u.Name, len(covered), covered, want[0])
+		}
+	}
+}
+
+// Table II expectations: area -> {covered topics, total activities}.
+var tableII = map[string][2]int{
+	"Architecture":                     {10, 9},
+	"Programming":                      {19, 24},
+	"Algorithms":                       {13, 22},
+	"Crosscutting and Advanced Topics": {7, 8},
+}
+
+func TestTCPPTagsMatchTableII(t *testing.T) {
+	acts := Activities()
+	for _, ar := range tcpp.All() {
+		want := tableII[ar.Name]
+		if got := count("tcpp", ar.Term); got != want[1] {
+			t.Errorf("%s: %d tagged activities, Table II says %d", ar.Name, got, want[1])
+		}
+		covered := map[string]bool{}
+		for _, a := range acts {
+			for _, det := range a.TCPPDetails {
+				da, tp, err := tcpp.FindTopic(det)
+				if err == nil && da.Name == ar.Name {
+					covered[tp.Key] = true
+				}
+			}
+		}
+		if len(covered) != want[0] {
+			keys := make([]string, 0, len(covered))
+			for k := range covered {
+				keys = append(keys, k)
+			}
+			t.Errorf("%s: %d covered topics, Table II says %d (covered: %s)",
+				ar.Name, len(covered), want[0], strings.Join(keys, ","))
+		}
+	}
+}
+
+func TestSectionIIIBSparseUnits(t *testing.T) {
+	acts := Activities()
+	// Cloud Computing: three activities (Lloyd's and Kolikant's), all
+	// covering the same single outcome.
+	ccDetails := map[string]bool{}
+	for _, a := range acts {
+		for _, det := range a.CS2013Details {
+			if strings.HasPrefix(det, "CC_") {
+				ccDetails[det] = true
+			}
+		}
+	}
+	if len(ccDetails) != 1 {
+		t.Errorf("cloud computing outcomes covered = %v, want exactly one", ccDetails)
+	}
+	// Distributed Systems: two activities covering the same outcome.
+	dsDetails := map[string]bool{}
+	dsActs := 0
+	for _, a := range acts {
+		hit := false
+		for _, det := range a.CS2013Details {
+			if strings.HasPrefix(det, "DS_") {
+				dsDetails[det] = true
+				hit = true
+			}
+		}
+		if hit {
+			dsActs++
+		}
+	}
+	if len(dsDetails) != 1 || dsActs != 2 {
+		t.Errorf("distributed systems: %d outcomes %v across %d activities, want 1 outcome in 2 activities", len(dsDetails), dsDetails, dsActs)
+	}
+}
+
+func TestSectionIIICSubcategoryCoverage(t *testing.T) {
+	acts := Activities()
+	coveredIn := func(area, sub string) int {
+		ar, ok := tcpp.ByName(area)
+		if !ok {
+			t.Fatalf("unknown area %s", area)
+		}
+		covered := map[string]bool{}
+		for _, a := range acts {
+			for _, det := range a.TCPPDetails {
+				da, tp, err := tcpp.FindTopic(det)
+				if err == nil && da.Name == ar.Name && tp.Subcategory == sub {
+					covered[tp.Key] = true
+				}
+			}
+		}
+		return len(covered)
+	}
+	// "the Floating-point Representation and Performance Metric categories
+	// have no corresponding unplugged activities"
+	if got := coveredIn("Architecture", tcpp.SubFloatingPoint); got != 0 {
+		t.Errorf("Floating-Point coverage = %d, want 0", got)
+	}
+	if got := coveredIn("Architecture", tcpp.SubPerfMetrics); got != 0 {
+		t.Errorf("Performance Metrics coverage = %d, want 0", got)
+	}
+	// "the PD Models/Complexity topics have the lowest coverage at 36.36%"
+	// = 4/11.
+	if got := coveredIn("Algorithms", tcpp.SubModelsComplexity); got != 4 {
+		t.Errorf("PD Models/Complexity covered = %d, want 4 (36.36%%)", got)
+	}
+	// "The Paradigms and Notations category has the lowest level of
+	// coverage (35.71%)" = 5/14.
+	if got := coveredIn("Programming", tcpp.SubParadigmsNotations); got != 5 {
+		t.Errorf("Paradigms and Notations covered = %d, want 5 (35.71%%)", got)
+	}
+}
+
+func TestCrosscuttingGapsUncovered(t *testing.T) {
+	// "we were unable to identify any unplugged activities that explain how
+	// web-searches or peer-to-peer computing work, or that discuss
+	// cloud/grid computing or the concept of locality ... [or] the 'know
+	// why and what is parallel/distributed computing' PDC topic."
+	acts := Activities()
+	covered := map[string]bool{}
+	for _, a := range acts {
+		for _, det := range a.TCPPDetails {
+			_, tp, err := tcpp.FindTopic(det)
+			if err == nil {
+				covered[tp.Key] = true
+			}
+		}
+	}
+	for _, gap := range []string{"WebSearch", "PeerToPeer", "CloudGrid", "Locality", "WhyPDC"} {
+		if covered[gap] {
+			t.Errorf("gap topic %s unexpectedly covered", gap)
+		}
+	}
+}
+
+func TestEveryActivityHasSubstance(t *testing.T) {
+	for _, a := range Activities() {
+		if len(a.Details) < 100 {
+			t.Errorf("%s: details too thin (%d bytes)", a.Slug, len(a.Details))
+		}
+		if len(a.Citations) == 0 {
+			t.Errorf("%s: no citations", a.Slug)
+		}
+		if a.Accessibility == "" {
+			t.Errorf("%s: no accessibility note", a.Slug)
+		}
+		if a.Assessment == "" {
+			t.Errorf("%s: assessment section empty (use 'None known.')", a.Slug)
+		}
+		if len(a.CS2013) == 0 || len(a.TCPP) == 0 {
+			t.Errorf("%s: missing curricular tags", a.Slug)
+		}
+		if len(a.Courses) == 0 || len(a.Medium) == 0 {
+			t.Errorf("%s: missing courses or medium", a.Slug)
+		}
+	}
+}
+
+func TestDetailsCarryInstructorGuidance(t *testing.T) {
+	// The paper: "The Details section often takes the majority of the work
+	// in creating an activity." Every entry must describe the mechanics in
+	// depth, and a substantial share must carry explicit facilitation
+	// guidance (the Running it / Extending it paragraphs).
+	guided := 0
+	for _, a := range Activities() {
+		if len(a.Details) < 200 {
+			t.Errorf("%s: details too thin for adoption (%d bytes)", a.Slug, len(a.Details))
+		}
+		if strings.Contains(a.Details, "**Running it**") || strings.Contains(a.Details, "**Extending it**") {
+			guided++
+		}
+	}
+	if guided < 18 {
+		t.Errorf("only %d activities carry facilitation guidance, want >= 18", guided)
+	}
+}
+
+func TestAssessedActivitiesMatchPaper(t *testing.T) {
+	// The paper names the recently assessed efforts: Ghafoor et al. (iPDC,
+	// [14]), Chitra and Ghafoor ([9]), Smith and Srivastava ([25][26]),
+	// Lewandowski et al. (concert tickets), and the Sivilotti-Demirbas
+	// workshop (odd-even).
+	wantAssessed := map[string]bool{
+		"ipdc-array-addition":              true,
+		"ipdc-card-search":                 true,
+		"graduate-jigsaw-teams":            true,
+		"faster-answer-vs-shared-resource": true,
+		"concert-tickets":                  true,
+		"oddeven-transposition":            true,
+	}
+	for _, a := range Activities() {
+		if a.HasAssessment() != wantAssessed[a.Slug] {
+			t.Errorf("%s: HasAssessment = %v, want %v", a.Slug, a.HasAssessment(), wantAssessed[a.Slug])
+		}
+	}
+}
+
+func TestActivitiesReturnsCopies(t *testing.T) {
+	a := Activities()
+	a[0].CS2013[0] = "MUTATED"
+	a[0].Title = "MUTATED"
+	b := Activities()
+	if b[0].CS2013[0] == "MUTATED" || b[0].Title == "MUTATED" {
+		t.Error("Activities() exposes shared state")
+	}
+}
+
+func TestFilesRenderAndReparse(t *testing.T) {
+	files := Files()
+	if len(files) != Size {
+		t.Fatalf("Files() = %d entries", len(files))
+	}
+	for slug, content := range files {
+		if !strings.HasPrefix(content, "---\n") {
+			t.Errorf("%s: missing front matter", slug)
+		}
+		if !strings.Contains(content, "## Original Author/link") {
+			t.Errorf("%s: missing author section", slug)
+		}
+	}
+}

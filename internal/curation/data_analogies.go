@@ -1,0 +1,310 @@
+package curation
+
+import "pdcunplugged/internal/activity"
+
+// analogyActivities returns the analogy-based interventions, led by the
+// OSCER "Supercomputing in Plain English" series (Neeman et al.).
+func analogyActivities() []activity.Activity {
+	const oscer = "http://www.oscer.ou.edu/education.php"
+	return []activity.Activity{
+		{
+			Slug:          "load-balancing-analogy",
+			Title:         "Load Balancing: Splitting the Chores",
+			Date:          "2006-06-01",
+			CS2013:        []string{"PD_ParallelDecomposition", "PD_ParallelPerformance"},
+			CS2013Details: []string{"PD_5", "PP_1"},
+			TCPP:          []string{"TCPP_Programming"},
+			TCPPDetails:   []string{"A_LoadBalancing", "C_SchedulingAndMapping", "C_Efficiency"},
+			Courses:       []string{"CS0", "CS1", "CS2", "Systems"},
+			Senses:        []string{"visual", "accessible"},
+			Medium:        []string{"analogy", "board"},
+			Author:        "Henry Neeman, Lloyd Lee, Julia Mullen and Gerard Newman",
+			Links:         []string{oscer},
+			Details: `Household chores are divided among roommates on the board: one
+assignment gives each roommate the same number of chores, another the same
+total time. Mowing the lawn next to washing a teaspoon makes the imbalance
+vivid: the wall-clock finish time is the slowest roommate's total. Students
+re-balance the chart, then see the same picture as processors with uneven
+work, naming static versus dynamic assignment and why the latter helps when
+chore lengths are unpredictable.
+
+**Running it**: let students assign the chores themselves before naming
+any strategy; nearly every class invents longest-first greedy unprompted,
+which earns it the name "what you already did" when LPT appears later in
+lecture. Close with the pathological case — one chore longer than all
+others combined — to show no assignment beats the longest chore.`,
+			Accessibility: `Pure discussion plus a board chart; no movement or props.
+Judged generally accessible.`,
+			Assessment: "None known.",
+			Citations: []string{
+				"H. Neeman, L. Lee, J. Mullen, and G. Newman, \"Analogies for teaching parallel computing to inexperienced programmers,\" ITiCSE-WGR 2006.",
+				"H. Neeman, H. Severini, and D. Wu, \"Supercomputing in plain english: Teaching cyberinfrastructure to computing novices,\" SIGCSE Bull., vol. 40, no. 2, 2008.",
+			},
+		},
+		{
+			Slug:          "jigsaw-puzzle",
+			Title:         "The Jigsaw Puzzle (Shared Memory)",
+			Date:          "2006-06-01",
+			CS2013:        []string{"PD_ParallelDecomposition", "PD_ParallelPerformance", "PD_ParallelArchitecture"},
+			CS2013Details: []string{"PD_2", "PP_3", "PA_1"},
+			TCPP:          []string{"TCPP_Architecture", "TCPP_Programming"},
+			TCPPDetails:   []string{"C_SharedVsDistributedMemory", "C_SharedMemoryModel", "C_DataDistribution", "A_LoadBalancing"},
+			Courses:       []string{"K_12", "CS0", "CS1", "CS2", "Systems"},
+			Senses:        []string{"visual", "accessible"},
+			Medium:        []string{"analogy"},
+			Author:        "Henry Neeman, Lloyd Lee, Julia Mullen and Gerard Newman",
+			Links:         []string{oscer},
+			Details: `One person assembles a jigsaw puzzle alone. Add a second person at
+the same table and the work goes faster, but the two reach for the same
+pieces and get in each other's way: shared memory with contention. Seat
+many helpers and the table gets crowded; split the puzzle across two tables
+(distributed memory) and each pair works undisturbed but must walk pieces
+between tables to join the halves. The analogy yields speedup, contention,
+data distribution, and communication cost in one familiar scene.
+
+**Extending it**: the scene scales through the whole course. Sorting the
+pieces by colour first is a preprocessing step; giving each helper a
+corner is data decomposition by locality; the sky (many identical pieces)
+is the contended hot spot every helper reaches for; and gluing finished
+sections together at the end is the reduction step. Returning to the same
+table week after week lets each new concept land in a scene students
+already own.`,
+			Accessibility: `Told entirely as a story; an actual puzzle on a table is an
+optional prop. Judged generally accessible.`,
+			Assessment: "None known.",
+			Citations: []string{
+				"H. Neeman, L. Lee, J. Mullen, and G. Newman, \"Analogies for teaching parallel computing to inexperienced programmers,\" ITiCSE-WGR 2006.",
+			},
+		},
+		{
+			Slug:          "desert-islands",
+			Title:         "Desert Islands (Distributed Memory)",
+			Date:          "2006-06-01",
+			CS2013:        []string{"PD_ParallelPerformance", "PD_ParallelArchitecture"},
+			CS2013Details: []string{"PP_3", "PA_1", "PA_8"},
+			TCPP:          []string{"TCPP_Architecture", "TCPP_Programming", "TCPP_Crosscutting"},
+			TCPPDetails:   []string{"C_SharedVsDistributedMemory", "K_MIMD", "C_DistributedMemoryModel", "C_DataDistribution", "C_CommunicationOverhead", "K_ClusterComputing"},
+			Courses:       []string{"CS2", "DSA", "Systems"},
+			Medium:        []string{"analogy"},
+			Author:        "Henry Neeman, Lloyd Lee, Julia Mullen and Gerard Newman",
+			Links:         []string{oscer},
+			Details: `Each worker lives alone on a desert island with her own filing
+cabinet (local memory) and can only exchange information by mailing letters
+that take days to arrive (message passing). Workers compute happily on local
+data but any value a neighbor holds costs a round-trip letter. The analogy
+motivates why distributed-memory clusters scale to many islands, why data
+placement decides how much mail is sent, and why algorithms are redesigned
+to batch letters rather than chat constantly.
+
+**Extending it**: give each island a filing cabinet drawer of a shared
+phone book and ask how to find one number — the class invents owner
+lookup; then ask for the most common surname — the class invents local
+tally plus a mailed reduction. Every collective operation has an island
+story, which is why this analogy anchors whole distributed-memory
+courses.`,
+			Accessibility: `Pure narrative; no props or movement required.`,
+			Assessment:    "None known.",
+			Citations: []string{
+				"H. Neeman, L. Lee, J. Mullen, and G. Newman, \"Analogies for teaching parallel computing to inexperienced programmers,\" ITiCSE-WGR 2006.",
+				"H. Neeman, H. Severini, and D. Wu, \"Supercomputing in plain english: Teaching cyberinfrastructure to computing novices,\" SIGCSE Bull., vol. 40, no. 2, 2008.",
+			},
+		},
+		{
+			Slug:          "long-distance-phone-call",
+			Title:         "The Long Distance Phone Call (Latency and Bandwidth)",
+			Date:          "2006-06-01",
+			CS2013:        []string{"PD_ParallelPerformance", "PD_ParallelArchitecture"},
+			CS2013Details: []string{"PP_3", "PA_8"},
+			TCPP:          []string{"TCPP_Architecture", "TCPP_Programming", "TCPP_Crosscutting"},
+			TCPPDetails:   []string{"C_SharedVsDistributedMemory", "C_CommunicationOverhead", "K_PerformanceModeling"},
+			Courses:       []string{"CS2", "DSA", "Systems"},
+			Senses:        []string{"sound"},
+			Medium:        []string{"analogy"},
+			Author:        "Henry Neeman, Lloyd Lee, Julia Mullen and Gerard Newman",
+			Links:         []string{oscer},
+			Details: `Sending a message between machines is like an old long-distance
+phone call: a fixed connection charge just to be put through (latency) plus
+a per-minute charge for however long you talk (inverse bandwidth). Many
+short calls cost mostly connection charges, so chatty programs pay dearly;
+one long call amortizes the setup. Students fit the two-parameter cost model
+to example message sizes and predict when batching messages wins: an alpha-
+beta performance model in plain clothes.
+
+**Running it**: hand out a fictional phone bill (a dozen calls with
+durations and totals) and have pairs recover the two charges by fitting a
+line — then reveal that measuring alpha and beta on a real cluster is done
+exactly this way, with ping-pong messages of growing size. The batching
+question ("would you rather make ten one-minute calls or one ten-minute
+call?") gets the right answer from every student who has ever queued.`,
+			Accessibility: `Entirely verbal. The paper notes this analogy has aged: students
+with unlimited cell plans may find connection and per-minute charges
+foreign, and culturally specific billing references may not translate.`,
+			Assessment: "None known.",
+			Citations: []string{
+				"H. Neeman, L. Lee, J. Mullen, and G. Newman, \"Analogies for teaching parallel computing to inexperienced programmers,\" ITiCSE-WGR 2006.",
+			},
+		},
+		{
+			Slug:          "race-condition-analogy",
+			Title:         "Race Conditions: The Shared Whiteboard",
+			Date:          "2006-06-01",
+			CS2013:        []string{"PD_CommunicationAndCoordination"},
+			CS2013Details: []string{"PCC_1", "PCC_2"},
+			TCPP:          []string{"TCPP_Programming", "TCPP_Crosscutting"},
+			TCPPDetails:   []string{"C_DataRaces", "A_Synchronization", "C_Concurrency", "C_NonDeterminism"},
+			Courses:       []string{"CS1", "CS2", "Systems"},
+			Senses:        []string{"visual"},
+			Medium:        []string{"analogy", "board"},
+			Author:        "Henry Neeman, Lloyd Lee, Julia Mullen and Gerard Newman",
+			Links:         []string{oscer},
+			Details: `Two volunteers update a running total on the whiteboard following
+the same three-step script: read the number, add their amount on scratch
+paper, write the result back. When their steps interleave, one update
+vanishes, and re-running the volunteers produces different final totals on
+different days: non-determinism from timing. The class enumerates the
+interleavings on the board and identifies which step sequence must be made
+indivisible, arriving at the lock abstraction from first principles.`,
+			Accessibility: `Board-based demonstration visible to the whole room; volunteers
+act seated or standing.`,
+			Assessment: "None known.",
+			Citations: []string{
+				"H. Neeman, L. Lee, J. Mullen, and G. Newman, \"Analogies for teaching parallel computing to inexperienced programmers,\" ITiCSE-WGR 2006.",
+			},
+		},
+		{
+			Slug:          "resource-contention-analogy",
+			Title:         "Resource Contention: One Photocopier",
+			Date:          "2006-06-01",
+			CS2013:        []string{"PD_ParallelPerformance", "PD_ParallelArchitecture"},
+			CS2013Details: []string{"PP_6", "PA_2"},
+			TCPP:          []string{"TCPP_Architecture", "TCPP_Programming"},
+			TCPPDetails:   []string{"C_CacheCoherence", "K_Multicore", "A_Synchronization", "C_Efficiency"},
+			Courses:       []string{"CS2", "Systems"},
+			Medium:        []string{"analogy"},
+			Author:        "Henry Neeman, Lloyd Lee, Julia Mullen and Gerard Newman",
+			Links:         []string{oscer},
+			Details: `An office hires more workers to copy documents faster, but owns a
+single photocopier. Two workers queue occasionally; twenty workers spend
+their day waiting in line, and hiring more makes throughput worse. The
+photocopier is the shared bus or memory bank of a multicore machine: adding
+cores without adding paths to data yields contention, and keeping a private
+stack of forms at one's own desk (a cache) helps only until two workers need
+the same form (coherence traffic).
+
+**Running it**: tell the story twice, once with two workers and once
+with twenty, and let the class compute copies-per-hour both times from
+simple numbers (each copy takes one minute, walking to the copier takes
+two). The twenty-worker arithmetic produces a visibly absurd queue, and
+asking "what would you buy: faster copier or second copier?" maps directly
+onto memory bandwidth versus additional memory channels.`,
+			Accessibility: `Pure narrative, no props; suitable for any audience familiar
+with office work.`,
+			Assessment: "None known.",
+			Citations: []string{
+				"H. Neeman, L. Lee, J. Mullen, and G. Newman, \"Analogies for teaching parallel computing to inexperienced programmers,\" ITiCSE-WGR 2006.",
+			},
+		},
+		{
+			Slug:          "microarchitecture-metaphors",
+			Title:         "Microarchitecture Through Metaphors",
+			Date:          "2014-06-01",
+			CS2013:        []string{"PD_ParallelArchitecture"},
+			CS2013Details: []string{"PA_5", "PA_6"},
+			TCPP:          []string{"TCPP_Architecture"},
+			TCPPDetails:   []string{"C_Pipelines", "K_FlynnTaxonomy", "C_CacheCoherence", "C_Streams", "K_HeterogeneousArch"},
+			Courses:       []string{"Systems"},
+			Senses:        []string{"visual"},
+			Medium:        []string{"analogy", "board"},
+			Author:        "Jinho Eum and Simha Sethumadhavan",
+			Details: `A suite of drawn metaphors for processor internals: a restaurant
+kitchen as a pipeline (stations pass dishes stage to stage), the walk-in
+pantry versus the countertop as the memory hierarchy, duplicate countertop
+ingredient bins that must be kept in sync as cache coherence, and a food
+court of specialized stalls as heterogeneous and streaming units. Each
+metaphor is sketched on the board before the technical diagram is shown, so
+students attach vocabulary to a scene they already understand.
+
+**Running it**: draw the kitchen once and keep re-annotating the same
+sketch across lectures — a stalled dish is a pipeline bubble, a missing
+ingredient sends a runner to the pantry (a miss), and two cooks editing
+the same bin tag is an invalidation. Eum and Sethumadhavan report the
+metaphors were most valuable on exams, where students reached for the
+kitchen when the formal vocabulary failed them.`,
+			Accessibility: `Board sketches carry the content; verbal descriptions of each
+scene make the metaphors accessible to low-vision students.`,
+			Assessment: "None known.",
+			Citations: []string{
+				"J. Eum and S. Sethumadhavan, \"Teaching microarchitecture through metaphors,\" Columbia University Tech Report CUCS-006-14, 2014.",
+			},
+		},
+		{
+			Slug:          "amdahl-chocolate-bar",
+			Title:         "Amdahl's Chocolate Bar",
+			Date:          "2008-06-01",
+			CS2013:        []string{"PD_ParallelAlgorithms", "PD_ParallelPerformance"},
+			CS2013Details: []string{"PAAP_3", "PAAP_5", "PP_2"},
+			TCPP:          []string{"TCPP_Programming"},
+			TCPPDetails:   []string{"C_AmdahlsLaw", "C_Speedup", "C_Efficiency"},
+			Courses:       []string{"CS0", "CS1", "CS2", "DSA", "Systems"},
+			Senses:        []string{"visual", "touch", "accessible"},
+			Medium:        []string{"analogy", "food"},
+			Author:        "Collected from the Supercomputing in Plain English workshop community",
+			Details: `A chocolate bar stands in for a program: most squares are
+"parallel work" that any number of helpers can eat simultaneously, but the
+wrapper must be opened first and the wrapper is one square's worth of time
+that only one person can do. Students compute total eating time for 1, 2, 4
+and 8 helpers, tabulate speedup, and watch it flatten toward the 1/serial
+bound however many helpers join. Varying the wrapper size (the serial
+fraction) previews why real programs stop scaling.
+
+**Running it**: a 4x8 bar with the wrapper counted as two squares of work
+gives s = 1/17, so the class can compute the speedup ceiling (17x) and see
+how absurdly many helpers it takes to approach it. Plot helpers against
+measured eating time on the board; students watch the curve flatten live.
+Follow-up question: which is the better buy, a faster wrapper-opener or
+two more eaters? The answer depends on where you are on the curve — the
+whole Amdahl lesson in one bite.`,
+			Accessibility: `Works with a drawn grid when food is unsuitable; the tactile
+version lets students physically partition squares. Judged generally
+accessible.`,
+			Assessment: "None known.",
+			Citations: []string{
+				"H. Neeman, H. Severini, and D. Wu, \"Supercomputing in plain english: Teaching cyberinfrastructure to computing novices,\" SIGCSE Bull., vol. 40, no. 2, 2008.",
+			},
+		},
+		{
+			Slug:          "orchestra-conductor",
+			Title:         "The Orchestra Conductor (Scheduling)",
+			Date:          "2012-05-01",
+			CS2013:        []string{"PD_ParallelPerformance"},
+			CS2013Details: []string{"PP_5"},
+			TCPP:          []string{"TCPP_Programming"},
+			TCPPDetails:   []string{"C_SchedulingAndMapping", "A_Synchronization"},
+			Courses:       []string{"K_12", "Systems"},
+			Senses:        []string{"sound"},
+			Medium:        []string{"analogy", "instrument"},
+			Author:        "Collected from classroom practice across the Web",
+			Details: `An orchestra plays a piece only if every section starts its phrase
+at the right moment: the conductor is the scheduler, the score is the
+program, and each musician is a core with her own part. A classroom ensemble
+of simple instruments (or clapping sections) first plays without a
+conductor, drifting apart; then with one, re-synchronizing at each downbeat.
+Students hear scheduling and synchronization rather than see them, and
+discuss what happens when one musician (a slow core) lags the beat.
+
+**Running it**: clapping sections work when no instruments are at hand:
+assign each quarter of the room a different beat pattern and conduct.
+Without the conductor the patterns drift within twenty seconds — a felt
+experience of clock skew. Ask the lagging section what would help: a
+faster player (clock speed), fewer notes (less work), or a simpler part
+(better partitioning) — three performance fixes in one scene.`,
+			Accessibility: `Primarily auditory, one of the few unplugged activities that
+engages students through sound; deaf and hard-of-hearing students can follow
+the conductor's visual beat instead.`,
+			Assessment: "None known.",
+			Citations: []string{
+				"S. J. Matthews, \"PDCunplugged: A free repository of unplugged parallel distributed computing activities,\" IPDPSW 2020 (curation entry).",
+			},
+		},
+	}
+}

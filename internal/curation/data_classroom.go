@@ -1,0 +1,314 @@
+package curation
+
+import "pdcunplugged/internal/activity"
+
+// classroomActivities returns the remaining classroom interventions: games,
+// dramatizations and analogy suites developed for specific courses.
+func classroomActivities() []activity.Activity {
+	return []activity.Activity{
+		{
+			Slug:          "game-playing-parallel",
+			Title:         "Game Playing as Parallel Computing",
+			Date:          "1992-09-01",
+			CS2013:        []string{"PD_ParallelDecomposition", "PD_ParallelArchitecture"},
+			CS2013Details: []string{"PD_4", "PA_3", "PA_5"},
+			TCPP:          []string{"TCPP_Architecture", "TCPP_Algorithms"},
+			TCPPDetails:   []string{"C_SIMD", "K_FlynnTaxonomy", "K_DataVsControlParallelism", "A_ParallelSearch"},
+			Courses:       []string{"K_12", "CS2", "DSA"},
+			Senses:        []string{"visual", "movement"},
+			Medium:        []string{"game", "board"},
+			Author:        "Andrew Kitchen, Nan Schaller and Paul Tymann",
+			Details: `Classroom games dramatize machine classes: in the SIMD game one
+caller broadcasts an instruction ("everyone holding a card larger than your
+left neighbor, swap!") that all players execute in lockstep, while the MIMD
+game lets teams pursue sub-goals of a board-game search independently and
+combine results. Students experience the difference between one control
+stream driving many data items and many independent control streams, and
+map each game onto Flynn's taxonomy afterwards.
+
+**Running it**: the SIMD game's power is the caller's *inability* to
+branch per student — when a broadcast instruction makes no sense for a
+particular card, that student simply idles, which is exactly divergence
+masking. Let a student take the caller role and feel how restrictive one
+control stream is; then let teams loose on the MIMD search and compare the
+noise level. The contrast in classroom volume is the contrast in
+architectures.`,
+			Accessibility: `Game roles involve standing and swapping; a fully seated
+variant uses desk-passed cards.`,
+			Assessment: "None known.",
+			Citations: []string{
+				"A. T. Kitchen, N. C. Schaller, and P. T. Tymann, \"Game playing as a technique for teaching parallel computing concepts,\" SIGCSE Bull., vol. 24, no. 3, pp. 35-38, 1992.",
+				"G. F. Bachelis, B. R. Maxim, D. A. James, and Q. F. Stout, \"Bringing algorithms to life,\" School Science and Mathematics, 1994.",
+			},
+		},
+		{
+			Slug:          "synchronization-comparison",
+			Title:         "Comparing Synchronization Methods",
+			Date:          "2010-03-01",
+			CS2013:        []string{"PD_CommunicationAndCoordination", "PD_ParallelismFundamentals"},
+			CS2013Details: []string{"PCC_1", "PF_2"},
+			TCPP:          []string{"TCPP_Programming"},
+			TCPPDetails:   []string{"A_Synchronization", "A_MutualExclusion", "A_CriticalRegions", "K_Deadlocks"},
+			Courses:       []string{"K_12", "CS2", "DSA", "Systems"},
+			Senses:        []string{"visual"},
+			Medium:        []string{"paper"},
+			Author:        "Robert Chesebrough and Ivan Turner",
+			Details: `Developed at the interface of high school and industry: student
+pairs must update a shared tally sheet correctly under three different
+disciplines in turn: a talking-stick lock, a sign-up sheet (queueing
+semaphore), and splitting the sheet so no sharing occurs. Groups record
+which discipline was fastest, which risked deadlock when two sheets were
+needed, and which simply removed the conflict. This is the only curated
+activity that explicitly compares multiple synchronization constructs
+rather than presenting one.
+
+**Running it**: keep the tally task identical across all three rounds
+so timing differences are attributable to the discipline alone; a
+wall-clock scribe records each round. The deadlock probe works best
+staged: introduce a second shared sheet mid-round and watch two pairs
+each holding one sheet wait for the other. Debrief on which discipline
+failed (the lock), which survived (the split), and what that cost.`,
+			Accessibility: `Paper-based with minimal movement. External materials referenced
+in the original paper are no longer reachable (links de-activated).`,
+			Assessment: "None known.",
+			Citations: []string{
+				"R. A. Chesebrough and I. Turner, \"Parallel computing: At the interface of high school and industry,\" SIGCSE 2010.",
+			},
+		},
+		{
+			Slug:          "faster-answer-vs-shared-resource",
+			Title:         "Faster Answer vs. Shared Resource",
+			Date:          "2019-02-01",
+			CS2013:        []string{"PD_ParallelismFundamentals"},
+			CS2013Details: []string{"PF_1"},
+			TCPP:          []string{"TCPP_Programming"},
+			TCPPDetails:   []string{"C_Speedup", "A_MutualExclusion"},
+			Courses:       []string{"CS1", "CS2", "DSA"},
+			Senses:        []string{"visual", "accessible"},
+			Medium:        []string{"paper"},
+			Author:        "Melissa Smith and Srishti Srivastava",
+			Details: `A paired worksheet poses two superficially similar situations:
+four friends grade a stack of exams together (parallelism: using more
+resources for a faster answer) and four roommates share one bathroom each
+morning (concurrency: managing efficient access to a shared resource).
+Students classify a dozen further scenarios as one, the other, or both, and
+articulate the distinction in their own words. This is the only curated
+activity that directly targets the distinguish-parallelism-from-concurrency
+learning outcome.
+
+**Running it**: the classification list works best when some scenarios are
+genuinely both (a restaurant kitchen: more cooks for throughput *and* one
+oven to share), forcing the class past a binary sort into articulating the
+two concerns separately. Collect the worksheets: disagreement rates per
+scenario are themselves an assessment signal, and the original study used
+exactly this instrument across multiple sections.`,
+			Accessibility: `Worksheet discussion; no props or movement. Judged generally
+accessible.`,
+			Assessment: `Student engagement and concept retention were assessed across
+early undergraduate courses as part of an NSF-funded integration study
+(Smith and Srivastava 2019; Srivastava et al. 2019).`,
+			Citations: []string{
+				"M. Smith and S. Srivastava, \"Evaluating student engagement towards integrating parallel and distributed computing (pdc) topics in undergraduate level computer science curriculum,\" SIGCSE 2019.",
+				"S. Srivastava, M. Smith, A. Ghimire, and S. Gao, \"Assessing the integration of parallel and distributed computing in early undergraduate computer science curriculum using unplugged activities,\" EduHPC 2019.",
+			},
+		},
+		{
+			Slug:          "giacaman-analogy-suite",
+			Title:         "Giacaman's Parallel Computing Analogies",
+			Date:          "2012-05-01",
+			CS2013:        []string{"PD_ParallelDecomposition", "PD_ParallelPerformance", "PD_ParallelArchitecture"},
+			CS2013Details: []string{"PD_2", "PP_2", "PA_1", "PA_7"},
+			TCPP:          []string{"TCPP_Architecture", "TCPP_Programming"},
+			TCPPDetails:   []string{"K_Multicore", "C_SharedVsDistributedMemory", "C_SharedMemoryModel", "A_TasksAndThreads", "C_AmdahlsLaw"},
+			Courses:       []string{"CS1", "CS2", "DSA", "Systems"},
+			Senses:        []string{"visual", "accessible"},
+			Medium:        []string{"analogy"},
+			Author:        "Nasser Giacaman",
+			Links:         []string{"https://doi.org/10.1109/IPDPSW.2012.158"},
+			Details: `A suite of everyday analogies woven through a sophomore course and
+paired with live coding: employees sharing one office whiteboard (threads
+over shared memory and why two writers collide), hiring more chefs for one
+kitchen (diminishing returns and Amdahl's law), and one multicore office
+building versus branch offices (shared versus distributed organization).
+Each analogy is introduced before its code demonstration so students carry a
+concrete scene into the technical material.
+
+**Running it**: Giacaman pairs every analogy with a live-coded
+demonstration in the same lecture, and the ordering matters: scene first,
+code second, then explicit mapping ("the whiteboard is this shared list;
+the employees are these threads"). Reusing one scene across weeks beats
+introducing a new analogy per concept — students anchor to few, deep
+scenes.`,
+			Accessibility: `Entirely verbal/slide-based; works in large lectures. Judged
+generally accessible.`,
+			Assessment: "None known.",
+			Citations: []string{
+				"N. Giacaman, \"Teaching by example: Using analogies and live coding demonstrations to teach parallel computing concepts to undergraduate students,\" IPDPSW 2012.",
+			},
+		},
+		{
+			Slug:          "bogaerts-cs1-analogies",
+			Title:         "Bogaerts' CS1 Parallelism Analogies",
+			Date:          "2014-05-01",
+			CS2013:        []string{"PD_ParallelDecomposition", "PD_ParallelAlgorithms"},
+			CS2013Details: []string{"PD_2", "PAAP_3", "PAAP_5"},
+			TCPP:          []string{"TCPP_Algorithms", "TCPP_Programming"},
+			TCPPDetails:   []string{"C_DivideAndConquer", "C_TimeCost", "C_Speedup", "A_TasksAndThreads", "C_DataParallelNotation"},
+			Courses:       []string{"CS1", "DSA"},
+			Senses:        []string{"visual"},
+			Medium:        []string{"analogy"},
+			Author:        "Steven Bogaerts",
+			Details: `"One step at a time" analogies sized for limited CS1 schedule
+room: grading a pile of exams with helpers (data decomposition), a grocery
+store opening more checkout lanes (task throughput versus per-customer
+latency), and recursive halving of a phone-book search shared between two
+people (divide and conquer). Each analogy comes with discussion questions
+about when adding helpers stops paying off, preparing a later one-lecture
+threading introduction.
+
+**Running it**: designed for instructors with one spare lecture, not a
+course redesign: each analogy is a five-minute opener for an otherwise
+unchanged class. Bogaerts' longitudinal report suggests the payoff comes
+later — students who met the analogies in CS1 reached for them unprompted
+in the data structures course when asked to parallelize a loop.`,
+			Accessibility: `Discussion-based; no materials beyond slides.`,
+			Assessment:    "None known.",
+			Citations: []string{
+				"S. A. Bogaerts, \"Limited time and experience: Parallelism in cs1,\" IPDPSW 2014.",
+				"S. A. Bogaerts, \"One step at a time: Parallelism in an introductory programming course,\" JPDC, vol. 105, pp. 4-17, 2017.",
+			},
+		},
+		{
+			Slug:          "acting-out-algorithms",
+			Title:         "Acting Out Algorithms",
+			Date:          "1997-11-01",
+			CS2013:        []string{"PD_ParallelDecomposition", "PD_ParallelAlgorithms"},
+			CS2013Details: []string{"PD_2", "PAAP_4"},
+			TCPP:          []string{"TCPP_Algorithms", "TCPP_Programming"},
+			TCPPDetails:   []string{"A_ParallelSorting", "C_SPMD", "A_Synchronization"},
+			Courses:       []string{"CS1", "CS2", "DSA"},
+			Senses:        []string{"visual", "movement"},
+			Medium:        []string{"role-play", "pens"},
+			Author:        "Ann Fleury",
+			Details: `Students become processors executing the same written script on
+their own data (pens, index cards), acting out algorithms in front of the
+class. For parallel units, the script includes wait-for-neighbor steps so
+the class physically feels synchronization stalls. Fleury's experience
+report argues the dramatization works because students debug the script's
+ambiguities with their bodies before ever writing code, catching
+underspecified steps an instructor's pseudocode glosses over.
+
+**Running it**: give the performers a deliberately ambiguous script on
+the first pass ("compare with your neighbor" — which neighbor?) and let
+the dramatization stall; the class then repairs the script, which is the
+lesson: parallel pseudocode must specify who, with whom, and when. Fleury
+notes the repaired scripts translate almost line-for-line into code.`,
+			Accessibility: `Performance-style activity; roles can be narrated rather than
+walked for students who prefer not to perform.`,
+			Assessment: "None known.",
+			Citations: []string{
+				"A. Fleury, \"Acting out algorithms: how and why it works,\" The Journal of Computing in Small Colleges, vol. 13, no. 2, pp. 83-90, 1997.",
+			},
+		},
+		{
+			Slug:          "object-oriented-role-play",
+			Title:         "Role Playing Message Passing",
+			Date:          "2002-02-01",
+			CS2013:        []string{"PD_CommunicationAndCoordination"},
+			CS2013Details: []string{"PCC_11"},
+			TCPP:          []string{"TCPP_Programming"},
+			TCPPDetails:   []string{"C_ClientServer"},
+			Courses:       []string{"CS1"},
+			Senses:        []string{"movement"},
+			Medium:        []string{"role-play"},
+			Author:        "Steven Andrianoff and David Levine",
+			Details: `Students play objects that communicate only by sending messages:
+a requester walks a written method call to a receiver, waits while the
+receiver computes (possibly dispatching its own sub-requests), and carries
+the return value back. Used for object-orientation, the dramatization maps
+directly onto remote procedure call in a client-server setting: the walk is
+network latency, the wait is blocking, and two simultaneous requesters at
+one receiver surface the need for a service queue. External materials cited
+in the original paper have since been de-activated.
+
+**Running it**: the blocking wait is the teachable moment — the
+requester must stand idle at the receiver's desk until the return value
+comes back. After one round, let requesters leave a callback note instead
+and continue working; the room discovers asynchronous invocation because
+standing still is boring. Two requesters colliding at one receiver
+motivates queueing without any prompting.`,
+			Accessibility: `Walking roles are swappable with note passing along desks.`,
+			Assessment:    "None known.",
+			Citations: []string{
+				"S. K. Andrianoff and D. B. Levine, \"Role playing in an object-oriented world,\" SIGCSE 2002.",
+			},
+		},
+		{
+			Slug:          "assembly-line-pipeline",
+			Title:         "The Assembly Line (Pipelining)",
+			Date:          "2000-03-01",
+			CS2013:        []string{"PD_ParallelDecomposition", "PD_ParallelAlgorithms", "PD_ParallelArchitecture"},
+			CS2013Details: []string{"PD_4", "PAAP_8", "PAAP_9", "PA_5"},
+			TCPP:          []string{"TCPP_Architecture", "TCPP_Algorithms"},
+			TCPPDetails:   []string{"C_Pipelines", "K_MIMD", "C_PipelineParadigm", "C_TaskGraphs"},
+			Courses:       []string{"CS2", "DSA", "Systems"},
+			Senses:        []string{"visual", "movement"},
+			Medium:        []string{"role-play", "board"},
+			Author:        "Michelle Moore",
+			Details: `Students staff a paper-airplane assembly line on the board's task
+chart: folder, decorator, inspector, launcher. One artisan building planes
+start-to-finish races the four-stage line; the line wins on throughput once
+full, but the first plane takes just as long (latency), and a slow
+decorator stalls everyone upstream (a producer-consumer bottleneck).
+Swapping in a second decorator introduces stage replication, and the class
+redraws the task graph to match.
+
+**Running it**: real paper airplanes keep stakes high (the launcher
+tests every plane). Time three configurations: one artisan, the four-stage
+line, and the line with a doubled bottleneck stage. Plot all three on the
+board; the line beats the artisan only after the fill, and doubling the
+slow stage beats everything — throughput, latency and bottlenecks in
+fifteen minutes of folding.`,
+			Accessibility: `Stations can be arranged along one table for seated
+participation; roles without fine motor demands (inspector, timer) are
+available.`,
+			Assessment: "None known.",
+			Citations: []string{
+				"M. Moore, \"Introducing parallel processing concepts,\" J. Comput. Sci. Coll., vol. 15, no. 3, pp. 173-180, 2000.",
+			},
+		},
+		{
+			Slug:          "pbj-task-graph",
+			Title:         "Peanut Butter and Jelly Task Graph",
+			Date:          "2015-08-01",
+			CS2013:        []string{"PD_ParallelDecomposition"},
+			CS2013Details: []string{"PD_2", "PD_4"},
+			TCPP:          []string{"TCPP_Algorithms"},
+			TCPPDetails:   []string{"C_Dependencies", "C_TaskGraphs"},
+			Courses:       []string{"K_12", "CS0", "CS1"},
+			Senses:        []string{"visual", "movement", "touch", "accessible"},
+			Medium:        []string{"role-play", "paper", "food"},
+			Author:        "Collected from classroom practice across the Web",
+			Details: `The classic precise-instructions sandwich demonstration, extended
+to parallelism: the class first writes painfully exact steps for making a
+peanut butter and jelly sandwich, then asks which steps two cooks could do
+at once. Spreading peanut butter and spreading jelly can overlap only with
+two knives and two bread slices laid out; assembling must wait for both.
+Students draw the dependency graph on paper, mark the critical path, and
+predict the best two-cook time before acting it out.
+
+**Running it**: insist the instruction cards are executed with malicious
+literalism (the classic demonstration) before any parallelization — the
+class must fix sequential correctness first, a point worth making out
+loud. Then challenge teams to beat the two-cook prediction; they cannot,
+because the critical path is physical here, and that impossibility is the
+span lesson.`,
+			Accessibility: `Food can be replaced by craft-paper props; the dependency
+drawing carries the content. Judged generally accessible.`,
+			Assessment: "None known.",
+			Citations: []string{
+				"S. J. Matthews, \"PDCunplugged: A free repository of unplugged parallel distributed computing activities,\" IPDPSW 2020 (curation entry).",
+			},
+		},
+	}
+}

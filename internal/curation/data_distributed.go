@@ -1,0 +1,292 @@
+package curation
+
+import "pdcunplugged/internal/activity"
+
+// distributedActivities returns the concurrency, coordination and
+// distributed-systems dramatizations (races, mutual exclusion, consensus,
+// self-stabilization).
+func distributedActivities() []activity.Activity {
+	return []activity.Activity{
+		{
+			Slug:          "juice-sweetening-race",
+			Title:         "Juice-Sweetening Robots",
+			Date:          "1999-06-01",
+			CS2013:        []string{"PD_CommunicationAndCoordination"},
+			CS2013Details: []string{"PCC_1", "PCC_2"},
+			TCPP:          []string{"TCPP_Programming", "TCPP_Crosscutting"},
+			TCPPDetails:   []string{"C_DataRaces", "A_CriticalRegions", "A_MutualExclusion", "C_Concurrency"},
+			Courses:       []string{"CS2", "DSA", "Systems"},
+			Senses:        []string{"visual", "movement"},
+			Medium:        []string{"role-play", "food"},
+			Author:        "Mordechai Ben-Ari and Yifat Ben-David Kolikant",
+			Details: `A constructivist scenario: two robots (students) are each told to
+sweeten a glass of juice by checking whether sugar has been added and adding
+a spoonful if not. Acting concurrently, both robots test the glass before
+either adds sugar, and the juice ends up doubly sweetened: a race condition
+played out physically. The class re-runs the scenario with a rule that only
+one robot may hold the spoon at a time, discovering mutual exclusion and the
+need for an atomic test-and-set. Interleavings are recorded on the board so
+students see exactly which orderings produce the wrong outcome.
+
+**Running it**: script the two robots' steps on cards (LOOK, DECIDE, POUR)
+and let a third student call the schedule by pointing at whichever robot
+acts next — the class becomes the scheduler and discovers it can force
+both good and bad outcomes. The constructivist point lands when students
+articulate *why* the bad schedule is bad: the look and the pour must be
+indivisible. Ben-Ari and Kolikant report that students initially propose
+politeness rules ("pour slowly") before converging on mutual exclusion.`,
+			Accessibility: `Uses a simple table-top prop; the robot roles involve standing
+but can be played seated. The scenario translates well across cultures.`,
+			Assessment: "None known.",
+			Citations: []string{
+				"M. Ben-Ari and Y. B.-D. Kolikant, \"Thinking parallel: The process of learning concurrency,\" ITiCSE 1999.",
+			},
+		},
+		{
+			Slug:          "concert-tickets",
+			Title:         "Concert Tickets",
+			Date:          "2001-09-01",
+			CS2013:        []string{"PD_CommunicationAndCoordination", "PD_CloudComputing"},
+			CS2013Details: []string{"PCC_1", "PCC_9", "CC_2"},
+			TCPP:          []string{"TCPP_Programming"},
+			TCPPDetails:   []string{"C_DataRaces", "A_MutualExclusion", "A_ProducerConsumer"},
+			Courses:       []string{"CS0", "CS1", "CS2", "Systems"},
+			Medium:        []string{"role-play", "coins"},
+			Author:        "Yifat Ben-David Kolikant",
+			Details: `Students play ticket agents at separate booths selling seats for
+the same concert from a shared seating chart. Buyers (other students, paying
+with coins) arrive at different booths simultaneously and ask for the same
+seats. Agents who check availability and then sell discover they have sold
+one seat twice: a check-then-act anomaly across replicas of shared data.
+The class designs fixes: a single shared chart with turn-taking, seat
+partitioning per booth, or a reservation step, and compares the throughput
+each fix allows. The activity was refined by Lewandowski et al. to probe
+students' commonsense understanding of concurrency before instruction.
+
+**Running it**: run one booth first so the serial baseline is boring by
+design, then open three booths with no rules and let the double-sale
+happen naturally (seed the buyers with overlapping seat requests). Collect
+the fixes students propose on the board and tax each with its cost: the
+single chart serializes, partitioning wastes seats under skew, reservation
+adds a round trip — there is no free fix, which is the lesson.`,
+			Variations: []string{
+				"Commonsense Computing interview version posing the ticket scenario to pre-CS1 students (Lewandowski et al. 2007, 2010)",
+			},
+			Accessibility: `A discussion-driven scenario with no movement demands; works for
+remote and large-lecture settings.`,
+			Assessment: `Lewandowski et al. used the scenario as a research instrument with
+several hundred students across institutions; most beginning students could
+identify the double-sale hazard and many proposed workable coordination
+schemes, supporting the activity's use as a CS1 opener.`,
+			Citations: []string{
+				"Y. B.-D. Kolikant, \"Gardeners and cinema tickets: High school students' preconceptions of concurrency,\" Computer Science Education, vol. 11, no. 3, pp. 221-245, 2001.",
+				"G. Lewandowski, D. J. Bouvier, R. McCartney, K. Sanders, and B. Simon, \"Commonsense computing (episode 3): Concurrency and concert tickets,\" ICER 2007.",
+				"G. Lewandowski et al., \"Commonsense understanding of concurrency: Computing students and concert tickets,\" Commun. ACM, vol. 53, no. 7, pp. 60-70, 2010.",
+			},
+		},
+		{
+			Slug:          "gardeners",
+			Title:         "Gardeners",
+			Date:          "2001-09-01",
+			CS2013:        []string{"PD_ParallelDecomposition", "PD_CloudComputing"},
+			CS2013Details: []string{"PD_1", "CC_2"},
+			TCPP:          []string{"TCPP_Algorithms", "TCPP_Programming"},
+			TCPPDetails:   []string{"C_MasterWorker", "C_Asynchrony", "A_LoadBalancing", "A_TasksAndThreads"},
+			Courses:       []string{"K_12", "CS0", "Systems"},
+			Senses:        []string{"movement"},
+			Medium:        []string{"role-play"},
+			Author:        "Yifat Ben-David Kolikant",
+			Details: `A team of gardeners must tend a garden of many beds: weeding,
+watering, planting. Students play gardeners who divide the beds among
+themselves, then act out what happens when tasks take uneven time, when two
+gardeners need the same watering can, and when one gardener finishes early.
+The scenario surfaces work distribution, shared-tool contention and the
+question of when the whole job is done, mirroring a master-worker pool over
+a shared task list replicated in each gardener's head.
+
+**Running it**: write each bed's chores on index cards with hidden time
+costs (revealed when picked up), so static splitting is a genuine gamble.
+The "when are we done?" question deserves its own minute: students usually
+propose shouting, then discover that a gardener mid-bed cannot answer, and
+converge on a done-counter — termination detection discovered from need.`,
+			Accessibility: `Role-play with light movement; can be run as a table-top
+planning exercise for groups with mobility constraints.`,
+			Assessment: "None known.",
+			Citations: []string{
+				"Y. B.-D. Kolikant, \"Gardeners and cinema tickets: High school students' preconceptions of concurrency,\" Computer Science Education, vol. 11, no. 3, pp. 221-245, 2001.",
+			},
+		},
+		{
+			Slug:          "selfstabilizing-token-ring",
+			Title:         "Self-Stabilizing Token Ring",
+			Date:          "2003-02-01",
+			CS2013:        []string{"PD_CommunicationAndCoordination"},
+			CS2013Details: []string{"PCC_1"},
+			TCPP:          []string{"TCPP_Algorithms", "TCPP_Crosscutting"},
+			TCPPDetails:   []string{"C_MutualExclusionAlg", "C_FaultTolerance"},
+			Courses:       []string{"K_12", "DSA", "Systems"},
+			Senses:        []string{"movement"},
+			Medium:        []string{"role-play", "pens"},
+			Author:        "Paolo Sivilotti and Murat Demirbas",
+			Links:         []string{"http://web.cse.ohio-state.edu/~sivilotti.1/outreach/FESC02/"},
+			Details: `Students stand in a circle, each holding up some number of fingers
+(their state). A student holds "the token" (a pen) exactly when her state
+relates to her neighbor's by Dijkstra's K-state rule; only the token holder
+may act (enter the critical section) and then update her state, passing the
+token on. The facilitator then corrupts states arbitrarily, creating zero or
+several tokens, and the class steps the rule until exactly one token
+circulates again, experiencing self-stabilization: the ring repairs itself
+from any fault without central control. Developed to introduce middle school
+girls to fault-tolerant computing.
+
+**Running it**: use K = class size + 1 states (fingers work up to ten
+students; cards beyond). Appoint a saboteur whose job is to scramble the
+circle as maliciously as possible — classes quickly discover that no
+scramble survives. Two discussion prompts carry the theory: why can the
+ring never reach a token-free state (someone's rule always fires), and why
+does machine zero's different rule break the symmetry that would otherwise
+let multiple tokens circulate forever?`,
+			Accessibility: `Requires forming a circle; a seated circle works equally well.
+State can be shown with cards instead of fingers for students with limited
+dexterity.`,
+			Assessment: "None known.",
+			Citations: []string{
+				"P. A. G. Sivilotti and M. Demirbas, \"Introducing middle school girls to fault tolerant computing,\" SIGCSE 2003.",
+			},
+		},
+		{
+			Slug:          "stable-leader-election",
+			Title:         "Stable Leader Election",
+			Date:          "2007-03-01",
+			CS2013:        []string{"PD_CommunicationAndCoordination", "PD_DistributedSystems"},
+			CS2013Details: []string{"PCC_8", "DS_9"},
+			TCPP:          []string{"TCPP_Algorithms"},
+			TCPPDetails:   []string{"C_Asynchrony"},
+			Courses:       []string{"DSA", "Systems"},
+			Senses:        []string{"movement"},
+			Medium:        []string{"role-play", "pens"},
+			Author:        "Paolo Sivilotti and Scott Pike",
+			Details: `Students form a ring of processes that must agree on a single
+leader while messages travel at unpredictable speeds (students amble at
+different paces carrying pen-and-paper messages). Each student forwards the
+largest identifier seen so far; a student who receives her own identifier
+back declares herself leader. The assertional framing asks the class to
+state the invariant (at most one student ever declares) and the progress
+property (eventually someone declares), and to argue both hold for every
+possible message interleaving rather than for one traced run.
+
+**Running it**: identifiers on large cards, messages on sticky notes.
+Instruct carriers to dawdle unpredictably — the point is that no timing
+assumption is available. Midway, freeze the room and ask who *might* still
+become leader; the answer (exactly those whose id has not yet met a larger
+one) is the invariant doing real work.`,
+			Accessibility: `Message-carrying movement can be replaced by passing notes along
+a seated row; identifiers on large cards aid visibility.`,
+			Assessment: "None known.",
+			Citations: []string{
+				"P. A. G. Sivilotti and S. M. Pike, \"The suitability of kinesthetic learning activities for teaching distributed algorithms,\" SIGCSE 2007.",
+			},
+		},
+		{
+			Slug:          "parallel-garbage-collection",
+			Title:         "Parallel Garbage Collection",
+			Date:          "2007-03-01",
+			CS2013:        []string{"PD_ParallelDecomposition"},
+			CS2013Details: []string{"PD_4"},
+			TCPP:          []string{"TCPP_Algorithms"},
+			TCPPDetails:   []string{"C_GraphTraversal", "C_Dependencies"},
+			Courses:       []string{"DSA", "Systems"},
+			Senses:        []string{"visual", "movement"},
+			Medium:        []string{"role-play", "paper"},
+			Author:        "Paolo Sivilotti and Scott Pike",
+			Details: `An object graph is taped to the floor: paper plates are objects,
+string segments are references, and a marked plate is the root set. Student
+collectors start at the roots and mark reachable plates concurrently, each
+following references from plates they have claimed. The class verifies the
+invariant that marked plates are exactly those reachable from a root, no
+matter how the collectors' walks interleave, and observes that extra
+collectors shorten the marking phase until the graph's shape (its dependency
+structure) limits further speedup.
+
+**Running it**: build the floor graph with a long chain section and a
+bushy section; collectors fly through the bush in parallel but queue on
+the chain, making the span/work distinction physical. A second round with
+a "mutator" student who re-wires one string mid-mark motivates why real
+collectors stop the world or intercept writes.`,
+			Accessibility: `Requires walking the floor graph; a table-sized graph drawn on
+poster paper with counters as markers is an equivalent seated variant.`,
+			Assessment: "None known.",
+			Citations: []string{
+				"P. A. G. Sivilotti and S. M. Pike, \"The suitability of kinesthetic learning activities for teaching distributed algorithms,\" SIGCSE 2007.",
+			},
+		},
+		{
+			Slug:          "byzantine-generals",
+			Title:         "Byzantine Generals",
+			Date:          "1994-12-01",
+			CS2013:        []string{"PD_CommunicationAndCoordination", "PD_DistributedSystems", "PD_CloudComputing"},
+			CS2013Details: []string{"PCC_8", "DS_9", "CC_2"},
+			TCPP:          []string{"TCPP_Algorithms", "TCPP_Crosscutting"},
+			TCPPDetails:   []string{"C_Asynchrony", "C_FaultTolerance", "K_DistributedSecurity"},
+			Courses:       []string{"CS0", "CS2", "DSA", "Systems"},
+			Senses:        []string{"visual", "movement"},
+			Medium:        []string{"role-play", "paper"},
+			Author:        "William Lloyd",
+			Details: `Student generals camped around a city must agree to attack or
+retreat, exchanging only written messengers' notes; some generals are
+secretly traitors who send conflicting notes. Rounds of the oral-messages
+algorithm are played with and without traitors, and the class tallies when
+loyal generals still reach agreement. Students discover the threshold result
+(more than two-thirds must be loyal), why a signed-note variant helps, and
+how the same problem underlies keeping replicated shared data consistent
+across unreliable machines.
+
+**Running it**: seven generals with two secret traitors is the sweet spot:
+large enough that the majority vote visibly absorbs the lies, small enough
+to tally rounds on the board. Issue traitors a sealed instruction card
+("answer arbitrarily; try to split the loyal camp") so their behaviour is
+adversarial rather than merely random. After a three-general round fails,
+let the class conjecture the threshold before revealing n > 3t.`,
+			Accessibility: `Note-passing works seated; color-coded ballots reduce the
+reading load for younger audiences.`,
+			Assessment: "None known.",
+			Citations: []string{
+				"W. S. Lloyd, \"Exploring the byzantine generals problem with beginning computer science students,\" SIGCSE Bull., vol. 26, no. 4, pp. 21-24, 1994.",
+			},
+		},
+		{
+			Slug:          "orange-game",
+			Title:         "The Orange Game (Routing and Deadlock)",
+			Date:          "2009-01-01",
+			CS2013:        []string{"PD_CommunicationAndCoordination"},
+			CS2013Details: []string{"PCC_3"},
+			TCPP:          []string{"TCPP_Algorithms"},
+			TCPPDetails:   []string{"C_GraphTraversal", "C_Asynchrony"},
+			Courses:       []string{"K_12", "CS0", "Systems"},
+			Senses:        []string{"visual", "movement"},
+			Medium:        []string{"game", "food"},
+			Author:        "Tim Bell, Jason Alexander, Isaac Freeman and Matthew Grimley (CS Unplugged)",
+			Links:         []string{"https://csunplugged.org/en/topics/routing-and-deadlock/"},
+			Details: `Students sit in a circle, each labeled with a letter and holding
+oranges labeled with other students' letters; each student has one free
+hand. Oranges may only be passed to a neighbor's free hand, and the goal is
+for every student to hold the oranges bearing their own letter. With greedy
+passing the circle quickly deadlocks: everyone's hands are full and no move
+helps. The class develops strategies, keeping a hand free, routing oranges
+the long way around, and connects the experience to blocking message sends,
+routing in networks, and deadlock avoidance.
+
+**Running it**: ten to twelve students per circle; duplicate one letter
+and leave one orange-less student so moves exist at the start. When the
+circle deadlocks, freeze it and draw the waits-for cycle on the board —
+every hand is full and every wanted hand is full — then restart with the
+one-free-hand rule and watch the cycle become impossible.`,
+			Accessibility: `Passing can happen along a table top; bean bags substitute for
+oranges where food props are unsuitable.`,
+			Assessment: "None known.",
+			Citations: []string{
+				"T. Bell, J. Alexander, I. Freeman, and M. Grimley, \"Computer science unplugged: School students doing real computing without computers,\" NZ Journal of Applied Computing and Information Technology, vol. 13, no. 1, pp. 20-29, 2009.",
+			},
+		},
+	}
+}

@@ -1,0 +1,186 @@
+package curation
+
+import "pdcunplugged/internal/activity"
+
+// ipdcActivities returns the assessed activities from the Tennessee Tech
+// iPDC modules (Ghafoor, Brown, Rogers, Hines) and the related graduate
+// active-learning activity (Chitra and Ghafoor).
+func ipdcActivities() []activity.Activity {
+	const ipdcSite = "https://csc.tntech.edu/pdcincs/index.php/ipdc-modules/"
+	return []activity.Activity{
+		{
+			Slug:          "ipdc-array-addition",
+			Title:         "iPDC: Parallel Array Addition",
+			Date:          "2019-07-01",
+			CS2013:        []string{"PD_ParallelDecomposition", "PD_ParallelAlgorithms"},
+			CS2013Details: []string{"PD_2", "PD_5", "PAAP_4"},
+			TCPP:          []string{"TCPP_Algorithms", "TCPP_Programming"},
+			TCPPDetails:   []string{"C_TimeCost", "C_DataParallelNotation", "C_Speedup"},
+			Courses:       []string{"CS1", "CS2", "DSA"},
+			Senses:        []string{"visual", "touch", "accessible"},
+			Medium:        []string{"paper", "pens"},
+			Author:        "Sheikh Ghafoor, David Brown, Mike Rogers and Thomas Hines",
+			Links:         []string{ipdcSite},
+			Details: `Students receive worksheets with a long row of numbers to total.
+One student adds the whole row alone while groups split the same row into
+equal chunks, total their chunks simultaneously, and combine partial sums.
+Groups time both runs, compute speedup, and notice the combining step is
+extra work that a lone adder never pays: the first quantitative encounter
+with overhead. The worksheet then asks which chunk assignment is fair when
+some numbers are multi-digit, previewing data decomposition choices.
+
+**Running it**: print rows of 60-80 single-digit numbers so a solo run
+takes about two minutes and a four-student run visibly beats it even with
+the combining step. Have groups record three times — solo, split, and
+split-plus-combine — so the overhead term appears as its own number rather
+than being lost in the total. The worksheet's closing question asks
+students to predict the time for eight helpers before re-running, which
+surfaces the diminishing-returns intuition the later Amdahl material
+formalizes.`,
+			Accessibility: `A seated pencil-and-paper exercise; large-print worksheets
+extend access. Judged generally accessible.`,
+			Assessment: `Evaluated in CS1 and CS2 at Tennessee Tech; preliminary results
+suggested the unplugged treatment aided understanding of decomposition and
+speedup (Ghafoor et al. 2019).`,
+			Citations: []string{
+				"S. K. Ghafoor, D. W. Brown, M. Rogers, and T. Hines, \"Unplugged activities to introduce parallel computing in introductory programming classes: An experience report,\" ITiCSE 2019.",
+				"S. K. Ghafoor, M. Rogers, D. Brown, and A. Haynes, \"iPDC modules (unplugged),\" course materials site.",
+			},
+		},
+		{
+			Slug:          "ipdc-card-search",
+			Title:         "iPDC: Parallel Card Search",
+			Date:          "2019-07-01",
+			CS2013:        []string{"PD_ParallelDecomposition"},
+			CS2013Details: []string{"PD_5"},
+			TCPP:          []string{"TCPP_Algorithms"},
+			TCPPDetails:   []string{"A_ParallelSearch", "C_ParallelSelection"},
+			Courses:       []string{"K_12", "CS1", "CS2", "DSA"},
+			Senses:        []string{"visual", "touch"},
+			Medium:        []string{"game", "cards"},
+			Author:        "Sheikh Ghafoor, David Brown, Mike Rogers and Thomas Hines",
+			Links:         []string{ipdcSite},
+			Details: `A target card hides in a large shuffled spread laid face down on
+desks. One seeker flips cards alone; then a team partitions the spread and
+seeks simultaneously, shouting when the target appears. Teams chart seek
+time against team size, observing near-linear speedup for this pleasantly
+parallel search, and then repeat with the target absent to see that
+worst-case work does not shrink, only wall-clock time. Run as a race between
+teams, the activity doubles as a game.`,
+			Accessibility: `Cards on reachable desk areas; flipping can be delegated to a
+partner for students with limited dexterity.`,
+			Assessment: `Listed with the assessed iPDC module set evaluated in
+introductory courses at Tennessee Tech (Ghafoor et al. 2019).`,
+			Citations: []string{
+				"S. K. Ghafoor, D. W. Brown, M. Rogers, and T. Hines, \"Unplugged activities to introduce parallel computing in introductory programming classes: An experience report,\" ITiCSE 2019.",
+				"S. K. Ghafoor, M. Rogers, D. Brown, and A. Haynes, \"iPDC modules (unplugged),\" course materials site.",
+			},
+		},
+		{
+			Slug:          "ipdc-sorting-network",
+			Title:         "iPDC: Desktop Sorting Network",
+			Date:          "2019-07-01",
+			CS2013:        []string{"PD_ParallelDecomposition", "PD_ParallelAlgorithms"},
+			CS2013Details: []string{"PD_3", "PAAP_4"},
+			TCPP:          []string{"TCPP_Algorithms"},
+			TCPPDetails:   []string{"A_ParallelSorting"},
+			Courses:       []string{"K_12", "CS2", "DSA"},
+			Senses:        []string{"visual", "touch"},
+			Medium:        []string{"cards"},
+			Author:        "Sheikh Ghafoor, Mike Rogers, David Brown and Austin Haynes",
+			Links:         []string{ipdcSite},
+			Details: `A printed comparator network sits on each desk; students slide
+numbered cards along the lanes, resolving every comparator at the same depth
+simultaneously before advancing. Because the comparison schedule is fixed in
+advance, students verify the network sorts every permutation they try and
+count depth (parallel steps) separately from size (total comparators),
+meeting the work/time distinction in a purely tabletop form.`,
+			Accessibility: `Entirely desk-based with sliding cards; no movement around the
+room required.`,
+			Assessment: "None known.",
+			Citations: []string{
+				"S. K. Ghafoor, M. Rogers, D. Brown, and A. Haynes, \"iPDC modules (unplugged),\" course materials site.",
+			},
+		},
+		{
+			Slug:          "ipdc-pipeline-laundry",
+			Title:         "iPDC: Laundry Pipeline",
+			Date:          "2019-07-01",
+			CS2013:        []string{"PD_ParallelDecomposition", "PD_ParallelPerformance"},
+			CS2013Details: []string{"PD_4", "PP_5"},
+			TCPP:          []string{"TCPP_Algorithms", "TCPP_Programming"},
+			TCPPDetails:   []string{"C_PipelineParadigm", "A_TasksAndThreads", "C_Speedup"},
+			Courses:       []string{"CS1", "CS2", "DSA"},
+			Senses:        []string{"visual"},
+			Medium:        []string{"paper"},
+			Author:        "Sheikh Ghafoor, Mike Rogers, David Brown and Austin Haynes",
+			Links:         []string{ipdcSite},
+			Details: `Loads of laundry flow through washer, dryer and folding table on a
+paper timeline. Students first schedule four loads through one stage at a
+time, then overlap them so the washer starts load two while load one dries,
+filling in a pipeline diagram. They compute throughput once the pipeline
+fills, identify the slowest stage as the bottleneck, and predict the effect
+of buying a second dryer: stage balancing without any code.`,
+			Accessibility: `A worksheet exercise; the timeline grid suits screen readers
+poorly, so a verbal walk-through variant is suggested.`,
+			Assessment: "None known.",
+			Citations: []string{
+				"S. K. Ghafoor, M. Rogers, D. Brown, and A. Haynes, \"iPDC modules (unplugged),\" course materials site.",
+			},
+		},
+		{
+			Slug:          "ipdc-matrix-decomposition",
+			Title:         "iPDC: Matrix Row Decomposition",
+			Date:          "2019-07-01",
+			CS2013:        []string{"PD_ParallelDecomposition"},
+			CS2013Details: []string{"PD_5"},
+			TCPP:          []string{"TCPP_Algorithms", "TCPP_Programming"},
+			TCPPDetails:   []string{"K_SpacePowerTradeoffs", "C_DataParallelNotation", "C_DataDistribution"},
+			Courses:       []string{"CS2", "DSA"},
+			Senses:        []string{"visual"},
+			Medium:        []string{"paper"},
+			Author:        "Sheikh Ghafoor, Mike Rogers, David Brown and Austin Haynes",
+			Links:         []string{ipdcSite},
+			Details: `Groups scale a paper matrix by a constant, with each member owning
+a band of rows. Row bands finish independently; then the worksheet switches
+to an operation needing neighbors' rows (a stencil-style smoothing), and
+suddenly members must copy values across the group boundary. Students
+compare the copying cost of row, column and block distributions and discuss
+the memory each member must hold, trading replicated storage against
+communication.`,
+			Accessibility: `Seated worksheet activity; color-coded bands aid students in
+tracking ownership.`,
+			Assessment: "None known.",
+			Citations: []string{
+				"S. K. Ghafoor, M. Rogers, D. Brown, and A. Haynes, \"iPDC modules (unplugged),\" course materials site.",
+			},
+		},
+		{
+			Slug:          "graduate-jigsaw-teams",
+			Title:         "Graduate Jigsaw Teams for PDC",
+			Date:          "2019-05-01",
+			CS2013:        []string{"PD_ParallelDecomposition", "PD_ParallelPerformance"},
+			CS2013Details: []string{"PD_4", "PP_1", "PP_7"},
+			TCPP:          []string{"TCPP_Programming", "TCPP_Crosscutting"},
+			TCPPDetails:   []string{"A_LoadBalancing", "C_Efficiency", "K_PowerConsumption"},
+			Courses:       []string{"DSA", "Systems", "Graduate"},
+			Senses:        []string{"touch"},
+			Medium:        []string{"objects"},
+			Author:        "P. Chitra and Sheikh Ghafoor",
+			Details: `Part of an active-learning redesign of a graduate PDC course in
+India: teams assemble physical jigsaw sets under changing constraints; a
+fixed piece split per member, then a shared pile with work stealing. Teams
+log idle time per member as a load-imbalance measure and compare energy
+spent (total member-minutes) against elapsed time, connecting the trade
+between running many slow workers and few fast ones to power-aware
+scheduling discussions later in the course.`,
+			Accessibility: `Table-based manipulation of pieces; piece sizes can be chosen
+for students with limited fine motor control.`,
+			Assessment: `Students taught with the activity-based methodology earned higher
+grades than a lecture-format comparison section (Chitra and Ghafoor 2019).`,
+			Citations: []string{
+				"P. Chitra and S. K. Ghafoor, \"Activity based approach for teaching parallel computing: An indian experience,\" IPDPSW 2019.",
+			},
+		},
+	}
+}

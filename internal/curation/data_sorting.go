@@ -1,0 +1,234 @@
+package curation
+
+import "pdcunplugged/internal/activity"
+
+// sortingActivities returns the sorting-and-selection dramatizations, the
+// most common family of unplugged PDC activities in the literature
+// (Section III-A).
+func sortingActivities() []activity.Activity {
+	return []activity.Activity{
+		{
+			Slug:          "findsmallestcard",
+			Title:         "FindSmallestCard",
+			Date:          "1994-04-01",
+			CS2013:        []string{"PD_ParallelDecomposition", "PD_ParallelAlgorithms"},
+			CS2013Details: []string{"PD_2", "PAAP_3"},
+			TCPP:          []string{"TCPP_Algorithms", "TCPP_Programming"},
+			TCPPDetails:   []string{"C_ParallelSelection", "C_TimeCost", "C_Speedup", "C_SPMD"},
+			Courses:       []string{"K_12", "CS1", "CS2", "DSA"},
+			Senses:        []string{"visual", "touch", "accessible"},
+			Medium:        []string{"cards"},
+			Author:        "Gilbert Bachelis, Bruce Maxim, David James and Quentin Stout",
+			Details: `Every student receives one playing card. Working alone, a single
+volunteer finds the smallest card in the room by walking to each student in
+turn: a linear scan that takes as many comparisons as there are students.
+The class then repeats the search cooperatively: students pair up, compare
+cards, and the holder of the larger card sits down. Half the class is
+eliminated in each round, so the smallest card emerges after roughly log2(n)
+rounds. Students count both the total comparisons (the *work*) and the
+number of rounds (the *span*), and observe that cooperating students finish
+dramatically sooner even though the class performs about the same number of
+comparisons overall.
+
+**Running it**: 10-15 minutes including both phases. Deal cards face down
+and reveal on a signal so the serial and parallel runs start identically.
+Discussion prompts: why does the cooperative version need everyone to act
+at once? What would happen with an odd student out each round? Where else
+does "pair up and keep the winner" appear in computing? The last question
+lands the reduction pattern the activity embodies.`,
+			Variations: []string{
+				"Largest-card variant used as a warm-up before parallel sorting (Moore 2000)",
+				"Tournament bracket drawn on the board so students can trace the reduction tree",
+				"Summing variant: pairs add their cards instead of comparing, turning the min-reduction into a sum-reduction",
+			},
+			Accessibility: `Tactile and visual; students who cannot move can hold up cards
+and have partners come to them. Judged generally accessible with minimal
+modification.`,
+			Assessment: "None known.",
+			Citations: []string{
+				"G. F. Bachelis, B. R. Maxim, D. A. James, and Q. F. Stout, \"Bringing algorithms to life: Cooperative computing activities using students as processors,\" School Science and Mathematics, vol. 94, no. 4, pp. 176-186, 1994.",
+				"B. R. Maxim, G. Bachelis, D. James, and Q. Stout, \"Introducing parallel algorithms in undergraduate computer science courses (tutorial session),\" SIGCSE 1990.",
+			},
+		},
+		{
+			Slug:          "cardsort-parallel",
+			Title:         "Parallel Card Sorting",
+			Date:          "1994-04-01",
+			CS2013:        []string{"PD_ParallelDecomposition", "PD_ParallelAlgorithms"},
+			CS2013Details: []string{"PD_3", "PAAP_4", "PAAP_6"},
+			TCPP:          []string{"TCPP_Algorithms", "TCPP_Programming"},
+			TCPPDetails:   []string{"A_ParallelSorting", "C_DivideAndConquer", "C_Speedup", "A_TasksAndThreads"},
+			Courses:       []string{"K_12", "CS1", "CS2", "DSA"},
+			Senses:        []string{"visual", "touch", "accessible"},
+			Medium:        []string{"cards"},
+			Author:        "Gilbert Bachelis, Bruce Maxim, David James and Quentin Stout",
+			Details: `Teams of students sort a shuffled deck cooperatively. Each team
+member first sorts a small hand of cards alone, then pairs of students merge
+their sorted hands, and pairs of pairs merge again until one sorted deck
+remains: a live parallel merge sort. Teams race a single volunteer sorting
+the full deck sequentially, then count merge steps to see why the team wins.
+Comparing team sizes exposes the divide-and-conquer recursion and lets
+students measure speedup empirically against the sequential analog.`,
+			Variations: []string{
+				"Whole-class variant where each student holds a single card (Moore 2000)",
+				"CS1 adaptation with number cards and explicit step counting (Ghafoor et al. 2019)",
+			},
+			Accessibility: `Performed seated around tables; tactile and visual. Judged
+generally accessible with minimal modification.`,
+			Assessment: "None known.",
+			Citations: []string{
+				"G. F. Bachelis, B. R. Maxim, D. A. James, and Q. F. Stout, \"Bringing algorithms to life: Cooperative computing activities using students as processors,\" School Science and Mathematics, vol. 94, no. 4, pp. 176-186, 1994.",
+				"M. Moore, \"Introducing parallel processing concepts,\" J. Comput. Sci. Coll., vol. 15, no. 3, pp. 173-180, 2000.",
+				"S. K. Ghafoor, D. W. Brown, M. Rogers, and T. Hines, \"Unplugged activities to introduce parallel computing in introductory programming classes,\" ITiCSE 2019.",
+			},
+		},
+		{
+			Slug:          "oddeven-transposition",
+			Title:         "Odd-Even Transposition Sort",
+			Date:          "1994-03-01",
+			CS2013:        []string{"PD_ParallelDecomposition", "PD_ParallelAlgorithms"},
+			CS2013Details: []string{"PD_3", "PAAP_3"},
+			TCPP:          []string{"TCPP_Algorithms", "TCPP_Programming"},
+			TCPPDetails:   []string{"A_ParallelSorting", "C_TimeCost", "C_SPMD", "C_Speedup"},
+			Courses:       []string{"K_12", "CS1", "CS2", "DSA"},
+			Senses:        []string{"visual", "movement"},
+			Medium:        []string{"cards"},
+			Author:        "Adam Rifkin",
+			Links:         []string{"http://web.cse.ohio-state.edu/~sivilotti.1/outreach/FESC02/parallel.pdf"},
+			Details: `Students stand in a line, each holding a numbered card. On odd
+steps, students in odd positions compare cards with their right neighbors
+and swap if out of order; on even steps, students in even positions do the
+same. Everyone acts simultaneously, dramatizing a parallel bubble sort: the
+line is guaranteed sorted after n steps. Students predict how many steps a
+sequential bubble sort would need and contrast n parallel rounds against
+roughly n^2/2 sequential comparisons. Sivilotti provides a one-page
+instructor write-up of the dramatization.
+
+**Running it**: number the cards distinctly and have students hold them at
+chest height so the whole room can check each phase. Call phases aloud
+("odd pairs, compare!") to enforce lockstep. Asking the class to predict
+the worst case before starting (a reversed line) makes the linear bound
+memorable. Misconception to surface: students expect the line sorted as
+soon as one phase is quiet — show that a quiet odd phase can still hide an
+out-of-order even pair.`,
+			Variations: []string{
+				"Workshop version for middle school girls, partially assessed (Sivilotti and Demirbas 2003)",
+			},
+			Accessibility: `Requires standing and swapping positions; may be inappropriate
+for students with mobility issues. A seated variant passes cards instead of
+moving bodies.`,
+			Assessment: `Incorporated into a fault-tolerant computing workshop for middle
+school girls and partially assessed via exit surveys; participants correctly
+recalled the parallel sorting rule (Sivilotti and Demirbas 2003).`,
+			Citations: []string{
+				"A. Rifkin, \"Teaching parallel programming and software engineering concepts to high school students,\" SIGCSE Bull., vol. 26, no. 1, pp. 26-30, 1994.",
+				"P. A. G. Sivilotti and M. Demirbas, \"Introducing middle school girls to fault tolerant computing,\" SIGCSE 2003.",
+				"P. A. Sivilotti, \"Parallel programming: Parallel programs are fast,\" instructor handout.",
+			},
+		},
+		{
+			Slug:          "parallel-radixsort",
+			Title:         "Parallel Radix Sort",
+			Date:          "1994-03-01",
+			CS2013:        []string{"PD_ParallelDecomposition", "PD_ParallelAlgorithms"},
+			CS2013Details: []string{"PD_3", "PD_5", "PAAP_3"},
+			TCPP:          []string{"TCPP_Algorithms"},
+			TCPPDetails:   []string{"A_ParallelSorting"},
+			Courses:       []string{"K_12", "CS2", "DSA"},
+			Senses:        []string{"visual", "touch"},
+			Medium:        []string{"cards"},
+			Author:        "Adam Rifkin",
+			Details: `Students dramatize radix sort on multi-digit numbered cards. Bins
+for each digit value are laid out on tables, and teams of students act as
+bin workers: in each pass the class distributes all cards into bins by the
+current digit simultaneously, then collects them in bin order. Because the
+distribution step is data-parallel, adding more bin workers visibly speeds
+up each pass. The class discusses why the per-digit passes must happen in
+sequence while the work within a pass can be fully parallel.
+
+**Running it**: three-digit cards and ten shoebox bins per team work well;
+appoint one student per team as the collector who concatenates bins in
+order, making the stability requirement concrete (cards must keep their
+within-bin arrival order or the earlier passes are wasted). Ask afterwards
+why the same trick cannot sort words of wildly different lengths without
+padding — a question that previews keys versus comparisons.`,
+			Accessibility: `Tactile and visual; cards and bins can be arranged within reach
+of seated students.`,
+			Assessment: "None known.",
+			Citations: []string{
+				"A. Rifkin, \"Teaching parallel programming and software engineering concepts to high school students,\" SIGCSE Bull., vol. 26, no. 1, pp. 26-30, 1994.",
+				"P. A. G. Sivilotti and M. Demirbas, \"Introducing middle school girls to fault tolerant computing,\" SIGCSE 2003.",
+			},
+		},
+		{
+			Slug:          "nondeterministic-sort",
+			Title:         "Non-Deterministic Sorting",
+			Date:          "2007-03-01",
+			CS2013:        []string{"PD_ParallelAlgorithms", "PD_FormalModels"},
+			CS2013Details: []string{"PAAP_5", "FMS_6"},
+			TCPP:          []string{"TCPP_Algorithms", "TCPP_Crosscutting"},
+			TCPPDetails:   []string{"A_ParallelSorting", "C_Asynchrony", "C_NonDeterminism"},
+			Courses:       []string{"DSA", "Systems"},
+			Senses:        []string{"touch"},
+			Medium:        []string{"coins"},
+			Author:        "Paolo Sivilotti and Scott Pike",
+			Details: `An assertional-view activity: students hold numbered tokens in a
+row, and any out-of-order adjacent pair may swap at any moment, chosen
+non-deterministically (a coin flip selects which eligible pair acts).
+Rather than tracing one execution, students identify the invariant (the
+multiset of values never changes) and the variant function (the number of
+inversions strictly decreases with every swap), proving the row always
+becomes sorted no matter which order the swaps fire in. The activity
+introduces reasoning about all executions of a concurrent algorithm instead
+of simulating a single one.
+
+**Running it**: before any token moves, have students write two claims
+on the board — what never changes, and what always shrinks — then let the
+coin drive the schedule. When the row sorts, revisit the claims: the proof
+was finished before the first swap. Sivilotti's experience is that this
+inversion (argue first, run second) is precisely what upper-level students
+need for distributed algorithms, where no single run is representative.`,
+			Accessibility: `Performed seated at a table with tokens or coins; low mobility
+demands but relies on symbol manipulation.`,
+			Assessment: "None known.",
+			Citations: []string{
+				"P. A. G. Sivilotti and S. M. Pike, \"The suitability of kinesthetic learning activities for teaching distributed algorithms,\" SIGCSE 2007.",
+				"P. A. G. Sivilotti, \"Kinesthetic learning activities in an upper-division computer science course,\" NAE FEE 2010.",
+			},
+		},
+		{
+			Slug:          "human-sorting-network",
+			Title:         "Human Sorting Network",
+			Date:          "2009-01-01",
+			CS2013:        []string{"PD_ParallelDecomposition", "PD_ParallelAlgorithms", "PD_ParallelArchitecture"},
+			CS2013Details: []string{"PD_3", "PAAP_9", "PA_3"},
+			TCPP:          []string{"TCPP_Architecture", "TCPP_Algorithms"},
+			TCPPDetails:   []string{"C_SIMD", "K_DataVsControlParallelism", "A_ParallelSorting", "C_TimeCost"},
+			Courses:       []string{"K_12", "DSA"},
+			Senses:        []string{"visual", "movement"},
+			Medium:        []string{"game", "board"},
+			Author:        "Tim Bell, Jason Alexander, Isaac Freeman and Matthew Grimley (CS Unplugged)",
+			Links:         []string{"https://csunplugged.org/en/topics/sorting-networks/"},
+			Details: `A six-input sorting network is chalked on the ground. Six students
+holding numbers walk the network simultaneously; wherever two lanes meet at
+a comparator node, the pair compares values and the smaller takes the left
+exit. All comparisons at the same depth happen at once, so the group emerges
+sorted after a fixed number of lockstep stages regardless of input. Classes
+race teams through the network and discuss how the fixed comparator layout
+is data-independent hardware-style parallelism.
+
+**Running it**: chalk the network large enough that two students can
+stand at a comparator node together. Run it once with numbers, once with
+words (alphabetical order), and once with the students' own birthdays —
+the same network sorts them all, which is the data-independence point.
+Then run it "backwards" from the outputs to show it is not reversible, a
+nice contrast with the role-played algorithms students control.`,
+			Accessibility: `Strongly kinesthetic; a desk-sized version with tokens sliding on
+a printed network accommodates students who cannot walk the chalk network.`,
+			Assessment: "None known.",
+			Citations: []string{
+				"T. Bell, J. Alexander, I. Freeman, and M. Grimley, \"Computer science unplugged: School students doing real computing without computers,\" NZ Journal of Applied Computing and Information Technology, vol. 13, no. 1, pp. 20-29, 2009.",
+			},
+		},
+	}
+}

@@ -1,0 +1,64 @@
+package curation
+
+// simulations maps curated activity slugs to the registered dramatization
+// (internal/sim/activities) that rehearses them. Analogies that share one
+// underlying model map to the same simulation (jigsaw-puzzle and
+// desert-islands are the two halves of the sharedmem cost model). Entries
+// absent here are discussion scenarios with no algorithmic execution to
+// simulate.
+var simulations = map[string]string{
+	"findsmallestcard":                 "findsmallestcard",
+	"cardsort-parallel":                "cardsort",
+	"oddeven-transposition":            "oddeven",
+	"parallel-radixsort":               "radixsort",
+	"human-sorting-network":            "oddeven",
+	"ipdc-sorting-network":             "oddeven",
+	"ipdc-card-search":                 "findsmallestcard",
+	"ipdc-array-addition":              "scan",
+	"ipdc-matrix-decomposition":        "sharedmem",
+	"juice-sweetening-race":            "juicerace",
+	"race-condition-analogy":           "juicerace",
+	"concert-tickets":                  "concerttickets",
+	"gardeners":                        "gardeners",
+	"selfstabilizing-token-ring":       "tokenring",
+	"stable-leader-election":           "leaderelection",
+	"parallel-garbage-collection":      "gcmark",
+	"nondeterministic-sort":            "nondetsort",
+	"byzantine-generals":               "byzantine",
+	"load-balancing-analogy":           "loadbalance",
+	"graduate-jigsaw-teams":            "gardeners",
+	"jigsaw-puzzle":                    "sharedmem",
+	"desert-islands":                   "sharedmem",
+	"resource-contention-analogy":      "sharedmem",
+	"long-distance-phone-call":         "phonecall",
+	"amdahl-chocolate-bar":             "amdahl",
+	"giacaman-analogy-suite":           "amdahl",
+	"bogaerts-cs1-analogies":           "cardsort",
+	"assembly-line-pipeline":           "pipeline",
+	"ipdc-pipeline-laundry":            "pipeline",
+	"orchestra-conductor":              "barrier",
+	"orange-game":                      "collectives",
+	"acting-out-algorithms":            "oddeven",
+	"game-playing-parallel":            "simdgame",
+	"pbj-task-graph":                   "recursiontree",
+	"faster-answer-vs-shared-resource": "concerttickets",
+	"synchronization-comparison":       "barrier",
+	"microarchitecture-metaphors":      "pipeline",
+	"object-oriented-role-play":        "leaderelection",
+}
+
+// SimulationFor returns the registered dramatization rehearsing the given
+// curated activity (ok is false for pure discussion scenarios).
+func SimulationFor(slug string) (string, bool) {
+	name, ok := simulations[slug]
+	return name, ok
+}
+
+// SimulatedSlugs returns the curated slugs that have a dramatization.
+func SimulatedSlugs() []string {
+	out := make([]string, 0, len(simulations))
+	for slug := range simulations {
+		out = append(out, slug)
+	}
+	return out
+}

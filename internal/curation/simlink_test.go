@@ -1,0 +1,56 @@
+package curation
+
+import (
+	"testing"
+
+	"pdcunplugged/internal/sim"
+	_ "pdcunplugged/internal/sim/activities"
+)
+
+func TestSimulationLinksResolveBothWays(t *testing.T) {
+	slugs := map[string]bool{}
+	for _, a := range Activities() {
+		slugs[a.Slug] = true
+	}
+	for _, slug := range SimulatedSlugs() {
+		if !slugs[slug] {
+			t.Errorf("simulation link for unknown activity %q", slug)
+		}
+		name, ok := SimulationFor(slug)
+		if !ok {
+			t.Fatalf("SimulationFor(%s) inconsistent", slug)
+		}
+		if _, registered := sim.Get(name); !registered {
+			t.Errorf("%s links to unregistered simulation %q", slug, name)
+		}
+	}
+	if _, ok := SimulationFor("no-such-activity"); ok {
+		t.Error("SimulationFor accepted unknown slug")
+	}
+}
+
+func TestEveryActivityHasASimulationWhereSensible(t *testing.T) {
+	// All 38 curated activities map to a dramatization: every family the
+	// paper describes executes. (If a future curated activity is a pure
+	// discussion scenario, exempt it here explicitly.)
+	for _, a := range Activities() {
+		if _, ok := SimulationFor(a.Slug); !ok {
+			t.Errorf("%s has no linked dramatization", a.Slug)
+		}
+	}
+}
+
+func TestLinkedSimulationsRunGreen(t *testing.T) {
+	ran := map[string]bool{}
+	for _, slug := range SimulatedSlugs() {
+		name, _ := SimulationFor(slug)
+		if ran[name] {
+			continue
+		}
+		ran[name] = true
+		rep, err := sim.Run(name, sim.Config{Seed: 21})
+		if err != nil || !rep.OK {
+			t.Errorf("%s -> %s: %v %v", slug, name, err, rep)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package frontmatter_test
+
+import (
+	"fmt"
+
+	"pdcunplugged/internal/frontmatter"
+)
+
+// Example shows the Fig. 2 header format round-tripping through the parser.
+func Example() {
+	doc, err := frontmatter.Parse(`---
+title: "FindSmallestCard"
+courses: ["CS1", "CS2", "DSA"]
+---
+
+## Original Author/link
+`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(doc.Get("title"))
+	fmt.Println(doc.GetList("courses"))
+	// Output:
+	// FindSmallestCard
+	// [CS1 CS2 DSA]
+}
+
+// Example_build constructs a header programmatically.
+func Example_build() {
+	doc := frontmatter.New()
+	doc.Set("title", "Odd-Even Transposition Sort")
+	doc.SetList("senses", []string{"visual", "movement"})
+	fmt.Print(doc.Render())
+	// Output:
+	// ---
+	// title: "Odd-Even Transposition Sort"
+	// senses: ["visual", "movement"]
+	// ---
+}

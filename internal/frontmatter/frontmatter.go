@@ -1,0 +1,285 @@
+// Package frontmatter parses and serializes the YAML-subset front matter
+// used by PDCunplugged activity files.
+//
+// An activity file begins with a fenced header of the form shown in Fig. 2
+// of the paper:
+//
+//	---
+//	title: "FindSmallestCard"
+//	date: 2019-10-16
+//	cs2013: ["PD_ParallelDecomposition", "PD_ParallelAlgorithms"]
+//	tcpp: ["TCPP_Algorithms", "TCPP_Programming"]
+//	courses: ["CS1", "CS2", "DSA"]
+//	senses: ["touch", "visual"]
+//	---
+//
+// The subset understood here is exactly what the repository needs: scalar
+// string values (quoted or bare), flow-style string lists (["a", "b"]),
+// block-style string lists ("- a" lines), comments (#), and line
+// continuations ending in a backslash, which the paper's Fig. 2 uses to wrap
+// long lists. It is not a general YAML parser and does not try to be.
+package frontmatter
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Doc holds a parsed front-matter block plus the body that followed it.
+// Field order is preserved so that serialization round-trips.
+type Doc struct {
+	fields map[string]Value
+	order  []string
+	// Body is the content after the closing fence, without a leading newline.
+	Body string
+}
+
+// Value is a front-matter value: either a scalar string or a list of strings.
+type Value struct {
+	Scalar string
+	List   []string
+	IsList bool
+}
+
+// String renders the value as it would appear in a header.
+func (v Value) String() string {
+	if !v.IsList {
+		return quote(v.Scalar)
+	}
+	parts := make([]string, len(v.List))
+	for i, s := range v.List {
+		parts[i] = quote(s)
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// New returns an empty document ready for Set calls.
+func New() *Doc {
+	return &Doc{fields: make(map[string]Value)}
+}
+
+// ErrNoFence is returned when input does not start with a --- fence.
+var ErrNoFence = fmt.Errorf("frontmatter: document does not begin with ---")
+
+// Parse splits input into front matter and body. The input must begin with a
+// line containing only "---"; the header ends at the next such line.
+func Parse(input string) (*Doc, error) {
+	lines := strings.Split(input, "\n")
+	if len(lines) == 0 || strings.TrimRight(lines[0], " \t\r") != "---" {
+		return nil, ErrNoFence
+	}
+	d := New()
+	i := 1
+	closed := false
+	for ; i < len(lines); i++ {
+		line := strings.TrimRight(lines[i], " \t\r")
+		if line == "---" {
+			i++
+			closed = true
+			break
+		}
+		// Join continuation lines: a trailing backslash glues the next line.
+		for strings.HasSuffix(line, "\\") && i+1 < len(lines) {
+			i++
+			line = strings.TrimSuffix(line, "\\") + strings.TrimSpace(strings.TrimRight(lines[i], " \t\r"))
+		}
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "- ") {
+			// Block-list item appended to the most recent key.
+			if len(d.order) == 0 {
+				return nil, fmt.Errorf("frontmatter: list item %q before any key", trimmed)
+			}
+			key := d.order[len(d.order)-1]
+			v := d.fields[key]
+			if !v.IsList && v.Scalar != "" {
+				return nil, fmt.Errorf("frontmatter: key %q mixes scalar and list values", key)
+			}
+			v.IsList = true
+			v.List = append(v.List, unquote(strings.TrimSpace(trimmed[2:])))
+			d.fields[key] = v
+			continue
+		}
+		colon := strings.Index(trimmed, ":")
+		if colon < 0 {
+			return nil, fmt.Errorf("frontmatter: line %d: missing ':' in %q", i+1, trimmed)
+		}
+		key := strings.TrimSpace(trimmed[:colon])
+		if key == "" {
+			return nil, fmt.Errorf("frontmatter: line %d: empty key", i+1)
+		}
+		raw := strings.TrimSpace(trimmed[colon+1:])
+		val, err := parseValue(raw)
+		if err != nil {
+			return nil, fmt.Errorf("frontmatter: key %q: %w", key, err)
+		}
+		if _, dup := d.fields[key]; dup {
+			return nil, fmt.Errorf("frontmatter: duplicate key %q", key)
+		}
+		d.fields[key] = val
+		d.order = append(d.order, key)
+	}
+	if !closed {
+		return nil, fmt.Errorf("frontmatter: unterminated header (no closing ---)")
+	}
+	d.Body = strings.Join(lines[i:], "\n")
+	d.Body = strings.TrimPrefix(d.Body, "\n")
+	return d, nil
+}
+
+func parseValue(raw string) (Value, error) {
+	if strings.HasPrefix(raw, "[") {
+		if !strings.HasSuffix(raw, "]") {
+			return Value{}, fmt.Errorf("unterminated list %q", raw)
+		}
+		inner := strings.TrimSpace(raw[1 : len(raw)-1])
+		v := Value{IsList: true}
+		if inner == "" {
+			return v, nil
+		}
+		items, err := splitFlow(inner)
+		if err != nil {
+			return Value{}, err
+		}
+		for _, it := range items {
+			v.List = append(v.List, unquote(strings.TrimSpace(it)))
+		}
+		return v, nil
+	}
+	return Value{Scalar: unquote(raw)}, nil
+}
+
+// splitFlow splits a flow-list interior on commas, honouring quotes.
+func splitFlow(s string) ([]string, error) {
+	var items []string
+	var cur strings.Builder
+	inQuote := byte(0)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inQuote != 0:
+			cur.WriteByte(c)
+			if c == inQuote {
+				inQuote = 0
+			}
+		case c == '"' || c == '\'':
+			inQuote = c
+			cur.WriteByte(c)
+		case c == ',':
+			items = append(items, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inQuote != 0 {
+		return nil, fmt.Errorf("unterminated quote in list %q", s)
+	}
+	items = append(items, cur.String())
+	return items, nil
+}
+
+func quote(s string) string {
+	return `"` + s + `"`
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 {
+		if (s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\'') {
+			return s[1 : len(s)-1]
+		}
+	}
+	return s
+}
+
+// Get returns the scalar value for key, or "" when absent or a list.
+func (d *Doc) Get(key string) string {
+	v, ok := d.fields[key]
+	if !ok || v.IsList {
+		return ""
+	}
+	return v.Scalar
+}
+
+// GetList returns the list value for key. A scalar value is returned as a
+// one-element list, matching YAML's usual coercion for taxonomy terms.
+func (d *Doc) GetList(key string) []string {
+	v, ok := d.fields[key]
+	if !ok {
+		return nil
+	}
+	if v.IsList {
+		return append([]string(nil), v.List...)
+	}
+	if v.Scalar == "" {
+		return nil
+	}
+	return []string{v.Scalar}
+}
+
+// Has reports whether key is present.
+func (d *Doc) Has(key string) bool {
+	_, ok := d.fields[key]
+	return ok
+}
+
+// Keys returns the keys in their original (or insertion) order.
+func (d *Doc) Keys() []string {
+	return append([]string(nil), d.order...)
+}
+
+// Set stores a scalar value, preserving first-insertion order.
+func (d *Doc) Set(key, value string) {
+	if _, ok := d.fields[key]; !ok {
+		d.order = append(d.order, key)
+	}
+	d.fields[key] = Value{Scalar: value}
+}
+
+// SetList stores a list value, preserving first-insertion order.
+func (d *Doc) SetList(key string, values []string) {
+	if _, ok := d.fields[key]; !ok {
+		d.order = append(d.order, key)
+	}
+	d.fields[key] = Value{IsList: true, List: append([]string(nil), values...)}
+}
+
+// Delete removes a key if present.
+func (d *Doc) Delete(key string) {
+	if _, ok := d.fields[key]; !ok {
+		return
+	}
+	delete(d.fields, key)
+	for i, k := range d.order {
+		if k == key {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Render serializes the document back to fenced front matter plus body.
+func (d *Doc) Render() string {
+	var b strings.Builder
+	b.WriteString("---\n")
+	for _, k := range d.order {
+		fmt.Fprintf(&b, "%s: %s\n", k, d.fields[k].String())
+	}
+	b.WriteString("---\n")
+	if d.Body != "" {
+		b.WriteString("\n")
+		b.WriteString(d.Body)
+	}
+	return b.String()
+}
+
+// SortedKeys returns the keys in lexicographic order (useful for stable
+// diagnostics; Render uses insertion order).
+func (d *Doc) SortedKeys() []string {
+	ks := append([]string(nil), d.order...)
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,226 @@
+package frontmatter
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const fig2 = `---
+title: "FindSmallestCard"
+cs2013: ["PD_ParallelDecomposition", \
+"PD_ParallelAlgorithms"]
+tcpp: ["TCPP_Algorithms", "TCPP_Programming"]
+courses: ["CS1", "CS2", "DSA"]
+senses: ["touch", "visual"]
+---
+
+## Original Author/link
+`
+
+func TestParseFig2(t *testing.T) {
+	d, err := Parse(fig2)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := d.Get("title"); got != "FindSmallestCard" {
+		t.Errorf("title = %q", got)
+	}
+	want := []string{"PD_ParallelDecomposition", "PD_ParallelAlgorithms"}
+	if got := d.GetList("cs2013"); !reflect.DeepEqual(got, want) {
+		t.Errorf("cs2013 = %v, want %v (continuation line must join)", got, want)
+	}
+	if got := d.GetList("courses"); !reflect.DeepEqual(got, []string{"CS1", "CS2", "DSA"}) {
+		t.Errorf("courses = %v", got)
+	}
+	if !strings.HasPrefix(d.Body, "## Original Author/link") {
+		t.Errorf("body = %q", d.Body)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no fence":         "title: x\n---\n",
+		"unterminated":     "---\ntitle: x\n",
+		"missing colon":    "---\ntitle x\n---\n",
+		"empty key":        "---\n: x\n---\n",
+		"duplicate key":    "---\na: 1\na: 2\n---\n",
+		"bad list":         "---\na: [1, 2\n---\n",
+		"orphan list item": "---\n- x\n---\n",
+		"unclosed quote":   "---\na: [\"x]\n---\n",
+	}
+	for name, in := range cases {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("%s: Parse(%q) succeeded, want error", name, in)
+		}
+	}
+}
+
+func TestParseBlockList(t *testing.T) {
+	d, err := Parse("---\ntags:\n- alpha\n- \"beta\"\n---\nbody")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := d.GetList("tags"); !reflect.DeepEqual(got, []string{"alpha", "beta"}) {
+		t.Errorf("tags = %v", got)
+	}
+	if d.Body != "body" {
+		t.Errorf("body = %q", d.Body)
+	}
+}
+
+func TestScalarCoercedToList(t *testing.T) {
+	d, err := Parse("---\ncourse: CS1\n---\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.GetList("course"); !reflect.DeepEqual(got, []string{"CS1"}) {
+		t.Errorf("GetList(scalar) = %v", got)
+	}
+}
+
+func TestEmptyList(t *testing.T) {
+	d, err := Parse("---\ntags: []\n---\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.GetList("tags"); len(got) != 0 {
+		t.Errorf("tags = %v, want empty", got)
+	}
+	if !d.Has("tags") {
+		t.Error("Has(tags) = false")
+	}
+}
+
+func TestCommentsAndBlanksIgnored(t *testing.T) {
+	d, err := Parse("---\n# comment\n\ntitle: x\n---\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Get("title") != "x" {
+		t.Errorf("title = %q", d.Get("title"))
+	}
+	if len(d.Keys()) != 1 {
+		t.Errorf("Keys = %v", d.Keys())
+	}
+}
+
+func TestSetGetDelete(t *testing.T) {
+	d := New()
+	d.Set("title", "T")
+	d.SetList("tags", []string{"a", "b"})
+	d.Set("title", "U") // overwrite keeps position
+	if got := d.Keys(); !reflect.DeepEqual(got, []string{"title", "tags"}) {
+		t.Errorf("Keys = %v", got)
+	}
+	if d.Get("title") != "U" {
+		t.Errorf("title = %q", d.Get("title"))
+	}
+	d.Delete("title")
+	if d.Has("title") {
+		t.Error("Delete left key behind")
+	}
+	if got := d.Keys(); !reflect.DeepEqual(got, []string{"tags"}) {
+		t.Errorf("Keys after delete = %v", got)
+	}
+	d.Delete("absent") // must not panic
+}
+
+func TestGetOnList(t *testing.T) {
+	d := New()
+	d.SetList("tags", []string{"a"})
+	if d.Get("tags") != "" {
+		t.Error("Get on list value should return empty string")
+	}
+}
+
+func TestRenderParseRoundTrip(t *testing.T) {
+	d := New()
+	d.Set("title", "Odd-Even Transposition Sort")
+	d.Set("date", "2020-02-01")
+	d.SetList("cs2013", []string{"PD_ParallelAlgorithms"})
+	d.SetList("senses", []string{"visual", "movement"})
+	d.Body = "## Original Author/link\n\nAdam Rifkin\n"
+	out := d.Render()
+	d2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("Parse(Render()): %v\n%s", err, out)
+	}
+	if !reflect.DeepEqual(d2.Keys(), d.Keys()) {
+		t.Errorf("keys: %v vs %v", d2.Keys(), d.Keys())
+	}
+	if d2.Get("title") != d.Get("title") || !reflect.DeepEqual(d2.GetList("senses"), d.GetList("senses")) {
+		t.Errorf("values differ after round trip:\n%s", out)
+	}
+	if d2.Body != d.Body {
+		t.Errorf("body differs: %q vs %q", d2.Body, d.Body)
+	}
+}
+
+// clean maps arbitrary quick-generated strings into the domain front matter
+// values actually inhabit (no newlines, quotes, commas, brackets, or
+// backslashes; those require escaping the format deliberately omits).
+func clean(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r == '\n' || r == '\r' || r == '"' || r == '\'' || r == ',' || r == '[' || r == ']' || r == '\\' || r == '#':
+			b.WriteRune('_')
+		case r < 32:
+			b.WriteRune('_')
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return strings.TrimSpace(b.String())
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(title string, items []string) bool {
+		d := New()
+		d.Set("title", clean(title))
+		list := make([]string, 0, len(items))
+		for _, it := range items {
+			list = append(list, clean(it))
+		}
+		d.SetList("tags", list)
+		d2, err := Parse(d.Render())
+		if err != nil {
+			return false
+		}
+		got := d2.GetList("tags")
+		if len(got) != len(list) {
+			return false
+		}
+		for i := range got {
+			if got[i] != list[i] {
+				return false
+			}
+		}
+		return d2.Get("title") == clean(title)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	v := Value{IsList: true, List: []string{"a", "b"}}
+	if v.String() != `["a", "b"]` {
+		t.Errorf("Value.String() = %s", v.String())
+	}
+	s := Value{Scalar: "x"}
+	if s.String() != `"x"` {
+		t.Errorf("scalar String() = %s", s.String())
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	d := New()
+	d.Set("z", "1")
+	d.Set("a", "2")
+	if got := d.SortedKeys(); !reflect.DeepEqual(got, []string{"a", "z"}) {
+		t.Errorf("SortedKeys = %v", got)
+	}
+}

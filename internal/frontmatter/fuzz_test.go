@@ -1,0 +1,102 @@
+package frontmatter
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the front-matter parser with arbitrary input: it must
+// never panic, and on success the parsed document must re-render to
+// something it can parse again with identical keys and values.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"---\ntitle: \"X\"\n---\nbody",
+		"---\ntags: [\"a\", \"b\"]\n---\n",
+		"---\nlist:\n- one\n- two\n---\n",
+		"---\na: [\"x\", \\\n\"y\"]\n---\n",
+		"---\n# comment\n\nk: v\n---\n",
+		"---\n---\n",
+		"no front matter at all",
+		"---\nunterminated",
+		"---\nbad line without colon\n---\n",
+		"---\nx: [\"unclosed\n---\n",
+		"---\na: 1\na: 2\n---\n",
+		"---\r\ntitle: \"crlf\"\r\n---\r\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		doc, err := Parse(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		rendered := doc.Render()
+		doc2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of rendered output failed: %v\nrendered:\n%s", err, rendered)
+		}
+		k1, k2 := doc.Keys(), doc2.Keys()
+		if len(k1) != len(k2) {
+			t.Fatalf("key count changed: %v vs %v", k1, k2)
+		}
+		for i := range k1 {
+			if k1[i] != k2[i] {
+				t.Fatalf("keys changed: %v vs %v", k1, k2)
+			}
+			v1, v2 := doc.GetList(k1[i]), doc2.GetList(k2[i])
+			// Values may normalize (quotes stripped) but list lengths and
+			// scalar-ness must be stable across one render cycle.
+			if len(v1) != len(v2) {
+				t.Fatalf("key %q: values %q vs %q", k1[i], v1, v2)
+			}
+		}
+	})
+}
+
+// FuzzValueRoundTrip checks that any cleaned key/value pair survives a
+// render/parse cycle exactly.
+func FuzzValueRoundTrip(f *testing.F) {
+	f.Add("title", "FindSmallestCard")
+	f.Add("tags", "a b c")
+	f.Add("weird", "with: colon")
+	f.Fuzz(func(t *testing.T, key, value string) {
+		key = sanitizeKey(key)
+		value = sanitizeValue(value)
+		if key == "" {
+			return
+		}
+		d := New()
+		d.Set(key, value)
+		d2, err := Parse(d.Render())
+		if err != nil {
+			t.Fatalf("Parse(Render) failed for key=%q value=%q: %v", key, value, err)
+		}
+		if got := d2.Get(key); got != value {
+			t.Fatalf("value changed: %q -> %q", value, got)
+		}
+	})
+}
+
+func sanitizeKey(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') || r == '_' {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func sanitizeValue(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r == '\n' || r == '\r' || r == '"' || r == '\'' || r == '\\' || r == '[' || r == ']' || r == ',' || r == '#':
+		case r < 32:
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return strings.TrimSpace(b.String())
+}

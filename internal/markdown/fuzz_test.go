@@ -1,0 +1,64 @@
+package markdown
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRender drives the Markdown renderer with arbitrary input: it must
+// never panic, must terminate, and must never emit an unescaped script tag.
+func FuzzRender(f *testing.F) {
+	seeds := []string{
+		"# Title\n\npara *em* **strong** `code`",
+		"- a\n  - nested\n- b",
+		"1. one\n2. two",
+		"| a | b |\n|---|---|\n| 1 | 2 |",
+		"> quote\n> more",
+		"```go\ncode\n```",
+		"```unterminated",
+		"---",
+		"[link](url) ![img](src)",
+		"*dangling",
+		"**also dangling",
+		"<script>alert(1)</script>",
+		"## A\n\n---\n\n## B",
+		strings.Repeat("- item\n", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		out := Render(input)
+		if strings.Contains(out, "<script") {
+			t.Fatalf("unescaped script tag in output for %q", input)
+		}
+		// Balanced structural tags.
+		for _, pair := range [][2]string{{"<ul>", "</ul>"}, {"<ol>", "</ol>"}, {"<table>", "</table>"}, {"<blockquote>", "</blockquote>"}} {
+			if strings.Count(out, pair[0]) != strings.Count(out, pair[1]) {
+				t.Fatalf("unbalanced %s for input %q:\n%s", pair[0], input, out)
+			}
+		}
+	})
+}
+
+// FuzzSplitSections: the splitter must never panic and JoinSections of the
+// result must re-split to the same section titles.
+func FuzzSplitSections(f *testing.F) {
+	f.Add("## A\n\ncontent\n\n---\n\n## B\n\nmore")
+	f.Add("preamble\n\n## Only\n\nx")
+	f.Add("---\n---\n---")
+	f.Add("## Empty")
+	f.Fuzz(func(t *testing.T, input string) {
+		secs := SplitSections(input)
+		rejoined := JoinSections(secs)
+		again := SplitSections(rejoined)
+		if len(again) != len(secs) {
+			t.Fatalf("section count changed: %d -> %d for %q", len(secs), len(again), input)
+		}
+		for i := range secs {
+			if again[i].Title != secs[i].Title {
+				t.Fatalf("titles changed: %q -> %q", secs[i].Title, again[i].Title)
+			}
+		}
+	})
+}

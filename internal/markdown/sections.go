@@ -1,0 +1,81 @@
+package markdown
+
+import "strings"
+
+// Section is one titled span of an activity body: a "## Title" heading and
+// the Markdown content that follows it, up to the next section heading.
+// Horizontal rules separating sections (as in the paper's Fig. 1 template)
+// belong to no section and are dropped.
+type Section struct {
+	Title   string
+	Content string // raw Markdown, trimmed
+}
+
+// SplitSections splits an activity body into its level-2 sections. Content
+// before the first heading is returned under the empty title when non-blank.
+func SplitSections(body string) []Section {
+	var sections []Section
+	var cur *Section
+	var buf []string
+	flush := func() {
+		if cur == nil {
+			joined := strings.TrimSpace(strings.Join(buf, "\n"))
+			if joined != "" {
+				sections = append(sections, Section{Title: "", Content: joined})
+			}
+			buf = nil
+			return
+		}
+		cur.Content = strings.TrimSpace(strings.Join(buf, "\n"))
+		sections = append(sections, *cur)
+		cur = nil
+		buf = nil
+	}
+	lines := splitLines(body)
+	for i, line := range lines {
+		t := strings.TrimSpace(line)
+		if strings.HasPrefix(t, "## ") && !strings.HasPrefix(t, "###") {
+			flush()
+			cur = &Section{Title: strings.TrimSpace(t[3:])}
+			continue
+		}
+		if isRule(t) && separatorRule(lines, i) {
+			continue
+		}
+		buf = append(buf, line)
+	}
+	flush()
+	return sections
+}
+
+// separatorRule reports whether the rule at lines[i] is a section
+// separator: the next non-blank line is a level-2 heading. A rule with
+// nothing after it stays as content so that split/join round-trips.
+func separatorRule(lines []string, i int) bool {
+	for j := i + 1; j < len(lines); j++ {
+		t := strings.TrimSpace(lines[j])
+		if t == "" {
+			continue
+		}
+		return strings.HasPrefix(t, "## ") && !strings.HasPrefix(t, "###")
+	}
+	return false
+}
+
+// JoinSections renders sections back to an activity body in the Fig. 1
+// layout: each section as "## Title", content, then a separating rule.
+func JoinSections(sections []Section) string {
+	var b strings.Builder
+	for i, s := range sections {
+		if i > 0 {
+			b.WriteString("\n---\n\n")
+		}
+		if s.Title != "" {
+			b.WriteString("## " + s.Title + "\n")
+		}
+		if s.Content != "" {
+			b.WriteString("\n" + s.Content + "\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,215 @@
+// Package plan builds workshop and lesson plans from the repository: given
+// an educator's constraints (course, senses to engage, mediums to avoid,
+// number of activity slots), it greedily selects the activity sequence that
+// covers the most distinct learning outcomes and topics — the set-cover
+// view of the paper's "educators looking for activities to match a
+// particular learning outcome or topic area".
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pdcunplugged/internal/activity"
+	"pdcunplugged/internal/core"
+)
+
+// Constraints narrow the candidate pool.
+type Constraints struct {
+	// Course keeps only activities recommended for this course term
+	// (empty = any).
+	Course string
+	// EngageSenses keeps activities engaging at least one listed sense
+	// (empty = any), the accessibility matching of Section II-B.
+	EngageSenses []string
+	// AvoidMediums drops activities using any listed medium (food
+	// allergies, no boards in the room, ...).
+	AvoidMediums []string
+	// RequireMaterials keeps only activities with external resources.
+	RequireMaterials bool
+	// Slots is the number of activities to select (default 4).
+	Slots int
+}
+
+// Selection is one chosen activity with the coverage it newly contributes.
+type Selection struct {
+	Slug     string
+	Title    string
+	NewTerms []string // outcome/topic terms not covered by earlier picks
+}
+
+// Plan is the ordered activity sequence.
+type Plan struct {
+	Selections []Selection
+	// Covered is every distinct outcome/topic term the plan touches.
+	Covered []string
+	// Candidates is how many activities satisfied the constraints.
+	Candidates int
+}
+
+// Summary renders the plan as a handout header.
+func (p *Plan) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workshop plan: %d activities covering %d outcome/topic terms (from %d candidates)\n",
+		len(p.Selections), len(p.Covered), p.Candidates)
+	for i, s := range p.Selections {
+		fmt.Fprintf(&b, "  %d. %s (%s) adds %s\n", i+1, s.Title, s.Slug, strings.Join(s.NewTerms, ", "))
+	}
+	return b.String()
+}
+
+// termsOf returns the activity's detail terms (the coverage currency).
+func termsOf(a *activity.Activity) []string {
+	out := make([]string, 0, len(a.CS2013Details)+len(a.TCPPDetails))
+	out = append(out, a.CS2013Details...)
+	out = append(out, a.TCPPDetails...)
+	return out
+}
+
+// matches reports whether the activity satisfies the constraints.
+func matches(a *activity.Activity, c Constraints) bool {
+	if c.Course != "" && !containsStr(a.Courses, c.Course) {
+		return false
+	}
+	if len(c.EngageSenses) > 0 {
+		hit := false
+		for _, s := range c.EngageSenses {
+			if containsStr(a.Senses, s) {
+				hit = true
+			}
+		}
+		if !hit {
+			return false
+		}
+	}
+	for _, m := range c.AvoidMediums {
+		if containsStr(a.Medium, m) {
+			return false
+		}
+	}
+	if c.RequireMaterials && !a.HasExternalResources() {
+		return false
+	}
+	return true
+}
+
+func containsStr(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Build selects up to Slots activities by greedy marginal coverage:
+// each pick maximizes the number of not-yet-covered terms, with ties
+// broken by slug for determinism. Selection stops early when no remaining
+// candidate adds coverage.
+func Build(repo *core.Repository, c Constraints) (*Plan, error) {
+	if c.Slots == 0 {
+		c.Slots = 4
+	}
+	if c.Slots < 0 {
+		return nil, fmt.Errorf("plan: negative slot count %d", c.Slots)
+	}
+	var candidates []*activity.Activity
+	for _, a := range repo.All() {
+		if matches(a, c) {
+			candidates = append(candidates, a)
+		}
+	}
+	p := &Plan{Candidates: len(candidates)}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("plan: no activities satisfy the constraints %+v", c)
+	}
+
+	covered := map[string]bool{}
+	used := map[string]bool{}
+	for len(p.Selections) < c.Slots {
+		bestIdx := -1
+		var bestNew []string
+		for i, a := range candidates {
+			if used[a.Slug] {
+				continue
+			}
+			var novel []string
+			for _, term := range termsOf(a) {
+				if !covered[term] {
+					novel = append(novel, term)
+				}
+			}
+			if len(novel) > len(bestNew) ||
+				(len(novel) == len(bestNew) && bestIdx >= 0 && len(novel) > 0 && a.Slug < candidates[bestIdx].Slug) {
+				bestIdx, bestNew = i, novel
+			}
+		}
+		if bestIdx < 0 || len(bestNew) == 0 {
+			break // nothing left adds coverage
+		}
+		a := candidates[bestIdx]
+		used[a.Slug] = true
+		sort.Strings(bestNew)
+		p.Selections = append(p.Selections, Selection{Slug: a.Slug, Title: a.Title, NewTerms: bestNew})
+		for _, term := range bestNew {
+			covered[term] = true
+		}
+	}
+	for term := range covered {
+		p.Covered = append(p.Covered, term)
+	}
+	sort.Strings(p.Covered)
+	return p, nil
+}
+
+// Markdown renders the plan as an instructor handout: the sequence, what
+// each activity newly teaches, materials to bring (union of the picks'
+// mediums), and the accessibility notes to read beforehand.
+func (p *Plan) Markdown(repo *core.Repository) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Workshop plan (%d activities)\n\n", len(p.Selections))
+	materials := map[string]bool{}
+	for i, sel := range p.Selections {
+		a, ok := repo.Get(sel.Slug)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "## %d. %s\n\n", i+1, a.Title)
+		fmt.Fprintf(&b, "*New coverage*: %s\n\n", strings.Join(sel.NewTerms, ", "))
+		if len(a.Links) > 0 {
+			fmt.Fprintf(&b, "*Materials online*: %s\n\n", strings.Join(a.Links, ", "))
+		}
+		if a.Accessibility != "" {
+			fmt.Fprintf(&b, "*Accessibility*: %s\n\n", a.Accessibility)
+		}
+		for _, m := range a.Medium {
+			materials[m] = true
+		}
+	}
+	if len(materials) > 0 {
+		var ms []string
+		for m := range materials {
+			ms = append(ms, m)
+		}
+		sort.Strings(ms)
+		fmt.Fprintf(&b, "## Bring\n\n%s\n", strings.Join(ms, ", "))
+	}
+	return b.String()
+}
+
+// CoverageRatio reports the share of the repository's covered terms the
+// plan reaches — how much of the curation's teachable surface one workshop
+// can touch.
+func (p *Plan) CoverageRatio(repo *core.Repository) float64 {
+	all := map[string]bool{}
+	for _, a := range repo.All() {
+		for _, term := range termsOf(a) {
+			all[term] = true
+		}
+	}
+	if len(all) == 0 {
+		return 0
+	}
+	return float64(len(p.Covered)) / float64(len(all))
+}

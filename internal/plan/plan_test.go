@@ -1,0 +1,175 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"pdcunplugged/internal/core"
+	"pdcunplugged/internal/curation"
+)
+
+func repo(t *testing.T) *core.Repository {
+	t.Helper()
+	r, err := curation.Repository()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestBuildDefaultPlan(t *testing.T) {
+	p, err := Build(repo(t), Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Selections) != 4 {
+		t.Fatalf("selections = %d", len(p.Selections))
+	}
+	if p.Candidates != 38 {
+		t.Errorf("candidates = %d", p.Candidates)
+	}
+	// Greedy: marginal contributions are non-increasing.
+	for i := 1; i < len(p.Selections); i++ {
+		if len(p.Selections[i].NewTerms) > len(p.Selections[i-1].NewTerms) {
+			t.Errorf("greedy violated at %d: %d > %d", i,
+				len(p.Selections[i].NewTerms), len(p.Selections[i-1].NewTerms))
+		}
+	}
+	// The plan covers more than any single activity alone.
+	if len(p.Covered) <= len(p.Selections[0].NewTerms) {
+		t.Errorf("plan adds nothing beyond the first pick")
+	}
+	if !strings.Contains(p.Summary(), "workshop plan: 4 activities") {
+		t.Errorf("summary: %s", p.Summary())
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build(repo(t), Constraints{Slots: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(repo(t), Constraints{Slots: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Selections {
+		if a.Selections[i].Slug != b.Selections[i].Slug {
+			t.Fatalf("plans differ at %d: %s vs %s", i, a.Selections[i].Slug, b.Selections[i].Slug)
+		}
+	}
+}
+
+func TestConstraintsRespected(t *testing.T) {
+	r := repo(t)
+	p, err := Build(r, Constraints{Course: "CS1", AvoidMediums: []string{"food"}, Slots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Candidates >= 17 {
+		t.Errorf("candidates = %d; food-avoiding CS1 pool must be smaller than all 17 CS1 activities", p.Candidates)
+	}
+	for _, s := range p.Selections {
+		a, _ := r.Get(s.Slug)
+		foundCourse := false
+		for _, c := range a.Courses {
+			if c == "CS1" {
+				foundCourse = true
+			}
+		}
+		if !foundCourse {
+			t.Errorf("%s not recommended for CS1", s.Slug)
+		}
+		for _, m := range a.Medium {
+			if m == "food" {
+				t.Errorf("%s uses food", s.Slug)
+			}
+		}
+	}
+}
+
+func TestSenseAndMaterialsConstraints(t *testing.T) {
+	r := repo(t)
+	p, err := Build(r, Constraints{EngageSenses: []string{"touch"}, RequireMaterials: true, Slots: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range p.Selections {
+		a, _ := r.Get(s.Slug)
+		if !a.HasExternalResources() {
+			t.Errorf("%s lacks materials", s.Slug)
+		}
+		touch := false
+		for _, sense := range a.Senses {
+			if sense == "touch" {
+				touch = true
+			}
+		}
+		if !touch {
+			t.Errorf("%s does not engage touch", s.Slug)
+		}
+	}
+}
+
+func TestImpossibleConstraints(t *testing.T) {
+	if _, err := Build(repo(t), Constraints{Course: "CS0", EngageSenses: []string{"sound"}}); err == nil {
+		t.Error("impossible constraints accepted (no CS0 sound activity exists)")
+	}
+	if _, err := Build(repo(t), Constraints{Slots: -1}); err == nil {
+		t.Error("negative slots accepted")
+	}
+}
+
+func TestStopsWhenNothingNewToAdd(t *testing.T) {
+	// With a huge slot budget, the plan stops once every reachable term is
+	// covered rather than padding with redundant activities.
+	p, err := Build(repo(t), Constraints{Slots: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Selections) >= 38 {
+		t.Errorf("plan padded to %d activities", len(p.Selections))
+	}
+	// Every selection contributed something.
+	for _, s := range p.Selections {
+		if len(s.NewTerms) == 0 {
+			t.Errorf("%s adds nothing", s.Slug)
+		}
+	}
+	// An exhaustive plan covers every covered term in the corpus.
+	if ratio := p.CoverageRatio(repo(t)); ratio != 1.0 {
+		t.Errorf("exhaustive plan ratio = %v", ratio)
+	}
+}
+
+func TestPlanMarkdownHandout(t *testing.T) {
+	r := repo(t)
+	p, err := Build(r, Constraints{Course: "K_12", Slots: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := p.Markdown(r)
+	if !strings.Contains(md, "# Workshop plan (3 activities)") {
+		t.Errorf("handout header: %.80q", md)
+	}
+	if !strings.Contains(md, "## 1. ") || !strings.Contains(md, "*New coverage*") {
+		t.Error("handout missing activity sections")
+	}
+	if !strings.Contains(md, "## Bring") {
+		t.Error("handout missing materials list")
+	}
+	if !strings.Contains(md, "*Accessibility*") {
+		t.Error("handout missing accessibility notes")
+	}
+}
+
+func TestCoverageRatioPartial(t *testing.T) {
+	p, err := Build(repo(t), Constraints{Slots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := p.CoverageRatio(repo(t))
+	if ratio <= 0 || ratio >= 1 {
+		t.Errorf("2-slot ratio = %v, want strictly between 0 and 1", ratio)
+	}
+}

@@ -1,0 +1,85 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("TABLE I", "Knowledge Unit", "Outcomes", "Coverage")
+	tb.AddRow("Parallel Decomposition", 6, 83.33)
+	tb.AddRow("Cloud Computing", 5, 20.0)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "TABLE I" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Knowledge Unit") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "83.33") {
+		t.Errorf("float formatting: %q", lines[3])
+	}
+	if !strings.Contains(lines[4], "20.00") {
+		t.Errorf("float formatting: %q", lines[4])
+	}
+	// Columns align: "Outcomes" header and the 6 under it start at the
+	// same offset.
+	off := strings.Index(lines[1], "Outcomes")
+	if lines[3][off] != '6' {
+		t.Errorf("column misaligned:\n%s", out)
+	}
+	for _, l := range lines {
+		if strings.HasSuffix(l, " ") {
+			t.Errorf("trailing whitespace on %q", l)
+		}
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := New("", "A")
+	tb.AddRow("x")
+	out := tb.String()
+	if strings.HasPrefix(out, "\n") {
+		t.Errorf("empty title emitted blank line: %q", out)
+	}
+	if tb.NumRows() != 1 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	tb := New("Table I", "Unit", "Coverage")
+	tb.AddRow("Parallel|Decomposition", 83.33)
+	tb.AddRow("Cloud Computing")
+	md := tb.Markdown()
+	lines := strings.Split(strings.TrimRight(md, "\n"), "\n")
+	if lines[0] != "**Table I**" {
+		t.Errorf("caption = %q", lines[0])
+	}
+	if lines[2] != "| Unit | Coverage |" {
+		t.Errorf("header = %q", lines[2])
+	}
+	if lines[3] != "| --- | --- |" {
+		t.Errorf("separator = %q", lines[3])
+	}
+	if !strings.Contains(lines[4], `Parallel\|Decomposition`) {
+		t.Errorf("pipe not escaped: %q", lines[4])
+	}
+	// Short row padded to header width.
+	if strings.Count(lines[5], "|") != 3 {
+		t.Errorf("short row not padded: %q", lines[5])
+	}
+}
+
+func TestRowWiderThanHeader(t *testing.T) {
+	tb := New("t", "A")
+	tb.AddRow("x", "extra")
+	out := tb.String()
+	if !strings.Contains(out, "extra") {
+		t.Errorf("extra column dropped: %q", out)
+	}
+}

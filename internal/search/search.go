@@ -1,0 +1,179 @@
+// Package search provides the repository's full-text search: a tokenized
+// inverted index over activity titles, authors, details and tags, with
+// TF-IDF ranking. It backs `pdcu search` and the site's search index.
+package search
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+
+	"pdcunplugged/internal/activity"
+)
+
+// Field weights: a hit in a title matters more than one in the details.
+const (
+	weightTitle   = 4.0
+	weightAuthor  = 2.0
+	weightTags    = 2.0
+	weightDetails = 1.0
+)
+
+// Index is an inverted text index over activities. Build once, query many
+// times; an Index is immutable and safe for concurrent readers.
+type Index struct {
+	// postings[token][slug] = weighted term frequency.
+	postings map[string]map[string]float64
+	// docCount is the number of indexed activities.
+	docCount int
+	// norms[slug] = Euclidean norm of the document's weighted tf vector.
+	norms map[string]float64
+	slugs []string
+}
+
+// Tokenize lowercases, splits on non-letters/digits, and drops stop words
+// and one-letter tokens.
+func Tokenize(text string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() == 0 {
+			return
+		}
+		tok := cur.String()
+		cur.Reset()
+		if len(tok) < 2 || stopWords[tok] {
+			return
+		}
+		out = append(out, tok)
+	}
+	for _, r := range strings.ToLower(text) {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			cur.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+var stopWords = map[string]bool{
+	"a": true, "an": true, "the": true, "and": true, "or": true, "of": true,
+	"to": true, "in": true, "on": true, "by": true, "for": true, "with": true,
+	"is": true, "are": true, "as": true, "at": true, "be": true, "it": true,
+	"its": true, "their": true, "then": true, "that": true, "this": true,
+	"each": true, "into": true, "from": true,
+}
+
+// Build indexes the given activities.
+func Build(acts []*activity.Activity) *Index {
+	ix := &Index{
+		postings: map[string]map[string]float64{},
+		norms:    map[string]float64{},
+	}
+	for _, a := range acts {
+		ix.docCount++
+		ix.slugs = append(ix.slugs, a.Slug)
+		add := func(text string, weight float64) {
+			for _, tok := range Tokenize(text) {
+				m := ix.postings[tok]
+				if m == nil {
+					m = map[string]float64{}
+					ix.postings[tok] = m
+				}
+				m[a.Slug] += weight
+			}
+		}
+		add(a.Title, weightTitle)
+		add(a.Author, weightAuthor)
+		add(a.Details, weightDetails)
+		add(a.Accessibility, weightDetails)
+		add(a.Assessment, weightDetails)
+		add(strings.Join(a.Variations, " "), weightDetails)
+		for _, tags := range [][]string{a.CS2013, a.TCPP, a.Courses, a.Senses, a.Medium} {
+			add(strings.Join(tags, " "), weightTags)
+		}
+	}
+	for _, m := range ix.postings {
+		for slug, tf := range m {
+			ix.norms[slug] += tf * tf
+		}
+	}
+	for slug, sq := range ix.norms {
+		ix.norms[slug] = math.Sqrt(sq)
+	}
+	sort.Strings(ix.slugs)
+	return ix
+}
+
+// Len returns the number of indexed documents.
+func (ix *Index) Len() int { return ix.docCount }
+
+// Vocabulary returns the number of distinct tokens.
+func (ix *Index) Vocabulary() int { return len(ix.postings) }
+
+// Hit is one ranked search result.
+type Hit struct {
+	Slug  string
+	Score float64
+}
+
+// Search ranks activities against the query by TF-IDF with length
+// normalization, returning up to limit hits (all when limit <= 0).
+func (ix *Index) Search(query string, limit int) []Hit {
+	tokens := Tokenize(query)
+	if len(tokens) == 0 || ix.docCount == 0 {
+		return nil
+	}
+	scores := map[string]float64{}
+	for _, tok := range tokens {
+		m := ix.postings[tok]
+		if len(m) == 0 {
+			continue
+		}
+		idf := math.Log(1 + float64(ix.docCount)/float64(len(m)))
+		for slug, tf := range m {
+			scores[slug] += tf * idf
+		}
+	}
+	hits := make([]Hit, 0, len(scores))
+	for slug, s := range scores {
+		norm := ix.norms[slug]
+		if norm == 0 {
+			norm = 1
+		}
+		hits = append(hits, Hit{Slug: slug, Score: s / norm})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Slug < hits[j].Slug
+	})
+	if limit > 0 && len(hits) > limit {
+		hits = hits[:limit]
+	}
+	return hits
+}
+
+// Suggest returns indexed tokens starting with prefix (for CLI tab-style
+// completion), up to limit.
+func (ix *Index) Suggest(prefix string, limit int) []string {
+	prefix = strings.ToLower(prefix)
+	if prefix == "" {
+		return nil
+	}
+	var out []string
+	for tok := range ix.postings {
+		if strings.HasPrefix(tok, prefix) {
+			out = append(out, tok)
+		}
+	}
+	sort.Strings(out)
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}

@@ -1,0 +1,623 @@
+package activities
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pdcunplugged/internal/sim"
+)
+
+// allNames lists every registered dramatization; kept in sync with DESIGN.md.
+var allNames = []string{
+	"amdahl", "barrier", "byzantine", "cardsort", "collectives",
+	"commoverhead", "concerttickets", "findsmallestcard", "gardeners",
+	"gcmark", "juicerace", "leaderelection", "loadbalance", "nondetsort",
+	"oddeven", "phonecall", "pipeline", "radixsort", "recursiontree",
+	"scan", "sharedmem", "simdgame", "tokenring", "websearch",
+}
+
+func TestAllRegistered(t *testing.T) {
+	for _, name := range allNames {
+		a, ok := sim.Get(name)
+		if !ok {
+			t.Errorf("activity %s not registered", name)
+			continue
+		}
+		if a.Name() != name {
+			t.Errorf("activity %s reports name %s", name, a.Name())
+		}
+		if a.Summary() == "" {
+			t.Errorf("activity %s has no summary", name)
+		}
+	}
+}
+
+// TestDefaultsRunGreen runs every dramatization with defaults and a few
+// seeds; every run must satisfy its invariant.
+func TestDefaultsRunGreen(t *testing.T) {
+	for _, name := range allNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 5; seed++ {
+				rep, err := sim.Run(name, sim.Config{Seed: seed})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if !rep.OK {
+					t.Fatalf("seed %d: invariant violated: %s", seed, rep.Summary())
+				}
+				if rep.Outcome == "" {
+					t.Errorf("seed %d: empty outcome", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterminism: identical config implies identical metrics for the
+// logically-deterministic dramatizations. (Sims whose metrics depend on the
+// goroutine schedule — lost updates, oversells, queue pulls — are excluded
+// by design.)
+func TestDeterminism(t *testing.T) {
+	deterministic := []string{
+		"amdahl", "byzantine", "cardsort", "collectives", "commoverhead",
+		"findsmallestcard", "loadbalance", "nondetsort", "oddeven",
+		"phonecall", "pipeline", "radixsort", "recursiontree", "scan",
+		"sharedmem", "simdgame", "tokenring", "websearch",
+	}
+	for _, name := range deterministic {
+		cfg := sim.Config{Seed: 99}
+		a, _ := sim.Run(name, cfg)
+		b, _ := sim.Run(name, cfg)
+		if a.Metrics.String() != b.Metrics.String() {
+			t.Errorf("%s: same seed produced different metrics:\n%s\n%s",
+				name, a.Metrics.String(), b.Metrics.String())
+		}
+	}
+}
+
+func TestTraceProducesNarration(t *testing.T) {
+	for _, name := range []string{"findsmallestcard", "oddeven", "tokenring", "juicerace", "collectives"} {
+		rep, err := sim.Run(name, sim.Config{Seed: 1, Trace: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(rep.Tracer.Events()) == 0 {
+			t.Errorf("%s: trace enabled but no narration", name)
+		}
+	}
+}
+
+func TestBadConfigsRejected(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  sim.Config
+	}{
+		{"findsmallestcard", sim.Config{Participants: 1}},
+		{"oddeven", sim.Config{Participants: 1}},
+		{"radixsort", sim.Config{Params: map[string]float64{"digits": 0}}},
+		{"radixsort", sim.Config{Params: map[string]float64{"digits": 12}}},
+		{"juicerace", sim.Config{Participants: 1}},
+		{"juicerace", sim.Config{Params: map[string]float64{"spoonfuls": 0}}},
+		{"concerttickets", sim.Config{Participants: 1}},
+		{"concerttickets", sim.Config{Params: map[string]float64{"tickets": 0}}},
+		{"gardeners", sim.Config{Params: map[string]float64{"skew": 2}}},
+		{"tokenring", sim.Config{Participants: 1}},
+		{"leaderelection", sim.Config{Participants: 1}},
+		{"byzantine", sim.Config{Participants: 2}},
+		{"byzantine", sim.Config{Params: map[string]float64{"traitors": 99}}},
+		{"byzantine", sim.Config{Params: map[string]float64{"order": 7}}},
+		{"nondetsort", sim.Config{Participants: 1}},
+		{"amdahl", sim.Config{Params: map[string]float64{"serialFraction": 1.5}}},
+		{"amdahl", sim.Config{Params: map[string]float64{"units": 1}}},
+		{"barrier", sim.Config{Participants: 1}},
+		{"barrier", sim.Config{Params: map[string]float64{"phases": 0}}},
+		{"pipeline", sim.Config{Params: map[string]float64{"stages": 0}}},
+		{"pipeline", sim.Config{Params: map[string]float64{"slowStage": 99}}},
+		{"sharedmem", sim.Config{Params: map[string]float64{"contention": -1}}},
+		{"commoverhead", sim.Config{Params: map[string]float64{"work": -5}}},
+		{"phonecall", sim.Config{Participants: 2}},
+		{"phonecall", sim.Config{Params: map[string]float64{"alpha": 0}}},
+	}
+	for _, c := range cases {
+		if _, err := sim.Run(c.name, c.cfg); err == nil {
+			t.Errorf("%s with %+v: expected config error", c.name, c.cfg)
+		}
+	}
+}
+
+func TestFindSmallestCardShape(t *testing.T) {
+	for _, n := range []int{2, 3, 8, 31, 64, 100} {
+		rep, err := sim.Run("findsmallestcard", sim.Config{Participants: n, Seed: 7})
+		if err != nil || !rep.OK {
+			t.Fatalf("n=%d: %v %v", n, err, rep)
+		}
+		if got := rep.Metrics.Count("serial_comparisons"); got != int64(n-1) {
+			t.Errorf("n=%d: serial comparisons = %d, want %d", n, got, n-1)
+		}
+		if got := rep.Metrics.Count("parallel_comparisons"); got != int64(n-1) {
+			t.Errorf("n=%d: parallel work = %d, want %d (same total work)", n, got, n-1)
+		}
+		wantRounds := 0
+		for p := 1; p < n; p *= 2 {
+			wantRounds++
+		}
+		if got := rep.Metrics.Count("rounds"); got != int64(wantRounds) {
+			t.Errorf("n=%d: rounds = %d, want ceil(log2 n) = %d", n, got, wantRounds)
+		}
+	}
+}
+
+func TestOddEvenRoundBound(t *testing.T) {
+	f := func(nRaw uint8, seed int64) bool {
+		n := int(nRaw%60) + 2
+		rep, err := sim.Run("oddeven", sim.Config{Participants: n, Seed: seed})
+		if err != nil || !rep.OK {
+			return false
+		}
+		return rep.Metrics.Count("rounds") <= int64(n+2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOddEvenAlreadySorted(t *testing.T) {
+	// Degenerate but valid: two students, maybe already in order.
+	for seed := int64(0); seed < 8; seed++ {
+		rep, err := sim.Run("oddeven", sim.Config{Participants: 2, Seed: seed})
+		if err != nil || !rep.OK {
+			t.Fatalf("seed %d: %v %v", seed, err, rep.Summary())
+		}
+	}
+}
+
+func TestRadixSortSweep(t *testing.T) {
+	for _, digits := range []int{1, 2, 4} {
+		for _, workers := range []int{1, 3, 8} {
+			rep, err := sim.Run("radixsort", sim.Config{
+				Participants: 50, Workers: workers, Seed: 3,
+				Params: map[string]float64{"digits": float64(digits)},
+			})
+			if err != nil || !rep.OK {
+				t.Fatalf("digits=%d workers=%d: %v %v", digits, workers, err, rep)
+			}
+			if got := rep.Metrics.Count("passes"); got != int64(digits) {
+				t.Errorf("digits=%d: passes = %d", digits, got)
+			}
+		}
+	}
+}
+
+func TestCardSortWorkSpan(t *testing.T) {
+	rep, err := sim.Run("cardsort", sim.Config{Participants: 128, Workers: 8, Seed: 11})
+	if err != nil || !rep.OK {
+		t.Fatal(err, rep)
+	}
+	work := rep.Metrics.Count("work_comparisons")
+	span := rep.Metrics.Count("span_comparisons")
+	serial := rep.Metrics.Count("serial_comparisons")
+	if span > work {
+		t.Errorf("span %d exceeds work %d", span, work)
+	}
+	if span >= serial {
+		t.Errorf("span %d not below serial %d: no parallel benefit", span, serial)
+	}
+	if rep.Metrics.Count("merge_levels") != 3 {
+		t.Errorf("merge levels = %d, want 3 for 8 hands", rep.Metrics.Count("merge_levels"))
+	}
+}
+
+func TestJuiceRaceMutexNeverLoses(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		rep, err := sim.Run("juicerace", sim.Config{Participants: 8, Seed: seed,
+			Params: map[string]float64{"spoonfuls": 500}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Metrics.Count("lost_updates_mutex") != 0 {
+			t.Errorf("mutex lost updates: %s", rep.Summary())
+		}
+		if !rep.OK {
+			t.Errorf("invariant: %s", rep.Summary())
+		}
+	}
+}
+
+func TestConcertTicketsLockedExact(t *testing.T) {
+	rep, err := sim.Run("concerttickets", sim.Config{Participants: 8, Seed: 1,
+		Params: map[string]float64{"tickets": 60, "buyers": 40}})
+	if err != nil || !rep.OK {
+		t.Fatal(err, rep)
+	}
+	if got := rep.Metrics.Count("sold_locked"); got != 60 {
+		t.Errorf("locked protocol sold %d of 60", got)
+	}
+	if rep.Metrics.Count("oversold_locked") != 0 {
+		t.Error("locked protocol oversold")
+	}
+	// Under-demand case: fewer buyers than tickets.
+	rep, err = sim.Run("concerttickets", sim.Config{Participants: 2, Seed: 1,
+		Params: map[string]float64{"tickets": 1000, "buyers": 5}})
+	if err != nil || !rep.OK {
+		t.Fatal(err, rep)
+	}
+	if got := rep.Metrics.Count("sold_locked"); got != 10 {
+		t.Errorf("under-demand sold %d, want 10", got)
+	}
+}
+
+func TestGardenersBounds(t *testing.T) {
+	f := func(bRaw, gRaw uint8, seed int64) bool {
+		beds := int(bRaw%80) + 1
+		g := int(gRaw%8) + 1
+		rep, err := sim.Run("gardeners", sim.Config{Participants: beds, Workers: g, Seed: seed})
+		if err != nil {
+			return false
+		}
+		return rep.OK && rep.Metrics.Count("beds_pulled") == int64(beds)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenRingStabilizesFromAnyState(t *testing.T) {
+	f := func(nRaw uint8, seed int64) bool {
+		n := int(nRaw%20) + 2
+		rep, err := sim.Run("tokenring", sim.Config{Participants: n, Seed: seed})
+		if err != nil {
+			return false
+		}
+		return rep.OK && rep.Metrics.Count("stabilization_steps") <= int64(4*n*n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeaderElectionProperties(t *testing.T) {
+	f := func(nRaw uint8, seed int64) bool {
+		n := int(nRaw%24) + 2
+		rep, err := sim.Run("leaderelection", sim.Config{Participants: n, Seed: seed})
+		if err != nil || !rep.OK {
+			return false
+		}
+		// Chang-Roberts worst case: n(n+1)/2 elect + n elected messages.
+		bound := int64(n*(n+1)/2 + n)
+		return rep.Metrics.Count("messages") <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGCMarkMatchesSerial(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		rep, err := sim.Run("gcmark", sim.Config{Participants: 500, Workers: workers, Seed: 5})
+		if err != nil || !rep.OK {
+			t.Fatalf("workers=%d: %v %v", workers, err, rep.Summary())
+		}
+		if rep.Metrics.Count("marked") != rep.Metrics.Count("expansions") {
+			t.Errorf("workers=%d: marked %d but expanded %d",
+				workers, rep.Metrics.Count("marked"), rep.Metrics.Count("expansions"))
+		}
+	}
+}
+
+func TestNondetSortInversionBound(t *testing.T) {
+	f := func(nRaw uint8, seed int64) bool {
+		n := int(nRaw%30) + 2
+		rep, err := sim.Run("nondetsort", sim.Config{Participants: n, Seed: seed})
+		if err != nil || !rep.OK {
+			return false
+		}
+		return rep.Metrics.Count("steps") == rep.Metrics.Count("initial_inversions")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestByzantineAgreementThreshold(t *testing.T) {
+	// n > 3t: agreement guaranteed for every seed and traitor placement.
+	for seed := int64(0); seed < 10; seed++ {
+		rep, err := sim.Run("byzantine", sim.Config{Participants: 7, Seed: seed,
+			Params: map[string]float64{"traitors": 2}})
+		if err != nil || !rep.OK {
+			t.Fatalf("seed %d: %v %v", seed, err, rep.Summary())
+		}
+		if rep.Metrics.Count("agreement_reached") != 1 {
+			t.Errorf("seed %d: no agreement with n=7 t=2", seed)
+		}
+	}
+	// Traitorous commander with n > 3t: loyal lieutenants still agree.
+	for seed := int64(0); seed < 10; seed++ {
+		rep, err := sim.Run("byzantine", sim.Config{Participants: 7, Seed: seed,
+			Params: map[string]float64{"traitors": 2, "commanderTraitor": 1}})
+		if err != nil || !rep.OK {
+			t.Fatalf("traitor commander seed %d: %v %v", seed, err, rep.Summary())
+		}
+	}
+	// n = 3 with 1 traitor lieutenant and a loyal commander: the classic
+	// impossibility. Some seed must produce an IC2 violation — the loyal
+	// lieutenant disobeying the loyal commander's order (demonstration,
+	// not assertion of every seed).
+	sawViolation := false
+	for seed := int64(0); seed < 50; seed++ {
+		rep, err := sim.Run("byzantine", sim.Config{Participants: 3, Seed: seed,
+			Params: map[string]float64{"traitors": 1, "order": 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Metrics.Count("ic2_holds") == 0 {
+			sawViolation = true
+			break
+		}
+	}
+	if !sawViolation {
+		t.Error("n=3 t=1 never violated IC2 across 50 seeds; impossibility demo broken")
+	}
+}
+
+func TestLoadBalanceSkewShape(t *testing.T) {
+	rep, err := sim.Run("loadbalance", sim.Config{Participants: 64, Workers: 4, Seed: 2})
+	if err != nil || !rep.OK {
+		t.Fatal(err, rep)
+	}
+	ec := rep.Metrics.Count("equal_count_makespan")
+	et := rep.Metrics.Count("equal_time_makespan")
+	dyn := rep.Metrics.Count("dynamic_makespan")
+	lower := rep.Metrics.Count("lower_bound")
+	// The paper-shape claim: under aligned skew, duration-blind equal
+	// counts loses badly to both informed strategies.
+	if !(et < ec && dyn < ec) {
+		t.Errorf("informed strategies should win under skew: count=%d time=%d dyn=%d", ec, et, dyn)
+	}
+	if et < lower || dyn < lower {
+		t.Errorf("makespan below lower bound: %d %d < %d", et, dyn, lower)
+	}
+}
+
+func TestPipelineFormula(t *testing.T) {
+	for _, items := range []int{1, 2, 10, 40} {
+		for _, stages := range []int{1, 3, 5} {
+			rep, err := sim.Run("pipeline", sim.Config{Participants: items,
+				Params: map[string]float64{"stages": float64(stages), "stageCost": 2}})
+			if err != nil || !rep.OK {
+				t.Fatalf("items=%d stages=%d: %v %v", items, stages, err, rep.Summary())
+			}
+			want := int64(2*stages + (items-1)*2)
+			if got := rep.Metrics.Count("pipelined_makespan"); got != want {
+				t.Errorf("items=%d stages=%d: makespan %d, want %d", items, stages, got, want)
+			}
+		}
+	}
+}
+
+func TestPipelineBottleneck(t *testing.T) {
+	rep, err := sim.Run("pipeline", sim.Config{Participants: 10,
+		Params: map[string]float64{"stages": 4, "stageCost": 3, "slowStage": 2}})
+	if err != nil || !rep.OK {
+		t.Fatal(err, rep.Summary())
+	}
+	// fill = 3+3+6+3 = 15, bottleneck 6, makespan = 15 + 9*6 = 69.
+	if got := rep.Metrics.Count("pipelined_makespan"); got != 69 {
+		t.Errorf("bottleneck makespan = %d, want 69", got)
+	}
+}
+
+func TestAmdahlLimit(t *testing.T) {
+	rep, err := sim.Run("amdahl", sim.Config{Workers: 16, Seed: 1,
+		Params: map[string]float64{"serialFraction": 0.25, "units": 40000}})
+	if err != nil || !rep.OK {
+		t.Fatal(err, rep.Summary())
+	}
+	s16, _ := rep.Metrics.Gauge("speedup_p16")
+	if s16 >= 4.0 {
+		t.Errorf("speedup %f exceeds 1/s = 4 limit", s16)
+	}
+	s2, _ := rep.Metrics.Gauge("speedup_p2")
+	if s2 <= 1.0 {
+		t.Errorf("2 workers gave speedup %f", s2)
+	}
+	if s16 <= s2 {
+		t.Errorf("speedup not increasing: p2=%f p16=%f", s2, s16)
+	}
+}
+
+func TestBarrierNoStaleReads(t *testing.T) {
+	rep, err := sim.Run("barrier", sim.Config{Participants: 16, Seed: 0,
+		Params: map[string]float64{"phases": 200}})
+	if err != nil || !rep.OK {
+		t.Fatal(err, rep.Summary())
+	}
+	if rep.Metrics.Count("stale_reads") != 0 {
+		t.Errorf("stale reads: %d", rep.Metrics.Count("stale_reads"))
+	}
+}
+
+func TestSharedMemCrossover(t *testing.T) {
+	rep, err := sim.Run("sharedmem", sim.Config{Participants: 2000, Workers: 32, Seed: 0})
+	if err != nil || !rep.OK {
+		t.Fatal(err, rep.Summary())
+	}
+	sp, _ := rep.Metrics.Gauge("shared_best_helpers")
+	if sp >= 32 {
+		t.Errorf("contention never limited the shared table (best helpers = %v)", sp)
+	}
+}
+
+func TestCommOverheadTurnaround(t *testing.T) {
+	rep, err := sim.Run("commoverhead", sim.Config{Workers: 64, Seed: 0})
+	if err != nil || !rep.OK {
+		t.Fatal(err, rep.Summary())
+	}
+	best, _ := rep.Metrics.Gauge("best_workers")
+	if best <= 1 || best >= 64 {
+		t.Errorf("expected an interior optimum, got best_workers = %v", best)
+	}
+	speedup, _ := rep.Metrics.Gauge("speedup_at_best")
+	if speedup <= 1 {
+		t.Errorf("parallel never won: speedup %v", speedup)
+	}
+}
+
+func TestPhoneCallFitAccuracy(t *testing.T) {
+	rep, err := sim.Run("phonecall", sim.Config{Participants: 100, Seed: 4,
+		Params: map[string]float64{"alpha": 200, "beta": 1.5, "noise": 0.01}})
+	if err != nil || !rep.OK {
+		t.Fatal(err, rep.Summary())
+	}
+	aErr, _ := rep.Metrics.Gauge("alpha_rel_error")
+	bErr, _ := rep.Metrics.Gauge("beta_rel_error")
+	if aErr > 0.1 || bErr > 0.1 {
+		t.Errorf("fit errors too large: alpha %v beta %v", aErr, bErr)
+	}
+	// Noise-free fit is essentially exact.
+	rep, err = sim.Run("phonecall", sim.Config{Participants: 20, Seed: 4,
+		Params: map[string]float64{"noise": 0}})
+	if err != nil || !rep.OK {
+		t.Fatal(err)
+	}
+	aErr, _ = rep.Metrics.Gauge("alpha_rel_error")
+	if aErr > 1e-9 {
+		t.Errorf("noise-free alpha error %v", aErr)
+	}
+}
+
+func TestCollectivesRounds(t *testing.T) {
+	for _, n := range []int{2, 5, 16, 33} {
+		rep, err := sim.Run("collectives", sim.Config{Participants: n, Seed: 9})
+		if err != nil || !rep.OK {
+			t.Fatalf("n=%d: %v %v", n, err, rep.Summary())
+		}
+		tr := rep.Metrics.Count("tree_rounds")
+		if tr > int64(ceilLog2(n))+1 {
+			t.Errorf("n=%d: tree rounds %d not logarithmic", n, tr)
+		}
+		if rep.Metrics.Count("linear_rounds") != int64(n-1) {
+			t.Errorf("n=%d: linear rounds wrong", n)
+		}
+	}
+}
+
+func TestScanMatchesSerialPrefix(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 16, 33, 100} {
+		rep, err := sim.Run("scan", sim.Config{Participants: n, Seed: 5})
+		if err != nil || !rep.OK {
+			t.Fatalf("n=%d: %v %v", n, err, rep.Summary())
+		}
+		if got := rep.Metrics.Count("rounds"); got != int64(ceilLog2(n)) {
+			t.Errorf("n=%d: rounds = %d, want %d", n, got, ceilLog2(n))
+		}
+		// Doubling performs more total adds than the serial walk: the
+		// classic work-inefficiency of Hillis-Steele, worth surfacing.
+		if n > 2 {
+			if rep.Metrics.Count("parallel_adds") <= rep.Metrics.Count("serial_adds") {
+				t.Errorf("n=%d: expected extra parallel work (Hillis-Steele is not work-optimal)", n)
+			}
+		}
+	}
+}
+
+func TestRecursionTreeWorkAndDepth(t *testing.T) {
+	f := func(nRaw uint8, seed int64) bool {
+		n := int(nRaw%100) + 1
+		rep, err := sim.Run("recursiontree", sim.Config{Participants: n, Seed: seed})
+		if err != nil {
+			return false
+		}
+		return rep.OK
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+	rep, err := sim.Run("recursiontree", sim.Config{Participants: 64, Seed: 1})
+	if err != nil || !rep.OK {
+		t.Fatal(err, rep.Summary())
+	}
+	if got := rep.Metrics.Count("delegations"); got != 126 {
+		t.Errorf("delegations = %d, want 2(n-1) = 126", got)
+	}
+	if got := rep.Metrics.Count("depth"); got != 6 {
+		t.Errorf("depth = %d, want log2(64) = 6", got)
+	}
+	// A larger cutoff prunes the tree.
+	rep, err = sim.Run("recursiontree", sim.Config{Participants: 64, Seed: 1,
+		Params: map[string]float64{"serialCutoff": 8}})
+	if err != nil || !rep.OK {
+		t.Fatal(err, rep.Summary())
+	}
+	if got := rep.Metrics.Count("delegations"); got >= 126 {
+		t.Errorf("cutoff did not prune: %d delegations", got)
+	}
+}
+
+func TestWebSearchAllSeedsAndShards(t *testing.T) {
+	for _, shards := range []int{1, 3, 4, 8} {
+		for seed := int64(0); seed < 10; seed++ {
+			rep, err := sim.Run("websearch", sim.Config{Workers: shards, Seed: seed})
+			if err != nil || !rep.OK {
+				t.Fatalf("shards=%d seed=%d: %v %v", shards, seed, err, rep.Summary())
+			}
+			if rep.Metrics.Count("fanout_rounds") != 1 {
+				t.Error("fan-out should take one round")
+			}
+			if rep.Metrics.Count("serial_docs_scanned") != rep.Metrics.Count("documents") {
+				t.Error("serial baseline must scan every document")
+			}
+		}
+	}
+	if _, err := sim.Run("websearch", sim.Config{Workers: 27}); err == nil {
+		t.Error("too many shards accepted")
+	}
+}
+
+func TestSIMDGame(t *testing.T) {
+	f := func(nRaw uint8, seed int64) bool {
+		n := int(nRaw%40) + 2
+		rep, err := sim.Run("simdgame", sim.Config{Participants: n, Seed: seed})
+		if err != nil || !rep.OK {
+			return false
+		}
+		return rep.Metrics.Count("simd_instructions") <= int64(n+3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+	rep, err := sim.Run("simdgame", sim.Config{Participants: 12, Workers: 4, Seed: 3,
+		Params: map[string]float64{"space": 1000}})
+	if err != nil || !rep.OK {
+		t.Fatal(err, rep.Summary())
+	}
+	// MIMD teams never walk beyond their slice: span <= ceil(space/teams).
+	if got := rep.Metrics.Count("mimd_span"); got > 250 {
+		t.Errorf("mimd span %d exceeds slice size", got)
+	}
+	if _, err := sim.Run("simdgame", sim.Config{Participants: 1}); err == nil {
+		t.Error("single player accepted")
+	}
+	if _, err := sim.Run("simdgame", sim.Config{Participants: 10, Params: map[string]float64{"space": 3}}); err == nil {
+		t.Error("tiny search space accepted")
+	}
+}
+
+func TestSummariesMentionConcept(t *testing.T) {
+	keywords := map[string]string{
+		"juicerace":      "mutual exclusion",
+		"byzantine":      "agree",
+		"tokenring":      "stabilize",
+		"amdahl":         "Amdahl",
+		"collectives":    "broadcast",
+		"leaderelection": "leader",
+	}
+	for name, kw := range keywords {
+		a, _ := sim.Get(name)
+		if !strings.Contains(strings.ToLower(a.Summary()), strings.ToLower(kw)) {
+			t.Errorf("%s summary %q does not mention %q", name, a.Summary(), kw)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package activities
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"pdcunplugged/internal/sim"
+)
+
+func init() {
+	sim.Register(Amdahl{})
+}
+
+// Amdahl executes the chocolate-bar speedup analogy: a workload with a
+// serial fraction (the wrapper) and a perfectly parallel remainder (the
+// squares) is "eaten" by goroutine helpers, and the measured speedups are
+// compared against Amdahl's law across helper counts.
+type Amdahl struct{}
+
+// Name implements sim.Activity.
+func (Amdahl) Name() string { return "amdahl" }
+
+// Summary implements sim.Activity.
+func (Amdahl) Summary() string {
+	return "measured speedup tracks Amdahl's law and flattens at 1/serialFraction"
+}
+
+// prediction returns Amdahl's speedup for serial fraction s and p workers.
+func prediction(s float64, p int) float64 {
+	return 1 / (s + (1-s)/float64(p))
+}
+
+// Run implements sim.Activity. Workers is the maximum helper count swept
+// (default 8). Params: "serialFraction" (default 0.1), "units" total work
+// units (default 10000).
+func (Amdahl) Run(cfg sim.Config) (*sim.Report, error) {
+	cfg = cfg.WithDefaults(1, 8)
+	maxWorkers := cfg.Workers
+	s := cfg.Param("serialFraction", 0.1)
+	units := int(cfg.Param("units", 10000))
+	if s < 0 || s > 1 {
+		return nil, fmt.Errorf("amdahl: serialFraction must be in [0,1], got %v", s)
+	}
+	if units < 10 {
+		return nil, fmt.Errorf("amdahl: need at least 10 work units, got %d", units)
+	}
+	tracer := cfg.NewTracerFor()
+	metrics := &sim.Metrics{}
+
+	serialUnits := int(math.Round(s * float64(units)))
+	parallelUnits := units - serialUnits
+	metrics.Add("serial_units", int64(serialUnits))
+	metrics.Add("parallel_units", int64(parallelUnits))
+
+	// Logical-time execution: the serial part always costs serialUnits
+	// ticks; helpers split the parallel part, and the parallel phase costs
+	// the largest helper share (they chew simultaneously). Goroutines do
+	// the chewing so the dramatization is real; ticks are counted per
+	// helper and the phase cost is the max.
+	elapsed := func(p int) int64 {
+		shares := make([]int64, p)
+		var chewed int64
+		var wg sync.WaitGroup
+		chunk := (parallelUnits + p - 1) / p
+		for h := 0; h < p; h++ {
+			wg.Add(1)
+			go func(h int) {
+				defer wg.Done()
+				lo, hi := h*chunk, (h+1)*chunk
+				if lo > parallelUnits {
+					lo = parallelUnits
+				}
+				if hi > parallelUnits {
+					hi = parallelUnits
+				}
+				shares[h] = int64(hi - lo)
+				atomic.AddInt64(&chewed, int64(hi-lo))
+			}(h)
+		}
+		wg.Wait()
+		if chewed != int64(parallelUnits) {
+			return -1 // lost work; invariant failure surfaces below
+		}
+		var maxShare int64
+		for _, sh := range shares {
+			if sh > maxShare {
+				maxShare = sh
+			}
+		}
+		return int64(serialUnits) + maxShare
+	}
+
+	t1 := elapsed(1)
+	worstErr := 0.0
+	allPositive := t1 > 0
+	for p := 1; p <= maxWorkers; p *= 2 {
+		tp := elapsed(p)
+		if tp <= 0 {
+			allPositive = false
+			break
+		}
+		measured := float64(t1) / float64(tp)
+		predicted := prediction(s, p)
+		err := math.Abs(measured-predicted) / predicted
+		if err > worstErr {
+			worstErr = err
+		}
+		metrics.Set(fmt.Sprintf("speedup_p%d", p), measured)
+		metrics.Set(fmt.Sprintf("amdahl_p%d", p), predicted)
+		tracer.Narrate(p, "%d helpers: measured speedup %.2f vs Amdahl %.2f", p, measured, predicted)
+	}
+	limit := math.Inf(1)
+	if s > 0 {
+		limit = 1 / s
+	}
+	metrics.Set("asymptotic_limit", limit)
+	metrics.Set("worst_relative_error", worstErr)
+
+	// Discretization (ceil division) introduces at most a few work units
+	// of error; 5% covers it for the default sizes.
+	ok := allPositive && worstErr < 0.05
+	return &sim.Report{
+		Activity: "amdahl",
+		Config:   cfg,
+		Metrics:  metrics,
+		Tracer:   tracer,
+		Outcome: fmt.Sprintf("speedup tracked Amdahl within %.1f%% up to %d helpers; limit 1/s = %.1f",
+			100*worstErr, maxWorkers, limit),
+		OK: ok,
+	}, nil
+}

@@ -1,0 +1,197 @@
+package activities
+
+import (
+	"fmt"
+
+	"pdcunplugged/internal/sim"
+)
+
+func init() {
+	sim.Register(Byzantine{})
+}
+
+// Byzantine executes Lloyd's Byzantine generals activity: the recursive
+// oral-messages algorithm OM(m) with a commander, lieutenants, and m rounds
+// of relayed messages. Traitors relay arbitrary values (from the seeded
+// RNG). With n > 3t the loyal lieutenants provably agree (IC1) and, when
+// the commander is loyal, agree on the commander's order (IC2); the
+// simulation also demonstrates the impossibility side by running a
+// too-small ring where agreement may fail.
+type Byzantine struct{}
+
+// Name implements sim.Activity.
+func (Byzantine) Name() string { return "byzantine" }
+
+// Summary implements sim.Activity.
+func (Byzantine) Summary() string {
+	return "oral-messages agreement OM(m): loyal generals agree whenever n > 3t"
+}
+
+const (
+	orderRetreat = 0
+	orderAttack  = 1
+)
+
+// omScenario holds one OM run's cast.
+type omScenario struct {
+	n        int
+	traitor  []bool
+	rng      *sim.RNG
+	metrics  *sim.Metrics
+	tracer   *sim.Tracer
+	maxDepth int
+}
+
+// sendValue is what general g relays for value v: loyal generals relay
+// faithfully, traitors relay an arbitrary bit.
+func (s *omScenario) sendValue(g, v int) int {
+	s.metrics.Inc("messages")
+	if s.traitor[g] {
+		return s.rng.Intn(2)
+	}
+	return v
+}
+
+// om runs OM(m) with the given commander and value among participants;
+// it returns each participant's decided value (index-aligned with
+// participants).
+func (s *omScenario) om(m int, commander, value int, lieutenants []int) map[int]int {
+	decisions := make(map[int]int, len(lieutenants))
+	if m == 0 {
+		// Base case: each lieutenant uses the value received directly.
+		for _, l := range lieutenants {
+			decisions[l] = s.sendValue(commander, value)
+		}
+		return decisions
+	}
+	// Step 1: the commander sends a value to every lieutenant.
+	received := make(map[int]int, len(lieutenants))
+	for _, l := range lieutenants {
+		received[l] = s.sendValue(commander, value)
+	}
+	// Step 2: each lieutenant acts as commander in OM(m-1) relaying its
+	// received value to the others; step 3: majority vote per lieutenant.
+	votes := make(map[int][]int, len(lieutenants))
+	for _, l := range lieutenants {
+		votes[l] = append(votes[l], received[l])
+	}
+	for _, l := range lieutenants {
+		others := make([]int, 0, len(lieutenants)-1)
+		for _, o := range lieutenants {
+			if o != l {
+				others = append(others, o)
+			}
+		}
+		sub := s.om(m-1, l, received[l], others)
+		for o, v := range sub {
+			votes[o] = append(votes[o], v)
+		}
+	}
+	for _, l := range lieutenants {
+		decisions[l] = majority(votes[l])
+	}
+	return decisions
+}
+
+func majority(vs []int) int {
+	ones := 0
+	for _, v := range vs {
+		if v == orderAttack {
+			ones++
+		}
+	}
+	if 2*ones > len(vs) {
+		return orderAttack
+	}
+	return orderRetreat
+}
+
+// Run implements sim.Activity. Participants is the number of generals
+// (default 7). Params: "traitors" (default 2), "commanderTraitor" (0/1,
+// default 0), "order" (default attack=1).
+func (Byzantine) Run(cfg sim.Config) (*sim.Report, error) {
+	cfg = cfg.WithDefaults(7, 0)
+	n := cfg.Participants
+	t := int(cfg.Param("traitors", 2))
+	commanderTraitor := cfg.Param("commanderTraitor", 0) != 0
+	order := int(cfg.Param("order", orderAttack))
+	if n < 3 {
+		return nil, fmt.Errorf("byzantine: need at least 3 generals, got %d", n)
+	}
+	if t < 0 || t >= n {
+		return nil, fmt.Errorf("byzantine: traitor count %d out of range for %d generals", t, n)
+	}
+	if order != orderAttack && order != orderRetreat {
+		return nil, fmt.Errorf("byzantine: order must be 0 (retreat) or 1 (attack)")
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	tracer := cfg.NewTracerFor()
+	metrics := &sim.Metrics{}
+
+	// Cast traitors: the commander is general 0.
+	traitor := make([]bool, n)
+	pool := rng.Perm(n - 1) // lieutenants 1..n-1 shuffled
+	castT := t
+	if commanderTraitor {
+		traitor[0] = true
+		castT--
+	}
+	for i := 0; i < castT && i < len(pool); i++ {
+		traitor[pool[i]+1] = true
+	}
+
+	s := &omScenario{n: n, traitor: traitor, rng: rng, metrics: metrics, tracer: tracer, maxDepth: t}
+	lieutenants := make([]int, 0, n-1)
+	for i := 1; i < n; i++ {
+		lieutenants = append(lieutenants, i)
+	}
+	tracer.Narrate(0, "commander (traitor=%v) orders %d among %d generals with %d traitors",
+		traitor[0], order, n, t)
+	decisions := s.om(t, 0, order, lieutenants)
+
+	// IC1: all loyal lieutenants decide the same value.
+	agreed := true
+	var loyalDecision int
+	first := true
+	for _, l := range lieutenants {
+		if traitor[l] {
+			continue
+		}
+		if first {
+			loyalDecision = decisions[l]
+			first = false
+		} else if decisions[l] != loyalDecision {
+			agreed = false
+		}
+	}
+	// IC2: if the commander is loyal, that value is the commander's order.
+	followedOrder := traitor[0] || (agreed && loyalDecision == order)
+
+	sound := n > 3*t
+	metrics.Add("generals", int64(n))
+	metrics.Add("traitors", int64(t))
+	if agreed {
+		metrics.Inc("agreement_reached")
+	}
+	if followedOrder {
+		metrics.Inc("ic2_holds")
+	}
+
+	// The invariant is conditional: with n > 3t, OM(t) must satisfy IC1
+	// and IC2; with n <= 3t the theorem gives no guarantee and the run is
+	// reported as a demonstration.
+	ok := !sound || (agreed && followedOrder)
+	verdict := "agreement"
+	if !agreed {
+		verdict = "disagreement"
+	}
+	return &sim.Report{
+		Activity: "byzantine",
+		Config:   cfg,
+		Metrics:  metrics,
+		Tracer:   tracer,
+		Outcome: fmt.Sprintf("%s among loyal generals (n=%d, t=%d, n>3t=%v) using %d messages",
+			verdict, n, t, sound, metrics.Count("messages")),
+		OK: ok,
+	}, nil
+}

@@ -1,0 +1,186 @@
+package activities
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"pdcunplugged/internal/sim"
+)
+
+func init() {
+	sim.Register(CardSort{})
+}
+
+// CardSort dramatizes the Bachelis/Moore team card sort: each team member
+// sorts a small hand, then pairs of members merge sorted hands, and pairs
+// of pairs merge again until one sorted deck remains — a live parallel
+// merge sort. Every hand-sort and every merge at the same level runs as its
+// own goroutine; the simulation counts total comparisons (work) and the
+// longest chain of dependent comparisons (span).
+type CardSort struct{}
+
+// Name implements sim.Activity.
+func (CardSort) Name() string { return "cardsort" }
+
+// Summary implements sim.Activity.
+func (CardSort) Summary() string {
+	return "parallel merge sort with student teams: work vs span"
+}
+
+// Run implements sim.Activity. Workers is the team size (default 8) and
+// Participants the deck size (default 64).
+func (CardSort) Run(cfg sim.Config) (*sim.Report, error) {
+	cfg = cfg.WithDefaults(64, 8)
+	n := cfg.Participants
+	team := cfg.Workers
+	if n < 1 {
+		return nil, fmt.Errorf("cardsort: need at least 1 card, got %d", n)
+	}
+	if team > n {
+		team = n
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	tracer := cfg.NewTracerFor()
+	metrics := &sim.Metrics{}
+
+	deck := rng.Perm(n)
+	want := append([]int(nil), deck...)
+	sort.Ints(want)
+
+	var work int64 // total comparisons across all students
+
+	// insertionSort counts comparisons while sorting a hand, returning
+	// the comparisons used (the student's personal effort).
+	insertionSort := func(hand []int) int64 {
+		var cmp int64
+		for i := 1; i < len(hand); i++ {
+			v := hand[i]
+			j := i - 1
+			for j >= 0 {
+				cmp++
+				if hand[j] <= v {
+					break
+				}
+				hand[j+1] = hand[j]
+				j--
+			}
+			hand[j+1] = v
+		}
+		return cmp
+	}
+
+	// merge counts comparisons while merging two sorted hands.
+	merge := func(a, b []int) ([]int, int64) {
+		out := make([]int, 0, len(a)+len(b))
+		var cmp int64
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			cmp++
+			if a[i] <= b[j] {
+				out = append(out, a[i])
+				i++
+			} else {
+				out = append(out, b[j])
+				j++
+			}
+		}
+		out = append(out, a[i:]...)
+		out = append(out, b[j:]...)
+		return out, cmp
+	}
+
+	// Phase 1: deal hands and sort them concurrently.
+	hands := make([][]int, team)
+	chunk := (n + team - 1) / team
+	for t := 0; t < team; t++ {
+		lo, hi := t*chunk, (t+1)*chunk
+		if lo > n {
+			lo = n
+		}
+		if hi > n {
+			hi = n
+		}
+		hands[t] = append([]int(nil), deck[lo:hi]...)
+	}
+	var phase1Span int64
+	{
+		spans := make([]int64, team)
+		var wg sync.WaitGroup
+		for t := range hands {
+			wg.Add(1)
+			go func(t int) {
+				defer wg.Done()
+				c := insertionSort(hands[t])
+				atomic.AddInt64(&work, c)
+				spans[t] = c
+			}(t)
+		}
+		wg.Wait()
+		for _, s := range spans {
+			if s > phase1Span {
+				phase1Span = s
+			}
+		}
+		tracer.Narrate(1, "%d students each sort a hand of about %d cards simultaneously", team, chunk)
+	}
+
+	// Phase 2: pairwise merges, level by level; merges at a level run
+	// concurrently and the level's span is its largest merge.
+	span := phase1Span
+	level := 1
+	for len(hands) > 1 {
+		level++
+		next := make([][]int, (len(hands)+1)/2)
+		spans := make([]int64, len(next))
+		var wg sync.WaitGroup
+		for p := 0; p*2 < len(hands); p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				if 2*p+1 == len(hands) {
+					next[p] = hands[2*p]
+					return
+				}
+				merged, c := merge(hands[2*p], hands[2*p+1])
+				atomic.AddInt64(&work, c)
+				spans[p] = c
+				next[p] = merged
+			}(p)
+		}
+		wg.Wait()
+		var levelSpan int64
+		for _, s := range spans {
+			if s > levelSpan {
+				levelSpan = s
+			}
+		}
+		span += levelSpan
+		tracer.Narrate(level, "pairs of students merge their sorted hands: %d hands remain", len(next))
+		hands = next
+		metrics.Inc("merge_levels")
+	}
+	result := hands[0]
+
+	// Serial baseline: one student's insertion sort of the whole deck.
+	serialDeck := append([]int(nil), deck...)
+	serialCost := insertionSort(serialDeck)
+
+	metrics.Add("work_comparisons", work)
+	metrics.Add("span_comparisons", span)
+	metrics.Add("serial_comparisons", serialCost)
+	if span > 0 {
+		metrics.Set("ideal_speedup", float64(serialCost)/float64(span))
+	}
+
+	return &sim.Report{
+		Activity: "cardsort",
+		Config:   cfg,
+		Metrics:  metrics,
+		Tracer:   tracer,
+		Outcome: fmt.Sprintf("team of %d sorted %d cards: span %d comparisons vs %d solo",
+			team, n, span, serialCost),
+		OK: sort.IntsAreSorted(result) && equalIntSlices(result, want),
+	}, nil
+}

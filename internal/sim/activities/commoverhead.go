@@ -1,0 +1,177 @@
+package activities
+
+import (
+	"fmt"
+	"math"
+
+	"pdcunplugged/internal/sim"
+)
+
+func init() {
+	sim.Register(CommOverhead{})
+	sim.Register(PhoneCall{})
+}
+
+// CommOverhead quantifies the OSCER communication-overhead analogy: a
+// workload divided across P workers who must exchange halo messages every
+// round. Compute shrinks as 1/P while communication does not, so adding
+// workers eventually makes the job slower; the simulation sweeps P and
+// locates the turnaround point.
+type CommOverhead struct{}
+
+// Name implements sim.Activity.
+func (CommOverhead) Name() string { return "commoverhead" }
+
+// Summary implements sim.Activity.
+func (CommOverhead) Summary() string {
+	return "compute shrinks with workers, messages do not: the overhead turnaround point"
+}
+
+// jobTime models T(p) = W/p + rounds * (alpha + beta*halo) * messages(p),
+// with messages growing linearly in p for an all-exchange phase.
+func jobTime(w float64, p int, rounds, alpha, beta, halo float64) float64 {
+	if p == 1 {
+		return w
+	}
+	perRound := alpha + beta*halo
+	return w/float64(p) + rounds*perRound*float64(p-1)
+}
+
+// Run implements sim.Activity. Workers is the maximum worker count swept
+// (default 32). Params: "work" (default 100000), "rounds" (default 10),
+// "alpha" per-message latency (default 50), "beta" per-unit cost (default
+// 0.5), "halo" message size (default 20).
+func (CommOverhead) Run(cfg sim.Config) (*sim.Report, error) {
+	cfg = cfg.WithDefaults(1, 32)
+	maxP := cfg.Workers
+	w := cfg.Param("work", 100000)
+	rounds := cfg.Param("rounds", 10)
+	alpha := cfg.Param("alpha", 50)
+	beta := cfg.Param("beta", 0.5)
+	halo := cfg.Param("halo", 20)
+	if w <= 0 || rounds < 0 || alpha < 0 || beta < 0 || halo < 0 {
+		return nil, fmt.Errorf("commoverhead: parameters must be non-negative with positive work")
+	}
+	tracer := cfg.NewTracerFor()
+	metrics := &sim.Metrics{}
+
+	t1 := jobTime(w, 1, rounds, alpha, beta, halo)
+	best, bestP := t1, 1
+	turnaround := maxP
+	for p := 2; p <= maxP; p++ {
+		tp := jobTime(w, p, rounds, alpha, beta, halo)
+		if tp < best {
+			best, bestP = tp, p
+		}
+		if tp > jobTime(w, p-1, rounds, alpha, beta, halo) && turnaround == maxP {
+			turnaround = p - 1
+		}
+		if p == 2 || p == maxP {
+			tracer.Narrate(p, "%d workers: %.0f time units (compute %.0f, comm %.0f)",
+				p, tp, w/float64(p), tp-w/float64(p))
+		}
+	}
+	metrics.Set("best_time", best)
+	metrics.Set("best_workers", float64(bestP))
+	metrics.Set("turnaround_workers", float64(turnaround))
+	metrics.Set("speedup_at_best", t1/best)
+
+	ok := best <= t1 && bestP >= 1 && bestP <= maxP && turnaround >= bestP
+	return &sim.Report{
+		Activity: "commoverhead",
+		Config:   cfg,
+		Metrics:  metrics,
+		Tracer:   tracer,
+		Outcome: fmt.Sprintf("fastest at %d workers (%.0f units, speedup %.1f); more workers get slower past %d",
+			bestP, best, t1/best, turnaround),
+		OK: ok,
+	}, nil
+}
+
+// PhoneCall executes the long-distance-phone-call analogy as a measurement
+// exercise: message timings follow connection-charge plus per-minute-rate
+// (T = alpha + beta*size) with noise, and the class recovers the two
+// charges by fitting the line — an alpha-beta latency/bandwidth model.
+type PhoneCall struct{}
+
+// Name implements sim.Activity.
+func (PhoneCall) Name() string { return "phonecall" }
+
+// Summary implements sim.Activity.
+func (PhoneCall) Summary() string {
+	return "fit connection charge (latency) and per-minute rate (1/bandwidth) from message timings"
+}
+
+// Run implements sim.Activity. Participants is the sample count (default
+// 64). Params: "alpha" (default 120), "beta" (default 0.75), "noise"
+// relative noise amplitude (default 0.02).
+func (PhoneCall) Run(cfg sim.Config) (*sim.Report, error) {
+	cfg = cfg.WithDefaults(64, 0)
+	samples := cfg.Participants
+	alpha := cfg.Param("alpha", 120)
+	beta := cfg.Param("beta", 0.75)
+	noise := cfg.Param("noise", 0.02)
+	if samples < 3 {
+		return nil, fmt.Errorf("phonecall: need at least 3 samples, got %d", samples)
+	}
+	if alpha <= 0 || beta <= 0 || noise < 0 {
+		return nil, fmt.Errorf("phonecall: alpha and beta must be positive, noise non-negative")
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	tracer := cfg.NewTracerFor()
+	metrics := &sim.Metrics{}
+
+	// Place calls of increasing length and record the bills.
+	sizes := make([]float64, samples)
+	times := make([]float64, samples)
+	for i := range sizes {
+		sizes[i] = float64(1 + i*16)
+		t := alpha + beta*sizes[i]
+		jitter := 1 + noise*(2*rng.Float64()-1)
+		times[i] = t * jitter
+	}
+	tracer.Narrate(0, "placed %d calls from %g to %g minutes of talking", samples, sizes[0], sizes[samples-1])
+
+	// Least-squares fit of T = a + b*size.
+	var sx, sy, sxx, sxy float64
+	n := float64(samples)
+	for i := range sizes {
+		sx += sizes[i]
+		sy += times[i]
+		sxx += sizes[i] * sizes[i]
+		sxy += sizes[i] * times[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return nil, fmt.Errorf("phonecall: degenerate sample sizes")
+	}
+	bHat := (n*sxy - sx*sy) / den
+	aHat := (sy - bHat*sx) / n
+
+	aErr := math.Abs(aHat-alpha) / alpha
+	bErr := math.Abs(bHat-beta) / beta
+	metrics.Set("alpha_true", alpha)
+	metrics.Set("alpha_fitted", aHat)
+	metrics.Set("beta_true", beta)
+	metrics.Set("beta_fitted", bHat)
+	metrics.Set("alpha_rel_error", aErr)
+	metrics.Set("beta_rel_error", bErr)
+	// Message size where the connection charge stops dominating.
+	metrics.Set("balance_size", aHat/bHat)
+	tracer.Narrate(1, "fitted connection charge %.1f (true %.1f) and per-minute rate %.3f (true %.3f)",
+		aHat, alpha, bHat, beta)
+
+	// With bounded relative noise the fit recovers the true parameters
+	// closely; tolerate 10x the noise amplitude plus 1% slack.
+	tol := 10*noise + 0.01
+	ok := aErr < tol && bErr < tol && aHat > 0 && bHat > 0
+	return &sim.Report{
+		Activity: "phonecall",
+		Config:   cfg,
+		Metrics:  metrics,
+		Tracer:   tracer,
+		Outcome: fmt.Sprintf("recovered alpha %.1f and beta %.3f within %.1f%%/%.1f%%; batching wins past size %.0f",
+			aHat, bHat, 100*aErr, 100*bErr, aHat/bHat),
+		OK: ok,
+	}, nil
+}

@@ -1,0 +1,75 @@
+package activities_test
+
+import (
+	"fmt"
+	"log"
+
+	"pdcunplugged/internal/sim"
+	_ "pdcunplugged/internal/sim/activities"
+)
+
+// ExampleFindSmallestCard: a class of 16 finds the minimum in four
+// tournament rounds while a lone volunteer needs fifteen comparisons.
+func Example_findSmallestCard() {
+	rep, err := sim.Run("findsmallestcard", sim.Config{Participants: 16, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rounds:", rep.Metrics.Count("rounds"))
+	fmt.Println("serial comparisons:", rep.Metrics.Count("serial_comparisons"))
+	fmt.Println("invariant held:", rep.OK)
+	// Output:
+	// rounds: 4
+	// serial comparisons: 15
+	// invariant held: true
+}
+
+// Example_tokenRing: Dijkstra's ring heals itself from an arbitrary
+// corruption back to exactly one token.
+func Example_tokenRing() {
+	rep, err := sim.Run("tokenring", sim.Config{Participants: 8, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("initial tokens:", rep.Metrics.Count("initial_tokens"))
+	fmt.Println("stabilized:", rep.OK)
+	// Output:
+	// initial tokens: 7
+	// stabilized: true
+}
+
+// Example_pipeline: the assembly line's makespan follows fill + (K-1) x
+// bottleneck exactly.
+func Example_pipeline() {
+	rep, err := sim.Run("pipeline", sim.Config{Participants: 10,
+		Params: map[string]float64{"stages": 4, "stageCost": 3}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("pipelined:", rep.Metrics.Count("pipelined_makespan"))
+	fmt.Println("serial:", rep.Metrics.Count("serial_makespan"))
+	// Output:
+	// pipelined: 39
+	// serial: 120
+}
+
+// Example_sweep: stabilization cost grows with ring size.
+func Example_sweep() {
+	series, err := sim.Sweep{
+		Activity: "collectives",
+		Vary:     "participants",
+		Values:   sim.SortedValues(4, 16, 64),
+		Metric:   "tree_rounds",
+		Base:     sim.Config{Seed: 1},
+	}.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range series.Points {
+		fmt.Printf("%g students -> %g rounds\n", p.X, p.Y)
+	}
+	// Output:
+	// 4 students -> 2 rounds
+	// 16 students -> 4 rounds
+	// 64 students -> 6 rounds
+}

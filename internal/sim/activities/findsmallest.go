@@ -1,0 +1,120 @@
+// Package activities implements runnable goroutine dramatizations of every
+// unplugged-activity family in the PDCunplugged curation, plus the gap-fill
+// collectives the paper's Section III-C calls for. Each simulation provides
+// a serial baseline and a parallel/distributed version, deterministic seeded
+// runs, an invariant check, metrics, and an optional narration trace.
+//
+// Importing this package (usually for side effects) registers every
+// simulation in the sim registry:
+//
+//	import _ "pdcunplugged/internal/sim/activities"
+package activities
+
+import (
+	"fmt"
+
+	"pdcunplugged/internal/sim"
+)
+
+func init() {
+	sim.Register(FindSmallestCard{})
+}
+
+// FindSmallestCard dramatizes the Bachelis et al. activity: every student
+// holds a card; a lone volunteer scans the room in n-1 comparisons, then the
+// class runs a pairwise tournament that finds the minimum in ceil(log2 n)
+// rounds. The simulation runs the tournament with one goroutine per student
+// pair each round and reports both cost measures.
+type FindSmallestCard struct{}
+
+// Name implements sim.Activity.
+func (FindSmallestCard) Name() string { return "findsmallestcard" }
+
+// Summary implements sim.Activity.
+func (FindSmallestCard) Summary() string {
+	return "parallel min-reduction: n-1 serial comparisons vs ceil(log2 n) tournament rounds"
+}
+
+// Run implements sim.Activity.
+func (FindSmallestCard) Run(cfg sim.Config) (*sim.Report, error) {
+	cfg = cfg.WithDefaults(32, 0)
+	n := cfg.Participants
+	if n < 2 {
+		return nil, fmt.Errorf("findsmallestcard: need at least 2 students, got %d", n)
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	tracer := cfg.NewTracerFor()
+	metrics := &sim.Metrics{}
+
+	// Deal one card per student: a random permutation of 1..n, so the
+	// smallest card is always 1 and the invariant is easy to state.
+	cards := rng.Perm(n)
+	for i := range cards {
+		cards[i]++
+	}
+
+	// Serial baseline: the lone volunteer's walk.
+	serialMin := cards[0]
+	for _, c := range cards[1:] {
+		metrics.Inc("serial_comparisons")
+		if c < serialMin {
+			serialMin = c
+		}
+	}
+	tracer.Narrate(0, "a lone volunteer scans %d students: %d comparisons", n, n-1)
+
+	// Parallel tournament: survivors pair up each round; each pair is a
+	// real goroutine performing its comparison concurrently.
+	survivors := append([]int(nil), cards...)
+	rounds := 0
+	for len(survivors) > 1 {
+		rounds++
+		pairs := len(survivors) / 2
+		next := make([]int, (len(survivors)+1)/2)
+		round := rounds
+		sim.ParallelDo(pairs, pairs, func(_, p int) {
+			a, b := survivors[2*p], survivors[2*p+1]
+			metrics.Inc("parallel_comparisons")
+			winner := a
+			if b < a {
+				winner = b
+			}
+			tracer.Say(round, fmt.Sprintf("pair-%d", p), "compares %d vs %d; %d stays standing", a, b, winner)
+			next[p] = winner
+		})
+		if len(survivors)%2 == 1 {
+			next[pairs] = survivors[len(survivors)-1]
+			tracer.Say(round, fmt.Sprintf("student-%d", len(survivors)-1), "has no partner and stays standing with %d", survivors[len(survivors)-1])
+		}
+		survivors = next
+	}
+	parallelMin := survivors[0]
+
+	metrics.Add("rounds", int64(rounds))
+	metrics.Set("span_bound", float64(ceilLog2(n)))
+	metrics.Set("speedup_comparisons_per_round", float64(n-1)/float64(rounds))
+
+	ok := serialMin == 1 && parallelMin == 1 &&
+		metrics.Count("parallel_comparisons") == int64(n-1) &&
+		rounds == ceilLog2(n)
+	outcome := fmt.Sprintf("min found in %d rounds (log2 bound %d) with the same total work of %d comparisons",
+		rounds, ceilLog2(n), metrics.Count("parallel_comparisons"))
+	return &sim.Report{
+		Activity: "findsmallestcard",
+		Config:   cfg,
+		Metrics:  metrics,
+		Tracer:   tracer,
+		Outcome:  outcome,
+		OK:       ok,
+	}, nil
+}
+
+// ceilLog2 returns ceil(log2(n)) for n >= 1.
+func ceilLog2(n int) int {
+	r, p := 0, 1
+	for p < n {
+		p <<= 1
+		r++
+	}
+	return r
+}

@@ -1,0 +1,155 @@
+package activities
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pdcunplugged/internal/sim"
+)
+
+func init() {
+	sim.Register(GCMark{})
+}
+
+// GCMark executes the Sivilotti/Pike parallel garbage collection activity:
+// an object graph on the classroom floor, student collectors marking
+// reachable objects concurrently. Collector goroutines share a work queue
+// and claim objects with compare-and-swap (two students who grab the same
+// plate resolve it by whoever touched first); the invariant is that the
+// marked set equals the serially-computed reachable set regardless of
+// interleaving.
+type GCMark struct{}
+
+// Name implements sim.Activity.
+func (GCMark) Name() string { return "gcmark" }
+
+// Summary implements sim.Activity.
+func (GCMark) Summary() string {
+	return "parallel mark phase: concurrent collectors mark exactly the reachable set"
+}
+
+// Run implements sim.Activity. Participants is the object count (default
+// 200), Workers the collector count (default 4). Params: "edges" average
+// out-degree (default 2), "roots" (default 3).
+func (GCMark) Run(cfg sim.Config) (*sim.Report, error) {
+	cfg = cfg.WithDefaults(200, 4)
+	n := cfg.Participants
+	collectors := cfg.Workers
+	outDeg := cfg.Param("edges", 2)
+	numRoots := int(cfg.Param("roots", 3))
+	if n < 1 {
+		return nil, fmt.Errorf("gcmark: need at least 1 object, got %d", n)
+	}
+	if numRoots < 1 {
+		numRoots = 1
+	}
+	if numRoots > n {
+		numRoots = n
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	tracer := cfg.NewTracerFor()
+	metrics := &sim.Metrics{}
+
+	// Build a random object graph.
+	edges := make([][]int, n)
+	totalEdges := 0
+	for i := range edges {
+		deg := rng.Intn(int(2*outDeg) + 1)
+		for d := 0; d < deg; d++ {
+			edges[i] = append(edges[i], rng.Intn(n))
+			totalEdges++
+		}
+	}
+	roots := rng.Perm(n)[:numRoots]
+	metrics.Add("objects", int64(n))
+	metrics.Add("edges", int64(totalEdges))
+
+	// Serial baseline: BFS reachable set.
+	want := make([]bool, n)
+	queue := append([]int(nil), roots...)
+	for _, r := range roots {
+		want[r] = true
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range edges[v] {
+			if !want[u] {
+				want[u] = true
+				queue = append(queue, u)
+			}
+		}
+	}
+	reachable := 0
+	for _, m := range want {
+		if m {
+			reachable++
+		}
+	}
+	tracer.Narrate(0, "serial walk finds %d of %d objects reachable from %d roots", reachable, n, numRoots)
+
+	// Parallel mark: collectors share a channel work queue; marks are
+	// claimed with CAS so each object is expanded exactly once. A shared
+	// atomic pending counter detects termination (all discovered work
+	// expanded), at which point the queue is closed.
+	marked := make([]int32, n)
+	work := make(chan int, n*2+len(roots))
+	var pending int64
+	var closeOnce sync.Once
+	push := func(v int) {
+		if atomic.CompareAndSwapInt32(&marked[v], 0, 1) {
+			atomic.AddInt64(&pending, 1)
+			work <- v
+		}
+	}
+	for _, r := range roots {
+		push(r)
+	}
+	var expansions int64
+	var wg sync.WaitGroup
+	for c := 0; c < collectors; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for v := range work {
+				atomic.AddInt64(&expansions, 1)
+				for _, u := range edges[v] {
+					push(u)
+				}
+				if atomic.AddInt64(&pending, -1) == 0 {
+					closeOnce.Do(func() { close(work) })
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Compare marked set with the serial reachable set.
+	match := true
+	markedCount := 0
+	for i := range want {
+		m := atomic.LoadInt32(&marked[i]) == 1
+		if m {
+			markedCount++
+		}
+		if m != want[i] {
+			match = false
+		}
+	}
+	metrics.Add("marked", int64(markedCount))
+	metrics.Add("expansions", expansions)
+	metrics.Set("collectors", float64(collectors))
+	tracer.Narrate(1, "%d collectors marked %d objects concurrently", collectors, markedCount)
+
+	ok := match && expansions == int64(reachable)
+	return &sim.Report{
+		Activity: "gcmark",
+		Config:   cfg,
+		Metrics:  metrics,
+		Tracer:   tracer,
+		Outcome: fmt.Sprintf("%d collectors marked %d/%d reachable objects, each expanded exactly once",
+			collectors, markedCount, reachable),
+		OK: ok,
+	}, nil
+}

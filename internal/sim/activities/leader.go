@@ -1,0 +1,112 @@
+package activities
+
+import (
+	"fmt"
+	"sync"
+
+	"pdcunplugged/internal/sim"
+)
+
+func init() {
+	sim.Register(LeaderElection{})
+}
+
+// LeaderElection executes the Sivilotti/Pike ring election with real
+// goroutines: each student-process forwards the largest identifier seen
+// around the ring (Chang-Roberts). Identifiers travel as channel messages
+// at whatever pace the scheduler allows, so every run is a genuinely
+// asynchronous execution; the assertional properties (safety: at most one
+// leader, and it carries the maximum id; progress: someone is elected) are
+// checked on the outcome.
+type LeaderElection struct{}
+
+// Name implements sim.Activity.
+func (LeaderElection) Name() string { return "leaderelection" }
+
+// Summary implements sim.Activity.
+func (LeaderElection) Summary() string {
+	return "Chang-Roberts ring election: exactly one leader, the maximum id, under any interleaving"
+}
+
+// Run implements sim.Activity.
+func (LeaderElection) Run(cfg sim.Config) (*sim.Report, error) {
+	cfg = cfg.WithDefaults(9, 0)
+	n := cfg.Participants
+	if n < 2 {
+		return nil, fmt.Errorf("leaderelection: need at least 2 processes, got %d", n)
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	tracer := cfg.NewTracerFor()
+
+	// Random distinct identifiers.
+	ids := rng.Perm(n)
+	for i := range ids {
+		ids[i] += 1000
+	}
+	maxID := 0
+	for _, id := range ids {
+		if id > maxID {
+			maxID = id
+		}
+	}
+
+	// Mailboxes buffered beyond the worst case (each process receives at
+	// most n elect messages plus one announcement), so no sender can block
+	// on a process that has already retired.
+	w := sim.NewWorld(n, 2*n+2, tracer)
+	const (
+		kindElect   = "elect"
+		kindElected = "elected"
+	)
+	leaders := make([]int, 0, 1)
+	var mu sync.Mutex
+
+	w.Run(func(me int) {
+		right := (me + 1) % n
+		// Kick off by proposing my own id.
+		w.Send(right, sim.Message{From: me, Kind: kindElect, Value: ids[me]})
+		for msg := range w.Mailbox(me) {
+			switch msg.Kind {
+			case kindElect:
+				switch {
+				case msg.Value > ids[me]:
+					w.Send(right, sim.Message{From: me, Kind: kindElect, Value: msg.Value})
+				case msg.Value == ids[me]:
+					// My id survived the whole ring: I am the leader.
+					tracer.Say(0, fmt.Sprintf("process-%d", me), "sees id %d return and declares itself leader", ids[me])
+					mu.Lock()
+					leaders = append(leaders, me)
+					mu.Unlock()
+					w.Send(right, sim.Message{From: me, Kind: kindElected, Value: ids[me]})
+				default:
+					// Smaller id: swallowed.
+					w.Metrics.Inc("swallowed")
+				}
+			case kindElected:
+				if msg.Value != ids[me] {
+					w.Send(right, sim.Message{From: me, Kind: kindElected, Value: msg.Value})
+				}
+				return // the announcement has informed me; I stop
+			}
+		}
+	})
+	w.Close()
+
+	metrics := w.Metrics
+	metrics.Set("message_bound_nlogn", float64(n)*float64(ceilLog2(n))+2*float64(n))
+
+	ok := len(leaders) == 1 && len(leaders) > 0 && ids[leaders[0]] == maxID
+	leaderID := -1
+	if len(leaders) > 0 {
+		leaderID = ids[leaders[0]]
+	}
+	return &sim.Report{
+		Activity: "leaderelection",
+		Config:   cfg,
+		Metrics:  metrics,
+		Tracer:   tracer,
+		Outcome: fmt.Sprintf("ring of %d elected id %d (max %d) with %d messages",
+			n, leaderID, maxID, metrics.Count("messages")),
+		OK: ok,
+	}, nil
+}

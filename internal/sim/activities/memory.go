@@ -1,0 +1,125 @@
+package activities
+
+import (
+	"fmt"
+	"math"
+
+	"pdcunplugged/internal/sim"
+)
+
+func init() {
+	sim.Register(SharedMem{})
+}
+
+// SharedMem quantifies the jigsaw-puzzle / desert-islands pair of OSCER
+// analogies as a cost model: P helpers assemble N puzzle pieces either
+// around one table (shared memory: every helper slows slightly for each
+// other helper reaching over the table) or across separate tables
+// (distributed memory: no interference, but boundary pieces must be walked
+// between tables). The model exposes the crossover the analogies teach:
+// contention makes the single table stop scaling, while table-walking cost
+// makes few large tables better than many tiny ones.
+type SharedMem struct {
+	// contention is the per-extra-helper slowdown at a shared table.
+	// boundaryCost is the walk cost per boundary piece between tables.
+}
+
+// Name implements sim.Activity.
+func (SharedMem) Name() string { return "sharedmem" }
+
+// Summary implements sim.Activity.
+func (SharedMem) Summary() string {
+	return "jigsaw vs desert islands: contention-limited shared table vs communication-limited tables"
+}
+
+// sharedTime models one table: each of the N pieces costs one minute, work
+// divides by P, but every placement suffers pairwise interference from the
+// other arms over the same table: factor (1 + c*(P-1)^2). The quadratic
+// term is what gives the shared table an interior optimum — with enough
+// helpers the reaching-over outweighs the extra hands.
+func sharedTime(n int, p int, c float64) float64 {
+	e := float64(p - 1)
+	return float64(n) / float64(p) * (1 + c*e*e)
+}
+
+// distTime models P tables: perfect division plus walking l minutes for
+// each of the b*(P-1) boundary pieces.
+func distTime(n, p int, l, b float64) float64 {
+	return float64(n)/float64(p) + l*b*float64(p-1)
+}
+
+// Run implements sim.Activity. Participants is the piece count (default
+// 1000), Workers the maximum helper count swept (default 16). Params:
+// "contention" (default 0.05), "walkCost" (default 2), "boundaryPieces"
+// per table boundary (default 8).
+func (SharedMem) Run(cfg sim.Config) (*sim.Report, error) {
+	cfg = cfg.WithDefaults(1000, 16)
+	n := cfg.Participants
+	maxP := cfg.Workers
+	c := cfg.Param("contention", 0.05)
+	l := cfg.Param("walkCost", 2)
+	b := cfg.Param("boundaryPieces", 8)
+	if n < 1 || maxP < 1 {
+		return nil, fmt.Errorf("sharedmem: pieces and helpers must be positive")
+	}
+	if c < 0 || l < 0 || b < 0 {
+		return nil, fmt.Errorf("sharedmem: cost parameters must be non-negative")
+	}
+	tracer := cfg.NewTracerFor()
+	metrics := &sim.Metrics{}
+
+	t1 := float64(n)
+	bestShared, bestSharedP := math.Inf(1), 1
+	bestDist, bestDistP := math.Inf(1), 1
+	positive := true
+	for p := 1; p <= maxP; p++ {
+		st := sharedTime(n, p, c)
+		dt := distTime(n, p, l, b)
+		if st <= 0 || dt <= 0 {
+			positive = false
+		}
+		if st < bestShared {
+			bestShared, bestSharedP = st, p
+		}
+		if dt < bestDist {
+			bestDist, bestDistP = dt, p
+		}
+		if p == 1 || p == maxP || p == bestSharedP {
+			tracer.Narrate(p, "%d helpers: one table %.0f min, separate tables %.0f min", p, st, dt)
+		}
+	}
+	metrics.Set("shared_best_time", bestShared)
+	metrics.Set("shared_best_helpers", float64(bestSharedP))
+	metrics.Set("dist_best_time", bestDist)
+	metrics.Set("dist_best_helpers", float64(bestDistP))
+	metrics.Set("shared_speedup_at_best", t1/bestShared)
+	metrics.Set("dist_speedup_at_best", t1/bestDist)
+
+	// Analytic checks: with one helper the models agree (no contention,
+	// no boundaries); each model's best time beats or equals its own
+	// 1-helper time; and the shared model's asymptote is bounded by the
+	// contention-limited rate while the distributed model eventually pays
+	// linear walking cost.
+	agree1 := math.Abs(sharedTime(n, 1, c)-distTime(n, 1, l, b)) < 1e-9
+	sharedFloor := true
+	if c > 0 {
+		// The interference term alone lower-bounds the shared time.
+		for p := 2; p <= maxP; p++ {
+			e := float64(p - 1)
+			if sharedTime(n, p, c) < float64(n)*c*e*e/float64(p)-1e-9 {
+				sharedFloor = false
+			}
+		}
+	}
+	ok := positive && agree1 && sharedFloor &&
+		bestShared <= t1+1e-9 && bestDist <= t1+1e-9
+	return &sim.Report{
+		Activity: "sharedmem",
+		Config:   cfg,
+		Metrics:  metrics,
+		Tracer:   tracer,
+		Outcome: fmt.Sprintf("one table bottoms out at %.0f min with %d helpers; separate tables at %.0f min with %d",
+			bestShared, bestSharedP, bestDist, bestDistP),
+		OK: ok,
+	}, nil
+}

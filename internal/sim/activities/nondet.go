@@ -1,0 +1,102 @@
+package activities
+
+import (
+	"fmt"
+	"sort"
+
+	"pdcunplugged/internal/sim"
+)
+
+func init() {
+	sim.Register(NondetSort{})
+}
+
+// NondetSort executes the Sivilotti/Pike assertional sorting activity: any
+// out-of-order adjacent pair may swap at any moment, chosen arbitrarily.
+// The simulation plays a demonic scheduler (seeded RNG) and verifies the
+// assertional argument: the value multiset is invariant, the inversion
+// count strictly decreases with every swap, and therefore the row sorts in
+// at most n(n-1)/2 steps no matter which schedule is chosen.
+type NondetSort struct{}
+
+// Name implements sim.Activity.
+func (NondetSort) Name() string { return "nondetsort" }
+
+// Summary implements sim.Activity.
+func (NondetSort) Summary() string {
+	return "assertional sorting: arbitrary out-of-order swaps always converge within the inversion bound"
+}
+
+// Run implements sim.Activity.
+func (NondetSort) Run(cfg sim.Config) (*sim.Report, error) {
+	cfg = cfg.WithDefaults(12, 0)
+	n := cfg.Participants
+	if n < 2 {
+		return nil, fmt.Errorf("nondetsort: need at least 2 students, got %d", n)
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	tracer := cfg.NewTracerFor()
+	metrics := &sim.Metrics{}
+
+	row := rng.Perm(n)
+	want := append([]int(nil), row...)
+	sort.Ints(want)
+
+	inversions := countInversions(row)
+	metrics.Add("initial_inversions", int64(inversions))
+	bound := n * (n - 1) / 2
+	metrics.Set("step_bound", float64(bound))
+	tracer.Narrate(0, "row starts with %d inversions; the variant function must reach 0", inversions)
+
+	steps := 0
+	monotone := true
+	for {
+		// Collect every currently-enabled action (out-of-order pair).
+		var enabled []int
+		for i := 0; i+1 < len(row); i++ {
+			if row[i] > row[i+1] {
+				enabled = append(enabled, i)
+			}
+		}
+		if len(enabled) == 0 {
+			break
+		}
+		// The demonic scheduler fires an arbitrary enabled action.
+		i := enabled[rng.Intn(len(enabled))]
+		tracer.Say(steps+1, fmt.Sprintf("pair-%d", i), "swaps %d and %d", row[i], row[i+1])
+		row[i], row[i+1] = row[i+1], row[i]
+		steps++
+		next := countInversions(row)
+		if next != inversions-1 {
+			monotone = false
+		}
+		inversions = next
+		if steps > bound {
+			break
+		}
+	}
+
+	metrics.Add("steps", int64(steps))
+	ok := sort.IntsAreSorted(row) && equalIntSlices(row, want) && steps <= bound && monotone
+	return &sim.Report{
+		Activity: "nondetsort",
+		Config:   cfg,
+		Metrics:  metrics,
+		Tracer:   tracer,
+		Outcome: fmt.Sprintf("row of %d sorted after %d arbitrary swaps (bound %d); each swap removed exactly one inversion",
+			n, steps, bound),
+		OK: ok,
+	}, nil
+}
+
+func countInversions(xs []int) int {
+	inv := 0
+	for i := 0; i < len(xs); i++ {
+		for j := i + 1; j < len(xs); j++ {
+			if xs[i] > xs[j] {
+				inv++
+			}
+		}
+	}
+	return inv
+}

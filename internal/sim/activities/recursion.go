@@ -1,0 +1,111 @@
+package activities
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pdcunplugged/internal/sim"
+)
+
+func init() {
+	sim.Register(RecursionTree{})
+}
+
+// RecursionTree is a gap-fill dramatization for the uncovered "parallel
+// aspects of recursion" TCPP topic: the handshake-counting problem solved
+// by parallel divide and conquer. One student must learn how many students
+// are in the room; she splits the room in half, delegates each half to a
+// sub-leader (a spawned goroutine), and adds the two answers. Both
+// sub-problems genuinely run in parallel, so the answer arrives in depth
+// ceil(log2 n) delegation waves even though n-1 delegations happen in
+// total — work versus span for recursion.
+type RecursionTree struct{}
+
+// Name implements sim.Activity.
+func (RecursionTree) Name() string { return "recursiontree" }
+
+// Summary implements sim.Activity.
+func (RecursionTree) Summary() string {
+	return "parallel divide-and-conquer recursion: n-1 delegations, ceil(log2 n) waves deep"
+}
+
+// Run implements sim.Activity. Params: "serialCutoff" below which a
+// sub-leader just counts heads directly (default 1).
+func (RecursionTree) Run(cfg sim.Config) (*sim.Report, error) {
+	cfg = cfg.WithDefaults(32, 0)
+	n := cfg.Participants
+	cutoff := int(cfg.Param("serialCutoff", 1))
+	if n < 1 {
+		return nil, fmt.Errorf("recursiontree: need at least 1 student, got %d", n)
+	}
+	if cutoff < 1 {
+		return nil, fmt.Errorf("recursiontree: serialCutoff must be positive, got %d", cutoff)
+	}
+	tracer := cfg.NewTracerFor()
+	metrics := &sim.Metrics{}
+
+	var delegations int64
+	var maxDepth int64
+
+	// count returns the size of the [lo, hi) span by parallel recursion;
+	// depth tracks the delegation wave.
+	var count func(lo, hi, depth int) int
+	count = func(lo, hi, depth int) int {
+		if d := int64(depth); d > atomic.LoadInt64(&maxDepth) {
+			// Benign race on max: use CAS loop for exactness.
+			for {
+				cur := atomic.LoadInt64(&maxDepth)
+				if d <= cur || atomic.CompareAndSwapInt64(&maxDepth, cur, d) {
+					break
+				}
+			}
+		}
+		if hi-lo <= cutoff {
+			return hi - lo
+		}
+		mid := lo + (hi-lo)/2
+		atomic.AddInt64(&delegations, 2)
+		var left, right int
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			left = count(lo, mid, depth+1)
+		}()
+		right = count(mid, hi, depth+1)
+		wg.Wait()
+		return left + right
+	}
+
+	total := count(0, n, 0)
+	metrics.Add("delegations", delegations)
+	metrics.Add("depth", atomic.LoadInt64(&maxDepth))
+	metrics.Set("depth_bound", float64(ceilLog2((n+cutoff-1)/cutoff)+1))
+	tracer.Narrate(0, "the room of %d counted itself with %d delegations, %d waves deep",
+		n, delegations, maxDepth)
+
+	// Work: each internal split delegates twice; with cutoff 1 the tree
+	// has n leaves and n-1 internal nodes, so 2(n-1) delegations. Span:
+	// depth <= ceil(log2 n) + 1.
+	ok := total == n && int(atomic.LoadInt64(&maxDepth)) <= ceilLog2(maxInt(n/cutoff, 1))+1
+	if cutoff == 1 && n > 1 {
+		ok = ok && delegations == int64(2*(n-1))
+	}
+	return &sim.Report{
+		Activity: "recursiontree",
+		Config:   cfg,
+		Metrics:  metrics,
+		Tracer:   tracer,
+		Outcome: fmt.Sprintf("counted %d students via %d parallel delegations, only %d waves deep",
+			total, delegations, maxDepth),
+		OK: ok,
+	}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

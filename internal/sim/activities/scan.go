@@ -1,0 +1,99 @@
+package activities
+
+import (
+	"fmt"
+
+	"pdcunplugged/internal/sim"
+)
+
+func init() {
+	sim.Register(Scan{})
+}
+
+// Scan is a gap-fill dramatization for the uncovered "Scan (prefix-sum)"
+// and "Reduction" TCPP paradigm topics: students in a row compute running
+// totals by the doubling trick (Hillis-Steele). In round r, every student
+// simultaneously adds the value held by the student 2^(r-1) seats to their
+// left; after ceil(log2 n) rounds each student holds the prefix sum of the
+// whole row up to their seat, and the last student holds the reduction.
+type Scan struct{}
+
+// Name implements sim.Activity.
+func (Scan) Name() string { return "scan" }
+
+// Summary implements sim.Activity.
+func (Scan) Summary() string {
+	return "human prefix sum: doubling rounds compute every running total in ceil(log2 n) steps"
+}
+
+// Run implements sim.Activity.
+func (Scan) Run(cfg sim.Config) (*sim.Report, error) {
+	cfg = cfg.WithDefaults(16, 0)
+	n := cfg.Participants
+	if n < 1 {
+		return nil, fmt.Errorf("scan: need at least 1 student, got %d", n)
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	tracer := cfg.NewTracerFor()
+	metrics := &sim.Metrics{}
+
+	values := make([]int, n)
+	for i := range values {
+		values[i] = rng.Intn(10)
+	}
+	// Serial baseline: one volunteer walks the row accumulating, n-1 adds
+	// and n-1 "steps" of wall-clock time.
+	want := make([]int, n)
+	acc := 0
+	for i, v := range values {
+		acc += v
+		want[i] = acc
+		if i > 0 {
+			metrics.Inc("serial_adds")
+		}
+	}
+
+	// Parallel doubling: all students act simultaneously each round (one
+	// goroutine per active student reading the pre-round snapshot).
+	cur := append([]int(nil), values...)
+	rounds := 0
+	for stride := 1; stride < n; stride *= 2 {
+		rounds++
+		prev := append([]int(nil), cur...)
+		active := n - stride
+		strideCopy := stride
+		round := rounds
+		sim.ParallelDo(active, active, func(_, k int) {
+			i := k + strideCopy
+			cur[i] = prev[i] + prev[i-strideCopy]
+			metrics.Inc("parallel_adds")
+			if i == n-1 {
+				tracer.Say(round, fmt.Sprintf("student-%d", i),
+					"adds the total from %d seats left; now holds %d", strideCopy, cur[i])
+			}
+		})
+	}
+	metrics.Add("rounds", int64(rounds))
+	metrics.Set("round_bound", float64(ceilLog2(n)))
+
+	okVals := true
+	for i := range want {
+		if cur[i] != want[i] {
+			okVals = false
+		}
+	}
+	reduction := 0
+	if n > 0 {
+		reduction = cur[n-1]
+	}
+	ok := okVals && rounds == ceilLog2(n)
+	return &sim.Report{
+		Activity: "scan",
+		Config:   cfg,
+		Metrics:  metrics,
+		Tracer:   tracer,
+		Outcome: fmt.Sprintf("row of %d computed every prefix sum in %d doubling rounds (reduction %d); the volunteer needed %d sequential adds",
+			n, rounds, reduction, n-1),
+		OK: ok,
+	}, nil
+}

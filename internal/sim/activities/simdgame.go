@@ -1,0 +1,137 @@
+package activities
+
+import (
+	"fmt"
+	"sort"
+
+	"pdcunplugged/internal/sim"
+)
+
+func init() {
+	sim.Register(SIMDGame{})
+}
+
+// SIMDGame executes the Kitchen/Schaller/Tymann classroom games that
+// dramatize Flynn's machine classes. In the SIMD game one caller
+// broadcasts an instruction per round ("everyone holding a card larger
+// than your left neighbor's, swap!") and every player executes it in
+// lockstep on their own data; with a single control stream the class
+// performs an odd-even sort without any player deciding anything. In the
+// MIMD game, teams search independent slices of a solution space with
+// their own control flow and combine results. The simulation runs both and
+// contrasts one instruction stream against many.
+type SIMDGame struct{}
+
+// Name implements sim.Activity.
+func (SIMDGame) Name() string { return "simdgame" }
+
+// Summary implements sim.Activity.
+func (SIMDGame) Summary() string {
+	return "Flynn's classes as games: one broadcast instruction stream (SIMD) vs independent teams (MIMD)"
+}
+
+// Run implements sim.Activity. Participants is the player count (default
+// 12). Params: "space" is the MIMD search-space size (default 400).
+func (SIMDGame) Run(cfg sim.Config) (*sim.Report, error) {
+	cfg = cfg.WithDefaults(12, 4)
+	n := cfg.Participants
+	teams := cfg.Workers
+	space := int(cfg.Param("space", 400))
+	if n < 2 {
+		return nil, fmt.Errorf("simdgame: need at least 2 players, got %d", n)
+	}
+	if space < n {
+		return nil, fmt.Errorf("simdgame: search space %d smaller than class %d", space, n)
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	tracer := cfg.NewTracerFor()
+	metrics := &sim.Metrics{}
+
+	// --- SIMD round: the caller's two alternating instructions sort the
+	// line; players never decide, they only obey the broadcast.
+	line := rng.Perm(n)
+	want := append([]int(nil), line...)
+	sort.Ints(want)
+	instructions := 0
+	quiet := 0
+	for quiet < 2 && instructions <= n+2 {
+		start := instructions % 2
+		instructions++
+		metrics.Inc("simd_instructions")
+		swapped := make([]bool, n/2+1)
+		pairs := 0
+		for i := start; i+1 < n; i += 2 {
+			pairs++
+		}
+		sim.ParallelDo(pairs, pairs, func(_, k int) {
+			i := start + 2*k
+			if line[i] > line[i+1] {
+				line[i], line[i+1] = line[i+1], line[i]
+				swapped[k] = true
+			}
+		})
+		any := false
+		for _, s := range swapped {
+			if s {
+				any = true
+			}
+		}
+		if any {
+			quiet = 0
+		} else {
+			quiet++
+		}
+		tracer.Narrate(instructions, "caller broadcasts instruction %d; all players obey in lockstep", instructions)
+	}
+	simdSorted := sort.IntsAreSorted(line) && equalIntSlices(line, want)
+
+	// --- MIMD round: teams search disjoint slices for a hidden target
+	// with their own control flow; wall-clock is the largest slice walked.
+	target := rng.Intn(space)
+	found := make([]int, teams)
+	walked := make([]int, teams)
+	chunk := (space + teams - 1) / teams
+	sim.ParallelDo(teams, teams, func(_, tm int) {
+		lo, hi := tm*chunk, (tm+1)*chunk
+		if hi > space {
+			hi = space
+		}
+		found[tm] = -1
+		for v := lo; v < hi; v++ {
+			walked[tm]++
+			if v == target {
+				found[tm] = v
+				return // this team's own control flow stops early
+			}
+		}
+	})
+	hits := 0
+	var mimdSpan int
+	for tm := range found {
+		if found[tm] == target {
+			hits++
+		}
+		if walked[tm] > mimdSpan {
+			mimdSpan = walked[tm]
+		}
+	}
+	metrics.Add("mimd_span", int64(mimdSpan))
+	metrics.Add("mimd_serial", int64(target+1))
+	metrics.Set("mimd_speedup", float64(target+1)/float64(max(mimdSpan, 1)))
+	tracer.Narrate(instructions+1, "%d teams searched %d values; finder stopped after %d of its own steps",
+		teams, space, mimdSpan)
+
+	// Invariants: the broadcast stream sorts within the odd-even bound,
+	// exactly one team finds the target, and no team walks beyond its
+	// slice.
+	ok := simdSorted && instructions <= n+2 && hits == 1 && mimdSpan <= chunk
+	return &sim.Report{
+		Activity: "simdgame",
+		Config:   cfg,
+		Metrics:  metrics,
+		Tracer:   tracer,
+		Outcome: fmt.Sprintf("SIMD: %d broadcast instructions sorted %d players; MIMD: %d teams found the target in %d steps vs %d serial",
+			instructions, n, teams, mimdSpan, target+1),
+		OK: ok,
+	}, nil
+}

@@ -1,0 +1,161 @@
+package activities
+
+import (
+	"strings"
+	"testing"
+
+	"pdcunplugged/internal/sim"
+)
+
+// Sweep tests live here (not in package sim) because they need registered
+// activities.
+
+func TestSweepFindSmallestRounds(t *testing.T) {
+	series, err := sim.Sweep{
+		Activity: "findsmallestcard",
+		Vary:     "participants",
+		Values:   sim.SortedValues(8, 16, 32, 64, 128),
+		Metric:   "rounds",
+		Base:     sim.Config{Seed: 1},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !series.AllOK() {
+		t.Fatal("invariant violated during sweep")
+	}
+	// Rounds grow logarithmically: 3,4,5,6,7.
+	want := []float64{3, 4, 5, 6, 7}
+	for i, p := range series.Points {
+		if p.Y != want[i] {
+			t.Errorf("point %d: rounds = %v, want %v", i, p.Y, want[i])
+		}
+	}
+	if series.Monotonic() != 1 {
+		t.Error("rounds should be non-decreasing in class size")
+	}
+	csv := series.CSV()
+	if !strings.HasPrefix(csv, "participants,rounds\n8,3\n") {
+		t.Errorf("CSV: %q", csv)
+	}
+	plot := series.AsciiPlot(20)
+	if !strings.Contains(plot, "#") || !strings.Contains(plot, "rounds vs participants") {
+		t.Errorf("plot: %q", plot)
+	}
+}
+
+func TestSweepAmdahlSerialFraction(t *testing.T) {
+	// Speedup at 8 helpers falls as the serial fraction grows.
+	series, err := sim.Sweep{
+		Activity: "amdahl",
+		Vary:     "serialFraction",
+		Values:   sim.SortedValues(0.05, 0.1, 0.2, 0.4),
+		Metric:   "speedup_p8",
+		Base:     sim.Config{Workers: 8, Seed: 1},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series.Monotonic() != -1 {
+		t.Errorf("speedup should fall with serial fraction: %+v", series.Points)
+	}
+}
+
+func TestSweepRepeatsAverage(t *testing.T) {
+	// tokenring stabilization steps vary by seed; repeats average them.
+	single, err := sim.Sweep{
+		Activity: "tokenring", Vary: "participants",
+		Values: []float64{16}, Metric: "stabilization_steps",
+		Base: sim.Config{Seed: 5},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	averaged, err := sim.Sweep{
+		Activity: "tokenring", Vary: "participants",
+		Values: []float64{16}, Metric: "stabilization_steps",
+		Base: sim.Config{Seed: 5}, Repeats: 20,
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Points[0].Y <= 0 || averaged.Points[0].Y <= 0 {
+		t.Errorf("degenerate sweep values: %v %v", single.Points, averaged.Points)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	if _, err := (sim.Sweep{}).Run(); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	if _, err := (sim.Sweep{Activity: "oddeven", Vary: "participants", Values: []float64{4}}).Run(); err == nil {
+		t.Error("sweep without metric accepted")
+	}
+	if _, err := (sim.Sweep{Activity: "nope", Vary: "participants", Values: []float64{4}, Metric: "x"}).Run(); err == nil {
+		t.Error("unknown activity accepted")
+	}
+	if _, err := (sim.Sweep{Activity: "oddeven", Vary: "participants", Values: []float64{1}, Metric: "rounds"}).Run(); err == nil {
+		t.Error("invalid grid point should surface the config error")
+	}
+}
+
+func TestMeasureTokenRingDistribution(t *testing.T) {
+	d, err := sim.Measure("tokenring", "stabilization_steps", sim.Config{Participants: 12, Seed: 1}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Violations != 0 {
+		t.Errorf("%d invariant violations", d.Violations)
+	}
+	if d.Min > d.Median || d.Median > d.P90 || d.P90 > d.Max {
+		t.Errorf("quantiles out of order: %s", d)
+	}
+	if d.Max > float64(4*12*12) {
+		t.Errorf("max %g above the Dijkstra bound", d.Max)
+	}
+	if d.Mean <= 0 || d.Stddev < 0 {
+		t.Errorf("degenerate stats: %s", d)
+	}
+	if !strings.Contains(d.String(), "tokenring stabilization_steps over 40 runs") {
+		t.Errorf("String = %q", d.String())
+	}
+}
+
+func TestMeasureJuiceRaceLostUpdates(t *testing.T) {
+	d, err := sim.Measure("juicerace", "lost_updates_mutex", sim.Config{Participants: 6}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Max != 0 {
+		t.Errorf("mutex lost updates across runs: %s", d)
+	}
+}
+
+func TestMeasureErrors(t *testing.T) {
+	if _, err := sim.Measure("tokenring", "x", sim.Config{}, 0); err == nil {
+		t.Error("zero runs accepted")
+	}
+	if _, err := sim.Measure("tokenring", "", sim.Config{}, 1); err == nil {
+		t.Error("empty metric accepted")
+	}
+	if _, err := sim.Measure("nope", "x", sim.Config{}, 1); err == nil {
+		t.Error("unknown activity accepted")
+	}
+}
+
+func TestSweepVaryWorkersAndParams(t *testing.T) {
+	series, err := sim.Sweep{
+		Activity: "gcmark",
+		Vary:     "workers",
+		Values:   sim.SortedValues(1, 2, 4),
+		Metric:   "marked",
+		Base:     sim.Config{Participants: 300, Seed: 2},
+	}.Run()
+	if err != nil || !series.AllOK() {
+		t.Fatal(err)
+	}
+	// Marked set is schedule-independent: flat series.
+	if series.Monotonic() != 0 && series.Points[0].Y != series.Points[2].Y {
+		t.Errorf("marked count varied with workers: %+v", series.Points)
+	}
+}

@@ -1,0 +1,121 @@
+package activities
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pdcunplugged/internal/sim"
+)
+
+func init() {
+	sim.Register(ConcertTickets{})
+}
+
+// ConcertTickets executes Kolikant's ticket-booth scenario: agents at
+// separate booths sell seats from the same pool. The naive protocol checks
+// availability and then sells as two separate steps, overselling under
+// contention; the locked protocol makes check-and-sell atomic and sells
+// exactly the house.
+type ConcertTickets struct{}
+
+// Name implements sim.Activity.
+func (ConcertTickets) Name() string { return "concerttickets" }
+
+// Summary implements sim.Activity.
+func (ConcertTickets) Summary() string {
+	return "check-then-sell booths oversell a shared seat pool; atomic sale sells exactly the house"
+}
+
+// Run implements sim.Activity. Participants is the number of booths
+// (default 8). Params: "tickets" in the pool (default 100), "buyers" per
+// booth (default 50).
+func (ConcertTickets) Run(cfg sim.Config) (*sim.Report, error) {
+	cfg = cfg.WithDefaults(8, 0)
+	booths := cfg.Participants
+	tickets := int64(cfg.Param("tickets", 100))
+	buyers := int(cfg.Param("buyers", 50))
+	if booths < 2 {
+		return nil, fmt.Errorf("concerttickets: need at least 2 booths, got %d", booths)
+	}
+	if tickets < 1 || buyers < 1 {
+		return nil, fmt.Errorf("concerttickets: tickets and buyers must be positive")
+	}
+	tracer := cfg.NewTracerFor()
+	metrics := &sim.Metrics{}
+
+	// Act 1: naive check-then-sell. remaining is read and decremented in
+	// two separate atomic steps with a scheduling point between them, so
+	// two booths can both see "1 left" and both sell it.
+	remaining := tickets
+	var sold int64
+	var wg sync.WaitGroup
+	for b := 0; b < booths; b++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < buyers; i++ {
+				if atomic.LoadInt64(&remaining) > 0 {
+					runtime.Gosched() // the agent turns to the buyer
+					atomic.AddInt64(&remaining, -1)
+					atomic.AddInt64(&sold, 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	oversold := int64(0)
+	if final := atomic.LoadInt64(&remaining); final < 0 {
+		oversold = -final
+	}
+	metrics.Add("oversold_naive", oversold)
+	metrics.Add("sold_naive", atomic.LoadInt64(&sold))
+	tracer.Narrate(1, "naive booths sold %d tickets for a %d-seat house: %d seats double-sold",
+		atomic.LoadInt64(&sold), tickets, oversold)
+
+	// Act 2: one shared chart with turn-taking (a mutex): check and sell
+	// are a single indivisible action.
+	remainingLocked := tickets
+	var soldLocked int64
+	var mu sync.Mutex
+	for b := 0; b < booths; b++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < buyers; i++ {
+				mu.Lock()
+				if remainingLocked > 0 {
+					remainingLocked--
+					soldLocked++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	metrics.Add("sold_locked", soldLocked)
+	metrics.Add("oversold_locked", func() int64 {
+		if remainingLocked < 0 {
+			return -remainingLocked
+		}
+		return 0
+	}())
+	tracer.Narrate(2, "turn-taking booths sold exactly %d of %d seats", soldLocked, tickets)
+
+	demand := int64(booths * buyers)
+	wantSold := tickets
+	if demand < tickets {
+		wantSold = demand
+	}
+	ok := soldLocked == wantSold && remainingLocked >= 0
+	return &sim.Report{
+		Activity: "concerttickets",
+		Config:   cfg,
+		Metrics:  metrics,
+		Tracer:   tracer,
+		Outcome: fmt.Sprintf("naive protocol oversold %d seats; locked protocol sold exactly %d",
+			oversold, soldLocked),
+		OK: ok,
+	}, nil
+}

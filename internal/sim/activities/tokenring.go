@@ -1,0 +1,145 @@
+package activities
+
+import (
+	"fmt"
+
+	"pdcunplugged/internal/sim"
+)
+
+func init() {
+	sim.Register(TokenRing{})
+}
+
+// TokenRing executes the Sivilotti/Demirbas self-stabilization activity:
+// Dijkstra's K-state token ring. Students in a circle hold a state in
+// 0..K-1; a student is "privileged" (holds the token) when her state
+// relates to her left neighbor's by the protocol rule. The facilitator
+// corrupts states arbitrarily, and the ring provably converges back to
+// exactly one circulating token.
+type TokenRing struct{}
+
+// Name implements sim.Activity.
+func (TokenRing) Name() string { return "tokenring" }
+
+// Summary implements sim.Activity.
+func (TokenRing) Summary() string {
+	return "Dijkstra's K-state ring self-stabilizes to exactly one token from any corrupted state"
+}
+
+// privileged returns the indices currently holding a token. Machine 0 is
+// privileged when its state equals its left neighbor's (the last machine);
+// every other machine is privileged when its state differs from its left
+// neighbor's.
+func privileged(states []int) []int {
+	n := len(states)
+	var out []int
+	if states[0] == states[n-1] {
+		out = append(out, 0)
+	}
+	for i := 1; i < n; i++ {
+		if states[i] != states[i-1] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// fire executes machine i's move: machine 0 increments modulo K, every
+// other machine copies its left neighbor.
+func fire(states []int, i, k int) {
+	if i == 0 {
+		states[0] = (states[0] + 1) % k
+	} else {
+		states[i] = states[i-1]
+	}
+}
+
+// Run implements sim.Activity. Params: "verifyRounds" extra steps checked
+// after stabilization (default 3n).
+func (TokenRing) Run(cfg sim.Config) (*sim.Report, error) {
+	cfg = cfg.WithDefaults(8, 0)
+	n := cfg.Participants
+	if n < 2 {
+		return nil, fmt.Errorf("tokenring: need at least 2 machines, got %d", n)
+	}
+	k := n + 1 // Dijkstra requires K >= n for guaranteed stabilization
+	rng := sim.NewRNG(cfg.Seed)
+	tracer := cfg.NewTracerFor()
+	metrics := &sim.Metrics{}
+
+	// The facilitator corrupts every state arbitrarily.
+	states := make([]int, n)
+	for i := range states {
+		states[i] = rng.Intn(k)
+	}
+	initialTokens := len(privileged(states))
+	metrics.Add("initial_tokens", int64(initialTokens))
+	tracer.Narrate(0, "facilitator scrambles the ring: %d students believe they hold the token", initialTokens)
+
+	// A central daemon fires one arbitrary privileged machine per step.
+	// Dijkstra's bound: stabilization within O(n^2) steps.
+	bound := 4 * n * n
+	steps := 0
+	stabilizedAt := -1
+	for steps < bound {
+		priv := privileged(states)
+		if len(priv) == 0 {
+			// Impossible for this protocol; fail loudly if it happens.
+			return &sim.Report{
+				Activity: "tokenring", Config: cfg, Metrics: metrics, Tracer: tracer,
+				Outcome: "protocol reached a token-free state", OK: false,
+			}, nil
+		}
+		if len(priv) == 1 && stabilizedAt < 0 {
+			stabilizedAt = steps
+			break
+		}
+		i := priv[rng.Intn(len(priv))]
+		fire(states, i, k)
+		steps++
+		if steps%n == 0 {
+			tracer.Narrate(steps, "after %d moves, %d tokens remain", steps, len(privileged(states)))
+		}
+	}
+	if stabilizedAt < 0 {
+		stabilizedAt = steps
+	}
+	metrics.Add("stabilization_steps", int64(stabilizedAt))
+
+	// Closure: once a single token exists, every subsequent move keeps
+	// exactly one token, and the privilege visits every machine (mutual
+	// exclusion with fairness).
+	verifyRounds := int(cfg.Param("verifyRounds", float64(3*n)))
+	closure := true
+	visited := make([]bool, n)
+	for s := 0; s < verifyRounds; s++ {
+		priv := privileged(states)
+		if len(priv) != 1 {
+			closure = false
+			break
+		}
+		visited[priv[0]] = true
+		fire(states, priv[0], k)
+	}
+	allVisited := true
+	for _, v := range visited {
+		if !v {
+			allVisited = false
+		}
+	}
+	if verifyRounds < 2*n {
+		allVisited = true // not enough rounds to expect full circulation
+	}
+	metrics.Add("closure_steps_verified", int64(verifyRounds))
+
+	ok := len(privileged(states)) == 1 && closure && stabilizedAt <= bound && allVisited
+	return &sim.Report{
+		Activity: "tokenring",
+		Config:   cfg,
+		Metrics:  metrics,
+		Tracer:   tracer,
+		Outcome: fmt.Sprintf("ring of %d stabilized from %d tokens to 1 in %d moves; token then circulated for %d verified moves",
+			n, initialTokens, stabilizedAt, verifyRounds),
+		OK: ok,
+	}, nil
+}

@@ -1,0 +1,178 @@
+package activities
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"pdcunplugged/internal/sim"
+)
+
+func init() {
+	sim.Register(WebSearch{})
+}
+
+// WebSearch is a gap-fill dramatization for the uncovered "how web
+// searches work" TCPP topic: a classroom search engine. Students are shard
+// librarians, each holding an alphabetical slice of a word index over a
+// small document collection. A query fans out to every shard
+// simultaneously (scatter), shards return their posting lists, and the
+// teacher intersects and ranks them (gather) — the same
+// partition/fan-out/merge shape as a production search cluster, in one
+// classroom round instead of a linear walk through every document.
+type WebSearch struct{}
+
+// Name implements sim.Activity.
+func (WebSearch) Name() string { return "websearch" }
+
+// Summary implements sim.Activity.
+func (WebSearch) Summary() string {
+	return "classroom search engine: a sharded index answers queries by scatter/gather"
+}
+
+// corpus is the document collection the class indexes: tiny summaries of
+// the curation's own activity families.
+var searchDocs = []string{
+	"students sort cards in parallel rounds",
+	"robots race to sweeten the juice glass",
+	"agents sell concert tickets from a shared chart",
+	"a token circulates the ring for mutual exclusion",
+	"generals agree despite traitors in their ranks",
+	"gardeners balance the load of garden beds",
+	"the assembly line pipelines paper airplanes",
+	"helpers share one chocolate bar and hit the amdahl wall",
+	"collectors mark reachable plates in the object graph",
+	"a conductor schedules the classroom orchestra",
+	"students broadcast a secret down the telephone tree",
+	"the class computes prefix sums by doubling",
+}
+
+// Run implements sim.Activity. Workers is the shard count (default 4).
+// Params: none beyond the standard ones; the query is fixed so the run is
+// deterministic given the seed-selected query below.
+func (WebSearch) Run(cfg sim.Config) (*sim.Report, error) {
+	cfg = cfg.WithDefaults(len(searchDocs), 4)
+	shards := cfg.Workers
+	if shards < 1 {
+		return nil, fmt.Errorf("websearch: need at least 1 shard, got %d", shards)
+	}
+	if shards > 26 {
+		return nil, fmt.Errorf("websearch: at most 26 shards (alphabet partitions), got %d", shards)
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	tracer := cfg.NewTracerFor()
+	metrics := &sim.Metrics{}
+
+	// Build the inverted index and partition terms across shard
+	// librarians by hash of the first letter.
+	type posting = map[string][]int
+	index := make([]posting, shards)
+	for s := range index {
+		index[s] = posting{}
+	}
+	shardOf := func(term string) int {
+		return int(term[0]) % shards
+	}
+	terms := 0
+	for docID, doc := range searchDocs {
+		seen := map[string]bool{}
+		for _, w := range strings.Fields(doc) {
+			if seen[w] {
+				continue
+			}
+			seen[w] = true
+			s := shardOf(w)
+			if len(index[s][w]) == 0 {
+				terms++
+			}
+			index[s][w] = append(index[s][w], docID)
+		}
+	}
+	metrics.Add("documents", int64(len(searchDocs)))
+	metrics.Add("terms", int64(terms))
+
+	// Pick a two-word conjunctive query that certainly has an answer.
+	doc := searchDocs[rng.Intn(len(searchDocs))]
+	words := strings.Fields(doc)
+	q1 := words[rng.Intn(len(words))]
+	q2 := words[rng.Intn(len(words))]
+	query := []string{q1, q2}
+	tracer.Narrate(0, "the teacher asks the librarians for %q AND %q", q1, q2)
+
+	// Serial baseline: scan every document for both words.
+	var wantHits []int
+	for docID, d := range searchDocs {
+		metrics.Inc("serial_docs_scanned")
+		if strings.Contains(" "+d+" ", " "+q1+" ") && strings.Contains(" "+d+" ", " "+q2+" ") {
+			wantHits = append(wantHits, docID)
+		}
+	}
+
+	// Parallel: fan the query out to every shard goroutine at once; each
+	// returns posting lists for the query terms it owns.
+	lists := make([][][]int, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for _, term := range query {
+				if shardOf(term) != s {
+					continue
+				}
+				lists[s] = append(lists[s], index[s][term])
+			}
+		}(s)
+	}
+	wg.Wait()
+	metrics.Add("shards_consulted", int64(shards))
+	metrics.Add("fanout_rounds", 1)
+
+	// Gather: intersect the returned posting lists.
+	counts := map[int]int{}
+	needed := 0
+	seenTerm := map[string]bool{}
+	for _, term := range query {
+		if !seenTerm[term] {
+			seenTerm[term] = true
+			needed++
+		}
+	}
+	for _, shardLists := range lists {
+		for _, l := range shardLists {
+			for _, docID := range l {
+				counts[docID]++
+			}
+		}
+	}
+	// A duplicate query term arrives once (dedup at the shard owner would
+	// double-count otherwise): when q1 == q2 each hit needs only 1 vote.
+	var got []int
+	for docID, c := range counts {
+		if c >= needed {
+			got = append(got, docID)
+		}
+	}
+	sort.Ints(got)
+	tracer.Narrate(1, "shards returned postings; intersection holds %d documents", len(got))
+
+	match := len(got) == len(wantHits)
+	if match {
+		for i := range got {
+			if got[i] != wantHits[i] {
+				match = false
+			}
+		}
+	}
+	ok := match && len(got) >= 1 // the query came from a real document
+	return &sim.Report{
+		Activity: "websearch",
+		Config:   cfg,
+		Metrics:  metrics,
+		Tracer:   tracer,
+		Outcome: fmt.Sprintf("query %q+%q answered by %d shards in one fan-out round; serial scan touched all %d documents",
+			q1, q2, shards, len(searchDocs)),
+		OK: ok,
+	}, nil
+}

@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Message is what actors pass along channels: a card value, a vote, a
+// token. Kind names the message type within an activity's protocol.
+type Message struct {
+	From    int
+	Kind    string
+	Value   int
+	Payload []int
+}
+
+// World is the goroutine actor runtime: n actors with buffered channel
+// mailboxes. Actors run as real goroutines and communicate only through
+// Send and Recv, following Go's "share memory by communicating" discipline.
+type World struct {
+	n       int
+	mail    []chan Message
+	Metrics *Metrics
+	Tracer  *Tracer
+}
+
+// NewWorld creates a runtime for n actors with mailboxes of the given
+// buffer size (0 gives rendezvous semantics, like handing a card directly
+// to a classmate).
+func NewWorld(n, buffer int, tracer *Tracer) *World {
+	if n < 1 {
+		panic("sim: world needs at least one actor")
+	}
+	if tracer == nil {
+		tracer = Disabled()
+	}
+	w := &World{
+		n:       n,
+		mail:    make([]chan Message, n),
+		Metrics: &Metrics{},
+		Tracer:  tracer,
+	}
+	for i := range w.mail {
+		w.mail[i] = make(chan Message, buffer)
+	}
+	return w
+}
+
+// N returns the number of actors.
+func (w *World) N() int { return w.n }
+
+// Send delivers a message to actor to, blocking if its mailbox is full.
+func (w *World) Send(to int, m Message) {
+	if to < 0 || to >= w.n {
+		panic(fmt.Sprintf("sim: send to actor %d of %d", to, w.n))
+	}
+	w.Metrics.Inc("messages")
+	w.mail[to] <- m
+}
+
+// Recv blocks until actor i receives a message.
+func (w *World) Recv(i int) Message {
+	return <-w.mail[i]
+}
+
+// TryRecv receives without blocking; ok is false when the mailbox is empty.
+func (w *World) TryRecv(i int) (Message, bool) {
+	select {
+	case m := <-w.mail[i]:
+		return m, true
+	default:
+		return Message{}, false
+	}
+}
+
+// Close closes every mailbox, releasing actors blocked in ranged receives.
+func (w *World) Close() {
+	for _, ch := range w.mail {
+		close(ch)
+	}
+}
+
+// Mailbox exposes actor i's channel for use in select statements.
+func (w *World) Mailbox(i int) <-chan Message { return w.mail[i] }
+
+// Run spawns one goroutine per actor and waits for all of them to return.
+func (w *World) Run(actor func(id int)) {
+	var wg sync.WaitGroup
+	wg.Add(w.n)
+	for i := 0; i < w.n; i++ {
+		go func(id int) {
+			defer wg.Done()
+			actor(id)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// RunRounds drives a lockstep dramatization: step is called with the round
+// number (starting at 1) until it returns false or maxRounds is reached.
+// It returns the number of rounds executed. This models the facilitator
+// clapping out rounds while all students act simultaneously within each.
+func RunRounds(maxRounds int, step func(round int) bool) int {
+	round := 0
+	for round < maxRounds {
+		round++
+		if !step(round) {
+			return round
+		}
+	}
+	return round
+}
+
+// ParallelDo partitions items [0, n) across workers goroutines and runs fn
+// on every index. It is the data-parallel kernel the speedup dramatizations
+// measure. workers < 1 is treated as 1; workers > n is capped at n.
+func ParallelDo(workers, n int, fn func(worker, index int)) {
+	if n <= 0 {
+		return
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	chunk := (n + workers - 1) / workers
+	for wkr := 0; wkr < workers; wkr++ {
+		go func(wkr int) {
+			defer wg.Done()
+			lo := wkr * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				fn(wkr, i)
+			}
+		}(wkr)
+	}
+	wg.Wait()
+}
+
+// Barrier is a reusable sense-reversing barrier for a fixed party size: the
+// synchronization construct the Ghafoor barrier activity dramatizes (all
+// students raise hands; nobody proceeds until every hand is up).
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	sense   bool
+}
+
+// NewBarrier creates a barrier for the given party count.
+func NewBarrier(parties int) *Barrier {
+	if parties < 1 {
+		panic("sim: barrier needs at least one party")
+	}
+	b := &Barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all parties have called Wait, then releases them all.
+// It returns the arrival index (0 = first to arrive) of the caller within
+// the phase, with the last arriver receiving parties-1.
+func (b *Barrier) Wait() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	arrival := b.waiting
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.sense = !b.sense
+		b.cond.Broadcast()
+		return arrival
+	}
+	sense := b.sense
+	for sense == b.sense {
+		b.cond.Wait()
+	}
+	return arrival
+}

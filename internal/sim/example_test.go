@@ -1,0 +1,49 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"pdcunplugged/internal/sim"
+)
+
+// Example_world shows the actor runtime directly: three student goroutines
+// pass a card around a ring, each adding one to it.
+func Example_world() {
+	w := sim.NewWorld(3, 1, nil)
+	w.Run(func(id int) {
+		if id == 0 {
+			w.Send(1, sim.Message{From: 0, Kind: "card", Value: 10})
+			return
+		}
+		m := w.Recv(id)
+		if id == 2 {
+			fmt.Println("final value:", m.Value+1)
+			return
+		}
+		w.Send(id+1, sim.Message{From: id, Kind: "card", Value: m.Value + 1})
+	})
+	fmt.Println("messages:", w.Metrics.Count("messages"))
+	// Output:
+	// final value: 12
+	// messages: 2
+}
+
+// Example_runRounds shows the lockstep facilitator loop.
+func Example_runRounds() {
+	count := 0
+	rounds := sim.RunRounds(10, func(round int) bool {
+		count += round
+		return count < 6
+	})
+	fmt.Println(rounds, count)
+	// Output:
+	// 3 6
+}
+
+// Example_rng shows the deterministic seeded source.
+func Example_rng() {
+	a, b := sim.NewRNG(7), sim.NewRNG(7)
+	fmt.Println(a.Intn(100) == b.Intn(100))
+	// Output:
+	// true
+}

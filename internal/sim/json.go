@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// reportJSON is the serialized shape of a Report, stable for tooling that
+// records classroom runs (dashboards, grading scripts, CI trend lines).
+type reportJSON struct {
+	Activity string             `json:"activity"`
+	OK       bool               `json:"ok"`
+	Outcome  string             `json:"outcome"`
+	Config   configJSON         `json:"config"`
+	Counters map[string]int64   `json:"counters,omitempty"`
+	Gauges   map[string]float64 `json:"gauges,omitempty"`
+	Trace    []string           `json:"trace,omitempty"`
+}
+
+type configJSON struct {
+	Participants int                `json:"participants"`
+	Workers      int                `json:"workers,omitempty"`
+	Seed         int64              `json:"seed"`
+	Params       map[string]float64 `json:"params,omitempty"`
+}
+
+// MarshalJSON serializes the report with its metrics split into counters
+// and gauges and the narration flattened to transcript lines.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	out := reportJSON{
+		Activity: r.Activity,
+		OK:       r.OK,
+		Outcome:  r.Outcome,
+		Config: configJSON{
+			Participants: r.Config.Participants,
+			Workers:      r.Config.Workers,
+			Seed:         r.Config.Seed,
+			Params:       r.Config.Params,
+		},
+	}
+	if r.Metrics != nil {
+		counters := map[string]int64{}
+		gauges := map[string]float64{}
+		for _, name := range r.Metrics.Names() {
+			if v, ok := r.Metrics.Gauge(name); ok {
+				gauges[name] = v
+				continue
+			}
+			counters[name] = r.Metrics.Count(name)
+		}
+		if len(counters) > 0 {
+			out.Counters = counters
+		}
+		if len(gauges) > 0 {
+			out.Gauges = gauges
+		}
+	}
+	if r.Tracer.Enabled() {
+		for _, e := range r.Tracer.Events() {
+			out.Trace = append(out.Trace, e.String())
+		}
+	}
+	return json.Marshal(out)
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON() (string, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("sim: %w", err)
+	}
+	return string(data) + "\n", nil
+}

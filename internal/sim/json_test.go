@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	m := &Metrics{}
+	m.Add("rounds", 5)
+	m.Set("speedup", 2.5)
+	tr := NewTracer()
+	tr.Say(1, "Alice", "compares cards")
+	return &Report{
+		Activity: "demo",
+		Config:   Config{Participants: 8, Seed: 3, Params: map[string]float64{"x": 1}},
+		Metrics:  m,
+		Tracer:   tr,
+		Outcome:  "all good",
+		OK:       true,
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	out, err := sampleReport().WriteJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Activity string             `json:"activity"`
+		OK       bool               `json:"ok"`
+		Counters map[string]int64   `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+		Trace    []string           `json:"trace"`
+		Config   struct {
+			Participants int                `json:"participants"`
+			Seed         int64              `json:"seed"`
+			Params       map[string]float64 `json:"params"`
+		} `json:"config"`
+	}
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if decoded.Activity != "demo" || !decoded.OK {
+		t.Errorf("header: %+v", decoded)
+	}
+	if decoded.Counters["rounds"] != 5 || decoded.Gauges["speedup"] != 2.5 {
+		t.Errorf("metrics: %+v", decoded)
+	}
+	if len(decoded.Trace) != 1 || !strings.Contains(decoded.Trace[0], "Alice") {
+		t.Errorf("trace: %+v", decoded.Trace)
+	}
+	if decoded.Config.Participants != 8 || decoded.Config.Params["x"] != 1 {
+		t.Errorf("config: %+v", decoded.Config)
+	}
+}
+
+func TestReportJSONWithoutTraceOrMetrics(t *testing.T) {
+	r := &Report{Activity: "bare", Tracer: Disabled(), Outcome: "x"}
+	out, err := r.WriteJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "\"trace\"") || strings.Contains(out, "\"counters\"") {
+		t.Errorf("empty fields not omitted:\n%s", out)
+	}
+}

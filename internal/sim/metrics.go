@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Metrics is a concurrency-safe bag of named counters and gauges that
+// simulations report (comparisons, rounds, messages, lost updates, ...).
+// The zero value is ready to use.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+}
+
+// Add increments a counter by delta.
+func (m *Metrics) Add(name string, delta int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.counters == nil {
+		m.counters = make(map[string]int64)
+	}
+	m.counters[name] += delta
+}
+
+// Inc increments a counter by one.
+func (m *Metrics) Inc(name string) { m.Add(name, 1) }
+
+// Set stores a gauge value (overwriting any previous value).
+func (m *Metrics) Set(name string, value float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.gauges == nil {
+		m.gauges = make(map[string]float64)
+	}
+	m.gauges[name] = value
+}
+
+// Max raises the gauge to value when value exceeds the current gauge.
+func (m *Metrics) Max(name string, value float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.gauges == nil {
+		m.gauges = make(map[string]float64)
+	}
+	if cur, ok := m.gauges[name]; !ok || value > cur {
+		m.gauges[name] = value
+	}
+}
+
+// Count returns a counter's value (0 when never touched).
+func (m *Metrics) Count(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// Gauge returns a gauge's value and whether it was ever set.
+func (m *Metrics) Gauge(name string) (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.gauges[name]
+	return v, ok
+}
+
+// Names returns all counter and gauge names, sorted.
+func (m *Metrics) Names() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.counters)+len(m.gauges))
+	for n := range m.counters {
+		names = append(names, n)
+	}
+	for n := range m.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders "name=value" pairs sorted by name.
+func (m *Metrics) String() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var parts []string
+	for n := range m.counters {
+		parts = append(parts, fmt.Sprintf("%s=%d", n, m.counters[n]))
+	}
+	for n := range m.gauges {
+		parts = append(parts, fmt.Sprintf("%s=%.3g", n, m.gauges[n]))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}
+
+// Merge adds every counter of other into m and copies gauges (other wins on
+// gauge conflicts).
+func (m *Metrics) Merge(other *Metrics) {
+	if other == nil {
+		return
+	}
+	other.mu.Lock()
+	counters := make(map[string]int64, len(other.counters))
+	for k, v := range other.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]float64, len(other.gauges))
+	for k, v := range other.gauges {
+		gauges[k] = v
+	}
+	other.mu.Unlock()
+	for k, v := range counters {
+		m.Add(k, v)
+	}
+	for k, v := range gauges {
+		m.Set(k, v)
+	}
+}

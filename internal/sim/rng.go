@@ -1,0 +1,68 @@
+// Package sim provides the simulation kernel for unplugged-activity
+// dramatizations: a deterministic random source, a trace/narration log,
+// metrics counters, classroom topologies, a lockstep round engine, and a
+// goroutine actor runtime with channel mailboxes.
+//
+// Students become goroutines, cards become values, and the classroom
+// becomes a topology of channels; every simulation is reproducible from a
+// seed so an instructor can replay the exact run a class just watched.
+package sim
+
+// RNG is a small deterministic random source (splitmix64). The zero value
+// is a valid generator seeded with 0; use NewRNG to seed explicitly.
+//
+// math/rand would also do, but a local implementation keeps runs bit-stable
+// across Go releases, which matters for replayable classroom traces.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator with the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{state: uint64(seed)}
+}
+
+// Uint64 returns the next raw 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). It panics when n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts shuffles xs in place (Fisher-Yates).
+func (r *RNG) ShuffleInts(xs []int) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}

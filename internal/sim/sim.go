@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Participants is the class size (number of actors). Zero selects the
+	// activity's default.
+	Participants int
+	// Seed makes the run reproducible.
+	Seed int64
+	// Workers is the parallel worker count for speedup-style activities;
+	// zero selects the activity's default.
+	Workers int
+	// Trace enables the narration transcript.
+	Trace bool
+	// Params carries activity-specific knobs (e.g. "traitors", "tickets",
+	// "serialFraction"). Unknown keys are ignored by activities.
+	Params map[string]float64
+}
+
+// Param returns a named knob or def when unset.
+func (c Config) Param(name string, def float64) float64 {
+	if v, ok := c.Params[name]; ok {
+		return v
+	}
+	return def
+}
+
+// WithDefaults fills zero fields from the given defaults.
+func (c Config) WithDefaults(participants, workers int) Config {
+	if c.Participants <= 0 {
+		c.Participants = participants
+	}
+	if c.Workers <= 0 {
+		c.Workers = workers
+	}
+	return c
+}
+
+// NewTracerFor returns an enabled tracer when cfg.Trace is set and a
+// disabled one otherwise.
+func (c Config) NewTracerFor() *Tracer {
+	if c.Trace {
+		return NewTracer()
+	}
+	return Disabled()
+}
+
+// Report is the outcome of one run.
+type Report struct {
+	// Activity is the registered activity name.
+	Activity string
+	// Config echoes the effective configuration after defaulting.
+	Config Config
+	// Metrics holds the run's counters and gauges.
+	Metrics *Metrics
+	// Tracer holds the narration (empty unless Config.Trace).
+	Tracer *Tracer
+	// Outcome is a one-line human-readable result.
+	Outcome string
+	// OK reports whether the activity's invariant held.
+	OK bool
+}
+
+// Summary renders the outcome line plus metrics.
+func (r *Report) Summary() string {
+	status := "ok"
+	if !r.OK {
+		status = "INVARIANT VIOLATED"
+	}
+	return fmt.Sprintf("%s [%s]: %s (%s)", r.Activity, status, r.Outcome, r.Metrics.String())
+}
+
+// Activity is a runnable unplugged-activity simulation.
+type Activity interface {
+	// Name is the registry key, matching the curated activity's slug where
+	// one exists.
+	Name() string
+	// Summary is a one-line description of what the dramatization shows.
+	Summary() string
+	// Run executes the simulation.
+	Run(cfg Config) (*Report, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Activity{}
+)
+
+// Register adds an activity to the global registry. It panics on duplicate
+// names, which indicates a programming error at init time.
+func Register(a Activity) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[a.Name()]; dup {
+		panic("sim: duplicate activity " + a.Name())
+	}
+	registry[a.Name()] = a
+}
+
+// Get returns a registered activity by name.
+func Get(name string) (Activity, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	a, ok := registry[name]
+	return a, ok
+}
+
+// Names returns all registered activity names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run looks up and runs an activity in one call.
+func Run(name string, cfg Config) (*Report, error) {
+	a, ok := Get(name)
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown activity %q (have %v)", name, Names())
+	}
+	return a.Run(cfg)
+}

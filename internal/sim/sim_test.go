@@ -1,0 +1,521 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v", v)
+		}
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(9)
+	f := func(n uint8) bool {
+		m := int(n%50) + 1
+		p := r.Perm(m)
+		sorted := append([]int(nil), p...)
+		sort.Ints(sorted)
+		for i, v := range sorted {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGBoolProbability(t *testing.T) {
+	r := NewRNG(5)
+	hits := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	ratio := float64(hits) / trials
+	if ratio < 0.22 || ratio > 0.28 {
+		t.Errorf("Bool(0.25) hit ratio %.3f", ratio)
+	}
+}
+
+func TestTracer(t *testing.T) {
+	tr := NewTracer()
+	tr.Say(1, "Alice", "compares %d and %d", 3, 5)
+	tr.Narrate(2, "half the class sits down")
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].String() != "[round 1] Alice: compares 3 and 5" {
+		t.Errorf("event = %q", evs[0])
+	}
+	if evs[1].String() != "[round 2] half the class sits down" {
+		t.Errorf("event = %q", evs[1])
+	}
+	if !strings.Contains(tr.Transcript(), "Alice") {
+		t.Error("transcript missing event")
+	}
+}
+
+func TestTracerDisabled(t *testing.T) {
+	tr := Disabled()
+	tr.Say(1, "x", "y")
+	if len(tr.Events()) != 0 || tr.Enabled() {
+		t.Error("disabled tracer recorded events")
+	}
+	var nilT *Tracer
+	if nilT.Enabled() || nilT.Events() != nil || nilT.Dropped() != 0 {
+		t.Error("nil tracer not safe")
+	}
+	nilT.Say(1, "x", "y") // must not panic
+}
+
+func TestTracerCap(t *testing.T) {
+	tr := &Tracer{limit: 3, enabled: true}
+	for i := 0; i < 10; i++ {
+		tr.Narrate(i, "e%d", i)
+	}
+	if len(tr.Events()) != 3 || tr.Dropped() != 7 {
+		t.Errorf("cap: %d events, %d dropped", len(tr.Events()), tr.Dropped())
+	}
+	if !strings.Contains(tr.Transcript(), "7 further events dropped") {
+		t.Error("transcript does not note drops")
+	}
+}
+
+func TestTracerConcurrentSafe(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tr.Say(j, fmt.Sprintf("actor%d", i), "step")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(tr.Events()) != 1600 {
+		t.Errorf("events = %d", len(tr.Events()))
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	var m Metrics
+	m.Inc("comparisons")
+	m.Add("comparisons", 4)
+	m.Set("speedup", 3.5)
+	m.Max("peak", 2)
+	m.Max("peak", 5)
+	m.Max("peak", 3)
+	if m.Count("comparisons") != 5 {
+		t.Errorf("comparisons = %d", m.Count("comparisons"))
+	}
+	if v, ok := m.Gauge("speedup"); !ok || v != 3.5 {
+		t.Errorf("speedup = %v %v", v, ok)
+	}
+	if v, _ := m.Gauge("peak"); v != 5 {
+		t.Errorf("peak = %v", v)
+	}
+	if _, ok := m.Gauge("absent"); ok {
+		t.Error("absent gauge found")
+	}
+	if m.Count("absent") != 0 {
+		t.Error("absent counter nonzero")
+	}
+	s := m.String()
+	if !strings.Contains(s, "comparisons=5") || !strings.Contains(s, "speedup=3.5") {
+		t.Errorf("String = %q", s)
+	}
+	names := m.Names()
+	if !reflect.DeepEqual(names, []string{"comparisons", "peak", "speedup"}) {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestMetricsMerge(t *testing.T) {
+	var a, b Metrics
+	a.Add("x", 2)
+	b.Add("x", 3)
+	b.Set("g", 1.5)
+	a.Merge(&b)
+	if a.Count("x") != 5 {
+		t.Errorf("merged x = %d", a.Count("x"))
+	}
+	if v, _ := a.Gauge("g"); v != 1.5 {
+		t.Errorf("merged g = %v", v)
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	var m Metrics
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Inc("n")
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Count("n") != 8000 {
+		t.Errorf("n = %d", m.Count("n"))
+	}
+}
+
+func TestTopologies(t *testing.T) {
+	if got := (Ring{}).Neighbors(0, 5); !reflect.DeepEqual(got, []int{4, 1}) {
+		t.Errorf("ring = %v", got)
+	}
+	if got := (Ring{}).Neighbors(0, 2); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("ring n=2 = %v", got)
+	}
+	if got := (Ring{}).Neighbors(0, 1); got != nil {
+		t.Errorf("ring n=1 = %v", got)
+	}
+	if got := (Line{}).Neighbors(0, 4); !reflect.DeepEqual(got, []int{1}) {
+		t.Errorf("line end = %v", got)
+	}
+	if got := (Line{}).Neighbors(2, 4); !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Errorf("line mid = %v", got)
+	}
+	if got := (Star{}).Neighbors(0, 4); !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Errorf("star hub = %v", got)
+	}
+	if got := (Star{}).Neighbors(3, 4); !reflect.DeepEqual(got, []int{0}) {
+		t.Errorf("star spoke = %v", got)
+	}
+	if got := (Complete{}).Neighbors(1, 4); !reflect.DeepEqual(got, []int{0, 2, 3}) {
+		t.Errorf("complete = %v", got)
+	}
+	for _, topo := range []Topology{Ring{}, Line{}, Star{}, Complete{}, Tree{}} {
+		if topo.Name() == "" {
+			t.Error("empty topology name")
+		}
+	}
+}
+
+func TestTopologySymmetry(t *testing.T) {
+	// Property: in all these undirected arrangements, j in N(i) implies
+	// i in N(j).
+	f := func(iRaw, nRaw uint8) bool {
+		n := int(nRaw%20) + 2
+		i := int(iRaw) % n
+		for _, topo := range []Topology{Ring{}, Line{}, Star{}, Complete{}, Tree{Fanout: 3}} {
+			for _, j := range topo.Neighbors(i, n) {
+				back := false
+				for _, k := range topo.Neighbors(j, n) {
+					if k == i {
+						back = true
+					}
+				}
+				if !back {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTree(t *testing.T) {
+	tr := Tree{Fanout: 2}
+	if tr.Parent(0) != -1 {
+		t.Error("root has a parent")
+	}
+	if got := tr.Children(0, 7); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("children(0) = %v", got)
+	}
+	if got := tr.Children(2, 7); !reflect.DeepEqual(got, []int{5, 6}) {
+		t.Errorf("children(2) = %v", got)
+	}
+	if got := tr.Children(3, 7); got != nil {
+		t.Errorf("leaf children = %v", got)
+	}
+	if d := tr.Depth(7); d != 3 {
+		t.Errorf("depth(7) = %d", d)
+	}
+	if d := tr.Depth(1); d != 1 {
+		t.Errorf("depth(1) = %d", d)
+	}
+	// Every non-root node's parent lists it as a child.
+	for i := 1; i < 20; i++ {
+		p := tr.Parent(i)
+		found := false
+		for _, c := range tr.Children(p, 20) {
+			if c == i {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("node %d missing from parent %d's children", i, p)
+		}
+	}
+}
+
+func TestWorldMessaging(t *testing.T) {
+	w := NewWorld(3, 4, nil)
+	if w.N() != 3 {
+		t.Fatalf("N = %d", w.N())
+	}
+	w.Run(func(id int) {
+		if id == 0 {
+			w.Send(1, Message{From: 0, Kind: "card", Value: 7})
+			w.Send(2, Message{From: 0, Kind: "card", Value: 9})
+			return
+		}
+		m := w.Recv(id)
+		if m.Kind != "card" {
+			t.Errorf("actor %d got %+v", id, m)
+		}
+	})
+	if w.Metrics.Count("messages") != 2 {
+		t.Errorf("messages = %d", w.Metrics.Count("messages"))
+	}
+}
+
+func TestWorldTryRecvAndClose(t *testing.T) {
+	w := NewWorld(2, 1, nil)
+	if _, ok := w.TryRecv(0); ok {
+		t.Error("TryRecv on empty mailbox succeeded")
+	}
+	w.Send(0, Message{Value: 1})
+	if m, ok := w.TryRecv(0); !ok || m.Value != 1 {
+		t.Errorf("TryRecv = %+v %v", m, ok)
+	}
+	w.Close()
+	if _, open := <-w.Mailbox(0); open {
+		t.Error("mailbox still open after Close")
+	}
+}
+
+func TestWorldSendPanicsOutOfRange(t *testing.T) {
+	w := NewWorld(1, 1, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range send did not panic")
+		}
+	}()
+	w.Send(5, Message{})
+}
+
+func TestRunRounds(t *testing.T) {
+	calls := 0
+	n := RunRounds(10, func(round int) bool {
+		calls++
+		if round != calls {
+			t.Errorf("round = %d at call %d", round, calls)
+		}
+		return round < 4
+	})
+	if n != 4 || calls != 4 {
+		t.Errorf("rounds = %d calls = %d", n, calls)
+	}
+	if n := RunRounds(3, func(int) bool { return true }); n != 3 {
+		t.Errorf("capped rounds = %d", n)
+	}
+	if n := RunRounds(0, func(int) bool { return true }); n != 0 {
+		t.Errorf("zero max = %d", n)
+	}
+}
+
+func TestParallelDoCoversAllIndices(t *testing.T) {
+	f := func(wRaw, nRaw uint8) bool {
+		workers := int(wRaw%10) + 1
+		n := int(nRaw % 100)
+		hits := make([]int32, n)
+		var mu sync.Mutex
+		ParallelDo(workers, n, func(_, i int) {
+			mu.Lock()
+			hits[i]++
+			mu.Unlock()
+		})
+		for _, h := range hits {
+			if h != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+	ParallelDo(0, 0, func(_, _ int) { t.Error("called for n=0") })
+	ParallelDo(-1, 3, func(_, i int) {}) // workers clamped, must not panic
+}
+
+func TestBarrier(t *testing.T) {
+	const parties = 8
+	b := NewBarrier(parties)
+	var phase int32
+	counts := make([]int32, parties)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < parties; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for p := 0; p < 50; p++ {
+				mu.Lock()
+				if int(phase) != p {
+					t.Errorf("actor %d entered phase %d during %d", i, p, phase)
+				}
+				counts[i]++
+				mu.Unlock()
+				if b.Wait() == parties-1 {
+					mu.Lock()
+					phase++
+					mu.Unlock()
+				}
+				b.Wait() // second barrier so the phase bump is visible to all
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range counts {
+		if c != 50 {
+			t.Errorf("actor %d ran %d phases", i, c)
+		}
+	}
+}
+
+func TestBarrierPanicsOnBadParties(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBarrier(0) did not panic")
+		}
+	}()
+	NewBarrier(0)
+}
+
+type fakeActivity struct{ name string }
+
+func (f fakeActivity) Name() string    { return f.name }
+func (f fakeActivity) Summary() string { return "fake" }
+func (f fakeActivity) Run(cfg Config) (*Report, error) {
+	return &Report{Activity: f.name, Config: cfg, Metrics: &Metrics{}, OK: true, Outcome: "done"}, nil
+}
+
+func TestRegistry(t *testing.T) {
+	Register(fakeActivity{name: "zz-test-fake"})
+	if _, ok := Get("zz-test-fake"); !ok {
+		t.Fatal("registered activity not found")
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "zz-test-fake" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Names missing registered activity")
+	}
+	rep, err := Run("zz-test-fake", Config{})
+	if err != nil || !rep.OK {
+		t.Errorf("Run = %+v, %v", rep, err)
+	}
+	if _, err := Run("no-such", Config{}); err == nil {
+		t.Error("unknown activity did not error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	Register(fakeActivity{name: "zz-test-fake"})
+}
+
+func TestConfigHelpers(t *testing.T) {
+	c := Config{Params: map[string]float64{"x": 2}}
+	if c.Param("x", 9) != 2 || c.Param("y", 9) != 9 {
+		t.Error("Param lookup wrong")
+	}
+	d := c.WithDefaults(16, 4)
+	if d.Participants != 16 || d.Workers != 4 {
+		t.Errorf("defaults: %+v", d)
+	}
+	e := Config{Participants: 3, Workers: 2}.WithDefaults(16, 4)
+	if e.Participants != 3 || e.Workers != 2 {
+		t.Errorf("explicit values overridden: %+v", e)
+	}
+	if !(Config{Trace: true}).NewTracerFor().Enabled() {
+		t.Error("trace config ignored")
+	}
+	if (Config{}).NewTracerFor().Enabled() {
+		t.Error("tracer enabled without Trace")
+	}
+}
+
+func TestReportSummary(t *testing.T) {
+	m := &Metrics{}
+	m.Inc("rounds")
+	r := &Report{Activity: "x", Metrics: m, Outcome: "sorted", OK: true}
+	if !strings.Contains(r.Summary(), "x [ok]: sorted") {
+		t.Errorf("summary = %q", r.Summary())
+	}
+	r.OK = false
+	if !strings.Contains(r.Summary(), "INVARIANT VIOLATED") {
+		t.Errorf("summary = %q", r.Summary())
+	}
+}

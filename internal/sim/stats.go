@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Distribution summarizes a metric across many seeded runs — the honest
+// way to report schedule-dependent dramatizations (stabilization moves,
+// lost updates, oversold seats) instead of a single anecdotal run.
+type Distribution struct {
+	Activity string
+	Metric   string
+	Runs     int
+	Min, Max float64
+	Mean     float64
+	Median   float64
+	P90      float64
+	Stddev   float64
+	// Violations counts runs whose invariant failed (expected 0).
+	Violations int
+}
+
+// String renders the summary line.
+func (d Distribution) String() string {
+	return fmt.Sprintf("%s %s over %d runs: min %g, median %g, mean %.2f, p90 %g, max %g (sd %.2f, %d violations)",
+		d.Activity, d.Metric, d.Runs, d.Min, d.Median, d.Mean, d.P90, d.Max, d.Stddev, d.Violations)
+}
+
+// Measure runs the activity across seeds base..base+runs-1 and summarizes
+// the metric (counter or gauge).
+func Measure(activity, metric string, base Config, runs int) (Distribution, error) {
+	if runs < 1 {
+		return Distribution{}, fmt.Errorf("sim: need at least one run")
+	}
+	if metric == "" {
+		return Distribution{}, fmt.Errorf("sim: need a metric")
+	}
+	d := Distribution{Activity: activity, Metric: metric, Runs: runs}
+	values := make([]float64, 0, runs)
+	for r := 0; r < runs; r++ {
+		cfg := base
+		cfg.Seed = base.Seed + int64(r)
+		rep, err := Run(activity, cfg)
+		if err != nil {
+			return Distribution{}, fmt.Errorf("sim: run %d: %w", r, err)
+		}
+		if !rep.OK {
+			d.Violations++
+		}
+		v, isGauge := rep.Metrics.Gauge(metric)
+		if !isGauge {
+			v = float64(rep.Metrics.Count(metric))
+		}
+		values = append(values, v)
+	}
+	sort.Float64s(values)
+	d.Min, d.Max = values[0], values[len(values)-1]
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	d.Mean = sum / float64(runs)
+	d.Median = quantile(values, 0.5)
+	d.P90 = quantile(values, 0.9)
+	var sq float64
+	for _, v := range values {
+		sq += (v - d.Mean) * (v - d.Mean)
+	}
+	d.Stddev = math.Sqrt(sq / float64(runs))
+	return d, nil
+}
+
+// quantile returns the q-quantile of sorted values (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

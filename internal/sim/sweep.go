@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Sweep runs one activity across a parameter grid and collects a metric
+// series — the machinery behind the figure-style outputs (speedup curves,
+// stabilization cost versus ring size, overhead crossovers).
+type Sweep struct {
+	// Activity is the registered dramatization name.
+	Activity string
+	// Vary names what changes between runs: "participants", "workers",
+	// "seed", or any Params key.
+	Vary string
+	// Values are the grid points.
+	Values []float64
+	// Metric is the counter or gauge to collect from each run.
+	Metric string
+	// Base is the configuration shared by all runs.
+	Base Config
+	// Repeats averages each point over this many seeds (default 1).
+	Repeats int
+}
+
+// Point is one collected grid point.
+type Point struct {
+	X float64
+	Y float64
+	// OK is false when any run at this point violated its invariant.
+	OK bool
+}
+
+// Series is a completed sweep.
+type Series struct {
+	Sweep  Sweep
+	Points []Point
+}
+
+// Run executes the sweep.
+func (s Sweep) Run() (*Series, error) {
+	if s.Activity == "" {
+		return nil, fmt.Errorf("sim: sweep needs an activity")
+	}
+	if s.Vary == "" || len(s.Values) == 0 {
+		return nil, fmt.Errorf("sim: sweep needs a varied dimension and values")
+	}
+	if s.Metric == "" {
+		return nil, fmt.Errorf("sim: sweep needs a metric")
+	}
+	repeats := s.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	out := &Series{Sweep: s}
+	for _, v := range s.Values {
+		var sum float64
+		ok := true
+		for r := 0; r < repeats; r++ {
+			cfg := s.Base
+			// Copy params so grid points do not alias.
+			cfg.Params = map[string]float64{}
+			for k, val := range s.Base.Params {
+				cfg.Params[k] = val
+			}
+			cfg.Seed = s.Base.Seed + int64(r)
+			switch s.Vary {
+			case "participants":
+				cfg.Participants = int(v)
+			case "workers":
+				cfg.Workers = int(v)
+			case "seed":
+				cfg.Seed = int64(v) + int64(r)
+			default:
+				cfg.Params[s.Vary] = v
+			}
+			rep, err := Run(s.Activity, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("sim: sweep %s at %s=%v: %w", s.Activity, s.Vary, v, err)
+			}
+			if !rep.OK {
+				ok = false
+			}
+			if g, isGauge := rep.Metrics.Gauge(s.Metric); isGauge {
+				sum += g
+			} else {
+				sum += float64(rep.Metrics.Count(s.Metric))
+			}
+		}
+		out.Points = append(out.Points, Point{X: v, Y: sum / float64(repeats), OK: ok})
+	}
+	return out, nil
+}
+
+// AllOK reports whether every point's runs held their invariants.
+func (s *Series) AllOK() bool {
+	for _, p := range s.Points {
+		if !p.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// CSV renders the series as two-column CSV with a header.
+func (s *Series) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s,%s\n", s.Sweep.Vary, s.Sweep.Metric)
+	for _, p := range s.Points {
+		fmt.Fprintf(&b, "%g,%g\n", p.X, p.Y)
+	}
+	return b.String()
+}
+
+// AsciiPlot renders the series as a rough horizontal bar chart for
+// terminal figures.
+func (s *Series) AsciiPlot(width int) string {
+	if width < 10 {
+		width = 40
+	}
+	maxY := 0.0
+	for _, p := range s.Points {
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s vs %s (%s)\n", s.Sweep.Metric, s.Sweep.Vary, s.Sweep.Activity)
+	for _, p := range s.Points {
+		bars := 0
+		if maxY > 0 {
+			bars = int(p.Y / maxY * float64(width))
+		}
+		fmt.Fprintf(&b, "%10g | %-*s %g\n", p.X, width, strings.Repeat("#", bars), p.Y)
+	}
+	return b.String()
+}
+
+// Monotonic reports whether the series is non-decreasing (+1),
+// non-increasing (-1), or neither (0) — handy for asserting curve shapes.
+func (s *Series) Monotonic() int {
+	inc, dec := true, true
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].Y < s.Points[i-1].Y {
+			inc = false
+		}
+		if s.Points[i].Y > s.Points[i-1].Y {
+			dec = false
+		}
+	}
+	switch {
+	case inc && !dec:
+		return 1
+	case dec && !inc:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// SortedValues is a convenience for building grids.
+func SortedValues(vs ...float64) []float64 {
+	out := append([]float64(nil), vs...)
+	sort.Float64s(out)
+	return out
+}

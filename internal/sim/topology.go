@@ -1,0 +1,138 @@
+package sim
+
+import "fmt"
+
+// Topology describes how students (actors) are arranged in the classroom:
+// who can exchange messages or cards with whom.
+type Topology interface {
+	// Name identifies the arrangement.
+	Name() string
+	// Neighbors returns the indices adjacent to actor i among n actors.
+	Neighbors(i, n int) []int
+}
+
+// Ring arranges actors in a circle (token ring, leader election).
+type Ring struct{}
+
+// Name implements Topology.
+func (Ring) Name() string { return "ring" }
+
+// Neighbors returns the two cyclic neighbors (one for n == 2, none for 1).
+func (Ring) Neighbors(i, n int) []int {
+	switch {
+	case n <= 1:
+		return nil
+	case n == 2:
+		return []int{1 - i}
+	default:
+		return []int{(i - 1 + n) % n, (i + 1) % n}
+	}
+}
+
+// Line arranges actors in a row (odd-even transposition sort).
+type Line struct{}
+
+// Name implements Topology.
+func (Line) Name() string { return "line" }
+
+// Neighbors returns the adjacent row positions.
+func (Line) Neighbors(i, n int) []int {
+	var out []int
+	if i > 0 {
+		out = append(out, i-1)
+	}
+	if i < n-1 {
+		out = append(out, i+1)
+	}
+	return out
+}
+
+// Star connects every actor to actor 0 (master-worker).
+type Star struct{}
+
+// Name implements Topology.
+func (Star) Name() string { return "star" }
+
+// Neighbors connects the hub to everyone and spokes to the hub.
+func (Star) Neighbors(i, n int) []int {
+	if i == 0 {
+		out := make([]int, 0, n-1)
+		for j := 1; j < n; j++ {
+			out = append(out, j)
+		}
+		return out
+	}
+	return []int{0}
+}
+
+// Complete connects everyone to everyone (byzantine generals).
+type Complete struct{}
+
+// Name implements Topology.
+func (Complete) Name() string { return "complete" }
+
+// Neighbors returns all other actors.
+func (Complete) Neighbors(i, n int) []int {
+	out := make([]int, 0, n-1)
+	for j := 0; j < n; j++ {
+		if j != i {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Tree arranges actors in a rooted k-ary tree (reduction, broadcast).
+type Tree struct {
+	// Fanout is the arity; values below 2 are treated as 2.
+	Fanout int
+}
+
+// Name implements Topology.
+func (t Tree) Name() string { return fmt.Sprintf("tree(%d)", t.fanout()) }
+
+func (t Tree) fanout() int {
+	if t.Fanout < 2 {
+		return 2
+	}
+	return t.Fanout
+}
+
+// Parent returns the parent index of i, or -1 for the root.
+func (t Tree) Parent(i int) int {
+	if i == 0 {
+		return -1
+	}
+	return (i - 1) / t.fanout()
+}
+
+// Children returns the child indices of i among n actors.
+func (t Tree) Children(i, n int) []int {
+	k := t.fanout()
+	var out []int
+	for c := i*k + 1; c <= i*k+k && c < n; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Depth returns the number of levels needed for n actors.
+func (t Tree) Depth(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	depth := 0
+	for i := n - 1; i > 0; i = t.Parent(i) {
+		depth++
+	}
+	return depth + 1
+}
+
+// Neighbors returns parent plus children.
+func (t Tree) Neighbors(i, n int) []int {
+	var out []int
+	if p := t.Parent(i); p >= 0 {
+		out = append(out, p)
+	}
+	return append(out, t.Children(i, n)...)
+}

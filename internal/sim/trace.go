@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Tracer records a narrated transcript of a simulation run: who did what in
+// which round, in the voice of a classroom dramatization. It is safe for
+// concurrent use by actor goroutines.
+//
+// Traces are capped so a runaway simulation cannot exhaust memory; the cap
+// drops further events and records that it did so.
+type Tracer struct {
+	mu      sync.Mutex
+	events  []Event
+	limit   int
+	dropped int
+	enabled bool
+}
+
+// Event is one trace entry.
+type Event struct {
+	Round int
+	Actor string
+	Text  string
+}
+
+// String renders the event as a transcript line.
+func (e Event) String() string {
+	if e.Actor == "" {
+		return fmt.Sprintf("[round %d] %s", e.Round, e.Text)
+	}
+	return fmt.Sprintf("[round %d] %s: %s", e.Round, e.Actor, e.Text)
+}
+
+// DefaultTraceLimit bounds the number of retained events.
+const DefaultTraceLimit = 10000
+
+// NewTracer returns an enabled tracer with the default event cap.
+func NewTracer() *Tracer {
+	return &Tracer{limit: DefaultTraceLimit, enabled: true}
+}
+
+// Disabled returns a tracer that records nothing; simulations can always
+// call trace methods without checking a flag.
+func Disabled() *Tracer {
+	return &Tracer{limit: 0, enabled: false}
+}
+
+// Enabled reports whether events are being recorded.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled }
+
+// Say records a narration line for an actor in a round.
+func (t *Tracer) Say(round int, actor, format string, args ...interface{}) {
+	if !t.Enabled() {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.events) >= t.limit {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, Event{Round: round, Actor: actor, Text: fmt.Sprintf(format, args...)})
+}
+
+// Narrate records an actorless stage direction.
+func (t *Tracer) Narrate(round int, format string, args ...interface{}) {
+	t.Say(round, "", format, args...)
+}
+
+// Events returns a copy of the recorded events.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Dropped returns how many events were discarded after the cap was hit.
+func (t *Tracer) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Transcript renders all events as newline-separated narration.
+func (t *Tracer) Transcript() string {
+	var b strings.Builder
+	for _, e := range t.Events() {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	if d := t.Dropped(); d > 0 {
+		fmt.Fprintf(&b, "... (%d further events dropped)\n", d)
+	}
+	return b.String()
+}

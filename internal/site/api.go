@@ -1,0 +1,130 @@
+package site
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"pdcunplugged/internal/coverage"
+)
+
+// The JSON API pages: machine-readable mirrors of the site content so
+// downstream tools (and the paper's "assessors" user class) can consume
+// the curation without scraping HTML. Built alongside the HTML pages under
+// api/.
+
+// apiActivity is the JSON shape of one activity.
+type apiActivity struct {
+	Slug          string   `json:"slug"`
+	Title         string   `json:"title"`
+	Date          string   `json:"date,omitempty"`
+	Author        string   `json:"author"`
+	CS2013        []string `json:"cs2013,omitempty"`
+	TCPP          []string `json:"tcpp,omitempty"`
+	Courses       []string `json:"courses,omitempty"`
+	Senses        []string `json:"senses,omitempty"`
+	CS2013Details []string `json:"cs2013details,omitempty"`
+	TCPPDetails   []string `json:"tcppdetails,omitempty"`
+	Medium        []string `json:"medium,omitempty"`
+	Links         []string `json:"links,omitempty"`
+	HasAssessment bool     `json:"hasAssessment"`
+	URL           string   `json:"url"`
+}
+
+// apiCoverage is the JSON shape of the evaluation.
+type apiCoverage struct {
+	TableI  []apiCS2013Row `json:"cs2013"`
+	TableII []apiTCPPRow   `json:"tcpp"`
+	Courses map[string]int `json:"courses"`
+	Mediums map[string]int `json:"mediums"`
+	Senses  map[string]int `json:"senses"`
+}
+
+type apiCS2013Row struct {
+	Unit            string  `json:"unit"`
+	NumOutcomes     int     `json:"numOutcomes"`
+	CoveredOutcomes int     `json:"coveredOutcomes"`
+	Percent         float64 `json:"percent"`
+	TotalActivities int     `json:"totalActivities"`
+}
+
+type apiTCPPRow struct {
+	Area            string  `json:"area"`
+	NumTopics       int     `json:"numTopics"`
+	CoveredTopics   int     `json:"coveredTopics"`
+	Percent         float64 `json:"percent"`
+	TotalActivities int     `json:"totalActivities"`
+}
+
+// buildAPI renders the api/*.json pages.
+func (s *Site) buildAPI() error {
+	var acts []apiActivity
+	for _, a := range s.repo.All() {
+		acts = append(acts, apiActivity{
+			Slug: a.Slug, Title: a.Title, Date: a.Date, Author: a.Author,
+			CS2013: a.CS2013, TCPP: a.TCPP, Courses: a.Courses,
+			Senses: a.Senses, CS2013Details: a.CS2013Details,
+			TCPPDetails: a.TCPPDetails, Medium: a.Medium, Links: a.Links,
+			HasAssessment: a.HasAssessment(),
+			URL:           fmt.Sprintf("/activities/%s/", a.Slug),
+		})
+	}
+	if err := s.writeJSON("api/activities.json", acts); err != nil {
+		return err
+	}
+
+	cov := apiCoverage{
+		Courses: map[string]int{},
+		Mediums: map[string]int{},
+		Senses:  map[string]int{},
+	}
+	for _, r := range coverage.TableI(s.repo) {
+		cov.TableI = append(cov.TableI, apiCS2013Row{
+			Unit: r.Unit.Name, NumOutcomes: r.NumOutcomes,
+			CoveredOutcomes: r.CoveredOutcomes, Percent: r.PercentCoverage(),
+			TotalActivities: r.TotalActivities,
+		})
+	}
+	for _, r := range coverage.TableII(s.repo) {
+		cov.TableII = append(cov.TableII, apiTCPPRow{
+			Area: r.Area.Name, NumTopics: r.NumTopics,
+			CoveredTopics: r.CoveredTopics, Percent: r.PercentCoverage(),
+			TotalActivities: r.TotalActivities,
+		})
+	}
+	for _, c := range coverage.CourseCounts(s.repo) {
+		cov.Courses[c.Term] = c.Count
+	}
+	for _, c := range coverage.MediumCounts(s.repo) {
+		cov.Mediums[c.Term] = c.Count
+	}
+	for _, st := range coverage.SenseStats(s.repo) {
+		cov.Senses[st.Sense] = st.Count
+	}
+	if err := s.writeJSON("api/coverage.json", cov); err != nil {
+		return err
+	}
+
+	// Gap report: the answer to research question three, machine-readable.
+	g := coverage.FindGaps(s.repo)
+	type gapJSON struct {
+		Outcomes []string `json:"uncoveredOutcomes"`
+		Topics   []string `json:"uncoveredTopics"`
+	}
+	gj := gapJSON{}
+	for _, og := range g.Outcomes {
+		gj.Outcomes = append(gj.Outcomes, og.Term)
+	}
+	for _, tg := range g.Topics {
+		gj.Topics = append(gj.Topics, tg.Term)
+	}
+	return s.writeJSON("api/gaps.json", gj)
+}
+
+func (s *Site) writeJSON(path string, v interface{}) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("site: %s: %w", path, err)
+	}
+	s.Pages[path] = append(data, '\n')
+	return nil
+}

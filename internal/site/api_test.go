@@ -1,0 +1,69 @@
+package site
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestAPIActivities(t *testing.T) {
+	s := builtSite(t)
+	data, ok := s.Pages["api/activities.json"]
+	if !ok {
+		t.Fatal("api/activities.json missing")
+	}
+	var acts []apiActivity
+	if err := json.Unmarshal(data, &acts); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(acts) != 38 {
+		t.Fatalf("API lists %d activities", len(acts))
+	}
+	var fsc *apiActivity
+	for i := range acts {
+		if acts[i].Slug == "findsmallestcard" {
+			fsc = &acts[i]
+		}
+	}
+	if fsc == nil {
+		t.Fatal("findsmallestcard missing from API")
+	}
+	if fsc.URL != "/activities/findsmallestcard/" || len(fsc.CS2013) != 2 {
+		t.Errorf("API activity: %+v", fsc)
+	}
+	if fsc.HasAssessment {
+		t.Error("findsmallestcard should report no assessment")
+	}
+}
+
+func TestAPICoverage(t *testing.T) {
+	s := builtSite(t)
+	var cov apiCoverage
+	if err := json.Unmarshal(s.Pages["api/coverage.json"], &cov); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(cov.TableI) != 9 || len(cov.TableII) != 4 {
+		t.Errorf("tables: %d, %d rows", len(cov.TableI), len(cov.TableII))
+	}
+	if cov.Courses["DSA"] != 27 || cov.Mediums["analogy"] != 11 || cov.Senses["visual"] != 27 {
+		t.Errorf("stats: %+v %+v %+v", cov.Courses, cov.Mediums, cov.Senses)
+	}
+	for _, row := range cov.TableII {
+		if row.Area == "Architecture" && row.CoveredTopics != 10 {
+			t.Errorf("architecture covered = %d", row.CoveredTopics)
+		}
+	}
+}
+
+func TestAPIGaps(t *testing.T) {
+	s := builtSite(t)
+	var gaps struct {
+		Outcomes []string `json:"uncoveredOutcomes"`
+		Topics   []string `json:"uncoveredTopics"`
+	}
+	if err := json.Unmarshal(s.Pages["api/gaps.json"], &gaps); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(gaps.Outcomes) != 32 || len(gaps.Topics) != 48 {
+		t.Errorf("gaps: %d outcomes, %d topics", len(gaps.Outcomes), len(gaps.Topics))
+	}
+}

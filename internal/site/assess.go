@@ -1,0 +1,31 @@
+package site
+
+import (
+	"fmt"
+
+	"pdcunplugged/internal/assess"
+	"pdcunplugged/internal/markdown"
+)
+
+// buildAssessmentPages renders a printable pre/post assessment sheet per
+// activity under assess/<slug>/ — the scaffolding the paper's Assessment
+// section nudges authors toward, generated from each activity's tagged
+// learning outcomes and topics.
+func (s *Site) buildAssessmentPages() error {
+	for _, a := range s.repo.All() {
+		sheet, err := assess.Generate(a)
+		if err != nil {
+			return fmt.Errorf("site: assessment for %s: %w", a.Slug, err)
+		}
+		if len(sheet.Items) == 0 {
+			continue
+		}
+		body := markdown.Render(sheet.Markdown()) +
+			fmt.Sprintf("<p><a href=\"/activities/%s/\">Back to the activity</a></p>\n", a.Slug)
+		path := "assess/" + a.Slug + "/index.html"
+		if err := s.renderPage(path, "Assessment: "+a.Title, nil, body); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package site
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pdcunplugged/internal/curation"
+	"pdcunplugged/internal/markdown"
+	"pdcunplugged/internal/sim"
+	_ "pdcunplugged/internal/sim/activities" // register the dramatizations
+)
+
+// buildSimsPage renders the dramatizations index: every registered
+// simulation with its summary and the curated activities it rehearses —
+// the runnable "external materials" the paper found missing for most
+// activities.
+func (s *Site) buildSimsPage() error {
+	// Invert the activity -> simulation links for this repository.
+	rehearses := map[string][]string{}
+	for _, slug := range s.repo.Slugs() {
+		if name, ok := curation.SimulationFor(slug); ok {
+			rehearses[name] = append(rehearses[name], slug)
+		}
+	}
+	for _, slugs := range rehearses {
+		sort.Strings(slugs)
+	}
+
+	var body strings.Builder
+	body.WriteString("<p>Every activity family ships with an executable goroutine dramatization: run any of these with <code>pdcu sim run &lt;name&gt; -trace</code>.</p>\n<ul>\n")
+	for _, name := range sim.Names() {
+		a, ok := sim.Get(name)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&body, "<li><code>%s</code> — %s", markdown.Escape(name), markdown.Escape(a.Summary()))
+		if slugs := rehearses[name]; len(slugs) > 0 {
+			links := make([]string, len(slugs))
+			for i, slug := range slugs {
+				links[i] = fmt.Sprintf("<a href=\"/activities/%s/\">%s</a>", slug, slug)
+			}
+			fmt.Fprintf(&body, "<br><em>rehearses:</em> %s", strings.Join(links, ", "))
+		}
+		body.WriteString("</li>\n")
+	}
+	body.WriteString("</ul>\n")
+	return s.renderPage("views/dramatizations/index.html", "Dramatizations", nil, body.String())
+}

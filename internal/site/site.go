@@ -1,0 +1,411 @@
+// Package site is the static-site generator behind pdcunplugged.org: it
+// renders a core.Repository to a tree of HTML pages — one page per
+// activity, one page per taxonomy term, the four browsing views of Section
+// II-C, and an index — and can serve the result for local preview (the
+// `hugo serve` workflow the paper recommends to contributors).
+package site
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"pdcunplugged/internal/activity"
+	"pdcunplugged/internal/core"
+	"pdcunplugged/internal/coverage"
+	"pdcunplugged/internal/curation"
+	"pdcunplugged/internal/markdown"
+	"pdcunplugged/internal/taxonomy"
+)
+
+// Site holds a built static site: path -> page bytes. Paths use forward
+// slashes and end in .html (plus one style.css).
+type Site struct {
+	Pages map[string][]byte
+	repo  *core.Repository
+}
+
+// Build renders every page of the site.
+func Build(repo *core.Repository) (*Site, error) {
+	s := &Site{Pages: map[string][]byte{}, repo: repo}
+	if err := s.buildIndex(); err != nil {
+		return nil, err
+	}
+	for _, a := range repo.All() {
+		if err := s.buildActivity(a); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.buildTermPages(); err != nil {
+		return nil, err
+	}
+	if err := s.buildViews(); err != nil {
+		return nil, err
+	}
+	if err := s.buildAPI(); err != nil {
+		return nil, err
+	}
+	if err := s.buildSimsPage(); err != nil {
+		return nil, err
+	}
+	if err := s.buildAssessmentPages(); err != nil {
+		return nil, err
+	}
+	s.Pages["style.css"] = []byte(styleCSS)
+	return s, nil
+}
+
+// Len returns the number of generated files.
+func (s *Site) Len() int { return len(s.Pages) }
+
+// Paths returns all generated paths, sorted.
+func (s *Site) Paths() []string {
+	out := make([]string, 0, len(s.Pages))
+	for p := range s.Pages {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteTo writes the site under dir, creating directories as needed.
+func (s *Site) WriteTo(dir string) error {
+	for p, data := range s.Pages {
+		full := filepath.Join(dir, filepath.FromSlash(p))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			return fmt.Errorf("site: %w", err)
+		}
+		if err := os.WriteFile(full, data, 0o644); err != nil {
+			return fmt.Errorf("site: %w", err)
+		}
+	}
+	return nil
+}
+
+// Handler serves the built site over HTTP for local preview.
+func (s *Site) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		p := strings.TrimPrefix(r.URL.Path, "/")
+		if p == "" {
+			p = "index.html"
+		}
+		if strings.HasSuffix(p, "/") {
+			p += "index.html"
+		}
+		data, ok := s.Pages[p]
+		if !ok {
+			if alt, found := s.Pages[p+"/index.html"]; found {
+				data, ok = alt, true
+			}
+		}
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		switch {
+		case strings.HasSuffix(p, ".css"):
+			w.Header().Set("Content-Type", "text/css; charset=utf-8")
+		case strings.HasSuffix(p, ".json"):
+			w.Header().Set("Content-Type", "application/json")
+		default:
+			w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		}
+		w.Write(data)
+	})
+}
+
+// badge is one taxonomy chip in an activity header (Fig. 3).
+type badge struct {
+	Term  string
+	Color string
+	Href  string
+}
+
+// headerBadges builds the Fig. 3 chips for the four visible taxonomies.
+func (s *Site) headerBadges(a *activity.Activity) []badge {
+	var out []badge
+	for _, def := range taxonomy.Standard() {
+		if def.Hidden {
+			continue
+		}
+		for _, term := range a.Terms(def.Name) {
+			out = append(out, badge{
+				Term:  term,
+				Color: def.Color,
+				Href:  fmt.Sprintf("/%s/%s/", def.Name, taxonomy.Slug(term)),
+			})
+		}
+	}
+	return out
+}
+
+var pageTmpl = template.Must(template.New("page").Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Title}} | PDCunplugged</title>
+<link rel="stylesheet" href="/style.css">
+</head>
+<body>
+<header>
+<h1><a href="/">PDCunplugged</a></h1>
+<nav>
+<a href="/views/cs2013/">CS2013</a>
+<a href="/views/tcpp/">TCPP</a>
+<a href="/views/courses/">Courses</a>
+<a href="/views/accessibility/">Accessibility</a>
+<a href="/views/dramatizations/">Dramatizations</a>
+</nav>
+</header>
+<main>
+<h2>{{.Title}}</h2>
+{{if .Badges}}<p class="badges">{{range .Badges}}<a class="badge {{.Color}}" href="{{.Href}}">{{.Term}}</a> {{end}}</p>{{end}}
+{{.Body}}
+</main>
+<footer>A free repository of unplugged Parallel &amp; Distributed Computing activities.</footer>
+</body>
+</html>
+`))
+
+type pageData struct {
+	Title  string
+	Badges []badge
+	Body   template.HTML
+}
+
+func (s *Site) renderPage(path, title string, badges []badge, bodyHTML string) error {
+	var b strings.Builder
+	err := pageTmpl.Execute(&b, pageData{
+		Title:  title,
+		Badges: badges,
+		Body:   template.HTML(bodyHTML), // built from escaped fragments below
+	})
+	if err != nil {
+		return fmt.Errorf("site: render %s: %w", path, err)
+	}
+	s.Pages[path] = []byte(b.String())
+	return nil
+}
+
+func (s *Site) buildActivity(a *activity.Activity) error {
+	var body strings.Builder
+	section := func(title, md string) {
+		if strings.TrimSpace(md) == "" {
+			return
+		}
+		fmt.Fprintf(&body, "<section><h3>%s</h3>\n%s</section>\n", markdown.Escape(title), markdown.Render(md))
+	}
+	var author strings.Builder
+	if a.Author != "" {
+		author.WriteString(a.Author + "\n\n")
+	}
+	for _, l := range a.Links {
+		fmt.Fprintf(&author, "[%s](%s)\n\n", l, l)
+	}
+	if len(a.Links) == 0 {
+		author.WriteString(activity.NoExternalNote + "\n")
+	}
+	section(activity.SecAuthor, author.String())
+	if simName, ok := curation.SimulationFor(a.Slug); ok {
+		section("Runnable Dramatization",
+			fmt.Sprintf("This activity ships with an executable goroutine dramatization: `pdcu sim run %s -trace`.", simName))
+	}
+	if len(a.CS2013Details)+len(a.TCPPDetails) > 0 {
+		section("Assessment Sheet",
+			fmt.Sprintf("A printable [pre/post assessment](/assess/%s/) is generated from this activity's learning outcomes.", a.Slug))
+	}
+	section(activity.SecDetails, a.Details)
+	if len(a.Variations) > 0 {
+		section(activity.SecVariations, "- "+strings.Join(a.Variations, "\n- "))
+	}
+	section(activity.SecCourses, strings.Join(a.Courses, ", ")+"\n\n"+a.CoursesNote)
+	section(activity.SecAccessibility, a.Accessibility)
+	section(activity.SecAssessment, a.Assessment)
+	if len(a.Citations) > 0 {
+		section(activity.SecCitations, "- "+strings.Join(a.Citations, "\n- "))
+	}
+	return s.renderPage(
+		"activities/"+a.Slug+"/index.html",
+		a.Title,
+		s.headerBadges(a),
+		body.String(),
+	)
+}
+
+func (s *Site) activityList(slugs []string) string {
+	var b strings.Builder
+	b.WriteString("<ul class=\"activity-list\">\n")
+	for _, slug := range slugs {
+		a, ok := s.repo.Get(slug)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "<li><a href=\"/activities/%s/\">%s</a>", slug, markdown.Escape(a.Title))
+		if a.HasExternalResources() {
+			b.WriteString(" <span class=\"res\">[materials]</span>")
+		}
+		b.WriteString("</li>\n")
+	}
+	b.WriteString("</ul>\n")
+	return b.String()
+}
+
+func (s *Site) buildIndex() error {
+	var body strings.Builder
+	fmt.Fprintf(&body, "<p>%d unplugged activities curated from thirty years of PDC literature.</p>\n", s.repo.Len())
+	body.WriteString(s.activityList(s.repo.Slugs()))
+	return s.renderPage("index.html", "All Activities", nil, body.String())
+}
+
+func (s *Site) buildTermPages() error {
+	ix := s.repo.Index()
+	for _, def := range taxonomy.Standard() {
+		for _, page := range ix.Pages(def.Name) {
+			var body strings.Builder
+			fmt.Fprintf(&body, "<p>%d activities tagged <code>%s</code> in the %s taxonomy.</p>\n",
+				len(page.Entries), markdown.Escape(page.Term), markdown.Escape(def.Title))
+			body.WriteString(s.activityList(page.Entries))
+			path := fmt.Sprintf("%s/%s/index.html", def.Name, taxonomy.Slug(page.Term))
+			if err := s.renderPage(path, def.Title+": "+page.Term, nil, body.String()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Site) buildViews() error {
+	if err := s.buildCS2013View(); err != nil {
+		return err
+	}
+	if err := s.buildTCPPView(); err != nil {
+		return err
+	}
+	if err := s.buildCoursesView(); err != nil {
+		return err
+	}
+	return s.buildAccessibilityView()
+}
+
+func (s *Site) buildCS2013View() error {
+	var body strings.Builder
+	for _, v := range s.repo.CS2013View() {
+		fmt.Fprintf(&body, "<section><h3>%s (%d activities)</h3>\n", markdown.Escape(v.Unit.Name), len(v.Activities))
+		body.WriteString("<ol>\n")
+		for _, o := range v.Outcomes {
+			fmt.Fprintf(&body, "<li>%s <em>(%s)</em>: ", markdown.Escape(o.Outcome.Text), o.Outcome.Tier)
+			if len(o.Activities) == 0 {
+				body.WriteString("<span class=\"gap\">no activities</span>")
+			} else {
+				links := make([]string, 0, len(o.Activities))
+				for _, slug := range o.Activities {
+					links = append(links, fmt.Sprintf("<a href=\"/activities/%s/\">%s</a>", slug, slug))
+				}
+				body.WriteString(strings.Join(links, ", "))
+			}
+			body.WriteString("</li>\n")
+		}
+		body.WriteString("</ol></section>\n")
+	}
+	return s.renderPage("views/cs2013/index.html", "CS2013 View", nil, body.String())
+}
+
+func (s *Site) buildTCPPView() error {
+	var body strings.Builder
+	for _, v := range s.repo.TCPPView() {
+		fmt.Fprintf(&body, "<section><h3>%s (%d activities)</h3>\n", markdown.Escape(v.Area.Name), len(v.Activities))
+		fmt.Fprintf(&body, "<p>Recommended courses: %s</p>\n", markdown.Escape(strings.Join(v.Area.Courses, ", ")))
+		sub := ""
+		open := false
+		for _, te := range v.Topics {
+			if te.Topic.Subcategory != sub {
+				if open {
+					body.WriteString("</ul>\n")
+				}
+				sub = te.Topic.Subcategory
+				fmt.Fprintf(&body, "<h4>%s</h4>\n<ul>\n", markdown.Escape(sub))
+				open = true
+			}
+			fmt.Fprintf(&body, "<li><code>%s</code> %s: ", markdown.Escape(te.Term), markdown.Escape(te.Topic.Name))
+			if len(te.Activities) == 0 {
+				body.WriteString("<span class=\"gap\">no activities</span>")
+			} else {
+				links := make([]string, 0, len(te.Activities))
+				for _, slug := range te.Activities {
+					links = append(links, fmt.Sprintf("<a href=\"/activities/%s/\">%s</a>", slug, slug))
+				}
+				body.WriteString(strings.Join(links, ", "))
+			}
+			body.WriteString("</li>\n")
+		}
+		if open {
+			body.WriteString("</ul>\n")
+		}
+		body.WriteString("</section>\n")
+	}
+	return s.renderPage("views/tcpp/index.html", "TCPP View", nil, body.String())
+}
+
+func (s *Site) buildCoursesView() error {
+	var body strings.Builder
+	for _, page := range s.repo.CourseView() {
+		fmt.Fprintf(&body, "<section><h3>%s (%d activities)</h3>\n", markdown.Escape(page.Term), len(page.Entries))
+		body.WriteString(s.activityList(page.Entries))
+		body.WriteString("</section>\n")
+	}
+	return s.renderPage("views/courses/index.html", "Courses View", nil, body.String())
+}
+
+func (s *Site) buildAccessibilityView() error {
+	av := s.repo.Accessibility()
+	var body strings.Builder
+	body.WriteString("<section><h3>By sense</h3>\n")
+	for _, page := range av.Senses {
+		fmt.Fprintf(&body, "<h4>%s (%d)</h4>\n", markdown.Escape(page.Term), len(page.Entries))
+		body.WriteString(s.activityList(page.Entries))
+	}
+	body.WriteString("</section>\n<section><h3>By medium</h3>\n")
+	for _, page := range av.Mediums {
+		fmt.Fprintf(&body, "<h4>%s (%d)</h4>\n", markdown.Escape(page.Term), len(page.Entries))
+		body.WriteString(s.activityList(page.Entries))
+	}
+	body.WriteString("</section>\n")
+	return s.renderPage("views/accessibility/index.html", "Accessibility View", nil, body.String())
+}
+
+// Gaps renders the uncovered outcomes and topics as a page-ready fragment;
+// exposed for the gap-analysis tooling.
+func Gaps(repo *core.Repository) string {
+	g := coverage.FindGaps(repo)
+	var b strings.Builder
+	b.WriteString("Uncovered CS2013 learning outcomes:\n")
+	for _, og := range g.Outcomes {
+		fmt.Fprintf(&b, "  %-8s %s\n", og.Term, og.Outcome.Text)
+	}
+	b.WriteString("Uncovered TCPP core topics:\n")
+	for _, tg := range g.Topics {
+		fmt.Fprintf(&b, "  %-28s %s (%s)\n", tg.Term, tg.Topic.Name, tg.Area.Name)
+	}
+	return b.String()
+}
+
+const styleCSS = `body{font-family:Georgia,serif;margin:0;color:#222}
+header{background:#1a3a5c;color:#fff;padding:0.5rem 1.5rem;display:flex;gap:2rem;align-items:baseline}
+header a{color:#fff;text-decoration:none}
+nav{display:flex;gap:1rem}
+main{max-width:52rem;margin:1rem auto;padding:0 1rem}
+footer{text-align:center;color:#777;padding:2rem}
+.badges .badge{display:inline-block;padding:0.1rem 0.5rem;border-radius:0.6rem;color:#fff;font-size:0.8rem;text-decoration:none;margin-right:0.2rem}
+.badge-cs2013{background:#2a6f4e}
+.badge-tcpp{background:#8a4b2a}
+.badge-courses{background:#4b2a8a}
+.badge-senses{background:#a0527c}
+.badge-medium{background:#555}
+.gap{color:#b00;font-style:italic}
+.res{color:#2a6f4e;font-size:0.8rem}
+section{margin-bottom:1.5rem}
+`

@@ -1,0 +1,299 @@
+package site
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pdcunplugged/internal/curation"
+)
+
+func builtSite(t *testing.T) *Site {
+	t.Helper()
+	repo, err := curation.Repository()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Build(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBuildPageInventory(t *testing.T) {
+	s := builtSite(t)
+	// One page per activity.
+	for _, slug := range []string{"findsmallestcard", "oddeven-transposition", "byzantine-generals"} {
+		if _, ok := s.Pages["activities/"+slug+"/index.html"]; !ok {
+			t.Errorf("missing activity page for %s", slug)
+		}
+	}
+	// Index, views, stylesheet.
+	for _, p := range []string{
+		"index.html", "style.css",
+		"views/cs2013/index.html", "views/tcpp/index.html",
+		"views/courses/index.html", "views/accessibility/index.html",
+	} {
+		if _, ok := s.Pages[p]; !ok {
+			t.Errorf("missing page %s", p)
+		}
+	}
+	// Term pages for all seven taxonomies (paper Fig. 3: each term links
+	// to a page of activities sharing it).
+	for _, p := range []string{
+		"cs2013/pd-paralleldecomposition/index.html",
+		"tcpp/tcpp-algorithms/index.html",
+		"courses/cs1/index.html",
+		"senses/visual/index.html",
+		"medium/cards/index.html",
+		"cs2013details/pd-2/index.html",
+		"tcppdetails/c-speedup/index.html",
+	} {
+		if _, ok := s.Pages[p]; !ok {
+			t.Errorf("missing term page %s (have %d pages)", p, s.Len())
+		}
+	}
+	// 38 activities + 4 views + index + css + many term pages.
+	if s.Len() < 100 {
+		t.Errorf("suspiciously few pages: %d", s.Len())
+	}
+}
+
+func TestActivityPageRendersFig3Header(t *testing.T) {
+	s := builtSite(t)
+	page := string(s.Pages["activities/findsmallestcard/index.html"])
+	// The rendered header lists the visible taxonomy terms as colored
+	// badges linking to term pages (Fig. 3).
+	for _, want := range []string{
+		"PD_ParallelDecomposition", "PD_ParallelAlgorithms",
+		"TCPP_Algorithms", "TCPP_Programming",
+		"CS1", "CS2", "DSA", "touch", "visual",
+		"badge-cs2013", "badge-tcpp", "badge-courses", "badge-senses",
+		`href="/cs2013/pd-paralleldecomposition/"`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("activity page missing %q", want)
+		}
+	}
+	// Hidden taxonomies do not appear in the header badges.
+	if strings.Contains(page, ">PD_2<") {
+		t.Error("hidden cs2013details term rendered in header")
+	}
+	// Body sections render.
+	for _, want := range []string{"Original Author/link", "Details", "Citations"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("activity page missing section %q", want)
+		}
+	}
+}
+
+func TestTermPageListsActivities(t *testing.T) {
+	s := builtSite(t)
+	page := string(s.Pages["senses/sound/index.html"])
+	for _, want := range []string{"long-distance-phone-call", "orchestra-conductor"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("sound term page missing %q", want)
+		}
+	}
+	if strings.Contains(page, "findsmallestcard") {
+		t.Error("sound term page lists a non-sound activity")
+	}
+}
+
+func TestViewsShowGaps(t *testing.T) {
+	s := builtSite(t)
+	tcppView := string(s.Pages["views/tcpp/index.html"])
+	if !strings.Contains(tcppView, "no activities") {
+		t.Error("TCPP view does not mark uncovered topics")
+	}
+	if !strings.Contains(tcppView, "K_WebSearch") {
+		t.Error("TCPP view missing gap topic K_WebSearch")
+	}
+	cs2013View := string(s.Pages["views/cs2013/index.html"])
+	if !strings.Contains(cs2013View, "Parallel Decomposition") {
+		t.Error("CS2013 view missing knowledge unit")
+	}
+	courses := string(s.Pages["views/courses/index.html"])
+	if !strings.Contains(courses, "K_12") || !strings.Contains(courses, "Systems") {
+		t.Error("courses view missing course sections")
+	}
+	access := string(s.Pages["views/accessibility/index.html"])
+	if !strings.Contains(access, "By sense") || !strings.Contains(access, "By medium") {
+		t.Error("accessibility view missing sections")
+	}
+}
+
+func TestDramatizationsPage(t *testing.T) {
+	s := builtSite(t)
+	page, ok := s.Pages["views/dramatizations/index.html"]
+	if !ok {
+		t.Fatal("dramatizations page missing")
+	}
+	content := string(page)
+	for _, want := range []string{"tokenring", "collectives", "rehearses:", "selfstabilizing-token-ring", "pdcu sim run"} {
+		if !strings.Contains(content, want) {
+			t.Errorf("dramatizations page missing %q", want)
+		}
+	}
+}
+
+func TestAssessmentPages(t *testing.T) {
+	s := builtSite(t)
+	page, ok := s.Pages["assess/findsmallestcard/index.html"]
+	if !ok {
+		t.Fatal("assessment page missing")
+	}
+	content := string(page)
+	for _, want := range []string{"Assessment: FindSmallestCard", "Q1", "pre correct", "Back to the activity"} {
+		if !strings.Contains(content, want) {
+			t.Errorf("assessment page missing %q", want)
+		}
+	}
+	// Every activity with detail tags gets a sheet; all 38 qualify.
+	n := 0
+	for p := range s.Pages {
+		if strings.HasPrefix(p, "assess/") {
+			n++
+		}
+	}
+	if n != 38 {
+		t.Errorf("assessment pages = %d, want 38", n)
+	}
+	// The activity page links to it.
+	act := string(s.Pages["activities/findsmallestcard/index.html"])
+	if !strings.Contains(act, `href="/assess/findsmallestcard/"`) {
+		t.Error("activity page missing assessment link")
+	}
+}
+
+func TestEverythingEscaped(t *testing.T) {
+	s := builtSite(t)
+	for p, data := range s.Pages {
+		if strings.Contains(string(data), "<script") {
+			t.Errorf("%s contains a script tag", p)
+		}
+	}
+}
+
+func TestInternalLinksResolve(t *testing.T) {
+	s := builtSite(t)
+	for p, data := range s.Pages {
+		page := string(data)
+		for _, link := range extractLinks(page) {
+			if !strings.HasPrefix(link, "/") || strings.HasPrefix(link, "//") {
+				continue // external
+			}
+			target := strings.TrimPrefix(link, "/")
+			if target == "" {
+				continue // home
+			}
+			if strings.HasSuffix(target, "/") {
+				target += "index.html"
+			}
+			if _, ok := s.Pages[target]; !ok {
+				t.Errorf("%s links to missing page %s", p, link)
+			}
+		}
+	}
+}
+
+func extractLinks(page string) []string {
+	var out []string
+	for _, part := range strings.Split(page, `href="`)[1:] {
+		end := strings.IndexByte(part, '"')
+		if end > 0 {
+			out = append(out, part[:end])
+		}
+	}
+	return out
+}
+
+func TestPathsSorted(t *testing.T) {
+	s := builtSite(t)
+	paths := s.Paths()
+	if len(paths) != s.Len() {
+		t.Fatalf("Paths() = %d of %d", len(paths), s.Len())
+	}
+	for i := 1; i < len(paths); i++ {
+		if paths[i] < paths[i-1] {
+			t.Fatal("Paths not sorted")
+		}
+	}
+	found := false
+	for _, p := range paths {
+		if p == "index.html" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("index.html missing from Paths")
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	s := builtSite(t)
+	dir := t.TempDir()
+	if err := s.WriteTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "activities", "findsmallestcard", "index.html"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "FindSmallestCard") {
+		t.Error("written page lacks content")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "style.css")); err != nil {
+		t.Error("style.css not written")
+	}
+}
+
+func TestHandler(t *testing.T) {
+	s := builtSite(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	cases := map[string]int{
+		"/":                             http.StatusOK,
+		"/index.html":                   http.StatusOK,
+		"/activities/findsmallestcard/": http.StatusOK,
+		"/views/tcpp/":                  http.StatusOK,
+		"/style.css":                    http.StatusOK,
+		"/activities/findsmallestcard":  http.StatusOK, // directory without slash
+		"/no/such/page/":                http.StatusNotFound,
+	}
+	for path, want := range cases {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/style.css")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/css") {
+		t.Errorf("css content type = %q", ct)
+	}
+}
+
+func TestGapsReport(t *testing.T) {
+	repo, err := curation.Repository()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Gaps(repo)
+	for _, want := range []string{"K_WebSearch", "PF_3", "A_Broadcast", "Uncovered CS2013", "Uncovered TCPP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gap report missing %q", want)
+		}
+	}
+}

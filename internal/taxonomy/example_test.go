@@ -1,0 +1,37 @@
+package taxonomy_test
+
+import (
+	"fmt"
+
+	"pdcunplugged/internal/taxonomy"
+)
+
+type card struct {
+	key   string
+	terms map[string][]string
+}
+
+func (c card) Key() string               { return c.key }
+func (c card) Terms(tax string) []string { return c.terms[tax] }
+
+// Example indexes two entries and queries a term page, the pattern behind
+// every view on the site.
+func Example() {
+	ix, err := taxonomy.Build(
+		[]taxonomy.Def{{Name: "courses", Title: "Courses"}},
+		[]taxonomy.Entry{
+			card{"findsmallestcard", map[string][]string{"courses": {"CS1", "CS2"}}},
+			card{"oddeven", map[string][]string{"courses": {"CS1"}}},
+		},
+	)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ix.EntriesFor("courses", "CS1"))
+	fmt.Println(ix.Count("courses", "CS2"))
+	fmt.Println(taxonomy.Slug("PD_ParallelDecomposition"))
+	// Output:
+	// [findsmallestcard oddeven]
+	// 1
+	// pd-paralleldecomposition
+}

@@ -1,0 +1,309 @@
+// Package taxonomy implements a Hugo-style taxonomy system: named
+// classification axes (taxonomies) whose values (terms) are listed on content
+// entries, with an inverted index that groups entries by term and renders
+// term pages.
+//
+// PDCunplugged uses six taxonomies — cs2013, tcpp, courses, senses and the
+// hidden cs2013details, tcppdetails and medium — declared in Section II-B of
+// the paper. The engine itself is generic: any entry type that can report
+// its terms may be indexed.
+package taxonomy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Entry is anything classifiable by taxonomies. Terms returns the terms the
+// entry lists for the given taxonomy name (nil when none).
+type Entry interface {
+	// Key uniquely identifies the entry (activity slug).
+	Key() string
+	// Terms returns the entry's terms for one taxonomy.
+	Terms(taxonomy string) []string
+}
+
+// Weighted is optionally implemented by entries that rank themselves
+// within a term page, mirroring Hugo's taxonomy weights: entries with
+// higher weight list first on the term's page, ties falling back to key
+// order.
+type Weighted interface {
+	Entry
+	// TermWeight returns the entry's weight for a term of a taxonomy
+	// (0 when unranked).
+	TermWeight(taxonomy, term string) int
+}
+
+// Def declares one taxonomy axis.
+type Def struct {
+	// Name is the key used in front matter, e.g. "cs2013".
+	Name string
+	// Title is the human-readable name shown on pages, e.g. "CS2013".
+	Title string
+	// Hidden taxonomies classify entries but are not shown in page headers
+	// (cs2013details, tcppdetails, medium in the paper).
+	Hidden bool
+	// Color is the badge color class used when rendering headers; each
+	// taxonomy is assigned a different color (Section II-B).
+	Color string
+}
+
+// Standard returns the six PDCunplugged taxonomies in display order.
+func Standard() []Def {
+	return []Def{
+		{Name: "cs2013", Title: "CS2013", Color: "badge-cs2013"},
+		{Name: "tcpp", Title: "TCPP", Color: "badge-tcpp"},
+		{Name: "courses", Title: "Courses", Color: "badge-courses"},
+		{Name: "senses", Title: "Senses", Color: "badge-senses"},
+		{Name: "cs2013details", Title: "CS2013 Details", Hidden: true, Color: "badge-cs2013"},
+		{Name: "tcppdetails", Title: "TCPP Details", Hidden: true, Color: "badge-tcpp"},
+		{Name: "medium", Title: "Medium", Hidden: true, Color: "badge-medium"},
+	}
+}
+
+// Index is the inverted term index for a set of entries across a set of
+// taxonomy definitions. The zero value is not usable; call Build.
+type Index struct {
+	defs    []Def
+	byName  map[string]Def
+	entries map[string]Entry
+	// terms[taxonomy][term] = sorted entry keys.
+	terms map[string]map[string][]string
+}
+
+// Build indexes entries under the given taxonomy definitions. Entries with
+// duplicate keys are rejected, as are unknown taxonomy defs referenced twice.
+func Build(defs []Def, entries []Entry) (*Index, error) {
+	ix := &Index{
+		defs:    append([]Def(nil), defs...),
+		byName:  make(map[string]Def, len(defs)),
+		entries: make(map[string]Entry, len(entries)),
+		terms:   make(map[string]map[string][]string, len(defs)),
+	}
+	for _, d := range defs {
+		if d.Name == "" {
+			return nil, fmt.Errorf("taxonomy: empty taxonomy name")
+		}
+		if _, dup := ix.byName[d.Name]; dup {
+			return nil, fmt.Errorf("taxonomy: duplicate taxonomy %q", d.Name)
+		}
+		ix.byName[d.Name] = d
+		ix.terms[d.Name] = make(map[string][]string)
+	}
+	for _, e := range entries {
+		if err := ix.Add(e); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// Add indexes one entry.
+func (ix *Index) Add(e Entry) error {
+	key := e.Key()
+	if key == "" {
+		return fmt.Errorf("taxonomy: entry with empty key")
+	}
+	if _, dup := ix.entries[key]; dup {
+		return fmt.Errorf("taxonomy: duplicate entry key %q", key)
+	}
+	ix.entries[key] = e
+	for _, d := range ix.defs {
+		for _, term := range e.Terms(d.Name) {
+			if term == "" {
+				return fmt.Errorf("taxonomy: entry %q has empty %s term", key, d.Name)
+			}
+			ix.terms[d.Name][term] = insertSorted(ix.terms[d.Name][term], key)
+		}
+	}
+	return nil
+}
+
+func insertSorted(keys []string, k string) []string {
+	i := sort.SearchStrings(keys, k)
+	if i < len(keys) && keys[i] == k {
+		return keys
+	}
+	keys = append(keys, "")
+	copy(keys[i+1:], keys[i:])
+	keys[i] = k
+	return keys
+}
+
+// Defs returns the taxonomy definitions in declaration order.
+func (ix *Index) Defs() []Def { return append([]Def(nil), ix.defs...) }
+
+// Def returns the definition for a taxonomy name.
+func (ix *Index) Def(name string) (Def, bool) {
+	d, ok := ix.byName[name]
+	return d, ok
+}
+
+// Terms returns the sorted terms in use for a taxonomy.
+func (ix *Index) Terms(taxonomy string) []string {
+	m, ok := ix.terms[taxonomy]
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for t := range m {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EntriesFor returns the sorted entry keys listing the given term.
+func (ix *Index) EntriesFor(taxonomy, term string) []string {
+	m, ok := ix.terms[taxonomy]
+	if !ok {
+		return nil
+	}
+	return append([]string(nil), m[term]...)
+}
+
+// Count returns the number of entries listing the term.
+func (ix *Index) Count(taxonomy, term string) int {
+	m, ok := ix.terms[taxonomy]
+	if !ok {
+		return 0
+	}
+	return len(m[term])
+}
+
+// Entry returns an indexed entry by key.
+func (ix *Index) Entry(key string) (Entry, bool) {
+	e, ok := ix.entries[key]
+	return e, ok
+}
+
+// Keys returns all entry keys, sorted.
+func (ix *Index) Keys() []string {
+	out := make([]string, 0, len(ix.entries))
+	for k := range ix.entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of indexed entries.
+func (ix *Index) Len() int { return len(ix.entries) }
+
+// WithAll returns the sorted keys of entries that list every given term of
+// the taxonomy (intersection); an empty term list selects all entries.
+func (ix *Index) WithAll(taxonomy string, terms ...string) []string {
+	if len(terms) == 0 {
+		return ix.Keys()
+	}
+	cur := ix.EntriesFor(taxonomy, terms[0])
+	for _, t := range terms[1:] {
+		cur = intersectSorted(cur, ix.EntriesFor(taxonomy, t))
+	}
+	return cur
+}
+
+// WithAny returns the sorted keys of entries listing at least one of the
+// terms (union).
+func (ix *Index) WithAny(taxonomy string, terms ...string) []string {
+	var out []string
+	for _, t := range terms {
+		out = unionSorted(out, ix.EntriesFor(taxonomy, t))
+	}
+	return out
+}
+
+func intersectSorted(a, b []string) []string {
+	var out []string
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+func unionSorted(a, b []string) []string {
+	var out []string
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// TermPage describes one term's page: the term and its entry keys.
+type TermPage struct {
+	Taxonomy string
+	Term     string
+	Entries  []string
+}
+
+// Pages returns one TermPage per in-use term of the taxonomy, sorted by term.
+func (ix *Index) Pages(taxonomy string) []TermPage {
+	var pages []TermPage
+	for _, t := range ix.Terms(taxonomy) {
+		pages = append(pages, TermPage{Taxonomy: taxonomy, Term: t, Entries: ix.EntriesFor(taxonomy, t)})
+	}
+	return pages
+}
+
+// RankedEntries returns the term's entry keys ordered by descending weight
+// for entries implementing Weighted (key order breaks ties and orders
+// unweighted entries).
+func (ix *Index) RankedEntries(taxonomy, term string) []string {
+	keys := ix.EntriesFor(taxonomy, term)
+	weight := func(key string) int {
+		if w, ok := ix.entries[key].(Weighted); ok {
+			return w.TermWeight(taxonomy, term)
+		}
+		return 0
+	}
+	sort.SliceStable(keys, func(i, j int) bool {
+		wi, wj := weight(keys[i]), weight(keys[j])
+		if wi != wj {
+			return wi > wj
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}
+
+// Slug converts a term to a URL path segment the way Hugo does: lower-case,
+// spaces and underscores to hyphens, other punctuation dropped.
+func Slug(term string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(term) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '_' || r == '-':
+			b.WriteRune('-')
+		}
+	}
+	s := b.String()
+	for strings.Contains(s, "--") {
+		s = strings.ReplaceAll(s, "--", "-")
+	}
+	return strings.Trim(s, "-")
+}

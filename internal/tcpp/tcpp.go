@@ -1,0 +1,345 @@
+// Package tcpp models the core-course topics of the 2012 NSF/IEEE-TCPP
+// Curriculum Initiative on Parallel and Distributed Computing, the second
+// curricular framework PDCunplugged maps activities onto.
+//
+// The paper's Table II analyses four topic areas restricted to the topics
+// TCPP recommends for core courses (CS1, CS2, DSA, Systems): Architecture
+// (22 topics), Programming (37), Algorithms (26), and Crosscutting and
+// Advanced Topics (12). Section III-C further analyses named sub-categories
+// within each area; this model preserves that structure.
+//
+// Taxonomy terms follow the paper's conventions: an activity lists topic
+// areas under the tcpp taxonomy as TCPP_<Area> terms (e.g. TCPP_Algorithms)
+// and individual topics under the hidden tcppdetails taxonomy as Bloom-
+// prefixed terms — "K" know, "C" comprehend, "A" apply — such as C_Speedup.
+package tcpp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Bloom is the Bloom-taxonomy classification TCPP assigns each topic.
+type Bloom byte
+
+// Bloom levels used by the TCPP curriculum.
+const (
+	Know       Bloom = 'K'
+	Comprehend Bloom = 'C'
+	Apply      Bloom = 'A'
+)
+
+// String returns the full Bloom level name.
+func (b Bloom) String() string {
+	switch b {
+	case Know:
+		return "Know"
+	case Comprehend:
+		return "Comprehend"
+	case Apply:
+		return "Apply"
+	default:
+		return fmt.Sprintf("Bloom(%c)", byte(b))
+	}
+}
+
+// Topic is one core-course TCPP topic.
+type Topic struct {
+	// Key is the short CamelCase identifier used in the detail term.
+	Key string
+	// Name is the human-readable topic statement.
+	Name  string
+	Bloom Bloom
+	// Subcategory is the Section III-C grouping within the area.
+	Subcategory string
+}
+
+// Term returns the tcppdetails taxonomy term, e.g. "C_Speedup".
+func (t Topic) Term() string {
+	return fmt.Sprintf("%c_%s", byte(t.Bloom), t.Key)
+}
+
+// Area is one of the four TCPP topic areas.
+type Area struct {
+	// Name is the area name as printed in Table II.
+	Name string
+	// Term is the tcpp taxonomy term, e.g. "TCPP_Algorithms".
+	Term string
+	// Courses lists the core courses TCPP recommends for the area's topics.
+	Courses []string
+	Topics  []Topic
+}
+
+// NumTopics returns the number of core-course topics in the area.
+func (a Area) NumTopics() int { return len(a.Topics) }
+
+// Subcategories returns the area's sub-category names in first-appearance
+// order.
+func (a Area) Subcategories() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, t := range a.Topics {
+		if !seen[t.Subcategory] {
+			seen[t.Subcategory] = true
+			out = append(out, t.Subcategory)
+		}
+	}
+	return out
+}
+
+// TopicsIn returns the area's topics belonging to one sub-category.
+func (a Area) TopicsIn(subcategory string) []Topic {
+	var out []Topic
+	for _, t := range a.Topics {
+		if t.Subcategory == subcategory {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Sub-category names referenced by Section III-C of the paper.
+const (
+	SubClasses       = "Classes"
+	SubMemHierarchy  = "Memory Hierarchy"
+	SubFloatingPoint = "Floating-Point Representation"
+	SubPerfMetrics   = "Performance Metrics"
+
+	SubParadigmsNotations = "Paradigms and Notations"
+	SubCorrectness        = "Correctness"
+	SubPerformance        = "Performance"
+
+	SubModelsComplexity = "PD Models and Complexity"
+	SubAlgoParadigms    = "Algorithmic Paradigms"
+	SubAlgoProblems     = "Algorithmic Problems"
+
+	SubCrosscutting = "Crosscutting"
+	SubAdvanced     = "Current and Advanced Topics"
+)
+
+var areas = []Area{
+	{
+		Name: "Architecture", Term: "TCPP_Architecture",
+		Courses: []string{"CS2", "Systems"},
+		Topics: []Topic{
+			{"FlynnTaxonomy", "Flynn's taxonomy of parallel machine classes", Know, SubClasses},
+			{"DataVsControlParallelism", "Data parallelism versus control parallelism", Know, SubClasses},
+			{"SuperscalarILP", "Superscalar execution and instruction-level parallelism", Comprehend, SubClasses},
+			{"SIMD", "SIMD and vector architectures", Comprehend, SubClasses},
+			{"Pipelines", "Pipelined execution of instruction streams", Comprehend, SubClasses},
+			{"Streams", "Stream and GPU-style architectures", Comprehend, SubClasses},
+			{"MIMD", "MIMD multiprocessors", Know, SubClasses},
+			{"SMT", "Simultaneous multithreading", Comprehend, SubClasses},
+			{"Multicore", "Multicore processors", Know, SubClasses},
+			{"HeterogeneousArch", "Heterogeneous architectures", Know, SubClasses},
+			{"SharedVsDistributedMemory", "Shared versus distributed memory organizations", Comprehend, SubMemHierarchy},
+			{"CacheOrganization", "Cache organization in the memory hierarchy", Know, SubMemHierarchy},
+			{"CacheCoherence", "Cache coherence among processors", Comprehend, SubMemHierarchy},
+			{"Atomicity", "Atomicity of memory operations", Know, SubMemHierarchy},
+			{"MemoryConsistency", "Memory consistency across processors", Know, SubMemHierarchy},
+			{"FPRange", "Range of representable floating-point values", Know, SubFloatingPoint},
+			{"FPPrecision", "Precision of floating-point representations", Know, SubFloatingPoint},
+			{"FPRounding", "Rounding and error propagation in floating-point arithmetic", Comprehend, SubFloatingPoint},
+			{"CyclesPerInstruction", "Cycles per instruction as a performance measure", Know, SubPerfMetrics},
+			{"Benchmarks", "Benchmark suites and their use", Know, SubPerfMetrics},
+			{"PeakPerformance", "Peak versus sustained performance", Know, SubPerfMetrics},
+			{"MFLOPS", "MIPS/FLOPS-style rate metrics", Know, SubPerfMetrics},
+		},
+	},
+	{
+		Name: "Programming", Term: "TCPP_Programming",
+		Courses: []string{"CS1", "CS2", "DSA", "Systems"},
+		Topics: []Topic{
+			{"SPMD", "The single-program multiple-data execution model", Comprehend, SubParadigmsNotations},
+			{"DataParallelNotation", "Data-parallel programming constructs", Comprehend, SubParadigmsNotations},
+			{"SharedMemoryModel", "Programming for the shared-memory model", Comprehend, SubParadigmsNotations},
+			{"DistributedMemoryModel", "Programming for the distributed-memory model", Comprehend, SubParadigmsNotations},
+			{"ClientServer", "Client-server and hybrid programming models", Comprehend, SubParadigmsNotations},
+			{"ParallelLoops", "Parallel loop constructs", Apply, SubParadigmsNotations},
+			{"TaskSpawning", "Task and thread spawning constructs", Apply, SubParadigmsNotations},
+			{"HybridProgramming", "Hybrid shared/distributed programming", Know, SubParadigmsNotations},
+			{"VectorExtensions", "Processor vector extensions", Know, SubParadigmsNotations},
+			{"ThreadLibraries", "Explicit threading libraries", Apply, SubParadigmsNotations},
+			{"CompilerDirectives", "Compiler-directive parallelism (OpenMP style)", Apply, SubParadigmsNotations},
+			{"MessagePassingLibraries", "Message-passing libraries (MPI style)", Apply, SubParadigmsNotations},
+			{"TaskLibraries", "Task-based parallel libraries (TBB style)", Know, SubParadigmsNotations},
+			{"GPUProgramming", "Accelerator programming (CUDA/OpenCL style)", Know, SubParadigmsNotations},
+			{"TasksAndThreads", "Tasks and threads as units of concurrent work", Apply, SubCorrectness},
+			{"Synchronization", "Synchronization of concurrent activities", Apply, SubCorrectness},
+			{"CriticalRegions", "Critical regions protecting shared state", Apply, SubCorrectness},
+			{"ProducerConsumer", "Producer-consumer coordination", Apply, SubCorrectness},
+			{"Monitors", "Monitors as a synchronization discipline", Comprehend, SubCorrectness},
+			{"Deadlocks", "Deadlocks and their avoidance", Know, SubCorrectness},
+			{"DataRaces", "Data races on shared data", Comprehend, SubCorrectness},
+			{"MemoryModels", "Programming-language memory models", Comprehend, SubCorrectness},
+			{"SequentialConsistency", "Sequential consistency as a correctness baseline", Know, SubCorrectness},
+			{"MutualExclusion", "Mutual exclusion protocols", Apply, SubCorrectness},
+			{"DefectTools", "Tools to detect concurrency defects", Know, SubCorrectness},
+			{"HigherLevelRaces", "Higher-level races beyond data races", Comprehend, SubCorrectness},
+			{"LoadBalancing", "Load balancing of computation", Apply, SubPerformance},
+			{"SchedulingAndMapping", "Scheduling and mapping work to processors", Comprehend, SubPerformance},
+			{"DataDistribution", "Distribution of data across memories", Comprehend, SubPerformance},
+			{"DataLocality", "Exploiting data locality", Comprehend, SubPerformance},
+			{"FalseSharing", "False sharing of cache lines", Know, SubPerformance},
+			{"PerformanceTools", "Performance monitoring tools", Know, SubPerformance},
+			{"Speedup", "Speedup of a parallel program", Comprehend, SubPerformance},
+			{"Efficiency", "Parallel efficiency", Comprehend, SubPerformance},
+			{"AmdahlsLaw", "Amdahl's law and its implications", Comprehend, SubPerformance},
+			{"CommunicationOverhead", "Communication overhead in parallel programs", Comprehend, SubPerformance},
+			{"PerformanceTuning", "Iterative performance tuning", Know, SubPerformance},
+		},
+	},
+	{
+		Name: "Algorithms", Term: "TCPP_Algorithms",
+		Courses: []string{"CS1", "CS2", "DSA"},
+		Topics: []Topic{
+			{"Asymptotics", "Asymptotic analysis in the parallel setting", Comprehend, SubModelsComplexity},
+			{"TimeCost", "Time as a cost measure of parallel execution", Comprehend, SubModelsComplexity},
+			{"WorkSpan", "Work and span (make/span) of a computation", Comprehend, SubModelsComplexity},
+			{"SpacePowerTradeoffs", "Space and power trade-offs of parallel execution", Know, SubModelsComplexity},
+			{"Dependencies", "Dependencies constraining parallel execution order", Comprehend, SubModelsComplexity},
+			{"TaskGraphs", "Task graphs as execution models", Comprehend, SubModelsComplexity},
+			{"Makespan", "Makespan of a schedule", Know, SubModelsComplexity},
+			{"PRAM", "The PRAM model", Know, SubModelsComplexity},
+			{"BSP", "The BSP and related bridging models", Know, SubModelsComplexity},
+			{"SimulationEmulation", "Cross-model simulation and emulation results", Know, SubModelsComplexity},
+			{"CommunicationComplexity", "Communication complexity of parallel algorithms", Know, SubModelsComplexity},
+			{"DivideAndConquer", "Parallel divide-and-conquer", Comprehend, SubAlgoParadigms},
+			{"ParallelRecursion", "Parallel aspects of recursion", Comprehend, SubAlgoParadigms},
+			{"Reduction", "Reduction as an algorithmic paradigm", Comprehend, SubAlgoParadigms},
+			{"Scan", "Scan (prefix-sum) computations", Comprehend, SubAlgoParadigms},
+			{"BarrierSynchronization", "Barrier-synchronized phase algorithms", Comprehend, SubAlgoParadigms},
+			{"MasterWorker", "Master-worker task distribution", Comprehend, SubAlgoParadigms},
+			{"PipelineParadigm", "Pipelined algorithm organization", Comprehend, SubAlgoParadigms},
+			{"Broadcast", "Broadcast and multicast communication", Apply, SubAlgoProblems},
+			{"ScatterGather", "Scatter and gather communication", Apply, SubAlgoProblems},
+			{"Asynchrony", "Sources and handling of asynchrony", Comprehend, SubAlgoProblems},
+			{"ParallelSorting", "Parallel sorting algorithms", Apply, SubAlgoProblems},
+			{"ParallelSelection", "Parallel selection (min/max/median)", Comprehend, SubAlgoProblems},
+			{"GraphTraversal", "Parallel graph traversal", Comprehend, SubAlgoProblems},
+			{"ParallelSearch", "Parallel search of a solution space", Apply, SubAlgoProblems},
+			{"MutualExclusionAlg", "Algorithms achieving mutual exclusion", Comprehend, SubAlgoProblems},
+		},
+	},
+	{
+		Name: "Crosscutting and Advanced Topics", Term: "TCPP_Crosscutting",
+		Courses: []string{"CS1", "CS2", "Systems"},
+		Topics: []Topic{
+			{"WhyPDC", "Know why and what is parallel/distributed computing", Know, SubCrosscutting},
+			{"Locality", "Locality as a recurring theme", Comprehend, SubCrosscutting},
+			{"Concurrency", "Concurrency as a recurring theme", Comprehend, SubCrosscutting},
+			{"NonDeterminism", "Non-determinism in parallel execution", Comprehend, SubCrosscutting},
+			{"PowerConsumption", "Power consumption of computation", Know, SubCrosscutting},
+			{"FaultTolerance", "Fault tolerance in systems", Comprehend, SubCrosscutting},
+			{"ClusterComputing", "Cluster computing", Know, SubAdvanced},
+			{"CloudGrid", "Cloud and grid computing", Know, SubAdvanced},
+			{"PeerToPeer", "Peer-to-peer computing", Know, SubAdvanced},
+			{"DistributedSecurity", "Security in a distributed world", Know, SubAdvanced},
+			{"PerformanceModeling", "Performance modeling", Know, SubAdvanced},
+			{"WebSearch", "How web searches work", Know, SubAdvanced},
+		},
+	},
+}
+
+// All returns the four TCPP topic areas in Table II order.
+func All() []Area { return append([]Area(nil), areas...) }
+
+// ByTerm returns the area with the given tcpp taxonomy term.
+func ByTerm(term string) (Area, bool) {
+	for _, a := range areas {
+		if a.Term == term {
+			return a, true
+		}
+	}
+	return Area{}, false
+}
+
+// ByName returns the area with the given Table II name.
+func ByName(name string) (Area, bool) {
+	for _, a := range areas {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Area{}, false
+}
+
+// Terms returns all tcpp taxonomy terms, sorted.
+func Terms() []string {
+	out := make([]string, len(areas))
+	for i, a := range areas {
+		out[i] = a.Term
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FindTopic resolves a tcppdetails term such as "C_Speedup" to its area and
+// topic.
+func FindTopic(term string) (Area, Topic, error) {
+	if len(term) < 3 || term[1] != '_' {
+		return Area{}, Topic{}, fmt.Errorf("tcpp: malformed detail term %q", term)
+	}
+	bloom := Bloom(term[0])
+	switch bloom {
+	case Know, Comprehend, Apply:
+	default:
+		return Area{}, Topic{}, fmt.Errorf("tcpp: unknown Bloom level %q in term %q", string(term[0]), term)
+	}
+	key := term[2:]
+	for _, a := range areas {
+		for _, t := range a.Topics {
+			if t.Key == key {
+				if t.Bloom != bloom {
+					return Area{}, Topic{}, fmt.Errorf("tcpp: topic %s has Bloom level %s, not %s", key, t.Bloom, bloom)
+				}
+				return a, t, nil
+			}
+		}
+	}
+	return Area{}, Topic{}, fmt.Errorf("tcpp: unknown topic in term %q", term)
+}
+
+// TotalTopics returns the number of core-course topics across all areas.
+func TotalTopics() int {
+	n := 0
+	for _, a := range areas {
+		n += len(a.Topics)
+	}
+	return n
+}
+
+// AreaOfSubcategory returns the area containing the named sub-category.
+func AreaOfSubcategory(sub string) (Area, bool) {
+	for _, a := range areas {
+		for _, t := range a.Topics {
+			if t.Subcategory == sub {
+				return a, true
+			}
+		}
+	}
+	return Area{}, false
+}
+
+// DescribeTerm renders a short human-readable gloss of a detail term, e.g.
+// "C_Speedup" -> "Comprehend: Speedup of a parallel program".
+func DescribeTerm(term string) string {
+	_, t, err := FindTopic(term)
+	if err != nil {
+		return term
+	}
+	return t.Bloom.String() + ": " + t.Name
+}
+
+// SplitKey breaks a CamelCase key into words for display.
+func SplitKey(key string) string {
+	var b strings.Builder
+	for i, r := range key {
+		if i > 0 && r >= 'A' && r <= 'Z' {
+			b.WriteByte(' ')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,211 @@
+package tcpp
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Topic counts per area as printed in Table II of the paper.
+var tableIICounts = map[string]int{
+	"Architecture":                     22,
+	"Programming":                      37,
+	"Algorithms":                       26,
+	"Crosscutting and Advanced Topics": 12,
+}
+
+func TestAreaCountsMatchTableII(t *testing.T) {
+	all := All()
+	if len(all) != 4 {
+		t.Fatalf("areas = %d, want 4", len(all))
+	}
+	for _, a := range all {
+		want, ok := tableIICounts[a.Name]
+		if !ok {
+			t.Errorf("unexpected area %q", a.Name)
+			continue
+		}
+		if got := a.NumTopics(); got != want {
+			t.Errorf("%s: %d topics, Table II says %d", a.Name, got, want)
+		}
+	}
+	if got := TotalTopics(); got != 22+37+26+12 {
+		t.Errorf("TotalTopics = %d", got)
+	}
+}
+
+func TestSubcategoryStructure(t *testing.T) {
+	// Section III-C sub-category sizes implied by the paper's percentages:
+	// Architecture: FP and Performance Metrics have no coverage;
+	// PD Models/Complexity is 11 topics (36.36% = 4/11);
+	// Paradigms and Notations is 14 topics (35.71% = 5/14).
+	arch, _ := ByName("Architecture")
+	if got := arch.Subcategories(); !reflect.DeepEqual(got, []string{SubClasses, SubMemHierarchy, SubFloatingPoint, SubPerfMetrics}) {
+		t.Errorf("Architecture subcategories = %v", got)
+	}
+	prog, _ := ByName("Programming")
+	if got := len(prog.TopicsIn(SubParadigmsNotations)); got != 14 {
+		t.Errorf("Paradigms and Notations topics = %d, want 14 (35.71%% = 5/14)", got)
+	}
+	alg, _ := ByName("Algorithms")
+	if got := len(alg.TopicsIn(SubModelsComplexity)); got != 11 {
+		t.Errorf("PD Models and Complexity topics = %d, want 11 (36.36%% = 4/11)", got)
+	}
+	if got := len(arch.TopicsIn(SubFloatingPoint)); got == 0 {
+		t.Error("Floating-Point subcategory missing")
+	}
+	if got := len(arch.TopicsIn(SubPerfMetrics)); got == 0 {
+		t.Error("Performance Metrics subcategory missing")
+	}
+	// Paradigms includes the gap topics the paper names: recursion,
+	// reduction, barrier synchronization.
+	keys := map[string]bool{}
+	for _, tp := range alg.TopicsIn(SubAlgoParadigms) {
+		keys[tp.Key] = true
+	}
+	for _, want := range []string{"ParallelRecursion", "Reduction", "BarrierSynchronization"} {
+		if !keys[want] {
+			t.Errorf("Algorithmic Paradigms missing %s", want)
+		}
+	}
+	// Problems includes the communication constructs the paper says are
+	// missing activities: scatter/gather, broadcast/multicast.
+	keys = map[string]bool{}
+	for _, tp := range alg.TopicsIn(SubAlgoProblems) {
+		keys[tp.Key] = true
+	}
+	for _, want := range []string{"Broadcast", "ScatterGather"} {
+		if !keys[want] {
+			t.Errorf("Algorithmic Problems missing %s", want)
+		}
+	}
+}
+
+func TestCrosscuttingGapTopicsExist(t *testing.T) {
+	// Section III-C: no activities explain web search, peer-to-peer,
+	// cloud/grid, locality, or the overly broad "why PDC" topic. The model
+	// must contain these topics for the gap analysis to find.
+	cross, ok := ByName("Crosscutting and Advanced Topics")
+	if !ok {
+		t.Fatal("area missing")
+	}
+	keys := map[string]bool{}
+	for _, tp := range cross.Topics {
+		keys[tp.Key] = true
+	}
+	for _, want := range []string{"WebSearch", "PeerToPeer", "CloudGrid", "Locality", "WhyPDC", "PowerConsumption"} {
+		if !keys[want] {
+			t.Errorf("Crosscutting missing topic %s", want)
+		}
+	}
+}
+
+func TestTermUniqueness(t *testing.T) {
+	seen := map[string]string{}
+	for _, a := range All() {
+		for _, tp := range a.Topics {
+			term := tp.Term()
+			if prev, dup := seen[term]; dup {
+				t.Errorf("duplicate detail term %q in %s and %s", term, prev, a.Name)
+			}
+			seen[term] = a.Name
+			if tp.Name == "" || tp.Key == "" || tp.Subcategory == "" {
+				t.Errorf("incomplete topic %+v in %s", tp, a.Name)
+			}
+		}
+	}
+}
+
+func TestTermFormat(t *testing.T) {
+	prog, _ := ByName("Programming")
+	var speedup *Topic
+	for i := range prog.Topics {
+		if prog.Topics[i].Key == "Speedup" {
+			speedup = &prog.Topics[i]
+		}
+	}
+	if speedup == nil {
+		t.Fatal("Speedup topic missing")
+	}
+	// The paper's example: "Comprehend Speedup" -> C_Speedup.
+	if got := speedup.Term(); got != "C_Speedup" {
+		t.Errorf("Speedup term = %q, want C_Speedup", got)
+	}
+}
+
+func TestFindTopic(t *testing.T) {
+	a, tp, err := FindTopic("C_Speedup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "Programming" || tp.Key != "Speedup" {
+		t.Errorf("FindTopic = %s %s", a.Name, tp.Key)
+	}
+	for _, bad := range []string{"", "C", "C_", "X_Speedup", "C_NoSuchTopic", "K_Speedup"} {
+		if _, _, err := FindTopic(bad); err == nil {
+			t.Errorf("FindTopic(%q) should fail", bad)
+		}
+	}
+}
+
+func TestFindTopicRoundTripProperty(t *testing.T) {
+	all := All()
+	var topics []struct {
+		area  string
+		topic Topic
+	}
+	for _, a := range all {
+		for _, tp := range a.Topics {
+			topics = append(topics, struct {
+				area  string
+				topic Topic
+			}{a.Name, tp})
+		}
+	}
+	f := func(i uint16) bool {
+		pick := topics[int(i)%len(topics)]
+		a, tp, err := FindTopic(pick.topic.Term())
+		return err == nil && a.Name == pick.area && tp.Key == pick.topic.Key
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLookupsAndHelpers(t *testing.T) {
+	if _, ok := ByTerm("TCPP_Algorithms"); !ok {
+		t.Error("ByTerm(TCPP_Algorithms) failed")
+	}
+	if _, ok := ByTerm("TCPP_Nope"); ok {
+		t.Error("ByTerm accepted unknown")
+	}
+	if got := len(Terms()); got != 4 {
+		t.Errorf("Terms() = %d", got)
+	}
+	if a, ok := AreaOfSubcategory(SubCorrectness); !ok || a.Name != "Programming" {
+		t.Errorf("AreaOfSubcategory = %+v %v", a.Name, ok)
+	}
+	if _, ok := AreaOfSubcategory("Nope"); ok {
+		t.Error("AreaOfSubcategory accepted unknown")
+	}
+	if got := DescribeTerm("C_Speedup"); got != "Comprehend: Speedup of a parallel program" {
+		t.Errorf("DescribeTerm = %q", got)
+	}
+	if got := DescribeTerm("garbage"); got != "garbage" {
+		t.Errorf("DescribeTerm(garbage) = %q", got)
+	}
+	if got := SplitKey("ScatterGather"); got != "Scatter Gather" {
+		t.Errorf("SplitKey = %q", got)
+	}
+	if Know.String() != "Know" || Comprehend.String() != "Comprehend" || Apply.String() != "Apply" {
+		t.Error("Bloom.String mismatch")
+	}
+	if Bloom('Z').String() != "Bloom(Z)" {
+		t.Errorf("Bloom(Z) = %s", Bloom('Z'))
+	}
+	for _, a := range All() {
+		if len(a.Courses) == 0 {
+			t.Errorf("%s has no recommended courses", a.Name)
+		}
+	}
+}

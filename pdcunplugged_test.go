@@ -1,0 +1,198 @@
+package pdcunplugged_test
+
+import (
+	"strings"
+	"testing"
+
+	"pdcunplugged"
+)
+
+func TestOpenAndQuery(t *testing.T) {
+	repo, err := pdcunplugged.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repo.Len() != 38 {
+		t.Fatalf("corpus size = %d", repo.Len())
+	}
+	a, ok := repo.Get("findsmallestcard")
+	if !ok || a.Title != "FindSmallestCard" {
+		t.Fatalf("Get(findsmallestcard) = %+v %v", a, ok)
+	}
+	if got := len(repo.ByCourse("CS1")); got != 17 {
+		t.Errorf("CS1 activities = %d", got)
+	}
+}
+
+func TestTablesViaFacade(t *testing.T) {
+	repo, err := pdcunplugged.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := pdcunplugged.TableI(repo); len(rows) != 9 {
+		t.Errorf("Table I rows = %d", len(rows))
+	}
+	if rows := pdcunplugged.TableII(repo); len(rows) != 4 {
+		t.Errorf("Table II rows = %d", len(rows))
+	}
+	if rows := pdcunplugged.Subcategories(repo); len(rows) < 9 {
+		t.Errorf("Subcategory rows = %d", len(rows))
+	}
+	if counts := pdcunplugged.CourseCounts(repo); len(counts) < 6 {
+		t.Errorf("CourseCounts = %v", counts)
+	}
+	if counts := pdcunplugged.MediumCounts(repo); len(counts) < 10 {
+		t.Errorf("MediumCounts = %v", counts)
+	}
+	if stats := pdcunplugged.SenseStats(repo); len(stats) != 5 {
+		t.Errorf("SenseStats = %v", stats)
+	}
+	g := pdcunplugged.FindGaps(repo)
+	if len(g.Outcomes) == 0 || len(g.Topics) == 0 {
+		t.Error("no gaps found; the paper reports many")
+	}
+	score, _, err := pdcunplugged.Impact(repo, nil, []string{"A_Broadcast"})
+	if err != nil || score != 1 {
+		t.Errorf("Impact = %d %v", score, err)
+	}
+}
+
+func TestRoundTripThroughPublicAPI(t *testing.T) {
+	files := pdcunplugged.CorpusFiles()
+	repo, err := pdcunplugged.Load(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repo.Len() != 38 {
+		t.Errorf("reloaded corpus size = %d", repo.Len())
+	}
+	a, err := pdcunplugged.ParseActivity("findsmallestcard", files["findsmallestcard"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.CS2013) != 2 {
+		t.Errorf("parsed tags = %v", a.CS2013)
+	}
+}
+
+func TestTemplateViaFacade(t *testing.T) {
+	tmpl := pdcunplugged.ActivityTemplate("example")
+	if !strings.Contains(tmpl, "## Original Author/link") {
+		t.Error("template missing sections")
+	}
+}
+
+func TestSimulateViaFacade(t *testing.T) {
+	names := pdcunplugged.Simulations()
+	if len(names) < 20 {
+		t.Fatalf("registered simulations = %d, want >= 20", len(names))
+	}
+	rep, err := pdcunplugged.Simulate("findsmallestcard", pdcunplugged.SimConfig{Seed: 1})
+	if err != nil || !rep.OK {
+		t.Fatalf("Simulate: %v %v", err, rep)
+	}
+	if _, err := pdcunplugged.Simulate("nope", pdcunplugged.SimConfig{}); err == nil {
+		t.Error("unknown simulation accepted")
+	}
+}
+
+func TestBibliographyViaFacade(t *testing.T) {
+	refs := pdcunplugged.Bibliography()
+	if len(refs) < 25 {
+		t.Fatalf("bibliography = %d entries", len(refs))
+	}
+	if bt := pdcunplugged.ExportBibTeX(refs[:2]); !strings.Contains(bt, "@") {
+		t.Error("BibTeX export empty")
+	}
+	if _, ok := pdcunplugged.ResolveCitation("A. Rifkin, Teaching parallel programming, 1994."); !ok {
+		t.Error("citation resolution failed")
+	}
+	repo, _ := pdcunplugged.Open()
+	g := pdcunplugged.BuildCitationGraph(repo)
+	if len(g.ByRef) < 15 {
+		t.Errorf("citation graph has %d sources", len(g.ByRef))
+	}
+}
+
+func TestSearchViaFacade(t *testing.T) {
+	repo, _ := pdcunplugged.Open()
+	ix := pdcunplugged.NewSearchIndex(repo)
+	hits := ix.Search("deadlock oranges", 3)
+	if len(hits) == 0 || hits[0].Slug != "orange-game" {
+		t.Errorf("search hits: %+v", hits)
+	}
+}
+
+func TestReviewAndMergeViaFacade(t *testing.T) {
+	repo, _ := pdcunplugged.Open()
+	a, _ := repo.Get("findsmallestcard")
+	clone := *a
+	clone.Slug = "findsmallestcard-variant"
+	rev := pdcunplugged.ReviewSubmission(repo, clone.Slug, clone.Render())
+	if !rev.Accepted() {
+		t.Fatalf("review: %v", rev.Errors)
+	}
+	merged, delta, err := pdcunplugged.MergeActivity(repo, rev.Activity)
+	if err != nil || merged.Len() != 39 {
+		t.Fatalf("merge: %v %d", err, merged.Len())
+	}
+	if delta.OutcomesAfter != delta.OutcomesBefore {
+		t.Error("a duplicate-coverage activity should not change outcome coverage")
+	}
+}
+
+func TestAssessViaFacade(t *testing.T) {
+	repo, _ := pdcunplugged.Open()
+	a, _ := repo.Get("oddeven-transposition")
+	sheet, err := pdcunplugged.GenerateAssessment(a)
+	if err != nil || len(sheet.Items) == 0 {
+		t.Fatalf("sheet: %v", err)
+	}
+	analysis, err := pdcunplugged.AnalyzeAssessment(len(sheet.Items),
+		pdcunplugged.SimulatedResponses(len(sheet.Items), 20, 0.5, 3))
+	if err != nil || analysis.Students != 20 {
+		t.Fatalf("analysis: %v", err)
+	}
+}
+
+func TestPlanViaFacade(t *testing.T) {
+	repo, _ := pdcunplugged.Open()
+	p, err := pdcunplugged.BuildPlan(repo, pdcunplugged.PlanConstraints{Course: "DSA", Slots: 3})
+	if err != nil || len(p.Selections) != 3 {
+		t.Fatalf("plan: %v %+v", err, p)
+	}
+}
+
+func TestStatsViaFacade(t *testing.T) {
+	repo, _ := pdcunplugged.Open()
+	if rows := pdcunplugged.BloomStats(repo); len(rows) != 3 {
+		t.Errorf("bloom rows = %d", len(rows))
+	}
+	if rows := pdcunplugged.Timeline(repo); rows[0].Decade != 1990 {
+		t.Errorf("timeline starts %d", rows[0].Decade)
+	}
+}
+
+func TestSimulationForViaFacade(t *testing.T) {
+	name, ok := pdcunplugged.SimulationFor("selfstabilizing-token-ring")
+	if !ok || name != "tokenring" {
+		t.Errorf("SimulationFor = %q %v", name, ok)
+	}
+	if _, ok := pdcunplugged.SimulationFor("nope"); ok {
+		t.Error("unknown slug linked")
+	}
+}
+
+func TestBuildSiteViaFacade(t *testing.T) {
+	repo, err := pdcunplugged.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := pdcunplugged.BuildSite(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() < 100 {
+		t.Errorf("site pages = %d", s.Len())
+	}
+}
