@@ -1,0 +1,30 @@
+# Standard gate for this repository. `make check` is what CI (and every
+# PR) must keep green: vet, formatting, and the full test suite under
+# the race detector.
+
+GO ?= go
+
+.PHONY: check vet fmtcheck test test-race build fmt
+
+check: vet fmtcheck test-race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmtcheck:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...

@@ -15,26 +15,33 @@
 //	pdcu new <title>
 //	pdcu validate <dir>
 //	pdcu export -out DIR
-//	pdcu build -out DIR
-//	pdcu serve -addr :8080
+//	pdcu build -out DIR [-verbose]
+//	pdcu serve -addr :8080 [-pprof] [-verbose]
 //	pdcu sim list
 //	pdcu sim run <name> [-n N] [-workers W] [-seed S] [-trace] [-param k=v ...]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"pdcunplugged"
 	"pdcunplugged/internal/activity"
 	"pdcunplugged/internal/coverage"
+	"pdcunplugged/internal/obs"
 	"pdcunplugged/internal/report"
 	"pdcunplugged/internal/sim"
 )
@@ -617,8 +624,12 @@ func cmdBuild(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("build", flag.ContinueOnError)
 	out := fs.String("out", "public", "output directory")
 	src := fs.String("src", "", "optional directory of activity .md files (defaults to the embedded corpus)")
+	verbose := fs.Bool("verbose", false, "print per-phase span timings and debug logs")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *verbose {
+		obs.SetLevel(slog.LevelDebug)
 	}
 	repo, err := repoFrom(*src)
 	if err != nil {
@@ -632,7 +643,26 @@ func cmdBuild(args []string, w io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(w, "built %d pages from %d activities into %s\n", s.Len(), repo.Len(), *out)
+	if *verbose {
+		printPhaseTimings(w)
+	}
 	return nil
+}
+
+// printPhaseTimings renders the span histogram collected during this
+// process as the `build -verbose` phase breakdown.
+func printPhaseTimings(w io.Writer) {
+	timings := obs.PhaseTimings()
+	if len(timings) == 0 {
+		return
+	}
+	tb := report.New("PHASE TIMINGS", "Phase", "Calls", "Total", "Mean")
+	for _, pt := range timings {
+		tb.AddRow(pt.Phase, pt.Count,
+			pt.Total.Round(time.Microsecond).String(),
+			pt.Mean().Round(time.Microsecond).String())
+	}
+	fmt.Fprint(w, tb.String())
 }
 
 func repoFrom(src string) (*pdcunplugged.Repository, error) {
@@ -646,8 +676,13 @@ func cmdServe(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	src := fs.String("src", "", "optional directory of activity .md files")
+	withPprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	verbose := fs.Bool("verbose", false, "debug logging (includes span completions)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *verbose {
+		obs.SetLevel(slog.LevelDebug)
 	}
 	repo, err := repoFrom(*src)
 	if err != nil {
@@ -657,8 +692,73 @@ func cmdServe(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "serving %d pages on %s\n", s.Len(), *addr)
-	return http.ListenAndServe(*addr, s.Handler())
+
+	log := obs.Logger()
+	mux := serveMux(s, repo, *withPprof)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		ErrorLog:          slog.NewLogLogger(log.Handler(), slog.LevelWarn),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(w, "serving %d pages on %s (metrics: /metrics, health: /healthz", s.Len(), *addr)
+	if *withPprof {
+		fmt.Fprint(w, ", pprof: /debug/pprof/")
+	}
+	fmt.Fprintln(w, ")")
+	log.Info("server starting", "addr", *addr, "pages", s.Len(), "pprof", *withPprof)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Info("shutdown signal received, draining in-flight requests")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Warn("graceful shutdown incomplete, forcing close", "err", err)
+		srv.Close()
+		return err
+	}
+	log.Info("server stopped cleanly")
+	fmt.Fprintln(w, "server stopped")
+	return nil
+}
+
+// serveMux assembles the serve handler tree: the instrumented site at /,
+// plus the operational endpoints (/metrics, /healthz, and optionally
+// /debug/pprof/) outside the request-metrics middleware so scrapes do
+// not count as site traffic.
+func serveMux(s *pdcunplugged.Site, repo *pdcunplugged.Repository, withPprof bool) *http.ServeMux {
+	start := time.Now()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Default().Handler())
+	mux.HandleFunc("/healthz", func(hw http.ResponseWriter, r *http.Request) {
+		hw.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(hw, `{"status":"ok","pages":%d,"activities":%d,"uptime_seconds":%.0f}`+"\n",
+			s.Len(), repo.Len(), time.Since(start).Seconds())
+	})
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	mux.Handle("/", obs.Middleware(s.Handler()))
+	return mux
 }
 
 func cmdSim(args []string, w io.Writer) error {

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pdcunplugged"
+)
+
+func serveTestMux(t *testing.T, withPprof bool) *http.ServeMux {
+	t.Helper()
+	repo, err := pdcunplugged.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := pdcunplugged.BuildSite(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serveMux(s, repo, withPprof)
+}
+
+func TestServeHealthz(t *testing.T) {
+	srv := httptest.NewServer(serveTestMux(t, false))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var health struct {
+		Status     string `json:"status"`
+		Pages      int    `json:"pages"`
+		Activities int    `json:"activities"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Pages == 0 || health.Activities == 0 {
+		t.Errorf("health = %+v", health)
+	}
+}
+
+func TestServeMetricsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(serveTestMux(t, false))
+	defer srv.Close()
+
+	// Generate site traffic, then scrape.
+	for _, p := range []string{"/", "/views/tcpp/", "/no/such/page/"} {
+		resp, err := http.Get(srv.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(data)
+	for _, want := range []string{
+		`pdcu_http_requests_total{path="/",code="200"}`,
+		`pdcu_http_requests_total{path="/views",code="200"}`,
+		`pdcu_http_requests_total{path="/no",code="404"}`,
+		"# TYPE pdcu_http_request_duration_seconds histogram",
+		`pdcu_phase_seconds_count{phase="site.build"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestServePprofGating(t *testing.T) {
+	withoutPprof := httptest.NewServer(serveTestMux(t, false))
+	defer withoutPprof.Close()
+	resp, err := http.Get(withoutPprof.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without -pprof = %d, want 404", resp.StatusCode)
+	}
+
+	withPprof := httptest.NewServer(serveTestMux(t, true))
+	defer withPprof.Close()
+	resp, err = http.Get(withPprof.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof with -pprof = %d, want 200", resp.StatusCode)
+	}
+}

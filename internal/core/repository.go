@@ -13,6 +13,7 @@ import (
 
 	"pdcunplugged/internal/activity"
 	"pdcunplugged/internal/cs2013"
+	"pdcunplugged/internal/obs"
 	"pdcunplugged/internal/taxonomy"
 	"pdcunplugged/internal/tcpp"
 )
@@ -48,7 +49,9 @@ func New(acts []*activity.Activity) (*Repository, error) {
 		return nil, fmt.Errorf("repository: %d problems:\n  %s", len(problems), strings.Join(problems, "\n  "))
 	}
 	sort.Strings(r.order)
+	ixSpan := obs.StartSpan("repo.index")
 	ix, err := taxonomy.Build(taxonomy.Standard(), entries)
+	ixSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("repository: %w", err)
 	}
@@ -58,6 +61,7 @@ func New(acts []*activity.Activity) (*Repository, error) {
 
 // Load parses raw Markdown files (slug -> content) into a repository.
 func Load(files map[string]string) (*Repository, error) {
+	parseSpan := obs.StartSpan("repo.parse")
 	var acts []*activity.Activity
 	slugs := make([]string, 0, len(files))
 	for slug := range files {
@@ -67,16 +71,19 @@ func Load(files map[string]string) (*Repository, error) {
 	for _, slug := range slugs {
 		a, err := activity.Parse(slug, files[slug])
 		if err != nil {
+			parseSpan.End()
 			return nil, err
 		}
 		acts = append(acts, a)
 	}
+	parseSpan.End()
 	return New(acts)
 }
 
 // LoadFS reads every .md file under dir in fsys (the content/activities
 // folder of the paper's GitHub layout) and builds a repository.
 func LoadFS(fsys fs.FS, dir string) (*Repository, error) {
+	walkSpan := obs.StartSpan("repo.walk")
 	files := map[string]string{}
 	err := fs.WalkDir(fsys, dir, func(p string, d fs.DirEntry, err error) error {
 		if err != nil {
@@ -93,6 +100,7 @@ func LoadFS(fsys fs.FS, dir string) (*Repository, error) {
 		files[slug] = string(data)
 		return nil
 	})
+	walkSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("repository: %w", err)
 	}

@@ -13,13 +13,20 @@ package markdown
 import (
 	"fmt"
 	"strings"
+	"time"
+
+	"pdcunplugged/internal/obs"
 )
 
-// Render converts Markdown source to HTML.
+// Render converts Markdown source to HTML. Each call feeds the
+// markdown.render phase histogram without logging — rendering runs once
+// per activity section, so a log line per call would be noise.
 func Render(src string) string {
+	start := time.Now()
 	var b strings.Builder
 	p := &parser{lines: splitLines(src)}
 	p.blocks(&b, 0)
+	obs.ObservePhase("markdown.render", time.Since(start))
 	return b.String()
 }
 

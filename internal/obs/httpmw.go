@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// HTTPMetrics instruments an http.Handler with request counts, latency
+// histograms, in-flight and response-size tracking, plus an access log.
+// Construct with NewHTTPMetrics against a specific registry (tests), or
+// use the package-level Middleware which shares the default registry.
+type HTTPMetrics struct {
+	requests *Counter
+	duration *Histogram
+	inflight *Gauge
+	bytes    *Counter
+	log      func() *slog.Logger
+}
+
+// NewHTTPMetrics registers the HTTP metric families on reg.
+func NewHTTPMetrics(reg *Registry) *HTTPMetrics {
+	return &HTTPMetrics{
+		requests: reg.Counter("pdcu_http_requests_total",
+			"HTTP requests served, by route prefix and status code.", "path", "code"),
+		duration: reg.Histogram("pdcu_http_request_duration_seconds",
+			"HTTP request latency, by route prefix.", DefBuckets(), "path"),
+		inflight: reg.Gauge("pdcu_http_in_flight_requests",
+			"Requests currently being served."),
+		bytes: reg.Counter("pdcu_http_response_bytes_total",
+			"Response body bytes written, by route prefix.", "path"),
+		log: Logger,
+	}
+}
+
+var (
+	defaultHTTPOnce sync.Once
+	defaultHTTP     *HTTPMetrics
+)
+
+// Middleware wraps next with the default-registry HTTP instrumentation.
+func Middleware(next http.Handler) http.Handler {
+	defaultHTTPOnce.Do(func() { defaultHTTP = NewHTTPMetrics(Default()) })
+	return defaultHTTP.Wrap(next)
+}
+
+// Wrap returns next instrumented with m's metrics and access logging.
+func (m *HTTPMetrics) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		m.inflight.With().Inc()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		m.inflight.With().Dec()
+		d := time.Since(start)
+		route := RouteLabel(r.URL.Path)
+		m.requests.With(route, strconv3(rec.code)).Inc()
+		m.duration.With(route).Observe(d.Seconds())
+		m.bytes.With(route).Add(float64(rec.bytes))
+		m.log().Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"code", rec.code,
+			"bytes", rec.bytes,
+			"duration", d,
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// RouteLabel collapses a request path to its first segment ("/",
+// "/activities", "/views", ...) so per-activity pages do not explode
+// label cardinality on the requests metric.
+func RouteLabel(p string) string {
+	p = strings.TrimPrefix(p, "/")
+	if p == "" {
+		return "/"
+	}
+	if i := strings.IndexByte(p, '/'); i >= 0 {
+		p = p[:i]
+	}
+	return "/" + p
+}
+
+// strconv3 formats the common three-digit HTTP codes without an
+// allocation-heavy fmt call.
+func strconv3(code int) string {
+	if code >= 100 && code < 1000 {
+		return string([]byte{byte('0' + code/100), byte('0' + code/10%10), byte('0' + code%10)})
+	}
+	return "unknown"
+}
+
+// statusRecorder captures the status code and body size a handler wrote.
+type statusRecorder struct {
+	http.ResponseWriter
+	code  int
+	bytes int
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	s.code = code
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Write(p []byte) (int, error) {
+	n, err := s.ResponseWriter.Write(p)
+	s.bytes += n
+	return n, err
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (s *statusRecorder) Unwrap() http.ResponseWriter { return s.ResponseWriter }

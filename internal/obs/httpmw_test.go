@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("<html>home</html>"))
+	})
+	mux.HandleFunc("/activities/", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("<html>activity</html>"))
+	})
+	mux.HandleFunc("/boom", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusInternalServerError)
+	})
+	return mux
+}
+
+func TestMiddlewareRecordsRequests(t *testing.T) {
+	reg := NewRegistry()
+	h := NewHTTPMetrics(reg).Wrap(testHandler())
+
+	for _, path := range []string{"/", "/activities/a/", "/activities/b/", "/boom"} {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest("GET", path, nil))
+	}
+
+	reqs := reg.Snapshot("pdcu_http_requests_total")
+	got := map[string]float64{}
+	for _, s := range reqs {
+		got[s.Labels["path"]+" "+s.Labels["code"]] = s.Value
+	}
+	want := map[string]float64{"/ 200": 1, "/activities 200": 2, "/boom 500": 1}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("requests_total[%s] = %v, want %v (all: %v)", k, got[k], v, got)
+		}
+	}
+
+	durs := reg.Snapshot("pdcu_http_request_duration_seconds")
+	var actCount uint64
+	for _, s := range durs {
+		if s.Labels["path"] == "/activities" {
+			actCount = s.Count
+		}
+	}
+	if actCount != 2 {
+		t.Errorf("latency histogram count for /activities = %d, want 2", actCount)
+	}
+
+	if infl := reg.Snapshot("pdcu_http_in_flight_requests"); len(infl) != 1 || infl[0].Value != 0 {
+		t.Errorf("in-flight = %+v, want single series at 0", infl)
+	}
+	var homeBytes float64
+	for _, s := range reg.Snapshot("pdcu_http_response_bytes_total") {
+		if s.Labels["path"] == "/" {
+			homeBytes = s.Value
+		}
+	}
+	if homeBytes != float64(len("<html>home</html>")) {
+		t.Errorf("response bytes for / = %v", homeBytes)
+	}
+}
+
+// TestMetricsEndpoint drives the middleware and then scrapes the
+// registry handler the way `pdcu serve` mounts it at /metrics.
+func TestMetricsEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	site := NewHTTPMetrics(reg).Wrap(testHandler())
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/", site)
+
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(srv.URL + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content-type = %q", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(data)
+	for _, want := range []string{
+		`pdcu_http_requests_total{path="/",code="200"} 3`,
+		"# TYPE pdcu_http_request_duration_seconds histogram",
+		`pdcu_http_request_duration_seconds_bucket{path="/",le="+Inf"} 3`,
+		`pdcu_http_request_duration_seconds_count{path="/"} 3`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestRouteLabel(t *testing.T) {
+	cases := map[string]string{
+		"/":                        "/",
+		"":                         "/",
+		"/index.html":              "/index.html",
+		"/activities/x/":           "/activities",
+		"/views/cs2013/":           "/views",
+		"/api/activities.json":     "/api",
+		"/style.css":               "/style.css",
+		"/activities/deep/nested/": "/activities",
+	}
+	for in, want := range cases {
+		if got := RouteLabel(in); got != want {
+			t.Errorf("RouteLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStatusCodeFormatting(t *testing.T) {
+	if got := strconv3(200); got != "200" {
+		t.Errorf("strconv3(200) = %q", got)
+	}
+	if got := strconv3(404); got != "404" {
+		t.Errorf("strconv3(404) = %q", got)
+	}
+	if got := strconv3(7); got != "unknown" {
+		t.Errorf("strconv3(7) = %q", got)
+	}
+}

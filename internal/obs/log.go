@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+	"os"
+	"sync/atomic"
+)
+
+// level is shared by every logger built with NewLogger, so SetLevel
+// takes effect even after the logger has been swapped.
+var level slog.LevelVar
+
+var current atomic.Pointer[slog.Logger]
+
+func init() {
+	level.Set(slog.LevelInfo)
+	current.Store(NewLogger(os.Stderr))
+}
+
+// NewLogger builds a text-handler slog.Logger writing to w that honours
+// the package log level (see SetLevel).
+func NewLogger(w io.Writer) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: &level}))
+}
+
+// Logger returns the package logger. The default logs to stderr at Info;
+// span completions log at Debug, so they are silent unless SetLevel
+// lowers the threshold (e.g. `pdcu build -verbose`).
+func Logger() *slog.Logger { return current.Load() }
+
+// SetLogger swaps the package logger; safe for concurrent use. Passing
+// nil restores the stderr default.
+func SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = NewLogger(os.Stderr)
+	}
+	current.Store(l)
+}
+
+// SetLevel adjusts the threshold of every logger built with NewLogger,
+// including the default.
+func SetLevel(l slog.Level) { level.Set(l) }

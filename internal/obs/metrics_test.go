@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterParallel hammers one child and several labeled children
+// from many goroutines; run with -race to exercise the lock-free paths.
+func TestCounterParallel(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_ops_total", "ops", "kind")
+	const goroutines, perG = 32, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			kind := "even"
+			if i%2 == 1 {
+				kind = "odd"
+			}
+			for j := 0; j < perG; j++ {
+				c.With(kind).Inc()
+				c.With("all").Add(2)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := c.With("even").Value(); got != goroutines/2*perG {
+		t.Errorf("even = %v, want %v", got, goroutines/2*perG)
+	}
+	if got := c.With("odd").Value(); got != goroutines/2*perG {
+		t.Errorf("odd = %v, want %v", got, goroutines/2*perG)
+	}
+	if got := c.With("all").Value(); got != 2*goroutines*perG {
+		t.Errorf("all = %v, want %v", got, 2*goroutines*perG)
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	c := NewRegistry().Counter("test_total", "t")
+	c.Add(5)
+	c.Add(-3)
+	if got := c.With().Value(); got != 5 {
+		t.Errorf("counter = %v, want 5 (negative add must be ignored)", got)
+	}
+}
+
+func TestGaugeParallel(t *testing.T) {
+	g := NewRegistry().Gauge("test_inflight", "g")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				g.With().Inc()
+				g.With().Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.With().Value(); got != 0 {
+		t.Errorf("gauge = %v, want 0 after balanced inc/dec", got)
+	}
+	g.Set(42)
+	if got := g.With().Value(); got != 42 {
+		t.Errorf("gauge = %v, want 42", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the inclusive-upper-bound (`le`)
+// semantics: an observation equal to a bound lands in that bound's
+// bucket, one just above lands in the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewRegistry().Histogram("test_seconds", "h", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.0001, 2, 5, 7} {
+		h.Observe(v)
+	}
+	child := h.With()
+	got := child.BucketCounts()
+	want := []uint64{2, 2, 1, 1} // le=1: {0.5, 1}; le=2: {1.0001, 2}; le=5: {5}; +Inf: {7}
+	if len(got) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if child.Count() != 6 {
+		t.Errorf("count = %d, want 6", child.Count())
+	}
+	if sum := child.Sum(); sum != 0.5+1+1.0001+2+5+7 {
+		t.Errorf("sum = %v", sum)
+	}
+}
+
+func TestHistogramParallel(t *testing.T) {
+	h := NewRegistry().Histogram("test_par_seconds", "h", []float64{0.5})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.25)
+				h.Observe(0.75)
+			}
+		}()
+	}
+	wg.Wait()
+	child := h.With()
+	if got := child.Count(); got != 32000 {
+		t.Errorf("count = %d, want 32000", got)
+	}
+	bc := child.BucketCounts()
+	if bc[0] != 16000 || bc[1] != 16000 {
+		t.Errorf("buckets = %v, want [16000 16000]", bc)
+	}
+}
+
+// TestExpositionGolden locks down the full text format: HELP/TYPE
+// headers, label rendering, cumulative histogram buckets, +Inf, _sum
+// and _count, and family name ordering.
+func TestExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("app_requests_total", "Requests served.", "path", "code")
+	c.With("/", "200").Add(3)
+	c.With("/api", "404").Inc()
+	g := reg.Gauge("app_temperature", "Current temperature.")
+	g.Set(36.6)
+	h := reg.Histogram("app_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_latency_seconds Latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.1"} 1
+app_latency_seconds_bucket{le="1"} 2
+app_latency_seconds_bucket{le="+Inf"} 3
+app_latency_seconds_sum 2.55
+app_latency_seconds_count 3
+# HELP app_requests_total Requests served.
+# TYPE app_requests_total counter
+app_requests_total{path="/",code="200"} 3
+app_requests_total{path="/api",code="404"} 1
+# HELP app_temperature Current temperature.
+# TYPE app_temperature gauge
+app_temperature 36.6
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestExpositionLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("esc_total", "e", "v").With(`a"b\c` + "\nd").Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc_total{v="a\"b\\c\nd"} 1`) {
+		t.Errorf("escaping wrong:\n%s", b.String())
+	}
+}
+
+func TestReregistrationIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("idem_total", "x", "l").With("a").Inc()
+	reg.Counter("idem_total", "x", "l").With("a").Inc()
+	if got := reg.Counter("idem_total", "x", "l").With("a").Value(); got != 2 {
+		t.Errorf("re-registered counter = %v, want 2 (must share state)", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("clash_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge should panic")
+		}
+	}()
+	reg.Gauge("clash_total", "x")
+}
+
+func TestLabelArityPanics(t *testing.T) {
+	c := NewRegistry().Counter("arity_total", "x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong label arity should panic")
+		}
+	}()
+	c.With("only-one")
+}
+
+func TestSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("snap_seconds", "s", []float64{1}, "phase")
+	h.With("build").Observe(0.5)
+	h.With("build").Observe(0.25)
+	h.With("write").Observe(3)
+	snaps := reg.Snapshot("snap_seconds")
+	if len(snaps) != 2 {
+		t.Fatalf("snapshots = %d, want 2", len(snaps))
+	}
+	if snaps[0].Labels["phase"] != "build" || snaps[0].Count != 2 || snaps[0].Sum != 0.75 {
+		t.Errorf("build snapshot = %+v", snaps[0])
+	}
+	if snaps[1].Labels["phase"] != "write" || snaps[1].Counts[1] != 1 {
+		t.Errorf("write snapshot = %+v", snaps[1])
+	}
+	if reg.Snapshot("missing") != nil {
+		t.Error("unknown family should snapshot to nil")
+	}
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// phaseSeconds is the shared duration histogram every span and
+// ObservePhase call feeds; `pdcu build -verbose` and /metrics both read
+// from it.
+func phaseSeconds() *Histogram {
+	return Default().Histogram("pdcu_phase_seconds",
+		"Duration of instrumented pipeline phases.", DefBuckets(), "phase")
+}
+
+// Span is an in-flight timed region. Create with StartSpan; End records
+// the duration and emits a Debug log line.
+type Span struct {
+	name  string
+	start time.Time
+	done  bool
+}
+
+// StartSpan begins timing a named pipeline phase (e.g. "site.build",
+// "repo.parse"). Spans record into the default registry's
+// pdcu_phase_seconds histogram under the phase label.
+func StartSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// End stops the span, records its duration, logs it at Debug, and
+// returns the duration. Repeated calls are no-ops returning zero.
+func (s *Span) End() time.Duration {
+	if s == nil || s.done {
+		return 0
+	}
+	s.done = true
+	d := time.Since(s.start)
+	phaseSeconds().With(s.name).Observe(d.Seconds())
+	Logger().Debug("phase complete", "phase", s.name, "duration", d)
+	return d
+}
+
+// ObservePhase records a pre-measured duration under a phase name
+// without logging — for hot paths (per-fragment markdown rendering)
+// where a Debug line per call would drown the log.
+func ObservePhase(name string, d time.Duration) {
+	phaseSeconds().With(name).Observe(d.Seconds())
+}
+
+// Time runs fn inside a span, ending it even when fn returns an error.
+func Time(name string, fn func() error) error {
+	sp := StartSpan(name)
+	defer sp.End()
+	return fn()
+}
+
+// PhaseTiming summarizes one phase's recorded spans.
+type PhaseTiming struct {
+	Phase string
+	Count uint64
+	Total time.Duration
+}
+
+// Mean returns the average span duration, or zero when no spans ran.
+func (p PhaseTiming) Mean() time.Duration {
+	if p.Count == 0 {
+		return 0
+	}
+	return p.Total / time.Duration(p.Count)
+}
+
+// PhaseTimings reports every phase recorded in the default registry,
+// sorted by total time descending; `pdcu build -verbose` prints this.
+func PhaseTimings() []PhaseTiming {
+	snaps := Default().Snapshot("pdcu_phase_seconds")
+	out := make([]PhaseTiming, 0, len(snaps))
+	for _, s := range snaps {
+		out = append(out, PhaseTiming{
+			Phase: s.Labels["phase"],
+			Count: s.Count,
+			Total: time.Duration(s.Sum * float64(time.Second)),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Phase < out[j].Phase
+	})
+	return out
+}

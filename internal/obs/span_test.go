@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanRecordsAndLogs(t *testing.T) {
+	var buf bytes.Buffer
+	old := Logger()
+	SetLogger(NewLogger(&buf))
+	SetLevel(slog.LevelDebug)
+	defer func() {
+		SetLogger(old)
+		SetLevel(slog.LevelInfo)
+	}()
+
+	sp := StartSpan("test.span.records")
+	time.Sleep(time.Millisecond)
+	d := sp.End()
+	if d <= 0 {
+		t.Fatalf("span duration = %v, want > 0", d)
+	}
+	if again := sp.End(); again != 0 {
+		t.Errorf("second End = %v, want 0", again)
+	}
+	if !strings.Contains(buf.String(), "phase=test.span.records") {
+		t.Errorf("debug log missing span: %q", buf.String())
+	}
+
+	var found bool
+	for _, pt := range PhaseTimings() {
+		if pt.Phase == "test.span.records" {
+			found = true
+			if pt.Count != 1 || pt.Total <= 0 {
+				t.Errorf("timing = %+v", pt)
+			}
+			if pt.Mean() != pt.Total {
+				t.Errorf("mean = %v, want %v for a single span", pt.Mean(), pt.Total)
+			}
+		}
+	}
+	if !found {
+		t.Error("span not present in PhaseTimings")
+	}
+}
+
+func TestObservePhaseSilent(t *testing.T) {
+	var buf bytes.Buffer
+	old := Logger()
+	SetLogger(NewLogger(&buf))
+	SetLevel(slog.LevelDebug)
+	defer func() {
+		SetLogger(old)
+		SetLevel(slog.LevelInfo)
+	}()
+
+	ObservePhase("test.phase.silent", 5*time.Millisecond)
+	ObservePhase("test.phase.silent", 5*time.Millisecond)
+	if strings.Contains(buf.String(), "test.phase.silent") {
+		t.Error("ObservePhase must not log")
+	}
+	for _, pt := range PhaseTimings() {
+		if pt.Phase == "test.phase.silent" {
+			if pt.Count != 2 {
+				t.Errorf("count = %d, want 2", pt.Count)
+			}
+			if got := pt.Total.Round(time.Millisecond); got != 10*time.Millisecond {
+				t.Errorf("total = %v, want ~10ms", got)
+			}
+			return
+		}
+	}
+	t.Error("phase not recorded")
+}
+
+func TestTimeHelper(t *testing.T) {
+	err := Time("test.time.helper", func() error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range PhaseTimings() {
+		if pt.Phase == "test.time.helper" {
+			return
+		}
+	}
+	t.Error("Time did not record a span")
+}
+
+func TestNilSpanEnd(t *testing.T) {
+	var sp *Span
+	if d := sp.End(); d != 0 {
+		t.Errorf("nil span End = %v, want 0", d)
+	}
+}

@@ -4,6 +4,23 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
+
+	"pdcunplugged/internal/obs"
+)
+
+// Engine-level counters: every Run is counted per activity, invariant
+// violations are tracked separately, and run wall time feeds a
+// histogram so sweeps and the serve path expose dramatization cost.
+var (
+	runsTotal = obs.Default().Counter("pdcu_sim_runs_total",
+		"Simulation runs executed, by activity.", "activity")
+	runErrors = obs.Default().Counter("pdcu_sim_errors_total",
+		"Simulation runs that failed to execute, by activity.", "activity")
+	violations = obs.Default().Counter("pdcu_sim_violations_total",
+		"Simulation runs whose invariant was violated, by activity.", "activity")
+	runSeconds = obs.Default().Histogram("pdcu_sim_run_seconds",
+		"Simulation run wall time, by activity.", nil, "activity")
 )
 
 // Config parameterizes one simulation run.
@@ -123,11 +140,23 @@ func Names() []string {
 	return out
 }
 
-// Run looks up and runs an activity in one call.
+// Run looks up and runs an activity in one call, recording engine
+// counters (runs, errors, invariant violations) and run duration.
 func Run(name string, cfg Config) (*Report, error) {
 	a, ok := Get(name)
 	if !ok {
 		return nil, fmt.Errorf("sim: unknown activity %q (have %v)", name, Names())
 	}
-	return a.Run(cfg)
+	runsTotal.With(name).Inc()
+	start := time.Now()
+	rep, err := a.Run(cfg)
+	runSeconds.With(name).Observe(time.Since(start).Seconds())
+	if err != nil {
+		runErrors.With(name).Inc()
+		return rep, err
+	}
+	if !rep.OK {
+		violations.With(name).Inc()
+	}
+	return rep, nil
 }

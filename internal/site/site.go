@@ -12,6 +12,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 
 	"pdcunplugged/internal/activity"
@@ -19,6 +20,7 @@ import (
 	"pdcunplugged/internal/coverage"
 	"pdcunplugged/internal/curation"
 	"pdcunplugged/internal/markdown"
+	"pdcunplugged/internal/obs"
 	"pdcunplugged/internal/taxonomy"
 )
 
@@ -29,33 +31,44 @@ type Site struct {
 	repo  *core.Repository
 }
 
-// Build renders every page of the site.
+// Build renders every page of the site. Each build stage runs inside an
+// obs span, so `pdcu build -verbose` can print a phase-timing breakdown
+// and /metrics exposes build durations.
 func Build(repo *core.Repository) (*Site, error) {
+	total := obs.StartSpan("site.build")
+	defer total.End()
 	s := &Site{Pages: map[string][]byte{}, repo: repo}
-	if err := s.buildIndex(); err != nil {
+	if err := obs.Time("site.index", s.buildIndex); err != nil {
 		return nil, err
 	}
-	for _, a := range repo.All() {
-		if err := s.buildActivity(a); err != nil {
-			return nil, err
+	err := obs.Time("site.activities", func() error {
+		for _, a := range repo.All() {
+			if err := s.buildActivity(a); err != nil {
+				return err
+			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	if err := s.buildTermPages(); err != nil {
+	if err := obs.Time("site.terms", s.buildTermPages); err != nil {
 		return nil, err
 	}
 	if err := s.buildViews(); err != nil {
 		return nil, err
 	}
-	if err := s.buildAPI(); err != nil {
+	if err := obs.Time("site.api", s.buildAPI); err != nil {
 		return nil, err
 	}
-	if err := s.buildSimsPage(); err != nil {
+	if err := obs.Time("site.sims", s.buildSimsPage); err != nil {
 		return nil, err
 	}
-	if err := s.buildAssessmentPages(); err != nil {
+	if err := obs.Time("site.assess", s.buildAssessmentPages); err != nil {
 		return nil, err
 	}
 	s.Pages["style.css"] = []byte(styleCSS)
+	obs.Logger().Debug("site built", "pages", len(s.Pages), "activities", repo.Len())
 	return s, nil
 }
 
@@ -74,6 +87,7 @@ func (s *Site) Paths() []string {
 
 // WriteTo writes the site under dir, creating directories as needed.
 func (s *Site) WriteTo(dir string) error {
+	defer obs.StartSpan("site.write").End()
 	for p, data := range s.Pages {
 		full := filepath.Join(dir, filepath.FromSlash(p))
 		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
@@ -86,9 +100,16 @@ func (s *Site) WriteTo(dir string) error {
 	return nil
 }
 
-// Handler serves the built site over HTTP for local preview.
+// Handler serves the built site over HTTP for local preview. Only GET
+// and HEAD are accepted (the site is static); HEAD responses carry the
+// same headers, including Content-Length, without a body.
 func (s *Site) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
 		p := strings.TrimPrefix(r.URL.Path, "/")
 		if p == "" {
 			p = "index.html"
@@ -114,7 +135,13 @@ func (s *Site) Handler() http.Handler {
 		default:
 			w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		}
-		w.Write(data)
+		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+		if r.Method == http.MethodHead {
+			return
+		}
+		if _, err := w.Write(data); err != nil {
+			obs.Logger().Warn("response write failed", "path", r.URL.Path, "err", err)
+		}
 	})
 }
 
@@ -279,16 +306,16 @@ func (s *Site) buildTermPages() error {
 }
 
 func (s *Site) buildViews() error {
-	if err := s.buildCS2013View(); err != nil {
+	if err := obs.Time("site.view.cs2013", s.buildCS2013View); err != nil {
 		return err
 	}
-	if err := s.buildTCPPView(); err != nil {
+	if err := obs.Time("site.view.tcpp", s.buildTCPPView); err != nil {
 		return err
 	}
-	if err := s.buildCoursesView(); err != nil {
+	if err := obs.Time("site.view.courses", s.buildCoursesView); err != nil {
 		return err
 	}
-	return s.buildAccessibilityView()
+	return obs.Time("site.view.accessibility", s.buildAccessibilityView)
 }
 
 func (s *Site) buildCS2013View() error {

@@ -1,10 +1,12 @@
 package site
 
 import (
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -282,6 +284,61 @@ func TestHandler(t *testing.T) {
 	defer resp.Body.Close()
 	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/css") {
 		t.Errorf("css content type = %q", ct)
+	}
+}
+
+func TestHandlerMethods(t *testing.T) {
+	s := builtSite(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// HEAD carries the same headers as GET, including Content-Length,
+	// with no body.
+	resp, err := http.Head(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("HEAD / = %d, want 200", resp.StatusCode)
+	}
+	if len(body) != 0 {
+		t.Errorf("HEAD / returned %d body bytes, want 0", len(body))
+	}
+	wantLen := len(s.Pages["index.html"])
+	if got := resp.Header.Get("Content-Length"); got != strconv.Itoa(wantLen) {
+		t.Errorf("HEAD Content-Length = %q, want %d", got, wantLen)
+	}
+
+	// GET advertises Content-Length matching the page bytes.
+	resp, err = http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.ContentLength != int64(wantLen) || len(body) != wantLen {
+		t.Errorf("GET / length = %d (body %d), want %d", resp.ContentLength, len(body), wantLen)
+	}
+
+	// Non-GET/HEAD methods are rejected with 405 and an Allow header.
+	for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete} {
+		req, err := http.NewRequest(method, srv.URL+"/", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s / = %d, want 405", method, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); allow != "GET, HEAD" {
+			t.Errorf("%s Allow = %q, want \"GET, HEAD\"", method, allow)
+		}
 	}
 }
 
