@@ -447,6 +447,77 @@ func BenchmarkSiteBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkSiteBuildParallel measures the page-graph pipeline at fixed
+// pool sizes. Every iteration uses a fresh builder, so the page cache
+// never helps: this isolates the worker-pool speedup.
+func BenchmarkSiteBuildParallel(b *testing.B) {
+	repo := mustRepo(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := pdcunplugged.BuildSiteParallel(repo, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSiteRebuild contrasts a cold build with the two incremental
+// paths of a long-lived builder: a no-op rebuild (every job a cache hit)
+// and a rebuild after touching one activity (10 of 85 jobs re-render).
+func BenchmarkSiteRebuild(b *testing.B) {
+	files := curation.Files()
+	touched := curation.Files()
+	touched["findsmallestcard"] += "\n- Rebuild benchmark citation.\n"
+	repoFrom := func(fs map[string]string) *pdcunplugged.Repository {
+		repo, err := pdcunplugged.Load(fs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return repo
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pdcunplugged.NewSiteBuilder(pdcunplugged.SiteBuildOptions{}).Build(repoFrom(files)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm-unchanged", func(b *testing.B) {
+		builder := pdcunplugged.NewSiteBuilder(pdcunplugged.SiteBuildOptions{})
+		if _, err := builder.Build(repoFrom(files)); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := builder.Build(repoFrom(files)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm-touch-one", func(b *testing.B) {
+		builder := pdcunplugged.NewSiteBuilder(pdcunplugged.SiteBuildOptions{})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Alternate between the two corpora so every iteration sees
+			// exactly one changed activity relative to the cached build.
+			src := files
+			if i%2 == 0 {
+				src = touched
+			}
+			if _, err := builder.Build(repoFrom(src)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkCorpusLoad measures the full Markdown pipeline: render all 38
 // activities and parse them back into an indexed repository.
 func BenchmarkCorpusLoad(b *testing.B) {

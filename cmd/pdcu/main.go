@@ -15,8 +15,8 @@
 //	pdcu new <title>
 //	pdcu validate <dir>
 //	pdcu export -out DIR
-//	pdcu build -out DIR [-verbose]
-//	pdcu serve -addr :8080 [-pprof] [-verbose]
+//	pdcu build -out DIR [-j N] [-verbose]
+//	pdcu serve -addr :8080 [-src DIR -watch [-poll D]] [-pprof] [-verbose]
 //	pdcu sim list
 //	pdcu sim run <name> [-n N] [-workers W] [-seed S] [-trace] [-param k=v ...]
 package main
@@ -35,6 +35,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -44,6 +45,7 @@ import (
 	"pdcunplugged/internal/obs"
 	"pdcunplugged/internal/report"
 	"pdcunplugged/internal/sim"
+	"pdcunplugged/internal/watch"
 )
 
 func main() {
@@ -624,6 +626,7 @@ func cmdBuild(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("build", flag.ContinueOnError)
 	out := fs.String("out", "public", "output directory")
 	src := fs.String("src", "", "optional directory of activity .md files (defaults to the embedded corpus)")
+	jobs := fs.Int("j", 0, "render workers (0 = one per CPU)")
 	verbose := fs.Bool("verbose", false, "print per-phase span timings and debug logs")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -635,14 +638,17 @@ func cmdBuild(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	s, err := pdcunplugged.BuildSite(repo)
+	b := pdcunplugged.NewSiteBuilder(pdcunplugged.SiteBuildOptions{Workers: *jobs})
+	s, err := b.Build(repo)
 	if err != nil {
 		return err
 	}
 	if err := s.WriteTo(*out); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "built %d pages from %d activities into %s\n", s.Len(), repo.Len(), *out)
+	st := b.LastStats()
+	fmt.Fprintf(w, "built %d pages from %d activities into %s (%d jobs, %d workers)\n",
+		s.Len(), repo.Len(), *out, st.Jobs, st.Workers)
 	if *verbose {
 		printPhaseTimings(w)
 	}
@@ -672,10 +678,42 @@ func repoFrom(src string) (*pdcunplugged.Repository, error) {
 	return pdcunplugged.LoadFS(os.DirFS(src), ".")
 }
 
+// liveSite bundles the currently-served site with the repository it was
+// built from. `serve -watch` publishes a whole new liveSite through an
+// atomic pointer on every successful rebuild, so in-flight requests keep
+// a consistent view and the swap needs no locking.
+type liveSite struct {
+	site    *pdcunplugged.Site
+	repo    *pdcunplugged.Repository
+	handler http.Handler
+}
+
+func newLiveSite(s *pdcunplugged.Site, repo *pdcunplugged.Repository) *liveSite {
+	return &liveSite{site: s, repo: repo, handler: s.Handler()}
+}
+
+// reloadSite reloads the corpus from src, rebuilds through b (so
+// unchanged pages come from the builder's cache), and publishes the
+// result. On any error the previously-published site stays live.
+func reloadSite(b *pdcunplugged.SiteBuilder, src string, cur *atomic.Pointer[liveSite]) error {
+	repo, err := pdcunplugged.LoadFS(os.DirFS(src), ".")
+	if err != nil {
+		return err
+	}
+	s, err := b.Build(repo)
+	if err != nil {
+		return err
+	}
+	cur.Store(newLiveSite(s, repo))
+	return nil
+}
+
 func cmdServe(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	src := fs.String("src", "", "optional directory of activity .md files")
+	watchSrc := fs.Bool("watch", false, "poll -src for changes and rebuild incrementally (requires -src)")
+	poll := fs.Duration("poll", 500*time.Millisecond, "poll interval for -watch")
 	withPprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	verbose := fs.Bool("verbose", false, "debug logging (includes span completions)")
 	if err := fs.Parse(args); err != nil {
@@ -684,17 +722,23 @@ func cmdServe(args []string, w io.Writer) error {
 	if *verbose {
 		obs.SetLevel(slog.LevelDebug)
 	}
+	if *watchSrc && *src == "" {
+		return fmt.Errorf("serve: -watch requires -src (the embedded corpus cannot change)")
+	}
 	repo, err := repoFrom(*src)
 	if err != nil {
 		return err
 	}
-	s, err := pdcunplugged.BuildSite(repo)
+	builder := pdcunplugged.NewSiteBuilder(pdcunplugged.SiteBuildOptions{})
+	s, err := builder.Build(repo)
 	if err != nil {
 		return err
 	}
+	cur := &atomic.Pointer[liveSite]{}
+	cur.Store(newLiveSite(s, repo))
 
 	log := obs.Logger()
-	mux := serveMux(s, repo, *withPprof)
+	mux := serveMux(cur, *withPprof)
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -709,12 +753,36 @@ func cmdServe(args []string, w io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *watchSrc {
+		go func() {
+			err := watch.Watch(ctx, *src, *poll, func() {
+				if err := reloadSite(builder, *src, cur); err != nil {
+					log.Warn("rebuild failed; keeping previous site", "err", err)
+					return
+				}
+				st := builder.LastStats()
+				log.Info("site rebuilt",
+					"pages", cur.Load().site.Len(),
+					"jobs", st.Jobs, "cache_hits", st.CacheHits,
+					"cache_misses", st.CacheMisses,
+					"duration", st.Duration.Round(time.Millisecond).String())
+			})
+			if err != nil && ctx.Err() == nil {
+				log.Warn("watcher stopped", "err", err)
+			}
+		}()
+	}
+
 	fmt.Fprintf(w, "serving %d pages on %s (metrics: /metrics, health: /healthz", s.Len(), *addr)
 	if *withPprof {
 		fmt.Fprint(w, ", pprof: /debug/pprof/")
 	}
+	if *watchSrc {
+		fmt.Fprintf(w, ", watching %s every %s", *src, *poll)
+	}
 	fmt.Fprintln(w, ")")
-	log.Info("server starting", "addr", *addr, "pages", s.Len(), "pprof", *withPprof)
+	log.Info("server starting", "addr", *addr, "pages", s.Len(),
+		"pprof", *withPprof, "watch", *watchSrc)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
@@ -740,15 +808,18 @@ func cmdServe(args []string, w io.Writer) error {
 // serveMux assembles the serve handler tree: the instrumented site at /,
 // plus the operational endpoints (/metrics, /healthz, and optionally
 // /debug/pprof/) outside the request-metrics middleware so scrapes do
-// not count as site traffic.
-func serveMux(s *pdcunplugged.Site, repo *pdcunplugged.Repository, withPprof bool) *http.ServeMux {
+// not count as site traffic. The site and health endpoints dispatch
+// through the atomic pointer on every request, so a `-watch` rebuild
+// takes effect without touching the mux.
+func serveMux(cur *atomic.Pointer[liveSite], withPprof bool) *http.ServeMux {
 	start := time.Now()
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.Default().Handler())
 	mux.HandleFunc("/healthz", func(hw http.ResponseWriter, r *http.Request) {
+		ls := cur.Load()
 		hw.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(hw, `{"status":"ok","pages":%d,"activities":%d,"uptime_seconds":%.0f}`+"\n",
-			s.Len(), repo.Len(), time.Since(start).Seconds())
+			ls.site.Len(), ls.repo.Len(), time.Since(start).Seconds())
 	})
 	if withPprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -757,7 +828,9 @@ func serveMux(s *pdcunplugged.Site, repo *pdcunplugged.Repository, withPprof boo
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	mux.Handle("/", obs.Middleware(s.Handler()))
+	mux.Handle("/", obs.Middleware(http.HandlerFunc(func(hw http.ResponseWriter, r *http.Request) {
+		cur.Load().handler.ServeHTTP(hw, r)
+	})))
 	return mux
 }
 

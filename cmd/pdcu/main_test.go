@@ -192,6 +192,14 @@ func TestBuildFromSrcDir(t *testing.T) {
 	if !strings.Contains(out, "from 1 activities") {
 		t.Errorf("build -src: %q", out)
 	}
+	// An explicit pool size flows through to the build stats.
+	out, err = capture(t, "build", "-src", dir, "-out", siteDir, "-j", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "2 workers") {
+		t.Errorf("build -j 2: %q", out)
+	}
 }
 
 func TestSimCommands(t *testing.T) {

@@ -5,13 +5,16 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"pdcunplugged"
 )
 
-func serveTestMux(t *testing.T, withPprof bool) *http.ServeMux {
+func serveTestMux(t *testing.T, withPprof bool) (*http.ServeMux, *atomic.Pointer[liveSite]) {
 	t.Helper()
 	repo, err := pdcunplugged.Open()
 	if err != nil {
@@ -21,11 +24,21 @@ func serveTestMux(t *testing.T, withPprof bool) *http.ServeMux {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return serveMux(s, repo, withPprof)
+	cur := &atomic.Pointer[liveSite]{}
+	cur.Store(newLiveSite(s, repo))
+	return serveMux(cur, withPprof), cur
+}
+
+func serveTestServer(t *testing.T, withPprof bool) *httptest.Server {
+	t.Helper()
+	mux, _ := serveTestMux(t, withPprof)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
 }
 
 func TestServeHealthz(t *testing.T) {
-	srv := httptest.NewServer(serveTestMux(t, false))
+	srv := func() *httptest.Server { mux, _ := serveTestMux(t, false); return httptest.NewServer(mux) }()
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/healthz")
@@ -53,7 +66,7 @@ func TestServeHealthz(t *testing.T) {
 }
 
 func TestServeMetricsEndpoint(t *testing.T) {
-	srv := httptest.NewServer(serveTestMux(t, false))
+	srv := func() *httptest.Server { mux, _ := serveTestMux(t, false); return httptest.NewServer(mux) }()
 	defer srv.Close()
 
 	// Generate site traffic, then scrape.
@@ -88,7 +101,7 @@ func TestServeMetricsEndpoint(t *testing.T) {
 }
 
 func TestServePprofGating(t *testing.T) {
-	withoutPprof := httptest.NewServer(serveTestMux(t, false))
+	withoutPprof := func() *httptest.Server { mux, _ := serveTestMux(t, false); return httptest.NewServer(mux) }()
 	defer withoutPprof.Close()
 	resp, err := http.Get(withoutPprof.URL + "/debug/pprof/")
 	if err != nil {
@@ -99,7 +112,7 @@ func TestServePprofGating(t *testing.T) {
 		t.Errorf("pprof without -pprof = %d, want 404", resp.StatusCode)
 	}
 
-	withPprof := httptest.NewServer(serveTestMux(t, true))
+	withPprof := func() *httptest.Server { mux, _ := serveTestMux(t, true); return httptest.NewServer(mux) }()
 	defer withPprof.Close()
 	resp, err = http.Get(withPprof.URL + "/debug/pprof/")
 	if err != nil {
@@ -108,5 +121,113 @@ func TestServePprofGating(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("pprof with -pprof = %d, want 200", resp.StatusCode)
+	}
+}
+
+// writeCorpus materializes the embedded corpus as .md files under a
+// fresh temp dir — a stand-in for a contributor's content checkout.
+func writeCorpus(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for slug, content := range pdcunplugged.CorpusFiles() {
+		if err := os.WriteFile(filepath.Join(dir, slug+".md"), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestServeLiveSwap(t *testing.T) {
+	mux, cur := serveTestMux(t, false)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) int {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	const page = "/activities/findsmallestcard/"
+	if code := get(page); code != http.StatusOK {
+		t.Fatalf("%s before swap = %d, want 200", page, code)
+	}
+
+	// Rebuild a smaller site (one activity removed) and publish it
+	// through the pointer, as the -watch loop would.
+	files := pdcunplugged.CorpusFiles()
+	delete(files, "findsmallestcard")
+	repo, err := pdcunplugged.Load(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := pdcunplugged.BuildSite(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur.Store(newLiveSite(s, repo))
+
+	if code := get(page); code != http.StatusNotFound {
+		t.Errorf("%s after swap = %d, want 404", page, code)
+	}
+	if code := get("/"); code != http.StatusOK {
+		t.Errorf("/ after swap = %d, want 200", code)
+	}
+}
+
+func TestReloadSite(t *testing.T) {
+	dir := writeCorpus(t)
+	b := pdcunplugged.NewSiteBuilder(pdcunplugged.SiteBuildOptions{})
+	cur := &atomic.Pointer[liveSite]{}
+
+	if err := reloadSite(b, dir, cur); err != nil {
+		t.Fatalf("initial reload: %v", err)
+	}
+	first := cur.Load()
+	if first == nil || first.site.Len() == 0 {
+		t.Fatal("reload did not publish a site")
+	}
+
+	// A corpus edit flows through: retag an existing activity and the
+	// rebuilt site drops its page.
+	victim := filepath.Join(dir, "findsmallestcard.md")
+	if err := os.Remove(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := reloadSite(b, dir, cur); err != nil {
+		t.Fatalf("reload after delete: %v", err)
+	}
+	second := cur.Load()
+	if second == first {
+		t.Fatal("reload did not swap the live site")
+	}
+	if _, ok := second.site.Pages["activities/findsmallestcard/index.html"]; ok {
+		t.Error("deleted activity still present after reload")
+	}
+	st := b.LastStats()
+	if st.CacheHits == 0 {
+		t.Errorf("incremental reload had no cache hits: %+v", st)
+	}
+
+	// A broken corpus keeps the previous site live.
+	bad := filepath.Join(dir, "broken.md")
+	if err := os.WriteFile(bad, []byte("---\ntitle: unterminated frontmatter\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := reloadSite(b, dir, cur); err == nil {
+		t.Fatal("reload of broken corpus should error")
+	}
+	if cur.Load() != second {
+		t.Error("failed reload must not swap the live site")
+	}
+}
+
+func TestServeWatchRequiresSrc(t *testing.T) {
+	err := run([]string{"serve", "-watch"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-watch requires -src") {
+		t.Errorf("serve -watch without -src: err = %v", err)
 	}
 }

@@ -6,6 +6,8 @@
 package activity
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
@@ -105,6 +107,17 @@ func (a *Activity) Terms(tax string) []string {
 	default:
 		return nil
 	}
+}
+
+// Fingerprint returns a content hash of the activity's canonical
+// serialization (Render). Two activities whose parsed models are equal
+// share a fingerprint even if their source files differ in formatting,
+// which is exactly the identity the page cache wants: the rendered page
+// depends only on the model. The hash covers every field Render emits —
+// front-matter tags and all body sections.
+func (a *Activity) Fingerprint() string {
+	sum := sha256.Sum256([]byte(a.Render()))
+	return hex.EncodeToString(sum[:])
 }
 
 // HasExternalResources reports whether the activity links to slides,

@@ -282,3 +282,34 @@ func TestCoverageSectionsGenerated(t *testing.T) {
 		t.Error("TCPP coverage section missing topic detail")
 	}
 }
+
+func TestFingerprint(t *testing.T) {
+	a, err := Parse("fp-test", "---\ntitle: \"FP\"\ncourses: [\"CS1\"]\n---\n\n## Original Author/link\n\nA. Author\n\n## Details\n\nSome steps.\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := a.Fingerprint()
+	if len(fp) != 64 {
+		t.Fatalf("fingerprint %q is not a sha256 hex digest", fp)
+	}
+	if a.Fingerprint() != fp {
+		t.Error("fingerprint not stable across calls")
+	}
+	// The fingerprint is content-addressed over the canonical rendering:
+	// a semantic change moves it, and two activities normalizing to the
+	// same model share it.
+	b, err := Parse("fp-test", "---\ntitle: \"FP\"\ncourses: [\"CS1\"]\n---\n\n## Original Author/link\n\nA. Author\n\n## Details\n\nDifferent steps.\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Fingerprint() == fp {
+		t.Error("changed details kept the same fingerprint")
+	}
+	c, err := Parse("fp-test", a.Render())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fingerprint() != fp {
+		t.Error("round-tripped activity has a different fingerprint")
+	}
+}

@@ -5,11 +5,15 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"io"
 	"io/fs"
 	"path"
 	"sort"
 	"strings"
+	"sync"
 
 	"pdcunplugged/internal/activity"
 	"pdcunplugged/internal/cs2013"
@@ -25,6 +29,9 @@ type Repository struct {
 	activities map[string]*activity.Activity
 	order      []string // sorted slugs
 	index      *taxonomy.Index
+
+	fpOnce sync.Once
+	fp     string
 }
 
 // New builds a repository from parsed activities, validating each one and
@@ -130,6 +137,24 @@ func (r *Repository) All() []*activity.Activity {
 
 // Index exposes the taxonomy index for view construction and analytics.
 func (r *Repository) Index() *taxonomy.Index { return r.index }
+
+// Fingerprint returns a content hash over every activity in slug order.
+// Repository-scoped pages (index, term pages, views, API) depend on the
+// whole collection, so the incremental site builder keys their cache
+// entries on this value. Computed once; the repository is immutable.
+func (r *Repository) Fingerprint() string {
+	r.fpOnce.Do(func() {
+		h := sha256.New()
+		for _, slug := range r.order {
+			io.WriteString(h, slug)
+			h.Write([]byte{0})
+			io.WriteString(h, r.activities[slug].Fingerprint())
+			h.Write([]byte{0})
+		}
+		r.fp = hex.EncodeToString(h.Sum(nil))
+	})
+	return r.fp
+}
 
 // withTerm returns activities listing term under the taxonomy, slug-sorted.
 func (r *Repository) withTerm(tax, term string) []*activity.Activity {

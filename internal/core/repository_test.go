@@ -320,3 +320,28 @@ func TestAccessibilityView(t *testing.T) {
 		t.Errorf("medium pages = %+v", av.Mediums)
 	}
 }
+
+func TestRepositoryFingerprint(t *testing.T) {
+	r := testRepo(t)
+	fp := r.Fingerprint()
+	if len(fp) != 64 {
+		t.Fatalf("fingerprint %q is not a sha256 hex digest", fp)
+	}
+	if r.Fingerprint() != fp {
+		t.Error("fingerprint not stable across calls")
+	}
+	// An identically-constructed repository shares the fingerprint.
+	if testRepo(t).Fingerprint() != fp {
+		t.Error("identical repositories have different fingerprints")
+	}
+	// Any member change moves it.
+	smaller, err := New([]*activity.Activity{
+		mk("oddeven", "Odd-Even Sort", nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smaller.Fingerprint() == fp {
+		t.Error("different repositories share a fingerprint")
+	}
+}

@@ -11,12 +11,43 @@
 package markdown
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"pdcunplugged/internal/obs"
 )
+
+// EngineVersion names the renderer implementation revision. Cached page
+// fingerprints mix it in, so changing the dialect here invalidates every
+// memoized or cached render even when the source text is unchanged. Bump
+// it whenever Render's output can change for the same input.
+const EngineVersion = "md/1"
+
+var mdCacheTotal = obs.Default().Counter("pdcu_markdown_cache_total",
+	"Memoized markdown render lookups, by result (hit or miss).", "result")
+
+// renderCache memoizes RenderCached keyed by source hash. The site
+// builder renders the same fragments (section bodies, assessment sheets)
+// on every rebuild; the corpus is finite, so the cache is unbounded.
+var renderCache sync.Map // [32]byte source hash -> rendered HTML string
+
+// RenderCached is Render memoized by a hash of the source: repeated
+// renders of the same fragment return the cached HTML. Safe for
+// concurrent use; the build worker pool calls it from many goroutines.
+func RenderCached(src string) string {
+	key := sha256.Sum256([]byte(src))
+	if v, ok := renderCache.Load(key); ok {
+		mdCacheTotal.With("hit").Inc()
+		return v.(string)
+	}
+	mdCacheTotal.With("miss").Inc()
+	out := Render(src)
+	renderCache.Store(key, out)
+	return out
+}
 
 // Render converts Markdown source to HTML. Each call feeds the
 // markdown.render phase histogram without logging — rendering runs once

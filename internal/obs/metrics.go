@@ -25,6 +25,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Kind discriminates the three metric families a Registry can hold.
@@ -277,6 +278,15 @@ func (h *HistogramChild) Observe(v float64) {
 	h.s.bucketN[idx].Add(1)
 	addFloat(&h.s.sumBits, v)
 	h.s.count.Add(1)
+}
+
+// Timer starts a stopwatch; the returned stop function records the
+// elapsed seconds as one observation. Designed for deferring:
+//
+//	defer rebuildSeconds.With("incremental").Timer()()
+func (h *HistogramChild) Timer() func() {
+	start := time.Now()
+	return func() { h.Observe(time.Since(start).Seconds()) }
 }
 
 // Sum returns the sum of all observations.

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestCounterParallel hammers one child and several labeled children
@@ -221,5 +222,20 @@ func TestSnapshot(t *testing.T) {
 	}
 	if reg.Snapshot("missing") != nil {
 		t.Error("unknown family should snapshot to nil")
+	}
+}
+
+func TestHistogramTimer(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("timer_seconds", "help", []float64{0.001, 1}, "op")
+	child := h.With("x")
+	stop := child.Timer()
+	time.Sleep(2 * time.Millisecond)
+	stop()
+	if child.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", child.Count())
+	}
+	if sum := child.Sum(); sum < 0.001 || sum > 5 {
+		t.Errorf("Sum = %v, want a plausible elapsed duration", sum)
 	}
 }

@@ -56,9 +56,9 @@ type apiTCPPRow struct {
 }
 
 // buildAPI renders the api/*.json pages.
-func (s *Site) buildAPI() error {
+func (rn *renderer) buildAPI() error {
 	var acts []apiActivity
-	for _, a := range s.repo.All() {
+	for _, a := range rn.repo.All() {
 		acts = append(acts, apiActivity{
 			Slug: a.Slug, Title: a.Title, Date: a.Date, Author: a.Author,
 			CS2013: a.CS2013, TCPP: a.TCPP, Courses: a.Courses,
@@ -68,7 +68,7 @@ func (s *Site) buildAPI() error {
 			URL:           fmt.Sprintf("/activities/%s/", a.Slug),
 		})
 	}
-	if err := s.writeJSON("api/activities.json", acts); err != nil {
+	if err := rn.writeJSON("api/activities.json", acts); err != nil {
 		return err
 	}
 
@@ -77,35 +77,35 @@ func (s *Site) buildAPI() error {
 		Mediums: map[string]int{},
 		Senses:  map[string]int{},
 	}
-	for _, r := range coverage.TableI(s.repo) {
+	for _, r := range coverage.TableI(rn.repo) {
 		cov.TableI = append(cov.TableI, apiCS2013Row{
 			Unit: r.Unit.Name, NumOutcomes: r.NumOutcomes,
 			CoveredOutcomes: r.CoveredOutcomes, Percent: r.PercentCoverage(),
 			TotalActivities: r.TotalActivities,
 		})
 	}
-	for _, r := range coverage.TableII(s.repo) {
+	for _, r := range coverage.TableII(rn.repo) {
 		cov.TableII = append(cov.TableII, apiTCPPRow{
 			Area: r.Area.Name, NumTopics: r.NumTopics,
 			CoveredTopics: r.CoveredTopics, Percent: r.PercentCoverage(),
 			TotalActivities: r.TotalActivities,
 		})
 	}
-	for _, c := range coverage.CourseCounts(s.repo) {
+	for _, c := range coverage.CourseCounts(rn.repo) {
 		cov.Courses[c.Term] = c.Count
 	}
-	for _, c := range coverage.MediumCounts(s.repo) {
+	for _, c := range coverage.MediumCounts(rn.repo) {
 		cov.Mediums[c.Term] = c.Count
 	}
-	for _, st := range coverage.SenseStats(s.repo) {
+	for _, st := range coverage.SenseStats(rn.repo) {
 		cov.Senses[st.Sense] = st.Count
 	}
-	if err := s.writeJSON("api/coverage.json", cov); err != nil {
+	if err := rn.writeJSON("api/coverage.json", cov); err != nil {
 		return err
 	}
 
 	// Gap report: the answer to research question three, machine-readable.
-	g := coverage.FindGaps(s.repo)
+	g := coverage.FindGaps(rn.repo)
 	type gapJSON struct {
 		Outcomes []string `json:"uncoveredOutcomes"`
 		Topics   []string `json:"uncoveredTopics"`
@@ -117,14 +117,14 @@ func (s *Site) buildAPI() error {
 	for _, tg := range g.Topics {
 		gj.Topics = append(gj.Topics, tg.Term)
 	}
-	return s.writeJSON("api/gaps.json", gj)
+	return rn.writeJSON("api/gaps.json", gj)
 }
 
-func (s *Site) writeJSON(path string, v interface{}) error {
+func (rn *renderer) writeJSON(path string, v interface{}) error {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return fmt.Errorf("site: %s: %w", path, err)
 	}
-	s.Pages[path] = append(data, '\n')
+	rn.pages[path] = append(data, '\n')
 	return nil
 }

@@ -1,0 +1,170 @@
+package site
+
+import (
+	"bytes"
+	"testing"
+
+	"pdcunplugged/internal/core"
+	"pdcunplugged/internal/curation"
+)
+
+// corpusRepo loads a repository from an optionally-edited copy of the
+// embedded corpus.
+func corpusRepo(t *testing.T, edit func(files map[string]string)) *core.Repository {
+	t.Helper()
+	files := curation.Files()
+	if edit != nil {
+		edit(files)
+	}
+	repo, err := core.Load(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repo
+}
+
+// TestParallelBuildMatchesSerial is the determinism contract of the
+// page-graph pipeline: worker count must never leak into the output.
+func TestParallelBuildMatchesSerial(t *testing.T) {
+	serial, err := NewBuilder(Options{Workers: 1}).Build(corpusRepo(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, err := NewBuilder(Options{Workers: workers}).Build(corpusRepo(t, nil))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.Len() != serial.Len() {
+			t.Fatalf("workers=%d: %d pages, serial has %d", workers, par.Len(), serial.Len())
+		}
+		for p, want := range serial.Pages {
+			if got, ok := par.Pages[p]; !ok {
+				t.Errorf("workers=%d: missing page %s", workers, p)
+			} else if !bytes.Equal(got, want) {
+				t.Errorf("workers=%d: page %s differs from serial build", workers, p)
+			}
+		}
+	}
+}
+
+func TestBuildStats(t *testing.T) {
+	b := NewBuilder(Options{Workers: 3})
+	s, err := b.Build(corpusRepo(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := b.LastStats()
+	// 38 activities x (activity page + assessment sheet) + index, terms,
+	// four views, api, sims, static.
+	wantJobs := 2*38 + 9
+	if st.Jobs != wantJobs {
+		t.Errorf("Jobs = %d, want %d", st.Jobs, wantJobs)
+	}
+	if st.CacheHits != 0 || st.CacheMisses != wantJobs {
+		t.Errorf("cold build: hits=%d misses=%d, want 0/%d", st.CacheHits, st.CacheMisses, wantJobs)
+	}
+	if st.Workers != 3 {
+		t.Errorf("Workers = %d, want 3", st.Workers)
+	}
+	if st.Duration <= 0 {
+		t.Errorf("Duration = %v", st.Duration)
+	}
+	if s.Len() == 0 {
+		t.Fatal("empty site")
+	}
+}
+
+// TestIncrementalRebuild pins down the page-graph dependency story:
+// touching one activity re-renders exactly that activity's two jobs plus
+// the repository-scoped aggregation jobs, and every untouched page comes
+// back byte-identical from the cache.
+func TestIncrementalRebuild(t *testing.T) {
+	b := NewBuilder(Options{})
+	first, err := b.Build(corpusRepo(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild with no changes: everything is a cache hit.
+	same, err := b.Build(corpusRepo(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := b.LastStats()
+	if st.CacheMisses != 0 || st.CacheHits != st.Jobs {
+		t.Errorf("no-op rebuild: hits=%d misses=%d of %d jobs", st.CacheHits, st.CacheMisses, st.Jobs)
+	}
+	if same.Len() != first.Len() {
+		t.Errorf("no-op rebuild changed page count: %d -> %d", first.Len(), same.Len())
+	}
+
+	// Touch one activity: its page + assessment sheet re-render
+	// (activity-scoped), as do the 8 repository-scoped jobs (index,
+	// terms, 4 views, api, sims). The static job and the other 37
+	// activities' 74 jobs stay cached.
+	touched, err := b.Build(corpusRepo(t, func(files map[string]string) {
+		files["findsmallestcard"] += "\n- Rebuild benchmark citation.\n"
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = b.LastStats()
+	if st.CacheMisses != 10 {
+		t.Errorf("one-activity rebuild: misses=%d, want 10", st.CacheMisses)
+	}
+	if st.CacheHits != st.Jobs-10 {
+		t.Errorf("one-activity rebuild: hits=%d, want %d", st.CacheHits, st.Jobs-10)
+	}
+	if !bytes.Contains(touched.Pages["activities/findsmallestcard/index.html"], []byte("Rebuild benchmark citation")) {
+		t.Error("touched activity page not re-rendered")
+	}
+	// Untouched pages are byte-identical to the first build.
+	if !bytes.Equal(touched.Pages["activities/oddeven-transposition/index.html"],
+		first.Pages["activities/oddeven-transposition/index.html"]) {
+		t.Error("untouched activity page changed across incremental rebuild")
+	}
+	if !bytes.Equal(touched.Pages["style.css"], first.Pages["style.css"]) {
+		t.Error("static page changed across incremental rebuild")
+	}
+}
+
+// TestBuilderCachePruning: jobs that vanish from the page graph take
+// their cache entries (and pages) with them.
+func TestBuilderCachePruning(t *testing.T) {
+	b := NewBuilder(Options{})
+	if _, err := b.Build(corpusRepo(t, nil)); err != nil {
+		t.Fatal(err)
+	}
+	smaller, err := b.Build(corpusRepo(t, func(files map[string]string) {
+		delete(files, "findsmallestcard")
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := smaller.Pages["activities/findsmallestcard/index.html"]; ok {
+		t.Error("deleted activity's page survived the rebuild")
+	}
+	if _, ok := b.cache["activity/findsmallestcard"]; ok {
+		t.Error("deleted activity's cache entry not pruned")
+	}
+	// Restoring the corpus re-renders the pruned jobs rather than
+	// resurrecting stale cache.
+	restored, err := b.Build(corpusRepo(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := restored.Pages["activities/findsmallestcard/index.html"]; !ok {
+		t.Error("restored activity's page missing")
+	}
+}
+
+func TestBuildWorkerClamping(t *testing.T) {
+	b := NewBuilder(Options{Workers: 10000})
+	if _, err := b.Build(corpusRepo(t, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if st := b.LastStats(); st.Workers != st.Jobs {
+		t.Errorf("Workers = %d, want clamped to %d jobs", st.Workers, st.Jobs)
+	}
+}

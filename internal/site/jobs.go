@@ -1,0 +1,78 @@
+package site
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+
+	"pdcunplugged/internal/core"
+	"pdcunplugged/internal/markdown"
+)
+
+// engineVersion names the page-rendering engine revision. Every job
+// fingerprint mixes it in together with markdown.EngineVersion, so
+// template or generator changes invalidate cached pages even when the
+// content is unchanged. Bump it whenever rendered output can change for
+// the same repository.
+const engineVersion = "site/2"
+
+// job is one node of the page graph: a cache identity, a pipeline stage
+// (the metric label), a content-addressed fingerprint of everything the
+// render reads, and the render itself. A job may emit one page (an
+// activity page) or a coupled group (all taxonomy term pages).
+type job struct {
+	id     string // stable cache key, e.g. "activity/findsmallestcard"
+	stage  string // activity, assess, index, terms, view, api, sims, static
+	fp     string // input fingerprint incl. engine versions
+	render func(*renderer) error
+}
+
+// fingerprint hashes the ordered parts with separators so distinct part
+// lists never collide.
+func fingerprint(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		io.WriteString(h, p)
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// planJobs lays out the page graph for one repository. Activity-scoped
+// jobs (the activity page and its assessment sheet) are fingerprinted by
+// that activity alone, so touching one source file invalidates exactly
+// two jobs; repository-scoped jobs (index, term pages, views, API,
+// dramatizations) list or aggregate every activity and therefore key on
+// the whole-repository fingerprint.
+func planJobs(repo *core.Repository) []job {
+	jobs := make([]job, 0, 2*repo.Len()+9)
+	for _, a := range repo.All() {
+		a := a
+		actFP := fingerprint(engineVersion, markdown.EngineVersion, a.Fingerprint())
+		jobs = append(jobs,
+			job{id: "activity/" + a.Slug, stage: "activity", fp: actFP,
+				render: func(rn *renderer) error { return rn.buildActivity(a) }},
+			job{id: "assess/" + a.Slug, stage: "assess", fp: actFP,
+				render: func(rn *renderer) error { return rn.buildAssessmentPage(a) }},
+		)
+	}
+	repoFP := fingerprint(engineVersion, markdown.EngineVersion, repo.Fingerprint())
+	repoJob := func(id, stage string, render func(*renderer) error) job {
+		return job{id: id, stage: stage, fp: repoFP, render: render}
+	}
+	return append(jobs,
+		repoJob("index", "index", (*renderer).buildIndex),
+		repoJob("terms", "terms", (*renderer).buildTermPages),
+		repoJob("view/cs2013", "view", (*renderer).buildCS2013View),
+		repoJob("view/tcpp", "view", (*renderer).buildTCPPView),
+		repoJob("view/courses", "view", (*renderer).buildCoursesView),
+		repoJob("view/accessibility", "view", (*renderer).buildAccessibilityView),
+		repoJob("api", "api", (*renderer).buildAPI),
+		repoJob("sims", "sims", (*renderer).buildSimsPage),
+		job{id: "static", stage: "static", fp: fingerprint(engineVersion, markdown.EngineVersion),
+			render: func(rn *renderer) error {
+				rn.pages["style.css"] = []byte(styleCSS)
+				return nil
+			}},
+	)
+}

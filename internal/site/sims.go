@@ -15,10 +15,10 @@ import (
 // simulation with its summary and the curated activities it rehearses —
 // the runnable "external materials" the paper found missing for most
 // activities.
-func (s *Site) buildSimsPage() error {
+func (rn *renderer) buildSimsPage() error {
 	// Invert the activity -> simulation links for this repository.
 	rehearses := map[string][]string{}
-	for _, slug := range s.repo.Slugs() {
+	for _, slug := range rn.repo.Slugs() {
 		if name, ok := curation.SimulationFor(slug); ok {
 			rehearses[name] = append(rehearses[name], slug)
 		}
@@ -45,5 +45,5 @@ func (s *Site) buildSimsPage() error {
 		body.WriteString("</li>\n")
 	}
 	body.WriteString("</ul>\n")
-	return s.renderPage("views/dramatizations/index.html", "Dramatizations", nil, body.String())
+	return rn.renderPage("views/dramatizations/index.html", "Dramatizations", nil, body.String())
 }

@@ -3,11 +3,20 @@
 // activity, one page per taxonomy term, the four browsing views of Section
 // II-C, and an index — and can serve the result for local preview (the
 // `hugo serve` workflow the paper recommends to contributors).
+//
+// Building is organized as a page-graph pipeline: every output page (or
+// closely-coupled page group) is a job with a content-addressed input
+// fingerprint, scheduled onto a bounded worker pool by a Builder. A
+// Builder kept across builds reuses cached page bytes for jobs whose
+// fingerprints are unchanged, which is what makes `pdcu serve -watch`
+// rebuilds incremental. See builder.go and jobs.go.
 package site
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
-	"html/template"
+	"io/fs"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -15,61 +24,30 @@ import (
 	"strconv"
 	"strings"
 
-	"pdcunplugged/internal/activity"
 	"pdcunplugged/internal/core"
 	"pdcunplugged/internal/coverage"
-	"pdcunplugged/internal/curation"
-	"pdcunplugged/internal/markdown"
 	"pdcunplugged/internal/obs"
-	"pdcunplugged/internal/taxonomy"
 )
 
 // Site holds a built static site: path -> page bytes. Paths use forward
-// slashes and end in .html (plus one style.css).
+// slashes and end in .html (plus one style.css). A Site is immutable
+// once built; `pdcu serve -watch` swaps whole Sites atomically rather
+// than mutating one in place.
 type Site struct {
 	Pages map[string][]byte
-	repo  *core.Repository
+	etags map[string]string
 }
 
-// Build renders every page of the site. Each build stage runs inside an
-// obs span, so `pdcu build -verbose` can print a phase-timing breakdown
-// and /metrics exposes build durations.
-func Build(repo *core.Repository) (*Site, error) {
-	total := obs.StartSpan("site.build")
-	defer total.End()
-	s := &Site{Pages: map[string][]byte{}, repo: repo}
-	if err := obs.Time("site.index", s.buildIndex); err != nil {
-		return nil, err
+// newSite wraps merged pages and precomputes the strong entity tag for
+// every page from its content hash — the serving-side analogue of the
+// build-side fingerprints: a page's ETag changes iff its bytes do.
+func newSite(pages map[string][]byte) *Site {
+	s := &Site{Pages: pages, etags: make(map[string]string, len(pages))}
+	for p, data := range pages {
+		sum := sha256.Sum256(data)
+		s.etags[p] = `"` + hex.EncodeToString(sum[:8]) + `"`
 	}
-	err := obs.Time("site.activities", func() error {
-		for _, a := range repo.All() {
-			if err := s.buildActivity(a); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	if err := obs.Time("site.terms", s.buildTermPages); err != nil {
-		return nil, err
-	}
-	if err := s.buildViews(); err != nil {
-		return nil, err
-	}
-	if err := obs.Time("site.api", s.buildAPI); err != nil {
-		return nil, err
-	}
-	if err := obs.Time("site.sims", s.buildSimsPage); err != nil {
-		return nil, err
-	}
-	if err := obs.Time("site.assess", s.buildAssessmentPages); err != nil {
-		return nil, err
-	}
-	s.Pages["style.css"] = []byte(styleCSS)
-	obs.Logger().Debug("site built", "pages", len(s.Pages), "activities", repo.Len())
-	return s, nil
+	return s
 }
 
 // Len returns the number of generated files.
@@ -85,27 +63,113 @@ func (s *Site) Paths() []string {
 	return out
 }
 
-// WriteTo writes the site under dir, creating directories as needed.
+// ETag returns the entity tag served for a page path, or "" when the
+// page does not exist.
+func (s *Site) ETag(path string) string { return s.etags[path] }
+
+// WriteTo writes the site under dir. Every page lands via a temp file +
+// rename in its final directory, so a crash or concurrent reader never
+// observes a truncated page; files left from a previous build that this
+// site no longer generates are swept away afterwards, along with any
+// directories the sweep empties.
 func (s *Site) WriteTo(dir string) error {
 	defer obs.StartSpan("site.write").End()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("site: %w", err)
+	}
 	for p, data := range s.Pages {
 		full := filepath.Join(dir, filepath.FromSlash(p))
 		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
 			return fmt.Errorf("site: %w", err)
 		}
-		if err := os.WriteFile(full, data, 0o644); err != nil {
+		if err := writeFileAtomic(full, data); err != nil {
 			return fmt.Errorf("site: %w", err)
 		}
+	}
+	return s.sweepStale(dir)
+}
+
+// writeFileAtomic writes data next to path and renames it into place.
+// The temp file lives in the destination directory so the rename stays
+// on one filesystem and is atomic.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".pdcu-tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
 	}
 	return nil
 }
 
+// sweepStale removes files under dir that the current build did not
+// produce, then prunes directories the sweep emptied (deepest first, so
+// an abandoned tree collapses bottom-up).
+func (s *Site) sweepStale(dir string) error {
+	var subdirs []string
+	err := filepath.WalkDir(dir, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, p)
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if rel != "." {
+				subdirs = append(subdirs, p)
+			}
+			return nil
+		}
+		if _, ok := s.Pages[filepath.ToSlash(rel)]; !ok {
+			if err := os.Remove(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("site: sweep: %w", err)
+	}
+	sort.Slice(subdirs, func(i, j int) bool { return len(subdirs[i]) > len(subdirs[j]) })
+	for _, d := range subdirs {
+		// Remove fails on non-empty directories; that is the signal to keep them.
+		os.Remove(d)
+	}
+	return nil
+}
+
+// handlerTotal counts every site-handler response by outcome, so 404s
+// and method rejections are as observable as successful page serves.
+var handlerTotal = obs.Default().Counter("pdcu_site_handler_total",
+	"Site handler responses by outcome (ok, not_modified, not_found, method_not_allowed).",
+	"result")
+
 // Handler serves the built site over HTTP for local preview. Only GET
 // and HEAD are accepted (the site is static); HEAD responses carry the
-// same headers, including Content-Length, without a body.
+// same headers, including Content-Length, without a body. Every page is
+// served with a strong ETag derived from its content hash, and a
+// matching If-None-Match short-circuits to 304 Not Modified.
 func (s *Site) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			handlerTotal.With("method_not_allowed").Inc()
 			w.Header().Set("Allow", "GET, HEAD")
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
@@ -120,10 +184,11 @@ func (s *Site) Handler() http.Handler {
 		data, ok := s.Pages[p]
 		if !ok {
 			if alt, found := s.Pages[p+"/index.html"]; found {
-				data, ok = alt, true
+				p, data, ok = p+"/index.html", alt, true
 			}
 		}
 		if !ok {
+			handlerTotal.With("not_found").Inc()
 			http.NotFound(w, r)
 			return
 		}
@@ -135,6 +200,15 @@ func (s *Site) Handler() http.Handler {
 		default:
 			w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		}
+		if etag := s.etags[p]; etag != "" {
+			w.Header().Set("ETag", etag)
+			if etagMatch(r.Header.Get("If-None-Match"), etag) {
+				handlerTotal.With("not_modified").Inc()
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+		}
+		handlerTotal.With("ok").Inc()
 		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
 		if r.Method == http.MethodHead {
 			return
@@ -145,263 +219,20 @@ func (s *Site) Handler() http.Handler {
 	})
 }
 
-// badge is one taxonomy chip in an activity header (Fig. 3).
-type badge struct {
-	Term  string
-	Color string
-	Href  string
-}
-
-// headerBadges builds the Fig. 3 chips for the four visible taxonomies.
-func (s *Site) headerBadges(a *activity.Activity) []badge {
-	var out []badge
-	for _, def := range taxonomy.Standard() {
-		if def.Hidden {
-			continue
-		}
-		for _, term := range a.Terms(def.Name) {
-			out = append(out, badge{
-				Term:  term,
-				Color: def.Color,
-				Href:  fmt.Sprintf("/%s/%s/", def.Name, taxonomy.Slug(term)),
-			})
+// etagMatch implements the If-None-Match comparison: a wildcard or any
+// listed tag matches, and weak-validator prefixes compare equal (weak
+// comparison is what the 304 path requires).
+func etagMatch(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		if part == "*" || strings.TrimPrefix(part, "W/") == etag {
+			return true
 		}
 	}
-	return out
-}
-
-var pageTmpl = template.Must(template.New("page").Parse(`<!DOCTYPE html>
-<html lang="en">
-<head>
-<meta charset="utf-8">
-<title>{{.Title}} | PDCunplugged</title>
-<link rel="stylesheet" href="/style.css">
-</head>
-<body>
-<header>
-<h1><a href="/">PDCunplugged</a></h1>
-<nav>
-<a href="/views/cs2013/">CS2013</a>
-<a href="/views/tcpp/">TCPP</a>
-<a href="/views/courses/">Courses</a>
-<a href="/views/accessibility/">Accessibility</a>
-<a href="/views/dramatizations/">Dramatizations</a>
-</nav>
-</header>
-<main>
-<h2>{{.Title}}</h2>
-{{if .Badges}}<p class="badges">{{range .Badges}}<a class="badge {{.Color}}" href="{{.Href}}">{{.Term}}</a> {{end}}</p>{{end}}
-{{.Body}}
-</main>
-<footer>A free repository of unplugged Parallel &amp; Distributed Computing activities.</footer>
-</body>
-</html>
-`))
-
-type pageData struct {
-	Title  string
-	Badges []badge
-	Body   template.HTML
-}
-
-func (s *Site) renderPage(path, title string, badges []badge, bodyHTML string) error {
-	var b strings.Builder
-	err := pageTmpl.Execute(&b, pageData{
-		Title:  title,
-		Badges: badges,
-		Body:   template.HTML(bodyHTML), // built from escaped fragments below
-	})
-	if err != nil {
-		return fmt.Errorf("site: render %s: %w", path, err)
-	}
-	s.Pages[path] = []byte(b.String())
-	return nil
-}
-
-func (s *Site) buildActivity(a *activity.Activity) error {
-	var body strings.Builder
-	section := func(title, md string) {
-		if strings.TrimSpace(md) == "" {
-			return
-		}
-		fmt.Fprintf(&body, "<section><h3>%s</h3>\n%s</section>\n", markdown.Escape(title), markdown.Render(md))
-	}
-	var author strings.Builder
-	if a.Author != "" {
-		author.WriteString(a.Author + "\n\n")
-	}
-	for _, l := range a.Links {
-		fmt.Fprintf(&author, "[%s](%s)\n\n", l, l)
-	}
-	if len(a.Links) == 0 {
-		author.WriteString(activity.NoExternalNote + "\n")
-	}
-	section(activity.SecAuthor, author.String())
-	if simName, ok := curation.SimulationFor(a.Slug); ok {
-		section("Runnable Dramatization",
-			fmt.Sprintf("This activity ships with an executable goroutine dramatization: `pdcu sim run %s -trace`.", simName))
-	}
-	if len(a.CS2013Details)+len(a.TCPPDetails) > 0 {
-		section("Assessment Sheet",
-			fmt.Sprintf("A printable [pre/post assessment](/assess/%s/) is generated from this activity's learning outcomes.", a.Slug))
-	}
-	section(activity.SecDetails, a.Details)
-	if len(a.Variations) > 0 {
-		section(activity.SecVariations, "- "+strings.Join(a.Variations, "\n- "))
-	}
-	section(activity.SecCourses, strings.Join(a.Courses, ", ")+"\n\n"+a.CoursesNote)
-	section(activity.SecAccessibility, a.Accessibility)
-	section(activity.SecAssessment, a.Assessment)
-	if len(a.Citations) > 0 {
-		section(activity.SecCitations, "- "+strings.Join(a.Citations, "\n- "))
-	}
-	return s.renderPage(
-		"activities/"+a.Slug+"/index.html",
-		a.Title,
-		s.headerBadges(a),
-		body.String(),
-	)
-}
-
-func (s *Site) activityList(slugs []string) string {
-	var b strings.Builder
-	b.WriteString("<ul class=\"activity-list\">\n")
-	for _, slug := range slugs {
-		a, ok := s.repo.Get(slug)
-		if !ok {
-			continue
-		}
-		fmt.Fprintf(&b, "<li><a href=\"/activities/%s/\">%s</a>", slug, markdown.Escape(a.Title))
-		if a.HasExternalResources() {
-			b.WriteString(" <span class=\"res\">[materials]</span>")
-		}
-		b.WriteString("</li>\n")
-	}
-	b.WriteString("</ul>\n")
-	return b.String()
-}
-
-func (s *Site) buildIndex() error {
-	var body strings.Builder
-	fmt.Fprintf(&body, "<p>%d unplugged activities curated from thirty years of PDC literature.</p>\n", s.repo.Len())
-	body.WriteString(s.activityList(s.repo.Slugs()))
-	return s.renderPage("index.html", "All Activities", nil, body.String())
-}
-
-func (s *Site) buildTermPages() error {
-	ix := s.repo.Index()
-	for _, def := range taxonomy.Standard() {
-		for _, page := range ix.Pages(def.Name) {
-			var body strings.Builder
-			fmt.Fprintf(&body, "<p>%d activities tagged <code>%s</code> in the %s taxonomy.</p>\n",
-				len(page.Entries), markdown.Escape(page.Term), markdown.Escape(def.Title))
-			body.WriteString(s.activityList(page.Entries))
-			path := fmt.Sprintf("%s/%s/index.html", def.Name, taxonomy.Slug(page.Term))
-			if err := s.renderPage(path, def.Title+": "+page.Term, nil, body.String()); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-func (s *Site) buildViews() error {
-	if err := obs.Time("site.view.cs2013", s.buildCS2013View); err != nil {
-		return err
-	}
-	if err := obs.Time("site.view.tcpp", s.buildTCPPView); err != nil {
-		return err
-	}
-	if err := obs.Time("site.view.courses", s.buildCoursesView); err != nil {
-		return err
-	}
-	return obs.Time("site.view.accessibility", s.buildAccessibilityView)
-}
-
-func (s *Site) buildCS2013View() error {
-	var body strings.Builder
-	for _, v := range s.repo.CS2013View() {
-		fmt.Fprintf(&body, "<section><h3>%s (%d activities)</h3>\n", markdown.Escape(v.Unit.Name), len(v.Activities))
-		body.WriteString("<ol>\n")
-		for _, o := range v.Outcomes {
-			fmt.Fprintf(&body, "<li>%s <em>(%s)</em>: ", markdown.Escape(o.Outcome.Text), o.Outcome.Tier)
-			if len(o.Activities) == 0 {
-				body.WriteString("<span class=\"gap\">no activities</span>")
-			} else {
-				links := make([]string, 0, len(o.Activities))
-				for _, slug := range o.Activities {
-					links = append(links, fmt.Sprintf("<a href=\"/activities/%s/\">%s</a>", slug, slug))
-				}
-				body.WriteString(strings.Join(links, ", "))
-			}
-			body.WriteString("</li>\n")
-		}
-		body.WriteString("</ol></section>\n")
-	}
-	return s.renderPage("views/cs2013/index.html", "CS2013 View", nil, body.String())
-}
-
-func (s *Site) buildTCPPView() error {
-	var body strings.Builder
-	for _, v := range s.repo.TCPPView() {
-		fmt.Fprintf(&body, "<section><h3>%s (%d activities)</h3>\n", markdown.Escape(v.Area.Name), len(v.Activities))
-		fmt.Fprintf(&body, "<p>Recommended courses: %s</p>\n", markdown.Escape(strings.Join(v.Area.Courses, ", ")))
-		sub := ""
-		open := false
-		for _, te := range v.Topics {
-			if te.Topic.Subcategory != sub {
-				if open {
-					body.WriteString("</ul>\n")
-				}
-				sub = te.Topic.Subcategory
-				fmt.Fprintf(&body, "<h4>%s</h4>\n<ul>\n", markdown.Escape(sub))
-				open = true
-			}
-			fmt.Fprintf(&body, "<li><code>%s</code> %s: ", markdown.Escape(te.Term), markdown.Escape(te.Topic.Name))
-			if len(te.Activities) == 0 {
-				body.WriteString("<span class=\"gap\">no activities</span>")
-			} else {
-				links := make([]string, 0, len(te.Activities))
-				for _, slug := range te.Activities {
-					links = append(links, fmt.Sprintf("<a href=\"/activities/%s/\">%s</a>", slug, slug))
-				}
-				body.WriteString(strings.Join(links, ", "))
-			}
-			body.WriteString("</li>\n")
-		}
-		if open {
-			body.WriteString("</ul>\n")
-		}
-		body.WriteString("</section>\n")
-	}
-	return s.renderPage("views/tcpp/index.html", "TCPP View", nil, body.String())
-}
-
-func (s *Site) buildCoursesView() error {
-	var body strings.Builder
-	for _, page := range s.repo.CourseView() {
-		fmt.Fprintf(&body, "<section><h3>%s (%d activities)</h3>\n", markdown.Escape(page.Term), len(page.Entries))
-		body.WriteString(s.activityList(page.Entries))
-		body.WriteString("</section>\n")
-	}
-	return s.renderPage("views/courses/index.html", "Courses View", nil, body.String())
-}
-
-func (s *Site) buildAccessibilityView() error {
-	av := s.repo.Accessibility()
-	var body strings.Builder
-	body.WriteString("<section><h3>By sense</h3>\n")
-	for _, page := range av.Senses {
-		fmt.Fprintf(&body, "<h4>%s (%d)</h4>\n", markdown.Escape(page.Term), len(page.Entries))
-		body.WriteString(s.activityList(page.Entries))
-	}
-	body.WriteString("</section>\n<section><h3>By medium</h3>\n")
-	for _, page := range av.Mediums {
-		fmt.Fprintf(&body, "<h4>%s (%d)</h4>\n", markdown.Escape(page.Term), len(page.Entries))
-		body.WriteString(s.activityList(page.Entries))
-	}
-	body.WriteString("</section>\n")
-	return s.renderPage("views/accessibility/index.html", "Accessibility View", nil, body.String())
+	return false
 }
 
 // Gaps renders the uncovered outcomes and topics as a page-ready fragment;
@@ -419,20 +250,3 @@ func Gaps(repo *core.Repository) string {
 	}
 	return b.String()
 }
-
-const styleCSS = `body{font-family:Georgia,serif;margin:0;color:#222}
-header{background:#1a3a5c;color:#fff;padding:0.5rem 1.5rem;display:flex;gap:2rem;align-items:baseline}
-header a{color:#fff;text-decoration:none}
-nav{display:flex;gap:1rem}
-main{max-width:52rem;margin:1rem auto;padding:0 1rem}
-footer{text-align:center;color:#777;padding:2rem}
-.badges .badge{display:inline-block;padding:0.1rem 0.5rem;border-radius:0.6rem;color:#fff;font-size:0.8rem;text-decoration:none;margin-right:0.2rem}
-.badge-cs2013{background:#2a6f4e}
-.badge-tcpp{background:#8a4b2a}
-.badge-courses{background:#4b2a8a}
-.badge-senses{background:#a0527c}
-.badge-medium{background:#555}
-.gap{color:#b00;font-style:italic}
-.res{color:#2a6f4e;font-size:0.8rem}
-section{margin-bottom:1.5rem}
-`

@@ -354,3 +354,154 @@ func TestGapsReport(t *testing.T) {
 		}
 	}
 }
+
+func TestHandlerETag(t *testing.T) {
+	s := builtSite(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	if etag == "" || !strings.HasPrefix(etag, `"`) {
+		t.Fatalf("ETag = %q, want quoted strong tag", etag)
+	}
+	if etag != s.ETag("index.html") {
+		t.Errorf("served ETag %q != Site.ETag %q", etag, s.ETag("index.html"))
+	}
+
+	// A conditional request with the current tag gets 304 and no body.
+	for _, header := range []string{etag, "W/" + etag, `"bogus", ` + etag, "*"} {
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+"/", nil)
+		req.Header.Set("If-None-Match", header)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotModified {
+			t.Errorf("If-None-Match %q = %d, want 304", header, resp.StatusCode)
+		}
+		if len(body) != 0 {
+			t.Errorf("304 carried %d body bytes", len(body))
+		}
+	}
+
+	// A stale tag gets the full page.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/", nil)
+	req.Header.Set("If-None-Match", `"0000000000000000"`)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Errorf("stale If-None-Match = %d with %d bytes, want 200 with body", resp.StatusCode, len(body))
+	}
+
+	// Different pages get different tags; the tag is content-addressed.
+	if s.ETag("index.html") == s.ETag("style.css") {
+		t.Error("distinct pages share an ETag")
+	}
+	if s.ETag("no/such/page") != "" {
+		t.Error("missing page has an ETag")
+	}
+}
+
+func TestHandlerCounters(t *testing.T) {
+	s := builtSite(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	before := map[string]float64{}
+	for _, r := range []string{"ok", "not_modified", "not_found", "method_not_allowed"} {
+		before[r] = handlerTotal.With(r).Value()
+	}
+
+	get := func(path, inm string) {
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+path, nil)
+		if inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	get("/", "")
+	get("/style.css", "")
+	get("/", s.ETag("index.html"))
+	get("/no/such/page/", "")
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/", strings.NewReader("x"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	want := map[string]float64{"ok": 2, "not_modified": 1, "not_found": 1, "method_not_allowed": 1}
+	for r, delta := range want {
+		if got := handlerTotal.With(r).Value() - before[r]; got != delta {
+			t.Errorf("handler counter %s: delta = %v, want %v", r, got, delta)
+		}
+	}
+}
+
+func TestWriteToSweepsStale(t *testing.T) {
+	s := builtSite(t)
+	dir := t.TempDir()
+
+	// Seed leftovers from a hypothetical previous build: a stale file in
+	// a live directory, and a whole stale tree.
+	staleTree := filepath.Join(dir, "activities", "removed-activity")
+	if err := os.MkdirAll(staleTree, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{
+		filepath.Join(staleTree, "index.html"),
+		filepath.Join(dir, "old.html"),
+	} {
+		if err := os.WriteFile(p, []byte("stale"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := s.WriteTo(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, p := range []string{filepath.Join(dir, "old.html"), filepath.Join(staleTree, "index.html"), staleTree} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("stale path %s survived WriteTo", p)
+		}
+	}
+	// Live pages are intact and no temp files remain.
+	if _, err := os.Stat(filepath.Join(dir, "index.html")); err != nil {
+		t.Error("index.html missing after sweep")
+	}
+	err := filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if strings.Contains(filepath.Base(p), ".pdcu-tmp-") {
+			t.Errorf("temp file left behind: %s", p)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second WriteTo over the same tree is a clean no-op overwrite.
+	if err := s.WriteTo(dir); err != nil {
+		t.Fatal(err)
+	}
+}

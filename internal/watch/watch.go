@@ -1,0 +1,117 @@
+// Package watch implements a dependency-free filesystem watcher for the
+// `pdcu serve -watch` loop. It polls: each tick takes a snapshot of the
+// watched tree (path, size, modification time) and compares it with the
+// previous one. Polling is deliberately chosen over platform notify APIs
+// — the corpus is a few dozen markdown files, a scan is microseconds,
+// and the stdlib-only constraint of this codebase rules out inotify and
+// kqueue wrappers.
+package watch
+
+import (
+	"context"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"pdcunplugged/internal/obs"
+)
+
+var scansTotal = obs.Default().Counter("pdcu_watch_scans_total",
+	"Watcher poll scans, by result (changed, unchanged, error).",
+	"result")
+
+// fileState is the per-file change signal: a rewrite that preserves both
+// size and mtime is invisible, which polling accepts by design.
+type fileState struct {
+	size    int64
+	modTime time.Time
+}
+
+// Snapshot maps each regular file under a root (by slash-separated
+// relative path) to its observed state.
+type Snapshot map[string]fileState
+
+// Scan walks root and records every regular file. Hidden files and
+// directories (dot-prefixed, e.g. .git or editor swap files) are
+// skipped so commits and editors don't trigger spurious rebuilds.
+func Scan(root string) (Snapshot, error) {
+	snap := Snapshot{}
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if strings.HasPrefix(name, ".") && p != root {
+			if d.IsDir() {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if d.IsDir() {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		snap[filepath.ToSlash(rel)] = fileState{size: info.Size(), modTime: info.ModTime()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// Equal reports whether two snapshots describe the same tree state.
+func (s Snapshot) Equal(other Snapshot) bool {
+	if len(s) != len(other) {
+		return false
+	}
+	for p, st := range s {
+		o, ok := other[p]
+		if !ok || o.size != st.size || !o.modTime.Equal(st.modTime) {
+			return false
+		}
+	}
+	return true
+}
+
+// Watch polls root every interval and calls onChange after each scan
+// that differs from the previous one. The initial scan establishes the
+// baseline without firing. Scan errors are logged and counted but do
+// not stop the loop (a file may vanish mid-walk during a save). Watch
+// blocks until ctx is done and then returns ctx.Err().
+func Watch(ctx context.Context, root string, interval time.Duration, onChange func()) error {
+	prev, err := Scan(root)
+	if err != nil {
+		return err
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+		next, err := Scan(root)
+		if err != nil {
+			scansTotal.With("error").Inc()
+			obs.Logger().Warn("watch scan failed", "root", root, "err", err)
+			continue
+		}
+		if next.Equal(prev) {
+			scansTotal.With("unchanged").Inc()
+			continue
+		}
+		scansTotal.With("changed").Inc()
+		prev = next
+		onChange()
+	}
+}

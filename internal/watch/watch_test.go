@@ -1,0 +1,107 @@
+package watch
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanAndEqual(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "a.md"), "alpha")
+	write(t, filepath.Join(dir, "sub", "b.md"), "beta")
+	write(t, filepath.Join(dir, ".hidden"), "skip me")
+	write(t, filepath.Join(dir, ".git", "config"), "skip tree")
+
+	snap, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 2 {
+		t.Fatalf("scan = %d files (%v), want 2", len(snap), snap)
+	}
+	if _, ok := snap["a.md"]; !ok {
+		t.Error("a.md missing from snapshot")
+	}
+	if _, ok := snap["sub/b.md"]; !ok {
+		t.Error("sub/b.md missing from snapshot")
+	}
+
+	again, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Equal(again) {
+		t.Error("identical trees compare unequal")
+	}
+
+	// A content change of the same byte length still flips Equal via the
+	// modification time.
+	time.Sleep(5 * time.Millisecond)
+	write(t, filepath.Join(dir, "a.md"), "gamma")
+	changed, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Equal(changed) {
+		t.Error("changed tree compares equal")
+	}
+
+	// A new file flips Equal by count.
+	write(t, filepath.Join(dir, "c.md"), "new")
+	grown, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed.Equal(grown) {
+		t.Error("grown tree compares equal")
+	}
+}
+
+func TestWatchFiresOnChange(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "a.md"), "v1")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	fired := make(chan struct{}, 8)
+	done := make(chan error, 1)
+	go func() {
+		done <- Watch(ctx, dir, 5*time.Millisecond, func() { fired <- struct{}{} })
+	}()
+
+	// Let the baseline scan land, then edit.
+	time.Sleep(20 * time.Millisecond)
+	write(t, filepath.Join(dir, "a.md"), "v2 with more bytes")
+
+	select {
+	case <-fired:
+	case <-ctx.Done():
+		t.Fatal("watcher never reported the change")
+	}
+
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Errorf("Watch returned %v, want context.Canceled", err)
+	}
+}
+
+func TestWatchMissingRoot(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := Watch(ctx, filepath.Join(t.TempDir(), "nope"), time.Millisecond, func() {}); err == nil {
+		t.Error("Watch of a missing root should fail fast")
+	}
+}

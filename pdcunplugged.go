@@ -138,8 +138,32 @@ func Simulations() []string { return sim.Names() }
 // activity (ok is false when none is linked).
 func SimulationFor(slug string) (string, bool) { return curation.SimulationFor(slug) }
 
-// BuildSite renders the repository to a static site.
+// BuildSite renders the repository to a static site with a one-shot
+// builder (one worker per CPU, no cache reuse across calls).
 func BuildSite(r *Repository) (*Site, error) { return site.Build(r) }
+
+// SiteBuilder schedules the page graph onto a bounded worker pool and
+// keeps a fingerprint-keyed page cache across builds, so repeated
+// builds of a slightly-changed repository re-render only the affected
+// jobs.
+type SiteBuilder = site.Builder
+
+// SiteBuildOptions configures a SiteBuilder.
+type SiteBuildOptions = site.Options
+
+// SiteBuildStats summarizes one SiteBuilder build (jobs, cache hits and
+// misses, pool size, duration).
+type SiteBuildStats = site.BuildStats
+
+// NewSiteBuilder returns a site builder with an empty page cache.
+func NewSiteBuilder(opts SiteBuildOptions) *SiteBuilder { return site.NewBuilder(opts) }
+
+// BuildSiteParallel renders the repository with a bounded worker pool
+// (workers <= 0 selects one per CPU). Output is byte-identical to
+// BuildSite regardless of worker count.
+func BuildSiteParallel(r *Repository, workers int) (*Site, error) {
+	return site.NewBuilder(site.Options{Workers: workers}).Build(r)
+}
 
 // Reference is one bibliography entry of the curated literature.
 type Reference = bib.Reference
