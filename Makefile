@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet fmtcheck test test-race build fmt
+.PHONY: check vet fmtcheck test test-race build fmt bench-smoke
 
-check: vet fmtcheck test-race
+check: vet fmtcheck test-race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -28,3 +28,8 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# One iteration of every benchmark: catches benchmarks that no longer
+# compile or crash without paying for a full measurement run.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

@@ -1,0 +1,113 @@
+package pdcunplugged_test
+
+// Benchmarks for the /api/v1 query-serving subsystem: the cold render
+// path (parse + search + encode on every request), the generation-keyed
+// cache hit path, and the coalesced path where concurrent identical
+// misses share one render.
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"pdcunplugged"
+	"pdcunplugged/internal/query"
+)
+
+func queryBenchSnapshot(b testing.TB) *query.Snapshot {
+	b.Helper()
+	repo, err := pdcunplugged.Open()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return query.NewSnapshot(repo)
+}
+
+func serveOnce(b testing.TB, h http.Handler, target string) {
+	req := httptest.NewRequest(http.MethodGet, target, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("%s = %d: %s", target, rec.Code, rec.Body)
+	}
+}
+
+func BenchmarkQueryServe(b *testing.B) {
+	snap := queryBenchSnapshot(b)
+	const target = "/api/v1/search?q=sorting+cards&limit=10"
+
+	// cold: a fresh service per iteration, so every request renders.
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := query.New(snap, query.Options{})
+			serveOnce(b, s.Handler(), target)
+		}
+	})
+
+	// cached: one warm service; every request is a generation-keyed hit.
+	b.Run("cached", func(b *testing.B) {
+		s := query.New(snap, query.Options{})
+		h := s.Handler()
+		serveOnce(b, h, target) // warm the cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serveOnce(b, h, target)
+		}
+	})
+
+	// coalesced: a one-entry cache and two alternating queries keep every
+	// request a miss, so concurrent identical misses pile onto the
+	// singleflight leader instead of rendering independently.
+	b.Run("coalesced", func(b *testing.B) {
+		s := query.New(snap, query.Options{CacheSize: 1})
+		h := s.Handler()
+		queries := [2]string{"sorting+cards", "token+ring"}
+		var n atomic.Int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				q := queries[n.Add(1)%2]
+				serveOnce(b, h, fmt.Sprintf("/api/v1/search?q=%s&limit=10", q))
+			}
+		})
+	})
+}
+
+// TestQueryCachedSpeedup pins the acceptance bound: answering a repeated
+// query from the generation-keyed cache is at least 10x faster than
+// rendering it cold. The realistic margin is far larger (a cache hit is
+// a map lookup; a cold render tokenizes, walks postings, ranks and
+// re-encodes), so the 10x floor stays safe on loaded CI machines.
+func TestQueryCachedSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive; skipped with -short")
+	}
+	snap := queryBenchSnapshot(t)
+	const target = "/api/v1/search?q=sorting+cards&limit=10"
+
+	cold := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := query.New(snap, query.Options{})
+			serveOnce(b, s.Handler(), target)
+		}
+	})
+	cached := testing.Benchmark(func(b *testing.B) {
+		s := query.New(snap, query.Options{})
+		h := s.Handler()
+		serveOnce(b, h, target)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serveOnce(b, h, target)
+		}
+	})
+	coldNs, cachedNs := cold.NsPerOp(), cached.NsPerOp()
+	if cachedNs <= 0 || coldNs < 10*cachedNs {
+		t.Errorf("cached path %d ns/op vs cold %d ns/op: want >= 10x speedup", cachedNs, coldNs)
+	}
+	t.Logf("cold %d ns/op, cached %d ns/op (%.0fx)", coldNs, cachedNs, float64(coldNs)/float64(cachedNs))
+}

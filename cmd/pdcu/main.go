@@ -7,7 +7,7 @@
 //
 //	pdcu list [-course CS1] [-sense touch] [-medium cards] [-ku TERM] [-area TERM]
 //	pdcu show <slug>
-//	pdcu search <query>
+//	pdcu search [-json] [-limit N] <query>
 //	pdcu coverage
 //	pdcu stats
 //	pdcu gaps
@@ -16,13 +16,14 @@
 //	pdcu validate <dir>
 //	pdcu export -out DIR
 //	pdcu build -out DIR [-j N] [-verbose]
-//	pdcu serve -addr :8080 [-src DIR -watch [-poll D]] [-pprof] [-verbose]
+//	pdcu serve -addr :8080 [-src DIR -watch [-poll D]] [-rate R -burst B] [-pprof] [-verbose]
 //	pdcu sim list
 //	pdcu sim run <name> [-n N] [-workers W] [-seed S] [-trace] [-param k=v ...]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -43,6 +44,7 @@ import (
 	"pdcunplugged/internal/activity"
 	"pdcunplugged/internal/coverage"
 	"pdcunplugged/internal/obs"
+	"pdcunplugged/internal/query"
 	"pdcunplugged/internal/report"
 	"pdcunplugged/internal/sim"
 	"pdcunplugged/internal/watch"
@@ -215,22 +217,32 @@ func cmdShow(args []string, w io.Writer) error {
 }
 
 func cmdSearch(args []string, w io.Writer) error {
-	if len(args) == 0 {
-		return fmt.Errorf("usage: pdcu search <query>")
+	fs := flag.NewFlagSet("search", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit results as JSON (the /api/v1/search response shape)")
+	limit := fs.Int("limit", 10, "maximum results (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: pdcu search [-json] [-limit N] <query>")
 	}
 	repo, err := openRepo()
 	if err != nil {
 		return err
 	}
-	ix := pdcunplugged.NewSearchIndex(repo)
-	hits := ix.Search(strings.Join(args, " "), 10)
-	for _, h := range hits {
-		a, _ := repo.Get(h.Slug)
-		fmt.Fprintf(w, "%6.3f  %-32s %s\n", h.Score, h.Slug, a.Title)
+	snap := query.NewSnapshot(repo)
+	resp := query.Search(snap, strings.Join(fs.Args(), " "), *limit)
+	if *asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(resp)
 	}
-	if len(hits) == 0 {
+	for _, h := range resp.Results {
+		fmt.Fprintf(w, "%6.3f  %-32s %s\n", h.Score, h.Slug, h.Title)
+	}
+	if len(resp.Results) == 0 {
 		fmt.Fprintln(w, "no matches")
-		if sugg := ix.Suggest(args[0], 5); len(sugg) > 0 {
+		if sugg := snap.Index.Suggest(fs.Arg(0), 5); len(sugg) > 0 {
 			fmt.Fprintf(w, "did you mean: %s\n", strings.Join(sugg, ", "))
 		}
 	}
@@ -694,8 +706,10 @@ func newLiveSite(s *pdcunplugged.Site, repo *pdcunplugged.Repository) *liveSite 
 
 // reloadSite reloads the corpus from src, rebuilds through b (so
 // unchanged pages come from the builder's cache), and publishes the
-// result. On any error the previously-published site stays live.
-func reloadSite(b *pdcunplugged.SiteBuilder, src string, cur *atomic.Pointer[liveSite]) error {
+// result to both the static site pointer and the query service (whose
+// result cache is invalidated wholesale by the swap). On any error the
+// previously-published site stays live.
+func reloadSite(b *pdcunplugged.SiteBuilder, src string, cur *atomic.Pointer[liveSite], qsvc *query.Service) error {
 	repo, err := pdcunplugged.LoadFS(os.DirFS(src), ".")
 	if err != nil {
 		return err
@@ -705,6 +719,7 @@ func reloadSite(b *pdcunplugged.SiteBuilder, src string, cur *atomic.Pointer[liv
 		return err
 	}
 	cur.Store(newLiveSite(s, repo))
+	qsvc.Swap(query.NewSnapshot(repo))
 	return nil
 }
 
@@ -716,6 +731,8 @@ func cmdServe(args []string, w io.Writer) error {
 	poll := fs.Duration("poll", 500*time.Millisecond, "poll interval for -watch")
 	withPprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	verbose := fs.Bool("verbose", false, "debug logging (includes span completions)")
+	rate := fs.Float64("rate", 100, "query API admission rate in requests/second (0 disables)")
+	burst := fs.Int("burst", 0, "query API token-bucket burst (0 = 2x rate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -736,9 +753,13 @@ func cmdServe(args []string, w io.Writer) error {
 	}
 	cur := &atomic.Pointer[liveSite]{}
 	cur.Store(newLiveSite(s, repo))
+	qsvc := query.New(query.NewSnapshot(repo), query.Options{
+		RateLimit: *rate,
+		Burst:     *burst,
+	})
 
 	log := obs.Logger()
-	mux := serveMux(cur, *withPprof)
+	mux := serveMux(cur, qsvc, *withPprof)
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -756,7 +777,7 @@ func cmdServe(args []string, w io.Writer) error {
 	if *watchSrc {
 		go func() {
 			err := watch.Watch(ctx, *src, *poll, func() {
-				if err := reloadSite(builder, *src, cur); err != nil {
+				if err := reloadSite(builder, *src, cur, qsvc); err != nil {
 					log.Warn("rebuild failed; keeping previous site", "err", err)
 					return
 				}
@@ -773,7 +794,7 @@ func cmdServe(args []string, w io.Writer) error {
 		}()
 	}
 
-	fmt.Fprintf(w, "serving %d pages on %s (metrics: /metrics, health: /healthz", s.Len(), *addr)
+	fmt.Fprintf(w, "serving %d pages on %s (query API: /api/v1/, metrics: /metrics, health: /healthz", s.Len(), *addr)
 	if *withPprof {
 		fmt.Fprint(w, ", pprof: /debug/pprof/")
 	}
@@ -806,21 +827,23 @@ func cmdServe(args []string, w io.Writer) error {
 }
 
 // serveMux assembles the serve handler tree: the instrumented site at /,
-// plus the operational endpoints (/metrics, /healthz, and optionally
-// /debug/pprof/) outside the request-metrics middleware so scrapes do
-// not count as site traffic. The site and health endpoints dispatch
-// through the atomic pointer on every request, so a `-watch` rebuild
-// takes effect without touching the mux.
-func serveMux(cur *atomic.Pointer[liveSite], withPprof bool) *http.ServeMux {
+// the live query API under /api/v1/, plus the operational endpoints
+// (/metrics, /healthz, and optionally /debug/pprof/) outside the
+// request-metrics middleware so scrapes do not count as site traffic.
+// The site, query, and health endpoints dispatch through atomic pointers
+// on every request, so a `-watch` rebuild takes effect without touching
+// the mux.
+func serveMux(cur *atomic.Pointer[liveSite], qsvc *query.Service, withPprof bool) *http.ServeMux {
 	start := time.Now()
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.Default().Handler())
 	mux.HandleFunc("/healthz", func(hw http.ResponseWriter, r *http.Request) {
 		ls := cur.Load()
 		hw.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(hw, `{"status":"ok","pages":%d,"activities":%d,"uptime_seconds":%.0f}`+"\n",
-			ls.site.Len(), ls.repo.Len(), time.Since(start).Seconds())
+		fmt.Fprintf(hw, `{"status":"ok","pages":%d,"activities":%d,"generation":%q,"uptime_seconds":%.0f}`+"\n",
+			ls.site.Len(), ls.repo.Len(), qsvc.Snapshot().Generation, time.Since(start).Seconds())
 	})
+	mux.Handle("/api/v1/", obs.Middleware(qsvc.Handler()))
 	if withPprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

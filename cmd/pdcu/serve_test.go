@@ -2,19 +2,28 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
 	"pdcunplugged"
+	"pdcunplugged/internal/query"
 )
 
 func serveTestMux(t *testing.T, withPprof bool) (*http.ServeMux, *atomic.Pointer[liveSite]) {
+	t.Helper()
+	mux, cur, _ := serveTestMuxQuery(t, withPprof)
+	return mux, cur
+}
+
+func serveTestMuxQuery(t *testing.T, withPprof bool) (*http.ServeMux, *atomic.Pointer[liveSite], *query.Service) {
 	t.Helper()
 	repo, err := pdcunplugged.Open()
 	if err != nil {
@@ -26,7 +35,8 @@ func serveTestMux(t *testing.T, withPprof bool) (*http.ServeMux, *atomic.Pointer
 	}
 	cur := &atomic.Pointer[liveSite]{}
 	cur.Store(newLiveSite(s, repo))
-	return serveMux(cur, withPprof), cur
+	qsvc := query.New(query.NewSnapshot(repo), query.Options{})
+	return serveMux(cur, qsvc, withPprof), cur, qsvc
 }
 
 func serveTestServer(t *testing.T, withPprof bool) *httptest.Server {
@@ -182,8 +192,13 @@ func TestReloadSite(t *testing.T) {
 	dir := writeCorpus(t)
 	b := pdcunplugged.NewSiteBuilder(pdcunplugged.SiteBuildOptions{})
 	cur := &atomic.Pointer[liveSite]{}
+	repo, err := pdcunplugged.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qsvc := query.New(query.NewSnapshot(repo), query.Options{})
 
-	if err := reloadSite(b, dir, cur); err != nil {
+	if err := reloadSite(b, dir, cur, qsvc); err != nil {
 		t.Fatalf("initial reload: %v", err)
 	}
 	first := cur.Load()
@@ -197,12 +212,15 @@ func TestReloadSite(t *testing.T) {
 	if err := os.Remove(victim); err != nil {
 		t.Fatal(err)
 	}
-	if err := reloadSite(b, dir, cur); err != nil {
+	if err := reloadSite(b, dir, cur, qsvc); err != nil {
 		t.Fatalf("reload after delete: %v", err)
 	}
 	second := cur.Load()
 	if second == first {
 		t.Fatal("reload did not swap the live site")
+	}
+	if got := qsvc.Snapshot().Generation; got != second.repo.Fingerprint()[:len(got)] {
+		t.Errorf("query snapshot generation %q does not match the reloaded repo", got)
 	}
 	if _, ok := second.site.Pages["activities/findsmallestcard/index.html"]; ok {
 		t.Error("deleted activity still present after reload")
@@ -217,7 +235,7 @@ func TestReloadSite(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("---\ntitle: unterminated frontmatter\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := reloadSite(b, dir, cur); err == nil {
+	if err := reloadSite(b, dir, cur, qsvc); err == nil {
 		t.Fatal("reload of broken corpus should error")
 	}
 	if cur.Load() != second {
@@ -229,5 +247,184 @@ func TestServeWatchRequiresSrc(t *testing.T) {
 	err := run([]string{"serve", "-watch"}, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "-watch requires -src") {
 		t.Errorf("serve -watch without -src: err = %v", err)
+	}
+}
+
+// TestServeQueryAPI exercises the mounted /api/v1/ tree end to end
+// through the serve mux: correct JSON bodies, and the query middleware
+// counting requests under the /api route label.
+func TestServeQueryAPI(t *testing.T) {
+	mux, _, qsvc := serveTestMuxQuery(t, false)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var sr query.SearchResponse
+	getJSON(t, srv.URL+"/api/v1/search?q=byzantine", &sr)
+	if sr.Count == 0 || sr.Results[0].Slug != "byzantine-generals" {
+		t.Errorf("search response: %+v", sr)
+	}
+	if sr.Generation != qsvc.Snapshot().Generation {
+		t.Errorf("search generation %q, want %q", sr.Generation, qsvc.Snapshot().Generation)
+	}
+
+	var ar query.ActivitiesResponse
+	getJSON(t, srv.URL+"/api/v1/activities?course=CS1&medium=cards", &ar)
+	if ar.Count == 0 || ar.Count != len(ar.Activities) {
+		t.Errorf("activities response: count=%d len=%d", ar.Count, len(ar.Activities))
+	}
+	for _, a := range ar.Activities {
+		if !contains(a.Courses, "CS1") || !contains(a.Medium, "cards") {
+			t.Errorf("activity %s escaped the facet filter: %+v", a.Slug, a)
+		}
+	}
+
+	var fr query.FacetsResponse
+	getJSON(t, srv.URL+"/api/v1/facets", &fr)
+	if fr.Activities == 0 || len(fr.Facets["course"]) == 0 || len(fr.Facets["tcpp"]) == 0 {
+		t.Errorf("facets response: %+v", fr)
+	}
+
+	// The repeated query above is a cache hit, observable through the
+	// real /metrics exposition mounted next to the site.
+	var sr2 query.SearchResponse
+	getJSON(t, srv.URL+"/api/v1/search?q=byzantine", &sr2)
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	metrics, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		`pdcu_query_cache_total{endpoint="search",result="hit"}`,
+		`pdcu_query_cache_total{endpoint="search",result="miss"}`,
+		`pdcu_query_requests_total{endpoint="search",code="200"}`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s = %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+// TestServeQuerySwapUnderLoad hammers /api/v1/search from several
+// goroutines while the main goroutine repeatedly mutates the corpus and
+// swaps new sites in through reloadSite, as the -watch loop would. Run
+// under -race by `make check`. It pins three properties: the load never
+// produces a 5xx, every swap is immediately visible to the next query
+// (no stale-generation cache hit can outlive a swap), and each observed
+// generation is one that was actually published.
+func TestServeQuerySwapUnderLoad(t *testing.T) {
+	dir := writeCorpus(t)
+	b := pdcunplugged.NewSiteBuilder(pdcunplugged.SiteBuildOptions{})
+	cur := &atomic.Pointer[liveSite]{}
+	repo, err := pdcunplugged.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qsvc := query.New(query.NewSnapshot(repo), query.Options{})
+	if err := reloadSite(b, dir, cur, qsvc); err != nil {
+		t.Fatal(err)
+	}
+	mux := serveMux(cur, qsvc, false)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	published := sync.Map{} // generation -> true, recorded before workers can observe it
+	published.Store(qsvc.Snapshot().Generation, true)
+
+	stop := make(chan struct{})
+	errc := make(chan error, 8)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			queries := []string{"odd-even", "byzantine", "token ring", "sorting cards"}
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(srv.URL + "/api/v1/search?q=" + strings.ReplaceAll(queries[n%len(queries)], " ", "+"))
+				if err != nil {
+					errc <- err
+					return
+				}
+				var sr query.SearchResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&sr)
+				resp.Body.Close()
+				if resp.StatusCode >= 500 {
+					errc <- fmt.Errorf("query returned %d", resp.StatusCode)
+					return
+				}
+				if decErr != nil {
+					errc <- decErr
+					return
+				}
+				if _, ok := published.Load(sr.Generation); !ok {
+					errc <- fmt.Errorf("observed unpublished generation %q", sr.Generation)
+					return
+				}
+			}
+		}()
+	}
+
+	victim := filepath.Join(dir, "findsmallestcard.md")
+	original, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		// Alternate removing and restoring one activity so every swap
+		// changes the fingerprint.
+		if i%2 == 0 {
+			if err := os.Remove(victim); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if err := os.WriteFile(victim, original, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Record the generation this corpus will publish as *before*
+		// swapping, so workers can never observe an unknown one.
+		next, err := pdcunplugged.LoadFS(os.DirFS(dir), ".")
+		if err != nil {
+			t.Fatal(err)
+		}
+		published.Store(query.NewSnapshot(next).Generation, true)
+		if err := reloadSite(b, dir, cur, qsvc); err != nil {
+			t.Fatal(err)
+		}
+		// A query issued after the swap must see the new generation:
+		// the generation-keyed cache cannot serve a stale hit.
+		var sr query.SearchResponse
+		getJSON(t, srv.URL+"/api/v1/search?q=odd-even", &sr)
+		if want := qsvc.Snapshot().Generation; sr.Generation != want {
+			t.Fatalf("swap %d: query served generation %q, want %q", i, sr.Generation, want)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
 	}
 }

@@ -110,8 +110,9 @@ func Evaluate(repo *core.Repository, slug, content string) *Review {
 	}
 
 	// Duplicate detection: rank the existing curation against the
-	// submission's title and details.
-	ix := search.Build(repo.All())
+	// submission's title and details. The memoized build means reviewing
+	// many submissions against one corpus inverts the index once.
+	ix := search.BuildCached(repo.Fingerprint(), repo.All())
 	hits := ix.Search(a.Title+" "+a.Details, 3)
 	for _, h := range hits {
 		if h.Score >= 0.5 {

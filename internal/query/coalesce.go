@@ -1,0 +1,45 @@
+package query
+
+import "sync"
+
+// flightGroup implements request coalescing (the singleflight pattern):
+// concurrent callers presenting the same key share one execution of fn.
+// The leader renders; followers block on the call's done channel and
+// receive the leader's result. Keys embed the site generation, so a swap
+// mid-flight simply strands the old call — its waiters still get a
+// response consistent with the snapshot they asked under.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done  chan struct{}
+	entry *cacheEntry
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do executes fn once per concurrent set of callers with the same key.
+// The second result reports whether this caller coalesced onto another
+// caller's render rather than executing fn itself.
+func (g *flightGroup) do(key string, fn func() *cacheEntry) (*cacheEntry, bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.entry, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.entry = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.entry, false
+}

@@ -1,0 +1,50 @@
+package query
+
+import (
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
+	"net/http"
+	"strings"
+)
+
+// gzipMinSize is the smallest body worth compressing: below ~1 KiB the
+// gzip header overhead and the extra client work outweigh the savings.
+const gzipMinSize = 1024
+
+// gzipBytes compresses b at the default level. Cached entries are
+// compressed once at render time, so negotiation on the hot path is a
+// header check and a slice swap.
+func gzipBytes(b []byte) []byte {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write(b) // writes to a bytes.Buffer cannot fail
+	zw.Close()
+	return buf.Bytes()
+}
+
+// acceptsGzip reports whether the request negotiates gzip: an
+// Accept-Encoding member naming gzip (or a wildcard) without q=0.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		coding, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		coding = strings.ToLower(strings.TrimSpace(coding))
+		if coding != "gzip" && coding != "*" {
+			continue
+		}
+		q := strings.ReplaceAll(strings.ToLower(params), " ", "")
+		if q == "q=0" || (strings.HasPrefix(q, "q=0.") && strings.Trim(q[len("q=0."):], "0") == "") {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// etagFor derives the strong entity tag for a response body, the same
+// content-hash scheme the static-site handler uses.
+func etagFor(body []byte) string {
+	sum := sha256.Sum256(body)
+	return `"` + hex.EncodeToString(sum[:8]) + `"`
+}

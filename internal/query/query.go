@@ -1,0 +1,504 @@
+// Package query is the live query-serving subsystem behind `pdcu serve`:
+// a versioned JSON API (/api/v1/) answering full-text search, faceted
+// activity listing, and facet counts from the in-memory Repository and
+// search.Index rather than from pre-baked files.
+//
+// The read path is production-shaped. Every response is rendered once and
+// kept in an LRU cache keyed by (site generation, normalized query), so a
+// repeated query is a map lookup; the generation is the repository
+// fingerprint, which means a live-reload swap can never serve a stale
+// page — old keys simply stop being asked for, and Swap purges them
+// wholesale to release memory. Concurrent identical misses coalesce onto
+// a single render (singleflight), a token bucket sheds over-limit traffic
+// with 429 + Retry-After, bodies above a threshold are pre-compressed for
+// gzip-negotiating clients, and every endpoint feeds latency histograms
+// plus cache and shed counters in internal/obs.
+package query
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"pdcunplugged/internal/core"
+	"pdcunplugged/internal/obs"
+	"pdcunplugged/internal/search"
+)
+
+var (
+	queryRequests = obs.Default().Counter("pdcu_query_requests_total",
+		"Query API responses, by endpoint and status code.", "endpoint", "code")
+	queryDuration = obs.Default().Histogram("pdcu_query_duration_seconds",
+		"Query API request latency, by endpoint.", nil, "endpoint")
+	queryCache = obs.Default().Counter("pdcu_query_cache_total",
+		"Query API result-cache lookups, by endpoint and result (hit, miss, coalesced).",
+		"endpoint", "result")
+	queryShed = obs.Default().Counter("pdcu_query_shed_total",
+		"Query API requests shed by admission control, by endpoint.", "endpoint")
+	querySwaps = obs.Default().Counter("pdcu_query_generation_swaps_total",
+		"Snapshot swaps published to the query service (each purges the result cache).")
+)
+
+// genLen truncates repository fingerprints for response bodies: 16 hex
+// characters (64 bits) are plenty to distinguish site generations while
+// keeping payloads readable.
+const genLen = 16
+
+// Snapshot is one immutable generation of the served data: the repository,
+// its memoized search index, and the generation tag that keys every cache
+// entry rendered from it.
+type Snapshot struct {
+	Repo       *core.Repository
+	Index      *search.Index
+	Generation string
+}
+
+// NewSnapshot derives a snapshot from a repository. The index build is
+// memoized on the repository fingerprint (search.BuildCached), so
+// re-snapshotting an unchanged corpus — every no-op live-reload rebuild —
+// reuses the existing inverted index.
+func NewSnapshot(repo *core.Repository) *Snapshot {
+	fp := repo.Fingerprint()
+	return &Snapshot{
+		Repo:       repo,
+		Index:      search.BuildCached(fp, repo.All()),
+		Generation: fp[:genLen],
+	}
+}
+
+// Options configures a Service. The zero value serves with a 256-entry
+// cache, no rate limiting, and a search-limit clamp of 100.
+type Options struct {
+	// CacheSize is the LRU capacity in rendered responses (default 256).
+	CacheSize int
+	// RateLimit admits this many requests per second across all query
+	// endpoints; 0 (or negative) disables admission control.
+	RateLimit float64
+	// Burst is the token-bucket capacity (default 2*RateLimit, min 1).
+	Burst int
+	// MaxLimit clamps the search limit parameter (default 100).
+	MaxLimit int
+}
+
+// Service answers the /api/v1/ endpoints from the current Snapshot. Swap
+// publishes a new snapshot atomically; in-flight requests finish against
+// the one they started with.
+type Service struct {
+	opts    Options
+	snap    atomic.Pointer[Snapshot]
+	cache   *resultCache
+	flight  *flightGroup
+	limiter *tokenBucket
+
+	// renderHook, when non-nil, runs inside the singleflight leader just
+	// before rendering — a test seam for pinning coalescing behaviour.
+	renderHook func()
+}
+
+// New returns a Service serving snap under opts.
+func New(snap *Snapshot, opts Options) *Service {
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = 256
+	}
+	if opts.MaxLimit <= 0 {
+		opts.MaxLimit = 100
+	}
+	if opts.RateLimit > 0 && opts.Burst <= 0 {
+		opts.Burst = int(math.Max(1, 2*opts.RateLimit))
+	}
+	s := &Service{
+		opts:   opts,
+		cache:  newResultCache(opts.CacheSize),
+		flight: newFlightGroup(),
+	}
+	if opts.RateLimit > 0 {
+		s.limiter = newTokenBucket(opts.RateLimit, opts.Burst)
+	}
+	s.snap.Store(snap)
+	return s
+}
+
+// Swap publishes a new snapshot and purges the result cache wholesale.
+// Entries rendered under the old generation could never be served for the
+// new one (the generation is part of every cache key); purging just
+// releases their memory immediately.
+func (s *Service) Swap(snap *Snapshot) {
+	s.snap.Store(snap)
+	s.cache.Purge()
+	querySwaps.Inc()
+}
+
+// Snapshot returns the currently-published snapshot.
+func (s *Service) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Handler returns the /api/v1/ endpoint tree. Mount it at the server
+// root; all routes live under /api/v1/.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v1/search", s.handle("search", parseSearch))
+	mux.HandleFunc("/api/v1/activities", s.handle("activities", parseActivities))
+	mux.HandleFunc("/api/v1/facets", s.handle("facets", parseFacets))
+	mux.HandleFunc("/api/v1/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, "other", http.StatusNotFound, "unknown endpoint; try /api/v1/search, /api/v1/activities, /api/v1/facets")
+	})
+	return mux
+}
+
+// renderFn renders an endpoint's response value against one snapshot.
+type renderFn func(snap *Snapshot) any
+
+// parseFn validates request parameters and returns the endpoint-local
+// cache key plus the renderer; a non-nil error is a 400.
+type parseFn func(s *Service, v url.Values) (key string, render renderFn, err error)
+
+// handle wraps one endpoint with the full serving stack: method check,
+// admission control, generation-keyed cache, singleflight, and
+// negotiated write.
+func (s *Service) handle(name string, parse parseFn) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer queryDuration.With(name).Timer()()
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			writeError(w, name, http.StatusMethodNotAllowed, "method not allowed")
+			return
+		}
+		if ok, retry := s.limiter.take(); !ok {
+			queryShed.With(name).Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retry.Seconds()))))
+			writeError(w, name, http.StatusTooManyRequests, "rate limit exceeded")
+			return
+		}
+		key, render, err := parse(s, r.URL.Query())
+		if err != nil {
+			writeError(w, name, http.StatusBadRequest, err.Error())
+			return
+		}
+		snap := s.snap.Load()
+		full := name + "\x00" + snap.Generation + "\x00" + key
+		entry, ok := s.cache.get(full)
+		if ok {
+			queryCache.With(name, "hit").Inc()
+		} else {
+			var coalesced bool
+			entry, coalesced = s.flight.do(full, func() *cacheEntry {
+				if s.renderHook != nil {
+					s.renderHook()
+				}
+				e := encodeEntry(render(snap))
+				s.cache.put(full, e)
+				return e
+			})
+			if coalesced {
+				queryCache.With(name, "coalesced").Inc()
+			} else {
+				queryCache.With(name, "miss").Inc()
+			}
+		}
+		writeEntry(w, r, name, entry)
+	}
+}
+
+// encodeEntry marshals a response value into an immutable cache entry:
+// indented JSON plus trailing newline, a strong ETag over the bytes, and
+// a pre-compressed body when it clears the gzip threshold.
+func encodeEntry(v any) *cacheEntry {
+	body, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		// Response types are plain data; a marshal failure is a
+		// programming error, but never crash the serve path for it.
+		body = []byte(`{"error":"internal encoding failure"}`)
+	}
+	body = append(body, '\n')
+	e := &cacheEntry{body: body, etag: etagFor(body)}
+	if len(body) >= gzipMinSize {
+		e.gz = gzipBytes(body)
+	}
+	return e
+}
+
+// writeEntry serves a cached entry with ETag revalidation and gzip
+// negotiation. HEAD responses carry identical headers without a body.
+func writeEntry(w http.ResponseWriter, r *http.Request, name string, e *cacheEntry) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("ETag", e.etag)
+	h.Set("Vary", "Accept-Encoding")
+	if etagMatch(r.Header.Get("If-None-Match"), e.etag) {
+		queryRequests.With(name, "304").Inc()
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	body := e.body
+	if e.gz != nil && acceptsGzip(r) {
+		h.Set("Content-Encoding", "gzip")
+		body = e.gz
+	}
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	queryRequests.With(name, "200").Inc()
+	if r.Method == http.MethodHead {
+		return
+	}
+	if _, err := w.Write(body); err != nil {
+		obs.Logger().Warn("query response write failed", "endpoint", name, "err", err)
+	}
+}
+
+// writeError emits a JSON error body with the given status.
+func writeError(w http.ResponseWriter, name string, status int, msg string) {
+	queryRequests.With(name, strconv.Itoa(status)).Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	b, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{msg})
+	w.Write(append(b, '\n'))
+}
+
+// etagMatch implements the weak If-None-Match comparison the 304 path
+// requires (mirrors the static-site handler).
+func etagMatch(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		if part == "*" || strings.TrimPrefix(part, "W/") == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- /api/v1/search ----
+
+// SearchResult is one ranked hit of a search response. The same shape is
+// emitted by `pdcu search -json`.
+type SearchResult struct {
+	Slug  string  `json:"slug"`
+	Title string  `json:"title"`
+	Score float64 `json:"score"`
+	URL   string  `json:"url"`
+}
+
+// SearchResponse is the /api/v1/search body. Query echoes the normalized
+// form (lowercased, tokenized, stop words dropped) that was actually
+// ranked — the cache key, not the raw spelling.
+type SearchResponse struct {
+	Query      string         `json:"query"`
+	Limit      int            `json:"limit"`
+	Generation string         `json:"generation"`
+	Count      int            `json:"count"`
+	Results    []SearchResult `json:"results"`
+}
+
+// Search ranks q against one snapshot, returning up to limit hits (all
+// when limit <= 0). It is the single implementation behind both the
+// /api/v1/search endpoint and `pdcu search`.
+func Search(snap *Snapshot, q string, limit int) *SearchResponse {
+	qn := NormalizeQuery(q)
+	hits := snap.Index.Search(qn, limit)
+	results := make([]SearchResult, 0, len(hits))
+	for _, h := range hits {
+		title := ""
+		if a, ok := snap.Repo.Get(h.Slug); ok {
+			title = a.Title
+		}
+		results = append(results, SearchResult{
+			Slug:  h.Slug,
+			Title: title,
+			Score: h.Score,
+			URL:   "/activities/" + h.Slug + "/",
+		})
+	}
+	return &SearchResponse{
+		Query:      qn,
+		Limit:      limit,
+		Generation: snap.Generation,
+		Count:      len(results),
+		Results:    results,
+	}
+}
+
+// NormalizeQuery canonicalizes a free-text query for caching and ranking:
+// distinct spellings with identical token streams share one cache entry.
+func NormalizeQuery(q string) string {
+	return strings.Join(search.Tokenize(q), " ")
+}
+
+func parseSearch(s *Service, v url.Values) (string, renderFn, error) {
+	q := v.Get("q")
+	if strings.TrimSpace(q) == "" {
+		return "", nil, fmt.Errorf("missing required parameter q")
+	}
+	limit := 10
+	if raw := v.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil {
+			return "", nil, fmt.Errorf("bad limit %q: not an integer", raw)
+		}
+		limit = n
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	if limit > s.opts.MaxLimit {
+		limit = s.opts.MaxLimit
+	}
+	qn := NormalizeQuery(q)
+	key := fmt.Sprintf("q=%s&limit=%d", qn, limit)
+	return key, func(snap *Snapshot) any { return Search(snap, qn, limit) }, nil
+}
+
+// ---- /api/v1/activities ----
+
+// ActivitySummary is one activity of a faceted listing.
+type ActivitySummary struct {
+	Slug          string   `json:"slug"`
+	Title         string   `json:"title"`
+	Author        string   `json:"author"`
+	CS2013        []string `json:"cs2013,omitempty"`
+	TCPP          []string `json:"tcpp,omitempty"`
+	Courses       []string `json:"courses,omitempty"`
+	Senses        []string `json:"senses,omitempty"`
+	Medium        []string `json:"medium,omitempty"`
+	HasAssessment bool     `json:"hasAssessment"`
+	URL           string   `json:"url"`
+}
+
+// ActivitiesResponse is the /api/v1/activities body.
+type ActivitiesResponse struct {
+	Generation string            `json:"generation"`
+	Filters    map[string]string `json:"filters,omitempty"`
+	Count      int               `json:"count"`
+	Activities []ActivitySummary `json:"activities"`
+}
+
+// facetParams maps the endpoint's facet parameters to taxonomy names, in
+// canonical cache-key order.
+var facetParams = []struct{ param, taxonomy string }{
+	{"course", "courses"},
+	{"cs2013", "cs2013"},
+	{"medium", "medium"},
+	{"sense", "senses"},
+	{"tcpp", "tcpp"},
+}
+
+func parseActivities(_ *Service, v url.Values) (string, renderFn, error) {
+	known := make(map[string]string, len(facetParams))
+	for _, fp := range facetParams {
+		known[fp.param] = fp.taxonomy
+	}
+	for param := range v {
+		if _, ok := known[param]; !ok {
+			return "", nil, fmt.Errorf("unknown parameter %q (facets: course, cs2013, medium, sense, tcpp)", param)
+		}
+	}
+	filters := map[string]string{}
+	var keyParts []string
+	for _, fp := range facetParams {
+		if val := v.Get(fp.param); val != "" {
+			filters[fp.param] = val
+			keyParts = append(keyParts, fp.param+"="+val)
+		}
+	}
+	key := strings.Join(keyParts, "&")
+	return key, func(snap *Snapshot) any { return listActivities(snap, filters) }, nil
+}
+
+// listActivities intersects the taxonomy postings of every requested
+// facet, then summarizes the surviving activities in slug order.
+func listActivities(snap *Snapshot, filters map[string]string) *ActivitiesResponse {
+	slugs := snap.Repo.Slugs()
+	for _, fp := range facetParams {
+		term, ok := filters[fp.param]
+		if !ok {
+			continue
+		}
+		slugs = intersectSorted(slugs, snap.Repo.Index().EntriesFor(fp.taxonomy, term))
+	}
+	resp := &ActivitiesResponse{
+		Generation: snap.Generation,
+		Count:      len(slugs),
+		Activities: make([]ActivitySummary, 0, len(slugs)),
+	}
+	if len(filters) > 0 {
+		resp.Filters = filters
+	}
+	for _, slug := range slugs {
+		a, ok := snap.Repo.Get(slug)
+		if !ok {
+			continue
+		}
+		resp.Activities = append(resp.Activities, ActivitySummary{
+			Slug: a.Slug, Title: a.Title, Author: a.Author,
+			CS2013: a.CS2013, TCPP: a.TCPP, Courses: a.Courses,
+			Senses: a.Senses, Medium: a.Medium,
+			HasAssessment: a.HasAssessment(),
+			URL:           "/activities/" + a.Slug + "/",
+		})
+	}
+	return resp
+}
+
+func intersectSorted(a, b []string) []string {
+	out := a[:0:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// ---- /api/v1/facets ----
+
+// FacetsResponse is the /api/v1/facets body: per-taxonomy term counts
+// over the live repository, the menu a query UI renders its filters from.
+type FacetsResponse struct {
+	Generation string                    `json:"generation"`
+	Activities int                       `json:"activities"`
+	Facets     map[string]map[string]int `json:"facets"`
+}
+
+func parseFacets(_ *Service, v url.Values) (string, renderFn, error) {
+	if len(v) > 0 {
+		var params []string
+		for p := range v {
+			params = append(params, p)
+		}
+		sort.Strings(params)
+		return "", nil, fmt.Errorf("facets takes no parameters, got %s", strings.Join(params, ", "))
+	}
+	return "", func(snap *Snapshot) any { return listFacets(snap) }, nil
+}
+
+func listFacets(snap *Snapshot) *FacetsResponse {
+	ix := snap.Repo.Index()
+	resp := &FacetsResponse{
+		Generation: snap.Generation,
+		Activities: snap.Repo.Len(),
+		Facets:     make(map[string]map[string]int, len(facetParams)),
+	}
+	for _, fp := range facetParams {
+		counts := map[string]int{}
+		for _, term := range ix.Terms(fp.taxonomy) {
+			counts[term] = ix.Count(fp.taxonomy, term)
+		}
+		resp.Facets[fp.param] = counts
+	}
+	return resp
+}

@@ -1,0 +1,51 @@
+package query
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// tokenBucket is the admission controller for the query API: a classic
+// token bucket holding up to burst tokens, refilled at rate tokens per
+// second. Each admitted request spends one token; an empty bucket sheds
+// the request and reports how long until the next token matures, which
+// the handler surfaces as a Retry-After header.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 disables limiting
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time // injectable clock for tests
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	tb := &tokenBucket{rate: rate, burst: float64(burst), now: time.Now}
+	tb.tokens = tb.burst
+	return tb
+}
+
+// take attempts to spend one token. On refusal it returns the duration
+// after which a retry can succeed.
+func (tb *tokenBucket) take() (ok bool, retryAfter time.Duration) {
+	if tb == nil || tb.rate <= 0 {
+		return true, 0
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	now := tb.now()
+	if tb.last.IsZero() {
+		tb.last = now
+	}
+	tb.tokens = math.Min(tb.burst, tb.tokens+now.Sub(tb.last).Seconds()*tb.rate)
+	tb.last = now
+	if tb.tokens >= 1 {
+		tb.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - tb.tokens) / tb.rate * float64(time.Second))
+}

@@ -4,13 +4,22 @@
 package search
 
 import (
+	"container/list"
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"unicode"
 
 	"pdcunplugged/internal/activity"
+	"pdcunplugged/internal/obs"
 )
+
+// EngineVersion names the tokenizer/index implementation revision. Cached
+// index keys mix it in, so changing tokenization or scoring here
+// invalidates every memoized index even when the corpus is unchanged.
+// Bump it whenever Build's output can change for the same input.
+const EngineVersion = "search/2"
 
 // Field weights: a hit in a title matters more than one in the details.
 const (
@@ -33,29 +42,50 @@ type Index struct {
 }
 
 // Tokenize lowercases, splits on non-letters/digits, and drops stop words
-// and one-letter tokens.
+// and one-letter tokens. Hyphenated compounds additionally index their
+// joined form: "odd-even" yields odd, even, and oddeven, so a query for
+// the exact compound matches the documents that spell it out.
 func Tokenize(text string) []string {
 	var out []string
-	var cur strings.Builder
-	flush := func() {
-		if cur.Len() == 0 {
-			return
-		}
-		tok := cur.String()
-		cur.Reset()
+	emit := func(tok string) {
 		if len(tok) < 2 || stopWords[tok] {
 			return
 		}
 		out = append(out, tok)
 	}
+	var cur strings.Builder    // current hyphen-separated part
+	var joined strings.Builder // compound run with hyphens removed
+	parts := 0                 // non-empty parts seen in the current run
+	flushPart := func() {
+		if cur.Len() == 0 {
+			return
+		}
+		parts++
+		joined.WriteString(cur.String())
+		emit(cur.String())
+		cur.Reset()
+	}
+	flushRun := func() {
+		flushPart()
+		if parts > 1 {
+			emit(joined.String())
+		}
+		joined.Reset()
+		parts = 0
+	}
 	for _, r := range strings.ToLower(text) {
-		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
 			cur.WriteRune(r)
-		} else {
-			flush()
+		case r == '-':
+			// A hyphen continues a compound run only between word
+			// characters; anything else ends the run.
+			flushPart()
+		default:
+			flushRun()
 		}
 	}
-	flush()
+	flushRun()
 	return out
 }
 
@@ -65,6 +95,57 @@ var stopWords = map[string]bool{
 	"is": true, "are": true, "as": true, "at": true, "be": true, "it": true,
 	"its": true, "their": true, "then": true, "that": true, "this": true,
 	"each": true, "into": true, "from": true,
+}
+
+var indexCacheTotal = obs.Default().Counter("pdcu_search_index_cache_total",
+	"Memoized search-index builds, by result (hit or miss).", "result")
+
+// indexCache memoizes BuildCached keyed by corpus fingerprint. Unlike the
+// unbounded markdown render cache, live-reload can mint a new fingerprint
+// per edit, so the cache holds only the few most recent indexes.
+var indexCache = struct {
+	sync.Mutex
+	entries map[string]*list.Element // key -> element holding indexCacheEntry
+	order   *list.List               // front = most recently used
+}{entries: map[string]*list.Element{}, order: list.New()}
+
+const indexCacheCap = 8
+
+type indexCacheEntry struct {
+	key string
+	ix  *Index
+}
+
+// BuildCached is Build memoized by a caller-supplied corpus key (use
+// Repository.Fingerprint()): repeated builds over an unchanged corpus —
+// CLI calls, live-reload rebuilds, query-service swaps — return the same
+// immutable Index instead of re-inverting it. Safe for concurrent use.
+func BuildCached(key string, acts []*activity.Activity) *Index {
+	key = EngineVersion + "\x00" + key
+	indexCache.Lock()
+	if el, ok := indexCache.entries[key]; ok {
+		indexCache.order.MoveToFront(el)
+		ix := el.Value.(indexCacheEntry).ix
+		indexCache.Unlock()
+		indexCacheTotal.With("hit").Inc()
+		return ix
+	}
+	indexCache.Unlock()
+	indexCacheTotal.With("miss").Inc()
+	ix := Build(acts)
+	indexCache.Lock()
+	defer indexCache.Unlock()
+	if el, ok := indexCache.entries[key]; ok { // lost a concurrent build race
+		indexCache.order.MoveToFront(el)
+		return el.Value.(indexCacheEntry).ix
+	}
+	indexCache.entries[key] = indexCache.order.PushFront(indexCacheEntry{key: key, ix: ix})
+	for indexCache.order.Len() > indexCacheCap {
+		oldest := indexCache.order.Back()
+		indexCache.order.Remove(oldest)
+		delete(indexCache.entries, oldest.Value.(indexCacheEntry).key)
+	}
+	return ix
 }
 
 // Build indexes the given activities.

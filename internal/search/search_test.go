@@ -12,7 +12,7 @@ import (
 
 func TestTokenize(t *testing.T) {
 	got := Tokenize("The Quick-Brown FOX jumps; over 2 logs!")
-	want := []string{"quick", "brown", "fox", "jumps", "over", "logs"}
+	want := []string{"quick", "brown", "quickbrown", "fox", "jumps", "over", "logs"}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("Tokenize = %v, want %v", got, want)
 	}
@@ -149,5 +149,73 @@ func TestTagSearchRanksTaxonomyTermsFirst(t *testing.T) {
 		if !archTagged[h.Slug] {
 			t.Errorf("hit %d (%s) is not architecture-tagged", i, h.Slug)
 		}
+	}
+}
+
+func TestTokenizeHyphenCompounds(t *testing.T) {
+	// The parts of a hyphenated compound are kept AND the joined form is
+	// added, so "odd-even" matches documents written either way.
+	got := Tokenize("odd-even transposition")
+	want := []string{"odd", "even", "oddeven", "transposition"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+	// Multi-hyphen runs join across every part.
+	got = Tokenize("first-come-first-served")
+	want = []string{"first", "come", "first", "served", "firstcomefirstserved"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+	// The joined form passes the same filters as any token, and it is what
+	// rescues compounds whose parts are filtered out: "e-mail" drops the
+	// one-letter "e" but still indexes under "email".
+	if got := Tokenize("e-mail"); !reflect.DeepEqual(got, []string{"mail", "email"}) {
+		t.Errorf("e-mail: %v", got)
+	}
+	// A trailing or leading hyphen is punctuation, not a compound.
+	if got := Tokenize("-odd even-"); !reflect.DeepEqual(got, []string{"odd", "even"}) {
+		t.Errorf("dangling hyphens: %v", got)
+	}
+	// Normalization is idempotent: re-tokenizing the joined token stream
+	// yields the same tokens, which the query cache key depends on.
+	joined := strings.Join(Tokenize("odd-even transposition"), " ")
+	if !reflect.DeepEqual(Tokenize(joined), Tokenize(strings.Join(Tokenize(joined), " "))) {
+		t.Errorf("tokenization not idempotent for %q", joined)
+	}
+}
+
+func TestCompoundQueryRanksTranspositionFirst(t *testing.T) {
+	ix := corpusIndex(t)
+	hits := ix.Search("odd-even", 5)
+	if len(hits) == 0 || hits[0].Slug != "oddeven-transposition" {
+		t.Errorf(`Search("odd-even") = %+v, want oddeven-transposition first`, hits)
+	}
+}
+
+func TestBuildCachedMemoizes(t *testing.T) {
+	acts := curation.Activities()
+	h0 := indexCacheTotal.With("hit").Value()
+	m0 := indexCacheTotal.With("miss").Value()
+
+	a := BuildCached("test-build-cached-key", acts)
+	b := BuildCached("test-build-cached-key", acts)
+	if a != b {
+		t.Error("same key rebuilt the index")
+	}
+	if d := indexCacheTotal.With("miss").Value() - m0; d != 1 {
+		t.Errorf("miss delta = %v, want 1", d)
+	}
+	if d := indexCacheTotal.With("hit").Value() - h0; d != 1 {
+		t.Errorf("hit delta = %v, want 1", d)
+	}
+
+	c := BuildCached("test-build-cached-other", acts[:5])
+	if c == a || c.Len() != 5 {
+		t.Errorf("different key shared an index (len %d)", c.Len())
+	}
+	// The memoized index answers queries identically to a fresh build.
+	fresh := Build(acts)
+	if !reflect.DeepEqual(a.Search("byzantine", 3), fresh.Search("byzantine", 3)) {
+		t.Error("cached and fresh indexes disagree")
 	}
 }
