@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet fmtcheck test test-race build fmt bench-smoke
+.PHONY: check vet fmtcheck test test-race build fmt bench-smoke trace-overhead
 
-check: vet fmtcheck test-race bench-smoke
+check: vet fmtcheck test-race bench-smoke trace-overhead
 
 build:
 	$(GO) build ./...
@@ -33,3 +33,10 @@ test-race:
 # compile or crash without paying for a full measurement run.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Tracing cost ceiling: with sampling off, the traced cached
+# /api/v1/search path must stay within 5% of the untraced one
+# (BenchmarkTraceOverhead measures it; this test enforces it). Runs
+# without -race — the gate skips itself under the race detector.
+trace-overhead:
+	$(GO) test -run=TestTraceOverheadBudget -count=1 -v .

@@ -33,6 +33,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -44,6 +45,8 @@ import (
 	"pdcunplugged/internal/activity"
 	"pdcunplugged/internal/coverage"
 	"pdcunplugged/internal/obs"
+	"pdcunplugged/internal/obs/dash"
+	"pdcunplugged/internal/obs/trace"
 	"pdcunplugged/internal/query"
 	"pdcunplugged/internal/report"
 	"pdcunplugged/internal/sim"
@@ -704,22 +707,121 @@ func newLiveSite(s *pdcunplugged.Site, repo *pdcunplugged.Repository) *liveSite 
 	return &liveSite{site: s, repo: repo, handler: s.Handler()}
 }
 
+// serveState bundles everything the serve handler tree dispatches
+// through: the live-site pointer, the query service, the tracer and
+// rolling time-series aggregator behind /debug/obs, and the
+// health/readiness state.
+type serveState struct {
+	cur    *atomic.Pointer[liveSite]
+	qsvc   *query.Service
+	tracer *trace.Tracer
+	rollup *obs.Rollup
+	health *healthState
+}
+
+func newServeState(cur *atomic.Pointer[liveSite], qsvc *query.Service, tracer *trace.Tracer) *serveState {
+	return &serveState{
+		cur:    cur,
+		qsvc:   qsvc,
+		tracer: tracer,
+		health: &healthState{start: time.Now()},
+	}
+}
+
+// healthState separates liveness (the process responds) from readiness
+// (a site has been built and published). It also remembers the most
+// recent -watch rebuild outcome, so /readyz tells an operator whether
+// the corpus they just edited actually went live.
+type healthState struct {
+	start   time.Time
+	ready   atomic.Bool
+	rebuild atomic.Pointer[rebuildOutcome]
+}
+
+// rebuildOutcome records one reloadSite attempt for /readyz.
+type rebuildOutcome struct {
+	Time     time.Time `json:"time"`
+	OK       bool      `json:"ok"`
+	Error    string    `json:"error,omitempty"`
+	Duration string    `json:"duration"`
+	TraceID  string    `json:"trace_id,omitempty"`
+}
+
+// buildInfo is the binary provenance block of /readyz, read from the
+// module metadata the Go linker embeds.
+type buildInfo struct {
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	Modified  bool   `json:"vcs_modified,omitempty"`
+}
+
+func readBuildInfo() buildInfo {
+	out := buildInfo{}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	out.GoVersion = bi.GoVersion
+	out.Module = bi.Main.Path
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out.Revision = s.Value
+		case "vcs.modified":
+			out.Modified = s.Value == "true"
+		}
+	}
+	return out
+}
+
 // reloadSite reloads the corpus from src, rebuilds through b (so
 // unchanged pages come from the builder's cache), and publishes the
 // result to both the static site pointer and the query service (whose
 // result cache is invalidated wholesale by the swap). On any error the
-// previously-published site stays live.
-func reloadSite(b *pdcunplugged.SiteBuilder, src string, cur *atomic.Pointer[liveSite], qsvc *query.Service) error {
+// previously-published site stays live. The whole reload runs as one
+// root trace — load, per-job renders, and the index build appear as
+// child spans at /debug/obs/traces — and its outcome is published to
+// /readyz.
+func reloadSite(st *serveState, b *pdcunplugged.SiteBuilder, src string) (err error) {
+	// Forced: rebuilds are rare and operator-triggered, so their
+	// waterfall is always recorded regardless of the sample rate.
+	ctx, root := st.tracer.StartForced(context.Background(), "serve.rebuild")
+	start := time.Now()
+	defer func() {
+		outcome := &rebuildOutcome{
+			Time:     start,
+			OK:       err == nil,
+			Duration: time.Since(start).Round(time.Millisecond).String(),
+		}
+		if err != nil {
+			outcome.Error = err.Error()
+			root.FailErr(err)
+		}
+		if root != nil {
+			outcome.TraceID = root.TraceID().String()
+		}
+		root.End()
+		st.health.rebuild.Store(outcome)
+	}()
+
+	root.SetAttr("src", src)
+	_, loadSpan := trace.StartSpan(ctx, "serve.load_corpus")
 	repo, err := pdcunplugged.LoadFS(os.DirFS(src), ".")
 	if err != nil {
+		loadSpan.FailErr(err)
+		loadSpan.End()
 		return err
 	}
-	s, err := b.Build(repo)
+	loadSpan.End()
+	s, err := b.BuildContext(ctx, repo)
 	if err != nil {
 		return err
 	}
-	cur.Store(newLiveSite(s, repo))
-	qsvc.Swap(query.NewSnapshot(repo))
+	st.cur.Store(newLiveSite(s, repo))
+	snap := query.NewSnapshotContext(ctx, repo)
+	st.qsvc.Swap(snap)
+	root.SetAttr("generation", snap.Generation)
 	return nil
 }
 
@@ -730,18 +832,35 @@ func cmdServe(args []string, w io.Writer) error {
 	watchSrc := fs.Bool("watch", false, "poll -src for changes and rebuild incrementally (requires -src)")
 	poll := fs.Duration("poll", 500*time.Millisecond, "poll interval for -watch")
 	withPprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
-	verbose := fs.Bool("verbose", false, "debug logging (includes span completions)")
+	verbose := fs.Bool("verbose", false, "debug logging (shorthand for -log-level debug)")
+	logLevel := fs.String("log-level", "info", "log threshold: debug, info, warn, or error")
 	rate := fs.Float64("rate", 100, "query API admission rate in requests/second (0 disables)")
 	burst := fs.Int("burst", 0, "query API token-bucket burst (0 = 2x rate)")
+	sample := fs.Float64("trace-sample", 0.1, "probability of retaining an ordinary trace (error/slow/traceparent traces are always kept)")
+	slow := fs.Duration("trace-slow", 250*time.Millisecond, "pin any trace at least this long")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *verbose {
-		obs.SetLevel(slog.LevelDebug)
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
 	}
+	if *verbose {
+		lvl = slog.LevelDebug
+	}
+	obs.SetLevel(lvl)
 	if *watchSrc && *src == "" {
 		return fmt.Errorf("serve: -watch requires -src (the embedded corpus cannot change)")
 	}
+	if *sample < 0 || *sample > 1 {
+		return fmt.Errorf("serve: -trace-sample must be in [0,1], got %v", *sample)
+	}
+
+	tracer := trace.New(trace.Options{SampleRate: *sample, SlowThreshold: *slow})
+	trace.SetDefault(tracer)
+	rollup := obs.NewRollup(obs.Default(), 5*time.Second, 120)
+	rollup.AddHook(obs.NewRuntimeCollector(obs.Default()).Collect)
+
 	repo, err := repoFrom(*src)
 	if err != nil {
 		return err
@@ -758,8 +877,12 @@ func cmdServe(args []string, w io.Writer) error {
 		Burst:     *burst,
 	})
 
+	st := newServeState(cur, qsvc, tracer)
+	st.rollup = rollup
+	st.health.ready.Store(true) // first build is published
+
 	log := obs.Logger()
-	mux := serveMux(cur, qsvc, *withPprof)
+	mux := serveMux(st, *withPprof)
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -774,19 +897,26 @@ func cmdServe(args []string, w io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	go rollup.Run(ctx)
+
 	if *watchSrc {
 		go func() {
 			err := watch.Watch(ctx, *src, *poll, func() {
-				if err := reloadSite(builder, *src, cur, qsvc); err != nil {
+				if err := reloadSite(st, builder, *src); err != nil {
 					log.Warn("rebuild failed; keeping previous site", "err", err)
 					return
 				}
-				st := builder.LastStats()
-				log.Info("site rebuilt",
+				bs := builder.LastStats()
+				attrs := []any{
 					"pages", cur.Load().site.Len(),
-					"jobs", st.Jobs, "cache_hits", st.CacheHits,
-					"cache_misses", st.CacheMisses,
-					"duration", st.Duration.Round(time.Millisecond).String())
+					"jobs", bs.Jobs, "cache_hits", bs.CacheHits,
+					"cache_misses", bs.CacheMisses,
+					"duration", bs.Duration.Round(time.Millisecond).String(),
+				}
+				if o := st.health.rebuild.Load(); o != nil && o.TraceID != "" {
+					attrs = append(attrs, "trace_id", o.TraceID)
+				}
+				log.Info("site rebuilt", attrs...)
 			})
 			if err != nil && ctx.Err() == nil {
 				log.Warn("watcher stopped", "err", err)
@@ -794,7 +924,7 @@ func cmdServe(args []string, w io.Writer) error {
 		}()
 	}
 
-	fmt.Fprintf(w, "serving %d pages on %s (query API: /api/v1/, metrics: /metrics, health: /healthz", s.Len(), *addr)
+	fmt.Fprintf(w, "serving %d pages on %s (query API: /api/v1/, metrics: /metrics, health: /healthz /readyz, dashboard: /debug/obs", s.Len(), *addr)
 	if *withPprof {
 		fmt.Fprint(w, ", pprof: /debug/pprof/")
 	}
@@ -828,22 +958,55 @@ func cmdServe(args []string, w io.Writer) error {
 
 // serveMux assembles the serve handler tree: the instrumented site at /,
 // the live query API under /api/v1/, plus the operational endpoints
-// (/metrics, /healthz, and optionally /debug/pprof/) outside the
-// request-metrics middleware so scrapes do not count as site traffic.
-// The site, query, and health endpoints dispatch through atomic pointers
-// on every request, so a `-watch` rebuild takes effect without touching
-// the mux.
-func serveMux(cur *atomic.Pointer[liveSite], qsvc *query.Service, withPprof bool) *http.ServeMux {
-	start := time.Now()
+// (/metrics, /healthz, /readyz, /debug/obs, and optionally
+// /debug/pprof/) outside the request-metrics middleware so scrapes and
+// dashboard refreshes do not count as site traffic. The site, query,
+// and health endpoints dispatch through atomic pointers on every
+// request, so a `-watch` rebuild takes effect without touching the mux.
+func serveMux(st *serveState, withPprof bool) *http.ServeMux {
 	mux := http.NewServeMux()
+	mw := obs.NewHTTPMetrics(obs.Default()).WithTracer(st.tracer)
 	mux.Handle("/metrics", obs.Default().Handler())
+	// Liveness: the process is up and serving its mux. Deliberately
+	// constant-cost — orchestrators hammer this.
 	mux.HandleFunc("/healthz", func(hw http.ResponseWriter, r *http.Request) {
-		ls := cur.Load()
 		hw.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(hw, `{"status":"ok","pages":%d,"activities":%d,"generation":%q,"uptime_seconds":%.0f}`+"\n",
-			ls.site.Len(), ls.repo.Len(), qsvc.Snapshot().Generation, time.Since(start).Seconds())
+		fmt.Fprintf(hw, `{"status":"ok","uptime_seconds":%.0f}`+"\n",
+			time.Since(st.health.start).Seconds())
 	})
-	mux.Handle("/api/v1/", obs.Middleware(qsvc.Handler()))
+	// Readiness: 503 until the first site build has been published, then
+	// corpus generation, uptime, last rebuild outcome, and build info.
+	mux.HandleFunc("/readyz", func(hw http.ResponseWriter, r *http.Request) {
+		hw.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(hw)
+		enc.SetIndent("", "  ")
+		if !st.health.ready.Load() {
+			hw.WriteHeader(http.StatusServiceUnavailable)
+			enc.Encode(map[string]any{
+				"status": "starting",
+				"reason": "first site build in flight",
+			})
+			return
+		}
+		ls := st.cur.Load()
+		enc.Encode(map[string]any{
+			"status":         "ready",
+			"generation":     st.qsvc.Snapshot().Generation,
+			"pages":          ls.site.Len(),
+			"activities":     ls.repo.Len(),
+			"uptime_seconds": time.Since(st.health.start).Seconds(),
+			"last_rebuild":   st.health.rebuild.Load(),
+			"build":          readBuildInfo(),
+		})
+	})
+	mux.Handle("/api/v1/", mw.Wrap(st.qsvc.Handler()))
+	dashHandler := dash.Handler(dash.Config{
+		Registry: obs.Default(),
+		Rollup:   st.rollup,
+		Tracer:   st.tracer,
+	})
+	mux.Handle("/debug/obs", dashHandler)
+	mux.Handle("/debug/obs/", dashHandler)
 	if withPprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -851,8 +1014,8 @@ func serveMux(cur *atomic.Pointer[liveSite], qsvc *query.Service, withPprof bool
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	mux.Handle("/", obs.Middleware(http.HandlerFunc(func(hw http.ResponseWriter, r *http.Request) {
-		cur.Load().handler.ServeHTTP(hw, r)
+	mux.Handle("/", mw.Wrap(http.HandlerFunc(func(hw http.ResponseWriter, r *http.Request) {
+		st.cur.Load().handler.ServeHTTP(hw, r)
 	})))
 	return mux
 }

@@ -12,10 +12,23 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"pdcunplugged"
+	"pdcunplugged/internal/obs"
+	"pdcunplugged/internal/obs/trace"
 	"pdcunplugged/internal/query"
 )
+
+// newTestServeState wires a serveState around the given live pointer and
+// query service with a keep-everything tracer, as cmdServe would after
+// its first successful build.
+func newTestServeState(cur *atomic.Pointer[liveSite], qsvc *query.Service) *serveState {
+	st := newServeState(cur, qsvc, trace.New(trace.Options{SampleRate: 1}))
+	st.rollup = obs.NewRollup(obs.Default(), time.Second, 16)
+	st.health.ready.Store(true)
+	return st
+}
 
 func serveTestMux(t *testing.T, withPprof bool) (*http.ServeMux, *atomic.Pointer[liveSite]) {
 	t.Helper()
@@ -24,6 +37,12 @@ func serveTestMux(t *testing.T, withPprof bool) (*http.ServeMux, *atomic.Pointer
 }
 
 func serveTestMuxQuery(t *testing.T, withPprof bool) (*http.ServeMux, *atomic.Pointer[liveSite], *query.Service) {
+	t.Helper()
+	st := serveTestState(t)
+	return serveMux(st, withPprof), st.cur, st.qsvc
+}
+
+func serveTestState(t *testing.T) *serveState {
 	t.Helper()
 	repo, err := pdcunplugged.Open()
 	if err != nil {
@@ -36,7 +55,7 @@ func serveTestMuxQuery(t *testing.T, withPprof bool) (*http.ServeMux, *atomic.Po
 	cur := &atomic.Pointer[liveSite]{}
 	cur.Store(newLiveSite(s, repo))
 	qsvc := query.New(query.NewSnapshot(repo), query.Options{})
-	return serveMux(cur, qsvc, withPprof), cur, qsvc
+	return newTestServeState(cur, qsvc)
 }
 
 func serveTestServer(t *testing.T, withPprof bool) *httptest.Server {
@@ -63,15 +82,79 @@ func TestServeHealthz(t *testing.T) {
 		t.Errorf("content type = %q", ct)
 	}
 	var health struct {
-		Status     string `json:"status"`
-		Pages      int    `json:"pages"`
-		Activities int    `json:"activities"`
+		Status string  `json:"status"`
+		Uptime float64 `json:"uptime_seconds"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
 		t.Fatal(err)
 	}
-	if health.Status != "ok" || health.Pages == 0 || health.Activities == 0 {
+	if health.Status != "ok" {
 		t.Errorf("health = %+v", health)
+	}
+}
+
+// TestServeReadyz pins the liveness/readiness split: /readyz is 503 until
+// the first build is published, then reports corpus generation, counts,
+// the last rebuild outcome, and build info.
+func TestServeReadyz(t *testing.T) {
+	st := serveTestState(t)
+	mux := serveMux(st, false)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	// Not ready: first build still in flight.
+	st.health.ready.Store(false)
+	resp, err := http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var starting struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&starting); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || starting.Status != "starting" {
+		t.Fatalf("/readyz before first build = %d %+v, want 503 starting", resp.StatusCode, starting)
+	}
+
+	// Ready, with a recorded rebuild outcome.
+	st.health.ready.Store(true)
+	st.health.rebuild.Store(&rebuildOutcome{Time: time.Now(), OK: true, Duration: "12ms", TraceID: "cafe"})
+	resp, err = http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz = %d, want 200", resp.StatusCode)
+	}
+	var ready struct {
+		Status     string  `json:"status"`
+		Generation string  `json:"generation"`
+		Pages      int     `json:"pages"`
+		Activities int     `json:"activities"`
+		Uptime     float64 `json:"uptime_seconds"`
+		Rebuild    *struct {
+			OK      bool   `json:"ok"`
+			TraceID string `json:"trace_id"`
+		} `json:"last_rebuild"`
+		Build *struct {
+			GoVersion string `json:"go_version"`
+		} `json:"build"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready.Status != "ready" || ready.Generation == "" || ready.Pages == 0 || ready.Activities == 0 {
+		t.Errorf("ready body = %+v", ready)
+	}
+	if ready.Rebuild == nil || !ready.Rebuild.OK || ready.Rebuild.TraceID != "cafe" {
+		t.Errorf("last_rebuild = %+v", ready.Rebuild)
+	}
+	if ready.Build == nil || ready.Build.GoVersion == "" {
+		t.Errorf("build info = %+v", ready.Build)
 	}
 }
 
@@ -197,8 +280,9 @@ func TestReloadSite(t *testing.T) {
 		t.Fatal(err)
 	}
 	qsvc := query.New(query.NewSnapshot(repo), query.Options{})
+	st := newTestServeState(cur, qsvc)
 
-	if err := reloadSite(b, dir, cur, qsvc); err != nil {
+	if err := reloadSite(st, b, dir); err != nil {
 		t.Fatalf("initial reload: %v", err)
 	}
 	first := cur.Load()
@@ -212,8 +296,11 @@ func TestReloadSite(t *testing.T) {
 	if err := os.Remove(victim); err != nil {
 		t.Fatal(err)
 	}
-	if err := reloadSite(b, dir, cur, qsvc); err != nil {
+	if err := reloadSite(st, b, dir); err != nil {
 		t.Fatalf("reload after delete: %v", err)
+	}
+	if out := st.health.rebuild.Load(); out == nil || !out.OK || out.TraceID == "" {
+		t.Errorf("rebuild outcome after success = %+v", out)
 	}
 	second := cur.Load()
 	if second == first {
@@ -225,9 +312,9 @@ func TestReloadSite(t *testing.T) {
 	if _, ok := second.site.Pages["activities/findsmallestcard/index.html"]; ok {
 		t.Error("deleted activity still present after reload")
 	}
-	st := b.LastStats()
-	if st.CacheHits == 0 {
-		t.Errorf("incremental reload had no cache hits: %+v", st)
+	stats := b.LastStats()
+	if stats.CacheHits == 0 {
+		t.Errorf("incremental reload had no cache hits: %+v", stats)
 	}
 
 	// A broken corpus keeps the previous site live.
@@ -235,11 +322,14 @@ func TestReloadSite(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("---\ntitle: unterminated frontmatter\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := reloadSite(b, dir, cur, qsvc); err == nil {
+	if err := reloadSite(st, b, dir); err == nil {
 		t.Fatal("reload of broken corpus should error")
 	}
 	if cur.Load() != second {
 		t.Error("failed reload must not swap the live site")
+	}
+	if out := st.health.rebuild.Load(); out == nil || out.OK || out.Error == "" {
+		t.Errorf("rebuild outcome after failure = %+v", out)
 	}
 }
 
@@ -337,10 +427,11 @@ func TestServeQuerySwapUnderLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	qsvc := query.New(query.NewSnapshot(repo), query.Options{})
-	if err := reloadSite(b, dir, cur, qsvc); err != nil {
+	st := newTestServeState(cur, qsvc)
+	if err := reloadSite(st, b, dir); err != nil {
 		t.Fatal(err)
 	}
-	mux := serveMux(cur, qsvc, false)
+	mux := serveMux(st, false)
 	srv := httptest.NewServer(mux)
 	defer srv.Close()
 
@@ -409,7 +500,7 @@ func TestServeQuerySwapUnderLoad(t *testing.T) {
 			t.Fatal(err)
 		}
 		published.Store(query.NewSnapshot(next).Generation, true)
-		if err := reloadSite(b, dir, cur, qsvc); err != nil {
+		if err := reloadSite(st, b, dir); err != nil {
 			t.Fatal(err)
 		}
 		// A query issued after the swap must see the new generation:

@@ -1,0 +1,142 @@
+package main
+
+// End-to-end acceptance for request-scoped tracing through the real
+// serve mux: a W3C traceparent request must yield a retrievable
+// waterfall covering the whole query pipeline, and a -watch rebuild
+// must appear as a trace with per-job child spans. Both run with
+// sampling OFF so retention is earned (traceparent / StartForced), not
+// won by a sample draw.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"pdcunplugged"
+	"pdcunplugged/internal/obs/trace"
+	"pdcunplugged/internal/query"
+)
+
+func TestServeTraceparentEndToEnd(t *testing.T) {
+	st := serveTestState(t)
+	st.tracer = trace.New(trace.Options{SampleRate: 0})
+	srv := httptest.NewServer(serveMux(st, false))
+	defer srv.Close()
+
+	const remote = "11112222333344445555666677778888"
+	req, err := http.NewRequest("GET", srv.URL+"/api/v1/search?q=sorting+cards&limit=5", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("traceparent", "00-"+remote+"-aaaabbbbccccdddd-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search = %d, want 200", resp.StatusCode)
+	}
+	if echo := resp.Header.Get("traceparent"); !strings.Contains(echo, remote) {
+		t.Errorf("response traceparent %q does not continue trace %s", echo, remote)
+	}
+
+	tid, err := trace.ParseTraceID(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := st.tracer.Store().Get(tid)
+	if !ok {
+		t.Fatal("traceparent request left no retrievable trace with sampling off")
+	}
+	// A cold-cache search walks the whole pipeline; every stage must
+	// appear as a child span of the request root.
+	got := map[string]bool{}
+	for _, sp := range d.Spans {
+		got[sp.Name] = true
+	}
+	for _, want := range []string{"query.ratelimit", "query.cache", "query.coalesce", "query.search"} {
+		if !got[want] {
+			t.Errorf("trace missing child span %q (have %v)", want, d.Spans)
+		}
+	}
+
+	// And the operator-facing route serves the same waterfall.
+	for _, path := range []string{
+		"/debug/obs/traces/" + tid.String(),
+		"/debug/obs/traces/" + tid.String() + "?format=json",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s = %d, want 200", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), "query.coalesce") {
+			t.Errorf("%s does not show the query.coalesce span", path)
+		}
+	}
+}
+
+func TestRebuildTraceWaterfall(t *testing.T) {
+	dir := writeCorpus(t)
+	b := pdcunplugged.NewSiteBuilder(pdcunplugged.SiteBuildOptions{})
+	cur := &atomic.Pointer[liveSite]{}
+	repo, err := pdcunplugged.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := newTestServeState(cur, query.New(query.NewSnapshot(repo), query.Options{}))
+	st.tracer = trace.New(trace.Options{SampleRate: 0})
+
+	if err := reloadSite(st, b, dir); err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	out := st.health.rebuild.Load()
+	if out == nil || !out.OK || out.TraceID == "" {
+		t.Fatalf("rebuild outcome = %+v, want success with a trace id", out)
+	}
+	tid, err := trace.ParseTraceID(out.TraceID)
+	if err != nil {
+		t.Fatalf("rebuild trace id %q: %v", out.TraceID, err)
+	}
+	d, ok := st.tracer.Store().Get(tid)
+	if !ok {
+		t.Fatal("rebuild trace not retained with sampling off")
+	}
+	if d.Root != "serve.rebuild" {
+		t.Errorf("rebuild trace root = %q, want serve.rebuild", d.Root)
+	}
+	var build bool
+	var jobs int
+	for _, sp := range d.Spans {
+		if sp.Name == "site.build" {
+			build = true
+		}
+		if strings.HasPrefix(sp.Name, "site.job.") {
+			jobs++
+		}
+	}
+	if !build || jobs == 0 {
+		t.Errorf("rebuild trace has build=%v jobs=%d, want a site.build span with per-job children", build, jobs)
+	}
+
+	srv := httptest.NewServer(serveMux(st, false))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/obs/traces/" + tid.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "site.job.") {
+		t.Errorf("waterfall for rebuild trace = %d, missing site.job spans", resp.StatusCode)
+	}
+}

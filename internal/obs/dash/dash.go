@@ -1,0 +1,418 @@
+// Package dash renders the /debug/obs operational dashboard: a
+// zero-dependency, server-rendered HTML view over the obs registry, the
+// rolling time-series aggregator, and the trace store. No JavaScript
+// frameworks, no external assets — sparklines are inline SVG generated
+// on the server, and the page refreshes itself with a meta tag, so the
+// dashboard works from curl's --head to a browser on an air-gapped box.
+//
+// Routes (all under the handler returned by Handler):
+//
+//	/debug/obs            HTML dashboard: RED series, caches, workers,
+//	                      runtime stats, exemplars, recent traces
+//	/debug/obs/traces     JSON list of retained traces, pinned first
+//	/debug/obs/traces/:id HTML waterfall for one trace (?format=json
+//	                      for the raw span data)
+package dash
+
+import (
+	"html/template"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"pdcunplugged/internal/obs"
+	"pdcunplugged/internal/obs/trace"
+)
+
+// Config wires the dashboard to the observability substrate. Any field
+// may be nil; the corresponding panels render empty.
+type Config struct {
+	Registry *obs.Registry
+	Rollup   *obs.Rollup
+	Tracer   *trace.Tracer
+	// Refresh is the meta-refresh cadence; 0 selects 5s, negative
+	// disables auto-refresh.
+	Refresh time.Duration
+}
+
+// Handler returns the dashboard routes. Mount it at /debug/obs and
+// /debug/obs/ (the handler matches full paths, so both mounts can share
+// it).
+func Handler(cfg Config) http.Handler {
+	h := &handler{cfg: cfg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/obs", h.dashboard)
+	mux.HandleFunc("/debug/obs/", h.dashboard)
+	mux.HandleFunc("/debug/obs/traces", h.traceList)
+	mux.HandleFunc("/debug/obs/traces/", h.traceView)
+	return mux
+}
+
+type handler struct{ cfg Config }
+
+// redRow is one endpoint's Rate/Errors/Duration view.
+type redRow struct {
+	Endpoint string
+	Rate     template.HTML
+	LastRate string
+	Errors   template.HTML
+	LastErr  string
+	Mean     template.HTML
+	LastMean string
+}
+
+// cacheRow is one memoization layer's hit accounting.
+type cacheRow struct {
+	Name   string
+	Hits   float64
+	Misses float64
+	Other  float64 // e.g. coalesced query lookups
+	Ratio  string
+}
+
+// gaugeRow is a labeled gauge with its windowed history.
+type gaugeRow struct {
+	Label string
+	Spark template.HTML
+	Last  string
+}
+
+type statRow struct {
+	Name  string
+	Value string
+}
+
+type exemplarRow struct {
+	Series string
+	Label  string
+	Bucket string
+	Value  string
+	Age    string
+	ID     string
+}
+
+type traceRow struct {
+	ID       string
+	Root     string
+	Start    string
+	Duration string
+	Spans    int
+	Reason   string
+	Err      bool
+}
+
+type dashData struct {
+	Refresh   int // seconds; 0 omits the meta tag
+	Window    string
+	Windows   int
+	HTTP      []redRow
+	Query     []redRow
+	Caches    []cacheRow
+	Workers   []gaugeRow
+	Runtime   []statRow
+	RtSparks  []gaugeRow
+	Exemplars []exemplarRow
+	Traces    []traceRow
+	Retained  int
+}
+
+func (h *handler) dashboard(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/debug/obs" && r.URL.Path != "/debug/obs/" {
+		http.NotFound(w, r)
+		return
+	}
+	refresh := h.cfg.Refresh
+	if refresh == 0 {
+		refresh = 5 * time.Second
+	}
+	d := dashData{}
+	if refresh > 0 {
+		d.Refresh = int(refresh / time.Second)
+		if d.Refresh < 1 {
+			d.Refresh = 1
+		}
+	}
+	if ru := h.cfg.Rollup; ru != nil {
+		d.Window = ru.Interval().String()
+		d.Windows = ru.Windows()
+		d.HTTP = h.redRows("pdcu_http_requests_total", "pdcu_http_request_duration_seconds", "path")
+		d.Query = h.redRows("pdcu_query_requests_total", "pdcu_query_duration_seconds", "endpoint")
+		d.Workers = h.gaugeRows("pdcu_build_workers_busy", "stage")
+		d.RtSparks = append(h.gaugeRows("pdcu_runtime_goroutines", ""),
+			h.gaugeRows("pdcu_runtime_heap_alloc_bytes", "")...)
+	}
+	if reg := h.cfg.Registry; reg != nil {
+		d.Caches = cacheRows(reg)
+		d.Runtime = runtimeRows(reg)
+	}
+	if t := h.cfg.Tracer; t != nil {
+		d.Exemplars = exemplarRows(t.Exemplars())
+		d.Traces, d.Retained = traceRows(t.Store(), 50)
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := dashTmpl.Execute(w, d); err != nil {
+		obs.Logger().Warn("dashboard render failed", "err", err)
+	}
+}
+
+// redRows assembles Rate/Errors/Duration sparklines per endpoint from
+// the rollup's windows: request rate is the counter's window delta over
+// the interval, errors count 5xx deltas, and mean latency divides the
+// histogram's sum delta by its count delta.
+func (h *handler) redRows(counterFam, histFam, key string) []redRow {
+	ru := h.cfg.Rollup
+	secs := ru.Interval().Seconds()
+
+	rates := map[string][]float64{}
+	errs := map[string][]float64{}
+	for _, ts := range ru.Series(counterFam) {
+		ep := ts.Labels[key]
+		addWindows(rates, ep, ts.Values)
+		if strings.HasPrefix(ts.Labels["code"], "5") {
+			addWindows(errs, ep, ts.Values)
+		}
+	}
+	means := map[string][]float64{}
+	for _, ts := range ru.Series(histFam) {
+		ep := ts.Labels[key]
+		m := make([]float64, len(ts.Values))
+		for i := range ts.Values {
+			m[i] = safeDiv(ts.Values[i].V, ts.Counts[i].V)
+		}
+		means[ep] = m
+	}
+
+	eps := make([]string, 0, len(rates))
+	for ep := range rates {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	rows := make([]redRow, 0, len(eps))
+	for _, ep := range eps {
+		rate := scale(rates[ep], 1/secs)
+		erate := scale(errs[ep], 1/secs)
+		if erate == nil {
+			erate = make([]float64, len(rate))
+		}
+		rows = append(rows, redRow{
+			Endpoint: ep,
+			Rate:     spark(rate, 140, 28),
+			LastRate: fmtRate(last(rate)),
+			Errors:   spark(erate, 140, 28),
+			LastErr:  fmtRate(last(erate)),
+			Mean:     spark(means[ep], 140, 28),
+			LastMean: fmtSeconds(last(means[ep])),
+		})
+	}
+	return rows
+}
+
+// gaugeRows renders every labeled series of one gauge family.
+func (h *handler) gaugeRows(fam, key string) []gaugeRow {
+	var rows []gaugeRow
+	for _, ts := range h.cfg.Rollup.Series(fam) {
+		vals := make([]float64, len(ts.Values))
+		for i := range ts.Values {
+			vals[i] = ts.Values[i].V
+		}
+		label := ts.Labels[key]
+		if label == "" {
+			label = strings.TrimPrefix(fam, "pdcu_runtime_")
+		}
+		lastStr := fmtNum(last(vals))
+		if strings.HasSuffix(fam, "_bytes") {
+			lastStr = fmtBytes(last(vals))
+		}
+		rows = append(rows, gaugeRow{Label: label, Spark: spark(vals, 140, 28), Last: lastStr})
+	}
+	return rows
+}
+
+// cacheFamilies names every memoization layer with a result label; the
+// dashboard computes hit ratios from their live totals.
+var cacheFamilies = []struct{ fam, title string }{
+	{"pdcu_query_cache_total", "query results"},
+	{"pdcu_site_page_cache_total", "site pages"},
+	{"pdcu_markdown_cache_total", "markdown renders"},
+	{"pdcu_search_index_cache_total", "search indexes"},
+}
+
+func cacheRows(reg *obs.Registry) []cacheRow {
+	rows := make([]cacheRow, 0, len(cacheFamilies))
+	for _, cf := range cacheFamilies {
+		row := cacheRow{Name: cf.title}
+		for _, s := range reg.Snapshot(cf.fam) {
+			switch s.Labels["result"] {
+			case "hit":
+				row.Hits += s.Value
+			case "miss":
+				row.Misses += s.Value
+			default:
+				row.Other += s.Value
+			}
+		}
+		if denom := row.Hits + row.Misses; denom > 0 {
+			row.Ratio = fmtPct(row.Hits / denom)
+		} else {
+			row.Ratio = "–"
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func runtimeRows(reg *obs.Registry) []statRow {
+	get := func(name string) float64 {
+		if s := reg.Snapshot(name); len(s) == 1 {
+			return s[0].Value
+		}
+		return 0
+	}
+	return []statRow{
+		{"goroutines", fmtNum(get("pdcu_runtime_goroutines"))},
+		{"heap alloc", fmtBytes(get("pdcu_runtime_heap_alloc_bytes"))},
+		{"heap objects", fmtNum(get("pdcu_runtime_heap_objects"))},
+		{"sys", fmtBytes(get("pdcu_runtime_sys_bytes"))},
+		{"gc cycles", fmtNum(get("pdcu_runtime_gc_cycles"))},
+		{"last gc pause", fmtSeconds(get("pdcu_runtime_gc_pause_seconds"))},
+	}
+}
+
+func exemplarRows(exs []trace.Exemplar) []exemplarRow {
+	rows := make([]exemplarRow, 0, len(exs))
+	for _, ex := range exs {
+		bucket := "+Inf"
+		if !ex.Inf {
+			bucket = "≤ " + fmtSeconds(ex.Bound)
+		}
+		rows = append(rows, exemplarRow{
+			Series: ex.Series,
+			Label:  ex.Label,
+			Bucket: bucket,
+			Value:  fmtSeconds(ex.Value),
+			Age:    fmtAge(time.Since(ex.Time)),
+			ID:     ex.ID,
+		})
+	}
+	return rows
+}
+
+func traceRows(store *trace.Store, limit int) ([]traceRow, int) {
+	all := store.List()
+	rows := make([]traceRow, 0, min(limit, len(all)))
+	for _, d := range all {
+		if len(rows) == limit {
+			break
+		}
+		rows = append(rows, traceRow{
+			ID:       d.ID.String(),
+			Root:     d.Root,
+			Start:    d.Start.Format("15:04:05.000"),
+			Duration: d.Duration.Round(time.Microsecond).String(),
+			Spans:    len(d.Spans),
+			Reason:   d.Reason,
+			Err:      d.Err,
+		})
+	}
+	return rows, len(all)
+}
+
+// addWindows accumulates window deltas into per-endpoint slices, padding
+// length mismatches (a series that appeared later) on the left.
+func addWindows(dst map[string][]float64, key string, pts []obs.TimePoint) {
+	cur := dst[key]
+	if len(cur) < len(pts) {
+		grown := make([]float64, len(pts))
+		copy(grown[len(pts)-len(cur):], cur)
+		cur = grown
+	}
+	for i, p := range pts {
+		v := p.V
+		if v != v { // NaN: series did not exist in this window
+			continue
+		}
+		cur[len(cur)-len(pts)+i] += v
+	}
+	dst[key] = cur
+}
+
+func scale(vals []float64, f float64) []float64 {
+	if vals == nil {
+		return nil
+	}
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		out[i] = v * f
+	}
+	return out
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func last(vals []float64) float64 {
+	for i := len(vals) - 1; i >= 0; i-- {
+		if vals[i] == vals[i] {
+			return vals[i]
+		}
+	}
+	return 0
+}
+
+var dashTmpl = template.Must(template.New("dash").Parse(`<!doctype html>
+<html><head><meta charset="utf-8">
+{{if .Refresh}}<meta http-equiv="refresh" content="{{.Refresh}}">{{end}}
+<title>pdcu /debug/obs</title>
+<style>
+body{font:13px/1.5 ui-monospace,Menlo,monospace;background:#11151a;color:#cdd6e0;margin:1.5em}
+h1{font-size:1.2em}h2{font-size:1em;border-bottom:1px solid #2a3440;padding-bottom:.25em;margin-top:1.6em}
+table{border-collapse:collapse}td,th{padding:.15em .8em .15em 0;text-align:left;vertical-align:middle}
+th{color:#7d8b99;font-weight:normal}
+a{color:#6cb6ff;text-decoration:none}a:hover{text-decoration:underline}
+svg.spark{vertical-align:middle}polyline{fill:none;stroke:#6cb6ff;stroke-width:1.5}
+.err polyline{stroke:#ff7b72}
+.num{color:#e3b341}.dim{color:#7d8b99}.bad{color:#ff7b72}
+</style></head><body>
+<h1>pdcu operational dashboard</h1>
+<p class="dim">window {{.Window}} · {{.Windows}} samples · <a href="/debug/obs/traces">traces (JSON)</a> · <a href="/metrics">/metrics</a></p>
+
+<h2>HTTP (RED)</h2>
+<table><tr><th>route</th><th>rate</th><th></th><th>5xx</th><th></th><th>mean latency</th><th></th></tr>
+{{range .HTTP}}<tr><td>{{.Endpoint}}</td><td>{{.Rate}}</td><td class="num">{{.LastRate}}</td><td class="err">{{.Errors}}</td><td class="num">{{.LastErr}}</td><td>{{.Mean}}</td><td class="num">{{.LastMean}}</td></tr>
+{{else}}<tr><td class="dim" colspan="7">no traffic yet</td></tr>{{end}}</table>
+
+<h2>Query API (RED)</h2>
+<table><tr><th>endpoint</th><th>rate</th><th></th><th>5xx</th><th></th><th>mean latency</th><th></th></tr>
+{{range .Query}}<tr><td>{{.Endpoint}}</td><td>{{.Rate}}</td><td class="num">{{.LastRate}}</td><td class="err">{{.Errors}}</td><td class="num">{{.LastErr}}</td><td>{{.Mean}}</td><td class="num">{{.LastMean}}</td></tr>
+{{else}}<tr><td class="dim" colspan="7">no queries yet</td></tr>{{end}}</table>
+
+<h2>Caches</h2>
+<table><tr><th>layer</th><th>hits</th><th>misses</th><th>other</th><th>hit ratio</th></tr>
+{{range .Caches}}<tr><td>{{.Name}}</td><td class="num">{{printf "%.0f" .Hits}}</td><td class="num">{{printf "%.0f" .Misses}}</td><td class="num">{{printf "%.0f" .Other}}</td><td class="num">{{.Ratio}}</td></tr>
+{{end}}</table>
+
+<h2>Build workers</h2>
+<table>{{range .Workers}}<tr><td>{{.Label}}</td><td>{{.Spark}}</td><td class="num">{{.Last}}</td></tr>
+{{else}}<tr><td class="dim">no builds in this window</td></tr>{{end}}</table>
+
+<h2>Runtime</h2>
+<table><tr>{{range .Runtime}}<th>{{.Name}}</th>{{end}}</tr>
+<tr>{{range .Runtime}}<td class="num">{{.Value}}</td>{{end}}</tr></table>
+<table>{{range .RtSparks}}<tr><td>{{.Label}}</td><td>{{.Spark}}</td><td class="num">{{.Last}}</td></tr>{{end}}</table>
+
+<h2>Exemplars</h2>
+<table><tr><th>histogram</th><th>series</th><th>bucket</th><th>observed</th><th>age</th><th>trace</th></tr>
+{{range .Exemplars}}<tr><td>{{.Series}}</td><td>{{.Label}}</td><td>{{.Bucket}}</td><td class="num">{{.Value}}</td><td class="dim">{{.Age}}</td><td><a href="/debug/obs/traces/{{.ID}}">{{.ID}}</a></td></tr>
+{{else}}<tr><td class="dim" colspan="6">no exemplars yet (traced requests populate this)</td></tr>{{end}}</table>
+
+<h2>Recent traces <span class="dim">({{.Retained}} retained, pinned first)</span></h2>
+<table><tr><th>trace</th><th>root</th><th>start</th><th>duration</th><th>spans</th><th>kept</th></tr>
+{{range .Traces}}<tr><td><a href="/debug/obs/traces/{{.ID}}">{{.ID}}</a></td><td>{{.Root}}</td><td>{{.Start}}</td><td class="num">{{.Duration}}</td><td class="num">{{.Spans}}</td><td{{if .Err}} class="bad"{{end}}>{{.Reason}}</td></tr>
+{{else}}<tr><td class="dim" colspan="6">no traces retained yet</td></tr>{{end}}</table>
+</body></html>
+`))

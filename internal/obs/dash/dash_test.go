@@ -1,0 +1,213 @@
+package dash
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pdcunplugged/internal/obs"
+	"pdcunplugged/internal/obs/trace"
+)
+
+// fixture builds a registry/rollup/tracer trio with one traced request
+// worth of data in each.
+func fixture(t *testing.T) (Config, trace.TraceID) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	reg.Counter("pdcu_http_requests_total", "req", "path", "code").With("/api", "200").Add(10)
+	reg.Counter("pdcu_http_requests_total", "req", "path", "code").With("/api", "500").Add(2)
+	reg.Histogram("pdcu_http_request_duration_seconds", "lat", nil, "path").With("/api").Observe(0.02)
+	reg.Counter("pdcu_query_cache_total", "cache", "endpoint", "result").With("search", "hit").Add(8)
+	reg.Counter("pdcu_query_cache_total", "cache", "endpoint", "result").With("search", "miss").Add(2)
+	reg.Gauge("pdcu_build_workers_busy", "busy", "stage").With("page").Set(3)
+	NewRuntime := obs.NewRuntimeCollector(reg)
+	NewRuntime.Collect()
+
+	ru := obs.NewRollup(reg, time.Second, 8)
+	ru.Collect()
+	ru.Collect()
+
+	clk := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	step := 10 * time.Millisecond
+	tr := trace.New(trace.Options{SampleRate: 1, Now: func() time.Time {
+		clk = clk.Add(step)
+		return clk
+	}})
+	ctx, root := tr.StartRoot(context.Background(), "GET /api/v1/search")
+	_, child := trace.StartSpan(ctx, "query.search")
+	trace.ObserveExemplar(ctx, "pdcu_query_duration_seconds", "search", obs.DefBuckets(), 0.02)
+	child.End()
+	root.End()
+	id := root.TraceID()
+	if _, ok := tr.Store().Get(id); !ok {
+		t.Fatal("fixture trace not retained")
+	}
+	return Config{Registry: reg, Rollup: ru, Tracer: tr}, id
+}
+
+func TestDashboardRenders(t *testing.T) {
+	cfg, id := fixture(t)
+	h := Handler(cfg)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/obs", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"/api",                        // RED row for the HTTP route
+		"query results",               // cache layer row
+		"80.0%",                       // 8 hits / 10 lookups
+		"goroutines",                  // runtime panel
+		"pdcu_query_duration_seconds", // exemplar row
+		"/debug/obs/traces/" + id.String(),
+		"<svg",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+	if !strings.Contains(body, `http-equiv="refresh"`) {
+		t.Error("auto-refresh meta tag missing")
+	}
+}
+
+func TestDashboardRefreshDisabled(t *testing.T) {
+	cfg, _ := fixture(t)
+	cfg.Refresh = -1
+	rec := httptest.NewRecorder()
+	Handler(cfg).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/obs", nil))
+	if strings.Contains(rec.Body.String(), "http-equiv") {
+		t.Error("refresh tag present despite Refresh < 0")
+	}
+}
+
+func TestTraceListJSON(t *testing.T) {
+	cfg, id := fixture(t)
+	rec := httptest.NewRecorder()
+	Handler(cfg).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/obs/traces", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("content type = %q", ct)
+	}
+	var got []traceSummary
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(got) != 1 || got[0].ID != id.String() || got[0].Spans != 2 {
+		t.Errorf("list = %+v, want one trace %s with 2 spans", got, id)
+	}
+}
+
+func TestTraceWaterfallAndJSON(t *testing.T) {
+	cfg, id := fixture(t)
+	h := Handler(cfg)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/obs/traces/"+id.String(), nil))
+	if rec.Code != 200 {
+		t.Fatalf("waterfall status = %d: %s", rec.Code, rec.Body.String())
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "GET /api/v1/search") || !strings.Contains(body, "query.search") {
+		t.Errorf("waterfall missing span names:\n%s", body)
+	}
+	if !strings.Contains(body, `class="bar`) {
+		t.Error("waterfall missing timeline bars")
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/obs/traces/"+id.String()+"?format=json", nil))
+	var full traceJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &full); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if full.ID != id.String() || len(full.Spans) != 2 {
+		t.Fatalf("trace JSON = %+v", full)
+	}
+	var rootID string
+	for _, sp := range full.Spans {
+		if sp.Parent == "" {
+			rootID = sp.ID
+		}
+	}
+	for _, sp := range full.Spans {
+		if sp.SpanData.Name == "query.search" && sp.Parent != rootID {
+			t.Errorf("child parent = %q, want root %q", sp.Parent, rootID)
+		}
+	}
+}
+
+func TestTraceViewErrors(t *testing.T) {
+	cfg, _ := fixture(t)
+	h := Handler(cfg)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/obs/traces/zzz", nil))
+	if rec.Code != 400 {
+		t.Errorf("malformed ID status = %d, want 400", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/obs/traces/"+strings.Repeat("ab", 16), nil))
+	if rec.Code != 404 {
+		t.Errorf("unknown ID status = %d, want 404", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/obs/nope", nil))
+	if rec.Code != 404 {
+		t.Errorf("unknown subpath status = %d, want 404", rec.Code)
+	}
+}
+
+func TestSparkHandlesNaNGaps(t *testing.T) {
+	svg := string(spark([]float64{math.NaN(), math.NaN(), 1, 2, math.NaN(), 3}, 100, 20))
+	if !strings.Contains(svg, "<polyline") {
+		t.Errorf("no polyline in %s", svg)
+	}
+	if !strings.Contains(svg, "<circle") {
+		t.Errorf("isolated point after NaN gap should render a dot: %s", svg)
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Errorf("NaN leaked into SVG: %s", svg)
+	}
+}
+
+func TestSpanDepthsRemoteParent(t *testing.T) {
+	// A trace continued from a remote traceparent has a root whose
+	// parent span was never recorded locally; depth must treat it as 0.
+	remote := trace.SpanID{9, 9, 9, 9, 9, 9, 9, 9}
+	root := trace.SpanID{1}
+	child := trace.SpanID{2}
+	depths := spanDepths([]trace.SpanData{
+		{ID: root, Parent: remote, Name: "root"},
+		{ID: child, Parent: root, Name: "child"},
+	})
+	if depths[root] != 0 || depths[child] != 1 {
+		t.Errorf("depths = %v, want root 0 child 1", depths)
+	}
+}
+
+func TestWaterfallBarGeometry(t *testing.T) {
+	start := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	d := Trace{
+		ID:       trace.TraceID{1},
+		Root:     "root",
+		Start:    start,
+		Duration: 100 * time.Millisecond,
+		Spans: []trace.SpanData{
+			{ID: trace.SpanID{1}, Name: "root", Start: start, Duration: 100 * time.Millisecond},
+			{ID: trace.SpanID{2}, Parent: trace.SpanID{1}, Name: "late",
+				Start: start.Add(50 * time.Millisecond), Duration: 25 * time.Millisecond},
+		},
+	}
+	wf := waterfall(d)
+	if len(wf.Spans) != 2 {
+		t.Fatalf("spans = %+v", wf.Spans)
+	}
+	late := wf.Spans[1]
+	if late.Name != "late" || math.Abs(late.Left-50) > 0.01 || math.Abs(late.Width-25) > 0.01 {
+		t.Errorf("late bar = %+v, want left 50%% width 25%%", late)
+	}
+}

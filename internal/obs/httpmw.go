@@ -1,26 +1,42 @@
 package obs
 
 import (
+	"bufio"
+	"context"
+	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
+
+	"pdcunplugged/internal/obs/trace"
 )
 
 // HTTPMetrics instruments an http.Handler with request counts, latency
-// histograms, in-flight and response-size tracking, plus an access log.
+// histograms, in-flight and response-size tracking, an access log, and
+// request-scoped tracing: an incoming W3C traceparent header continues
+// the caller's trace, anything else starts a fresh root span, and the
+// response carries a traceparent header so clients can fetch the
+// waterfall from /debug/obs/traces/<id>.
+//
 // Construct with NewHTTPMetrics against a specific registry (tests), or
-// use the package-level Middleware which shares the default registry.
+// use the package-level Middleware which shares the default registry
+// and the default tracer.
 type HTTPMetrics struct {
 	requests *Counter
 	duration *Histogram
 	inflight *Gauge
 	bytes    *Counter
 	log      func() *slog.Logger
+	tracer   func() *trace.Tracer
 }
 
-// NewHTTPMetrics registers the HTTP metric families on reg.
+// NewHTTPMetrics registers the HTTP metric families on reg. Tracing
+// follows the process-default tracer (trace.SetDefault); pin a specific
+// one with WithTracer.
 func NewHTTPMetrics(reg *Registry) *HTTPMetrics {
 	return &HTTPMetrics{
 		requests: reg.Counter("pdcu_http_requests_total",
@@ -31,8 +47,16 @@ func NewHTTPMetrics(reg *Registry) *HTTPMetrics {
 			"Requests currently being served."),
 		bytes: reg.Counter("pdcu_http_response_bytes_total",
 			"Response body bytes written, by route prefix.", "path"),
-		log: Logger,
+		log:    Logger,
+		tracer: trace.Default,
 	}
+}
+
+// WithTracer pins the middleware to one tracer instead of the process
+// default; passing nil disables tracing on this middleware.
+func (m *HTTPMetrics) WithTracer(t *trace.Tracer) *HTTPMetrics {
+	m.tracer = func() *trace.Tracer { return t }
+	return m
 }
 
 var (
@@ -46,27 +70,120 @@ func Middleware(next http.Handler) http.Handler {
 	return defaultHTTP.Wrap(next)
 }
 
-// Wrap returns next instrumented with m's metrics and access logging.
+// Wrap returns next instrumented with m's metrics, tracing, panic
+// recovery, and access logging.
 func (m *HTTPMetrics) Wrap(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		m.inflight.With().Inc()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+
+		// Sampled-out requests run span-free: the deferred block below
+		// already measures duration and status, so tail retention for
+		// them is applied after the fact (RecordIfPinned) and the
+		// healthy fast path pays no tracing allocations at all. Only a
+		// traceparent request (the caller explicitly asked for a
+		// waterfall) or a winning sample draw records spans. Direct map
+		// indexing with the pre-canonicalized "Traceparent" key skips
+		// the per-request canonicalization alloc of Header.Get.
+		var sp *trace.Span
+		tr := m.tracer()
+		if tr != nil {
+			var sctx context.Context
+			if v := r.Header["Traceparent"]; len(v) > 0 {
+				sctx, sp = tr.StartRemote(r.Context(), r.Method+" "+r.URL.Path, v[0])
+			} else if tr.Sampled() {
+				sctx, sp = tr.StartRecorded(r.Context(), r.Method+" "+r.URL.Path)
+			}
+			if sp != nil {
+				sp.SetAttr("method", r.Method)
+				sp.SetAttr("remote", r.RemoteAddr)
+				// The response advertises the trace so the caller can
+				// fetch the waterfall from /debug/obs/traces/<id> or
+				// propagate the context further. Span-free requests get
+				// no header: advertising a trace that was never
+				// recorded would hand the client a dangling link.
+				w.Header()["Traceparent"] = []string{sp.Traceparent()}
+				r = r.WithContext(sctx)
+			}
+		}
+
+		defer func() {
+			// Panic recovery: a crashing handler must not take the
+			// server down, must record a 500, and must still yield a
+			// pinned error trace — via the span when one is recording,
+			// via the post-hoc path otherwise.
+			var failMsg string
+			var panicked any
+			if p := recover(); p != nil {
+				if p == http.ErrAbortHandler {
+					if sp != nil {
+						sp.Fail("aborted")
+						sp.End()
+					} else if tr != nil {
+						tr.RecordIfPinned(r.Method+" "+r.URL.Path,
+							start, time.Since(start), "aborted")
+					}
+					m.inflight.With().Dec()
+					panic(p) // the server handles this sentinel itself
+				}
+				rec.code = http.StatusInternalServerError
+				if !rec.wrote && !rec.hijacked {
+					http.Error(rec.ResponseWriter, "internal server error",
+						http.StatusInternalServerError)
+					rec.wrote = true
+				}
+				failMsg = fmt.Sprintf("panic: %v", p)
+				panicked = p
+				sp.Fail(failMsg)
+			}
+			m.inflight.With().Dec()
+			d := time.Since(start)
+			route := RouteLabel(r.URL.Path)
+			var tid trace.TraceID
+			if sp != nil {
+				sp.SetAttr("code", strconv3(rec.code))
+				if rec.code >= 500 {
+					sp.Fail("HTTP " + strconv3(rec.code))
+				}
+				sp.End()
+				tid = sp.TraceID()
+			} else if tr != nil && (failMsg != "" || rec.code >= 500 || d >= tr.SlowThreshold()) {
+				// The guard repeats RecordIfPinned's own retention test
+				// so the name concat is only paid when a trace will
+				// actually be stored.
+				if failMsg == "" && rec.code >= 500 {
+					failMsg = "HTTP " + strconv3(rec.code)
+				}
+				tid, _ = tr.RecordIfPinned(r.Method+" "+r.URL.Path, start, d, failMsg)
+			}
+			if panicked != nil {
+				m.log().Error("handler panic",
+					"path", r.URL.Path,
+					"panic", fmt.Sprint(panicked),
+					"trace_id", tid.String(),
+					"stack", string(debug.Stack()),
+				)
+			}
+			m.requests.With(route, strconv3(rec.code)).Inc()
+			m.duration.With(route).Observe(d.Seconds())
+			m.bytes.With(route).Add(float64(rec.bytes))
+			if lg := m.log(); lg.Enabled(context.Background(), slog.LevelInfo) {
+				attrs := []any{
+					"method", r.Method,
+					"path", r.URL.Path,
+					"code", rec.code,
+					"bytes", rec.bytes,
+					"duration", d,
+					"remote", r.RemoteAddr,
+				}
+				if !tid.IsZero() {
+					attrs = append(attrs, "trace_id", tid.String())
+				}
+				lg.Info("request", attrs...)
+			}
+		}()
 		next.ServeHTTP(rec, r)
-		m.inflight.With().Dec()
-		d := time.Since(start)
-		route := RouteLabel(r.URL.Path)
-		m.requests.With(route, strconv3(rec.code)).Inc()
-		m.duration.With(route).Observe(d.Seconds())
-		m.bytes.With(route).Add(float64(rec.bytes))
-		m.log().Info("request",
-			"method", r.Method,
-			"path", r.URL.Path,
-			"code", rec.code,
-			"bytes", rec.bytes,
-			"duration", d,
-			"remote", r.RemoteAddr,
-		)
 	})
 }
 
@@ -93,22 +210,50 @@ func strconv3(code int) string {
 	return "unknown"
 }
 
-// statusRecorder captures the status code and body size a handler wrote.
+// statusRecorder captures the status code and body size a handler
+// wrote, including through the Flusher and Hijacker escape hatches.
 type statusRecorder struct {
 	http.ResponseWriter
-	code  int
-	bytes int
+	code     int
+	bytes    int
+	wrote    bool
+	hijacked bool
 }
 
 func (s *statusRecorder) WriteHeader(code int) {
-	s.code = code
+	if !s.wrote {
+		s.code = code
+		s.wrote = true
+	}
 	s.ResponseWriter.WriteHeader(code)
 }
 
 func (s *statusRecorder) Write(p []byte) (int, error) {
+	s.wrote = true // implicit 200 if WriteHeader was never called
 	n, err := s.ResponseWriter.Write(p)
 	s.bytes += n
 	return n, err
+}
+
+// Flush forwards to the underlying writer when it supports streaming.
+// Flushing commits the implicit 200 header, so the recorded code is
+// frozen from here on.
+func (s *statusRecorder) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		s.wrote = true
+		f.Flush()
+	}
+}
+
+// Hijack hands the connection to the handler (websockets et al.); the
+// recorded status stays at whatever was committed before the hijack.
+func (s *statusRecorder) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	hj, ok := s.ResponseWriter.(http.Hijacker)
+	if !ok {
+		return nil, nil, fmt.Errorf("obs: underlying ResponseWriter does not support hijacking")
+	}
+	s.hijacked = true
+	return hj.Hijack()
 }
 
 // Unwrap lets http.ResponseController reach the underlying writer.

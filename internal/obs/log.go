@@ -1,9 +1,11 @@
 package obs
 
 import (
+	"fmt"
 	"io"
 	"log/slog"
 	"os"
+	"strings"
 	"sync/atomic"
 )
 
@@ -41,3 +43,19 @@ func SetLogger(l *slog.Logger) {
 // SetLevel adjusts the threshold of every logger built with NewLogger,
 // including the default.
 func SetLevel(l slog.Level) { level.Set(l) }
+
+// ParseLevel maps a -log-level flag value (debug, info, warn, error —
+// case-insensitive) to its slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return slog.LevelInfo, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", s)
+}

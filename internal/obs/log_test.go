@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    slog.Level
+		wantErr bool
+	}{
+		{"debug", slog.LevelDebug, false},
+		{"DEBUG", slog.LevelDebug, false},
+		{"info", slog.LevelInfo, false},
+		{"", slog.LevelInfo, false},
+		{"  Info  ", slog.LevelInfo, false},
+		{"warn", slog.LevelWarn, false},
+		{"warning", slog.LevelWarn, false},
+		{"error", slog.LevelError, false},
+		{"Error", slog.LevelError, false},
+		{"verbose", slog.LevelInfo, true},
+		{"2", slog.LevelInfo, true},
+	}
+	for _, c := range cases {
+		got, err := ParseLevel(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseLevel(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestLevelFiltering pins that SetLevel gates every logger built with
+// NewLogger, including ones created before the level change.
+func TestLevelFiltering(t *testing.T) {
+	defer SetLevel(slog.LevelInfo)
+
+	var buf bytes.Buffer
+	lg := NewLogger(&buf)
+
+	SetLevel(slog.LevelInfo)
+	lg.Debug("hidden debug")
+	lg.Info("visible info")
+	if out := buf.String(); strings.Contains(out, "hidden debug") || !strings.Contains(out, "visible info") {
+		t.Errorf("info-level output = %q", out)
+	}
+
+	buf.Reset()
+	SetLevel(slog.LevelDebug)
+	lg.Debug("now visible")
+	if !strings.Contains(buf.String(), "now visible") {
+		t.Errorf("debug not emitted after SetLevel(debug): %q", buf.String())
+	}
+
+	buf.Reset()
+	SetLevel(slog.LevelError)
+	lg.Info("suppressed info")
+	lg.Warn("suppressed warn")
+	lg.Error("kept error")
+	out := buf.String()
+	if strings.Contains(out, "suppressed") || !strings.Contains(out, "kept error") {
+		t.Errorf("error-level output = %q", out)
+	}
+}
+
+// TestAttrFormatting pins the text-handler key=value shape downstream
+// log scrapers rely on (notably the trace_id attr the HTTP middleware
+// appends).
+func TestAttrFormatting(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(&buf)
+	lg.Info("request", "path", "/api/v1/search", "code", 200, "trace_id", "00f0a1")
+	out := buf.String()
+	for _, want := range []string{
+		"level=INFO", "msg=request", "path=/api/v1/search", "code=200", "trace_id=00f0a1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log line missing %q: %q", want, out)
+		}
+	}
+	// Values with spaces must be quoted so the line stays parseable.
+	buf.Reset()
+	lg.Info("request", "ua", "a b c")
+	if !strings.Contains(buf.String(), `ua="a b c"`) {
+		t.Errorf("spaced attr not quoted: %q", buf.String())
+	}
+}
+
+func TestSetLoggerSwapAndRestore(t *testing.T) {
+	defer SetLogger(nil)
+
+	var buf bytes.Buffer
+	SetLogger(NewLogger(&buf))
+	Logger().Info("through swapped logger")
+	if !strings.Contains(buf.String(), "through swapped logger") {
+		t.Errorf("swapped logger missed write: %q", buf.String())
+	}
+
+	SetLogger(nil)
+	if Logger() == nil {
+		t.Fatal("SetLogger(nil) must restore a usable default")
+	}
+}

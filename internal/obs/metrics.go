@@ -305,6 +305,26 @@ func (h *HistogramChild) BucketCounts() []uint64 {
 	return out
 }
 
+// FamilyInfo describes one registered metric family; the rolling
+// time-series aggregator uses it to walk the registry generically.
+type FamilyInfo struct {
+	Name string
+	Kind Kind
+	Help string
+}
+
+// Families lists every registered family, sorted by name.
+func (r *Registry) Families() []FamilyInfo {
+	r.mu.RLock()
+	out := make([]FamilyInfo, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, FamilyInfo{Name: f.name, Kind: f.kind, Help: f.help})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // SeriesSnapshot is a point-in-time copy of one labeled series, used by
 // the phase-timing report and by tests.
 type SeriesSnapshot struct {

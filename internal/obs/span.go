@@ -2,6 +2,7 @@ package obs
 
 import (
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -11,6 +12,34 @@ import (
 func phaseSeconds() *Histogram {
 	return Default().Histogram("pdcu_phase_seconds",
 		"Duration of instrumented pipeline phases.", DefBuckets(), "phase")
+}
+
+// phaseExact accumulates per-phase totals as exact time.Durations. The
+// histogram stores observations as float seconds, and reconstructing a
+// total from its Sum rounds through the float — enough to drift a
+// many-span build report by whole microseconds — so PhaseTimings reads
+// from this side table instead of round-tripping the histogram.
+var phaseExact = struct {
+	sync.Mutex
+	m map[string]*phaseAcc
+}{m: make(map[string]*phaseAcc)}
+
+type phaseAcc struct {
+	count uint64
+	total time.Duration
+}
+
+func recordPhase(name string, d time.Duration) {
+	phaseSeconds().With(name).Observe(d.Seconds())
+	phaseExact.Lock()
+	acc := phaseExact.m[name]
+	if acc == nil {
+		acc = &phaseAcc{}
+		phaseExact.m[name] = acc
+	}
+	acc.count++
+	acc.total += d
+	phaseExact.Unlock()
 }
 
 // Span is an in-flight timed region. Create with StartSpan; End records
@@ -36,7 +65,7 @@ func (s *Span) End() time.Duration {
 	}
 	s.done = true
 	d := time.Since(s.start)
-	phaseSeconds().With(s.name).Observe(d.Seconds())
+	recordPhase(s.name, d)
 	Logger().Debug("phase complete", "phase", s.name, "duration", d)
 	return d
 }
@@ -45,7 +74,7 @@ func (s *Span) End() time.Duration {
 // without logging — for hot paths (per-fragment markdown rendering)
 // where a Debug line per call would drown the log.
 func ObservePhase(name string, d time.Duration) {
-	phaseSeconds().With(name).Observe(d.Seconds())
+	recordPhase(name, d)
 }
 
 // Time runs fn inside a span, ending it even when fn returns an error.
@@ -70,18 +99,22 @@ func (p PhaseTiming) Mean() time.Duration {
 	return p.Total / time.Duration(p.Count)
 }
 
-// PhaseTimings reports every phase recorded in the default registry,
-// sorted by total time descending; `pdcu build -verbose` prints this.
+// PhaseTimings reports every phase recorded through StartSpan/End,
+// ObservePhase, or Time, sorted by total time descending; `pdcu build
+// -verbose` prints this. Totals come from the exact duration
+// accumulator, not the histogram's float-seconds Sum, so they are
+// nanosecond-faithful sums of the observed durations.
 func PhaseTimings() []PhaseTiming {
-	snaps := Default().Snapshot("pdcu_phase_seconds")
-	out := make([]PhaseTiming, 0, len(snaps))
-	for _, s := range snaps {
+	phaseExact.Lock()
+	out := make([]PhaseTiming, 0, len(phaseExact.m))
+	for name, acc := range phaseExact.m {
 		out = append(out, PhaseTiming{
-			Phase: s.Labels["phase"],
-			Count: s.Count,
-			Total: time.Duration(s.Sum * float64(time.Second)),
+			Phase: name,
+			Count: acc.count,
+			Total: acc.total,
 		})
 	}
+	phaseExact.Unlock()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Total != out[j].Total {
 			return out[i].Total > out[j].Total

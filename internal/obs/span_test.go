@@ -96,3 +96,43 @@ func TestNilSpanEnd(t *testing.T) {
 		t.Errorf("nil span End = %v, want 0", d)
 	}
 }
+
+// TestPhaseTimingExactTotal is the regression test for the lossy Total
+// reconstruction: durations used to be recovered from the histogram's
+// float-seconds Sum, so many observations whose float representations
+// don't sum exactly (0.1s is not representable in binary) drifted from
+// the true time.Duration total. The accumulator must return the exact
+// nanosecond sum.
+func TestPhaseTimingExactTotal(t *testing.T) {
+	const phase = "test.span.exact"
+	d := 100 * time.Millisecond // 0.1s: inexact as a float64 of seconds
+	const n = 10
+	for i := 0; i < n; i++ {
+		ObservePhase(phase, d)
+	}
+	// Demonstrate the float path really is lossy for this input — the
+	// bug this test guards against.
+	var fsum float64
+	for i := 0; i < n; i++ {
+		fsum += d.Seconds()
+	}
+	if time.Duration(fsum*float64(time.Second)) == n*d {
+		t.Log("float round-trip happened to be exact; exactness check below still applies")
+	}
+	for _, pt := range PhaseTimings() {
+		if pt.Phase != phase {
+			continue
+		}
+		if pt.Count != n {
+			t.Errorf("count = %d, want %d", pt.Count, n)
+		}
+		if pt.Total != n*d {
+			t.Errorf("total = %v (%d ns), want exactly %v", pt.Total, pt.Total, n*d)
+		}
+		if pt.Mean() != d {
+			t.Errorf("mean = %v, want exactly %v", pt.Mean(), d)
+		}
+		return
+	}
+	t.Fatal("phase not reported")
+}

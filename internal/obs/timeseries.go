@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"context"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Rollup is the rolling time-series aggregator: it samples every family
+// of a Registry at a fixed interval and keeps the last N windows per
+// labeled series, which is exactly what the /debug/obs dashboard plots.
+//
+//   - Counters record the per-window delta (the numerator of a rate).
+//   - Gauges record the level at collection time.
+//   - Histograms record the per-window delta of both sum and count, so
+//     a window's mean latency is Sum/Count and its request rate is
+//     Count/interval.
+//
+// Windows where a series did not yet exist hold NaN, so a freshly
+// registered series does not render as a misleading run of zeros.
+type Rollup struct {
+	reg      *Registry
+	interval time.Duration
+	n        int
+
+	mu     sync.Mutex
+	hooks  []func()
+	times  []time.Time
+	series map[string]*rollSeries
+}
+
+// rollSeries is the window ring for one labeled series. Slices stay
+// aligned with Rollup.times; Counts is non-nil only for histograms.
+type rollSeries struct {
+	info      FamilyInfo
+	labels    map[string]string
+	values    []float64
+	counts    []float64
+	prevValue float64 // counter: last absolute value (for deltas)
+	prevSum   float64 // histogram: last absolute sum
+	prevCount float64 // histogram: last absolute count
+	seen      bool
+}
+
+// NewRollup aggregates reg into windows of the given interval, keeping
+// the most recent n windows (defaults: 5s, 120 windows = 10 minutes).
+func NewRollup(reg *Registry, interval time.Duration, n int) *Rollup {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	if n <= 0 {
+		n = 120
+	}
+	return &Rollup{
+		reg:      reg,
+		interval: interval,
+		n:        n,
+		series:   make(map[string]*rollSeries),
+	}
+}
+
+// Interval returns the window length.
+func (ru *Rollup) Interval() time.Duration { return ru.interval }
+
+// AddHook registers fn to run at the start of every Collect — the
+// runtime collector hooks in here so its gauges are fresh in the same
+// window that samples them.
+func (ru *Rollup) AddHook(fn func()) {
+	ru.mu.Lock()
+	ru.hooks = append(ru.hooks, fn)
+	ru.mu.Unlock()
+}
+
+// Run collects on the rollup's interval until ctx is done.
+func (ru *Rollup) Run(ctx context.Context) {
+	ticker := time.NewTicker(ru.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			ru.Collect()
+		}
+	}
+}
+
+// Collect takes one window sample. Exported so tests (and the dashboard
+// handler, on a cold first render) can tick deterministically.
+func (ru *Rollup) Collect() {
+	ru.mu.Lock()
+	hooks := append([]func(){}, ru.hooks...)
+	ru.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
+
+	now := time.Now()
+	fams := ru.reg.Families()
+
+	ru.mu.Lock()
+	defer ru.mu.Unlock()
+	ru.times = append(ru.times, now)
+	touched := make(map[string]bool, len(ru.series))
+
+	for _, fi := range fams {
+		for _, snap := range ru.reg.Snapshot(fi.Name) {
+			key := seriesKey(fi.Name, snap.Labels)
+			rs := ru.series[key]
+			if rs == nil {
+				rs = &rollSeries{info: fi, labels: snap.Labels}
+				// Backfill the windows before this series existed.
+				rs.values = nanSlice(len(ru.times) - 1)
+				if fi.Kind == KindHistogram {
+					rs.counts = nanSlice(len(ru.times) - 1)
+				}
+				ru.series[key] = rs
+			}
+			touched[key] = true
+			switch fi.Kind {
+			case KindCounter:
+				delta := snap.Value - rs.prevValue
+				if !rs.seen {
+					// The series was created during this window; its
+					// absolute value is the window delta (counters
+					// start at zero).
+					delta = snap.Value
+				}
+				rs.prevValue = snap.Value
+				rs.values = append(rs.values, delta)
+			case KindGauge:
+				rs.values = append(rs.values, snap.Value)
+			case KindHistogram:
+				dSum, dCount := snap.Sum-rs.prevSum, float64(snap.Count)-rs.prevCount
+				if !rs.seen {
+					dSum, dCount = snap.Sum, float64(snap.Count)
+				}
+				rs.prevSum, rs.prevCount = snap.Sum, float64(snap.Count)
+				rs.values = append(rs.values, dSum)
+				rs.counts = append(rs.counts, dCount)
+			}
+			rs.seen = true
+		}
+	}
+	// Series that vanished (registry families never unregister, but be
+	// robust) pad with NaN to stay aligned.
+	for key, rs := range ru.series {
+		if !touched[key] {
+			rs.values = append(rs.values, math.NaN())
+			if rs.counts != nil {
+				rs.counts = append(rs.counts, math.NaN())
+			}
+		}
+	}
+	// Trim every ring to the last n windows.
+	if len(ru.times) > ru.n {
+		drop := len(ru.times) - ru.n
+		ru.times = append(ru.times[:0], ru.times[drop:]...)
+		for _, rs := range ru.series {
+			rs.values = append(rs.values[:0], rs.values[drop:]...)
+			if rs.counts != nil {
+				rs.counts = append(rs.counts[:0], rs.counts[drop:]...)
+			}
+		}
+	}
+}
+
+// TimePoint is one window sample.
+type TimePoint struct {
+	T time.Time `json:"t"`
+	V float64   `json:"v"`
+}
+
+// TimeSeries is the windowed history of one labeled series.
+type TimeSeries struct {
+	Name   string            `json:"name"`
+	Kind   Kind              `json:"-"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Values: counter deltas, gauge levels, or histogram sum-deltas.
+	Values []TimePoint `json:"values"`
+	// Counts: histogram count-deltas; nil otherwise.
+	Counts []TimePoint `json:"counts,omitempty"`
+}
+
+// Series returns the windowed history of every labeled series of the
+// named family, sorted by label values. Unknown families return nil.
+func (ru *Rollup) Series(name string) []TimeSeries {
+	ru.mu.Lock()
+	defer ru.mu.Unlock()
+	var out []TimeSeries
+	for _, rs := range ru.series {
+		if rs.info.Name != name {
+			continue
+		}
+		ts := TimeSeries{
+			Name:   rs.info.Name,
+			Kind:   rs.info.Kind,
+			Labels: rs.labels,
+			Values: zipPoints(ru.times, rs.values),
+		}
+		if rs.counts != nil {
+			ts.Counts = zipPoints(ru.times, rs.counts)
+		}
+		out = append(out, ts)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return labelKey(out[i].Labels) < labelKey(out[j].Labels)
+	})
+	return out
+}
+
+// Windows returns how many window samples have been collected (capped
+// at the ring size).
+func (ru *Rollup) Windows() int {
+	ru.mu.Lock()
+	defer ru.mu.Unlock()
+	return len(ru.times)
+}
+
+func seriesKey(name string, labels map[string]string) string {
+	return name + "\xff" + labelKey(labels)
+}
+
+func labelKey(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+		b.WriteByte('\xff')
+	}
+	return b.String()
+}
+
+func nanSlice(n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = math.NaN()
+	}
+	return s
+}
+
+func zipPoints(times []time.Time, vals []float64) []TimePoint {
+	out := make([]TimePoint, len(vals))
+	for i := range vals {
+		out[i] = TimePoint{T: times[i], V: vals[i]}
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Exemplar links one histogram bucket to a concrete trace: "a request
+// that landed in this latency bucket looked like *this*". The dashboard
+// renders exemplars next to the pdcu_query_duration series so a slow
+// bucket is one click away from its waterfall.
+type Exemplar struct {
+	Series string    `json:"series"` // histogram family name
+	Label  string    `json:"label"`  // the series' distinguishing label value
+	Bound  float64   `json:"le"`     // bucket upper bound; +Inf encoded as 0 with Inf=true
+	Inf    bool      `json:"inf"`
+	Value  float64   `json:"value"` // the observed value
+	Trace  TraceID   `json:"-"`
+	ID     string    `json:"trace_id"` // hex trace ID for JSON consumers
+	Time   time.Time `json:"time"`
+}
+
+// exemplars holds the latest exemplar per (series, label, bucket).
+type exemplars struct {
+	mu sync.Mutex
+	m  map[string][]Exemplar // key series+"\xff"+label; slice indexed by bucket
+}
+
+func (e *exemplars) observe(series, label string, bounds []float64, v float64, id TraceID, now time.Time) {
+	idx := sort.SearchFloat64s(bounds, v) // matches obs histogram bucketing
+	// ID is rendered lazily in Exemplars(): observations happen per
+	// request, reads only when the dashboard asks.
+	ex := Exemplar{
+		Series: series, Label: label,
+		Value: v, Trace: id, Time: now,
+	}
+	if idx < len(bounds) {
+		ex.Bound = bounds[idx]
+	} else {
+		ex.Inf = true
+	}
+	key := series + "\xff" + label
+	e.mu.Lock()
+	if e.m == nil {
+		e.m = make(map[string][]Exemplar)
+	}
+	slots := e.m[key]
+	if slots == nil {
+		slots = make([]Exemplar, len(bounds)+1)
+		e.m[key] = slots
+	}
+	slots[idx] = ex
+	e.mu.Unlock()
+}
+
+// ObserveExemplar records v against the histogram identified by series
+// and label, attributing it to the trace active in ctx. Un-traced
+// requests (nil span) record nothing; the metrics histogram itself is
+// fed separately by the caller.
+func ObserveExemplar(ctx context.Context, series, label string, bounds []float64, v float64) {
+	sp := FromContext(ctx)
+	if sp == nil || sp.tracer == nil {
+		return
+	}
+	t := sp.tracer
+	t.ex.observe(series, label, bounds, v, sp.traceID, t.now())
+}
+
+// Exemplars returns every recorded exemplar, sorted by series, label,
+// then bucket bound — deterministic for rendering and tests.
+func (t *Tracer) Exemplars() []Exemplar {
+	if t == nil {
+		return nil
+	}
+	t.ex.mu.Lock()
+	var out []Exemplar
+	for _, slots := range t.ex.m {
+		for _, ex := range slots {
+			if !ex.Trace.IsZero() {
+				ex.ID = ex.Trace.String()
+				out = append(out, ex)
+			}
+		}
+	}
+	t.ex.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Series != out[j].Series {
+			return out[i].Series < out[j].Series
+		}
+		if out[i].Label != out[j].Label {
+			return out[i].Label < out[j].Label
+		}
+		if out[i].Inf != out[j].Inf {
+			return !out[i].Inf
+		}
+		return out[i].Bound < out[j].Bound
+	})
+	return out
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"container/list"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SpanData is one completed span as recorded into a trace.
+type SpanData struct {
+	ID       SpanID        `json:"-"`
+	Parent   SpanID        `json:"-"`
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Err      string        `json:"err,omitempty"`
+	Attrs    []Attr        `json:"attrs,omitempty"`
+}
+
+// Data is one completed, retained trace.
+type Data struct {
+	ID       TraceID       `json:"-"`
+	Root     string        `json:"root"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration_ns"`
+	Err      bool          `json:"err"`
+	Pinned   bool          `json:"pinned"`
+	// Reason records why the trace was retained: "error", "slow",
+	// "traceparent", or "sampled".
+	Reason string     `json:"reason"`
+	Spans  []SpanData `json:"spans"`
+}
+
+// Store is a bounded ring of completed traces. Eviction respects
+// tail-based retention: when the ring is full the oldest *unpinned*
+// trace goes first, so error and slow traces survive a flood of sampled
+// ordinary traffic; only when every resident trace is pinned does the
+// oldest pinned one fall off.
+type Store struct {
+	mu    sync.Mutex
+	cap   int
+	byID  map[TraceID]*list.Element
+	order *list.List // front = newest
+}
+
+// NewStore returns a store retaining at most capacity traces.
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Store{
+		cap:   capacity,
+		byID:  make(map[TraceID]*list.Element, capacity),
+		order: list.New(),
+	}
+}
+
+// add inserts a completed trace, evicting per the retention policy.
+func (s *Store) add(d Data) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byID[d.ID]; ok {
+		// A repeated trace ID (remote callers may reuse one across
+		// requests): keep the newer completion.
+		s.order.Remove(el)
+		delete(s.byID, d.ID)
+	}
+	s.byID[d.ID] = s.order.PushFront(d)
+	for s.order.Len() > s.cap {
+		victim := s.oldestUnpinned()
+		if victim == nil {
+			victim = s.order.Back() // everything pinned: oldest overall
+		}
+		delete(s.byID, victim.Value.(Data).ID)
+		s.order.Remove(victim)
+	}
+}
+
+// oldestUnpinned walks from the back (oldest) for the first trace that
+// tail-based retention did not pin.
+func (s *Store) oldestUnpinned() *list.Element {
+	for el := s.order.Back(); el != nil; el = el.Prev() {
+		if !el.Value.(Data).Pinned {
+			return el
+		}
+	}
+	return nil
+}
+
+// Get returns one retained trace by ID.
+func (s *Store) Get(id TraceID) (Data, bool) {
+	if s == nil {
+		return Data{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byID[id]
+	if !ok {
+		return Data{}, false
+	}
+	return el.Value.(Data), true
+}
+
+// Len returns the number of retained traces.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}
+
+// List returns every retained trace, pinned (error/slow) traces first,
+// newest first within each group — the order the dashboard shows.
+func (s *Store) List() []Data {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	out := make([]Data, 0, s.order.Len())
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(Data))
+	}
+	s.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Pinned != out[j].Pinned {
+			return out[i].Pinned
+		}
+		return out[i].Start.After(out[j].Start)
+	})
+	return out
+}

@@ -16,6 +16,7 @@
 package query
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -25,9 +26,11 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"pdcunplugged/internal/core"
 	"pdcunplugged/internal/obs"
+	"pdcunplugged/internal/obs/trace"
 	"pdcunplugged/internal/search"
 )
 
@@ -64,10 +67,17 @@ type Snapshot struct {
 // re-snapshotting an unchanged corpus — every no-op live-reload rebuild —
 // reuses the existing inverted index.
 func NewSnapshot(repo *core.Repository) *Snapshot {
+	return NewSnapshotContext(context.Background(), repo)
+}
+
+// NewSnapshotContext is NewSnapshot with trace propagation: when ctx
+// carries a span (a -watch rebuild trace), the index build appears as a
+// child span.
+func NewSnapshotContext(ctx context.Context, repo *core.Repository) *Snapshot {
 	fp := repo.Fingerprint()
 	return &Snapshot{
 		Repo:       repo,
-		Index:      search.BuildCached(fp, repo.All()),
+		Index:      search.BuildCachedContext(ctx, fp, repo.All()),
 		Generation: fp[:genLen],
 	}
 }
@@ -159,21 +169,35 @@ type parseFn func(s *Service, v url.Values) (key string, render renderFn, err er
 
 // handle wraps one endpoint with the full serving stack: method check,
 // admission control, generation-keyed cache, singleflight, and
-// negotiated write.
+// negotiated write. Each stage runs under its own trace span when the
+// request carries one (the obs HTTP middleware puts the root span in
+// the request context), and the endpoint latency is recorded with an
+// exemplar linking its histogram bucket back to the trace.
 func (s *Service) handle(name string, parse parseFn) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		defer queryDuration.With(name).Timer()()
+		ctx := r.Context()
+		start := time.Now()
+		defer func() {
+			sec := time.Since(start).Seconds()
+			queryDuration.With(name).Observe(sec)
+			trace.ObserveExemplar(ctx, "pdcu_query_duration_seconds", name, obs.DefBuckets(), sec)
+		}()
 		if r.Method != http.MethodGet && r.Method != http.MethodHead {
 			w.Header().Set("Allow", "GET, HEAD")
 			writeError(w, name, http.StatusMethodNotAllowed, "method not allowed")
 			return
 		}
-		if ok, retry := s.limiter.take(); !ok {
+		_, rlSpan := trace.StartSpan(ctx, "query.ratelimit")
+		ok, retry := s.limiter.take()
+		if !ok {
+			rlSpan.Fail("shed")
+			rlSpan.End()
 			queryShed.With(name).Inc()
 			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retry.Seconds()))))
 			writeError(w, name, http.StatusTooManyRequests, "rate limit exceeded")
 			return
 		}
+		rlSpan.End()
 		key, render, err := parse(s, r.URL.Query())
 		if err != nil {
 			writeError(w, name, http.StatusBadRequest, err.Error())
@@ -181,12 +205,26 @@ func (s *Service) handle(name string, parse parseFn) http.HandlerFunc {
 		}
 		snap := s.snap.Load()
 		full := name + "\x00" + snap.Generation + "\x00" + key
-		entry, ok := s.cache.get(full)
-		if ok {
+		_, cSpan := trace.StartSpan(ctx, "query.cache")
+		cSpan.SetAttr("generation", snap.Generation)
+		entry, hit := s.cache.get(full)
+		if hit {
+			cSpan.SetAttr("result", "hit")
+		} else {
+			cSpan.SetAttr("result", "miss")
+		}
+		cSpan.End()
+		if hit {
 			queryCache.With(name, "hit").Inc()
 		} else {
+			coCtx, coSpan := trace.StartSpan(ctx, "query.coalesce")
 			var coalesced bool
 			entry, coalesced = s.flight.do(full, func() *cacheEntry {
+				// This closure only runs for the singleflight leader, so
+				// the render span appears in the leader's trace; followers
+				// show the wait inside their query.coalesce span instead.
+				_, rSpan := trace.StartSpan(coCtx, "query."+name)
+				defer rSpan.End()
 				if s.renderHook != nil {
 					s.renderHook()
 				}
@@ -194,6 +232,8 @@ func (s *Service) handle(name string, parse parseFn) http.HandlerFunc {
 				s.cache.put(full, e)
 				return e
 			})
+			coSpan.SetAttr("coalesced", strconv.FormatBool(coalesced))
+			coSpan.End()
 			if coalesced {
 				queryCache.With(name, "coalesced").Inc()
 			} else {

@@ -5,14 +5,17 @@ package search
 
 import (
 	"container/list"
+	"context"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"unicode"
 
 	"pdcunplugged/internal/activity"
 	"pdcunplugged/internal/obs"
+	"pdcunplugged/internal/obs/trace"
 )
 
 // EngineVersion names the tokenizer/index implementation revision. Cached
@@ -121,6 +124,15 @@ type indexCacheEntry struct {
 // CLI calls, live-reload rebuilds, query-service swaps — return the same
 // immutable Index instead of re-inverting it. Safe for concurrent use.
 func BuildCached(key string, acts []*activity.Activity) *Index {
+	return BuildCachedContext(context.Background(), key, acts)
+}
+
+// BuildCachedContext is BuildCached with trace propagation: when ctx
+// carries a span, the lookup (and the inversion, on a miss) runs under
+// a "search.build_index" child span annotated with the cache result.
+func BuildCachedContext(ctx context.Context, key string, acts []*activity.Activity) *Index {
+	_, sp := trace.StartSpan(ctx, "search.build_index")
+	defer sp.End()
 	key = EngineVersion + "\x00" + key
 	indexCache.Lock()
 	if el, ok := indexCache.entries[key]; ok {
@@ -128,10 +140,13 @@ func BuildCached(key string, acts []*activity.Activity) *Index {
 		ix := el.Value.(indexCacheEntry).ix
 		indexCache.Unlock()
 		indexCacheTotal.With("hit").Inc()
+		sp.SetAttr("result", "hit")
 		return ix
 	}
 	indexCache.Unlock()
 	indexCacheTotal.With("miss").Inc()
+	sp.SetAttr("result", "miss")
+	sp.SetAttr("activities", strconv.Itoa(len(acts)))
 	ix := Build(acts)
 	indexCache.Lock()
 	defer indexCache.Unlock()

@@ -1,12 +1,15 @@
 package site
 
 import (
+	"context"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"pdcunplugged/internal/core"
 	"pdcunplugged/internal/obs"
+	"pdcunplugged/internal/obs/trace"
 )
 
 var (
@@ -87,8 +90,18 @@ type jobResult struct {
 // merged after the pool drains, so the output is byte-identical to a
 // serial build regardless of worker count.
 func (b *Builder) Build(repo *core.Repository) (*Site, error) {
+	return b.BuildContext(context.Background(), repo)
+}
+
+// BuildContext is Build with trace propagation: when ctx carries a span
+// (a -watch rebuild trace), the build appears as a "site.build" child
+// with one grandchild span per re-rendered job, so the waterfall shows
+// which pages a rebuild actually spent its time on.
+func (b *Builder) BuildContext(ctx context.Context, repo *core.Repository) (*Site, error) {
 	total := obs.StartSpan("site.build")
 	defer total.End()
+	ctx, tSpan := trace.StartSpan(ctx, "site.build")
+	defer tSpan.End()
 	start := time.Now()
 
 	kind := "full"
@@ -97,6 +110,7 @@ func (b *Builder) Build(repo *core.Repository) (*Site, error) {
 		kind = "incremental"
 	}
 	b.mu.Unlock()
+	tSpan.SetAttr("kind", kind)
 	defer rebuildSeconds.With(kind).Timer()()
 
 	jobs := planJobs(repo)
@@ -116,7 +130,7 @@ func (b *Builder) Build(repo *core.Repository) (*Site, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
-				results[i] = b.runJob(repo, jobs[i])
+				results[i] = b.runJob(ctx, repo, jobs[i])
 			}
 		}()
 	}
@@ -134,6 +148,7 @@ func (b *Builder) Build(repo *core.Repository) (*Site, error) {
 		pageCount += len(results[i].pages)
 	}
 
+	tSpan.SetAttr("jobs", strconv.Itoa(len(jobs)))
 	stats := BuildStats{Jobs: len(jobs), Workers: workers}
 	pages := make(map[string][]byte, pageCount)
 	b.mu.Lock()
@@ -169,8 +184,10 @@ func (b *Builder) Build(repo *core.Repository) (*Site, error) {
 }
 
 // runJob serves one job from the cache when its fingerprint is
-// unchanged, and renders it otherwise.
-func (b *Builder) runJob(repo *core.Repository, j job) jobResult {
+// unchanged, and renders it otherwise. Cache hits stay span-free (a
+// rebuild touching nothing would otherwise drown the waterfall in
+// zero-length bars); re-rendered jobs each get a child span.
+func (b *Builder) runJob(ctx context.Context, repo *core.Repository, j job) jobResult {
 	b.mu.Lock()
 	entry, ok := b.cache[j.id]
 	b.mu.Unlock()
@@ -183,12 +200,18 @@ func (b *Builder) runJob(repo *core.Repository, j job) jobResult {
 	busy := workersBusy.With(j.stage)
 	busy.Inc()
 	defer busy.Dec()
+	_, jSpan := trace.StartSpan(ctx, "site.job."+j.id)
+	jSpan.SetAttr("stage", j.stage)
 	start := time.Now()
 	rn := newRenderer(repo)
 	err := j.render(rn)
 	obs.ObservePhase("site.job."+j.stage, time.Since(start))
 	if err != nil {
+		jSpan.FailErr(err)
+		jSpan.End()
 		return jobResult{err: err}
 	}
+	jSpan.SetAttr("pages", strconv.Itoa(len(rn.pages)))
+	jSpan.End()
 	return jobResult{pages: rn.pages}
 }
