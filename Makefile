@@ -4,9 +4,12 @@
 
 GO ?= go
 
-.PHONY: check vet fmtcheck test test-race build fmt bench-smoke trace-overhead
+.PHONY: check lint vet fmtcheck test test-race build fmt bench-smoke trace-overhead
 
-check: vet fmtcheck test-race bench-smoke trace-overhead
+check: lint test-race bench-smoke trace-overhead
+
+# Static hygiene in one target: formatting and go vet.
+lint: fmtcheck vet
 
 build:
 	$(GO) build ./...

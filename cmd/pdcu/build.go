@@ -1,0 +1,64 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"pdcunplugged/internal/engine"
+	"pdcunplugged/internal/obs"
+	"pdcunplugged/internal/report"
+)
+
+// cmdBuild runs the engine pipeline once and writes the generation's
+// site to disk. Build and serve share the same load→build→index path,
+// so the generation tag printed here matches what serve would publish
+// for the same corpus.
+func cmdBuild(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("build", flag.ContinueOnError)
+	cfg, err := engine.FromEnv()
+	if err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+	cfg.BindBuildFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	eng, err := engine.New(cfg)
+	if err != nil {
+		return fmt.Errorf("build: %w", err)
+	}
+	obs.SetLevel(cfg.SlogLevel())
+	gen, err := eng.Rebuild(context.Background())
+	if err != nil {
+		return err
+	}
+	if err := gen.Site.WriteTo(cfg.Out); err != nil {
+		return err
+	}
+	st := gen.Stats
+	fmt.Fprintf(w, "built %d pages from %d activities into %s (%d jobs, %d workers, generation %s)\n",
+		gen.Site.Len(), gen.Repo.Len(), cfg.Out, st.Jobs, st.Workers, gen.ID)
+	if cfg.Verbose {
+		printPhaseTimings(w)
+	}
+	return nil
+}
+
+// printPhaseTimings renders the span histogram collected during this
+// process as the `build -verbose` phase breakdown.
+func printPhaseTimings(w io.Writer) {
+	timings := obs.PhaseTimings()
+	if len(timings) == 0 {
+		return
+	}
+	tb := report.New("PHASE TIMINGS", "Phase", "Calls", "Total", "Mean")
+	for _, pt := range timings {
+		tb.AddRow(pt.Phase, pt.Count,
+			pt.Total.Round(time.Microsecond).String(),
+			pt.Mean().Round(time.Microsecond).String())
+	}
+	fmt.Fprint(w, tb.String())
+}

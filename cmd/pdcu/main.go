@@ -3,11 +3,17 @@
 // and validate new activities, build or serve the static site, and run the
 // goroutine dramatizations.
 //
+// The build, serve, and search commands are thin shells over
+// internal/engine: they resolve a layered Config (defaults ← PDCU_* env
+// ← flags), hand it to the engine, and print results. All lifecycle
+// state — loading, site building, index building, publishing — lives in
+// the engine.
+//
 // Usage:
 //
 //	pdcu list [-course CS1] [-sense touch] [-medium cards] [-ku TERM] [-area TERM]
 //	pdcu show <slug>
-//	pdcu search [-json] [-limit N] <query>
+//	pdcu search [-json] [-limit N] [-src DIR] <query>
 //	pdcu coverage
 //	pdcu stats
 //	pdcu gaps
@@ -27,30 +33,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log/slog"
-	"net/http"
-	"net/http/pprof"
 	"os"
-	"os/signal"
 	"path/filepath"
-	"runtime/debug"
 	"sort"
-	"strconv"
 	"strings"
-	"sync/atomic"
-	"syscall"
-	"time"
 
 	"pdcunplugged"
 	"pdcunplugged/internal/activity"
 	"pdcunplugged/internal/coverage"
-	"pdcunplugged/internal/obs"
-	"pdcunplugged/internal/obs/dash"
-	"pdcunplugged/internal/obs/trace"
+	"pdcunplugged/internal/engine"
 	"pdcunplugged/internal/query"
 	"pdcunplugged/internal/report"
-	"pdcunplugged/internal/sim"
-	"pdcunplugged/internal/watch"
 )
 
 func main() {
@@ -219,8 +212,16 @@ func cmdShow(args []string, w io.Writer) error {
 	return nil
 }
 
+// cmdSearch loads the corpus through the engine — the same entry point
+// build and serve use — so the generation reported by `search -json`
+// matches what the other commands would publish for the same corpus.
 func cmdSearch(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("search", flag.ContinueOnError)
+	cfg, err := engine.FromEnv()
+	if err != nil {
+		return fmt.Errorf("search: %w", err)
+	}
+	cfg.BindSearchFlags(fs)
 	asJSON := fs.Bool("json", false, "emit results as JSON (the /api/v1/search response shape)")
 	limit := fs.Int("limit", 10, "maximum results (0 = all)")
 	if err := fs.Parse(args); err != nil {
@@ -229,7 +230,11 @@ func cmdSearch(args []string, w io.Writer) error {
 	if fs.NArg() == 0 {
 		return fmt.Errorf("usage: pdcu search [-json] [-limit N] <query>")
 	}
-	repo, err := openRepo()
+	eng, err := engine.New(cfg)
+	if err != nil {
+		return fmt.Errorf("search: %w", err)
+	}
+	repo, err := eng.Load(context.Background())
 	if err != nil {
 		return err
 	}
@@ -634,545 +639,5 @@ func cmdExport(args []string, w io.Writer) error {
 		}
 	}
 	fmt.Fprintf(w, "wrote %d activities to %s\n", len(files), *out)
-	return nil
-}
-
-func cmdBuild(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("build", flag.ContinueOnError)
-	out := fs.String("out", "public", "output directory")
-	src := fs.String("src", "", "optional directory of activity .md files (defaults to the embedded corpus)")
-	jobs := fs.Int("j", 0, "render workers (0 = one per CPU)")
-	verbose := fs.Bool("verbose", false, "print per-phase span timings and debug logs")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	if *verbose {
-		obs.SetLevel(slog.LevelDebug)
-	}
-	repo, err := repoFrom(*src)
-	if err != nil {
-		return err
-	}
-	b := pdcunplugged.NewSiteBuilder(pdcunplugged.SiteBuildOptions{Workers: *jobs})
-	s, err := b.Build(repo)
-	if err != nil {
-		return err
-	}
-	if err := s.WriteTo(*out); err != nil {
-		return err
-	}
-	st := b.LastStats()
-	fmt.Fprintf(w, "built %d pages from %d activities into %s (%d jobs, %d workers)\n",
-		s.Len(), repo.Len(), *out, st.Jobs, st.Workers)
-	if *verbose {
-		printPhaseTimings(w)
-	}
-	return nil
-}
-
-// printPhaseTimings renders the span histogram collected during this
-// process as the `build -verbose` phase breakdown.
-func printPhaseTimings(w io.Writer) {
-	timings := obs.PhaseTimings()
-	if len(timings) == 0 {
-		return
-	}
-	tb := report.New("PHASE TIMINGS", "Phase", "Calls", "Total", "Mean")
-	for _, pt := range timings {
-		tb.AddRow(pt.Phase, pt.Count,
-			pt.Total.Round(time.Microsecond).String(),
-			pt.Mean().Round(time.Microsecond).String())
-	}
-	fmt.Fprint(w, tb.String())
-}
-
-func repoFrom(src string) (*pdcunplugged.Repository, error) {
-	if src == "" {
-		return openRepo()
-	}
-	return pdcunplugged.LoadFS(os.DirFS(src), ".")
-}
-
-// liveSite bundles the currently-served site with the repository it was
-// built from. `serve -watch` publishes a whole new liveSite through an
-// atomic pointer on every successful rebuild, so in-flight requests keep
-// a consistent view and the swap needs no locking.
-type liveSite struct {
-	site    *pdcunplugged.Site
-	repo    *pdcunplugged.Repository
-	handler http.Handler
-}
-
-func newLiveSite(s *pdcunplugged.Site, repo *pdcunplugged.Repository) *liveSite {
-	return &liveSite{site: s, repo: repo, handler: s.Handler()}
-}
-
-// serveState bundles everything the serve handler tree dispatches
-// through: the live-site pointer, the query service, the tracer and
-// rolling time-series aggregator behind /debug/obs, and the
-// health/readiness state.
-type serveState struct {
-	cur    *atomic.Pointer[liveSite]
-	qsvc   *query.Service
-	tracer *trace.Tracer
-	rollup *obs.Rollup
-	health *healthState
-}
-
-func newServeState(cur *atomic.Pointer[liveSite], qsvc *query.Service, tracer *trace.Tracer) *serveState {
-	return &serveState{
-		cur:    cur,
-		qsvc:   qsvc,
-		tracer: tracer,
-		health: &healthState{start: time.Now()},
-	}
-}
-
-// healthState separates liveness (the process responds) from readiness
-// (a site has been built and published). It also remembers the most
-// recent -watch rebuild outcome, so /readyz tells an operator whether
-// the corpus they just edited actually went live.
-type healthState struct {
-	start   time.Time
-	ready   atomic.Bool
-	rebuild atomic.Pointer[rebuildOutcome]
-}
-
-// rebuildOutcome records one reloadSite attempt for /readyz.
-type rebuildOutcome struct {
-	Time     time.Time `json:"time"`
-	OK       bool      `json:"ok"`
-	Error    string    `json:"error,omitempty"`
-	Duration string    `json:"duration"`
-	TraceID  string    `json:"trace_id,omitempty"`
-}
-
-// buildInfo is the binary provenance block of /readyz, read from the
-// module metadata the Go linker embeds.
-type buildInfo struct {
-	GoVersion string `json:"go_version"`
-	Module    string `json:"module"`
-	Revision  string `json:"vcs_revision,omitempty"`
-	Modified  bool   `json:"vcs_modified,omitempty"`
-}
-
-func readBuildInfo() buildInfo {
-	out := buildInfo{}
-	bi, ok := debug.ReadBuildInfo()
-	if !ok {
-		return out
-	}
-	out.GoVersion = bi.GoVersion
-	out.Module = bi.Main.Path
-	for _, s := range bi.Settings {
-		switch s.Key {
-		case "vcs.revision":
-			out.Revision = s.Value
-		case "vcs.modified":
-			out.Modified = s.Value == "true"
-		}
-	}
-	return out
-}
-
-// reloadSite reloads the corpus from src, rebuilds through b (so
-// unchanged pages come from the builder's cache), and publishes the
-// result to both the static site pointer and the query service (whose
-// result cache is invalidated wholesale by the swap). On any error the
-// previously-published site stays live. The whole reload runs as one
-// root trace — load, per-job renders, and the index build appear as
-// child spans at /debug/obs/traces — and its outcome is published to
-// /readyz.
-func reloadSite(st *serveState, b *pdcunplugged.SiteBuilder, src string) (err error) {
-	// Forced: rebuilds are rare and operator-triggered, so their
-	// waterfall is always recorded regardless of the sample rate.
-	ctx, root := st.tracer.StartForced(context.Background(), "serve.rebuild")
-	start := time.Now()
-	defer func() {
-		outcome := &rebuildOutcome{
-			Time:     start,
-			OK:       err == nil,
-			Duration: time.Since(start).Round(time.Millisecond).String(),
-		}
-		if err != nil {
-			outcome.Error = err.Error()
-			root.FailErr(err)
-		}
-		if root != nil {
-			outcome.TraceID = root.TraceID().String()
-		}
-		root.End()
-		st.health.rebuild.Store(outcome)
-	}()
-
-	root.SetAttr("src", src)
-	_, loadSpan := trace.StartSpan(ctx, "serve.load_corpus")
-	repo, err := pdcunplugged.LoadFS(os.DirFS(src), ".")
-	if err != nil {
-		loadSpan.FailErr(err)
-		loadSpan.End()
-		return err
-	}
-	loadSpan.End()
-	s, err := b.BuildContext(ctx, repo)
-	if err != nil {
-		return err
-	}
-	st.cur.Store(newLiveSite(s, repo))
-	snap := query.NewSnapshotContext(ctx, repo)
-	st.qsvc.Swap(snap)
-	root.SetAttr("generation", snap.Generation)
-	return nil
-}
-
-func cmdServe(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
-	addr := fs.String("addr", ":8080", "listen address")
-	src := fs.String("src", "", "optional directory of activity .md files")
-	watchSrc := fs.Bool("watch", false, "poll -src for changes and rebuild incrementally (requires -src)")
-	poll := fs.Duration("poll", 500*time.Millisecond, "poll interval for -watch")
-	withPprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
-	verbose := fs.Bool("verbose", false, "debug logging (shorthand for -log-level debug)")
-	logLevel := fs.String("log-level", "info", "log threshold: debug, info, warn, or error")
-	rate := fs.Float64("rate", 100, "query API admission rate in requests/second (0 disables)")
-	burst := fs.Int("burst", 0, "query API token-bucket burst (0 = 2x rate)")
-	sample := fs.Float64("trace-sample", 0.1, "probability of retaining an ordinary trace (error/slow/traceparent traces are always kept)")
-	slow := fs.Duration("trace-slow", 250*time.Millisecond, "pin any trace at least this long")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	lvl, err := obs.ParseLevel(*logLevel)
-	if err != nil {
-		return fmt.Errorf("serve: %w", err)
-	}
-	if *verbose {
-		lvl = slog.LevelDebug
-	}
-	obs.SetLevel(lvl)
-	if *watchSrc && *src == "" {
-		return fmt.Errorf("serve: -watch requires -src (the embedded corpus cannot change)")
-	}
-	if *sample < 0 || *sample > 1 {
-		return fmt.Errorf("serve: -trace-sample must be in [0,1], got %v", *sample)
-	}
-
-	tracer := trace.New(trace.Options{SampleRate: *sample, SlowThreshold: *slow})
-	trace.SetDefault(tracer)
-	rollup := obs.NewRollup(obs.Default(), 5*time.Second, 120)
-	rollup.AddHook(obs.NewRuntimeCollector(obs.Default()).Collect)
-
-	repo, err := repoFrom(*src)
-	if err != nil {
-		return err
-	}
-	builder := pdcunplugged.NewSiteBuilder(pdcunplugged.SiteBuildOptions{})
-	s, err := builder.Build(repo)
-	if err != nil {
-		return err
-	}
-	cur := &atomic.Pointer[liveSite]{}
-	cur.Store(newLiveSite(s, repo))
-	qsvc := query.New(query.NewSnapshot(repo), query.Options{
-		RateLimit: *rate,
-		Burst:     *burst,
-	})
-
-	st := newServeState(cur, qsvc, tracer)
-	st.rollup = rollup
-	st.health.ready.Store(true) // first build is published
-
-	log := obs.Logger()
-	mux := serveMux(st, *withPprof)
-
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           mux,
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       10 * time.Second,
-		WriteTimeout:      30 * time.Second,
-		IdleTimeout:       2 * time.Minute,
-		ErrorLog:          slog.NewLogLogger(log.Handler(), slog.LevelWarn),
-	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
-	go rollup.Run(ctx)
-
-	if *watchSrc {
-		go func() {
-			err := watch.Watch(ctx, *src, *poll, func() {
-				if err := reloadSite(st, builder, *src); err != nil {
-					log.Warn("rebuild failed; keeping previous site", "err", err)
-					return
-				}
-				bs := builder.LastStats()
-				attrs := []any{
-					"pages", cur.Load().site.Len(),
-					"jobs", bs.Jobs, "cache_hits", bs.CacheHits,
-					"cache_misses", bs.CacheMisses,
-					"duration", bs.Duration.Round(time.Millisecond).String(),
-				}
-				if o := st.health.rebuild.Load(); o != nil && o.TraceID != "" {
-					attrs = append(attrs, "trace_id", o.TraceID)
-				}
-				log.Info("site rebuilt", attrs...)
-			})
-			if err != nil && ctx.Err() == nil {
-				log.Warn("watcher stopped", "err", err)
-			}
-		}()
-	}
-
-	fmt.Fprintf(w, "serving %d pages on %s (query API: /api/v1/, metrics: /metrics, health: /healthz /readyz, dashboard: /debug/obs", s.Len(), *addr)
-	if *withPprof {
-		fmt.Fprint(w, ", pprof: /debug/pprof/")
-	}
-	if *watchSrc {
-		fmt.Fprintf(w, ", watching %s every %s", *src, *poll)
-	}
-	fmt.Fprintln(w, ")")
-	log.Info("server starting", "addr", *addr, "pages", s.Len(),
-		"pprof", *withPprof, "watch", *watchSrc)
-
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	select {
-	case err := <-errc:
-		return err
-	case <-ctx.Done():
-	}
-
-	log.Info("shutdown signal received, draining in-flight requests")
-	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := srv.Shutdown(shutCtx); err != nil {
-		log.Warn("graceful shutdown incomplete, forcing close", "err", err)
-		srv.Close()
-		return err
-	}
-	log.Info("server stopped cleanly")
-	fmt.Fprintln(w, "server stopped")
-	return nil
-}
-
-// serveMux assembles the serve handler tree: the instrumented site at /,
-// the live query API under /api/v1/, plus the operational endpoints
-// (/metrics, /healthz, /readyz, /debug/obs, and optionally
-// /debug/pprof/) outside the request-metrics middleware so scrapes and
-// dashboard refreshes do not count as site traffic. The site, query,
-// and health endpoints dispatch through atomic pointers on every
-// request, so a `-watch` rebuild takes effect without touching the mux.
-func serveMux(st *serveState, withPprof bool) *http.ServeMux {
-	mux := http.NewServeMux()
-	mw := obs.NewHTTPMetrics(obs.Default()).WithTracer(st.tracer)
-	mux.Handle("/metrics", obs.Default().Handler())
-	// Liveness: the process is up and serving its mux. Deliberately
-	// constant-cost — orchestrators hammer this.
-	mux.HandleFunc("/healthz", func(hw http.ResponseWriter, r *http.Request) {
-		hw.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(hw, `{"status":"ok","uptime_seconds":%.0f}`+"\n",
-			time.Since(st.health.start).Seconds())
-	})
-	// Readiness: 503 until the first site build has been published, then
-	// corpus generation, uptime, last rebuild outcome, and build info.
-	mux.HandleFunc("/readyz", func(hw http.ResponseWriter, r *http.Request) {
-		hw.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(hw)
-		enc.SetIndent("", "  ")
-		if !st.health.ready.Load() {
-			hw.WriteHeader(http.StatusServiceUnavailable)
-			enc.Encode(map[string]any{
-				"status": "starting",
-				"reason": "first site build in flight",
-			})
-			return
-		}
-		ls := st.cur.Load()
-		enc.Encode(map[string]any{
-			"status":         "ready",
-			"generation":     st.qsvc.Snapshot().Generation,
-			"pages":          ls.site.Len(),
-			"activities":     ls.repo.Len(),
-			"uptime_seconds": time.Since(st.health.start).Seconds(),
-			"last_rebuild":   st.health.rebuild.Load(),
-			"build":          readBuildInfo(),
-		})
-	})
-	mux.Handle("/api/v1/", mw.Wrap(st.qsvc.Handler()))
-	dashHandler := dash.Handler(dash.Config{
-		Registry: obs.Default(),
-		Rollup:   st.rollup,
-		Tracer:   st.tracer,
-	})
-	mux.Handle("/debug/obs", dashHandler)
-	mux.Handle("/debug/obs/", dashHandler)
-	if withPprof {
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	}
-	mux.Handle("/", mw.Wrap(http.HandlerFunc(func(hw http.ResponseWriter, r *http.Request) {
-		st.cur.Load().handler.ServeHTTP(hw, r)
-	})))
-	return mux
-}
-
-func cmdSim(args []string, w io.Writer) error {
-	if len(args) == 0 {
-		return fmt.Errorf("usage: pdcu sim <list|run> ...")
-	}
-	switch args[0] {
-	case "list":
-		tb := report.New("ACTIVITY DRAMATIZATIONS", "Name", "Shows")
-		for _, name := range pdcunplugged.Simulations() {
-			a, _ := sim.Get(name)
-			tb.AddRow(name, a.Summary())
-		}
-		fmt.Fprint(w, tb.String())
-		return nil
-	case "run":
-		return cmdSimRun(args[1:], w)
-	case "sweep":
-		return cmdSimSweep(args[1:], w)
-	case "measure":
-		return cmdSimMeasure(args[1:], w)
-	default:
-		return fmt.Errorf("unknown sim subcommand %q", args[0])
-	}
-}
-
-func cmdSimMeasure(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("sim measure", flag.ContinueOnError)
-	metric := fs.String("metric", "", "counter or gauge to summarize (required)")
-	runs := fs.Int("runs", 30, "number of seeded runs")
-	n := fs.Int("n", 0, "participants (0 = activity default)")
-	workers := fs.Int("workers", 0, "workers (0 = activity default)")
-	seed := fs.Int64("seed", 1, "base seed")
-	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
-		return fmt.Errorf("usage: pdcu sim measure <name> -metric M [-runs N]")
-	}
-	name := args[0]
-	if err := fs.Parse(args[1:]); err != nil {
-		return err
-	}
-	d, err := sim.Measure(name, *metric, sim.Config{
-		Participants: *n, Workers: *workers, Seed: *seed,
-	}, *runs)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(w, d)
-	if d.Violations > 0 {
-		return fmt.Errorf("%d runs violated the invariant", d.Violations)
-	}
-	return nil
-}
-
-func cmdSimSweep(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("sim sweep", flag.ContinueOnError)
-	vary := fs.String("vary", "participants", "dimension to vary: participants, workers, seed, or a param name")
-	values := fs.String("values", "", "comma-separated grid values (required)")
-	metric := fs.String("metric", "", "counter or gauge to collect (required)")
-	repeats := fs.Int("repeats", 1, "average each point over this many seeds")
-	seed := fs.Int64("seed", 1, "base seed")
-	csv := fs.Bool("csv", false, "emit CSV instead of an ASCII plot")
-	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
-		return fmt.Errorf("usage: pdcu sim sweep <name> -values 8,16,32 -metric rounds [flags]")
-	}
-	name := args[0]
-	if err := fs.Parse(args[1:]); err != nil {
-		return err
-	}
-	var grid []float64
-	for _, v := range splitCSV(*values) {
-		f, err := strconv.ParseFloat(v, 64)
-		if err != nil {
-			return fmt.Errorf("bad grid value %q: %w", v, err)
-		}
-		grid = append(grid, f)
-	}
-	series, err := sim.Sweep{
-		Activity: name,
-		Vary:     *vary,
-		Values:   grid,
-		Metric:   *metric,
-		Base:     sim.Config{Seed: *seed},
-		Repeats:  *repeats,
-	}.Run()
-	if err != nil {
-		return err
-	}
-	if *csv {
-		fmt.Fprint(w, series.CSV())
-	} else {
-		fmt.Fprint(w, series.AsciiPlot(40))
-	}
-	if !series.AllOK() {
-		return fmt.Errorf("invariant violated at one or more grid points")
-	}
-	return nil
-}
-
-type paramFlags map[string]float64
-
-func (p paramFlags) String() string { return fmt.Sprintf("%v", map[string]float64(p)) }
-
-func (p paramFlags) Set(v string) error {
-	k, val, ok := strings.Cut(v, "=")
-	if !ok {
-		return fmt.Errorf("param must be key=value, got %q", v)
-	}
-	f, err := strconv.ParseFloat(val, 64)
-	if err != nil {
-		return fmt.Errorf("param %s: %w", k, err)
-	}
-	p[k] = f
-	return nil
-}
-
-func cmdSimRun(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("sim run", flag.ContinueOnError)
-	n := fs.Int("n", 0, "participants (0 = activity default)")
-	workers := fs.Int("workers", 0, "workers (0 = activity default)")
-	seed := fs.Int64("seed", 1, "random seed")
-	trace := fs.Bool("trace", false, "print the narration transcript")
-	asJSON := fs.Bool("json", false, "emit the report as JSON")
-	params := paramFlags{}
-	fs.Var(params, "param", "activity-specific knob key=value (repeatable)")
-	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
-		return fmt.Errorf("usage: pdcu sim run <name> [flags]")
-	}
-	name := args[0]
-	if err := fs.Parse(args[1:]); err != nil {
-		return err
-	}
-	rep, err := pdcunplugged.Simulate(name, pdcunplugged.SimConfig{
-		Participants: *n,
-		Workers:      *workers,
-		Seed:         *seed,
-		Trace:        *trace,
-		Params:       params,
-	})
-	if err != nil {
-		return err
-	}
-	if *asJSON {
-		out, err := rep.WriteJSON()
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(w, out)
-	} else {
-		fmt.Fprintln(w, rep.Summary())
-		if *trace {
-			fmt.Fprint(w, rep.Tracer.Transcript())
-		}
-	}
-	if !rep.OK {
-		return fmt.Errorf("invariant violated")
-	}
 	return nil
 }

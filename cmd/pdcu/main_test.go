@@ -1,12 +1,15 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"pdcunplugged"
+	"pdcunplugged/internal/engine"
 )
 
 func capture(t *testing.T, args ...string) (string, error) {
@@ -454,6 +457,85 @@ func TestPlanCommand(t *testing.T) {
 	out, err = capture(t, "plan", "-course", "K_12", "-slots", "2", "-handout")
 	if err != nil || !strings.Contains(out, "# Workshop plan") || !strings.Contains(out, "## Bring") {
 		t.Errorf("handout: %v %.120q", err, out)
+	}
+}
+
+// TestFlagValidationRejections pins the centralized Config.Validate
+// path at the CLI surface: out-of-range values are rejected with an
+// error naming the flag, uniformly across build and serve.
+func TestFlagValidationRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"build -j 0", []string{"build", "-out", t.TempDir(), "-j", "0"}, "-j must be >= 1"},
+		{"build -j negative", []string{"build", "-out", t.TempDir(), "-j", "-3"}, "-j must be >= 1"},
+		{"serve -rate negative", []string{"serve", "-rate", "-1"}, "-rate must be >= 0"},
+		{"serve -burst negative", []string{"serve", "-burst", "-2"}, "-burst must be >= 0"},
+		{"serve -trace-sample above one", []string{"serve", "-trace-sample", "2"}, "-trace-sample must be in [0,1]"},
+		{"serve -trace-sample negative", []string{"serve", "-trace-sample", "-0.5"}, "-trace-sample must be in [0,1]"},
+		{"serve -poll zero", []string{"serve", "-src", t.TempDir(), "-poll", "0s"}, "-poll must be > 0"},
+		{"serve bad -log-level", []string{"serve", "-log-level", "shouty"}, "-log-level"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := capture(t, tc.args...)
+			if err == nil {
+				t.Fatalf("accepted %v:\n%s", tc.args, out)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestUnifiedFingerprint pins the deduplicated repository entry point
+// across commands: for the same corpus, the generation tag printed by
+// `build` equals the one reported by `search -json`.
+func TestUnifiedFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	files := pdcunplugged.CorpusFiles()
+	if err := os.WriteFile(filepath.Join(dir, "findsmallestcard.md"), []byte(files["findsmallestcard"]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := capture(t, "build", "-src", dir, "-out", filepath.Join(dir, "out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rest, ok := strings.Cut(out, "generation ")
+	if !ok {
+		t.Fatalf("build output has no generation tag: %q", out)
+	}
+	buildGen := strings.Trim(strings.TrimSpace(rest), ")")
+
+	out, err = capture(t, "search", "-src", dir, "-json", "smallest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr struct {
+		Generation string `json:"generation"`
+	}
+	if err := json.Unmarshal([]byte(out), &sr); err != nil {
+		t.Fatalf("search -json: %v\n%s", err, out)
+	}
+	if sr.Generation == "" || sr.Generation != buildGen {
+		t.Errorf("search generation %q != build generation %q", sr.Generation, buildGen)
+	}
+
+	// The serve path publishes the same identity through the engine.
+	eng, err := engine.New(func() engine.Config { c := engine.Defaults(); c.Src = dir; return c }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := eng.Rebuild(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.ID != buildGen {
+		t.Errorf("engine generation %q != build generation %q", gen.ID, buildGen)
 	}
 }
 

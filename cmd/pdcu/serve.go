@@ -1,0 +1,99 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pdcunplugged/internal/engine"
+	"pdcunplugged/internal/obs"
+	"pdcunplugged/internal/obs/trace"
+)
+
+// cmdServe is a thin shell over the engine: resolve the layered config,
+// publish the first generation, hand the engine's mux to an http.Server,
+// and start the watch loop when asked. All serving state lives in the
+// engine; this function only owns process concerns (signals, shutdown).
+func cmdServe(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	cfg, err := engine.FromEnv()
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	cfg.BindServeFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	eng, err := engine.New(cfg)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	obs.SetLevel(cfg.SlogLevel())
+	trace.SetDefault(eng.Tracer())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	gen, err := eng.Rebuild(ctx)
+	if err != nil {
+		return err
+	}
+
+	log := obs.Logger()
+	srv := &http.Server{
+		Addr:              cfg.Addr,
+		Handler:           eng.Mux(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		ErrorLog:          slog.NewLogLogger(log.Handler(), slog.LevelWarn),
+	}
+
+	go eng.Rollup().Run(ctx)
+	if cfg.Watch {
+		go func() {
+			if err := eng.Watch(ctx); err != nil && ctx.Err() == nil {
+				log.Warn("watcher stopped", "err", err)
+			}
+		}()
+	}
+
+	fmt.Fprintf(w, "serving %d pages on %s (query API: /api/v1/, metrics: /metrics, health: /healthz /readyz, dashboard: /debug/obs", gen.Site.Len(), cfg.Addr)
+	if cfg.Pprof {
+		fmt.Fprint(w, ", pprof: /debug/pprof/")
+	}
+	if cfg.Watch {
+		fmt.Fprintf(w, ", watching %s every %s", cfg.Src, cfg.Poll)
+	}
+	fmt.Fprintln(w, ")")
+	log.Info("server starting", "addr", cfg.Addr, "pages", gen.Site.Len(),
+		"generation", gen.ID, "pprof", cfg.Pprof, "watch", cfg.Watch)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Info("shutdown signal received, draining in-flight requests")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Warn("graceful shutdown incomplete, forcing close", "err", err)
+		srv.Close()
+		return err
+	}
+	log.Info("server stopped cleanly")
+	fmt.Fprintln(w, "server stopped")
+	return nil
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -10,65 +11,51 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"testing"
-	"time"
 
 	"pdcunplugged"
-	"pdcunplugged/internal/obs"
-	"pdcunplugged/internal/obs/trace"
+	"pdcunplugged/internal/engine"
 	"pdcunplugged/internal/query"
 )
 
-// newTestServeState wires a serveState around the given live pointer and
-// query service with a keep-everything tracer, as cmdServe would after
-// its first successful build.
-func newTestServeState(cur *atomic.Pointer[liveSite], qsvc *query.Service) *serveState {
-	st := newServeState(cur, qsvc, trace.New(trace.Options{SampleRate: 1}))
-	st.rollup = obs.NewRollup(obs.Default(), time.Second, 16)
-	st.health.ready.Store(true)
-	return st
-}
-
-func serveTestMux(t *testing.T, withPprof bool) (*http.ServeMux, *atomic.Pointer[liveSite]) {
+// testEngine builds an engine the way cmdServe would — layered config,
+// then engine.New — with test-friendly defaults: admission control off
+// (no 429s under load) and a keep-everything tracer. No generation is
+// published yet; callers drive Rebuild themselves.
+func testEngine(t *testing.T, mutate func(*engine.Config)) *engine.Engine {
 	t.Helper()
-	mux, cur, _ := serveTestMuxQuery(t, withPprof)
-	return mux, cur
-}
-
-func serveTestMuxQuery(t *testing.T, withPprof bool) (*http.ServeMux, *atomic.Pointer[liveSite], *query.Service) {
-	t.Helper()
-	st := serveTestState(t)
-	return serveMux(st, withPprof), st.cur, st.qsvc
-}
-
-func serveTestState(t *testing.T) *serveState {
-	t.Helper()
-	repo, err := pdcunplugged.Open()
+	cfg := engine.Defaults()
+	cfg.Rate = 0
+	cfg.TraceSample = 1
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	eng, err := engine.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := pdcunplugged.BuildSite(repo)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cur := &atomic.Pointer[liveSite]{}
-	cur.Store(newLiveSite(s, repo))
-	qsvc := query.New(query.NewSnapshot(repo), query.Options{})
-	return newTestServeState(cur, qsvc)
+	return eng
 }
 
-func serveTestServer(t *testing.T, withPprof bool) *httptest.Server {
+// builtEngine is testEngine plus the first published generation.
+func builtEngine(t *testing.T, mutate func(*engine.Config)) *engine.Engine {
 	t.Helper()
-	mux, _ := serveTestMux(t, withPprof)
-	srv := httptest.NewServer(mux)
+	eng := testEngine(t, mutate)
+	if _, err := eng.Rebuild(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func serveTestServer(t *testing.T, mutate func(*engine.Config)) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(builtEngine(t, mutate).Mux())
 	t.Cleanup(srv.Close)
 	return srv
 }
 
 func TestServeHealthz(t *testing.T) {
-	srv := func() *httptest.Server { mux, _ := serveTestMux(t, false); return httptest.NewServer(mux) }()
-	defer srv.Close()
+	srv := serveTestServer(t, nil)
 
 	resp, err := http.Get(srv.URL + "/healthz")
 	if err != nil {
@@ -94,16 +81,14 @@ func TestServeHealthz(t *testing.T) {
 }
 
 // TestServeReadyz pins the liveness/readiness split: /readyz is 503 until
-// the first build is published, then reports corpus generation, counts,
-// the last rebuild outcome, and build info.
+// the engine publishes its first generation, then reports the generation
+// identity, counts, the last pipeline outcome, and build info.
 func TestServeReadyz(t *testing.T) {
-	st := serveTestState(t)
-	mux := serveMux(st, false)
-	srv := httptest.NewServer(mux)
+	eng := testEngine(t, nil)
+	srv := httptest.NewServer(eng.Mux())
 	defer srv.Close()
 
-	// Not ready: first build still in flight.
-	st.health.ready.Store(false)
+	// Not ready: nothing published yet.
 	resp, err := http.Get(srv.URL + "/readyz")
 	if err != nil {
 		t.Fatal(err)
@@ -116,12 +101,14 @@ func TestServeReadyz(t *testing.T) {
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable || starting.Status != "starting" {
-		t.Fatalf("/readyz before first build = %d %+v, want 503 starting", resp.StatusCode, starting)
+		t.Fatalf("/readyz before first publish = %d %+v, want 503 starting", resp.StatusCode, starting)
 	}
 
-	// Ready, with a recorded rebuild outcome.
-	st.health.ready.Store(true)
-	st.health.rebuild.Store(&rebuildOutcome{Time: time.Now(), OK: true, Duration: "12ms", TraceID: "cafe"})
+	// Publish generation 1; readiness flips with a real rebuild outcome.
+	gen, err := eng.Rebuild(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	resp, err = http.Get(srv.URL + "/readyz")
 	if err != nil {
 		t.Fatal(err)
@@ -133,6 +120,7 @@ func TestServeReadyz(t *testing.T) {
 	var ready struct {
 		Status     string  `json:"status"`
 		Generation string  `json:"generation"`
+		Seq        uint64  `json:"seq"`
 		Pages      int     `json:"pages"`
 		Activities int     `json:"activities"`
 		Uptime     float64 `json:"uptime_seconds"`
@@ -147,10 +135,11 @@ func TestServeReadyz(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
 		t.Fatal(err)
 	}
-	if ready.Status != "ready" || ready.Generation == "" || ready.Pages == 0 || ready.Activities == 0 {
+	if ready.Status != "ready" || ready.Generation != gen.ID || ready.Seq != 1 ||
+		ready.Pages == 0 || ready.Activities == 0 {
 		t.Errorf("ready body = %+v", ready)
 	}
-	if ready.Rebuild == nil || !ready.Rebuild.OK || ready.Rebuild.TraceID != "cafe" {
+	if ready.Rebuild == nil || !ready.Rebuild.OK || ready.Rebuild.TraceID == "" {
 		t.Errorf("last_rebuild = %+v", ready.Rebuild)
 	}
 	if ready.Build == nil || ready.Build.GoVersion == "" {
@@ -159,8 +148,7 @@ func TestServeReadyz(t *testing.T) {
 }
 
 func TestServeMetricsEndpoint(t *testing.T) {
-	srv := func() *httptest.Server { mux, _ := serveTestMux(t, false); return httptest.NewServer(mux) }()
-	defer srv.Close()
+	srv := serveTestServer(t, nil)
 
 	// Generate site traffic, then scrape.
 	for _, p := range []string{"/", "/views/tcpp/", "/no/such/page/"} {
@@ -186,6 +174,8 @@ func TestServeMetricsEndpoint(t *testing.T) {
 		`pdcu_http_requests_total{path="/no",code="404"}`,
 		"# TYPE pdcu_http_request_duration_seconds histogram",
 		`pdcu_phase_seconds_count{phase="site.build"}`,
+		"# TYPE pdcu_engine_generation gauge",
+		"# TYPE pdcu_engine_publish_duration_seconds histogram",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)
@@ -194,8 +184,7 @@ func TestServeMetricsEndpoint(t *testing.T) {
 }
 
 func TestServePprofGating(t *testing.T) {
-	withoutPprof := func() *httptest.Server { mux, _ := serveTestMux(t, false); return httptest.NewServer(mux) }()
-	defer withoutPprof.Close()
+	withoutPprof := serveTestServer(t, nil)
 	resp, err := http.Get(withoutPprof.URL + "/debug/pprof/")
 	if err != nil {
 		t.Fatal(err)
@@ -205,8 +194,7 @@ func TestServePprofGating(t *testing.T) {
 		t.Errorf("pprof without -pprof = %d, want 404", resp.StatusCode)
 	}
 
-	withPprof := func() *httptest.Server { mux, _ := serveTestMux(t, true); return httptest.NewServer(mux) }()
-	defer withPprof.Close()
+	withPprof := serveTestServer(t, func(c *engine.Config) { c.Pprof = true })
 	resp, err = http.Get(withPprof.URL + "/debug/pprof/")
 	if err != nil {
 		t.Fatal(err)
@@ -231,104 +219,108 @@ func writeCorpus(t *testing.T) string {
 }
 
 func TestServeLiveSwap(t *testing.T) {
-	mux, cur := serveTestMux(t, false)
-	srv := httptest.NewServer(mux)
+	dir := writeCorpus(t)
+	eng := builtEngine(t, func(c *engine.Config) { c.Src = dir })
+	srv := httptest.NewServer(eng.Mux())
 	defer srv.Close()
 
-	get := func(path string) int {
+	get := func(path string) (int, string) {
 		resp, err := http.Get(srv.URL + path)
 		if err != nil {
 			t.Fatal(err)
 		}
 		resp.Body.Close()
-		return resp.StatusCode
+		return resp.StatusCode, resp.Header.Get("Pdcu-Generation")
 	}
 
 	const page = "/activities/findsmallestcard/"
-	if code := get(page); code != http.StatusOK {
+	code, gen1 := get(page)
+	if code != http.StatusOK {
 		t.Fatalf("%s before swap = %d, want 200", page, code)
 	}
+	if gen1 != eng.Current().ID {
+		t.Errorf("Pdcu-Generation %q, want %q", gen1, eng.Current().ID)
+	}
 
-	// Rebuild a smaller site (one activity removed) and publish it
-	// through the pointer, as the -watch loop would.
-	files := pdcunplugged.CorpusFiles()
-	delete(files, "findsmallestcard")
-	repo, err := pdcunplugged.Load(files)
-	if err != nil {
+	// Rebuild a smaller corpus (one activity removed); the engine
+	// publishes the new generation through its pointer, as -watch would.
+	if err := os.Remove(filepath.Join(dir, "findsmallestcard.md")); err != nil {
 		t.Fatal(err)
 	}
-	s, err := pdcunplugged.BuildSite(repo)
-	if err != nil {
+	if _, err := eng.Rebuild(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	cur.Store(newLiveSite(s, repo))
 
-	if code := get(page); code != http.StatusNotFound {
+	code, _ = get(page)
+	if code != http.StatusNotFound {
 		t.Errorf("%s after swap = %d, want 404", page, code)
 	}
-	if code := get("/"); code != http.StatusOK {
+	code, gen2 := get("/")
+	if code != http.StatusOK {
 		t.Errorf("/ after swap = %d, want 200", code)
+	}
+	if gen2 == gen1 || gen2 != eng.Current().ID {
+		t.Errorf("generation after swap = %q (before %q, current %q)", gen2, gen1, eng.Current().ID)
 	}
 }
 
-func TestReloadSite(t *testing.T) {
+// TestEngineRebuildServe drives the full pipeline the way the -watch
+// loop does: corpus edits flow through Rebuild into a swapped
+// generation, failures keep the previous generation live, and the query
+// surface tracks the engine pointer with no state of its own.
+func TestEngineRebuildServe(t *testing.T) {
 	dir := writeCorpus(t)
-	b := pdcunplugged.NewSiteBuilder(pdcunplugged.SiteBuildOptions{})
-	cur := &atomic.Pointer[liveSite]{}
-	repo, err := pdcunplugged.Open()
-	if err != nil {
-		t.Fatal(err)
-	}
-	qsvc := query.New(query.NewSnapshot(repo), query.Options{})
-	st := newTestServeState(cur, qsvc)
-
-	if err := reloadSite(st, b, dir); err != nil {
-		t.Fatalf("initial reload: %v", err)
-	}
-	first := cur.Load()
-	if first == nil || first.site.Len() == 0 {
-		t.Fatal("reload did not publish a site")
+	eng := builtEngine(t, func(c *engine.Config) { c.Src = dir })
+	first := eng.Current()
+	if first == nil || first.Site.Len() == 0 {
+		t.Fatal("rebuild did not publish a generation")
 	}
 
-	// A corpus edit flows through: retag an existing activity and the
-	// rebuilt site drops its page.
+	// A corpus edit flows through: delete an activity and the rebuilt
+	// site drops its page.
 	victim := filepath.Join(dir, "findsmallestcard.md")
 	if err := os.Remove(victim); err != nil {
 		t.Fatal(err)
 	}
-	if err := reloadSite(st, b, dir); err != nil {
-		t.Fatalf("reload after delete: %v", err)
+	gen2, err := eng.Rebuild(context.Background())
+	if err != nil {
+		t.Fatalf("rebuild after delete: %v", err)
 	}
-	if out := st.health.rebuild.Load(); out == nil || !out.OK || out.TraceID == "" {
+	if out := eng.LastOutcome(); out == nil || !out.OK || out.TraceID == "" {
 		t.Errorf("rebuild outcome after success = %+v", out)
 	}
-	second := cur.Load()
-	if second == first {
-		t.Fatal("reload did not swap the live site")
+	second := eng.Current()
+	if second == first || second != gen2 {
+		t.Fatal("rebuild did not swap the published generation")
 	}
-	if got := qsvc.Snapshot().Generation; got != second.repo.Fingerprint()[:len(got)] {
-		t.Errorf("query snapshot generation %q does not match the reloaded repo", got)
+	if second.Seq != first.Seq+1 {
+		t.Errorf("seq = %d after %d, want +1", second.Seq, first.Seq)
 	}
-	if _, ok := second.site.Pages["activities/findsmallestcard/index.html"]; ok {
-		t.Error("deleted activity still present after reload")
+	if got := eng.Query().Snapshot().Generation; got != second.ID {
+		t.Errorf("query snapshot generation %q does not track the engine pointer (want %q)", got, second.ID)
 	}
-	stats := b.LastStats()
-	if stats.CacheHits == 0 {
-		t.Errorf("incremental reload had no cache hits: %+v", stats)
+	if got := second.ID; got != second.Fingerprint[:len(got)] {
+		t.Errorf("generation ID %q is not a prefix of the fingerprint", got)
+	}
+	if _, ok := second.Site.Pages["activities/findsmallestcard/index.html"]; ok {
+		t.Error("deleted activity still present after rebuild")
+	}
+	if gen2.Stats.CacheHits == 0 {
+		t.Errorf("incremental rebuild had no cache hits: %+v", gen2.Stats)
 	}
 
-	// A broken corpus keeps the previous site live.
+	// A broken corpus keeps the previous generation live.
 	bad := filepath.Join(dir, "broken.md")
 	if err := os.WriteFile(bad, []byte("---\ntitle: unterminated frontmatter\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := reloadSite(st, b, dir); err == nil {
-		t.Fatal("reload of broken corpus should error")
+	if _, err := eng.Rebuild(context.Background()); err == nil {
+		t.Fatal("rebuild of broken corpus should error")
 	}
-	if cur.Load() != second {
-		t.Error("failed reload must not swap the live site")
+	if eng.Current() != second {
+		t.Error("failed rebuild must not swap the published generation")
 	}
-	if out := st.health.rebuild.Load(); out == nil || out.OK || out.Error == "" {
+	if out := eng.LastOutcome(); out == nil || out.OK || out.Error == "" {
 		t.Errorf("rebuild outcome after failure = %+v", out)
 	}
 }
@@ -341,11 +333,11 @@ func TestServeWatchRequiresSrc(t *testing.T) {
 }
 
 // TestServeQueryAPI exercises the mounted /api/v1/ tree end to end
-// through the serve mux: correct JSON bodies, and the query middleware
+// through the engine mux: correct JSON bodies, and the query middleware
 // counting requests under the /api route label.
 func TestServeQueryAPI(t *testing.T) {
-	mux, _, qsvc := serveTestMuxQuery(t, false)
-	srv := httptest.NewServer(mux)
+	eng := builtEngine(t, nil)
+	srv := httptest.NewServer(eng.Mux())
 	defer srv.Close()
 
 	var sr query.SearchResponse
@@ -353,8 +345,8 @@ func TestServeQueryAPI(t *testing.T) {
 	if sr.Count == 0 || sr.Results[0].Slug != "byzantine-generals" {
 		t.Errorf("search response: %+v", sr)
 	}
-	if sr.Generation != qsvc.Snapshot().Generation {
-		t.Errorf("search generation %q, want %q", sr.Generation, qsvc.Snapshot().Generation)
+	if sr.Generation != eng.Current().ID {
+		t.Errorf("search generation %q, want %q", sr.Generation, eng.Current().ID)
 	}
 
 	var ar query.ActivitiesResponse
@@ -411,69 +403,108 @@ func getJSON(t *testing.T, url string, v any) {
 	}
 }
 
-// TestServeQuerySwapUnderLoad hammers /api/v1/search from several
-// goroutines while the main goroutine repeatedly mutates the corpus and
-// swaps new sites in through reloadSite, as the -watch loop would. Run
-// under -race by `make check`. It pins three properties: the load never
-// produces a 5xx, every swap is immediately visible to the next query
-// (no stale-generation cache hit can outlive a swap), and each observed
-// generation is one that was actually published.
+// TestServeQuerySwapUnderLoad hammers all three generation-reporting
+// surfaces — the /api/v1/search body, the static site's Pdcu-Generation
+// header, and /readyz — from several goroutines while the main
+// goroutine repeatedly mutates the corpus and publishes new generations
+// through the engine, as the -watch loop would. Run under -race by
+// `make check`. It pins four properties: the load never produces a 5xx,
+// every observed generation is one that was actually published, each
+// worker observes generations in publish order (the single atomic
+// pointer cannot travel backwards), and immediately after a publish all
+// three surfaces report the new generation — no surface lags another.
 func TestServeQuerySwapUnderLoad(t *testing.T) {
 	dir := writeCorpus(t)
-	b := pdcunplugged.NewSiteBuilder(pdcunplugged.SiteBuildOptions{})
-	cur := &atomic.Pointer[liveSite]{}
-	repo, err := pdcunplugged.Open()
-	if err != nil {
-		t.Fatal(err)
-	}
-	qsvc := query.New(query.NewSnapshot(repo), query.Options{})
-	st := newTestServeState(cur, qsvc)
-	if err := reloadSite(st, b, dir); err != nil {
-		t.Fatal(err)
-	}
-	mux := serveMux(st, false)
-	srv := httptest.NewServer(mux)
+	eng := builtEngine(t, func(c *engine.Config) { c.Src = dir })
+	srv := httptest.NewServer(eng.Mux())
 	defer srv.Close()
 
-	published := sync.Map{} // generation -> true, recorded before workers can observe it
-	published.Store(qsvc.Snapshot().Generation, true)
+	// published maps generation ID -> publish order, recorded before
+	// workers can observe it.
+	var mu sync.Mutex
+	published := map[string]int{eng.Current().ID: 0}
+
+	// readGeneration observes one serving surface and returns the
+	// generation it reported.
+	readGeneration := func(surface int) (string, error) {
+		switch surface {
+		case 0: // query API response body
+			resp, err := http.Get(srv.URL + "/api/v1/search?q=byzantine")
+			if err != nil {
+				return "", err
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode >= 500 {
+				return "", fmt.Errorf("query returned %d", resp.StatusCode)
+			}
+			var sr query.SearchResponse
+			if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+				return "", err
+			}
+			return sr.Generation, nil
+		case 1: // static site response header
+			resp, err := http.Get(srv.URL + "/")
+			if err != nil {
+				return "", err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode >= 500 {
+				return "", fmt.Errorf("site returned %d", resp.StatusCode)
+			}
+			return resp.Header.Get("Pdcu-Generation"), nil
+		default: // readiness endpoint
+			resp, err := http.Get(srv.URL + "/readyz")
+			if err != nil {
+				return "", err
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode >= 500 {
+				return "", fmt.Errorf("readyz returned %d", resp.StatusCode)
+			}
+			var rz struct {
+				Generation string `json:"generation"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&rz); err != nil {
+				return "", err
+			}
+			return rz.Generation, nil
+		}
+	}
 
 	stop := make(chan struct{})
-	errc := make(chan error, 8)
+	errc := make(chan error, 9)
 	var wg sync.WaitGroup
-	for i := 0; i < 8; i++ {
+	for i := 0; i < 9; i++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
-			queries := []string{"odd-even", "byzantine", "token ring", "sorting cards"}
+			last := -1
 			for n := 0; ; n++ {
 				select {
 				case <-stop:
 					return
 				default:
 				}
-				resp, err := http.Get(srv.URL + "/api/v1/search?q=" + strings.ReplaceAll(queries[n%len(queries)], " ", "+"))
+				gen, err := readGeneration((worker + n) % 3)
 				if err != nil {
 					errc <- err
 					return
 				}
-				var sr query.SearchResponse
-				decErr := json.NewDecoder(resp.Body).Decode(&sr)
-				resp.Body.Close()
-				if resp.StatusCode >= 500 {
-					errc <- fmt.Errorf("query returned %d", resp.StatusCode)
+				mu.Lock()
+				order, ok := published[gen]
+				mu.Unlock()
+				if !ok {
+					errc <- fmt.Errorf("worker %d observed unpublished generation %q", worker, gen)
 					return
 				}
-				if decErr != nil {
-					errc <- decErr
+				if order < last {
+					errc <- fmt.Errorf("worker %d observed generation %q (order %d) after order %d", worker, gen, order, last)
 					return
 				}
-				if _, ok := published.Load(sr.Generation); !ok {
-					errc <- fmt.Errorf("observed unpublished generation %q", sr.Generation)
-					return
-				}
+				last = order
 			}
-		}()
+		}(i)
 	}
 
 	victim := filepath.Join(dir, "findsmallestcard.md")
@@ -481,34 +512,37 @@ func TestServeQuerySwapUnderLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < 6; i++ {
-		// Alternate removing and restoring one activity so every swap
-		// changes the fingerprint.
-		if i%2 == 0 {
-			if err := os.Remove(victim); err != nil {
-				t.Fatal(err)
-			}
-		} else {
-			if err := os.WriteFile(victim, original, 0o644); err != nil {
-				t.Fatal(err)
-			}
+	for i := 1; i <= 6; i++ {
+		// Append a unique line so every swap produces a distinct
+		// fingerprint (and therefore a distinct generation ID).
+		edited := fmt.Sprintf("%s\nEdit pass %d of the swap-under-load test.\n", original, i)
+		if err := os.WriteFile(victim, []byte(edited), 0o644); err != nil {
+			t.Fatal(err)
 		}
-		// Record the generation this corpus will publish as *before*
+		// Record the generation this corpus will publish *before*
 		// swapping, so workers can never observe an unknown one.
 		next, err := pdcunplugged.LoadFS(os.DirFS(dir), ".")
 		if err != nil {
 			t.Fatal(err)
 		}
-		published.Store(query.NewSnapshot(next).Generation, true)
-		if err := reloadSite(st, b, dir); err != nil {
+		mu.Lock()
+		published[query.NewSnapshot(next).Generation] = i
+		mu.Unlock()
+		gen, err := eng.Rebuild(context.Background())
+		if err != nil {
 			t.Fatal(err)
 		}
-		// A query issued after the swap must see the new generation:
-		// the generation-keyed cache cannot serve a stale hit.
-		var sr query.SearchResponse
-		getJSON(t, srv.URL+"/api/v1/search?q=odd-even", &sr)
-		if want := qsvc.Snapshot().Generation; sr.Generation != want {
-			t.Fatalf("swap %d: query served generation %q, want %q", i, sr.Generation, want)
+		// Immediately after the publish, every surface must already
+		// report the new generation: one atomic pointer feeds all three,
+		// so none can lag.
+		for surface := 0; surface < 3; surface++ {
+			got, err := readGeneration(surface)
+			if err != nil {
+				t.Fatalf("swap %d surface %d: %v", i, surface, err)
+			}
+			if got != gen.ID {
+				t.Fatalf("swap %d: surface %d served generation %q, want %q", i, surface, got, gen.ID)
+			}
 		}
 	}
 	close(stop)

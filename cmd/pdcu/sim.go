@@ -1,0 +1,170 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"pdcunplugged"
+	"pdcunplugged/internal/report"
+	"pdcunplugged/internal/sim"
+)
+
+func cmdSim(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: pdcu sim <list|run> ...")
+	}
+	switch args[0] {
+	case "list":
+		tb := report.New("ACTIVITY DRAMATIZATIONS", "Name", "Shows")
+		for _, name := range pdcunplugged.Simulations() {
+			a, _ := sim.Get(name)
+			tb.AddRow(name, a.Summary())
+		}
+		fmt.Fprint(w, tb.String())
+		return nil
+	case "run":
+		return cmdSimRun(args[1:], w)
+	case "sweep":
+		return cmdSimSweep(args[1:], w)
+	case "measure":
+		return cmdSimMeasure(args[1:], w)
+	default:
+		return fmt.Errorf("unknown sim subcommand %q", args[0])
+	}
+}
+
+func cmdSimMeasure(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("sim measure", flag.ContinueOnError)
+	metric := fs.String("metric", "", "counter or gauge to summarize (required)")
+	runs := fs.Int("runs", 30, "number of seeded runs")
+	n := fs.Int("n", 0, "participants (0 = activity default)")
+	workers := fs.Int("workers", 0, "workers (0 = activity default)")
+	seed := fs.Int64("seed", 1, "base seed")
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		return fmt.Errorf("usage: pdcu sim measure <name> -metric M [-runs N]")
+	}
+	name := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	d, err := sim.Measure(name, *metric, sim.Config{
+		Participants: *n, Workers: *workers, Seed: *seed,
+	}, *runs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, d)
+	if d.Violations > 0 {
+		return fmt.Errorf("%d runs violated the invariant", d.Violations)
+	}
+	return nil
+}
+
+func cmdSimSweep(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("sim sweep", flag.ContinueOnError)
+	vary := fs.String("vary", "participants", "dimension to vary: participants, workers, seed, or a param name")
+	values := fs.String("values", "", "comma-separated grid values (required)")
+	metric := fs.String("metric", "", "counter or gauge to collect (required)")
+	repeats := fs.Int("repeats", 1, "average each point over this many seeds")
+	seed := fs.Int64("seed", 1, "base seed")
+	csv := fs.Bool("csv", false, "emit CSV instead of an ASCII plot")
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		return fmt.Errorf("usage: pdcu sim sweep <name> -values 8,16,32 -metric rounds [flags]")
+	}
+	name := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	var grid []float64
+	for _, v := range splitCSV(*values) {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return fmt.Errorf("bad grid value %q: %w", v, err)
+		}
+		grid = append(grid, f)
+	}
+	series, err := sim.Sweep{
+		Activity: name,
+		Vary:     *vary,
+		Values:   grid,
+		Metric:   *metric,
+		Base:     sim.Config{Seed: *seed},
+		Repeats:  *repeats,
+	}.Run()
+	if err != nil {
+		return err
+	}
+	if *csv {
+		fmt.Fprint(w, series.CSV())
+	} else {
+		fmt.Fprint(w, series.AsciiPlot(40))
+	}
+	if !series.AllOK() {
+		return fmt.Errorf("invariant violated at one or more grid points")
+	}
+	return nil
+}
+
+type paramFlags map[string]float64
+
+func (p paramFlags) String() string { return fmt.Sprintf("%v", map[string]float64(p)) }
+
+func (p paramFlags) Set(v string) error {
+	k, val, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("param must be key=value, got %q", v)
+	}
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("param %s: %w", k, err)
+	}
+	p[k] = f
+	return nil
+}
+
+func cmdSimRun(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("sim run", flag.ContinueOnError)
+	n := fs.Int("n", 0, "participants (0 = activity default)")
+	workers := fs.Int("workers", 0, "workers (0 = activity default)")
+	seed := fs.Int64("seed", 1, "random seed")
+	trace := fs.Bool("trace", false, "print the narration transcript")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	params := paramFlags{}
+	fs.Var(params, "param", "activity-specific knob key=value (repeatable)")
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		return fmt.Errorf("usage: pdcu sim run <name> [flags]")
+	}
+	name := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	rep, err := pdcunplugged.Simulate(name, pdcunplugged.SimConfig{
+		Participants: *n,
+		Workers:      *workers,
+		Seed:         *seed,
+		Trace:        *trace,
+		Params:       params,
+	})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		out, err := rep.WriteJSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, out)
+	} else {
+		fmt.Fprintln(w, rep.Summary())
+		if *trace {
+			fmt.Fprint(w, rep.Tracer.Transcript())
+		}
+	}
+	if !rep.OK {
+		return fmt.Errorf("invariant violated")
+	}
+	return nil
+}

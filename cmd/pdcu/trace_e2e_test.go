@@ -1,29 +1,27 @@
 package main
 
 // End-to-end acceptance for request-scoped tracing through the real
-// serve mux: a W3C traceparent request must yield a retrievable
-// waterfall covering the whole query pipeline, and a -watch rebuild
+// engine mux: a W3C traceparent request must yield a retrievable
+// waterfall covering the whole query pipeline, and an engine rebuild
 // must appear as a trace with per-job child spans. Both run with
 // sampling OFF so retention is earned (traceparent / StartForced), not
 // won by a sample draw.
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
-	"sync/atomic"
 	"testing"
 
-	"pdcunplugged"
+	"pdcunplugged/internal/engine"
 	"pdcunplugged/internal/obs/trace"
-	"pdcunplugged/internal/query"
 )
 
 func TestServeTraceparentEndToEnd(t *testing.T) {
-	st := serveTestState(t)
-	st.tracer = trace.New(trace.Options{SampleRate: 0})
-	srv := httptest.NewServer(serveMux(st, false))
+	eng := builtEngine(t, func(c *engine.Config) { c.TraceSample = 0 })
+	srv := httptest.NewServer(eng.Mux())
 	defer srv.Close()
 
 	const remote = "11112222333344445555666677778888"
@@ -49,7 +47,7 @@ func TestServeTraceparentEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, ok := st.tracer.Store().Get(tid)
+	d, ok := eng.Tracer().Store().Get(tid)
 	if !ok {
 		t.Fatal("traceparent request left no retrievable trace with sampling off")
 	}
@@ -87,19 +85,15 @@ func TestServeTraceparentEndToEnd(t *testing.T) {
 
 func TestRebuildTraceWaterfall(t *testing.T) {
 	dir := writeCorpus(t)
-	b := pdcunplugged.NewSiteBuilder(pdcunplugged.SiteBuildOptions{})
-	cur := &atomic.Pointer[liveSite]{}
-	repo, err := pdcunplugged.Open()
-	if err != nil {
-		t.Fatal(err)
-	}
-	st := newTestServeState(cur, query.New(query.NewSnapshot(repo), query.Options{}))
-	st.tracer = trace.New(trace.Options{SampleRate: 0})
+	eng := testEngine(t, func(c *engine.Config) {
+		c.Src = dir
+		c.TraceSample = 0
+	})
 
-	if err := reloadSite(st, b, dir); err != nil {
-		t.Fatalf("reload: %v", err)
+	if _, err := eng.Rebuild(context.Background()); err != nil {
+		t.Fatalf("rebuild: %v", err)
 	}
-	out := st.health.rebuild.Load()
+	out := eng.LastOutcome()
 	if out == nil || !out.OK || out.TraceID == "" {
 		t.Fatalf("rebuild outcome = %+v, want success with a trace id", out)
 	}
@@ -107,16 +101,19 @@ func TestRebuildTraceWaterfall(t *testing.T) {
 	if err != nil {
 		t.Fatalf("rebuild trace id %q: %v", out.TraceID, err)
 	}
-	d, ok := st.tracer.Store().Get(tid)
+	d, ok := eng.Tracer().Store().Get(tid)
 	if !ok {
 		t.Fatal("rebuild trace not retained with sampling off")
 	}
-	if d.Root != "serve.rebuild" {
-		t.Errorf("rebuild trace root = %q, want serve.rebuild", d.Root)
+	if d.Root != "engine.rebuild" {
+		t.Errorf("rebuild trace root = %q, want engine.rebuild", d.Root)
 	}
-	var build bool
+	var load, build bool
 	var jobs int
 	for _, sp := range d.Spans {
+		if sp.Name == "engine.load" {
+			load = true
+		}
 		if sp.Name == "site.build" {
 			build = true
 		}
@@ -124,11 +121,11 @@ func TestRebuildTraceWaterfall(t *testing.T) {
 			jobs++
 		}
 	}
-	if !build || jobs == 0 {
-		t.Errorf("rebuild trace has build=%v jobs=%d, want a site.build span with per-job children", build, jobs)
+	if !load || !build || jobs == 0 {
+		t.Errorf("rebuild trace has load=%v build=%v jobs=%d, want engine.load and site.build spans with per-job children", load, build, jobs)
 	}
 
-	srv := httptest.NewServer(serveMux(st, false))
+	srv := httptest.NewServer(eng.Mux())
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/debug/obs/traces/" + tid.String())
 	if err != nil {

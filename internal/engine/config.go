@@ -1,0 +1,225 @@
+package engine
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"runtime"
+	"strconv"
+	"time"
+
+	"pdcunplugged/internal/obs"
+)
+
+// Config is the layered configuration of the generation pipeline and the
+// commands built on it. Values resolve defaults ← PDCU_* environment ←
+// command-line flags: Defaults() seeds every field, ApplyEnv overlays
+// the environment, and the Bind*Flags helpers register flags whose
+// defaults are the already-layered values, so an unset flag keeps the
+// env (or default) value and a set flag wins.
+type Config struct {
+	// Src is a directory of activity .md files; empty selects the
+	// embedded curated corpus.
+	Src string
+	// Out is the build output directory.
+	Out string
+	// Addr is the serve listen address.
+	Addr string
+	// Jobs bounds the site-render worker pool; must be >= 1.
+	Jobs int
+	// Watch polls Src for changes and rebuilds incrementally.
+	Watch bool
+	// Poll is the watch poll interval; must be > 0.
+	Poll time.Duration
+	// Rate admits this many query-API requests per second; 0 disables
+	// admission control. Negative is rejected.
+	Rate float64
+	// Burst is the admission token-bucket capacity; 0 selects 2*Rate.
+	// Negative is rejected.
+	Burst int
+	// CacheSize is the query result-cache capacity; 0 selects the
+	// query package default. Negative is rejected.
+	CacheSize int
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+	// LogLevel is the slog threshold: debug, info, warn, or error.
+	LogLevel string
+	// Verbose forces debug logging regardless of LogLevel.
+	Verbose bool
+	// TraceSample is the probability of retaining an ordinary trace;
+	// must be in [0,1]. Error/slow/traceparent traces are always kept.
+	TraceSample float64
+	// TraceSlow pins any trace at least this long.
+	TraceSlow time.Duration
+}
+
+// Defaults returns the base configuration layer.
+func Defaults() Config {
+	return Config{
+		Out:         "public",
+		Addr:        ":8080",
+		Jobs:        runtime.GOMAXPROCS(0),
+		Poll:        500 * time.Millisecond,
+		Rate:        100,
+		LogLevel:    "info",
+		TraceSample: 0.1,
+		TraceSlow:   250 * time.Millisecond,
+	}
+}
+
+// FromEnv layers the process environment over Defaults.
+func FromEnv() (Config, error) {
+	c := Defaults()
+	err := c.ApplyEnv(nil)
+	return c, err
+}
+
+// ApplyEnv overlays PDCU_* environment variables onto c. lookup is the
+// variable source (nil selects os.LookupEnv; tests inject a map). A
+// malformed value is an error naming the variable, not a silent skip.
+func (c *Config) ApplyEnv(lookup func(string) (string, bool)) error {
+	if lookup == nil {
+		lookup = os.LookupEnv
+	}
+	var firstErr error
+	fail := func(key, v, want string) {
+		if firstErr == nil {
+			firstErr = fmt.Errorf("%s=%q: not a valid %s", key, v, want)
+		}
+	}
+	str := func(key string, dst *string) {
+		if v, ok := lookup(key); ok {
+			*dst = v
+		}
+	}
+	integer := func(key string, dst *int) {
+		if v, ok := lookup(key); ok {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				fail(key, v, "integer")
+				return
+			}
+			*dst = n
+		}
+	}
+	boolean := func(key string, dst *bool) {
+		if v, ok := lookup(key); ok {
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				fail(key, v, "boolean")
+				return
+			}
+			*dst = b
+		}
+	}
+	float := func(key string, dst *float64) {
+		if v, ok := lookup(key); ok {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				fail(key, v, "number")
+				return
+			}
+			*dst = f
+		}
+	}
+	duration := func(key string, dst *time.Duration) {
+		if v, ok := lookup(key); ok {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				fail(key, v, "duration")
+				return
+			}
+			*dst = d
+		}
+	}
+	str("PDCU_SRC", &c.Src)
+	str("PDCU_OUT", &c.Out)
+	str("PDCU_ADDR", &c.Addr)
+	integer("PDCU_JOBS", &c.Jobs)
+	boolean("PDCU_WATCH", &c.Watch)
+	duration("PDCU_POLL", &c.Poll)
+	float("PDCU_RATE", &c.Rate)
+	integer("PDCU_BURST", &c.Burst)
+	integer("PDCU_CACHE_SIZE", &c.CacheSize)
+	boolean("PDCU_PPROF", &c.Pprof)
+	str("PDCU_LOG_LEVEL", &c.LogLevel)
+	float("PDCU_TRACE_SAMPLE", &c.TraceSample)
+	duration("PDCU_TRACE_SLOW", &c.TraceSlow)
+	return firstErr
+}
+
+// BindBuildFlags registers the `pdcu build` flags, defaulting to c's
+// current (env-layered) values.
+func (c *Config) BindBuildFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.Out, "out", c.Out, "output directory")
+	fs.StringVar(&c.Src, "src", c.Src, "optional directory of activity .md files (defaults to the embedded corpus)")
+	fs.IntVar(&c.Jobs, "j", c.Jobs, "render workers (must be >= 1)")
+	fs.BoolVar(&c.Verbose, "verbose", c.Verbose, "print per-phase span timings and debug logs")
+}
+
+// BindSearchFlags registers the `pdcu search` engine flags.
+func (c *Config) BindSearchFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.Src, "src", c.Src, "optional directory of activity .md files (defaults to the embedded corpus)")
+}
+
+// BindServeFlags registers the `pdcu serve` flags, defaulting to c's
+// current (env-layered) values.
+func (c *Config) BindServeFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.Addr, "addr", c.Addr, "listen address")
+	fs.StringVar(&c.Src, "src", c.Src, "optional directory of activity .md files")
+	fs.IntVar(&c.Jobs, "j", c.Jobs, "render workers (must be >= 1)")
+	fs.BoolVar(&c.Watch, "watch", c.Watch, "poll -src for changes and rebuild incrementally (requires -src)")
+	fs.DurationVar(&c.Poll, "poll", c.Poll, "poll interval for -watch")
+	fs.Float64Var(&c.Rate, "rate", c.Rate, "query API admission rate in requests/second (0 disables)")
+	fs.IntVar(&c.Burst, "burst", c.Burst, "query API token-bucket burst (0 = 2x rate)")
+	fs.BoolVar(&c.Pprof, "pprof", c.Pprof, "mount net/http/pprof under /debug/pprof/")
+	fs.BoolVar(&c.Verbose, "verbose", c.Verbose, "debug logging (shorthand for -log-level debug)")
+	fs.StringVar(&c.LogLevel, "log-level", c.LogLevel, "log threshold: debug, info, warn, or error")
+	fs.Float64Var(&c.TraceSample, "trace-sample", c.TraceSample, "probability of retaining an ordinary trace (error/slow/traceparent traces are always kept)")
+	fs.DurationVar(&c.TraceSlow, "trace-slow", c.TraceSlow, "pin any trace at least this long")
+}
+
+// Validate rejects configurations that previously misbehaved silently.
+// Every rule here is enforced for all commands, so `-j 0` fails the
+// same way under build and serve.
+func (c Config) Validate() error {
+	if c.Jobs < 1 {
+		return fmt.Errorf("-j must be >= 1, got %d", c.Jobs)
+	}
+	if c.Rate < 0 {
+		return fmt.Errorf("-rate must be >= 0, got %v", c.Rate)
+	}
+	if c.Burst < 0 {
+		return fmt.Errorf("-burst must be >= 0, got %d", c.Burst)
+	}
+	if c.CacheSize < 0 {
+		return fmt.Errorf("cache size must be >= 0, got %d", c.CacheSize)
+	}
+	if c.TraceSample < 0 || c.TraceSample > 1 {
+		return fmt.Errorf("-trace-sample must be in [0,1], got %v", c.TraceSample)
+	}
+	if c.Poll <= 0 {
+		return fmt.Errorf("-poll must be > 0, got %v", c.Poll)
+	}
+	if c.Watch && c.Src == "" {
+		return fmt.Errorf("-watch requires -src (the embedded corpus cannot change)")
+	}
+	if _, err := obs.ParseLevel(c.LogLevel); err != nil {
+		return fmt.Errorf("-log-level: %w", err)
+	}
+	return nil
+}
+
+// SlogLevel resolves the effective log threshold (Verbose wins).
+// Validate has already established that LogLevel parses.
+func (c Config) SlogLevel() slog.Level {
+	if c.Verbose {
+		return slog.LevelDebug
+	}
+	lvl, err := obs.ParseLevel(c.LogLevel)
+	if err != nil {
+		return slog.LevelInfo
+	}
+	return lvl
+}

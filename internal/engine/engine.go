@@ -1,0 +1,343 @@
+// Package engine unifies the repository lifecycle — load → site build →
+// index build → publish — behind one pipeline producing immutable
+// Generations. Every serving surface (static site, /api/v1 query
+// service, /readyz readiness, access-log tagging, dashboard metrics)
+// reads the single published *Generation through one atomic pointer, so
+// a live-reload swap is structurally race-free: there is exactly one
+// publication point, and everything downstream is either a reader of
+// that pointer or a subscriber notified after the swap.
+//
+// Lifecycle:
+//
+//	load (corpus)  →  site build (page graph)  →  index build (TF-IDF)
+//	      └──────────────── publish ────────────────┘
+//	                         │
+//	          subscribers: query cache purge,
+//	          access-log generation tag, metrics
+//
+// The pipeline is driven by Rebuild (first build, `-watch` rebuilds,
+// `pdcu build`); Load alone serves the read-only commands that need the
+// corpus but no site.
+package engine
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pdcunplugged/internal/core"
+	"pdcunplugged/internal/curation"
+	"pdcunplugged/internal/obs"
+	"pdcunplugged/internal/obs/trace"
+	"pdcunplugged/internal/query"
+	"pdcunplugged/internal/search"
+	"pdcunplugged/internal/site"
+	"pdcunplugged/internal/watch"
+)
+
+var (
+	engineGeneration = obs.Default().Gauge("pdcu_engine_generation",
+		"Monotonic sequence number of the currently-published generation.")
+	enginePublish = obs.Default().Histogram("pdcu_engine_publish_duration_seconds",
+		"Wall time of a generation publish: the pointer swap plus every subscriber hook.",
+		obs.DefBuckets())
+	engineRebuilds = obs.Default().Counter("pdcu_engine_rebuilds_total",
+		"Pipeline runs, by outcome (published or failed).", "outcome")
+)
+
+// genLen truncates the corpus fingerprint to the generation tag every
+// surface reports (matches the query API's generation field).
+const genLen = 16
+
+// Generation is one immutable published build of the whole system: the
+// validated repository, the rendered site, the search index, and the
+// identity under which every cache entry and response derived from them
+// is keyed. Generations are never mutated after Publish; readers hold
+// whichever one they loaded for as long as they need it.
+type Generation struct {
+	// Seq is the engine-local monotonic publish counter (1 = first).
+	Seq uint64
+	// Repo is the validated, taxonomy-indexed corpus.
+	Repo *core.Repository
+	// Site is the rendered static site.
+	Site *site.Site
+	// Index is the TF-IDF search index over Repo.
+	Index *search.Index
+	// Fingerprint is the full content hash of the corpus.
+	Fingerprint string
+	// ID is the short generation tag (the fingerprint's first 16 hex
+	// characters) reported by /readyz, the query API, and the
+	// Pdcu-Generation response header.
+	ID string
+	// BuiltAt is when the pipeline produced this generation.
+	BuiltAt time.Time
+	// TraceID links to the rebuild trace at /debug/obs/traces/<id>.
+	TraceID string
+	// Stats summarizes the site build (jobs, cache hits, duration).
+	Stats site.BuildStats
+
+	handler http.Handler
+	snap    *query.Snapshot
+}
+
+// Handler returns the static-site handler for this generation.
+func (g *Generation) Handler() http.Handler { return g.handler }
+
+// Snapshot returns the query-service view of this generation.
+func (g *Generation) Snapshot() *query.Snapshot { return g.snap }
+
+// Outcome records one pipeline run for /readyz: operators see whether
+// the corpus they just edited actually went live, and which trace to
+// open when it did not.
+type Outcome struct {
+	Time     time.Time `json:"time"`
+	OK       bool      `json:"ok"`
+	Error    string    `json:"error,omitempty"`
+	Duration string    `json:"duration"`
+	TraceID  string    `json:"trace_id,omitempty"`
+}
+
+// Engine owns the load→build→index→publish pipeline and the single
+// atomic pointer its Generations are published through. All rebuilds
+// are serialized; readers never block.
+type Engine struct {
+	cfg     Config
+	builder *site.Builder
+	tracer  *trace.Tracer
+	started time.Time
+
+	cur atomic.Pointer[Generation]
+	seq atomic.Uint64
+
+	// mu serializes the pipeline and guards subs; publish runs under it
+	// so subscribers observe generations in publish order.
+	mu   sync.Mutex
+	subs []func(*Generation)
+
+	outcome atomic.Pointer[Outcome]
+	genTag  atomic.Value // string: current generation ID for access logs
+
+	queryOnce sync.Once
+	query     *query.Service
+
+	rollupOnce sync.Once
+	rollup     *obs.Rollup
+}
+
+// New validates cfg and returns an engine with no generation published
+// yet. The engine's tracer is built from the config's sampling knobs;
+// the first Rebuild publishes generation 1.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:     cfg,
+		builder: site.NewBuilder(site.Options{Workers: cfg.Jobs}),
+		tracer: trace.New(trace.Options{
+			SampleRate:    cfg.TraceSample,
+			SlowThreshold: cfg.TraceSlow,
+		}),
+		started: time.Now(),
+	}
+	e.genTag.Store("")
+	// The access-log generation tag is the first subscriber: every
+	// request logged after a swap carries the generation that served it.
+	e.Subscribe(func(g *Generation) { e.genTag.Store(g.ID) })
+	return e, nil
+}
+
+// Config returns the engine's resolved configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Tracer returns the engine's tracer (for trace.SetDefault wiring).
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
+
+// StartedAt is when the engine was constructed (process uptime anchor).
+func (e *Engine) StartedAt() time.Time { return e.started }
+
+// Current returns the published generation, or nil before the first
+// successful Rebuild. This pointer load is the only way any serving
+// surface observes state, which is what makes swaps race-free.
+func (e *Engine) Current() *Generation { return e.cur.Load() }
+
+// LastOutcome returns the most recent pipeline outcome (nil before the
+// first Rebuild attempt).
+func (e *Engine) LastOutcome() *Outcome { return e.outcome.Load() }
+
+// Subscribe registers fn to run after every publish, in registration
+// order, under the publish lock. A subscriber registered after a
+// generation is already live is called immediately with it, so late
+// wiring cannot miss the current state.
+func (e *Engine) Subscribe(fn func(*Generation)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.subs = append(e.subs, fn)
+	if g := e.cur.Load(); g != nil {
+		fn(g)
+	}
+}
+
+// Load runs the load stage only: the corpus from cfg.Src, or the
+// embedded curation when Src is empty. It is the single repository
+// entry point shared by `pdcu build`, `pdcu serve`, and `pdcu search`.
+func (e *Engine) Load(ctx context.Context) (*core.Repository, error) {
+	_, span := trace.StartSpan(ctx, "engine.load")
+	var repo *core.Repository
+	var err error
+	if e.cfg.Src == "" {
+		repo, err = curation.Repository()
+	} else {
+		repo, err = core.LoadFS(os.DirFS(e.cfg.Src), ".")
+	}
+	if err != nil {
+		span.FailErr(err)
+		span.End()
+		return nil, err
+	}
+	span.SetAttr("activities", strconv.Itoa(repo.Len()))
+	span.End()
+	return repo, nil
+}
+
+// Rebuild runs the full pipeline — load, site build, index build — and
+// publishes the result. On any error the previously-published
+// generation stays live and the failure is recorded for /readyz. The
+// whole run is one forced trace root (engine.rebuild), so its waterfall
+// is always retrievable regardless of the sample rate.
+func (e *Engine) Rebuild(ctx context.Context) (*Generation, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rebuildLocked(ctx)
+}
+
+func (e *Engine) rebuildLocked(ctx context.Context) (gen *Generation, err error) {
+	ctx, root := e.tracer.StartForced(ctx, "engine.rebuild")
+	start := time.Now()
+	defer func() {
+		o := &Outcome{
+			Time:     start,
+			OK:       err == nil,
+			Duration: time.Since(start).Round(time.Millisecond).String(),
+		}
+		if err != nil {
+			o.Error = err.Error()
+			root.FailErr(err)
+			engineRebuilds.With("failed").Inc()
+		} else {
+			engineRebuilds.With("published").Inc()
+		}
+		o.TraceID = root.TraceID().String()
+		root.End()
+		e.outcome.Store(o)
+	}()
+
+	root.SetAttr("src", e.cfg.Src)
+	repo, err := e.Load(ctx)
+	if err != nil {
+		return nil, err
+	}
+	s, err := e.builder.BuildContext(ctx, repo)
+	if err != nil {
+		return nil, err
+	}
+	snap := query.NewSnapshotContext(ctx, repo)
+	gen = &Generation{
+		Seq:         e.seq.Add(1),
+		Repo:        repo,
+		Site:        s,
+		Index:       snap.Index,
+		Fingerprint: repo.Fingerprint(),
+		ID:          snap.Generation,
+		BuiltAt:     time.Now(),
+		TraceID:     root.TraceID().String(),
+		Stats:       e.builder.LastStats(),
+		handler:     s.Handler(),
+		snap:        snap,
+	}
+	root.SetAttr("generation", gen.ID)
+	e.publishLocked(gen)
+	return gen, nil
+}
+
+// publishLocked swaps the current generation and notifies subscribers.
+// Callers hold e.mu, so publishes (and the subscriber notifications
+// inside them) are totally ordered.
+func (e *Engine) publishLocked(g *Generation) {
+	done := enginePublish.With().Timer()
+	e.cur.Store(g)
+	for _, fn := range e.subs {
+		fn(g)
+	}
+	engineGeneration.Set(float64(g.Seq))
+	done()
+	obs.Logger().Info("generation published",
+		"seq", g.Seq, "generation", g.ID,
+		"pages", g.Site.Len(), "activities", g.Repo.Len())
+}
+
+// Query returns the engine's query service. It reads snapshots straight
+// through the engine's generation pointer — the service holds no state
+// of its own to fall out of sync — and its result cache is purged by a
+// publish subscriber.
+func (e *Engine) Query() *query.Service {
+	e.queryOnce.Do(func() {
+		e.query = query.NewSource(func() *query.Snapshot {
+			if g := e.cur.Load(); g != nil {
+				return g.snap
+			}
+			return nil
+		}, query.Options{
+			RateLimit: e.cfg.Rate,
+			Burst:     e.cfg.Burst,
+			CacheSize: e.cfg.CacheSize,
+		})
+		e.Subscribe(func(*Generation) { e.query.Purge() })
+	})
+	return e.query
+}
+
+// Rollup returns the rolling time-series aggregator behind /debug/obs,
+// created on first use with the runtime collector attached. Start it
+// with Rollup().Run(ctx).
+func (e *Engine) Rollup() *obs.Rollup {
+	e.rollupOnce.Do(func() {
+		e.rollup = obs.NewRollup(obs.Default(), 5*time.Second, 120)
+		e.rollup.AddHook(obs.NewRuntimeCollector(obs.Default()).Collect)
+	})
+	return e.rollup
+}
+
+// Watch drives the live-reload loop: poll cfg.Src, run the pipeline on
+// every change, keep the previous generation on failure. Blocks until
+// ctx is done.
+func (e *Engine) Watch(ctx context.Context) error {
+	log := obs.Logger()
+	return watch.Watch(ctx, e.cfg.Src, e.cfg.Poll, func() {
+		gen, err := e.Rebuild(ctx)
+		if err != nil {
+			log.Warn("rebuild failed; keeping previous generation", "err", err)
+			return
+		}
+		st := gen.Stats
+		log.Info("site rebuilt",
+			"seq", gen.Seq, "generation", gen.ID,
+			"pages", gen.Site.Len(), "jobs", st.Jobs,
+			"cache_hits", st.CacheHits, "cache_misses", st.CacheMisses,
+			"duration", st.Duration.Round(time.Millisecond).String(),
+			"trace_id", gen.TraceID)
+	})
+}
+
+// logGeneration is the access-log hook: the generation tag the engine's
+// subscriber keeps current.
+func (e *Engine) logGeneration() []any {
+	if tag, _ := e.genTag.Load().(string); tag != "" {
+		return []any{"generation", tag}
+	}
+	return nil
+}

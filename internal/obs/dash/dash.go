@@ -108,6 +108,7 @@ type dashData struct {
 	Windows   int
 	HTTP      []redRow
 	Query     []redRow
+	Engine    []statRow
 	Caches    []cacheRow
 	Workers   []gaugeRow
 	Runtime   []statRow
@@ -143,6 +144,7 @@ func (h *handler) dashboard(w http.ResponseWriter, r *http.Request) {
 			h.gaugeRows("pdcu_runtime_heap_alloc_bytes", "")...)
 	}
 	if reg := h.cfg.Registry; reg != nil {
+		d.Engine = engineRows(reg)
 		d.Caches = cacheRows(reg)
 		d.Runtime = runtimeRows(reg)
 	}
@@ -260,6 +262,30 @@ func cacheRows(reg *obs.Registry) []cacheRow {
 		rows = append(rows, row)
 	}
 	return rows
+}
+
+// engineRows summarizes the generation pipeline: which generation is
+// live, how many publishes have happened, and what a publish costs.
+func engineRows(reg *obs.Registry) []statRow {
+	var gen float64
+	if s := reg.Snapshot("pdcu_engine_generation"); len(s) == 1 {
+		gen = s[0].Value
+	}
+	var publishes uint64
+	var sum float64
+	if s := reg.Snapshot("pdcu_engine_publish_duration_seconds"); len(s) == 1 {
+		publishes = s[0].Count
+		sum = s[0].Sum
+	}
+	mean := 0.0
+	if publishes > 0 {
+		mean = sum / float64(publishes)
+	}
+	return []statRow{
+		{"generation", fmtNum(gen)},
+		{"publishes", fmtNum(float64(publishes))},
+		{"mean publish", fmtSeconds(mean)},
+	}
 }
 
 func runtimeRows(reg *obs.Registry) []statRow {
@@ -390,6 +416,10 @@ svg.spark{vertical-align:middle}polyline{fill:none;stroke:#6cb6ff;stroke-width:1
 <table><tr><th>endpoint</th><th>rate</th><th></th><th>5xx</th><th></th><th>mean latency</th><th></th></tr>
 {{range .Query}}<tr><td>{{.Endpoint}}</td><td>{{.Rate}}</td><td class="num">{{.LastRate}}</td><td class="err">{{.Errors}}</td><td class="num">{{.LastErr}}</td><td>{{.Mean}}</td><td class="num">{{.LastMean}}</td></tr>
 {{else}}<tr><td class="dim" colspan="7">no queries yet</td></tr>{{end}}</table>
+
+<h2>Engine</h2>
+<table><tr>{{range .Engine}}<th>{{.Name}}</th>{{end}}</tr>
+<tr>{{range .Engine}}<td class="num">{{.Value}}</td>{{end}}</tr></table>
 
 <h2>Caches</h2>
 <table><tr><th>layer</th><th>hits</th><th>misses</th><th>other</th><th>hit ratio</th></tr>

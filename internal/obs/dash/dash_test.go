@@ -24,6 +24,8 @@ func fixture(t *testing.T) (Config, trace.TraceID) {
 	reg.Counter("pdcu_query_cache_total", "cache", "endpoint", "result").With("search", "hit").Add(8)
 	reg.Counter("pdcu_query_cache_total", "cache", "endpoint", "result").With("search", "miss").Add(2)
 	reg.Gauge("pdcu_build_workers_busy", "busy", "stage").With("page").Set(3)
+	reg.Gauge("pdcu_engine_generation", "gen").With().Set(4)
+	reg.Histogram("pdcu_engine_publish_duration_seconds", "pub", nil).With().Observe(0.001)
 	NewRuntime := obs.NewRuntimeCollector(reg)
 	NewRuntime.Collect()
 
@@ -59,10 +61,12 @@ func TestDashboardRenders(t *testing.T) {
 	}
 	body := rec.Body.String()
 	for _, want := range []string{
-		"/api",                        // RED row for the HTTP route
-		"query results",               // cache layer row
-		"80.0%",                       // 8 hits / 10 lookups
-		"goroutines",                  // runtime panel
+		"/api",          // RED row for the HTTP route
+		"query results", // cache layer row
+		"80.0%",         // 8 hits / 10 lookups
+		"goroutines",    // runtime panel
+		"publishes",     // engine panel
+		"mean publish",
 		"pdcu_query_duration_seconds", // exemplar row
 		"/debug/obs/traces/" + id.String(),
 		"<svg",

@@ -32,6 +32,7 @@ type HTTPMetrics struct {
 	bytes    *Counter
 	log      func() *slog.Logger
 	tracer   func() *trace.Tracer
+	logAttrs func() []any
 }
 
 // NewHTTPMetrics registers the HTTP metric families on reg. Tracing
@@ -56,6 +57,14 @@ func NewHTTPMetrics(reg *Registry) *HTTPMetrics {
 // default; passing nil disables tracing on this middleware.
 func (m *HTTPMetrics) WithTracer(t *trace.Tracer) *HTTPMetrics {
 	m.tracer = func() *trace.Tracer { return t }
+	return m
+}
+
+// WithLogAttrs appends fn's attributes to every access-log line. The
+// engine uses this to tag each logged request with the generation that
+// served it; fn runs once per logged request and may return nil.
+func (m *HTTPMetrics) WithLogAttrs(fn func() []any) *HTTPMetrics {
+	m.logAttrs = fn
 	return m
 }
 
@@ -179,6 +188,9 @@ func (m *HTTPMetrics) Wrap(next http.Handler) http.Handler {
 				}
 				if !tid.IsZero() {
 					attrs = append(attrs, "trace_id", tid.String())
+				}
+				if m.logAttrs != nil {
+					attrs = append(attrs, m.logAttrs()...)
 				}
 				lg.Info("request", attrs...)
 			}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -65,6 +66,35 @@ func TestMiddlewareRecordsRequests(t *testing.T) {
 	}
 	if homeBytes != float64(len("<html>home</html>")) {
 		t.Errorf("response bytes for / = %v", homeBytes)
+	}
+}
+
+// TestWithLogAttrs pins the access-log extension point the engine uses
+// to tag every logged request with the generation that served it.
+func TestWithLogAttrs(t *testing.T) {
+	var buf bytes.Buffer
+	SetLogger(NewLogger(&buf))
+	defer SetLogger(nil)
+
+	tag := "gen-one"
+	h := NewHTTPMetrics(NewRegistry()).
+		WithLogAttrs(func() []any { return []any{"generation", tag} }).
+		Wrap(testHandler())
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	if !strings.Contains(buf.String(), "generation=gen-one") {
+		t.Errorf("access log missing injected attribute:\n%s", buf.String())
+	}
+
+	// The hook is evaluated per request, so a swapped tag shows up on
+	// the next logged line without reconstructing the middleware.
+	buf.Reset()
+	tag = "gen-two"
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	if !strings.Contains(buf.String(), "generation=gen-two") {
+		t.Errorf("access log did not observe the updated attribute:\n%s", buf.String())
 	}
 }
 

@@ -96,12 +96,18 @@ type Options struct {
 	MaxLimit int
 }
 
-// Service answers the /api/v1/ endpoints from the current Snapshot. Swap
-// publishes a new snapshot atomically; in-flight requests finish against
-// the one they started with.
+// Service answers the /api/v1/ endpoints from whatever Snapshot its
+// source currently returns. A standalone Service (New) owns its
+// snapshot and republishes via Swap; a source-backed Service
+// (NewSource) holds no snapshot state at all — it reads through the
+// provided function on every request, so when that function loads an
+// engine's generation pointer, the query surface can never disagree
+// with the other surfaces reading the same pointer. In-flight requests
+// finish against the snapshot they loaded.
 type Service struct {
 	opts    Options
-	snap    atomic.Pointer[Snapshot]
+	source  func() *Snapshot
+	own     atomic.Pointer[Snapshot]
 	cache   *resultCache
 	flight  *flightGroup
 	limiter *tokenBucket
@@ -111,8 +117,27 @@ type Service struct {
 	renderHook func()
 }
 
-// New returns a Service serving snap under opts.
+// New returns a standalone Service serving snap under opts; publish new
+// snapshots with Swap.
 func New(snap *Snapshot, opts Options) *Service {
+	s := newService(opts)
+	s.own.Store(snap)
+	s.source = s.own.Load
+	return s
+}
+
+// NewSource returns a Service that reads its snapshot through source on
+// every request (nil results answer 503 until a snapshot exists). The
+// caller is responsible for calling Purge when the source's snapshot
+// changes; generation-keyed cache keys make a stale hit impossible
+// either way, purging just releases memory promptly.
+func NewSource(source func() *Snapshot, opts Options) *Service {
+	s := newService(opts)
+	s.source = source
+	return s
+}
+
+func newService(opts Options) *Service {
 	if opts.CacheSize <= 0 {
 		opts.CacheSize = 256
 	}
@@ -130,22 +155,29 @@ func New(snap *Snapshot, opts Options) *Service {
 	if opts.RateLimit > 0 {
 		s.limiter = newTokenBucket(opts.RateLimit, opts.Burst)
 	}
-	s.snap.Store(snap)
 	return s
 }
 
-// Swap publishes a new snapshot and purges the result cache wholesale.
-// Entries rendered under the old generation could never be served for the
-// new one (the generation is part of every cache key); purging just
-// releases their memory immediately.
+// Swap publishes a new snapshot on a standalone Service and purges the
+// result cache wholesale. Entries rendered under the old generation
+// could never be served for the new one (the generation is part of
+// every cache key); purging just releases their memory immediately.
+// On a source-backed Service the stored snapshot is ignored — the
+// source is authoritative — but the purge still runs.
 func (s *Service) Swap(snap *Snapshot) {
-	s.snap.Store(snap)
+	s.own.Store(snap)
+	s.Purge()
+}
+
+// Purge drops every cached result and counts the swap. Engine publish
+// subscribers call this after the generation pointer moves.
+func (s *Service) Purge() {
 	s.cache.Purge()
 	querySwaps.Inc()
 }
 
-// Snapshot returns the currently-published snapshot.
-func (s *Service) Snapshot() *Snapshot { return s.snap.Load() }
+// Snapshot returns the snapshot the service would answer from right now.
+func (s *Service) Snapshot() *Snapshot { return s.source() }
 
 // Handler returns the /api/v1/ endpoint tree. Mount it at the server
 // root; all routes live under /api/v1/.
@@ -203,7 +235,11 @@ func (s *Service) handle(name string, parse parseFn) http.HandlerFunc {
 			writeError(w, name, http.StatusBadRequest, err.Error())
 			return
 		}
-		snap := s.snap.Load()
+		snap := s.source()
+		if snap == nil {
+			writeError(w, name, http.StatusServiceUnavailable, "no generation published yet")
+			return
+		}
 		full := name + "\x00" + snap.Generation + "\x00" + key
 		_, cSpan := trace.StartSpan(ctx, "query.cache")
 		cSpan.SetAttr("generation", snap.Generation)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -91,6 +92,147 @@ func TestWatchFiresOnChange(t *testing.T) {
 	case <-ctx.Done():
 		t.Fatal("watcher never reported the change")
 	}
+
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Errorf("Watch returned %v, want context.Canceled", err)
+	}
+}
+
+// startWatch runs Watch in the background with a counting onChange and
+// returns the rebuild counter, a fire-notification channel, and the
+// Watch return channel.
+func startWatch(t *testing.T, ctx context.Context, dir string, interval time.Duration) (*atomic.Int64, chan struct{}, chan error) {
+	t.Helper()
+	var count atomic.Int64
+	fired := make(chan struct{}, 64)
+	done := make(chan error, 1)
+	go func() {
+		done <- Watch(ctx, dir, interval, func() {
+			count.Add(1)
+			select {
+			case fired <- struct{}{}:
+			default:
+			}
+		})
+	}()
+	return &count, fired, done
+}
+
+// waitFire blocks until the watcher reports a change, then waits many
+// more poll intervals and asserts no further rebuild was triggered —
+// one filesystem event must map to exactly one rebuild.
+func waitFire(t *testing.T, ctx context.Context, count *atomic.Int64, fired chan struct{}, interval time.Duration, what string) {
+	t.Helper()
+	select {
+	case <-fired:
+	case <-ctx.Done():
+		t.Fatalf("watcher never reported %s", what)
+	}
+	time.Sleep(20 * interval)
+	if got := count.Load(); got != 1 {
+		t.Errorf("%s triggered %d rebuilds, want exactly 1", what, got)
+	}
+}
+
+func TestWatchFileDeletion(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "a.md"), "alpha")
+	write(t, filepath.Join(dir, "b.md"), "beta")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	const interval = 5 * time.Millisecond
+	count, fired, done := startWatch(t, ctx, dir, interval)
+
+	time.Sleep(4 * interval) // let the baseline scan land
+	if err := os.Remove(filepath.Join(dir, "a.md")); err != nil {
+		t.Fatal(err)
+	}
+	waitFire(t, ctx, count, fired, interval, "a deleted file")
+
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Errorf("Watch returned %v, want context.Canceled", err)
+	}
+}
+
+func TestWatchDirRemoval(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "a.md"), "alpha")
+	write(t, filepath.Join(dir, "sub", "b.md"), "beta")
+	write(t, filepath.Join(dir, "sub", "c.md"), "gamma")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	const interval = 5 * time.Millisecond
+	count, fired, done := startWatch(t, ctx, dir, interval)
+
+	time.Sleep(4 * interval)
+	// Removing a whole subtree drops two files at once; that is still
+	// one observed change and one rebuild.
+	if err := os.RemoveAll(filepath.Join(dir, "sub")); err != nil {
+		t.Fatal(err)
+	}
+	waitFire(t, ctx, count, fired, interval, "a removed directory")
+
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Errorf("Watch returned %v, want context.Canceled", err)
+	}
+}
+
+func TestWatchTouchedFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.md")
+	write(t, path, "alpha")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	const interval = 5 * time.Millisecond
+	count, fired, done := startWatch(t, ctx, dir, interval)
+
+	time.Sleep(4 * interval)
+	// A touch changes only the mtime — same size, same content — as an
+	// editor save or `touch` mid-scan would. Still exactly one rebuild.
+	stamp := time.Now().Add(time.Hour)
+	if err := os.Chtimes(path, stamp, stamp); err != nil {
+		t.Fatal(err)
+	}
+	waitFire(t, ctx, count, fired, interval, "a touched file")
+
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Errorf("Watch returned %v, want context.Canceled", err)
+	}
+}
+
+// TestWatchRootVanishes pins the scan-error path: if the watched tree
+// disappears mid-watch, the loop logs, fires nothing, and does not
+// panic; when the tree comes back changed, exactly one rebuild fires.
+func TestWatchRootVanishes(t *testing.T) {
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "corpus")
+	write(t, filepath.Join(dir, "a.md"), "alpha")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	const interval = 5 * time.Millisecond
+	count, fired, done := startWatch(t, ctx, dir, interval)
+
+	time.Sleep(4 * interval)
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Scans now error on every tick; the loop must absorb that quietly.
+	time.Sleep(10 * interval)
+	if got := count.Load(); got != 0 {
+		t.Errorf("vanished root triggered %d rebuilds, want 0", got)
+	}
+
+	// The tree returns with different content: one rebuild.
+	write(t, filepath.Join(dir, "a.md"), "alpha, revised")
+	waitFire(t, ctx, count, fired, interval, "the restored root")
 
 	cancel()
 	if err := <-done; err != context.Canceled {
