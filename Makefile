@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check lint vet fmtcheck test test-race build fmt bench-smoke trace-overhead
+.PHONY: check lint vet fmtcheck test test-race build fmt bench-smoke trace-overhead slo-smoke loadtest-baseline
 
-check: lint test-race bench-smoke trace-overhead
+check: lint test-race bench-smoke trace-overhead slo-smoke
 
 # Static hygiene in one target: formatting and go vet.
 lint: fmtcheck vet
@@ -36,6 +36,18 @@ test-race:
 # compile or crash without paying for a full measurement run.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Closed-loop SLO gate: self-serve the engine, replay the default
+# traffic mix (with generation churn) for a short smoke window, and
+# compare against the committed baseline with noise-tolerant
+# thresholds. Fails on tail-latency, error-rate, allocation, or
+# error-budget regressions. Re-record with `make loadtest-baseline`
+# after an intentional performance change.
+slo-smoke:
+	$(GO) run ./cmd/pdcu loadtest -duration 2s -qps 200 -churn 700ms -gate BENCH_loadtest.json
+
+loadtest-baseline:
+	$(GO) run ./cmd/pdcu loadtest -duration 2s -qps 200 -churn 700ms -baseline BENCH_loadtest.json
 
 # Tracing cost ceiling: with sampling off, the traced cached
 # /api/v1/search path must stay within 5% of the untraced one

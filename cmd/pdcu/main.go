@@ -23,6 +23,7 @@
 //	pdcu export -out DIR
 //	pdcu build -out DIR [-j N] [-verbose]
 //	pdcu serve -addr :8080 [-src DIR -watch [-poll D]] [-rate R -burst B] [-pprof] [-verbose]
+//	pdcu loadtest [-target URL] [-mix M] [-qps N] [-c N] [-duration D] [-churn D] [-baseline F | -gate F] [-json]
 //	pdcu sim list
 //	pdcu sim run <name> [-n N] [-workers W] [-seed S] [-trace] [-param k=v ...]
 package main
@@ -84,6 +85,8 @@ func run(args []string, w io.Writer) error {
 		return cmdBuild(rest, w)
 	case "serve":
 		return cmdServe(rest, w)
+	case "loadtest":
+		return cmdLoadtest(rest, w)
 	case "sim":
 		return cmdSim(rest, w)
 	case "bib":
@@ -121,6 +124,7 @@ Commands:
   export    write the curated corpus as Markdown files
   build     render the static site to a directory
   serve     serve the static site for local preview
+  loadtest  replay a weighted traffic mix; record or gate a benchmark baseline
   sim       list or run activity dramatizations
   bib       list the citation database, export BibTeX, or show shared sources
   review    curator-review a contributed activity .md file

@@ -1,0 +1,7 @@
+//go:build !race
+
+package main
+
+// raceEnabled mirrors the -race build tag so timing-sensitive gates can
+// skip themselves under the race detector's 5-20x slowdown.
+const raceEnabled = false

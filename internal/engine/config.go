@@ -52,6 +52,10 @@ type Config struct {
 	TraceSample float64
 	// TraceSlow pins any trace at least this long.
 	TraceSlow time.Duration
+	// LogSample is the access-log sample rate in [0,1]: 1 logs every
+	// request, 0.01 every hundredth, 0 none. Errors and pinned-trace
+	// requests always log.
+	LogSample float64
 }
 
 // Defaults returns the base configuration layer.
@@ -65,6 +69,7 @@ func Defaults() Config {
 		LogLevel:    "info",
 		TraceSample: 0.1,
 		TraceSlow:   250 * time.Millisecond,
+		LogSample:   1,
 	}
 }
 
@@ -146,6 +151,7 @@ func (c *Config) ApplyEnv(lookup func(string) (string, bool)) error {
 	str("PDCU_LOG_LEVEL", &c.LogLevel)
 	float("PDCU_TRACE_SAMPLE", &c.TraceSample)
 	duration("PDCU_TRACE_SLOW", &c.TraceSlow)
+	float("PDCU_LOG_SAMPLE", &c.LogSample)
 	return firstErr
 }
 
@@ -178,6 +184,7 @@ func (c *Config) BindServeFlags(fs *flag.FlagSet) {
 	fs.StringVar(&c.LogLevel, "log-level", c.LogLevel, "log threshold: debug, info, warn, or error")
 	fs.Float64Var(&c.TraceSample, "trace-sample", c.TraceSample, "probability of retaining an ordinary trace (error/slow/traceparent traces are always kept)")
 	fs.DurationVar(&c.TraceSlow, "trace-slow", c.TraceSlow, "pin any trace at least this long")
+	fs.Float64Var(&c.LogSample, "log-sample", c.LogSample, "access-log sample rate in [0,1]; errors and pinned-trace requests always log")
 }
 
 // Validate rejects configurations that previously misbehaved silently.
@@ -198,6 +205,9 @@ func (c Config) Validate() error {
 	}
 	if c.TraceSample < 0 || c.TraceSample > 1 {
 		return fmt.Errorf("-trace-sample must be in [0,1], got %v", c.TraceSample)
+	}
+	if c.LogSample < 0 || c.LogSample > 1 {
+		return fmt.Errorf("-log-sample must be in [0,1], got %v", c.LogSample)
 	}
 	if c.Poll <= 0 {
 		return fmt.Errorf("-poll must be > 0, got %v", c.Poll)

@@ -32,6 +32,7 @@ import (
 	"pdcunplugged/internal/core"
 	"pdcunplugged/internal/curation"
 	"pdcunplugged/internal/obs"
+	"pdcunplugged/internal/obs/slo"
 	"pdcunplugged/internal/obs/trace"
 	"pdcunplugged/internal/query"
 	"pdcunplugged/internal/search"
@@ -47,6 +48,13 @@ var (
 		obs.DefBuckets())
 	engineRebuilds = obs.Default().Counter("pdcu_engine_rebuilds_total",
 		"Pipeline runs, by outcome (published or failed).", "outcome")
+	// buildInfo attributes every scrape (and every BENCH_*.json baseline
+	// stamped from it) to a concrete binary: the labels carry the build
+	// identity and the value carries the published generation sequence,
+	// so one series answers "which build served which generation".
+	buildInfo = obs.Default().Gauge("pdcu_build_info",
+		"Build identity (labels) and currently-published generation seq (value).",
+		"version", "go_version", "revision")
 )
 
 // genLen truncates the corpus fingerprint to the generation tag every
@@ -126,6 +134,9 @@ type Engine struct {
 
 	rollupOnce sync.Once
 	rollup     *obs.Rollup
+
+	sloOnce sync.Once
+	slo     *slo.Engine
 }
 
 // New validates cfg and returns an engine with no generation published
@@ -148,6 +159,10 @@ func New(cfg Config) (*Engine, error) {
 	// The access-log generation tag is the first subscriber: every
 	// request logged after a swap carries the generation that served it.
 	e.Subscribe(func(g *Generation) { e.genTag.Store(g.ID) })
+	bi := ReadBuildInfo()
+	info := buildInfo.With(bi.Version, bi.GoVersion, bi.Revision)
+	info.Set(0)
+	e.Subscribe(func(g *Generation) { info.Set(float64(g.Seq)) })
 	return e, nil
 }
 
@@ -310,6 +325,17 @@ func (e *Engine) Rollup() *obs.Rollup {
 		e.rollup.AddHook(obs.NewRuntimeCollector(obs.Default()).Collect)
 	})
 	return e.rollup
+}
+
+// SLO returns the engine's objective evaluator, created on first use
+// over the engine's rollup with the default serving objectives. It
+// backs the /slo endpoint, the dashboard SLO panel, and the pdcu_slo_*
+// gauges; the load-test gate consumes its verdicts.
+func (e *Engine) SLO() *slo.Engine {
+	e.sloOnce.Do(func() {
+		e.slo = slo.New(obs.Default(), e.Rollup(), slo.DefaultObjectives(), slo.Options{})
+	})
+	return e.slo
 }
 
 // Watch drives the live-reload loop: poll cfg.Src, run the pipeline on

@@ -12,9 +12,11 @@ import (
 	"pdcunplugged/internal/obs/dash"
 )
 
-// BuildInfo is the binary provenance block of /readyz, read from the
+// BuildInfo is the binary provenance block of /readyz, the
+// pdcu_build_info gauge, and every BENCH_*.json baseline, read from the
 // module metadata the Go linker embeds.
 type BuildInfo struct {
+	Version   string `json:"version"`
 	GoVersion string `json:"go_version"`
 	Module    string `json:"module"`
 	Revision  string `json:"vcs_revision,omitempty"`
@@ -27,6 +29,10 @@ func ReadBuildInfo() BuildInfo {
 	bi, ok := debug.ReadBuildInfo()
 	if !ok {
 		return out
+	}
+	out.Version = bi.Main.Version
+	if out.Version == "" {
+		out.Version = "(devel)"
 	}
 	out.GoVersion = bi.GoVersion
 	out.Module = bi.Main.Path
@@ -53,7 +59,8 @@ func (e *Engine) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mw := obs.NewHTTPMetrics(obs.Default()).
 		WithTracer(e.tracer).
-		WithLogAttrs(e.logGeneration)
+		WithLogAttrs(e.logGeneration).
+		WithLogSample(e.cfg.LogSample)
 	mux.Handle("/metrics", obs.Default().Handler())
 	// Liveness: the process is up and serving its mux. Deliberately
 	// constant-cost — orchestrators hammer this.
@@ -91,10 +98,15 @@ func (e *Engine) Mux() *http.ServeMux {
 		})
 	})
 	mux.Handle("/api/v1/", mw.Wrap(e.Query().Handler()))
+	// SLO verdict: /readyz answers "is the process serving", /slo
+	// answers "is it serving WELL" — 503 while any declared objective
+	// is breached, with the full burn-rate accounting in the body.
+	mux.Handle("/slo", e.SLO().Handler())
 	dashHandler := dash.Handler(dash.Config{
 		Registry: obs.Default(),
 		Rollup:   e.Rollup(),
 		Tracer:   e.tracer,
+		SLO:      e.SLO(),
 	})
 	mux.Handle("/debug/obs", dashHandler)
 	mux.Handle("/debug/obs/", dashHandler)

@@ -1,0 +1,180 @@
+package loadgen
+
+// Baseline persistence and the regression gate.
+//
+// A baseline is just a Report serialized to JSON and committed to the
+// repo (BENCH_loadtest.json). The gate re-runs the same mix and compares
+// against it with *noise-tolerant* thresholds: every rule is a relative
+// factor OR an absolute floor, whichever is more permissive, so a
+// baseline recorded on one machine still passes on a slower CI runner —
+// while a real regression (an injected 50ms stall, a leaked allocation
+// per request, a breached SLO) still trips it deterministically.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// WriteBaseline persists a report as a committed baseline artifact.
+func WriteBaseline(path string, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBaseline reads a baseline written by WriteBaseline.
+func LoadBaseline(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("baseline %s: schema %d, this binary speaks %d — re-record with -baseline",
+			path, r.Schema, ReportSchema)
+	}
+	return &r, nil
+}
+
+// GateOptions are the regression thresholds. The zero value selects
+// defaults tuned so that the committed baseline passes back-to-back runs
+// on the same machine and on slower hardware, but an injected tens-of-
+// milliseconds stall or a doubled allocation rate fails.
+type GateOptions struct {
+	// LatencyFactor: endpoint p99 may grow to baseline*factor before
+	// failing (default 3).
+	LatencyFactor float64
+	// LatencyFloorMs: p99 below this never fails regardless of factor —
+	// absorbs scheduler noise on sub-millisecond baselines (default 25).
+	LatencyFloorMs float64
+	// ErrorRateFloor: error rate below this never fails (default 0.005).
+	ErrorRateFloor float64
+	// ShedRateFloor: shed rate below this never fails (default 0.05).
+	ShedRateFloor float64
+	// AllocFactor / AllocFloorBytes bound bytes-per-request growth
+	// (defaults 2.5 and 16384).
+	AllocFactor     float64
+	AllocFloorBytes float64
+}
+
+func (o *GateOptions) defaults() {
+	if o.LatencyFactor <= 0 {
+		o.LatencyFactor = 3
+	}
+	if o.LatencyFloorMs <= 0 {
+		o.LatencyFloorMs = 25
+	}
+	if o.ErrorRateFloor <= 0 {
+		o.ErrorRateFloor = 0.005
+	}
+	if o.ShedRateFloor <= 0 {
+		o.ShedRateFloor = 0.05
+	}
+	if o.AllocFactor <= 0 {
+		o.AllocFactor = 2.5
+	}
+	if o.AllocFloorBytes <= 0 {
+		o.AllocFloorBytes = 16384
+	}
+}
+
+// Violation is one failed gate rule. Objective names what regressed
+// ("latency:search", "error-rate", "slo:query-latency") so a red CI run
+// states its reason without re-reading the numbers.
+type Violation struct {
+	Objective string  `json:"objective"`
+	Detail    string  `json:"detail"`
+	Baseline  float64 `json:"baseline"`
+	Current   float64 `json:"current"`
+	Limit     float64 `json:"limit"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("GATE %-22s %s (baseline %.3f, current %.3f, limit %.3f)",
+		v.Objective, v.Detail, v.Baseline, v.Current, v.Limit)
+}
+
+// Gate compares a fresh run against a baseline and returns every
+// violated objective (empty = pass).
+func Gate(base, cur *Report, opts GateOptions) []Violation {
+	opts.defaults()
+	var out []Violation
+
+	// Per-endpoint tail latency. Endpoints absent from the baseline are
+	// skipped (a new traffic class has nothing to regress against).
+	for name, b := range base.Endpoints {
+		c, ok := cur.Endpoints[name]
+		if !ok || c.Requests == 0 {
+			continue
+		}
+		limit := b.P99ms * opts.LatencyFactor
+		if limit < opts.LatencyFloorMs {
+			limit = opts.LatencyFloorMs
+		}
+		if c.P99ms > limit {
+			out = append(out, Violation{
+				Objective: "latency:" + name,
+				Detail:    fmt.Sprintf("p99 %.2fms exceeds %.2fms", c.P99ms, limit),
+				Baseline:  b.P99ms, Current: c.P99ms, Limit: limit,
+			})
+		}
+	}
+
+	// Error and shed rates: double the baseline, with floors so a
+	// one-off flake on a zero-error baseline cannot fail the gate.
+	if limit := maxf(2*base.ErrorRate, opts.ErrorRateFloor); cur.ErrorRate > limit {
+		out = append(out, Violation{
+			Objective: "error-rate",
+			Detail:    fmt.Sprintf("error rate %.4f exceeds %.4f", cur.ErrorRate, limit),
+			Baseline:  base.ErrorRate, Current: cur.ErrorRate, Limit: limit,
+		})
+	}
+	if limit := maxf(2*base.ShedRate, opts.ShedRateFloor); cur.ShedRate > limit {
+		out = append(out, Violation{
+			Objective: "shed-rate",
+			Detail:    fmt.Sprintf("shed rate %.4f exceeds %.4f", cur.ShedRate, limit),
+			Baseline:  base.ShedRate, Current: cur.ShedRate, Limit: limit,
+		})
+	}
+
+	// Allocation growth — only when both runs measured it (both
+	// self-serve or both remote; the scopes differ otherwise).
+	if base.Alloc.Available && cur.Alloc.Available {
+		limit := maxf(base.Alloc.BytesPerOp*opts.AllocFactor, opts.AllocFloorBytes)
+		if cur.Alloc.BytesPerOp > limit {
+			out = append(out, Violation{
+				Objective: "alloc-bytes",
+				Detail:    fmt.Sprintf("%.0f B/req exceeds %.0f B/req", cur.Alloc.BytesPerOp, limit),
+				Baseline:  base.Alloc.BytesPerOp, Current: cur.Alloc.BytesPerOp, Limit: limit,
+			})
+		}
+	}
+
+	// Server-side SLO verdicts from the fresh run: a breached objective
+	// fails the gate outright — the error budget is the contract, not a
+	// relative comparison.
+	for _, s := range cur.SLO {
+		if s.Breached {
+			out = append(out, Violation{
+				Objective: "slo:" + s.Name,
+				Detail: fmt.Sprintf("objective breached: burn fast %.2fx slow %.2fx, budget %.1f%% remaining",
+					s.FastBurn, s.SlowBurn, s.BudgetRemaining*100),
+				Baseline: 1, Current: s.BudgetRemaining, Limit: 0,
+			})
+		}
+	}
+	return out
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

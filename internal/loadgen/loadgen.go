@@ -1,0 +1,394 @@
+// Package loadgen is the built-in load generator behind `pdcu loadtest`:
+// it replays a weighted traffic mix (search / activities / facets / site
+// pages) against a live pdcu server with an open-loop arrival process —
+// requests are injected at the configured rate regardless of how fast
+// the server answers, so a slowdown shows up as queueing and tail
+// latency instead of being hidden by a closed loop that politely waits —
+// and reports per-endpoint p50/p95/p99 latency, throughput, error rate,
+// shed (429) rate, and allocation stats.
+//
+// The generator is deliberately dependency-free on the serving stack: it
+// drives any base URL over plain HTTP. `pdcu loadtest` layers the rest
+// on top — an in-process self-serve mode, generation churn via corpus
+// touches, rollup ticking for SLO evaluation, and the baseline/gate
+// persistence in baseline.go that turns a run into a committed,
+// regression-gated artifact.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind names one traffic class of a mix.
+type Kind string
+
+const (
+	KindSearch     Kind = "search"     // /api/v1/search with a rotating query pool
+	KindActivities Kind = "activities" // /api/v1/activities with random facet filters
+	KindFacets     Kind = "facets"     // /api/v1/facets
+	KindSite       Kind = "site"       // static site pages
+)
+
+// MixEntry is one weighted traffic class.
+type MixEntry struct {
+	Kind   Kind    `json:"kind"`
+	Weight float64 `json:"weight"`
+}
+
+// Mix is a weighted traffic mix. Weights are relative, not percentages;
+// "search=3,facets=1" sends three searches per facet listing.
+type Mix []MixEntry
+
+// ParseMix parses the -mix syntax: comma-separated kind=weight pairs,
+// e.g. "search=60,activities=25,facets=10,site=5". Unknown kinds and
+// non-positive weights are errors — a silently-dropped class would make
+// two baselines incomparable.
+func ParseMix(s string) (Mix, error) {
+	var mix Mix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, weight, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q: want kind=weight", part)
+		}
+		var w float64
+		if _, err := fmt.Sscanf(weight, "%g", &w); err != nil || w <= 0 {
+			return nil, fmt.Errorf("mix entry %q: weight must be a positive number", part)
+		}
+		switch Kind(kind) {
+		case KindSearch, KindActivities, KindFacets, KindSite:
+		default:
+			return nil, fmt.Errorf("mix entry %q: unknown kind (want search, activities, facets, site)", part)
+		}
+		mix = append(mix, MixEntry{Kind: Kind(kind), Weight: w})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty traffic mix")
+	}
+	return mix, nil
+}
+
+// String renders the mix back in -mix syntax (canonical for baselines).
+func (m Mix) String() string {
+	parts := make([]string, len(m))
+	for i, e := range m {
+		parts[i] = fmt.Sprintf("%s=%g", e.Kind, e.Weight)
+	}
+	return strings.Join(parts, ",")
+}
+
+// DefaultMix is a cache-friendly read-heavy blend resembling the site's
+// real traffic shape.
+func DefaultMix() Mix {
+	return Mix{
+		{KindSearch, 50},
+		{KindActivities, 20},
+		{KindFacets, 10},
+		{KindSite, 20},
+	}
+}
+
+// Options configures one load-test run.
+type Options struct {
+	// BaseURL is the server under test, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Mix is the weighted traffic blend (DefaultMix when nil).
+	Mix Mix
+	// QPS is the open-loop arrival rate (default 200).
+	QPS float64
+	// Concurrency bounds in-flight requests (default 16). Arrivals that
+	// find every worker busy queue up; the queue overflowing is counted
+	// as Dropped, not silently discarded.
+	Concurrency int
+	// Duration is the measured run length (default 10s).
+	Duration time.Duration
+	// Seed makes the traffic sequence reproducible (default 1).
+	Seed int64
+	// SitePaths are the candidate paths for KindSite traffic (default
+	// "/", "/activities/").
+	SitePaths []string
+	// Queries is the KindSearch query pool (default a built-in PDC
+	// vocabulary).
+	Queries []string
+	// Client overrides the HTTP client (default: pooled transport
+	// sized to Concurrency).
+	Client *http.Client
+	// Churn, when non-nil, is invoked every ChurnEvery during the run
+	// to force a generation swap under load (a corpus touch or an
+	// engine rebuild); failures are counted, not fatal.
+	Churn      func() error
+	ChurnEvery time.Duration
+	// SkipPrime skips the pre-run warm request per traffic class.
+	// Priming keeps the one cold index build out of the measured
+	// percentiles, which is what a steady-state baseline wants.
+	SkipPrime bool
+}
+
+func (o *Options) defaults() {
+	if o.Mix == nil {
+		o.Mix = DefaultMix()
+	}
+	if o.QPS <= 0 {
+		o.QPS = 200
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 16
+	}
+	if o.Duration <= 0 {
+		o.Duration = 10 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.SitePaths) == 0 {
+		o.SitePaths = []string{"/", "/activities/"}
+	}
+	if len(o.Queries) == 0 {
+		o.Queries = defaultQueries()
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        o.Concurrency * 2,
+				MaxIdleConnsPerHost: o.Concurrency * 2,
+				IdleConnTimeout:     30 * time.Second,
+			},
+			Timeout: 10 * time.Second,
+		}
+	}
+}
+
+// defaultQueries is the built-in search vocabulary: terms the curated
+// corpus actually contains, plus a few misses so the cache is not 100%.
+func defaultQueries() []string {
+	return []string{
+		"parallel", "sort", "sorting network", "deadlock", "message passing",
+		"pipeline", "race condition", "barrier", "broadcast", "speedup",
+		"scalability", "load balancing", "mapreduce", "mutual exclusion",
+		"odd-even", "quantum entanglement", "zebra",
+	}
+}
+
+// facetPool are valid /api/v1/activities filters drawn by KindActivities
+// traffic; about a third of listings go unfiltered.
+var facetPool = []struct{ param, value string }{
+	{"course", "CS1"}, {"course", "CS2"}, {"course", "CS0"},
+	{"medium", "cards"}, {"medium", "people"},
+	{"sense", "touch"}, {"sense", "sight"},
+}
+
+// sample is one completed request.
+type sample struct {
+	kind Kind
+	code int // 0 = transport error
+	dur  time.Duration
+}
+
+// Run drives one load test and returns its report. ctx cancellation
+// stops the run early (the report covers what was measured).
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	opts.defaults()
+	base, err := url.Parse(opts.BaseURL)
+	if err != nil || base.Scheme == "" || base.Host == "" {
+		return nil, fmt.Errorf("loadgen: bad base URL %q", opts.BaseURL)
+	}
+
+	// Cumulative weights for O(log n) class draws.
+	cum := make([]float64, len(opts.Mix))
+	total := 0.0
+	for i, e := range opts.Mix {
+		total += e.Weight
+		cum[i] = total
+	}
+	pick := func(rng *rand.Rand) Kind {
+		x := rng.Float64() * total
+		i := sort.SearchFloat64s(cum, x)
+		if i >= len(opts.Mix) {
+			i = len(opts.Mix) - 1
+		}
+		return opts.Mix[i].Kind
+	}
+
+	if !opts.SkipPrime {
+		rng := rand.New(rand.NewSource(opts.Seed))
+		for _, e := range opts.Mix {
+			req, _ := http.NewRequestWithContext(ctx, http.MethodGet, opts.BaseURL+pathFor(e.Kind, rng, &opts), nil)
+			if resp, err := opts.Client.Do(req); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}
+
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+
+	// The arrival queue is the open-loop buffer: deep enough to absorb a
+	// GC pause at full rate, shallow enough that a dead server fails
+	// fast as Dropped instead of hoarding memory.
+	queueCap := int(opts.QPS) // one second of arrivals
+	if queueCap < opts.Concurrency*4 {
+		queueCap = opts.Concurrency * 4
+	}
+	arrivals := make(chan struct{}, queueCap)
+	var dropped atomic.Int64
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Pacer: inject arrivals at QPS no matter what the workers do.
+	var pacerWG sync.WaitGroup
+	pacerWG.Add(1)
+	start := time.Now()
+	go func() {
+		defer pacerWG.Done()
+		defer close(arrivals)
+		interval := time.Duration(float64(time.Second) / opts.QPS)
+		if interval <= 0 {
+			interval = time.Nanosecond
+		}
+		next := start
+		deadline := start.Add(opts.Duration)
+		for {
+			now := time.Now()
+			if now.After(deadline) || runCtx.Err() != nil {
+				return
+			}
+			for !next.After(now) { // emit every due arrival (catch-up)
+				select {
+				case arrivals <- struct{}{}:
+				default:
+					dropped.Add(1)
+				}
+				next = next.Add(interval)
+			}
+			d := time.Until(next)
+			if d > time.Millisecond {
+				d = time.Millisecond // stay responsive to the deadline
+			}
+			time.Sleep(d)
+		}
+	}()
+
+	// Churner: force generation swaps under load. It stops on runCtx,
+	// which is cancelled only after the pacer and workers finish — so it
+	// must NOT share their WaitGroups, or shutdown deadlocks.
+	var churns, churnErrs atomic.Int64
+	churnDone := make(chan struct{})
+	if opts.Churn != nil && opts.ChurnEvery > 0 {
+		go func() {
+			defer close(churnDone)
+			t := time.NewTicker(opts.ChurnEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-t.C:
+					if err := opts.Churn(); err != nil {
+						churnErrs.Add(1)
+					} else {
+						churns.Add(1)
+					}
+				}
+			}
+		}()
+	} else {
+		close(churnDone)
+	}
+
+	// Workers: per-worker RNG and sample slice, merged after the pool
+	// drains — no contention on the hot path.
+	perWorker := make([][]sample, opts.Concurrency)
+	var workerWG sync.WaitGroup
+	for w := 0; w < opts.Concurrency; w++ {
+		workerWG.Add(1)
+		go func(w int) {
+			defer workerWG.Done()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(w)*7919))
+			samples := make([]sample, 0, 1024)
+			for range arrivals {
+				if runCtx.Err() != nil {
+					break
+				}
+				kind := pick(rng)
+				req, err := http.NewRequestWithContext(runCtx, http.MethodGet, opts.BaseURL+pathFor(kind, rng, &opts), nil)
+				if err != nil {
+					continue
+				}
+				t0 := time.Now()
+				resp, err := opts.Client.Do(req)
+				code := 0
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					code = resp.StatusCode
+				}
+				samples = append(samples, sample{kind: kind, code: code, dur: time.Since(t0)})
+			}
+			perWorker[w] = samples
+		}(w)
+	}
+
+	pacerWG.Wait()
+	workerWG.Wait()
+	wall := time.Since(start)
+	cancel()
+	<-churnDone
+
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+
+	var all []sample
+	for _, s := range perWorker {
+		all = append(all, s...)
+	}
+	rep := summarize(all, wall, opts)
+	rep.Dropped = dropped.Load()
+	rep.Churns = churns.Load()
+	rep.ChurnErrors = churnErrs.Load()
+	if n := int64(len(all)); n > 0 {
+		rep.Alloc = AllocStats{
+			Available:    true,
+			BytesPerOp:   float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(n),
+			ObjectsPerOp: float64(msAfter.Mallocs-msBefore.Mallocs) / float64(n),
+		}
+	}
+	if ctx.Err() != nil && len(all) == 0 {
+		return rep, ctx.Err()
+	}
+	return rep, nil
+}
+
+// pathFor draws one concrete request path for a traffic class.
+func pathFor(kind Kind, rng *rand.Rand, opts *Options) string {
+	switch kind {
+	case KindSearch:
+		q := opts.Queries[rng.Intn(len(opts.Queries))]
+		return "/api/v1/search?q=" + url.QueryEscape(q)
+	case KindActivities:
+		if rng.Intn(3) == 0 {
+			return "/api/v1/activities"
+		}
+		f := facetPool[rng.Intn(len(facetPool))]
+		return "/api/v1/activities?" + f.param + "=" + url.QueryEscape(f.value)
+	case KindFacets:
+		return "/api/v1/facets"
+	default:
+		return opts.SitePaths[rng.Intn(len(opts.SitePaths))]
+	}
+}

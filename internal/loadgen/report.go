@@ -1,0 +1,192 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"pdcunplugged/internal/obs/slo"
+)
+
+// ReportSchema versions the BENCH_loadtest.json layout; Gate refuses to
+// compare across schema versions rather than misreading old fields.
+const ReportSchema = 1
+
+// BuildStamp records which binary produced a report, so a committed
+// baseline is traceable to a commit and a Go toolchain.
+type BuildStamp struct {
+	Version   string `json:"version,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+}
+
+// RunConfig is the portion of Options that makes two reports
+// comparable; Gate warns when they differ.
+type RunConfig struct {
+	Mix         string  `json:"mix"`
+	QPS         float64 `json:"qps"`
+	Concurrency int     `json:"concurrency"`
+	Seconds     float64 `json:"seconds"`
+	Seed        int64   `json:"seed"`
+}
+
+// AllocStats is the per-request allocation cost over the measured run,
+// from runtime.MemStats TotalAlloc/Mallocs deltas (monotonic, so no GC
+// forcing is needed). In self-serve mode this covers client AND server
+// work in one process — which is exactly the number the baseline gate
+// wants to hold steady.
+type AllocStats struct {
+	Available    bool    `json:"available"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+	ObjectsPerOp float64 `json:"objects_per_op"`
+}
+
+// EndpointStats summarizes one traffic class of a run. Percentiles are
+// exact (nearest-rank over all collected samples), not estimated from
+// histogram buckets.
+type EndpointStats struct {
+	Requests int64   `json:"requests"`
+	Errors   int64   `json:"errors"`
+	Shed     int64   `json:"shed"`
+	P50ms    float64 `json:"p50_ms"`
+	P95ms    float64 `json:"p95_ms"`
+	P99ms    float64 `json:"p99_ms"`
+	MeanMs   float64 `json:"mean_ms"`
+	MaxMs    float64 `json:"max_ms"`
+}
+
+// Report is the full result of one load-test run: the JSON written by
+// `pdcu loadtest -baseline` and compared by `-gate`.
+type Report struct {
+	Schema      int                      `json:"schema"`
+	Build       BuildStamp               `json:"build"`
+	Config      RunConfig                `json:"config"`
+	WallSeconds float64                  `json:"wall_seconds"`
+	Requests    int64                    `json:"requests"`
+	Throughput  float64                  `json:"throughput_rps"`
+	Errors      int64                    `json:"errors"`
+	ErrorRate   float64                  `json:"error_rate"`
+	Shed        int64                    `json:"shed"`
+	ShedRate    float64                  `json:"shed_rate"`
+	Dropped     int64                    `json:"dropped_arrivals"`
+	Churns      int64                    `json:"generation_churns"`
+	ChurnErrors int64                    `json:"churn_errors,omitempty"`
+	Alloc       AllocStats               `json:"alloc"`
+	Endpoints   map[string]EndpointStats `json:"endpoints"`
+	// SLO carries the server-side objective verdicts when the run had an
+	// SLO engine in reach (self-serve mode); absent for remote targets.
+	SLO []slo.Status `json:"slo,omitempty"`
+}
+
+// summarize folds raw samples into a Report.
+func summarize(all []sample, wall time.Duration, opts Options) *Report {
+	rep := &Report{
+		Schema: ReportSchema,
+		Config: RunConfig{
+			Mix:         opts.Mix.String(),
+			QPS:         opts.QPS,
+			Concurrency: opts.Concurrency,
+			Seconds:     opts.Duration.Seconds(),
+			Seed:        opts.Seed,
+		},
+		WallSeconds: wall.Seconds(),
+		Endpoints:   map[string]EndpointStats{},
+	}
+	byKind := map[Kind][]time.Duration{}
+	counts := map[Kind]*EndpointStats{}
+	for _, s := range all {
+		rep.Requests++
+		es := counts[s.kind]
+		if es == nil {
+			es = &EndpointStats{}
+			counts[s.kind] = es
+		}
+		es.Requests++
+		switch {
+		case s.code == 429:
+			rep.Shed++
+			es.Shed++
+		case s.code == 0 || s.code >= 500:
+			rep.Errors++
+			es.Errors++
+		}
+		byKind[s.kind] = append(byKind[s.kind], s.dur)
+	}
+	if rep.Requests > 0 {
+		rep.ErrorRate = float64(rep.Errors) / float64(rep.Requests)
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Requests)
+	}
+	if wall > 0 {
+		rep.Throughput = float64(rep.Requests) / wall.Seconds()
+	}
+	for kind, durs := range byKind {
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		es := counts[kind]
+		es.P50ms = percentileMs(durs, 0.50)
+		es.P95ms = percentileMs(durs, 0.95)
+		es.P99ms = percentileMs(durs, 0.99)
+		es.MaxMs = float64(durs[len(durs)-1]) / float64(time.Millisecond)
+		var sum time.Duration
+		for _, d := range durs {
+			sum += d
+		}
+		es.MeanMs = float64(sum) / float64(len(durs)) / float64(time.Millisecond)
+		rep.Endpoints[string(kind)] = *es
+	}
+	return rep
+}
+
+// percentileMs is the nearest-rank percentile of a sorted slice, in
+// milliseconds.
+func percentileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.9999999) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+// Text renders the human-facing run summary printed by `pdcu loadtest`.
+func (r *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadtest: %d requests in %.1fs (%.0f rps achieved, %s @ %g qps, c=%d)\n",
+		r.Requests, r.WallSeconds, r.Throughput, r.Config.Mix, r.Config.QPS, r.Config.Concurrency)
+	fmt.Fprintf(&b, "errors %.3f%%  shed %.3f%%  dropped-arrivals %d  churns %d\n",
+		r.ErrorRate*100, r.ShedRate*100, r.Dropped, r.Churns)
+	if r.Alloc.Available {
+		fmt.Fprintf(&b, "alloc %.0f B/req  %.1f objs/req (whole process)\n",
+			r.Alloc.BytesPerOp, r.Alloc.ObjectsPerOp)
+	}
+	kinds := make([]string, 0, len(r.Endpoints))
+	for k := range r.Endpoints {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Fprintf(&b, "%-12s %8s %10s %10s %10s %8s %6s\n",
+		"endpoint", "reqs", "p50", "p95", "p99", "max", "err")
+	for _, k := range kinds {
+		es := r.Endpoints[k]
+		fmt.Fprintf(&b, "%-12s %8d %9.2fms %9.2fms %9.2fms %7.1fms %6d\n",
+			k, es.Requests, es.P50ms, es.P95ms, es.P99ms, es.MaxMs, es.Errors+es.Shed)
+	}
+	for _, s := range r.SLO {
+		state := "ok"
+		switch {
+		case s.NoData:
+			state = "no data"
+		case s.Breached:
+			state = "BREACHED"
+		}
+		fmt.Fprintf(&b, "slo %-16s budget %5.1f%%  burn fast %.2fx slow %.2fx  %s\n",
+			s.Name, s.BudgetRemaining*100, s.FastBurn, s.SlowBurn, state)
+	}
+	return b.String()
+}

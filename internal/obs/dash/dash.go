@@ -15,6 +15,7 @@
 package dash
 
 import (
+	"fmt"
 	"html/template"
 	"net/http"
 	"sort"
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"pdcunplugged/internal/obs"
+	"pdcunplugged/internal/obs/slo"
 	"pdcunplugged/internal/obs/trace"
 )
 
@@ -31,6 +33,9 @@ type Config struct {
 	Registry *obs.Registry
 	Rollup   *obs.Rollup
 	Tracer   *trace.Tracer
+	// SLO, when set, renders the objective panel with budget-remaining
+	// gauges and burn rates (one Evaluate per page render).
+	SLO *slo.Engine
 	// Refresh is the meta-refresh cadence; 0 selects 5s, negative
 	// disables auto-refresh.
 	Refresh time.Duration
@@ -83,6 +88,20 @@ type statRow struct {
 	Value string
 }
 
+// sloRow is one objective's line in the SLO panel.
+type sloRow struct {
+	Name        string
+	Description string
+	Target      string
+	Budget      template.HTML // budget-remaining gauge bar
+	BudgetPct   string
+	FastBurn    string
+	SlowBurn    string
+	Events      string // slow-window good/total
+	Status      string
+	Bad         bool
+}
+
 type exemplarRow struct {
 	Series string
 	Label  string
@@ -108,6 +127,7 @@ type dashData struct {
 	Windows   int
 	HTTP      []redRow
 	Query     []redRow
+	SLO       []sloRow
 	Engine    []statRow
 	Caches    []cacheRow
 	Workers   []gaugeRow
@@ -147,6 +167,9 @@ func (h *handler) dashboard(w http.ResponseWriter, r *http.Request) {
 		d.Engine = engineRows(reg)
 		d.Caches = cacheRows(reg)
 		d.Runtime = runtimeRows(reg)
+	}
+	if s := h.cfg.SLO; s != nil {
+		d.SLO = sloRows(s.Evaluate())
 	}
 	if t := h.cfg.Tracer; t != nil {
 		d.Exemplars = exemplarRows(t.Exemplars())
@@ -262,6 +285,64 @@ func cacheRows(reg *obs.Registry) []cacheRow {
 		rows = append(rows, row)
 	}
 	return rows
+}
+
+// sloRows shapes one evaluation pass for the panel: budget-remaining
+// gauge bars, both burn rates, and a breach verdict per objective.
+func sloRows(statuses []slo.Status) []sloRow {
+	rows := make([]sloRow, 0, len(statuses))
+	for _, st := range statuses {
+		row := sloRow{
+			Name:        st.Name,
+			Description: st.Description,
+			Target:      fmtPct(st.Target),
+			Budget:      budgetBar(st.BudgetRemaining, 120, 14),
+			BudgetPct:   fmtPct(st.BudgetRemaining),
+			FastBurn:    fmtBurn(st.FastBurn),
+			SlowBurn:    fmtBurn(st.SlowBurn),
+			Events:      fmtNum(st.GoodSlow) + "/" + fmtNum(st.TotalSlow),
+			Status:      "ok",
+		}
+		switch {
+		case st.NoData:
+			row.Status = "no data"
+		case st.Breached:
+			row.Status = "BREACHED"
+			row.Bad = true
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// budgetBar renders a horizontal gauge: the filled fraction is the
+// error budget still unspent, colored green above 25%, amber above
+// zero, red when exhausted.
+func budgetBar(frac float64, w, h int) template.HTML {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	fill := "#3fb950"
+	switch {
+	case frac == 0:
+		fill = "#ff7b72"
+	case frac < 0.25:
+		fill = "#e3b341"
+	}
+	fw := int(frac * float64(w))
+	return template.HTML(fmt.Sprintf(
+		`<svg class="spark" width="%d" height="%d"><rect width="%d" height="%d" fill="#2a3440"/><rect width="%d" height="%d" fill="%s"/></svg>`,
+		w, h, w, h, fw, h, fill))
+}
+
+func fmtBurn(v float64) string {
+	if v >= 100 {
+		return fmt.Sprintf("%.0fx", v)
+	}
+	return fmt.Sprintf("%.2fx", v)
 }
 
 // engineRows summarizes the generation pipeline: which generation is
@@ -416,6 +497,11 @@ svg.spark{vertical-align:middle}polyline{fill:none;stroke:#6cb6ff;stroke-width:1
 <table><tr><th>endpoint</th><th>rate</th><th></th><th>5xx</th><th></th><th>mean latency</th><th></th></tr>
 {{range .Query}}<tr><td>{{.Endpoint}}</td><td>{{.Rate}}</td><td class="num">{{.LastRate}}</td><td class="err">{{.Errors}}</td><td class="num">{{.LastErr}}</td><td>{{.Mean}}</td><td class="num">{{.LastMean}}</td></tr>
 {{else}}<tr><td class="dim" colspan="7">no queries yet</td></tr>{{end}}</table>
+
+<h2>SLOs <span class="dim">(<a href="/slo">/slo</a>, multi-window burn rates)</span></h2>
+<table><tr><th>objective</th><th>target</th><th>budget remaining</th><th></th><th>burn fast</th><th>burn slow</th><th>good/total</th><th>status</th></tr>
+{{range .SLO}}<tr><td title="{{.Description}}">{{.Name}}</td><td class="num">{{.Target}}</td><td>{{.Budget}}</td><td class="num">{{.BudgetPct}}</td><td class="num">{{.FastBurn}}</td><td class="num">{{.SlowBurn}}</td><td class="num">{{.Events}}</td><td{{if .Bad}} class="bad"{{end}}>{{.Status}}</td></tr>
+{{else}}<tr><td class="dim" colspan="8">no SLO engine wired</td></tr>{{end}}</table>
 
 <h2>Engine</h2>
 <table><tr>{{range .Engine}}<th>{{.Name}}</th>{{end}}</tr>

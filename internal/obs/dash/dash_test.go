@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"pdcunplugged/internal/obs"
+	"pdcunplugged/internal/obs/slo"
 	"pdcunplugged/internal/obs/trace"
 )
 
@@ -213,5 +214,53 @@ func TestWaterfallBarGeometry(t *testing.T) {
 	late := wf.Spans[1]
 	if late.Name != "late" || math.Abs(late.Left-50) > 0.01 || math.Abs(late.Width-25) > 0.01 {
 		t.Errorf("late bar = %+v, want left 50%% width 25%%", late)
+	}
+}
+
+// TestDashboardSLOPanel renders the SLO panel from an isolated
+// registry: a healthy latency objective must show as ok with a full
+// budget gauge, and a breached one as BREACHED with zero budget.
+func TestDashboardSLOPanel(t *testing.T) {
+	reg := obs.NewRegistry()
+	fast := reg.Histogram("pdcu_query_duration_seconds", "lat",
+		obs.QueryBuckets(), "endpoint").With("search")
+	for i := 0; i < 100; i++ {
+		fast.Observe(0.001) // well under the 5ms objective
+	}
+	reg.Counter("pdcu_query_requests_total", "req", "endpoint", "code").
+		With("search", "200").Add(100)
+	ru := obs.NewRollup(reg, time.Second, 8)
+	ru.Collect()
+
+	cfg := Config{
+		Registry: reg,
+		Rollup:   ru,
+		SLO:      slo.New(reg, ru, slo.DefaultObjectives(), slo.Options{}),
+	}
+	rec := httptest.NewRecorder()
+	Handler(cfg).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/obs", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	html := rec.Body.String()
+	if !strings.Contains(html, "SLOs") || !strings.Contains(html, "query-latency") {
+		t.Fatalf("SLO panel missing:\n%s", html)
+	}
+	if !strings.Contains(html, "100.0%") {
+		t.Errorf("healthy objective does not show a full budget")
+	}
+	if strings.Contains(html, "BREACHED") {
+		t.Errorf("healthy data rendered as breached")
+	}
+
+	// Breach it: flood slow observations and re-render.
+	for i := 0; i < 400; i++ {
+		fast.Observe(0.05)
+	}
+	ru.Collect()
+	rec = httptest.NewRecorder()
+	Handler(cfg).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/obs", nil))
+	if html := rec.Body.String(); !strings.Contains(html, "BREACHED") {
+		t.Errorf("breached objective not flagged in panel")
 	}
 }

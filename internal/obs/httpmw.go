@@ -10,6 +10,7 @@ import (
 	"runtime/debug"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pdcunplugged/internal/obs/trace"
@@ -33,6 +34,16 @@ type HTTPMetrics struct {
 	log      func() *slog.Logger
 	tracer   func() *trace.Tracer
 	logAttrs func() []any
+
+	// logEvery samples the access log: 1 logs every request, N logs
+	// every Nth, 0 logs none. Error responses (>= 400) and requests
+	// whose trace was pinned always log regardless — at thousands of
+	// QPS an unsampled access log floods stdout and distorts the very
+	// latency a load test is measuring, but the interesting requests
+	// must never be sampled away.
+	logEvery  uint64
+	logCursor atomic.Uint64
+	logged    *Counter
 }
 
 // NewHTTPMetrics registers the HTTP metric families on reg. Tracing
@@ -48,8 +59,11 @@ func NewHTTPMetrics(reg *Registry) *HTTPMetrics {
 			"Requests currently being served."),
 		bytes: reg.Counter("pdcu_http_response_bytes_total",
 			"Response body bytes written, by route prefix.", "path"),
-		log:    Logger,
-		tracer: trace.Default,
+		logged: reg.Counter("pdcu_http_access_log_total",
+			"Access-log lines, by decision (logged, sampled_out).", "decision"),
+		log:      Logger,
+		tracer:   trace.Default,
+		logEvery: 1,
 	}
 }
 
@@ -66,6 +80,37 @@ func (m *HTTPMetrics) WithTracer(t *trace.Tracer) *HTTPMetrics {
 func (m *HTTPMetrics) WithLogAttrs(fn func() []any) *HTTPMetrics {
 	m.logAttrs = fn
 	return m
+}
+
+// WithLogSample sets the access-log sample rate in (0,1]: 1 logs every
+// request, 0.01 logs every hundredth (deterministically, via a counter —
+// no per-request RNG), and 0 disables routine logging entirely. Error
+// responses (status >= 400) and pinned-trace requests always log.
+func (m *HTTPMetrics) WithLogSample(rate float64) *HTTPMetrics {
+	switch {
+	case rate <= 0:
+		m.logEvery = 0
+	case rate >= 1:
+		m.logEvery = 1
+	default:
+		m.logEvery = uint64(1 / rate)
+	}
+	return m
+}
+
+// shouldLog decides one access-log line: errors and pinned traces are
+// unconditional, everything else passes through the every-Nth sampler.
+func (m *HTTPMetrics) shouldLog(code int, pinned bool) bool {
+	if code >= 400 || pinned {
+		return true
+	}
+	if m.logEvery == 0 {
+		return false
+	}
+	if m.logEvery == 1 {
+		return true
+	}
+	return m.logCursor.Add(1)%m.logEvery == 1
 }
 
 var (
@@ -177,7 +222,10 @@ func (m *HTTPMetrics) Wrap(next http.Handler) http.Handler {
 			m.requests.With(route, strconv3(rec.code)).Inc()
 			m.duration.With(route).Observe(d.Seconds())
 			m.bytes.With(route).Add(float64(rec.bytes))
-			if lg := m.log(); lg.Enabled(context.Background(), slog.LevelInfo) {
+			if !m.shouldLog(rec.code, !tid.IsZero()) {
+				m.logged.With("sampled_out").Inc()
+			} else if lg := m.log(); lg.Enabled(context.Background(), slog.LevelInfo) {
+				m.logged.With("logged").Inc()
 				attrs := []any{
 					"method", r.Method,
 					"path", r.URL.Path,

@@ -55,6 +55,18 @@ func DefBuckets() []float64 {
 	return []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
 }
 
+// QueryBuckets returns the high-resolution latency buckets (seconds) for
+// the cached query path. Cached /api/v1 responses complete in tens of
+// microseconds, so DefBuckets — whose first bound is 500µs — collapses
+// nearly all of them into one bucket and makes bucket-derived p99
+// estimates useless below a millisecond. These bounds keep sub-ms
+// resolution (25µs–1ms) while still covering cold index builds at the
+// top end.
+func QueryBuckets() []float64 {
+	return []float64{0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001,
+		0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+}
+
 // Registry is a concurrent-safe collection of metric families. The zero
 // value is not usable; construct with NewRegistry or use Default.
 // Registering the same name twice returns the existing family when the

@@ -33,15 +33,19 @@ type Rollup struct {
 }
 
 // rollSeries is the window ring for one labeled series. Slices stay
-// aligned with Rollup.times; Counts is non-nil only for histograms.
+// aligned with Rollup.times; Counts and buckets are non-nil only for
+// histograms.
 type rollSeries struct {
 	info      FamilyInfo
 	labels    map[string]string
 	values    []float64
 	counts    []float64
-	prevValue float64 // counter: last absolute value (for deltas)
-	prevSum   float64 // histogram: last absolute sum
-	prevCount float64 // histogram: last absolute count
+	bounds    []float64   // histogram bucket upper bounds
+	buckets   [][]float64 // per-window bucket deltas (len(bounds)+1); nil row = no data
+	prevValue float64     // counter: last absolute value (for deltas)
+	prevSum   float64     // histogram: last absolute sum
+	prevCount float64     // histogram: last absolute count
+	prevBkts  []uint64    // histogram: last absolute per-bucket counts
 	seen      bool
 }
 
@@ -123,10 +127,14 @@ func (ru *Rollup) Collect() {
 			switch fi.Kind {
 			case KindCounter:
 				delta := snap.Value - rs.prevValue
-				if !rs.seen {
-					// The series was created during this window; its
-					// absolute value is the window delta (counters
-					// start at zero).
+				if !rs.seen || delta < 0 {
+					// First sight: the series was created during this
+					// window, so its absolute value is the window delta
+					// (counters start at zero). A negative delta means
+					// the underlying counter reset (a registry swap or
+					// process restart behind a shared rollup); treat the
+					// post-reset absolute the same way rather than
+					// recording a nonsensical negative rate.
 					delta = snap.Value
 				}
 				rs.prevValue = snap.Value
@@ -135,12 +143,34 @@ func (ru *Rollup) Collect() {
 				rs.values = append(rs.values, snap.Value)
 			case KindHistogram:
 				dSum, dCount := snap.Sum-rs.prevSum, float64(snap.Count)-rs.prevCount
-				if !rs.seen {
+				if !rs.seen || dCount < 0 || dSum < 0 {
+					// Same reset rule as counters: histogram sum/count
+					// are monotonic, so going backwards means a reset.
 					dSum, dCount = snap.Sum, float64(snap.Count)
 				}
 				rs.prevSum, rs.prevCount = snap.Sum, float64(snap.Count)
 				rs.values = append(rs.values, dSum)
 				rs.counts = append(rs.counts, dCount)
+				rs.bounds = snap.Bounds
+				row := make([]float64, len(snap.Counts))
+				reset := len(rs.prevBkts) != len(snap.Counts)
+				if !reset {
+					for i, c := range snap.Counts {
+						if c < rs.prevBkts[i] {
+							reset = true
+							break
+						}
+					}
+				}
+				for i, c := range snap.Counts {
+					if !rs.seen || reset {
+						row[i] = float64(c)
+					} else {
+						row[i] = float64(c - rs.prevBkts[i])
+					}
+				}
+				rs.prevBkts = append(rs.prevBkts[:0], snap.Counts...)
+				rs.buckets = append(rs.buckets, row)
 			}
 			rs.seen = true
 		}
@@ -153,6 +183,9 @@ func (ru *Rollup) Collect() {
 			if rs.counts != nil {
 				rs.counts = append(rs.counts, math.NaN())
 			}
+			if rs.buckets != nil {
+				rs.buckets = append(rs.buckets, nil)
+			}
 		}
 	}
 	// Trim every ring to the last n windows.
@@ -163,6 +196,9 @@ func (ru *Rollup) Collect() {
 			rs.values = append(rs.values[:0], rs.values[drop:]...)
 			if rs.counts != nil {
 				rs.counts = append(rs.counts[:0], rs.counts[drop:]...)
+			}
+			if rs.buckets != nil {
+				rs.buckets = append(rs.buckets[:0], rs.buckets[drop:]...)
 			}
 		}
 	}
@@ -218,6 +254,147 @@ func (ru *Rollup) Windows() int {
 	ru.mu.Lock()
 	defer ru.mu.Unlock()
 	return len(ru.times)
+}
+
+// HistSum aggregates the histogram bucket deltas of every labeled series
+// of one family over a span of windows. It is the SLO engine's view of
+// "what latencies did we observe in the last N windows": quantiles and
+// threshold counts both derive from it without touching raw samples.
+type HistSum struct {
+	// Bounds are the bucket upper bounds (seconds for latency families).
+	Bounds []float64
+	// Counts are per-bucket observation counts over the span; the final
+	// element is the +Inf overflow bucket.
+	Counts []float64
+	// Sum and Count are the aggregate observation sum and count.
+	Sum   float64
+	Count float64
+}
+
+// HistOver aggregates the named histogram family over the last n windows
+// (all retained windows when n <= 0 or exceeds what is held). The bool is
+// false when the family is unknown, is not a histogram, or has recorded
+// no window yet — callers treat that as "no data", not as zero traffic.
+func (ru *Rollup) HistOver(name string, n int) (HistSum, bool) {
+	ru.mu.Lock()
+	defer ru.mu.Unlock()
+	var out HistSum
+	found := false
+	for _, rs := range ru.series {
+		if rs.info.Name != name || rs.info.Kind != KindHistogram {
+			continue
+		}
+		lo := 0
+		if n > 0 && len(rs.buckets) > n {
+			lo = len(rs.buckets) - n
+		}
+		if out.Bounds == nil {
+			out.Bounds = rs.bounds
+			out.Counts = make([]float64, len(rs.bounds)+1)
+		}
+		for w := lo; w < len(rs.buckets); w++ {
+			row := rs.buckets[w]
+			if row == nil { // series absent from this window
+				continue
+			}
+			for i, c := range row {
+				if i < len(out.Counts) {
+					out.Counts[i] += c
+				}
+			}
+		}
+		loV := 0
+		if n > 0 && len(rs.values) > n {
+			loV = len(rs.values) - n
+		}
+		for w := loV; w < len(rs.values); w++ {
+			if !math.IsNaN(rs.values[w]) {
+				out.Sum += rs.values[w]
+			}
+			if w < len(rs.counts) && !math.IsNaN(rs.counts[w]) {
+				out.Count += rs.counts[w]
+			}
+		}
+		found = true
+	}
+	return out, found
+}
+
+// AtOrBelow returns how many observations fell in buckets whose upper
+// bound is <= bound — the "good event" count of a latency objective
+// declared at a bucket boundary.
+func (h HistSum) AtOrBelow(bound float64) float64 {
+	var good float64
+	for i, b := range h.Bounds {
+		if b <= bound {
+			good += h.Counts[i]
+		}
+	}
+	return good
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) from the aggregated
+// buckets with linear interpolation inside the winning bucket. With no
+// observations it returns 0; when the quantile lands in the +Inf
+// overflow bucket it returns the highest finite bound (a lower-bound
+// estimate, explicitly conservative the other way).
+func (h HistSum) Quantile(q float64) float64 {
+	var total float64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	rank := q * total
+	var cum float64
+	for i, c := range h.Counts {
+		if i >= len(h.Bounds) {
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		if cum+c >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.Bounds[i-1]
+			}
+			if c == 0 {
+				return h.Bounds[i]
+			}
+			return lower + (h.Bounds[i]-lower)*((rank-cum)/c)
+		}
+		cum += c
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// CounterOver sums the window deltas of every series of the named counter
+// family whose labels pass match (nil matches all) over the last n
+// windows (all retained when n <= 0). The bool reports whether any
+// matching series has recorded a window at all.
+func (ru *Rollup) CounterOver(name string, n int, match func(map[string]string) bool) (float64, bool) {
+	ru.mu.Lock()
+	defer ru.mu.Unlock()
+	var sum float64
+	found := false
+	for _, rs := range ru.series {
+		if rs.info.Name != name || rs.info.Kind != KindCounter {
+			continue
+		}
+		if match != nil && !match(rs.labels) {
+			continue
+		}
+		found = true
+		lo := 0
+		if n > 0 && len(rs.values) > n {
+			lo = len(rs.values) - n
+		}
+		for w := lo; w < len(rs.values); w++ {
+			if !math.IsNaN(rs.values[w]) {
+				sum += rs.values[w]
+			}
+		}
+	}
+	return sum, found
 }
 
 func seriesKey(name string, labels map[string]string) string {

@@ -37,8 +37,12 @@ import (
 var (
 	queryRequests = obs.Default().Counter("pdcu_query_requests_total",
 		"Query API responses, by endpoint and status code.", "endpoint", "code")
+	// queryDuration uses the sub-millisecond bucket set: cached responses
+	// complete in tens of microseconds, and the SLO engine estimates p99
+	// from these buckets — DefBuckets would collapse the whole cached
+	// path into its first bucket.
 	queryDuration = obs.Default().Histogram("pdcu_query_duration_seconds",
-		"Query API request latency, by endpoint.", nil, "endpoint")
+		"Query API request latency, by endpoint.", obs.QueryBuckets(), "endpoint")
 	queryCache = obs.Default().Counter("pdcu_query_cache_total",
 		"Query API result-cache lookups, by endpoint and result (hit, miss, coalesced).",
 		"endpoint", "result")
@@ -212,7 +216,7 @@ func (s *Service) handle(name string, parse parseFn) http.HandlerFunc {
 		defer func() {
 			sec := time.Since(start).Seconds()
 			queryDuration.With(name).Observe(sec)
-			trace.ObserveExemplar(ctx, "pdcu_query_duration_seconds", name, obs.DefBuckets(), sec)
+			trace.ObserveExemplar(ctx, "pdcu_query_duration_seconds", name, obs.QueryBuckets(), sec)
 		}()
 		if r.Method != http.MethodGet && r.Method != http.MethodHead {
 			w.Header().Set("Allow", "GET, HEAD")
