@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check lint vet fmtcheck test test-race build fmt bench-smoke trace-overhead slo-smoke loadtest-baseline
+.PHONY: check lint vet fmtcheck test test-race build fmt bench-smoke trace-overhead slo-smoke loadtest-baseline bench-index bench-index-record fuzz-smoke
 
-check: lint test-race bench-smoke trace-overhead slo-smoke
+check: lint test-race bench-smoke trace-overhead bench-index slo-smoke
 
 # Static hygiene in one target: formatting and go vet.
 lint: fmtcheck vet
@@ -48,6 +48,28 @@ slo-smoke:
 
 loadtest-baseline:
 	$(GO) run ./cmd/pdcu loadtest -duration 2s -qps 200 -churn 700ms -baseline BENCH_loadtest.json
+
+# Search/index benchmark gate: re-measure the gated suite (cold query
+# serve, search, suggest, filtered activities, facet counts) and compare
+# against the newest record in the committed BENCH_search.json
+# trajectory with noise-tolerant thresholds. A failure names the
+# violated metric ("SearchCold:allocs_per_op"). Re-record after an
+# intentional performance change with `make bench-index-record`, which
+# appends a build-stamped record (or refines the current engine's
+# newest one) instead of overwriting the history.
+bench-index:
+	$(GO) test -run=TestSearchBenchGate -count=1 -v .
+
+bench-index-record:
+	PDCU_BENCH_SEARCH_RECORD=1 $(GO) test -run=TestSearchBenchGate -count=1 -v .
+
+# Short native-fuzzing burst over the tokenizer and the query paths:
+# catches panics and broken invariants on adversarial input without a
+# long campaign. Corpus findings land in testdata/fuzz and become
+# regression seeds.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzTokenize -fuzztime=10s ./internal/search
+	$(GO) test -run='^$$' -fuzz=FuzzSearch -fuzztime=10s ./internal/search
 
 # Tracing cost ceiling: with sampling off, the traced cached
 # /api/v1/search path must stay within 5% of the untraced one

@@ -228,11 +228,12 @@ func cmdSearch(args []string, w io.Writer) error {
 	cfg.BindSearchFlags(fs)
 	asJSON := fs.Bool("json", false, "emit results as JSON (the /api/v1/search response shape)")
 	limit := fs.Int("limit", 10, "maximum results (0 = all)")
+	fuzzy := fs.Bool("fuzzy", false, "expand misspelled query terms to edit-distance-1 vocabulary neighbors")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() == 0 {
-		return fmt.Errorf("usage: pdcu search [-json] [-limit N] <query>")
+		return fmt.Errorf("usage: pdcu search [-json] [-fuzzy] [-limit N] <query>")
 	}
 	eng, err := engine.New(cfg)
 	if err != nil {
@@ -243,7 +244,7 @@ func cmdSearch(args []string, w io.Writer) error {
 		return err
 	}
 	snap := query.NewSnapshot(repo)
-	resp := query.Search(snap, strings.Join(fs.Args(), " "), *limit)
+	resp := query.SearchWith(snap, strings.Join(fs.Args(), " "), *limit, *fuzzy)
 	if *asJSON {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")

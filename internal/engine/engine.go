@@ -87,6 +87,9 @@ type Generation struct {
 	TraceID string
 	// Stats summarizes the site build (jobs, cache hits, duration).
 	Stats site.BuildStats
+	// IndexStats summarizes the search index build (docs, vocabulary,
+	// postings and bitset footprints, build duration).
+	IndexStats search.IndexStats
 
 	handler http.Handler
 	snap    *query.Snapshot
@@ -271,6 +274,7 @@ func (e *Engine) rebuildLocked(ctx context.Context) (gen *Generation, err error)
 		BuiltAt:     time.Now(),
 		TraceID:     root.TraceID().String(),
 		Stats:       e.builder.LastStats(),
+		IndexStats:  snap.Index.Stats(),
 		handler:     s.Handler(),
 		snap:        snap,
 	}
@@ -292,7 +296,10 @@ func (e *Engine) publishLocked(g *Generation) {
 	done()
 	obs.Logger().Info("generation published",
 		"seq", g.Seq, "generation", g.ID,
-		"pages", g.Site.Len(), "activities", g.Repo.Len())
+		"pages", g.Site.Len(), "activities", g.Repo.Len(),
+		"index_vocab", g.IndexStats.Vocabulary,
+		"index_postings", g.IndexStats.Postings,
+		"index_bytes", g.IndexStats.PostingsBytes+g.IndexStats.BitsetBytes)
 }
 
 // Query returns the engine's query service. It reads snapshots straight

@@ -35,6 +35,7 @@ type Kind string
 
 const (
 	KindSearch     Kind = "search"     // /api/v1/search with a rotating query pool
+	KindTypo       Kind = "typo"       // /api/v1/search?fuzzy=1 with misspelled queries
 	KindActivities Kind = "activities" // /api/v1/activities with random facet filters
 	KindFacets     Kind = "facets"     // /api/v1/facets
 	KindSite       Kind = "site"       // static site pages
@@ -70,9 +71,9 @@ func ParseMix(s string) (Mix, error) {
 			return nil, fmt.Errorf("mix entry %q: weight must be a positive number", part)
 		}
 		switch Kind(kind) {
-		case KindSearch, KindActivities, KindFacets, KindSite:
+		case KindSearch, KindTypo, KindActivities, KindFacets, KindSite:
 		default:
-			return nil, fmt.Errorf("mix entry %q: unknown kind (want search, activities, facets, site)", part)
+			return nil, fmt.Errorf("mix entry %q: unknown kind (want search, typo, activities, facets, site)", part)
 		}
 		mix = append(mix, MixEntry{Kind: Kind(kind), Weight: w})
 	}
@@ -92,10 +93,12 @@ func (m Mix) String() string {
 }
 
 // DefaultMix is a cache-friendly read-heavy blend resembling the site's
-// real traffic shape.
+// real traffic shape, including the slice of misspelled queries real
+// users type (served by the fuzzy search path).
 func DefaultMix() Mix {
 	return Mix{
-		{KindSearch, 50},
+		{KindSearch, 45},
+		{KindTypo, 5},
 		{KindActivities, 20},
 		{KindFacets, 10},
 		{KindSite, 20},
@@ -180,6 +183,17 @@ func defaultQueries() []string {
 		"pipeline", "race condition", "barrier", "broadcast", "speedup",
 		"scalability", "load balancing", "mapreduce", "mutual exclusion",
 		"odd-even", "quantum entanglement", "zebra",
+	}
+}
+
+// typoQueries is the KindTypo pool: misspellings of corpus vocabulary
+// (each one edit away from a real term, so the fuzzy expander has work
+// to do), plus a few hopeless strings that stay misses even fuzzily.
+func typoQueries() []string {
+	return []string{
+		"paralel", "sortng", "deadlok", "mesage passing", "pipelin",
+		"barier", "brodcast", "spedup", "scalabilty", "mutal exclusion",
+		"od-even", "bizantine", "qqqqq", "zzzzebra",
 	}
 }
 
@@ -380,6 +394,9 @@ func pathFor(kind Kind, rng *rand.Rand, opts *Options) string {
 	case KindSearch:
 		q := opts.Queries[rng.Intn(len(opts.Queries))]
 		return "/api/v1/search?q=" + url.QueryEscape(q)
+	case KindTypo:
+		pool := typoQueries()
+		return "/api/v1/search?fuzzy=1&q=" + url.QueryEscape(pool[rng.Intn(len(pool))])
 	case KindActivities:
 		if rng.Intn(3) == 0 {
 			return "/api/v1/activities"

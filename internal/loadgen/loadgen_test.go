@@ -13,14 +13,14 @@ import (
 )
 
 func TestParseMix(t *testing.T) {
-	m, err := ParseMix("search=60, activities=25,facets=10,site=5")
+	m, err := ParseMix("search=55, typo=5,activities=25,facets=10,site=5")
 	if err != nil {
 		t.Fatalf("ParseMix: %v", err)
 	}
-	if len(m) != 4 || m[0].Kind != KindSearch || m[0].Weight != 60 {
+	if len(m) != 5 || m[0].Kind != KindSearch || m[0].Weight != 55 || m[1].Kind != KindTypo {
 		t.Fatalf("unexpected mix: %+v", m)
 	}
-	if got := m.String(); got != "search=60,activities=25,facets=10,site=5" {
+	if got := m.String(); got != "search=55,typo=5,activities=25,facets=10,site=5" {
 		t.Fatalf("String() = %q", got)
 	}
 	for _, bad := range []string{"", "search", "search=0", "search=-1", "search=x", "bogus=10"} {
@@ -72,7 +72,7 @@ func TestRunHealthyServer(t *testing.T) {
 	if rep.Errors != 0 || rep.Shed != 0 {
 		t.Fatalf("healthy server produced errors=%d shed=%d", rep.Errors, rep.Shed)
 	}
-	for _, kind := range []string{"search", "activities", "facets", "site"} {
+	for _, kind := range []string{"search", "typo", "activities", "facets", "site"} {
 		es, ok := rep.Endpoints[kind]
 		if !ok || es.Requests == 0 {
 			t.Errorf("traffic class %s never exercised: %+v", kind, rep.Endpoints)

@@ -129,6 +129,7 @@ type dashData struct {
 	Query     []redRow
 	SLO       []sloRow
 	Engine    []statRow
+	Search    []statRow
 	Caches    []cacheRow
 	Workers   []gaugeRow
 	Runtime   []statRow
@@ -165,6 +166,7 @@ func (h *handler) dashboard(w http.ResponseWriter, r *http.Request) {
 	}
 	if reg := h.cfg.Registry; reg != nil {
 		d.Engine = engineRows(reg)
+		d.Search = searchIndexRows(reg)
 		d.Caches = cacheRows(reg)
 		d.Runtime = runtimeRows(reg)
 	}
@@ -369,6 +371,26 @@ func engineRows(reg *obs.Registry) []statRow {
 	}
 }
 
+// searchIndexRows summarizes the live search index from the
+// pdcu_search_index_* gauges Build refreshes on every generation:
+// corpus and vocabulary size, postings volume, and what the inverted
+// file plus the facet bitsets cost in memory and build time.
+func searchIndexRows(reg *obs.Registry) []statRow {
+	get := func(name string) float64 {
+		if s := reg.Snapshot(name); len(s) == 1 {
+			return s[0].Value
+		}
+		return 0
+	}
+	return []statRow{
+		{"docs", fmtNum(get("pdcu_search_index_docs"))},
+		{"vocabulary", fmtNum(get("pdcu_search_index_vocabulary"))},
+		{"postings", fmtBytes(get("pdcu_search_index_postings_bytes"))},
+		{"facet bitsets", fmtBytes(get("pdcu_search_index_bitset_bytes"))},
+		{"build", fmtSeconds(get("pdcu_search_index_build_seconds"))},
+	}
+}
+
 func runtimeRows(reg *obs.Registry) []statRow {
 	get := func(name string) float64 {
 		if s := reg.Snapshot(name); len(s) == 1 {
@@ -506,6 +528,10 @@ svg.spark{vertical-align:middle}polyline{fill:none;stroke:#6cb6ff;stroke-width:1
 <h2>Engine</h2>
 <table><tr>{{range .Engine}}<th>{{.Name}}</th>{{end}}</tr>
 <tr>{{range .Engine}}<td class="num">{{.Value}}</td>{{end}}</tr></table>
+
+<h2>Search index</h2>
+<table><tr>{{range .Search}}<th>{{.Name}}</th>{{end}}</tr>
+<tr>{{range .Search}}<td class="num">{{.Value}}</td>{{end}}</tr></table>
 
 <h2>Caches</h2>
 <table><tr><th>layer</th><th>hits</th><th>misses</th><th>other</th><th>hit ratio</th></tr>

@@ -52,6 +52,40 @@ var (
 		"Snapshot swaps published to the query service (each purges the result cache).")
 )
 
+// endpointMetrics pre-binds the per-endpoint metric children the serving
+// hot path touches on every request. Resolving a child through With()
+// joins label values into a map key per call; the three endpoints are
+// fixed, so the children are resolved once at package init and the hot
+// path is left with plain atomic updates. Error-path statuses (400, 429,
+// ...) stay on the dynamic With lookup — they are rare by construction.
+type endpointMetrics struct {
+	duration  *obs.HistogramChild
+	ok        *obs.CounterChild // 200
+	notMod    *obs.CounterChild // 304
+	hit       *obs.CounterChild
+	miss      *obs.CounterChild
+	coalesced *obs.CounterChild
+	shed      *obs.CounterChild
+}
+
+func newEndpointMetrics(name string) *endpointMetrics {
+	return &endpointMetrics{
+		duration:  queryDuration.With(name),
+		ok:        queryRequests.With(name, "200"),
+		notMod:    queryRequests.With(name, "304"),
+		hit:       queryCache.With(name, "hit"),
+		miss:      queryCache.With(name, "miss"),
+		coalesced: queryCache.With(name, "coalesced"),
+		shed:      queryShed.With(name),
+	}
+}
+
+var endpointMetricsFor = map[string]*endpointMetrics{
+	"search":     newEndpointMetrics("search"),
+	"activities": newEndpointMetrics("activities"),
+	"facets":     newEndpointMetrics("facets"),
+}
+
 // genLen truncates repository fingerprints for response bodies: 16 hex
 // characters (64 bits) are plenty to distinguish site generations while
 // keeping payloads readable.
@@ -115,6 +149,7 @@ type Service struct {
 	cache   *resultCache
 	flight  *flightGroup
 	limiter *tokenBucket
+	router  *apiRouter
 
 	// renderHook, when non-nil, runs inside the singleflight leader just
 	// before rendering — a test seam for pinning coalescing behaviour.
@@ -159,6 +194,11 @@ func newService(opts Options) *Service {
 	if opts.RateLimit > 0 {
 		s.limiter = newTokenBucket(opts.RateLimit, opts.Burst)
 	}
+	s.router = &apiRouter{
+		search:     s.handle("search", parseSearch),
+		activities: s.handle("activities", parseActivities),
+		facets:     s.handle("facets", parseFacets),
+	}
 	return s
 }
 
@@ -185,15 +225,30 @@ func (s *Service) Snapshot() *Snapshot { return s.source() }
 
 // Handler returns the /api/v1/ endpoint tree. Mount it at the server
 // root; all routes live under /api/v1/.
-func (s *Service) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/api/v1/search", s.handle("search", parseSearch))
-	mux.HandleFunc("/api/v1/activities", s.handle("activities", parseActivities))
-	mux.HandleFunc("/api/v1/facets", s.handle("facets", parseFacets))
-	mux.HandleFunc("/api/v1/", func(w http.ResponseWriter, r *http.Request) {
+func (s *Service) Handler() http.Handler { return s.router }
+
+// apiRouter routes the three fixed /api/v1/ endpoints with a single
+// string switch. The route table never changes after construction, so
+// the general ServeMux machinery (pattern registry, per-request match
+// walk, its ~40 allocations of construction per Handler build) buys
+// nothing here; the router is built once in newService and shared.
+type apiRouter struct {
+	search     http.HandlerFunc
+	activities http.HandlerFunc
+	facets     http.HandlerFunc
+}
+
+func (rt *apiRouter) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/api/v1/search":
+		rt.search(w, r)
+	case "/api/v1/activities":
+		rt.activities(w, r)
+	case "/api/v1/facets":
+		rt.facets(w, r)
+	default:
 		writeError(w, "other", http.StatusNotFound, "unknown endpoint; try /api/v1/search, /api/v1/activities, /api/v1/facets")
-	})
-	return mux
+	}
 }
 
 // renderFn renders an endpoint's response value against one snapshot.
@@ -210,12 +265,13 @@ type parseFn func(s *Service, v url.Values) (key string, render renderFn, err er
 // the request context), and the endpoint latency is recorded with an
 // exemplar linking its histogram bucket back to the trace.
 func (s *Service) handle(name string, parse parseFn) http.HandlerFunc {
+	em := endpointMetricsFor[name]
 	return func(w http.ResponseWriter, r *http.Request) {
 		ctx := r.Context()
 		start := time.Now()
 		defer func() {
 			sec := time.Since(start).Seconds()
-			queryDuration.With(name).Observe(sec)
+			em.duration.Observe(sec)
 			trace.ObserveExemplar(ctx, "pdcu_query_duration_seconds", name, obs.QueryBuckets(), sec)
 		}()
 		if r.Method != http.MethodGet && r.Method != http.MethodHead {
@@ -228,7 +284,7 @@ func (s *Service) handle(name string, parse parseFn) http.HandlerFunc {
 		if !ok {
 			rlSpan.Fail("shed")
 			rlSpan.End()
-			queryShed.With(name).Inc()
+			em.shed.Inc()
 			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retry.Seconds()))))
 			writeError(w, name, http.StatusTooManyRequests, "rate limit exceeded")
 			return
@@ -255,7 +311,7 @@ func (s *Service) handle(name string, parse parseFn) http.HandlerFunc {
 		}
 		cSpan.End()
 		if hit {
-			queryCache.With(name, "hit").Inc()
+			em.hit.Inc()
 		} else {
 			coCtx, coSpan := trace.StartSpan(ctx, "query.coalesce")
 			var coalesced bool
@@ -275,12 +331,12 @@ func (s *Service) handle(name string, parse parseFn) http.HandlerFunc {
 			coSpan.SetAttr("coalesced", strconv.FormatBool(coalesced))
 			coSpan.End()
 			if coalesced {
-				queryCache.With(name, "coalesced").Inc()
+				em.coalesced.Inc()
 			} else {
-				queryCache.With(name, "miss").Inc()
+				em.miss.Inc()
 			}
 		}
-		writeEntry(w, r, name, entry)
+		writeEntry(w, r, em, entry)
 	}
 }
 
@@ -304,13 +360,13 @@ func encodeEntry(v any) *cacheEntry {
 
 // writeEntry serves a cached entry with ETag revalidation and gzip
 // negotiation. HEAD responses carry identical headers without a body.
-func writeEntry(w http.ResponseWriter, r *http.Request, name string, e *cacheEntry) {
+func writeEntry(w http.ResponseWriter, r *http.Request, em *endpointMetrics, e *cacheEntry) {
 	h := w.Header()
 	h.Set("Content-Type", "application/json")
 	h.Set("ETag", e.etag)
 	h.Set("Vary", "Accept-Encoding")
 	if etagMatch(r.Header.Get("If-None-Match"), e.etag) {
-		queryRequests.With(name, "304").Inc()
+		em.notMod.Inc()
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
@@ -320,12 +376,12 @@ func writeEntry(w http.ResponseWriter, r *http.Request, name string, e *cacheEnt
 		body = e.gz
 	}
 	h.Set("Content-Length", strconv.Itoa(len(body)))
-	queryRequests.With(name, "200").Inc()
+	em.ok.Inc()
 	if r.Method == http.MethodHead {
 		return
 	}
 	if _, err := w.Write(body); err != nil {
-		obs.Logger().Warn("query response write failed", "endpoint", name, "err", err)
+		obs.Logger().Warn("query response write failed", "err", err)
 	}
 }
 
@@ -368,12 +424,15 @@ type SearchResult struct {
 
 // SearchResponse is the /api/v1/search body. Query echoes the normalized
 // form (lowercased, tokenized, stop words dropped) that was actually
-// ranked — the cache key, not the raw spelling.
+// ranked — the cache key, not the raw spelling. Fuzzy is present (true)
+// only when fuzzy matching was requested AND an edit-distance-1
+// expansion actually contributed to the ranking.
 type SearchResponse struct {
 	Query      string         `json:"query"`
 	Limit      int            `json:"limit"`
 	Generation string         `json:"generation"`
 	Count      int            `json:"count"`
+	Fuzzy      bool           `json:"fuzzy,omitempty"`
 	Results    []SearchResult `json:"results"`
 }
 
@@ -381,8 +440,28 @@ type SearchResponse struct {
 // when limit <= 0). It is the single implementation behind both the
 // /api/v1/search endpoint and `pdcu search`.
 func Search(snap *Snapshot, q string, limit int) *SearchResponse {
-	qn := NormalizeQuery(q)
-	hits := snap.Index.Search(qn, limit)
+	return SearchWith(snap, q, limit, false)
+}
+
+// SearchWith is Search with optional typo correction: when fuzzy is set,
+// query tokens missing from the index vocabulary are expanded to their
+// edit-distance-1 neighbors at half weight (search.SearchFuzzy).
+func SearchWith(snap *Snapshot, q string, limit int, fuzzy bool) *SearchResponse {
+	toks := search.Tokenize(q)
+	return searchTokens(snap, strings.Join(toks, " "), toks, limit, fuzzy)
+}
+
+// searchTokens renders a search response from an already-tokenized
+// query; the endpoint parser tokenizes once for its cache key and the
+// render path reuses the same tokens.
+func searchTokens(snap *Snapshot, qn string, toks []string, limit int, fuzzy bool) *SearchResponse {
+	var hits []search.Hit
+	var fuzzed bool
+	if fuzzy {
+		hits, fuzzed = snap.Index.SearchTokensFuzzy(toks, limit)
+	} else {
+		hits = snap.Index.SearchTokens(toks, limit)
+	}
 	results := make([]SearchResult, 0, len(hits))
 	for _, h := range hits {
 		title := ""
@@ -401,6 +480,7 @@ func Search(snap *Snapshot, q string, limit int) *SearchResponse {
 		Limit:      limit,
 		Generation: snap.Generation,
 		Count:      len(results),
+		Fuzzy:      fuzzed,
 		Results:    results,
 	}
 }
@@ -430,9 +510,23 @@ func parseSearch(s *Service, v url.Values) (string, renderFn, error) {
 	if limit > s.opts.MaxLimit {
 		limit = s.opts.MaxLimit
 	}
-	qn := NormalizeQuery(q)
-	key := fmt.Sprintf("q=%s&limit=%d", qn, limit)
-	return key, func(snap *Snapshot) any { return Search(snap, qn, limit) }, nil
+	fuzzy := false
+	if raw := v.Get("fuzzy"); raw != "" {
+		b, err := strconv.ParseBool(raw)
+		if err != nil {
+			return "", nil, fmt.Errorf("bad fuzzy %q: want a boolean", raw)
+		}
+		fuzzy = b
+	}
+	// Tokenize exactly once: the token stream is both the cache key's
+	// normalized query and the ranked query the renderer reuses.
+	toks := search.Tokenize(q)
+	qn := strings.Join(toks, " ")
+	key := "q=" + qn + "&limit=" + strconv.Itoa(limit)
+	if fuzzy {
+		key += "&fuzzy=1"
+	}
+	return key, func(snap *Snapshot) any { return searchTokens(snap, qn, toks, limit, fuzzy) }, nil
 }
 
 // ---- /api/v1/activities ----
@@ -488,32 +582,47 @@ func parseActivities(_ *Service, v url.Values) (string, renderFn, error) {
 		}
 	}
 	key := strings.Join(keyParts, "&")
-	return key, func(snap *Snapshot) any { return listActivities(snap, filters) }, nil
+	return key, func(snap *Snapshot) any { return Activities(snap, filters) }, nil
 }
 
-// listActivities intersects the taxonomy postings of every requested
-// facet, then summarizes the surviving activities in slug order.
-func listActivities(snap *Snapshot, filters map[string]string) *ActivitiesResponse {
-	slugs := snap.Repo.Slugs()
+// Activities ANDs the precomputed facet bitsets of every requested
+// facet, then summarizes the surviving activities in slug order (doc-ID
+// order IS slug order in the search index, so no sort happens). It is
+// the single implementation behind /api/v1/activities (and the
+// filtered-path benchmarks that gate it).
+func Activities(snap *Snapshot, filters map[string]string) *ActivitiesResponse {
+	ix := snap.Index
+	docs := ix.AllDocs() // shared index state; cloned before the first AND
+	cloned := false
 	for _, fp := range facetParams {
 		term, ok := filters[fp.param]
 		if !ok {
 			continue
 		}
-		slugs = intersectSorted(slugs, snap.Repo.Index().EntriesFor(fp.taxonomy, term))
+		bs, ok := ix.FacetBitset(fp.taxonomy, term)
+		if !ok {
+			docs = nil // unknown term: nothing matches
+			break
+		}
+		if !cloned {
+			docs = docs.Clone()
+			cloned = true
+		}
+		docs.And(bs)
 	}
+	count := docs.Count()
 	resp := &ActivitiesResponse{
 		Generation: snap.Generation,
-		Count:      len(slugs),
-		Activities: make([]ActivitySummary, 0, len(slugs)),
+		Count:      count,
+		Activities: make([]ActivitySummary, 0, count),
 	}
 	if len(filters) > 0 {
 		resp.Filters = filters
 	}
-	for _, slug := range slugs {
-		a, ok := snap.Repo.Get(slug)
+	docs.ForEach(func(id uint32) {
+		a, ok := snap.Repo.Get(ix.SlugOf(id))
 		if !ok {
-			continue
+			return
 		}
 		resp.Activities = append(resp.Activities, ActivitySummary{
 			Slug: a.Slug, Title: a.Title, Author: a.Author,
@@ -522,26 +631,8 @@ func listActivities(snap *Snapshot, filters map[string]string) *ActivitiesRespon
 			HasAssessment: a.HasAssessment(),
 			URL:           "/activities/" + a.Slug + "/",
 		})
-	}
+	})
 	return resp
-}
-
-func intersectSorted(a, b []string) []string {
-	out := a[:0:0]
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	return out
 }
 
 // ---- /api/v1/facets ----
@@ -563,20 +654,24 @@ func parseFacets(_ *Service, v url.Values) (string, renderFn, error) {
 		sort.Strings(params)
 		return "", nil, fmt.Errorf("facets takes no parameters, got %s", strings.Join(params, ", "))
 	}
-	return "", func(snap *Snapshot) any { return listFacets(snap) }, nil
+	return "", func(snap *Snapshot) any { return Facets(snap) }, nil
 }
 
-func listFacets(snap *Snapshot) *FacetsResponse {
-	ix := snap.Repo.Index()
+// Facets counts every in-use term per facet against one snapshot; the
+// single implementation behind /api/v1/facets. Counts are popcounts of
+// the search index's precomputed facet bitsets.
+func Facets(snap *Snapshot) *FacetsResponse {
+	ix := snap.Index
 	resp := &FacetsResponse{
 		Generation: snap.Generation,
 		Activities: snap.Repo.Len(),
 		Facets:     make(map[string]map[string]int, len(facetParams)),
 	}
 	for _, fp := range facetParams {
-		counts := map[string]int{}
-		for _, term := range ix.Terms(fp.taxonomy) {
-			counts[term] = ix.Count(fp.taxonomy, term)
+		terms := ix.FacetTerms(fp.taxonomy)
+		counts := make(map[string]int, len(terms))
+		for _, term := range terms {
+			counts[term] = ix.FacetCount(fp.taxonomy, term)
 		}
 		resp.Facets[fp.param] = counts
 	}

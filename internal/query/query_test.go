@@ -89,6 +89,41 @@ func TestSearchEndpoint(t *testing.T) {
 	}
 }
 
+// TestSearchFuzzyParam covers the ?fuzzy=1 path end to end: a
+// misspelled query finds its corrected hits, the response only claims
+// fuzziness when an expansion fired, and the fuzzy and exact variants
+// cache under distinct keys.
+func TestSearchFuzzyParam(t *testing.T) {
+	s := testService(t, Options{})
+	h := s.Handler()
+
+	// Without fuzzy the typo is a miss…
+	rec := get(t, h, "/api/v1/search?q=byzantin", nil)
+	if sr := decode[SearchResponse](t, rec); sr.Count != 0 || sr.Fuzzy {
+		t.Fatalf("exact typo query: %+v", sr)
+	}
+	// …with fuzzy it corrects to the real term.
+	rec = get(t, h, "/api/v1/search?q=byzantin&fuzzy=1", nil)
+	sr := decode[SearchResponse](t, rec)
+	if sr.Count == 0 || sr.Results[0].Slug != "byzantine-generals" {
+		t.Fatalf("fuzzy typo query: %+v", sr)
+	}
+	if !sr.Fuzzy {
+		t.Errorf("response does not flag the expansion: %+v", sr)
+	}
+
+	// A query of vocabulary terms stays exact even with fuzzy=1: no
+	// expansion fired, so the flag stays off.
+	rec = get(t, h, "/api/v1/search?q=byzantine&fuzzy=true", nil)
+	if sr := decode[SearchResponse](t, rec); sr.Count == 0 || sr.Fuzzy {
+		t.Errorf("fuzzy exact query: %+v", sr)
+	}
+
+	if rec := get(t, h, "/api/v1/search?q=x&fuzzy=maybe", nil); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad fuzzy value = %d, want 400 (%s)", rec.Code, rec.Body)
+	}
+}
+
 // TestSearchCompoundQuery pins the satellite tokenizer fix end to end:
 // the exact hyphenated compound ranks the transposition-sort activity
 // first, because its title indexes the joined form.

@@ -1,0 +1,221 @@
+package search
+
+// Benchmark-trajectory persistence and the regression gate behind
+// `make bench-index`.
+//
+// A trajectory (BENCH_search.json) is an append-only series of
+// build-stamped benchmark records, one per intentional performance
+// change: re-recording appends instead of overwriting, so the committed
+// file IS the per-PR performance history the roadmap asks for — the
+// search/2 numbers stay in the file next to the search/3 numbers that
+// replaced them. The gate re-runs the same benchmarks and compares
+// against the newest record with noise-tolerant thresholds (relative
+// factor OR absolute floor, whichever is more permissive), mirroring
+// internal/loadgen/baseline.go: a baseline recorded on a fast machine
+// still passes on a slower CI runner, while a leaked allocation per
+// query or a 3x latency regression trips it deterministically.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// TrajectorySchema versions the BENCH_search.json layout; the gate
+// refuses to compare across schema versions rather than misread fields.
+const TrajectorySchema = 1
+
+// BenchStamp records which binary produced a record (the loadgen
+// BuildStamp shape, duplicated here so search does not import engine).
+type BenchStamp struct {
+	GoVersion string `json:"go_version,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+}
+
+// BenchResult is one benchmark's measured cost.
+type BenchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// TrajectoryRecord is one recorded point of the performance history.
+type TrajectoryRecord struct {
+	// Engine is the search.EngineVersion the record was measured under.
+	Engine string     `json:"engine"`
+	Note   string     `json:"note,omitempty"`
+	Build  BenchStamp `json:"build"`
+	// Benchmarks maps benchmark name -> measured cost.
+	Benchmarks map[string]BenchResult `json:"benchmarks"`
+}
+
+// Trajectory is the whole committed history.
+type Trajectory struct {
+	Schema  int                `json:"schema"`
+	Records []TrajectoryRecord `json:"records"`
+}
+
+// Latest returns the newest record (nil when the trajectory is empty).
+func (t *Trajectory) Latest() *TrajectoryRecord {
+	if t == nil || len(t.Records) == 0 {
+		return nil
+	}
+	return &t.Records[len(t.Records)-1]
+}
+
+// Find returns the first record measured under the given engine version.
+func (t *Trajectory) Find(engine string) *TrajectoryRecord {
+	for i := range t.Records {
+		if t.Records[i].Engine == engine {
+			return &t.Records[i]
+		}
+	}
+	return nil
+}
+
+// LoadTrajectory reads a committed BENCH_search.json.
+func LoadTrajectory(path string) (*Trajectory, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t Trajectory
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("trajectory %s: %w", path, err)
+	}
+	if t.Schema != TrajectorySchema {
+		return nil, fmt.Errorf("trajectory %s: schema %d, this binary speaks %d — re-record",
+			path, t.Schema, TrajectorySchema)
+	}
+	return &t, nil
+}
+
+// WriteTrajectory persists the history (indented, trailing newline, the
+// committed-artifact conventions of WriteBaseline).
+func WriteTrajectory(path string, t *Trajectory) error {
+	t.Schema = TrajectorySchema
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// AppendRecord loads the trajectory at path (an absent file starts a new
+// one), appends rec, and writes it back. When the newest record already
+// carries the same engine version it is replaced instead of appended —
+// re-recording within one PR refines the point rather than duplicating
+// it, while a version bump always extends the history.
+func AppendRecord(path string, rec TrajectoryRecord) (*Trajectory, error) {
+	t, err := LoadTrajectory(path)
+	if os.IsNotExist(err) {
+		t = &Trajectory{Schema: TrajectorySchema}
+	} else if err != nil {
+		return nil, err
+	}
+	if last := t.Latest(); last != nil && last.Engine == rec.Engine {
+		t.Records[len(t.Records)-1] = rec
+	} else {
+		t.Records = append(t.Records, rec)
+	}
+	return t, WriteTrajectory(path, t)
+}
+
+// GateOpts are the noise-tolerance thresholds for comparing a fresh run
+// against the committed record. The zero value selects defaults tuned so
+// back-to-back runs on one machine and cross-machine CI runs both pass,
+// while a real regression (3x slower, a third more allocations) fails.
+type GateOpts struct {
+	// NsFactor: ns/op may grow to baseline*factor before failing
+	// (default 3 — absorbs CPU-class differences between machines).
+	NsFactor float64
+	// NsFloor: ns/op below this never fails regardless of factor
+	// (default 20000 — scheduler noise dominates sub-20µs benchmarks).
+	NsFloor float64
+	// AllocsFactor / AllocsFloor bound allocs/op growth (defaults 1.3
+	// and 24): allocation counts are near-deterministic, so the band is
+	// much tighter than the latency one.
+	AllocsFactor float64
+	AllocsFloor  float64
+	// BytesFactor / BytesFloor bound bytes/op growth (defaults 1.5 and
+	// 4096).
+	BytesFactor float64
+	BytesFloor  float64
+}
+
+func (o *GateOpts) defaults() {
+	if o.NsFactor <= 0 {
+		o.NsFactor = 3
+	}
+	if o.NsFloor <= 0 {
+		o.NsFloor = 20000
+	}
+	if o.AllocsFactor <= 0 {
+		o.AllocsFactor = 1.3
+	}
+	if o.AllocsFloor <= 0 {
+		o.AllocsFloor = 24
+	}
+	if o.BytesFactor <= 0 {
+		o.BytesFactor = 1.5
+	}
+	if o.BytesFloor <= 0 {
+		o.BytesFloor = 4096
+	}
+}
+
+// BenchViolation is one failed gate rule. Metric names exactly what
+// regressed ("SearchCold:allocs_per_op") so a red CI run states its
+// reason without re-reading the numbers.
+type BenchViolation struct {
+	Metric   string  `json:"metric"`
+	Detail   string  `json:"detail"`
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	Limit    float64 `json:"limit"`
+}
+
+func (v BenchViolation) String() string {
+	return fmt.Sprintf("BENCH-GATE %-28s %s (baseline %.1f, current %.1f, limit %.1f)",
+		v.Metric, v.Detail, v.Baseline, v.Current, v.Limit)
+}
+
+// GateTrajectory compares freshly-measured benchmark results against a
+// committed record and returns every violated metric (empty = pass).
+// Benchmarks present on only one side are skipped: a new benchmark has
+// nothing to regress against, and a retired one nothing to compare.
+func GateTrajectory(base *TrajectoryRecord, cur map[string]BenchResult, opts GateOpts) []BenchViolation {
+	opts.defaults()
+	var out []BenchViolation
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rule := func(name, metric string, baseV, curV, factor, floor float64) {
+		limit := baseV * factor
+		if limit < floor {
+			limit = floor
+		}
+		if curV > limit {
+			out = append(out, BenchViolation{
+				Metric:   name + ":" + metric,
+				Detail:   fmt.Sprintf("%s %.1f exceeds %.1f", metric, curV, limit),
+				Baseline: baseV, Current: curV, Limit: limit,
+			})
+		}
+	}
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur[name]
+		if !ok {
+			continue
+		}
+		rule(name, "ns_per_op", b.NsPerOp, c.NsPerOp, opts.NsFactor, opts.NsFloor)
+		rule(name, "allocs_per_op", b.AllocsPerOp, c.AllocsPerOp, opts.AllocsFactor, opts.AllocsFloor)
+		rule(name, "bytes_per_op", b.BytesPerOp, c.BytesPerOp, opts.BytesFactor, opts.BytesFloor)
+	}
+	return out
+}

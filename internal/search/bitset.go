@@ -1,0 +1,76 @@
+package search
+
+import "math/bits"
+
+// Bitset is a dense doc-ID set: one bit per document, 64 documents per
+// word. It is the filter currency of the index — every taxonomy term
+// precomputes one at build time, so a faceted listing is a handful of
+// AND instructions and a facet count is a popcount, regardless of how
+// many documents carry the term. The idiom comes from
+// internal/coverage's crosstab machinery, promoted here to a first-class
+// index structure.
+type Bitset []uint64
+
+// NewBitset returns an empty set sized for n documents.
+func NewBitset(n int) Bitset {
+	return make(Bitset, (n+63)/64)
+}
+
+// Set marks doc id as present.
+func (b Bitset) Set(id uint32) { b[id>>6] |= 1 << (id & 63) }
+
+// Has reports whether doc id is present.
+func (b Bitset) Has(id uint32) bool { return b[id>>6]&(1<<(id&63)) != 0 }
+
+// And intersects other into b in place. The sets must be sized for the
+// same document space (the index builds every one from the same corpus).
+func (b Bitset) And(other Bitset) {
+	for i := range b {
+		b[i] &= other[i]
+	}
+}
+
+// Clone returns an independent copy; the per-query working set the
+// read path ANDs facet bitsets into without mutating the index.
+func (b Bitset) Clone() Bitset {
+	out := make(Bitset, len(b))
+	copy(out, b)
+	return out
+}
+
+// Count returns the number of present documents (a popcount per word).
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// ForEach calls fn for every present doc id in ascending order. Doc IDs
+// are assigned in slug order, so iteration yields documents in the
+// repository's canonical ordering with no sort.
+func (b Bitset) ForEach(fn func(id uint32)) {
+	for i, w := range b {
+		base := uint32(i) << 6
+		for w != 0 {
+			fn(base + uint32(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+}
+
+// Bytes returns the memory footprint of the set's words.
+func (b Bitset) Bytes() int { return len(b) * 8 }
+
+// fillBitset returns a set with the first n bits set (every document).
+func fillBitset(n int) Bitset {
+	b := NewBitset(n)
+	for i := range b {
+		b[i] = ^uint64(0)
+	}
+	if rem := n & 63; rem != 0 && len(b) > 0 {
+		b[len(b)-1] = (1 << rem) - 1
+	}
+	return b
+}

@@ -1,0 +1,135 @@
+package search
+
+import (
+	"sort"
+	"strings"
+	"unicode/utf8"
+)
+
+// dict is the interned term dictionary: every distinct token of the
+// corpus, sorted, addressed by dense term ID (its index). String keys
+// are resolved to IDs once per query token; everything after that —
+// postings offsets, document frequencies — is array indexing. The
+// sorted order is load-bearing: prefix lookups (Suggest) are a
+// binary-search range instead of a full-vocabulary scan, and the
+// edit-distance matcher prunes whole runs by first byte.
+type dict struct {
+	terms []string
+}
+
+// buildDict interns the given term set, sorted.
+func buildDict(set map[string]struct{}) dict {
+	terms := make([]string, 0, len(set))
+	for t := range set {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	return dict{terms: terms}
+}
+
+// len_ returns the vocabulary size.
+func (d dict) len_() int { return len(d.terms) }
+
+// lookup returns the term's ID via binary search.
+func (d dict) lookup(term string) (int, bool) {
+	i := sort.SearchStrings(d.terms, term)
+	if i < len(d.terms) && d.terms[i] == term {
+		return i, true
+	}
+	return 0, false
+}
+
+// prefixRange returns the half-open term-ID range [lo, hi) of terms
+// starting with prefix. Both bounds are binary searches: terms sharing
+// a prefix are contiguous in sorted order, so the run's end is the
+// first index where the prefix no longer matches.
+func (d dict) prefixRange(prefix string) (lo, hi int) {
+	lo = sort.SearchStrings(d.terms, prefix)
+	hi = lo + sort.Search(len(d.terms)-lo, func(i int) bool {
+		return !strings.HasPrefix(d.terms[lo+i], prefix)
+	})
+	return lo, hi
+}
+
+// withinOne appends to dst the IDs of dictionary terms at edit distance
+// exactly 1 from term (distance 0 is an exact hit the caller already
+// handled), returning dst sorted by term ID. The sorted dictionary does
+// the pruning: candidates sharing term's first byte are one contiguous
+// prefixRange run and get the full rune-wise distance check; for every
+// other candidate the first runes differ, which forces the single edit
+// to rune position 0, so matching reduces to exact byte-suffix
+// comparisons (plus one binary-search probe for the first-rune
+// deletion) instead of a distance computation per term.
+func (d dict) withinOne(term string, dst []int) []int {
+	if term == "" {
+		return dst
+	}
+	base := len(dst)
+	lo, hi := d.prefixRange(term[:1])
+	for i := lo; i < hi; i++ {
+		if cand := d.terms[i]; cand != term && lenWithinOne(cand, term) && editDistanceOne(cand, term) {
+			dst = append(dst, i)
+		}
+	}
+	_, s := utf8.DecodeRuneInString(term) // first-rune byte width
+	// First rune deleted: one targeted probe.
+	if tail := term[s:]; tail != "" {
+		if id, ok := d.lookup(tail); ok && (id < lo || id >= hi) {
+			dst = append(dst, id)
+		}
+	}
+	// First rune substituted or a rune inserted in front: scan the terms
+	// outside the run with exact suffix equality. Each check is a length
+	// filter plus one byte comparison of the tails.
+	check := func(i int) {
+		cand := d.terms[i]
+		_, k := utf8.DecodeRuneInString(cand)
+		if cand[k:] == term || cand[k:] == term[s:] {
+			dst = append(dst, i)
+		}
+	}
+	for i := 0; i < lo; i++ {
+		check(i)
+	}
+	for i := hi; i < len(d.terms); i++ {
+		check(i)
+	}
+	sort.Ints(dst[base:])
+	return dst
+}
+
+// lenWithinOne is the cheap pre-filter for a possible distance-1 pair:
+// a single rune edit changes byte length by at most utf8.UTFMax (an
+// insertion or deletion of a 4-byte rune). Byte lengths are what the
+// dictionary has for free; the rune-wise check decides for real.
+func lenWithinOne(a, b string) bool {
+	d := len(a) - len(b)
+	return d >= -utf8.UTFMax && d <= utf8.UTFMax
+}
+
+// editDistanceOne reports whether a and b are at Levenshtein distance
+// exactly 1, by rune. One pass: advance both while runes match; the
+// first divergence decides the edit, and the tails past it must be
+// byte-identical for one of substitution, insertion, or deletion.
+func editDistanceOne(a, b string) bool {
+	if a == b {
+		return false
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		ra, sa := utf8.DecodeRuneInString(a[i:])
+		rb, sb := utf8.DecodeRuneInString(b[j:])
+		if ra != rb {
+			return a[i+sa:] == b[j+sb:] || // substitute ra for rb
+				a[i:] == b[j+sb:] || // delete rb from b
+				a[i+sa:] == b[j:] // delete ra from a
+		}
+		i += sa
+		j += sb
+	}
+	// One string is a proper prefix of the other (a == b was rejected):
+	// distance 1 iff exactly one rune remains on the longer side.
+	rest := a[i:] + b[j:]
+	_, size := utf8.DecodeRuneInString(rest)
+	return size == len(rest)
+}

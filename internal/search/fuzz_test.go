@@ -1,0 +1,76 @@
+package search
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+
+	"pdcunplugged/internal/curation"
+)
+
+// FuzzTokenize drives the tokenizer with arbitrary byte soup. The
+// invariants: it never panics, every token is non-empty lowercase with
+// no internal whitespace, and it is idempotent — re-tokenizing its own
+// joined output yields the same token stream.
+func FuzzTokenize(f *testing.F) {
+	for _, seed := range []string{
+		"", "Sorting Networks", "parallel-prefix sum", "héllo wörld",
+		"a b\tc\nd", "the and of", "MPI_Send(buf, 42)", "\xff\xfe broken utf8",
+		"card-sort card—sort", "ＳＯＲＴ", strings.Repeat("x", 300),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		toks := Tokenize(s)
+		for _, tok := range toks {
+			if tok == "" {
+				t.Fatalf("Tokenize(%q) produced an empty token: %q", s, toks)
+			}
+			for _, r := range tok {
+				if unicode.IsUpper(r) || unicode.IsSpace(r) {
+					t.Fatalf("Tokenize(%q) produced token %q with upper/space rune", s, tok)
+				}
+			}
+		}
+		again := Tokenize(strings.Join(toks, " "))
+		if len(again) != len(toks) {
+			t.Fatalf("tokenizer not idempotent on %q: %q -> %q", s, toks, again)
+		}
+		for i := range toks {
+			if again[i] != toks[i] {
+				t.Fatalf("tokenizer not idempotent on %q: %q -> %q", s, toks, again)
+			}
+		}
+	})
+}
+
+// FuzzSearch throws arbitrary queries and limits at a real corpus
+// index: no panics across the exact, fuzzy, and suggest paths, results
+// respect the limit, and ranking order stays (score desc, slug asc).
+func FuzzSearch(f *testing.F) {
+	ix := Build(curation.Activities())
+	for _, seed := range []string{
+		"sorting", "paralell prefix", "the of and", "deadlok", "",
+		"card sort network", "héllo", "\xffbad", "a-b-c", "zzzz qqqq",
+	} {
+		f.Add(seed, 10)
+	}
+	f.Add("sorting cards", -3)
+	f.Add("sorting cards", 0)
+	f.Add("sorting cards", 1<<20)
+	f.Fuzz(func(t *testing.T, q string, limit int) {
+		fuzzyHits, _ := ix.SearchFuzzy(q, limit)
+		for _, hits := range [][]Hit{ix.Search(q, limit), fuzzyHits} {
+			if limit > 0 && len(hits) > limit {
+				t.Fatalf("Search(%q, %d) returned %d hits", q, limit, len(hits))
+			}
+			for i := 1; i < len(hits); i++ {
+				prev, cur := hits[i-1], hits[i]
+				if cur.Score > prev.Score || (cur.Score == prev.Score && cur.Slug < prev.Slug) {
+					t.Fatalf("Search(%q, %d) out of order at %d: %+v then %+v", q, limit, i, prev, cur)
+				}
+			}
+		}
+		ix.Suggest(q, limit)
+	})
+}

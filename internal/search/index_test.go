@@ -1,0 +1,199 @@
+package search
+
+// Tests for the search/3-only surfaces: fuzzy search, facet bitsets
+// (checked against the taxonomy package's inverted index as oracle),
+// and index stats.
+
+import (
+	"reflect"
+	"testing"
+
+	"pdcunplugged/internal/curation"
+	"pdcunplugged/internal/taxonomy"
+)
+
+func TestSearchFuzzyCorrectsTypos(t *testing.T) {
+	ix := corpusIndex(t)
+	exact := ix.Search("sorting cards", 5)
+	if len(exact) == 0 {
+		t.Fatal("exact query found nothing")
+	}
+	hits, fuzzed := ix.SearchFuzzy("sortng cards", 5)
+	if !fuzzed {
+		t.Fatal("typo query did not trigger fuzzy expansion")
+	}
+	if len(hits) == 0 {
+		t.Fatal("fuzzy query found nothing")
+	}
+	top := map[string]bool{}
+	for _, h := range hits {
+		top[h.Slug] = true
+	}
+	if !top[exact[0].Slug] {
+		t.Errorf("fuzzy top-5 %v missed the exact top hit %s", hits, exact[0].Slug)
+	}
+}
+
+func TestSearchFuzzyExactQueryUnchanged(t *testing.T) {
+	// When every token is in the vocabulary, fuzzy search is plain search:
+	// identical hits, fuzzed=false.
+	ix := corpusIndex(t)
+	for _, q := range []string{"sorting cards", "byzantine generals", "parallel"} {
+		want := ix.Search(q, 10)
+		got, fuzzed := ix.SearchFuzzy(q, 10)
+		if fuzzed {
+			t.Errorf("SearchFuzzy(%q) expanded an exact query", q)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("SearchFuzzy(%q) = %v, Search = %v", q, got, want)
+		}
+	}
+}
+
+func TestSearchFuzzyPenalty(t *testing.T) {
+	// A corrected typo scores exactly half of the exact token: with a
+	// single-token query the whole score scales by fuzzyPenalty.
+	ix := corpusIndex(t)
+	exact := ix.Search("byzantine", 0)
+	fuzzy, fuzzed := ix.SearchFuzzy("byzantin", 0)
+	if !fuzzed || len(fuzzy) == 0 {
+		t.Fatalf("fuzzed=%v hits=%d", fuzzed, len(fuzzy))
+	}
+	// Every doc reached only via the "byzantine" expansion scores at the
+	// penalty ratio.
+	exactScore := map[string]float64{}
+	for _, h := range exact {
+		exactScore[h.Slug] = h.Score
+	}
+	for _, h := range fuzzy {
+		want, ok := exactScore[h.Slug]
+		if !ok {
+			continue // reached via a different distance-1 neighbor
+		}
+		if h.Score > want*fuzzyPenalty+1e-12 || h.Score < want*fuzzyPenalty/2 {
+			t.Errorf("%s: fuzzy score %v, exact %v (penalty %v)", h.Slug, h.Score, want, fuzzyPenalty)
+		}
+	}
+}
+
+func TestSearchFuzzyMissStaysMiss(t *testing.T) {
+	ix := corpusIndex(t)
+	hits, fuzzed := ix.SearchFuzzy("zzzznonexistent", 0)
+	if fuzzed || len(hits) != 0 {
+		t.Errorf("nonsense query: fuzzed=%v hits=%+v", fuzzed, hits)
+	}
+}
+
+func TestFacetBitsetsMatchTaxonomyIndex(t *testing.T) {
+	acts := curation.Activities()
+	ix := Build(acts)
+	entries := make([]taxonomy.Entry, len(acts))
+	for i, a := range acts {
+		entries[i] = a
+	}
+	tax, err := taxonomy.Build(taxonomy.Standard(), entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, def := range taxonomy.Standard() {
+		wantTerms := tax.Terms(def.Name)
+		gotTerms := ix.FacetTerms(def.Name)
+		if !reflect.DeepEqual(gotTerms, wantTerms) {
+			t.Errorf("%s terms = %v, taxonomy index %v", def.Name, gotTerms, wantTerms)
+			continue
+		}
+		for _, term := range wantTerms {
+			if got, want := ix.FacetCount(def.Name, term), tax.Count(def.Name, term); got != want {
+				t.Errorf("%s/%s count = %d, want %d", def.Name, term, got, want)
+			}
+			bs, ok := ix.FacetBitset(def.Name, term)
+			if !ok {
+				t.Errorf("%s/%s has no bitset", def.Name, term)
+				continue
+			}
+			var slugs []string
+			bs.ForEach(func(id uint32) { slugs = append(slugs, ix.SlugOf(id)) })
+			if want := tax.EntriesFor(def.Name, term); !reflect.DeepEqual(slugs, want) {
+				t.Errorf("%s/%s docs = %v, want %v", def.Name, term, slugs, want)
+			}
+		}
+	}
+	if _, ok := ix.FacetBitset("courses", "NoSuchCourse"); ok {
+		t.Error("unknown term produced a bitset")
+	}
+	if _, ok := ix.FacetBitset("nosuchtaxonomy", "CS1"); ok {
+		t.Error("unknown taxonomy produced a bitset")
+	}
+	if n := ix.FacetCount("courses", "NoSuchCourse"); n != 0 {
+		t.Errorf("unknown term count = %d", n)
+	}
+}
+
+func TestAllDocsCoversCorpus(t *testing.T) {
+	ix := corpusIndex(t)
+	all := ix.AllDocs()
+	if all.Count() != ix.Len() {
+		t.Errorf("AllDocs covers %d of %d docs", all.Count(), ix.Len())
+	}
+	var slugs []string
+	all.ForEach(func(id uint32) { slugs = append(slugs, ix.SlugOf(id)) })
+	if !sortedStrings(slugs) {
+		t.Error("AllDocs iteration is not slug-sorted")
+	}
+}
+
+func sortedStrings(s []string) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIndexStats(t *testing.T) {
+	ix := corpusIndex(t)
+	st := ix.Stats()
+	if st.Docs != ix.Len() || st.Vocabulary != ix.Vocabulary() {
+		t.Errorf("stats shape: %+v", st)
+	}
+	if st.Postings <= 0 || st.PostingsBytes <= 0 || st.BitsetBytes <= 0 {
+		t.Errorf("stats sizes not positive: %+v", st)
+	}
+	if st.BuildSeconds <= 0 {
+		t.Errorf("build duration missing: %+v", st)
+	}
+	// The gauges follow the most recent build.
+	if got := indexDocsGauge.With().Value(); got != float64(st.Docs) {
+		t.Errorf("docs gauge = %v, want %d", got, st.Docs)
+	}
+	if got := indexVocabGauge.With().Value(); got != float64(st.Vocabulary) {
+		t.Errorf("vocabulary gauge = %v, want %d", got, st.Vocabulary)
+	}
+}
+
+func TestSearchTokensMatchesSearch(t *testing.T) {
+	ix := corpusIndex(t)
+	for _, q := range []string{"sorting cards", "odd-even transposition", "parallel"} {
+		if got, want := ix.SearchTokens(Tokenize(q), 10), ix.Search(q, 10); !reflect.DeepEqual(got, want) {
+			t.Errorf("SearchTokens(%q) = %v, Search = %v", q, got, want)
+		}
+	}
+	if hits := ix.SearchTokens(nil, 10); hits != nil {
+		t.Errorf("nil tokens: %+v", hits)
+	}
+}
+
+func TestScratchPoolReuseIsClean(t *testing.T) {
+	// Back-to-back different queries must not leak scores between runs;
+	// run enough queries to cycle pooled scratches.
+	ix := corpusIndex(t)
+	want := ix.Search("byzantine", 0)
+	for i := 0; i < 50; i++ {
+		ix.Search("sorting cards parallel students race", 7)
+		got := ix.Search("byzantine", 0)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iteration %d: scratch leaked state: %+v vs %+v", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package search
+
+// Golden ranking parity: engine search/3 (doc-ID postings, pooled
+// scoring, bounded-heap top-k) must rank byte-identically to engine
+// search/2 (the map-of-maps implementation it replaced). referenceIndex
+// below IS search/2, kept verbatim as a test oracle. Weighted term
+// frequencies are small integer sums, so every norm and score is exact
+// in float64 regardless of accumulation order — the comparison is
+// therefore on exact scores, not approximate ones, and any divergence
+// is a real ranking change, not float noise.
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"pdcunplugged/internal/activity"
+	"pdcunplugged/internal/curation"
+)
+
+// referenceIndex is the engine search/2 implementation, verbatim.
+type referenceIndex struct {
+	postings map[string]map[string]float64
+	docCount int
+	norms    map[string]float64
+}
+
+func referenceBuild(acts []*activity.Activity) *referenceIndex {
+	ix := &referenceIndex{
+		postings: map[string]map[string]float64{},
+		norms:    map[string]float64{},
+	}
+	for _, a := range acts {
+		ix.docCount++
+		add := func(text string, weight float64) {
+			for _, tok := range Tokenize(text) {
+				m := ix.postings[tok]
+				if m == nil {
+					m = map[string]float64{}
+					ix.postings[tok] = m
+				}
+				m[a.Slug] += weight
+			}
+		}
+		add(a.Title, weightTitle)
+		add(a.Author, weightAuthor)
+		add(a.Details, weightDetails)
+		add(a.Accessibility, weightDetails)
+		add(a.Assessment, weightDetails)
+		add(strings.Join(a.Variations, " "), weightDetails)
+		for _, tags := range [][]string{a.CS2013, a.TCPP, a.Courses, a.Senses, a.Medium} {
+			add(strings.Join(tags, " "), weightTags)
+		}
+	}
+	for _, m := range ix.postings {
+		for slug, tf := range m {
+			ix.norms[slug] += tf * tf
+		}
+	}
+	for slug, sq := range ix.norms {
+		ix.norms[slug] = math.Sqrt(sq)
+	}
+	return ix
+}
+
+func (ix *referenceIndex) search(query string, limit int) []Hit {
+	tokens := Tokenize(query)
+	if len(tokens) == 0 || ix.docCount == 0 {
+		return nil
+	}
+	scores := map[string]float64{}
+	for _, tok := range tokens {
+		m := ix.postings[tok]
+		if len(m) == 0 {
+			continue
+		}
+		idf := math.Log(1 + float64(ix.docCount)/float64(len(m)))
+		for slug, tf := range m {
+			scores[slug] += tf * idf
+		}
+	}
+	hits := make([]Hit, 0, len(scores))
+	for slug, s := range scores {
+		norm := ix.norms[slug]
+		if norm == 0 {
+			norm = 1
+		}
+		hits = append(hits, Hit{Slug: slug, Score: s / norm})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Slug < hits[j].Slug
+	})
+	if limit > 0 && len(hits) > limit {
+		hits = hits[:limit]
+	}
+	return hits
+}
+
+func (ix *referenceIndex) suggest(prefix string, limit int) []string {
+	prefix = strings.ToLower(prefix)
+	if prefix == "" {
+		return nil
+	}
+	var out []string
+	for tok := range ix.postings {
+		if strings.HasPrefix(tok, prefix) {
+			out = append(out, tok)
+		}
+	}
+	sort.Strings(out)
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// parityQueries exercises every scoring shape over the seed corpus:
+// single common terms, multi-token queries, hyphen compounds, taxonomy
+// tags, repeated tokens, stop-word-only input, and guaranteed misses.
+var parityQueries = []string{
+	"parallel",
+	"parallel sort",
+	"sorting cards",
+	"byzantine generals traitors",
+	"message passing deadlock",
+	"odd-even transposition",
+	"first-come-first-served",
+	"pipeline throughput",
+	"TCPP_Architecture",
+	"PD_ParallelDecomposition",
+	"CS1 touch",
+	"students race sorting network parallel speedup",
+	"parallel parallel parallel",
+	"the of and",
+	"quantum zebra",
+	"zzzznonexistent",
+	"e-mail deadlock",
+	"card",
+}
+
+func TestSearchParityWithEngine2(t *testing.T) {
+	acts := curation.Activities()
+	ref := referenceBuild(acts)
+	ix := Build(acts)
+	for _, q := range parityQueries {
+		for _, limit := range []int{0, 1, 3, 5, 10, 1000} {
+			want := ref.search(q, limit)
+			got := ix.Search(q, limit)
+			if len(got) != len(want) {
+				t.Errorf("Search(%q, %d): %d hits, reference %d", q, limit, len(got), len(want))
+				continue
+			}
+			for i := range got {
+				if got[i].Slug != want[i].Slug {
+					t.Errorf("Search(%q, %d) hit %d: slug %s, reference %s",
+						q, limit, i, got[i].Slug, want[i].Slug)
+				}
+				if got[i].Score != want[i].Score {
+					t.Errorf("Search(%q, %d) hit %d (%s): score %v, reference %v",
+						q, limit, i, got[i].Slug, got[i].Score, want[i].Score)
+				}
+			}
+		}
+	}
+}
+
+func TestSuggestParityWithEngine2(t *testing.T) {
+	acts := curation.Activities()
+	ref := referenceBuild(acts)
+	ix := Build(acts)
+	for _, prefix := range []string{"s", "sor", "par", "de", "me", "tcpp", "zz", "", "SOR"} {
+		for _, limit := range []int{0, 1, 2, 5, 1000} {
+			want := ref.suggest(prefix, limit)
+			got := ix.Suggest(prefix, limit)
+			if len(want) == 0 && len(got) == 0 {
+				continue
+			}
+			if len(got) != len(want) {
+				t.Errorf("Suggest(%q, %d) = %v, reference %v", prefix, limit, got, want)
+				continue
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("Suggest(%q, %d)[%d] = %q, reference %q", prefix, limit, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSuggestBinarySearchRange is the regression test for the Suggest
+// rewrite: results must be the lexicographically smallest matches, in
+// order, exactly as the full-scan-then-sort implementation returned
+// them — a truncated binary-search range that started anywhere but the
+// run's beginning would fail it.
+func TestSuggestBinarySearchRange(t *testing.T) {
+	ix := corpusIndex(t)
+	all := ix.Suggest("s", 0)
+	if len(all) < 4 {
+		t.Fatalf("corpus has only %d 's' tokens", len(all))
+	}
+	if !sort.StringsAreSorted(all) {
+		t.Errorf("Suggest not sorted: %v", all)
+	}
+	for _, tok := range all {
+		if !strings.HasPrefix(tok, "s") {
+			t.Errorf("Suggest leaked non-matching token %q", tok)
+		}
+	}
+	// Truncation keeps the head of the sorted run.
+	head := ix.Suggest("s", 3)
+	if len(head) != 3 || head[0] != all[0] || head[1] != all[1] || head[2] != all[2] {
+		t.Errorf("Suggest(s, 3) = %v, want %v", head, all[:3])
+	}
+	// A limit beyond the match count returns everything.
+	if got := ix.Suggest("s", len(all)+10); len(got) != len(all) {
+		t.Errorf("over-limit Suggest returned %d of %d", len(got), len(all))
+	}
+}

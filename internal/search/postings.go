@@ -1,0 +1,38 @@
+package search
+
+// postings is the slab-allocated inverted file: every term's posting
+// list lives in two shared parallel arrays (doc IDs and weighted term
+// frequencies), addressed by an offsets table indexed by term ID. Three
+// flat allocations replace the map-of-maps of engine search/2 — no
+// per-term or per-document map headers, doc IDs are 4-byte integers
+// instead of interned slug strings, and a term's list is a contiguous
+// span the scoring loop walks with pure array indexing.
+//
+// Doc IDs within each span are ascending because the builder feeds
+// documents in doc-ID (= slug) order, so spans double as sorted sets.
+type postings struct {
+	// offsets has len(vocabulary)+1 entries; term t's posting list is
+	// ids[offsets[t]:offsets[t+1]] (and the same span of tfs).
+	offsets []uint32
+	ids     []uint32
+	tfs     []float32
+}
+
+// span returns term tid's doc IDs and weighted term frequencies.
+func (p *postings) span(tid int) ([]uint32, []float32) {
+	lo, hi := p.offsets[tid], p.offsets[tid+1]
+	return p.ids[lo:hi], p.tfs[lo:hi]
+}
+
+// df returns the document frequency of term tid.
+func (p *postings) df(tid int) int {
+	return int(p.offsets[tid+1] - p.offsets[tid])
+}
+
+// count returns the total number of postings across all terms.
+func (p *postings) count() int { return len(p.ids) }
+
+// bytes returns the memory footprint of the three slabs.
+func (p *postings) bytes() int {
+	return len(p.offsets)*4 + len(p.ids)*4 + len(p.tfs)*4
+}

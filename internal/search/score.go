@@ -1,0 +1,115 @@
+package search
+
+import "sync"
+
+// scratch is the per-query scoring workspace: a dense accumulator
+// indexed by doc ID, the list of doc IDs actually touched (so reset is
+// proportional to the result set, not the corpus), a bounded min-heap
+// for top-k selection, and a candidate buffer for fuzzy expansion. All
+// of it is pooled — a steady-state query allocates nothing beyond the
+// []Hit it returns.
+//
+// Every accumulated contribution is strictly positive (tf ≥ 1 and
+// idf = log(1+N/df) > 0), so scores[id] == 0 is an exact "untouched"
+// sentinel and the touched list needs no dedup.
+type scratch struct {
+	scores  []float64 // dense doc-ID accumulator; all-zero between uses
+	touched []uint32  // doc IDs with a nonzero score, insertion order
+
+	// Bounded min-heap for top-k: root is the worst kept hit, ordered by
+	// (score asc, doc ID desc) so replacing the root preserves the final
+	// (score desc, slug asc) ranking. Parallel arrays, no interface.
+	heapID []uint32
+	heapSc []float64
+
+	cand []int // fuzzy edit-distance-1 term-ID candidates
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// getScratch returns a workspace with an all-zero accumulator sized for
+// n documents. The zero invariant is maintained by release: grown
+// accumulators arrive zeroed from make, shrunk ones re-expose entries
+// that were zeroed when last released.
+func getScratch(n int) *scratch {
+	sc := scratchPool.Get().(*scratch)
+	if cap(sc.scores) < n {
+		sc.scores = make([]float64, n)
+	} else {
+		sc.scores = sc.scores[:n]
+	}
+	return sc
+}
+
+// release zeroes exactly the touched accumulator entries and returns the
+// workspace to the pool.
+func (sc *scratch) release() {
+	for _, id := range sc.touched {
+		sc.scores[id] = 0
+	}
+	sc.touched = sc.touched[:0]
+	sc.heapID = sc.heapID[:0]
+	sc.heapSc = sc.heapSc[:0]
+	sc.cand = sc.cand[:0]
+	scratchPool.Put(sc)
+}
+
+// heapWorse reports whether heap entry i ranks strictly worse than j:
+// lower score, or equal score with the later slug (higher doc ID).
+func (sc *scratch) heapWorse(i, j int) bool {
+	if sc.heapSc[i] != sc.heapSc[j] {
+		return sc.heapSc[i] < sc.heapSc[j]
+	}
+	return sc.heapID[i] > sc.heapID[j]
+}
+
+func (sc *scratch) heapSwap(i, j int) {
+	sc.heapID[i], sc.heapID[j] = sc.heapID[j], sc.heapID[i]
+	sc.heapSc[i], sc.heapSc[j] = sc.heapSc[j], sc.heapSc[i]
+}
+
+// heapPush adds a hit and sifts it up.
+func (sc *scratch) heapPush(id uint32, score float64) {
+	sc.heapID = append(sc.heapID, id)
+	sc.heapSc = append(sc.heapSc, score)
+	i := len(sc.heapID) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !sc.heapWorse(i, parent) {
+			break
+		}
+		sc.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+// heapSiftDown restores the heap property from the root after a
+// replacement.
+func (sc *scratch) heapSiftDown() {
+	n := len(sc.heapID)
+	i := 0
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && sc.heapWorse(l, worst) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && sc.heapWorse(r, worst) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		sc.heapSwap(i, worst)
+		i = worst
+	}
+}
+
+// heapPop removes and returns the worst kept hit.
+func (sc *scratch) heapPop() (uint32, float64) {
+	id, score := sc.heapID[0], sc.heapSc[0]
+	n := len(sc.heapID) - 1
+	sc.heapID[0], sc.heapSc[0] = sc.heapID[n], sc.heapSc[n]
+	sc.heapID, sc.heapSc = sc.heapID[:n], sc.heapSc[:n]
+	sc.heapSiftDown()
+	return id, score
+}

@@ -1,6 +1,27 @@
 // Package search provides the repository's full-text search: a tokenized
 // inverted index over activity titles, authors, details and tags, with
 // TF-IDF ranking. It backs `pdcu search` and the site's search index.
+//
+// Engine search/3 is a layered IR core rather than a map of maps:
+//
+//   - dict.go — the interned, sorted term dictionary; string tokens
+//     resolve to dense term IDs once per query, and prefix/fuzzy
+//     matching are binary-search range scans over the sorted terms.
+//   - postings.go — slab postings: each term's (doc ID, weighted tf)
+//     list is a contiguous span of two shared flat arrays.
+//   - bitset.go — precomputed per-taxonomy-term doc bitsets, making a
+//     faceted listing a run of AND instructions and a facet count a
+//     popcount.
+//   - score.go — the pooled scoring workspace: dense accumulator,
+//     touched-list reset, and a bounded heap for top-k selection, so a
+//     steady-state query allocates only the hits it returns.
+//
+// Doc IDs are assigned in slug order, which makes doc-ID order the
+// repository's canonical ordering: tie-breaks and bitset iteration need
+// no string comparisons. Ranking is unchanged from engine search/2 —
+// the same tokenizer, weights, idf, and norms produce bit-identical
+// scores (weighted tfs are small integers, so every sum here is exact
+// in float64 regardless of accumulation order).
 package search
 
 import (
@@ -11,18 +32,20 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 	"unicode"
 
 	"pdcunplugged/internal/activity"
 	"pdcunplugged/internal/obs"
 	"pdcunplugged/internal/obs/trace"
+	"pdcunplugged/internal/taxonomy"
 )
 
 // EngineVersion names the tokenizer/index implementation revision. Cached
 // index keys mix it in, so changing tokenization or scoring here
 // invalidates every memoized index even when the corpus is unchanged.
 // Bump it whenever Build's output can change for the same input.
-const EngineVersion = "search/2"
+const EngineVersion = "search/3"
 
 // Field weights: a hit in a title matters more than one in the details.
 const (
@@ -32,16 +55,47 @@ const (
 	weightDetails = 1.0
 )
 
+// fuzzyPenalty scales the idf contribution of an edit-distance-1
+// expansion: a corrected typo counts half of what an exact token would.
+const fuzzyPenalty = 0.5
+
 // Index is an inverted text index over activities. Build once, query many
 // times; an Index is immutable and safe for concurrent readers.
 type Index struct {
-	// postings[token][slug] = weighted term frequency.
-	postings map[string]map[string]float64
-	// docCount is the number of indexed activities.
 	docCount int
-	// norms[slug] = Euclidean norm of the document's weighted tf vector.
-	norms map[string]float64
-	slugs []string
+	slugs    []string  // doc ID -> slug; IDs assigned in slug order
+	norms    []float64 // doc ID -> Euclidean norm of the weighted tf vector
+	dict     dict      // sorted term dictionary
+	post     postings  // slab posting lists, indexed by term ID
+	facets   map[string]facet
+	all      Bitset // every document; clone-and-AND filter seed
+	stats    IndexStats
+}
+
+// facet holds one taxonomy's precomputed term bitsets, terms sorted.
+type facet struct {
+	terms []string
+	sets  []Bitset
+}
+
+// lookup returns the bitset for an exact term, or nil.
+func (f facet) lookup(term string) Bitset {
+	i := sort.SearchStrings(f.terms, term)
+	if i < len(f.terms) && f.terms[i] == term {
+		return f.sets[i]
+	}
+	return nil
+}
+
+// IndexStats describes a built index's shape and cost; exported on the
+// pdcu_search_index_* gauges and the /debug/obs dashboard.
+type IndexStats struct {
+	Docs          int     `json:"docs"`
+	Vocabulary    int     `json:"vocabulary"`
+	Postings      int     `json:"postings"`      // total (term, doc) pairs
+	PostingsBytes int     `json:"postingsBytes"` // dict offsets + id/tf slabs
+	BitsetBytes   int     `json:"bitsetBytes"`   // all facet bitsets + the all-docs set
+	BuildSeconds  float64 `json:"buildSeconds"`
 }
 
 // Tokenize lowercases, splits on non-letters/digits, and drops stop words
@@ -103,6 +157,21 @@ var stopWords = map[string]bool{
 var indexCacheTotal = obs.Default().Counter("pdcu_search_index_cache_total",
 	"Memoized search-index builds, by result (hit or miss).", "result")
 
+// Index-shape gauges, refreshed by every Build; the /debug/obs dashboard
+// renders them as the "Search index" panel.
+var (
+	indexDocsGauge = obs.Default().Gauge("pdcu_search_index_docs",
+		"Documents in the most recently built search index.")
+	indexVocabGauge = obs.Default().Gauge("pdcu_search_index_vocabulary",
+		"Distinct terms in the most recently built search index.")
+	indexPostingsBytesGauge = obs.Default().Gauge("pdcu_search_index_postings_bytes",
+		"Bytes held by the posting slabs of the most recently built search index.")
+	indexBitsetBytesGauge = obs.Default().Gauge("pdcu_search_index_bitset_bytes",
+		"Bytes held by the facet bitsets of the most recently built search index.")
+	indexBuildSecondsGauge = obs.Default().Gauge("pdcu_search_index_build_seconds",
+		"Wall-clock duration of the most recent search index build.")
+)
+
 // indexCache memoizes BuildCached keyed by corpus fingerprint. Unlike the
 // unbounded markdown render cache, live-reload can mint a new fingerprint
 // per edit, so the cache holds only the few most recent indexes.
@@ -163,23 +232,30 @@ func BuildCachedContext(ctx context.Context, key string, acts []*activity.Activi
 	return ix
 }
 
-// Build indexes the given activities.
+// docPosting is a build-time (term ID, weighted tf) pair for one document.
+type docPosting struct {
+	tid uint32
+	tf  float32
+}
+
+// Build indexes the given activities: tokenize and weigh every field,
+// intern the vocabulary, lay the posting lists out as slabs in doc-ID
+// order, and precompute one doc bitset per in-use taxonomy term.
 func Build(acts []*activity.Activity) *Index {
-	ix := &Index{
-		postings: map[string]map[string]float64{},
-		norms:    map[string]float64{},
-	}
-	for _, a := range acts {
-		ix.docCount++
-		ix.slugs = append(ix.slugs, a.Slug)
+	start := time.Now()
+	n := len(acts)
+	sorted := make([]*activity.Activity, n)
+	copy(sorted, acts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Slug < sorted[j].Slug })
+
+	// Pass 1: per-document weighted term frequencies and the vocabulary.
+	docTFs := make([]map[string]float64, n)
+	vocab := make(map[string]struct{})
+	for d, a := range sorted {
+		tf := map[string]float64{}
 		add := func(text string, weight float64) {
 			for _, tok := range Tokenize(text) {
-				m := ix.postings[tok]
-				if m == nil {
-					m = map[string]float64{}
-					ix.postings[tok] = m
-				}
-				m[a.Slug] += weight
+				tf[tok] += weight
 			}
 		}
 		add(a.Title, weightTitle)
@@ -191,16 +267,106 @@ func Build(acts []*activity.Activity) *Index {
 		for _, tags := range [][]string{a.CS2013, a.TCPP, a.Courses, a.Senses, a.Medium} {
 			add(strings.Join(tags, " "), weightTags)
 		}
-	}
-	for _, m := range ix.postings {
-		for slug, tf := range m {
-			ix.norms[slug] += tf * tf
+		docTFs[d] = tf
+		for tok := range tf {
+			vocab[tok] = struct{}{}
 		}
 	}
-	for slug, sq := range ix.norms {
-		ix.norms[slug] = math.Sqrt(sq)
+
+	ix := &Index{
+		docCount: n,
+		slugs:    make([]string, n),
+		norms:    make([]float64, n),
+		dict:     buildDict(vocab),
+		all:      fillBitset(n),
 	}
-	sort.Strings(ix.slugs)
+	for d, a := range sorted {
+		ix.slugs[d] = a.Slug
+	}
+
+	// Pass 2: resolve term IDs, compute norms (weighted tfs are integer
+	// sums, so the squared sums are exact regardless of order).
+	perDoc := make([][]docPosting, n)
+	df := make([]uint32, ix.dict.len_())
+	for d, tfs := range docTFs {
+		var sq float64
+		dps := make([]docPosting, 0, len(tfs))
+		for tok, tf := range tfs {
+			tid, _ := ix.dict.lookup(tok)
+			dps = append(dps, docPosting{tid: uint32(tid), tf: float32(tf)})
+			df[tid]++
+			sq += tf * tf
+		}
+		perDoc[d] = dps
+		ix.norms[d] = math.Sqrt(sq)
+	}
+
+	// Pass 3: slab layout. Prefix-sum the document frequencies into the
+	// offsets table, then scatter postings; walking documents in doc-ID
+	// order leaves every span sorted by doc ID.
+	offsets := make([]uint32, ix.dict.len_()+1)
+	var total uint32
+	for tid, c := range df {
+		offsets[tid] = total
+		total += c
+	}
+	offsets[len(df)] = total
+	next := append([]uint32(nil), offsets[:len(df)]...)
+	ids := make([]uint32, total)
+	tfs := make([]float32, total)
+	for d, dps := range perDoc {
+		for _, dp := range dps {
+			pos := next[dp.tid]
+			ids[pos] = uint32(d)
+			tfs[pos] = dp.tf
+			next[dp.tid]++
+		}
+	}
+	ix.post = postings{offsets: offsets, ids: ids, tfs: tfs}
+
+	// Pass 4: facet bitsets for every standard taxonomy term in use.
+	ix.facets = make(map[string]facet)
+	bitsetBytes := ix.all.Bytes()
+	for _, def := range taxonomy.Standard() {
+		byTerm := map[string]Bitset{}
+		for d, a := range sorted {
+			for _, term := range a.Terms(def.Name) {
+				bs := byTerm[term]
+				if bs == nil {
+					bs = NewBitset(n)
+					byTerm[term] = bs
+				}
+				bs.Set(uint32(d))
+			}
+		}
+		f := facet{
+			terms: make([]string, 0, len(byTerm)),
+			sets:  make([]Bitset, 0, len(byTerm)),
+		}
+		for term := range byTerm {
+			f.terms = append(f.terms, term)
+		}
+		sort.Strings(f.terms)
+		for _, term := range f.terms {
+			f.sets = append(f.sets, byTerm[term])
+			bitsetBytes += byTerm[term].Bytes()
+		}
+		ix.facets[def.Name] = f
+	}
+
+	ix.stats = IndexStats{
+		Docs:          n,
+		Vocabulary:    ix.dict.len_(),
+		Postings:      ix.post.count(),
+		PostingsBytes: ix.post.bytes(),
+		BitsetBytes:   bitsetBytes,
+		BuildSeconds:  time.Since(start).Seconds(),
+	}
+	indexDocsGauge.Set(float64(ix.stats.Docs))
+	indexVocabGauge.Set(float64(ix.stats.Vocabulary))
+	indexPostingsBytesGauge.Set(float64(ix.stats.PostingsBytes))
+	indexBitsetBytesGauge.Set(float64(ix.stats.BitsetBytes))
+	indexBuildSecondsGauge.Set(ix.stats.BuildSeconds)
 	return ix
 }
 
@@ -208,7 +374,49 @@ func Build(acts []*activity.Activity) *Index {
 func (ix *Index) Len() int { return ix.docCount }
 
 // Vocabulary returns the number of distinct tokens.
-func (ix *Index) Vocabulary() int { return len(ix.postings) }
+func (ix *Index) Vocabulary() int { return ix.dict.len_() }
+
+// Stats describes the built index's shape and cost.
+func (ix *Index) Stats() IndexStats { return ix.stats }
+
+// SlugOf returns the slug of a doc ID (IDs are assigned in slug order).
+func (ix *Index) SlugOf(id uint32) string { return ix.slugs[id] }
+
+// AllDocs returns the bitset of every indexed document. It is shared
+// index state: callers must Clone before mutating (the intended filter
+// idiom is AllDocs().Clone() followed by And with facet bitsets).
+func (ix *Index) AllDocs() Bitset { return ix.all }
+
+// FacetBitset returns the precomputed doc bitset for one taxonomy term,
+// or (nil, false) when the taxonomy or term is unused. The returned set
+// is shared index state — read-only.
+func (ix *Index) FacetBitset(taxonomy, term string) (Bitset, bool) {
+	f, ok := ix.facets[taxonomy]
+	if !ok {
+		return nil, false
+	}
+	bs := f.lookup(term)
+	return bs, bs != nil
+}
+
+// FacetTerms returns the sorted in-use terms of a taxonomy. The slice is
+// shared index state — read-only.
+func (ix *Index) FacetTerms(taxonomy string) []string {
+	return ix.facets[taxonomy].terms
+}
+
+// FacetCount returns how many documents list the term (a popcount).
+func (ix *Index) FacetCount(taxonomy, term string) int {
+	f, ok := ix.facets[taxonomy]
+	if !ok {
+		return 0
+	}
+	bs := f.lookup(term)
+	if bs == nil {
+		return 0
+	}
+	return bs.Count()
+}
 
 // Hit is one ranked search result.
 type Hit struct {
@@ -219,57 +427,132 @@ type Hit struct {
 // Search ranks activities against the query by TF-IDF with length
 // normalization, returning up to limit hits (all when limit <= 0).
 func (ix *Index) Search(query string, limit int) []Hit {
-	tokens := Tokenize(query)
-	if len(tokens) == 0 || ix.docCount == 0 {
-		return nil
-	}
-	scores := map[string]float64{}
-	for _, tok := range tokens {
-		m := ix.postings[tok]
-		if len(m) == 0 {
-			continue
-		}
-		idf := math.Log(1 + float64(ix.docCount)/float64(len(m)))
-		for slug, tf := range m {
-			scores[slug] += tf * idf
-		}
-	}
-	hits := make([]Hit, 0, len(scores))
-	for slug, s := range scores {
-		norm := ix.norms[slug]
-		if norm == 0 {
-			norm = 1
-		}
-		hits = append(hits, Hit{Slug: slug, Score: s / norm})
-	}
-	sort.Slice(hits, func(i, j int) bool {
-		if hits[i].Score != hits[j].Score {
-			return hits[i].Score > hits[j].Score
-		}
-		return hits[i].Slug < hits[j].Slug
-	})
-	if limit > 0 && len(hits) > limit {
-		hits = hits[:limit]
-	}
+	hits, _ := ix.search(Tokenize(query), limit, false)
 	return hits
 }
 
+// SearchTokens is Search over a pre-tokenized query: callers that
+// already ran Tokenize (the query service normalizes the query string
+// for its cache key) skip the second tokenization pass.
+func (ix *Index) SearchTokens(tokens []string, limit int) []Hit {
+	hits, _ := ix.search(tokens, limit, false)
+	return hits
+}
+
+// SearchFuzzy is Search with typo correction: query tokens absent from
+// the vocabulary are expanded to their edit-distance-1 neighbors, each
+// contributing at half weight (fuzzyPenalty). The second return reports
+// whether any expansion actually happened — exact queries rank
+// identically to Search.
+func (ix *Index) SearchFuzzy(query string, limit int) ([]Hit, bool) {
+	return ix.search(Tokenize(query), limit, true)
+}
+
+// SearchTokensFuzzy is SearchFuzzy over a pre-tokenized query.
+func (ix *Index) SearchTokensFuzzy(tokens []string, limit int) ([]Hit, bool) {
+	return ix.search(tokens, limit, true)
+}
+
+// search is the scoring core. Token accumulation order matches engine
+// search/2 (query-token order, then postings order within a token), so
+// scores are bit-identical to the map-based engine's.
+func (ix *Index) search(tokens []string, limit int, fuzzy bool) ([]Hit, bool) {
+	if len(tokens) == 0 || ix.docCount == 0 {
+		return nil, false
+	}
+	sc := getScratch(ix.docCount)
+	defer sc.release()
+	fuzzed := false
+	for _, tok := range tokens {
+		if tid, ok := ix.dict.lookup(tok); ok {
+			ix.accumulate(sc, tid, 1)
+			continue
+		}
+		if !fuzzy {
+			continue
+		}
+		sc.cand = ix.dict.withinOne(tok, sc.cand[:0])
+		for _, tid := range sc.cand {
+			ix.accumulate(sc, tid, fuzzyPenalty)
+			fuzzed = true
+		}
+	}
+	for _, id := range sc.touched {
+		norm := ix.norms[id]
+		if norm == 0 {
+			norm = 1
+		}
+		sc.scores[id] /= norm
+	}
+	m := len(sc.touched)
+	if limit <= 0 || limit >= m {
+		// Full listing: materialize every touched doc and sort outright.
+		hits := make([]Hit, 0, m)
+		for _, id := range sc.touched {
+			hits = append(hits, Hit{Slug: ix.slugs[id], Score: sc.scores[id]})
+		}
+		sort.Slice(hits, func(i, j int) bool {
+			if hits[i].Score != hits[j].Score {
+				return hits[i].Score > hits[j].Score
+			}
+			return hits[i].Slug < hits[j].Slug
+		})
+		return hits, fuzzed
+	}
+	// Top-k: a bounded heap whose root is the worst kept hit; doc-ID
+	// order is slug order, so the tie-break never touches a string.
+	for _, id := range sc.touched {
+		s := sc.scores[id]
+		if len(sc.heapID) < limit {
+			sc.heapPush(id, s)
+			continue
+		}
+		if s > sc.heapSc[0] || (s == sc.heapSc[0] && id < sc.heapID[0]) {
+			sc.heapID[0], sc.heapSc[0] = id, s
+			sc.heapSiftDown()
+		}
+	}
+	hits := make([]Hit, len(sc.heapID))
+	for i := len(hits) - 1; i >= 0; i-- {
+		id, s := sc.heapPop()
+		hits[i] = Hit{Slug: ix.slugs[id], Score: s}
+	}
+	return hits, fuzzed
+}
+
+// accumulate adds one term's idf-scaled contributions to the scratch
+// accumulator, tracking first-touched documents.
+func (ix *Index) accumulate(sc *scratch, tid int, scale float64) {
+	ids, tfs := ix.post.span(tid)
+	if len(ids) == 0 {
+		return
+	}
+	idf := math.Log(1 + float64(ix.docCount)/float64(len(ids)))
+	if scale != 1 {
+		idf *= scale
+	}
+	for k, id := range ids {
+		if sc.scores[id] == 0 {
+			sc.touched = append(sc.touched, id)
+		}
+		sc.scores[id] += float64(tfs[k]) * idf
+	}
+}
+
 // Suggest returns indexed tokens starting with prefix (for CLI tab-style
-// completion), up to limit.
+// completion), up to limit. The dictionary is sorted, so the matches are
+// one contiguous binary-searched range — no vocabulary scan.
 func (ix *Index) Suggest(prefix string, limit int) []string {
 	prefix = strings.ToLower(prefix)
 	if prefix == "" {
 		return nil
 	}
-	var out []string
-	for tok := range ix.postings {
-		if strings.HasPrefix(tok, prefix) {
-			out = append(out, tok)
-		}
+	lo, hi := ix.dict.prefixRange(prefix)
+	if lo == hi {
+		return nil
 	}
-	sort.Strings(out)
-	if limit > 0 && len(out) > limit {
-		out = out[:limit]
+	if limit > 0 && hi-lo > limit {
+		hi = lo + limit
 	}
-	return out
+	return append([]string(nil), ix.dict.terms[lo:hi]...)
 }
