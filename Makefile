@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check lint vet fmtcheck test test-race build fmt bench-smoke trace-overhead slo-smoke loadtest-baseline bench-index bench-index-record fuzz-smoke
+.PHONY: check lint vet fmtcheck test test-race build fmt bench-smoke trace-overhead slo-smoke loadtest-baseline bench-index bench-index-record fuzz-smoke replica-smoke
 
-check: lint test-race bench-smoke trace-overhead bench-index slo-smoke
+check: lint test-race bench-smoke trace-overhead bench-index slo-smoke replica-smoke
 
 # Static hygiene in one target: formatting and go vet.
 lint: fmtcheck vet
@@ -70,6 +70,14 @@ bench-index-record:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzTokenize -fuzztime=10s ./internal/search
 	$(GO) test -run='^$$' -fuzz=FuzzSearch -fuzztime=10s ./internal/search
+	$(GO) test -run='^$$' -fuzz=FuzzSnapshotDecode -fuzztime=10s ./internal/replica
+
+# Replication smoke under the race detector: an in-process leader plus
+# two followers (one chained off the other) converge through a mid-test
+# corpus edit and serve byte-identical, generation-tagged responses,
+# with neither follower parsing Markdown or building an index.
+replica-smoke:
+	$(GO) test -race -run 'TestReplicaSmoke|TestColdStartFromSnapshotDir' -count=1 -v ./cmd/pdcu
 
 # Tracing cost ceiling: with sampling off, the traced cached
 # /api/v1/search path must stay within 5% of the untraced one

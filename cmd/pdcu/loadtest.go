@@ -47,7 +47,7 @@ func cmdLoadtest(args []string, w io.Writer) error {
 	cfg.Rate = 0
 	cfg.LogLevel = "warn"
 
-	target := fs.String("target", "", "load an already-running server at this base URL (default: self-serve in-process)")
+	target := fs.String("target", "", "load already-running server(s): one base URL, or a comma-separated fleet to round-robin across (default: self-serve in-process)")
 	mixStr := fs.String("mix", loadgen.DefaultMix().String(), "weighted traffic mix, kind=weight pairs (kinds: search, activities, facets, site)")
 	qps := fs.Float64("qps", 200, "open-loop arrival rate in requests/second")
 	conc := fs.Int("c", 16, "concurrent in-flight requests")
@@ -84,7 +84,17 @@ func cmdLoadtest(args []string, w io.Writer) error {
 	var eng *engine.Engine
 	var preRunWindows int
 	if *target != "" {
-		opts.BaseURL = *target
+		// A comma-separated -target is a fleet (leader plus followers):
+		// workers rotate across the nodes request by request.
+		for _, u := range strings.Split(*target, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				opts.Targets = append(opts.Targets, strings.TrimRight(u, "/"))
+			}
+		}
+		if len(opts.Targets) == 0 {
+			return fmt.Errorf("loadtest: -target %q names no servers", *target)
+		}
+		opts.BaseURL = opts.Targets[0]
 	} else {
 		if err := cfg.Validate(); err != nil {
 			return fmt.Errorf("loadtest: %w", err)

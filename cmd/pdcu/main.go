@@ -22,8 +22,8 @@
 //	pdcu validate <dir>
 //	pdcu export -out DIR
 //	pdcu build -out DIR [-j N] [-verbose]
-//	pdcu serve -addr :8080 [-src DIR -watch [-poll D]] [-rate R -burst B] [-pprof] [-verbose]
-//	pdcu loadtest [-target URL] [-mix M] [-qps N] [-c N] [-duration D] [-churn D] [-baseline F | -gate F] [-json]
+//	pdcu serve -addr :8080 [-src DIR -watch [-poll D]] [-follow URL] [-snapshot-dir DIR] [-rate R -burst B] [-pprof] [-verbose]
+//	pdcu loadtest [-target URL[,URL...]] [-mix M] [-qps N] [-c N] [-duration D] [-churn D] [-baseline F | -gate F] [-json]
 //	pdcu sim list
 //	pdcu sim run <name> [-n N] [-workers W] [-seed S] [-trace] [-param k=v ...]
 package main

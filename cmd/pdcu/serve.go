@@ -9,18 +9,28 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"pdcunplugged/internal/engine"
 	"pdcunplugged/internal/obs"
 	"pdcunplugged/internal/obs/trace"
+	"pdcunplugged/internal/replica"
 )
 
 // cmdServe is a thin shell over the engine: resolve the layered config,
 // publish the first generation, hand the engine's mux to an http.Server,
 // and start the watch loop when asked. All serving state lives in the
 // engine; this function only owns process concerns (signals, shutdown).
+//
+// Replication changes where the first generation comes from, not how it
+// is served. A leader builds it locally (after cold-starting from
+// -snapshot-dir when one is cached, with the real build proceeding in
+// the background); a follower (-follow) never builds — it cold-starts
+// from its snapshot cache and converges to the leader via the long-poll
+// fetch loop. Either way every node serves /replica/v1/, so followers
+// can fan out snapshots to further followers.
 func cmdServe(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	cfg, err := engine.FromEnv()
@@ -37,22 +47,66 @@ func cmdServe(args []string, w io.Writer) error {
 	}
 	obs.SetLevel(cfg.SlogLevel())
 	trace.SetDefault(eng.Tracer())
+	log := obs.Logger()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	gen, err := eng.Rebuild(ctx)
-	if err != nil {
-		return err
+	// Cold start: a cached snapshot makes the node ready in milliseconds,
+	// before any build or fetch. A corrupt cache is logged and ignored —
+	// the normal path below produces the first generation instead.
+	var cold *engine.Generation
+	if cfg.SnapshotDir != "" {
+		g, _, err := replica.Load(cfg.SnapshotDir)
+		if err != nil {
+			log.Warn("snapshot cache unusable; starting cold", "dir", cfg.SnapshotDir, "err", err)
+		} else if g != nil && eng.Adopt(g) {
+			cold = g
+		}
 	}
 
-	log := obs.Logger()
+	if cfg.Follow == "" {
+		replica.SetRole("leader")
+		if cold != nil {
+			go func() {
+				if _, err := eng.Rebuild(ctx); err != nil && ctx.Err() == nil {
+					log.Warn("background rebuild failed; serving cold-started generation", "err", err)
+				}
+			}()
+		} else if _, err := eng.Rebuild(ctx); err != nil {
+			return err
+		}
+	} else {
+		replica.SetRole("follower")
+		host, _ := os.Hostname()
+		fol := &replica.Follower{
+			Eng:  eng,
+			Base: strings.TrimRight(cfg.Follow, "/"),
+			Node: fmt.Sprintf("%s-%d", host, os.Getpid()),
+			Dir:  cfg.SnapshotDir,
+		}
+		go func() {
+			if err := fol.Run(ctx); err != nil && ctx.Err() == nil {
+				log.Warn("follower loop stopped", "err", err)
+			}
+		}()
+	}
+
+	// Every node serves the replication endpoints: a leader feeds its
+	// followers, and a follower can relay snapshots further down a tree.
+	leader := replica.NewLeader(eng)
+	if cfg.Follow == "" && cfg.SnapshotDir != "" {
+		leader.AutoSave(cfg.SnapshotDir)
+	}
+	mux := eng.Mux()
+	mux.Handle("/replica/v1/", leader.Handler())
+
 	srv := &http.Server{
 		Addr:              cfg.Addr,
-		Handler:           eng.Mux(),
+		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       10 * time.Second,
-		WriteTimeout:      30 * time.Second,
+		WriteTimeout:      3 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 		ErrorLog:          slog.NewLogLogger(log.Handler(), slog.LevelWarn),
 	}
@@ -66,16 +120,23 @@ func cmdServe(args []string, w io.Writer) error {
 		}()
 	}
 
-	fmt.Fprintf(w, "serving %d pages on %s (query API: /api/v1/, metrics: /metrics, health: /healthz /readyz, dashboard: /debug/obs", gen.Site.Len(), cfg.Addr)
+	pages, genID := 0, ""
+	if g := eng.Current(); g != nil {
+		pages, genID = g.Site.Len(), g.ID
+	}
+	fmt.Fprintf(w, "serving %d pages on %s (query API: /api/v1/, replication: /replica/v1/, metrics: /metrics, health: /healthz /readyz, dashboard: /debug/obs", pages, cfg.Addr)
 	if cfg.Pprof {
 		fmt.Fprint(w, ", pprof: /debug/pprof/")
 	}
 	if cfg.Watch {
 		fmt.Fprintf(w, ", watching %s every %s", cfg.Src, cfg.Poll)
 	}
+	if cfg.Follow != "" {
+		fmt.Fprintf(w, ", following %s", cfg.Follow)
+	}
 	fmt.Fprintln(w, ")")
-	log.Info("server starting", "addr", cfg.Addr, "pages", gen.Site.Len(),
-		"generation", gen.ID, "pprof", cfg.Pprof, "watch", cfg.Watch)
+	log.Info("server starting", "addr", cfg.Addr, "pages", pages,
+		"generation", genID, "pprof", cfg.Pprof, "watch", cfg.Watch, "follow", cfg.Follow)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"pdcunplugged/internal/cs2013"
 	"pdcunplugged/internal/frontmatter"
@@ -132,8 +133,16 @@ func (a *Activity) HasAssessment() bool {
 	return t != "" && !strings.EqualFold(t, "None known.") && !strings.EqualFold(t, "None known")
 }
 
+// parseCalls counts Parse invocations process-wide. Cold-start tests
+// assert that adopting a decoded snapshot never reparses Markdown.
+var parseCalls atomic.Int64
+
+// ParseCalls returns how many times Parse has run in this process.
+func ParseCalls() int64 { return parseCalls.Load() }
+
 // Parse reads an activity from its Markdown file content.
 func Parse(slug, content string) (*Activity, error) {
+	parseCalls.Add(1)
 	doc, err := frontmatter.Parse(content)
 	if err != nil {
 		return nil, fmt.Errorf("activity %s: %w", slug, err)

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net/url"
 	"os"
 	"runtime"
 	"strconv"
@@ -56,6 +57,15 @@ type Config struct {
 	// request, 0.01 every hundredth, 0 none. Errors and pinned-trace
 	// requests always log.
 	LogSample float64
+	// Follow makes `pdcu serve` a read replica: instead of building
+	// generations locally it pulls snapshots from the leader at this
+	// base URL (long-poll on /replica/v1/snapshot). Empty = leader.
+	Follow string
+	// SnapshotDir persists the latest generation snapshot on every
+	// publish and cold-starts from it on boot, so a restarted node is
+	// ready in milliseconds while the first fetch/build proceeds in the
+	// background. Empty disables persistence.
+	SnapshotDir string
 }
 
 // Defaults returns the base configuration layer.
@@ -152,6 +162,8 @@ func (c *Config) ApplyEnv(lookup func(string) (string, bool)) error {
 	float("PDCU_TRACE_SAMPLE", &c.TraceSample)
 	duration("PDCU_TRACE_SLOW", &c.TraceSlow)
 	float("PDCU_LOG_SAMPLE", &c.LogSample)
+	str("PDCU_FOLLOW", &c.Follow)
+	str("PDCU_SNAPSHOT_DIR", &c.SnapshotDir)
 	return firstErr
 }
 
@@ -185,6 +197,8 @@ func (c *Config) BindServeFlags(fs *flag.FlagSet) {
 	fs.Float64Var(&c.TraceSample, "trace-sample", c.TraceSample, "probability of retaining an ordinary trace (error/slow/traceparent traces are always kept)")
 	fs.DurationVar(&c.TraceSlow, "trace-slow", c.TraceSlow, "pin any trace at least this long")
 	fs.Float64Var(&c.LogSample, "log-sample", c.LogSample, "access-log sample rate in [0,1]; errors and pinned-trace requests always log")
+	fs.StringVar(&c.Follow, "follow", c.Follow, "run as a read replica pulling generation snapshots from the leader at this base URL")
+	fs.StringVar(&c.SnapshotDir, "snapshot-dir", c.SnapshotDir, "persist the latest generation snapshot here and cold-start from it on boot")
 }
 
 // Validate rejects configurations that previously misbehaved silently.
@@ -214,6 +228,15 @@ func (c Config) Validate() error {
 	}
 	if c.Watch && c.Src == "" {
 		return fmt.Errorf("-watch requires -src (the embedded corpus cannot change)")
+	}
+	if c.Follow != "" {
+		u, err := url.Parse(c.Follow)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return fmt.Errorf("-follow must be an http(s) base URL, got %q", c.Follow)
+		}
+		if c.Watch {
+			return fmt.Errorf("-follow and -watch are exclusive (a follower never builds; the leader watches the corpus)")
+		}
 	}
 	if _, err := obs.ParseLevel(c.LogLevel); err != nil {
 		return fmt.Errorf("-log-level: %w", err)

@@ -101,6 +101,17 @@ func (g *Generation) Handler() http.Handler { return g.handler }
 // Snapshot returns the query-service view of this generation.
 func (g *Generation) Snapshot() *query.Snapshot { return g.snap }
 
+// NewGeneration wires the serving surfaces — site handler and query
+// snapshot — for a generation assembled outside the pipeline (a decoded
+// replication snapshot). The exported fields of g must already be
+// populated; the result is servable through Adopt exactly like a
+// pipeline-built generation.
+func NewGeneration(g Generation) *Generation {
+	g.handler = g.Site.Handler()
+	g.snap = &query.Snapshot{Repo: g.Repo, Index: g.Index, Generation: g.ID}
+	return &g
+}
+
 // Outcome records one pipeline run for /readyz: operators see whether
 // the corpus they just edited actually went live, and which trace to
 // open when it did not.
@@ -281,6 +292,29 @@ func (e *Engine) rebuildLocked(ctx context.Context) (gen *Generation, err error)
 	root.SetAttr("generation", gen.ID)
 	e.publishLocked(gen)
 	return gen, nil
+}
+
+// Adopt publishes an externally-built generation — one decoded from a
+// replication snapshot rather than produced by the local pipeline. The
+// adopted Seq must advance past the published one (a follower never
+// moves backwards; a replayed or stale snapshot returns false and
+// leaves the current generation live). The local rebuild counter is
+// pulled forward so a later pipeline run cannot mint a Seq the fleet
+// has already seen from this process.
+func (e *Engine) Adopt(g *Generation) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cur := e.cur.Load(); cur != nil && g.Seq <= cur.Seq {
+		return false
+	}
+	for {
+		cur := e.seq.Load()
+		if cur >= g.Seq || e.seq.CompareAndSwap(cur, g.Seq) {
+			break
+		}
+	}
+	e.publishLocked(g)
+	return true
 }
 
 // publishLocked swaps the current generation and notifies subscribers.

@@ -109,6 +109,12 @@ func DefaultMix() Mix {
 type Options struct {
 	// BaseURL is the server under test, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// Targets, when set, spreads the run across several servers —
+	// typically a replication fleet (leader plus followers). Workers
+	// round-robin request-by-request over the list, so every node sees
+	// the same mix at 1/len(Targets) of the rate. Empty means
+	// {BaseURL}; when both are set BaseURL need not appear in Targets.
+	Targets []string
 	// Mix is the weighted traffic blend (DefaultMix when nil).
 	Mix Mix
 	// QPS is the open-loop arrival rate (default 200).
@@ -142,6 +148,12 @@ type Options struct {
 }
 
 func (o *Options) defaults() {
+	if len(o.Targets) == 0 {
+		o.Targets = []string{o.BaseURL}
+	}
+	if o.BaseURL == "" {
+		o.BaseURL = o.Targets[0]
+	}
 	if o.Mix == nil {
 		o.Mix = DefaultMix()
 	}
@@ -216,9 +228,18 @@ type sample struct {
 // stops the run early (the report covers what was measured).
 func Run(ctx context.Context, opts Options) (*Report, error) {
 	opts.defaults()
-	base, err := url.Parse(opts.BaseURL)
-	if err != nil || base.Scheme == "" || base.Host == "" {
-		return nil, fmt.Errorf("loadgen: bad base URL %q", opts.BaseURL)
+	for _, target := range opts.Targets {
+		base, err := url.Parse(target)
+		if err != nil || base.Scheme == "" || base.Host == "" {
+			return nil, fmt.Errorf("loadgen: bad base URL %q", target)
+		}
+	}
+	// Round-robin cursor over the target fleet, shared by priming and
+	// every worker: request-by-request rotation, not per-worker pinning,
+	// so an asymmetric fleet cannot hide behind worker scheduling.
+	var cursor atomic.Uint64
+	nextTarget := func() string {
+		return opts.Targets[int(cursor.Add(1)-1)%len(opts.Targets)]
 	}
 
 	// Cumulative weights for O(log n) class draws.
@@ -239,11 +260,15 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 
 	if !opts.SkipPrime {
 		rng := rand.New(rand.NewSource(opts.Seed))
-		for _, e := range opts.Mix {
-			req, _ := http.NewRequestWithContext(ctx, http.MethodGet, opts.BaseURL+pathFor(e.Kind, rng, &opts), nil)
-			if resp, err := opts.Client.Do(req); err == nil {
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
+		// Warm every traffic class on every target: each node of a fleet
+		// has its own caches to prime.
+		for _, target := range opts.Targets {
+			for _, e := range opts.Mix {
+				req, _ := http.NewRequestWithContext(ctx, http.MethodGet, target+pathFor(e.Kind, rng, &opts), nil)
+				if resp, err := opts.Client.Do(req); err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
 			}
 		}
 	}
@@ -340,7 +365,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 					break
 				}
 				kind := pick(rng)
-				req, err := http.NewRequestWithContext(runCtx, http.MethodGet, opts.BaseURL+pathFor(kind, rng, &opts), nil)
+				req, err := http.NewRequestWithContext(runCtx, http.MethodGet, nextTarget()+pathFor(kind, rng, &opts), nil)
 				if err != nil {
 					continue
 				}

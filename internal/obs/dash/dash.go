@@ -129,6 +129,8 @@ type dashData struct {
 	Query     []redRow
 	SLO       []sloRow
 	Engine    []statRow
+	Replica   []statRow
+	Fleet     []fleetRow
 	Search    []statRow
 	Caches    []cacheRow
 	Workers   []gaugeRow
@@ -166,6 +168,8 @@ func (h *handler) dashboard(w http.ResponseWriter, r *http.Request) {
 	}
 	if reg := h.cfg.Registry; reg != nil {
 		d.Engine = engineRows(reg)
+		d.Replica = replicaRows(reg)
+		d.Fleet = fleetRows(reg)
 		d.Search = searchIndexRows(reg)
 		d.Caches = cacheRows(reg)
 		d.Runtime = runtimeRows(reg)
@@ -371,6 +375,60 @@ func engineRows(reg *obs.Registry) []statRow {
 	}
 }
 
+// fleetRow is one follower's line in the Replication panel.
+type fleetRow struct {
+	Node string
+	Lag  string
+}
+
+// replicaRows summarizes the replication tier from the pdcu_replica_*
+// series: this node's role and lag, the encoded snapshot footprint,
+// fetch traffic, and the size of the fleet it coordinates.
+func replicaRows(reg *obs.Registry) []statRow {
+	get := func(name string) float64 {
+		if s := reg.Snapshot(name); len(s) == 1 {
+			return s[0].Value
+		}
+		return 0
+	}
+	role := "—"
+	for _, s := range reg.Snapshot("pdcu_replica_role") {
+		if s.Value == 1 {
+			role = s.Labels["role"]
+		}
+	}
+	var fetches, adopted float64
+	for _, s := range reg.Snapshot("pdcu_replica_fetch_total") {
+		fetches += s.Value
+		if s.Labels["result"] == "adopted" {
+			adopted += s.Value
+		}
+	}
+	rows := []statRow{
+		{"role", role},
+		{"snapshot", fmtBytes(get("pdcu_replica_snapshot_bytes"))},
+		{"followers", fmtNum(get("pdcu_replica_fleet_followers"))},
+	}
+	if role == "follower" {
+		rows = append(rows,
+			statRow{"lag", fmtNum(get("pdcu_replica_lag"))},
+			statRow{"fetches", fmtNum(fetches)},
+			statRow{"adopted", fmtNum(adopted)})
+	}
+	return rows
+}
+
+// fleetRows lists every live follower's lag, straight from the
+// node-labeled pdcu_replica_fleet_lag gauge the coordinator refreshes
+// on each heartbeat.
+func fleetRows(reg *obs.Registry) []fleetRow {
+	var rows []fleetRow
+	for _, s := range reg.Snapshot("pdcu_replica_fleet_lag") {
+		rows = append(rows, fleetRow{Node: s.Labels["node"], Lag: fmtNum(s.Value)})
+	}
+	return rows
+}
+
 // searchIndexRows summarizes the live search index from the
 // pdcu_search_index_* gauges Build refreshes on every generation:
 // corpus and vocabulary size, postings volume, and what the inverted
@@ -528,6 +586,12 @@ svg.spark{vertical-align:middle}polyline{fill:none;stroke:#6cb6ff;stroke-width:1
 <h2>Engine</h2>
 <table><tr>{{range .Engine}}<th>{{.Name}}</th>{{end}}</tr>
 <tr>{{range .Engine}}<td class="num">{{.Value}}</td>{{end}}</tr></table>
+
+<h2>Replication <span class="dim">(<a href="/replica/v1/fleet">/replica/v1/fleet</a>)</span></h2>
+<table><tr>{{range .Replica}}<th>{{.Name}}</th>{{end}}</tr>
+<tr>{{range .Replica}}<td class="num">{{.Value}}</td>{{end}}</tr></table>
+{{if .Fleet}}<table><tr><th>follower</th><th>lag</th></tr>
+{{range .Fleet}}<tr><td>{{.Node}}</td><td class="num">{{.Lag}}</td></tr>{{end}}</table>{{end}}
 
 <h2>Search index</h2>
 <table><tr>{{range .Search}}<th>{{.Name}}</th>{{end}}</tr>

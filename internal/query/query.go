@@ -300,6 +300,10 @@ func (s *Service) handle(name string, parse parseFn) http.HandlerFunc {
 			writeError(w, name, http.StatusServiceUnavailable, "no generation published yet")
 			return
 		}
+		// Stamp the generation before any write path — 200, 304, and gzip
+		// responses all carry it, so replicas can be compared (and a
+		// conditional revalidation attributed) by header alone.
+		w.Header().Set("Pdcu-Generation", snap.Generation)
 		full := name + "\x00" + snap.Generation + "\x00" + key
 		_, cSpan := trace.StartSpan(ctx, "query.cache")
 		cSpan.SetAttr("generation", snap.Generation)

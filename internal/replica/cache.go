@@ -1,0 +1,77 @@
+package replica
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"pdcunplugged/internal/engine"
+	"pdcunplugged/internal/obs"
+)
+
+var coldStarts = obs.Default().Counter("pdcu_replica_cold_starts_total",
+	"Cold-start attempts from a persisted snapshot, by result (adopted, empty, rejected).", "result")
+
+// snapshotFile is the single snapshot kept per directory: the cache
+// holds only the latest generation, which is the only one worth booting
+// from.
+const snapshotFile = "latest.snap"
+
+// Save atomically persists snapshot bytes under dir: written to a temp
+// file in the same directory, then renamed over latest.snap, so a crash
+// mid-write leaves the previous snapshot intact and a concurrent Load
+// never observes a torn file.
+func Save(dir string, data []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("replica: save: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".snap-*")
+	if err != nil {
+		return fmt.Errorf("replica: save: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("replica: save: %w", err)
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("replica: save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("replica: save: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, snapshotFile)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("replica: save: %w", err)
+	}
+	return nil
+}
+
+// Load decodes the persisted snapshot under dir into a servable
+// generation, returning the raw bytes alongside it (a follower keeps
+// them to seed its conditional-fetch state). A missing file is
+// (nil, nil, nil) — cold cache, not an error; a corrupt file is an
+// error, and the caller falls back to building or fetching.
+func Load(dir string) (*engine.Generation, []byte, error) {
+	data, err := os.ReadFile(filepath.Join(dir, snapshotFile))
+	if os.IsNotExist(err) {
+		coldStarts.With("empty").Inc()
+		return nil, nil, nil
+	}
+	if err != nil {
+		coldStarts.With("rejected").Inc()
+		return nil, nil, fmt.Errorf("replica: load: %w", err)
+	}
+	gen, err := Decode(data)
+	if err != nil {
+		coldStarts.With("rejected").Inc()
+		return nil, nil, fmt.Errorf("replica: load %s: %w", filepath.Join(dir, snapshotFile), err)
+	}
+	coldStarts.With("adopted").Inc()
+	obs.Logger().Info("cold-started from snapshot",
+		"dir", dir, "seq", gen.Seq, "generation", gen.ID, "bytes", len(data))
+	return gen, data, nil
+}

@@ -1,0 +1,183 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+
+	"pdcunplugged/internal/engine"
+	"pdcunplugged/internal/obs"
+)
+
+var (
+	replicaLag = obs.Default().Gauge("pdcu_replica_lag",
+		"Generations this follower is behind the leader (0 = converged).")
+	fetchTotal = obs.Default().Counter("pdcu_replica_fetch_total",
+		"Snapshot fetch attempts by outcome (adopted, unchanged, stale, error).", "result")
+	fetchDuration = obs.Default().Histogram("pdcu_replica_fetch_duration_seconds",
+		"Wall time of one snapshot fetch + decode + adopt cycle.", obs.DefBuckets())
+	fetchBytes = obs.Default().Counter("pdcu_replica_fetch_bytes_total",
+		"Snapshot payload bytes fetched from the leader.")
+)
+
+// Follower keeps an engine converged to a leader: a long-poll loop on
+// the leader's /replica/v1/snapshot endpoint fetches each new
+// generation, verifies and decodes it, adopts it into the engine, and
+// reports position back to the fleet coordinator. Transport and decode
+// failures back off exponentially with jitter; a corrupt or stale
+// snapshot is dropped and the currently-served generation stays live.
+type Follower struct {
+	// Eng is the engine whose publish pointer the follower drives.
+	Eng *engine.Engine
+	// Base is the leader's base URL (scheme://host[:port]).
+	Base string
+	// Node identifies this follower in fleet status and metrics.
+	Node string
+	// Dir, when set, persists every adopted snapshot's raw bytes for
+	// cold starts.
+	Dir string
+	// Client is the HTTP client; nil selects a client whose timeout
+	// accommodates the long poll.
+	Client *http.Client
+
+	etag string
+}
+
+// pollTimeout is the long-poll window the follower requests; the HTTP
+// client timeout leaves headroom over it for the transfer itself.
+const pollTimeout = 30 * time.Second
+
+// Run drives the fetch loop until ctx is cancelled. It always returns
+// ctx.Err(); transient failures are retried internally with backoff.
+func (f *Follower) Run(ctx context.Context) error {
+	client := f.Client
+	if client == nil {
+		client = &http.Client{Timeout: pollTimeout + 15*time.Second}
+	}
+	backoff := 500 * time.Millisecond
+	for {
+		if err := f.fetchOnce(ctx, client); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			fetchTotal.With("error").Inc()
+			obs.Logger().Warn("replica fetch failed", "leader", f.Base, "err", err,
+				"retry_in", backoff.Round(time.Millisecond).String())
+			// Jittered exponential backoff: ±20% keeps a restarted fleet
+			// from long-polling the leader in lockstep.
+			sleep := backoff + time.Duration((rand.Float64()-0.5)*0.4*float64(backoff))
+			backoff *= 2
+			if backoff > 15*time.Second {
+				backoff = 15 * time.Second
+			}
+			select {
+			case <-time.After(sleep):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			continue
+		}
+		backoff = 500 * time.Millisecond
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+}
+
+// fetchOnce performs one long-poll cycle: at most one snapshot transfer,
+// ending in adoption, a no-change verdict, or an error.
+func (f *Follower) fetchOnce(ctx context.Context, client *http.Client) error {
+	done := fetchDuration.With().Timer()
+	defer done()
+
+	var cur uint64
+	if g := f.Eng.Current(); g != nil {
+		cur = g.Seq
+	}
+	url := fmt.Sprintf("%s/replica/v1/snapshot?wait_seq=%d&timeout=%s", f.Base, cur, pollTimeout)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	if f.etag != "" {
+		req.Header.Set("If-None-Match", f.etag)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+
+	if seq := resp.Header.Get("Pdcu-Seq"); seq != "" {
+		if leaderSeq, err := strconv.ParseUint(seq, 10, 64); err == nil && leaderSeq >= cur {
+			replicaLag.Set(float64(leaderSeq - cur))
+		}
+	}
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		fetchTotal.With("unchanged").Inc()
+		f.heartbeat(ctx, client)
+		return nil
+	case http.StatusOK:
+	default:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("leader returned %s", resp.Status)
+	}
+
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	fetchBytes.Add(float64(len(data)))
+	gen, err := Decode(data)
+	if err != nil {
+		return fmt.Errorf("snapshot rejected: %w", err)
+	}
+	if !f.Eng.Adopt(gen) {
+		fetchTotal.With("stale").Inc()
+		f.heartbeat(ctx, client)
+		return nil
+	}
+	f.etag = resp.Header.Get("ETag")
+	replicaLag.Set(0)
+	fetchTotal.With("adopted").Inc()
+	obs.Logger().Info("snapshot adopted",
+		"seq", gen.Seq, "generation", gen.ID, "bytes", len(data), "leader", f.Base)
+	if f.Dir != "" {
+		if err := Save(f.Dir, data); err != nil {
+			obs.Logger().Warn("snapshot save failed", "dir", f.Dir, "err", err)
+		}
+	}
+	f.heartbeat(ctx, client)
+	return nil
+}
+
+// heartbeat reports this follower's position to the fleet coordinator.
+// Best-effort: a missed heartbeat only ages this node in fleet status.
+func (f *Follower) heartbeat(ctx context.Context, client *http.Client) {
+	g := f.Eng.Current()
+	if g == nil || f.Node == "" {
+		return
+	}
+	body, _ := json.Marshal(heartbeat{Node: f.Node, Seq: g.Seq, Generation: g.ID})
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, f.Base+"/replica/v1/fleet", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		obs.Logger().Debug("fleet heartbeat failed", "err", err)
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	resp.Body.Close()
+}

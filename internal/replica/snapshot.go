@@ -1,0 +1,295 @@
+// Package replica makes a published engine.Generation a transportable
+// artifact. A snapshot is the wire and on-disk form of one generation:
+// the parsed corpus, the rendered site, and the search-index slabs,
+// framed in a versioned, CRC-guarded binary envelope. Decoding a
+// snapshot reconstructs a servable *engine.Generation without reparsing
+// any Markdown or rebuilding the index — the two expensive stages of the
+// pipeline — which is what lets followers adopt a leader's build in
+// milliseconds and lets any node cold-start from its last snapshot.
+//
+// On top of the codec the package provides the replication tier itself:
+// a Leader that serves snapshots over HTTP with long-poll change
+// notification (/replica/v1/*), a Follower loop that keeps an engine
+// converged to a leader, a disk cache for cold starts, and a fleet
+// coordinator that tracks every follower's sequence and staleness.
+package replica
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"pdcunplugged/internal/activity"
+	"pdcunplugged/internal/core"
+	"pdcunplugged/internal/engine"
+	"pdcunplugged/internal/search"
+	"pdcunplugged/internal/site"
+)
+
+// magic identifies a generation snapshot; the trailing digit is the
+// envelope version. A format change bumps the digit, so a node never
+// misinterprets an old snapshot — it refuses it and rebuilds.
+const magic = "PDCUSNP1"
+
+// sectionNames is the fixed section order of the envelope. Fixed order
+// (rather than a directory) keeps encoding deterministic: the same
+// generation always serializes to the same bytes, so snapshot equality
+// is byte equality and caches can use content ranges as validators.
+var sectionNames = [4]string{"meta", "corpus", "site", "index"}
+
+// meta is the snapshot's identity section, encoded as JSON: everything
+// a node needs to decide whether to adopt the snapshot before paying
+// for the corpus and index sections.
+type meta struct {
+	Seq           uint64            `json:"seq"`
+	Fingerprint   string            `json:"fingerprint"`
+	ID            string            `json:"id"`
+	BuiltAtUnixNs int64             `json:"builtAtUnixNs"`
+	TraceID       string            `json:"traceId,omitempty"`
+	Stats         site.BuildStats   `json:"stats"`
+	IndexStats    search.IndexStats `json:"indexStats"`
+}
+
+// Encode serializes a published generation into the snapshot envelope.
+// The result is deterministic: encoding the same generation (or one
+// decoded from this snapshot) yields byte-identical output.
+func Encode(g *engine.Generation) ([]byte, error) {
+	if g == nil || g.Repo == nil || g.Site == nil || g.Index == nil {
+		return nil, fmt.Errorf("replica: encode: generation is incomplete")
+	}
+	metaPayload, err := json.Marshal(meta{
+		Seq:           g.Seq,
+		Fingerprint:   g.Fingerprint,
+		ID:            g.ID,
+		BuiltAtUnixNs: g.BuiltAt.UnixNano(),
+		TraceID:       g.TraceID,
+		Stats:         g.Stats,
+		IndexStats:    g.IndexStats,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("replica: encode meta: %w", err)
+	}
+
+	var corpus bytes.Buffer
+	if err := gob.NewEncoder(&corpus).Encode(g.Repo.All()); err != nil {
+		return nil, fmt.Errorf("replica: encode corpus: %w", err)
+	}
+
+	var pages bytes.Buffer
+	paths := g.Site.Paths()
+	writeU32(&pages, uint32(len(paths)))
+	for _, p := range paths {
+		writeStr(&pages, p)
+		data := g.Site.Pages[p]
+		writeU32(&pages, uint32(len(data)))
+		pages.Write(data)
+	}
+
+	index, err := g.Index.EncodeSnapshot()
+	if err != nil {
+		return nil, fmt.Errorf("replica: encode index: %w", err)
+	}
+
+	var out bytes.Buffer
+	out.WriteString(magic)
+	for i, payload := range [][]byte{metaPayload, corpus.Bytes(), pages.Bytes(), index} {
+		writeStr(&out, sectionNames[i])
+		writeU32(&out, uint32(len(payload)))
+		writeU32(&out, crc32.ChecksumIEEE(payload))
+		out.Write(payload)
+	}
+	return out.Bytes(), nil
+}
+
+// Decode reconstructs a servable generation from snapshot bytes. Every
+// section CRC is verified before its payload is interpreted, the corpus
+// is re-validated through core.New, and the rebuilt repository's
+// fingerprint must equal the one the snapshot claims — a snapshot that
+// was truncated, bit-flipped, or assembled from mismatched parts is
+// rejected rather than served. Markdown parsing and index building are
+// never invoked.
+func Decode(data []byte) (*engine.Generation, error) {
+	r := &envReader{buf: data}
+	if got := string(r.bytes(len(magic))); r.err == nil && got != magic {
+		return nil, fmt.Errorf("replica: not a snapshot (magic %q)", got)
+	}
+	sections := make([][]byte, len(sectionNames))
+	for i, want := range sectionNames {
+		name := r.str()
+		if r.err == nil && name != want {
+			return nil, fmt.Errorf("replica: section %d is %q, want %q", i, name, want)
+		}
+		n := int(r.u32())
+		sum := r.u32()
+		payload := r.bytes(n)
+		if r.err != nil {
+			return nil, r.err
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return nil, fmt.Errorf("replica: section %q fails checksum", want)
+		}
+		sections[i] = payload
+	}
+	if r.pos != len(r.buf) {
+		return nil, fmt.Errorf("replica: %d trailing bytes after last section", len(r.buf)-r.pos)
+	}
+
+	var m meta
+	if err := json.Unmarshal(sections[0], &m); err != nil {
+		return nil, fmt.Errorf("replica: decode meta: %w", err)
+	}
+
+	var acts []*activity.Activity
+	if err := gob.NewDecoder(bytes.NewReader(sections[1])).Decode(&acts); err != nil {
+		return nil, fmt.Errorf("replica: decode corpus: %w", err)
+	}
+	repo, err := core.New(acts)
+	if err != nil {
+		return nil, fmt.Errorf("replica: corpus failed validation: %w", err)
+	}
+	if fp := repo.Fingerprint(); fp != m.Fingerprint {
+		return nil, fmt.Errorf("replica: corpus fingerprint %.16s does not match snapshot %.16s", fp, m.Fingerprint)
+	}
+	if len(m.Fingerprint) < len(m.ID) || m.Fingerprint[:len(m.ID)] != m.ID || m.ID == "" {
+		return nil, fmt.Errorf("replica: generation id %q is not a prefix of the fingerprint", m.ID)
+	}
+
+	sr := &envReader{buf: sections[2]}
+	n := int(sr.u32())
+	if sr.err == nil && n > len(sr.buf)/2 {
+		return nil, fmt.Errorf("replica: site section claims %d pages in %d bytes", n, len(sr.buf))
+	}
+	pagesMap := make(map[string][]byte, n)
+	prev := ""
+	for i := 0; i < n && sr.err == nil; i++ {
+		p := sr.str()
+		size := int(sr.u32())
+		body := sr.bytes(size)
+		if sr.err != nil {
+			break
+		}
+		if i > 0 && p <= prev {
+			return nil, fmt.Errorf("replica: site pages out of order at %q", p)
+		}
+		prev = p
+		pagesMap[p] = append([]byte(nil), body...)
+	}
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	if sr.pos != len(sr.buf) {
+		return nil, fmt.Errorf("replica: trailing bytes in site section")
+	}
+
+	ix, err := search.DecodeSnapshot(sections[3])
+	if err != nil {
+		return nil, fmt.Errorf("replica: decode index: %w", err)
+	}
+	if ix.Len() != repo.Len() {
+		return nil, fmt.Errorf("replica: index covers %d docs, corpus has %d", ix.Len(), repo.Len())
+	}
+
+	return engine.NewGeneration(engine.Generation{
+		Seq:         m.Seq,
+		Repo:        repo,
+		Site:        site.FromPages(pagesMap),
+		Index:       ix,
+		Fingerprint: m.Fingerprint,
+		ID:          m.ID,
+		BuiltAt:     time.Unix(0, m.BuiltAtUnixNs),
+		TraceID:     m.TraceID,
+		Stats:       m.Stats,
+		IndexStats:  m.IndexStats,
+	}), nil
+}
+
+// DecodeMeta reads only the identity section of a snapshot — enough for
+// a node to report what it has on disk (or decline a stale fetch)
+// without paying for corpus validation.
+func DecodeMeta(data []byte) (seq uint64, id, fingerprint string, err error) {
+	r := &envReader{buf: data}
+	if got := string(r.bytes(len(magic))); r.err == nil && got != magic {
+		return 0, "", "", fmt.Errorf("replica: not a snapshot (magic %q)", got)
+	}
+	name := r.str()
+	n := int(r.u32())
+	sum := r.u32()
+	payload := r.bytes(n)
+	if r.err != nil {
+		return 0, "", "", r.err
+	}
+	if name != "meta" || crc32.ChecksumIEEE(payload) != sum {
+		return 0, "", "", fmt.Errorf("replica: corrupt meta section")
+	}
+	var m meta
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return 0, "", "", fmt.Errorf("replica: decode meta: %w", err)
+	}
+	return m.Seq, m.ID, m.Fingerprint, nil
+}
+
+// writeU32 appends v little-endian.
+func writeU32(b *bytes.Buffer, v uint32) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	b.Write(tmp[:])
+}
+
+// writeStr appends a u32-length-prefixed string.
+func writeStr(b *bytes.Buffer, s string) {
+	writeU32(b, uint32(len(s)))
+	b.WriteString(s)
+}
+
+// envReader is a bounds-checked cursor over envelope bytes: the first
+// out-of-range read latches err and every later read returns zero, so
+// decode paths check err once per section instead of per field, and a
+// truncated input can never index past the buffer.
+type envReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *envReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("replica: truncated snapshot: "+format, args...)
+	}
+}
+
+func (r *envReader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.pos+n > len(r.buf) {
+		r.fail("need %d bytes at offset %d of %d", n, r.pos, len(r.buf))
+		return nil
+	}
+	out := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return out
+}
+
+func (r *envReader) u32() uint32 {
+	b := r.bytes(4)
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *envReader) str() string {
+	n := int(r.u32())
+	if r.err != nil {
+		return ""
+	}
+	if n > len(r.buf)-r.pos {
+		r.fail("string of %d bytes at offset %d of %d", n, r.pos, len(r.buf))
+		return ""
+	}
+	return string(r.bytes(n))
+}

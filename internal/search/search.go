@@ -32,6 +32,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 	"unicode"
 
@@ -238,10 +239,18 @@ type docPosting struct {
 	tf  float32
 }
 
+// buildCalls counts Build invocations process-wide. Cold-start tests
+// assert that adopting a decoded snapshot never re-inverts the corpus.
+var buildCalls atomic.Int64
+
+// BuildCalls returns how many times Build has run in this process.
+func BuildCalls() int64 { return buildCalls.Load() }
+
 // Build indexes the given activities: tokenize and weigh every field,
 // intern the vocabulary, lay the posting lists out as slabs in doc-ID
 // order, and precompute one doc bitset per in-use taxonomy term.
 func Build(acts []*activity.Activity) *Index {
+	buildCalls.Add(1)
 	start := time.Now()
 	n := len(acts)
 	sorted := make([]*activity.Activity, n)

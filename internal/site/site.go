@@ -50,6 +50,12 @@ func newSite(pages map[string][]byte) *Site {
 	return s
 }
 
+// FromPages assembles a servable Site from already-rendered page bytes
+// (a replication snapshot): the ETag table is recomputed from the
+// content hashes, so a restored site serves the same strong validators
+// as the build that produced it — identical bytes, identical ETags.
+func FromPages(pages map[string][]byte) *Site { return newSite(pages) }
+
 // Len returns the number of generated files.
 func (s *Site) Len() int { return len(s.Pages) }
 
