@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check lint vet fmtcheck test test-race build fmt bench-smoke trace-overhead slo-smoke loadtest-baseline bench-index bench-index-record fuzz-smoke replica-smoke
+.PHONY: check lint vet fmtcheck test test-race build fmt bench-smoke trace-overhead slo-smoke loadtest-baseline bench-index bench-index-record fuzz-smoke replica-smoke fleet-obs-smoke
 
-check: lint test-race bench-smoke trace-overhead bench-index slo-smoke replica-smoke
+check: lint test-race bench-smoke trace-overhead bench-index slo-smoke replica-smoke fleet-obs-smoke
 
 # Static hygiene in one target: formatting and go vet.
 lint: fmtcheck vet
@@ -78,6 +78,16 @@ fuzz-smoke:
 # with neither follower parsing Markdown or building an index.
 replica-smoke:
 	$(GO) test -race -run 'TestReplicaSmoke|TestColdStartFromSnapshotDir' -count=1 -v ./cmd/pdcu
+
+# Fleet observability smoke under the race detector: a leader and a
+# follower wired the way cmdServe wires them must produce a stitched
+# cross-node trace (follower fetch + leader snapshot serve under one
+# trace ID), a federated /metrics/fleet with both node labels, /readyz
+# replication extras, and a downloadable pprof capture from an induced
+# SLO breach. The rollup-across-Adopt test rides along: generation
+# swaps must not clamp counter windows as resets.
+fleet-obs-smoke:
+	$(GO) test -race -run 'TestFleetObsSmoke|TestRollupWindowsSpanAdopt' -count=1 -v ./cmd/pdcu
 
 # Tracing cost ceiling: with sampling off, the traced cached
 # /api/v1/search path must stay within 5% of the untraced one

@@ -1,0 +1,249 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pdcunplugged/internal/engine"
+	"pdcunplugged/internal/obs"
+	"pdcunplugged/internal/obs/fleet"
+	"pdcunplugged/internal/obs/trace"
+	"pdcunplugged/internal/replica"
+)
+
+// TestFleetObsSmoke is the fleet observability tier end to end, the way
+// `make fleet-obs-smoke` gates it: a leader and a follower with the
+// exact wiring cmdServe performs, then every acceptance surface in one
+// run — the follower's fetch cycle and the leader's snapshot serve
+// stitched into a single trace, /metrics/fleet carrying both nodes'
+// series under node= labels, /readyz reporting replication role and
+// position, and an induced SLO breach producing a downloadable pprof
+// capture.
+func TestFleetObsSmoke(t *testing.T) {
+	// Leader: breach-triggered profiling on, with a CPU window short
+	// enough for a test.
+	leaderEng := builtEngine(t, func(c *engine.Config) {
+		c.ProfileOnBreach = true
+		c.ProfileCPU = 50 * time.Millisecond
+	})
+	rep := replica.NewLeader(leaderEng)
+	leaderEng.SetPeerSource(func() []fleet.Peer {
+		var peers []fleet.Peer
+		for _, f := range rep.FleetStatus().Followers {
+			if f.URL != "" {
+				peers = append(peers, fleet.Peer{Node: f.Node, URL: f.URL})
+			}
+		}
+		return peers
+	})
+	leaderEng.SetReadyExtra(func() map[string]any {
+		return map[string]any{"role": "leader"}
+	})
+	lmux := leaderEng.Mux()
+	// The middleware wrap is load-bearing: it is what records the
+	// leader-side half of the follower's fetch trace.
+	lmux.Handle("/replica/v1/", leaderEng.Middleware().Wrap(rep.Handler()))
+	leaderSrv := httptest.NewServer(lmux)
+	t.Cleanup(leaderSrv.Close)
+
+	// Follower: own engine (own tracer, own rollup), advertising its
+	// URL on heartbeats so the leader's fleet roster can scrape it.
+	folEng := testEngine(t, nil)
+	folEng.SetSelfNode("fleet-f1")
+	folEng.SetPeerSource(func() []fleet.Peer {
+		return []fleet.Peer{{Node: "leader", URL: leaderSrv.URL}}
+	})
+	fmux := folEng.Mux()
+	fmux.Handle("/replica/v1/", replica.NewLeader(folEng).Handler())
+	folSrv := httptest.NewServer(fmux)
+	t.Cleanup(folSrv.Close)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fol := &replica.Follower{
+		Eng:    folEng,
+		Base:   leaderSrv.URL,
+		Node:   "fleet-f1",
+		Self:   folSrv.URL,
+		Tracer: folEng.Tracer(),
+	}
+	folEng.SetReadyExtra(func() map[string]any {
+		return map[string]any{"role": "follower", "replica_lag": fol.Lag()}
+	})
+	go fol.Run(ctx)
+
+	waitConverged(t, leaderEng, folEng)
+
+	// --- Cross-node trace stitching -----------------------------------
+
+	// The follower recorded its fetch cycle as a trace; the same trace
+	// ID must be retained on the leader, where the traceparent-carrying
+	// snapshot GET recorded the serve-side span.
+	var fetch trace.Data
+	deadline := time.Now().Add(10 * time.Second)
+	for fetch.ID.IsZero() && time.Now().Before(deadline) {
+		for _, d := range folEng.Tracer().Store().List() {
+			if d.Root == "replica.fetch" {
+				fetch = d
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if fetch.ID.IsZero() {
+		t.Fatal("follower retained no replica.fetch trace")
+	}
+	leaderHalf, ok := leaderEng.Tracer().Store().Get(fetch.ID)
+	if !ok {
+		t.Fatalf("leader retained no half of follower trace %s", fetch.ID)
+	}
+	serveSpan := false
+	for _, sp := range leaderHalf.Spans {
+		if strings.Contains(sp.Name, "/replica/v1/snapshot") {
+			serveSpan = true
+		}
+	}
+	if !serveSpan {
+		t.Fatalf("leader half has no snapshot-serve span: %+v", leaderHalf.Spans)
+	}
+
+	// The follower's trace view with ?remote=1 federates the leader's
+	// half into one stitched waterfall.
+	stitchedURL := folSrv.URL + "/debug/obs/traces/" + fetch.ID.String() + "?remote=1"
+	resp, err := http.Get(stitchedURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stitched view = %d: %s", resp.StatusCode, html)
+	}
+	for _, want := range []string{"replica.fetch", "/replica/v1/snapshot", "stitched"} {
+		if !strings.Contains(string(html), want) {
+			t.Errorf("stitched waterfall missing %q:\n%s", want, html)
+		}
+	}
+	resp, err = http.Get(stitchedURL + "&format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire trace.WireTrace
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(wire.Spans) <= len(fetch.Spans) {
+		t.Errorf("stitched JSON has %d spans, local half alone has %d",
+			len(wire.Spans), len(fetch.Spans))
+	}
+
+	// --- Metrics federation -------------------------------------------
+
+	// The leader's roster comes from the follower's heartbeat (which
+	// advertised folSrv.URL); one scrape federates both nodes.
+	leaderEng.Fleet().ScrapeOnce(ctx)
+	resp, err = http.Get(leaderSrv.URL + "/metrics/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics/fleet = %d", resp.StatusCode)
+	}
+	for _, want := range []string{`node="leader"`, `node="fleet-f1"`} {
+		if !strings.Contains(string(fed), want) {
+			t.Errorf("/metrics/fleet missing %s", want)
+		}
+	}
+
+	// --- /readyz replication extras -----------------------------------
+
+	for srvURL, want := range map[string]string{
+		leaderSrv.URL: `"role": "leader"`,
+		folSrv.URL:    `"role": "follower"`,
+	} {
+		resp, err := http.Get(srvURL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/readyz = %d: %s", resp.StatusCode, body)
+		}
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/readyz missing %s: %s", want, body)
+		}
+	}
+	resp, err = http.Get(folSrv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"replica_lag"`) {
+		t.Errorf("follower /readyz missing replica_lag: %s", body)
+	}
+
+	// --- Breach-triggered profile capture ------------------------------
+
+	// Induce the breach via the metrics themselves, not wall-clock
+	// latency: observing over-threshold durations directly into the
+	// query histogram is deterministic under the race detector's
+	// slowdown. Registering the same family returns the existing one.
+	hist := obs.Default().Histogram("pdcu_query_duration_seconds",
+		"Query API request latency, by endpoint.", obs.QueryBuckets(), "endpoint")
+	ru := leaderEng.Rollup()
+	ru.Collect() // absorb process history into a pre-breach window
+	for i := 0; i < 50000; i++ {
+		hist.With("search").Observe(0.08) // 16x the 5ms objective
+	}
+	ru.Collect() // sample the all-bad window
+	ru.Collect() // hooks run first: the SLO engine sees the breach here
+
+	var capture fleet.Capture
+	deadline = time.Now().Add(10 * time.Second)
+	for capture.ID == "" && time.Now().Before(deadline) {
+		for _, c := range leaderEng.Profiles().List() {
+			if c.Trigger == "breach" && c.Err == "" {
+				capture = c
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if capture.ID == "" {
+		t.Fatalf("no breach-triggered capture appeared; ring: %+v", leaderEng.Profiles().List())
+	}
+	if capture.Context == "" || !strings.Contains(capture.Context, "query-latency") {
+		t.Errorf("capture context %q does not name the breached objective", capture.Context)
+	}
+
+	// The capture is listed and downloadable over HTTP.
+	resp, err = http.Get(leaderSrv.URL + "/debug/obs/profiles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(list), capture.ID) {
+		t.Errorf("/debug/obs/profiles does not list %s: %s", capture.ID, list)
+	}
+	resp, err = http.Get(leaderSrv.URL + "/debug/obs/profiles/" + capture.ID + "/goroutine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(prof) == 0 {
+		t.Fatalf("goroutine profile download = %d, %d bytes", resp.StatusCode, len(prof))
+	}
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"context"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pdcunplugged/internal/replica"
+)
+
+// TestRollupWindowsSpanAdopt pins the rollup's behavior across a
+// follower generation swap: counters in the metrics registry are
+// process-global and survive Adopt(), so a window that spans the swap
+// must report exactly the requests served in that window — not an
+// absolute re-baseline, which is what the rollup's counter-reset
+// clamping would produce if Adopt were (wrongly) treated as a restart.
+func TestRollupWindowsSpanAdopt(t *testing.T) {
+	ctx := context.Background()
+
+	// The "leader" exists only to mint snapshots at increasing Seq.
+	leaderEng := builtEngine(t, nil)
+	snapshot := func() []byte {
+		t.Helper()
+		data, err := replica.Encode(leaderEng.Current())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	// The node under test adopts snapshots the way a follower does.
+	eng := testEngine(t, nil)
+	adopt := func(data []byte) {
+		t.Helper()
+		g, err := replica.Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eng.Adopt(g) {
+			t.Fatal("snapshot not adopted")
+		}
+	}
+	adopt(snapshot())
+	srv := httptest.NewServer(eng.Mux())
+	defer srv.Close()
+
+	query := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			resp, err := http.Get(srv.URL + "/api/v1/search?q=parallel")
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("query = %d", resp.StatusCode)
+			}
+		}
+	}
+	ru := eng.Rollup()
+	windowTotal := func(family string) float64 {
+		t.Helper()
+		var sum float64
+		seen := false
+		for _, ts := range ru.Series(family) {
+			if len(ts.Values) == 0 {
+				continue
+			}
+			v := ts.Values[len(ts.Values)-1].V
+			if !math.IsNaN(v) {
+				sum += v
+				seen = true
+			}
+		}
+		if !seen {
+			t.Fatalf("family %s has no window data", family)
+		}
+		return sum
+	}
+
+	// Window 1 absorbs process history (the registry is global); the
+	// windows under test are clean deltas from here on.
+	ru.Collect()
+
+	query(7)
+	ru.Collect()
+	if got := windowTotal("pdcu_query_requests_total"); got != 7 {
+		t.Fatalf("pre-adopt window counted %.0f query requests, want 7", got)
+	}
+
+	// Generation swap mid-stream: the leader republished, the follower
+	// adopts the codec round-trip — with queries on both sides of the
+	// swap inside one rollup window.
+	query(2)
+	if _, err := leaderEng.Rebuild(ctx); err != nil {
+		t.Fatal(err)
+	}
+	adopt(snapshot())
+	query(3)
+	ru.Collect()
+	if got := windowTotal("pdcu_query_requests_total"); got != 5 {
+		t.Fatalf("window spanning Adopt counted %.0f query requests, want 5 (clamped as a reset?)", got)
+	}
+
+	// The latency histogram's count-delta must agree — the same
+	// reset-clamping rule covers histogram sum/count.
+	query(4)
+	ru.Collect()
+	var histCount float64
+	for _, ts := range ru.Series("pdcu_query_duration_seconds") {
+		if len(ts.Counts) == 0 {
+			continue
+		}
+		if v := ts.Counts[len(ts.Counts)-1].V; !math.IsNaN(v) {
+			histCount += v
+		}
+	}
+	if histCount != 4 {
+		t.Fatalf("post-adopt window's histogram count-delta = %.0f, want 4", histCount)
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"pdcunplugged/internal/engine"
 	"pdcunplugged/internal/obs"
+	"pdcunplugged/internal/obs/fleet"
 	"pdcunplugged/internal/obs/trace"
 	"pdcunplugged/internal/replica"
 )
@@ -80,11 +81,28 @@ func cmdServe(args []string, w io.Writer) error {
 		replica.SetRole("follower")
 		host, _ := os.Hostname()
 		fol := &replica.Follower{
-			Eng:  eng,
-			Base: strings.TrimRight(cfg.Follow, "/"),
-			Node: fmt.Sprintf("%s-%d", host, os.Getpid()),
-			Dir:  cfg.SnapshotDir,
+			Eng:    eng,
+			Base:   strings.TrimRight(cfg.Follow, "/"),
+			Node:   fmt.Sprintf("%s-%d", host, os.Getpid()),
+			Dir:    cfg.SnapshotDir,
+			Self:   cfg.Advertise,
+			Tracer: eng.Tracer(),
 		}
+		// Fleet observability from the follower's seat: federated
+		// metrics label this node by its follower name, the leader is
+		// the one peer to scrape and to stitch traces from, and /readyz
+		// reports the replication position.
+		eng.SetSelfNode(fol.Node)
+		eng.SetPeerSource(func() []fleet.Peer {
+			return []fleet.Peer{{Node: "leader", URL: fol.Base}}
+		})
+		eng.SetReadyExtra(func() map[string]any {
+			return map[string]any{
+				"role":        "follower",
+				"leader":      fol.Base,
+				"replica_lag": fol.Lag(),
+			}
+		})
 		go func() {
 			if err := fol.Run(ctx); err != nil && ctx.Err() == nil {
 				log.Warn("follower loop stopped", "err", err)
@@ -98,8 +116,40 @@ func cmdServe(args []string, w io.Writer) error {
 	if cfg.Follow == "" && cfg.SnapshotDir != "" {
 		leader.AutoSave(cfg.SnapshotDir)
 	}
+	if cfg.Follow == "" {
+		// The leader's fleet roster comes from follower heartbeats:
+		// every follower that advertises a URL becomes a federation
+		// target, and /readyz reports how far the worst one trails.
+		eng.SetPeerSource(func() []fleet.Peer {
+			var peers []fleet.Peer
+			for _, f := range leader.FleetStatus().Followers {
+				if f.URL != "" {
+					peers = append(peers, fleet.Peer{Node: f.Node, URL: f.URL})
+				}
+			}
+			return peers
+		})
+		eng.SetReadyExtra(func() map[string]any {
+			st := leader.FleetStatus()
+			var maxLag int64
+			for _, f := range st.Followers {
+				if f.Lag > maxLag {
+					maxLag = f.Lag
+				}
+			}
+			return map[string]any{
+				"role":          "leader",
+				"followers":     len(st.Followers),
+				"fleet_max_lag": maxLag,
+			}
+		})
+	}
 	mux := eng.Mux()
-	mux.Handle("/replica/v1/", leader.Handler())
+	// The replication endpoints go through the request middleware so a
+	// follower's traceparent-carrying snapshot fetch records the serve
+	// side of the trace here — that is the leader half of a stitched
+	// cross-node waterfall.
+	mux.Handle("/replica/v1/", eng.Middleware().Wrap(leader.Handler()))
 
 	srv := &http.Server{
 		Addr:              cfg.Addr,
@@ -112,6 +162,9 @@ func cmdServe(args []string, w io.Writer) error {
 	}
 
 	go eng.Rollup().Run(ctx)
+	if cfg.FleetScrape > 0 {
+		go eng.Fleet().Run(ctx)
+	}
 	if cfg.Watch {
 		go func() {
 			if err := eng.Watch(ctx); err != nil && ctx.Err() == nil {
@@ -133,6 +186,9 @@ func cmdServe(args []string, w io.Writer) error {
 	}
 	if cfg.Follow != "" {
 		fmt.Fprintf(w, ", following %s", cfg.Follow)
+	}
+	if cfg.FleetScrape > 0 {
+		fmt.Fprintf(w, ", fleet scrape every %s (/metrics/fleet)", cfg.FleetScrape)
 	}
 	fmt.Fprintln(w, ")")
 	log.Info("server starting", "addr", cfg.Addr, "pages", pages,

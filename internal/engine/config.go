@@ -66,6 +66,22 @@ type Config struct {
 	// ready in milliseconds while the first fetch/build proceeds in the
 	// background. Empty disables persistence.
 	SnapshotDir string
+	// FleetScrape enables the fleet metrics federator: every interval
+	// the node scrapes its peers' /metrics and re-serves the union on
+	// /metrics/fleet. 0 disables the background loop (the endpoint still
+	// answers with a one-shot scrape). Must be 0 or >= 1s.
+	FleetScrape time.Duration
+	// ProfileOnBreach captures bounded pprof profiles (cpu, heap,
+	// goroutine) into the in-memory ring whenever an SLO objective
+	// transitions to breached.
+	ProfileOnBreach bool
+	// ProfileCPU is the CPU-profile sampling window for breach and
+	// manual captures; must be > 0.
+	ProfileCPU time.Duration
+	// Advertise is the base URL other fleet nodes can reach this node
+	// at. A follower sends it on heartbeats so the leader can scrape it
+	// and fetch its trace halves. Empty means "do not advertise".
+	Advertise string
 }
 
 // Defaults returns the base configuration layer.
@@ -80,6 +96,7 @@ func Defaults() Config {
 		TraceSample: 0.1,
 		TraceSlow:   250 * time.Millisecond,
 		LogSample:   1,
+		ProfileCPU:  5 * time.Second,
 	}
 }
 
@@ -164,6 +181,10 @@ func (c *Config) ApplyEnv(lookup func(string) (string, bool)) error {
 	float("PDCU_LOG_SAMPLE", &c.LogSample)
 	str("PDCU_FOLLOW", &c.Follow)
 	str("PDCU_SNAPSHOT_DIR", &c.SnapshotDir)
+	duration("PDCU_FLEET_SCRAPE", &c.FleetScrape)
+	boolean("PDCU_PROFILE_ON_BREACH", &c.ProfileOnBreach)
+	duration("PDCU_PROFILE_CPU", &c.ProfileCPU)
+	str("PDCU_ADVERTISE", &c.Advertise)
 	return firstErr
 }
 
@@ -199,6 +220,10 @@ func (c *Config) BindServeFlags(fs *flag.FlagSet) {
 	fs.Float64Var(&c.LogSample, "log-sample", c.LogSample, "access-log sample rate in [0,1]; errors and pinned-trace requests always log")
 	fs.StringVar(&c.Follow, "follow", c.Follow, "run as a read replica pulling generation snapshots from the leader at this base URL")
 	fs.StringVar(&c.SnapshotDir, "snapshot-dir", c.SnapshotDir, "persist the latest generation snapshot here and cold-start from it on boot")
+	fs.DurationVar(&c.FleetScrape, "fleet-scrape", c.FleetScrape, "scrape fleet peers' /metrics at this interval and federate them on /metrics/fleet (0 disables the loop)")
+	fs.BoolVar(&c.ProfileOnBreach, "profile-on-breach", c.ProfileOnBreach, "capture pprof profiles into the in-memory ring when an SLO objective breaches")
+	fs.DurationVar(&c.ProfileCPU, "profile-cpu", c.ProfileCPU, "CPU-profile sampling window for breach and manual captures")
+	fs.StringVar(&c.Advertise, "advertise", c.Advertise, "base URL peers can reach this node at (followers send it on heartbeats for fleet scraping and trace stitching)")
 }
 
 // Validate rejects configurations that previously misbehaved silently.
@@ -236,6 +261,18 @@ func (c Config) Validate() error {
 		}
 		if c.Watch {
 			return fmt.Errorf("-follow and -watch are exclusive (a follower never builds; the leader watches the corpus)")
+		}
+	}
+	if c.FleetScrape != 0 && c.FleetScrape < time.Second {
+		return fmt.Errorf("-fleet-scrape must be 0 or >= 1s, got %v", c.FleetScrape)
+	}
+	if c.ProfileCPU <= 0 {
+		return fmt.Errorf("-profile-cpu must be > 0, got %v", c.ProfileCPU)
+	}
+	if c.Advertise != "" {
+		u, err := url.Parse(c.Advertise)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return fmt.Errorf("-advertise must be an http(s) base URL, got %q", c.Advertise)
 		}
 	}
 	if _, err := obs.ParseLevel(c.LogLevel); err != nil {

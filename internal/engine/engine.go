@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,6 +33,7 @@ import (
 	"pdcunplugged/internal/core"
 	"pdcunplugged/internal/curation"
 	"pdcunplugged/internal/obs"
+	"pdcunplugged/internal/obs/fleet"
 	"pdcunplugged/internal/obs/slo"
 	"pdcunplugged/internal/obs/trace"
 	"pdcunplugged/internal/query"
@@ -151,6 +153,26 @@ type Engine struct {
 
 	sloOnce sync.Once
 	slo     *slo.Engine
+
+	fleetOnce sync.Once
+	fleet     *fleet.Scraper
+
+	profOnce sync.Once
+	profiles *fleet.ProfileRing
+
+	// peerSource supplies the fleet roster (func() []fleet.Peer); set by
+	// the serve command once the replication role is known, read lazily
+	// at scrape time so wiring order does not matter.
+	peerSource atomic.Value
+
+	// readyExtra contributes role/lag fields to /readyz
+	// (func() map[string]any).
+	readyExtra atomic.Value
+
+	// selfNode is this node's label in federated fleet metrics (string);
+	// defaults to "leader", overridden by the serve command for
+	// followers. Must be set before the first Fleet() call.
+	selfNode atomic.Value
 }
 
 // New validates cfg and returns an engine with no generation published
@@ -177,6 +199,17 @@ func New(cfg Config) (*Engine, error) {
 	info := buildInfo.With(bi.Version, bi.GoVersion, bi.Revision)
 	info.Set(0)
 	e.Subscribe(func(g *Generation) { info.Set(float64(g.Seq)) })
+	if cfg.ProfileOnBreach {
+		// Breach-triggered profiling: evaluate objectives on every rollup
+		// tick (hooks run outside the rollup lock) and capture profiles in
+		// the background on each ok→breached transition, tagged with the
+		// objectives that tripped.
+		e.SLO().SetOnBreach(func(objectives []string) {
+			obs.Logger().Warn("SLO breach: capturing profiles", "objectives", objectives)
+			e.Profiles().CaptureAsync("breach", strings.Join(objectives, ","))
+		})
+		e.Rollup().AddHook(func() { e.SLO().Evaluate() })
+	}
 	return e, nil
 }
 
@@ -377,6 +410,79 @@ func (e *Engine) SLO() *slo.Engine {
 		e.slo = slo.New(obs.Default(), e.Rollup(), slo.DefaultObjectives(), slo.Options{})
 	})
 	return e.slo
+}
+
+// SetPeerSource supplies the current fleet roster: the leader derives
+// it from follower heartbeats, a follower points it at its leader. The
+// scraper and the trace-stitching view both read it at request time.
+func (e *Engine) SetPeerSource(fn func() []fleet.Peer) {
+	e.peerSource.Store(fn)
+}
+
+// Peers resolves the current fleet roster (empty before SetPeerSource).
+func (e *Engine) Peers() []fleet.Peer {
+	if fn, _ := e.peerSource.Load().(func() []fleet.Peer); fn != nil {
+		return fn()
+	}
+	return nil
+}
+
+// Fleet returns the metrics federator behind /metrics/fleet and the
+// dashboard Fleet panel, created on first use over the default registry
+// with the engine's peer source. Start the background loop with
+// Fleet().Run(ctx) when cfg.FleetScrape is set.
+func (e *Engine) Fleet() *fleet.Scraper {
+	e.fleetOnce.Do(func() {
+		interval := e.cfg.FleetScrape
+		if interval <= 0 {
+			interval = 5 * time.Second
+		}
+		self := "leader"
+		if s, _ := e.selfNode.Load().(string); s != "" {
+			self = s
+		}
+		e.fleet = fleet.New(obs.Default(), fleet.Options{
+			Interval: interval,
+			SelfNode: self,
+			Peers:    e.Peers,
+		})
+	})
+	return e.fleet
+}
+
+// SetSelfNode names this node in federated fleet metrics. The serve
+// command calls it with the follower's node name before the mux is
+// built; leaders keep the default "leader" label.
+func (e *Engine) SetSelfNode(name string) {
+	e.selfNode.Store(name)
+}
+
+// Profiles returns the breach-evidence capture ring, created on first
+// use with the configured CPU window. New wires it to the SLO engine's
+// breach transitions when cfg.ProfileOnBreach is set; operators can
+// always trigger a manual capture via POST /debug/obs/profile.
+func (e *Engine) Profiles() *fleet.ProfileRing {
+	e.profOnce.Do(func() {
+		e.profiles = fleet.NewProfileRing(fleet.ProfileOptions{
+			CPUDuration: e.cfg.ProfileCPU,
+		})
+	})
+	return e.profiles
+}
+
+// SetReadyExtra registers a hook whose fields are merged into the
+// /readyz body — the serve command uses it to report the replication
+// role, sequence position, and fleet lag without the engine knowing
+// about replication.
+func (e *Engine) SetReadyExtra(fn func() map[string]any) {
+	e.readyExtra.Store(fn)
+}
+
+func (e *Engine) readyExtras() map[string]any {
+	if fn, _ := e.readyExtra.Load().(func() map[string]any); fn != nil {
+		return fn()
+	}
+	return nil
 }
 
 // Watch drives the live-reload loop: poll cfg.Src, run the pipeline on

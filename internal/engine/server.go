@@ -47,6 +47,18 @@ func ReadBuildInfo() BuildInfo {
 	return out
 }
 
+// Middleware returns the request-metrics/tracing middleware built from
+// the engine's config: it records RED metrics, continues inbound
+// traceparent traces, and samples access logs. The serve command wraps
+// the replication endpoints with it so a follower's traceparent-carrying
+// snapshot fetch records a leader-side span in the same trace.
+func (e *Engine) Middleware() *obs.HTTPMetrics {
+	return obs.NewHTTPMetrics(obs.Default()).
+		WithTracer(e.tracer).
+		WithLogAttrs(e.logGeneration).
+		WithLogSample(e.cfg.LogSample)
+}
+
 // Mux assembles the full serve handler tree. Every serving surface
 // reads only through the engine's generation pointer: the static site
 // and its Pdcu-Generation header, the /api/v1 query service, and
@@ -57,11 +69,9 @@ func ReadBuildInfo() BuildInfo {
 // middleware so scrapes do not count as site traffic.
 func (e *Engine) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mw := obs.NewHTTPMetrics(obs.Default()).
-		WithTracer(e.tracer).
-		WithLogAttrs(e.logGeneration).
-		WithLogSample(e.cfg.LogSample)
+	mw := e.Middleware()
 	mux.Handle("/metrics", obs.Default().Handler())
+	mux.Handle("/metrics/fleet", e.Fleet().Handler())
 	// Liveness: the process is up and serving its mux. Deliberately
 	// constant-cost — orchestrators hammer this.
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -85,7 +95,7 @@ func (e *Engine) Mux() *http.ServeMux {
 			})
 			return
 		}
-		enc.Encode(map[string]any{
+		body := map[string]any{
 			"status":         "ready",
 			"generation":     g.ID,
 			"seq":            g.Seq,
@@ -95,7 +105,13 @@ func (e *Engine) Mux() *http.ServeMux {
 			"uptime_seconds": time.Since(e.started).Seconds(),
 			"last_rebuild":   e.LastOutcome(),
 			"build":          ReadBuildInfo(),
-		})
+		}
+		// Replication extras (role, position, fleet lag) merge in when
+		// the serve command has registered them.
+		for k, v := range e.readyExtras() {
+			body[k] = v
+		}
+		enc.Encode(body)
 	})
 	mux.Handle("/api/v1/", mw.Wrap(e.Query().Handler()))
 	// SLO verdict: /readyz answers "is the process serving", /slo
@@ -107,9 +123,18 @@ func (e *Engine) Mux() *http.ServeMux {
 		Rollup:   e.Rollup(),
 		Tracer:   e.tracer,
 		SLO:      e.SLO(),
+		Fleet:    e.Fleet(),
+		Profiles: e.Profiles(),
+		Peers:    e.Peers,
 	})
 	mux.Handle("/debug/obs", dashHandler)
 	mux.Handle("/debug/obs/", dashHandler)
+	// Profile capture endpoints: longest-prefix routing lets these win
+	// over the dashboard's /debug/obs/ subtree.
+	prof := e.Profiles().Handler()
+	mux.Handle("/debug/obs/profile", prof)
+	mux.Handle("/debug/obs/profiles", prof)
+	mux.Handle("/debug/obs/profiles/", prof)
 	if e.cfg.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -219,9 +219,10 @@ var facetPool = []struct{ param, value string }{
 
 // sample is one completed request.
 type sample struct {
-	kind Kind
-	code int // 0 = transport error
-	dur  time.Duration
+	kind   Kind
+	target string // base URL the request went to
+	code   int    // 0 = transport error
+	dur    time.Duration
 }
 
 // Run drives one load test and returns its report. ctx cancellation
@@ -365,7 +366,8 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 					break
 				}
 				kind := pick(rng)
-				req, err := http.NewRequestWithContext(runCtx, http.MethodGet, nextTarget()+pathFor(kind, rng, &opts), nil)
+				target := nextTarget()
+				req, err := http.NewRequestWithContext(runCtx, http.MethodGet, target+pathFor(kind, rng, &opts), nil)
 				if err != nil {
 					continue
 				}
@@ -377,7 +379,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 					resp.Body.Close()
 					code = resp.StatusCode
 				}
-				samples = append(samples, sample{kind: kind, code: code, dur: time.Since(t0)})
+				samples = append(samples, sample{kind: kind, target: target, code: code, dur: time.Since(t0)})
 			}
 			perWorker[w] = samples
 		}(w)

@@ -313,7 +313,65 @@ func TestRunMultiTarget(t *testing.T) {
 			ha+hb, rep.Requests, 2*len(DefaultMix()))
 	}
 
+	// Per-target breakdown: one row per node, counting exactly the
+	// measured traffic that node served (priming excluded).
+	if len(rep.Targets) != 2 {
+		t.Fatalf("Targets rows = %d, want 2: %+v", len(rep.Targets), rep.Targets)
+	}
+	prime := int64(len(DefaultMix()))
+	if got := rep.Targets[a.URL].Requests; got != ha-prime {
+		t.Errorf("target a row counted %d requests, node served %d measured", got, ha-prime)
+	}
+	if got := rep.Targets[b.URL].Requests; got != hb-prime {
+		t.Errorf("target b row counted %d requests, node served %d measured", got, hb-prime)
+	}
+	if rep.Targets[a.URL].P50ms <= 0 || rep.Targets[a.URL].P99ms < rep.Targets[a.URL].P50ms {
+		t.Errorf("target a percentiles implausible: %+v", rep.Targets[a.URL])
+	}
+	if txt := rep.Text(); !strings.Contains(txt, "target") || !strings.Contains(txt, a.URL) {
+		t.Errorf("Text() missing per-target block:\n%s", txt)
+	}
+
 	if _, err := Run(context.Background(), Options{Targets: []string{a.URL, "::bad::"}}); err == nil {
 		t.Error("Run accepted a malformed fleet target")
+	}
+}
+
+// TestRunPerTargetErrorRate points the generator at one healthy and one
+// broken node: the asymmetry must be visible in the per-target rows —
+// that is the whole point of the breakdown.
+func TestRunPerTargetErrorRate(t *testing.T) {
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer good.Close()
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+
+	rep, err := Run(context.Background(), Options{
+		Targets:     []string{good.URL, bad.URL},
+		QPS:         300,
+		Concurrency: 4,
+		Duration:    300 * time.Millisecond,
+		SkipPrime:   true,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	g, b := rep.Targets[good.URL], rep.Targets[bad.URL]
+	if g.Requests == 0 || b.Requests == 0 {
+		t.Fatalf("a target saw no traffic: good=%d bad=%d", g.Requests, b.Requests)
+	}
+	if g.Errors != 0 {
+		t.Errorf("healthy target recorded %d errors", g.Errors)
+	}
+	if b.Errors != b.Requests {
+		t.Errorf("broken target: %d/%d requests counted as errors, want all", b.Errors, b.Requests)
+	}
+	// The overall error rate blends both nodes; the rows separate them.
+	if rep.ErrorRate <= 0 || rep.ErrorRate >= 1 {
+		t.Errorf("blended error rate %.3f, want strictly between 0 and 1", rep.ErrorRate)
 	}
 }

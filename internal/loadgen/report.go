@@ -75,6 +75,11 @@ type Report struct {
 	ChurnErrors int64                    `json:"churn_errors,omitempty"`
 	Alloc       AllocStats               `json:"alloc"`
 	Endpoints   map[string]EndpointStats `json:"endpoints"`
+	// Targets breaks the same stats down per target node when the run
+	// spread over a fleet (-targets with more than one URL) — the
+	// client-side view of fleet symmetry: a lagging or broken node shows
+	// up as a latency or error-rate outlier here.
+	Targets map[string]EndpointStats `json:"targets,omitempty"`
 	// SLO carries the server-side objective verdicts when the run had an
 	// SLO engine in reach (self-serve mode); absent for remote targets.
 	SLO []slo.Status `json:"slo,omitempty"`
@@ -94,25 +99,15 @@ func summarize(all []sample, wall time.Duration, opts Options) *Report {
 		WallSeconds: wall.Seconds(),
 		Endpoints:   map[string]EndpointStats{},
 	}
-	byKind := map[Kind][]time.Duration{}
-	counts := map[Kind]*EndpointStats{}
+	rep.Endpoints = foldStats(all, func(s sample) string { return string(s.kind) })
 	for _, s := range all {
 		rep.Requests++
-		es := counts[s.kind]
-		if es == nil {
-			es = &EndpointStats{}
-			counts[s.kind] = es
-		}
-		es.Requests++
 		switch {
 		case s.code == 429:
 			rep.Shed++
-			es.Shed++
 		case s.code == 0 || s.code >= 500:
 			rep.Errors++
-			es.Errors++
 		}
-		byKind[s.kind] = append(byKind[s.kind], s.dur)
 	}
 	if rep.Requests > 0 {
 		rep.ErrorRate = float64(rep.Errors) / float64(rep.Requests)
@@ -121,9 +116,38 @@ func summarize(all []sample, wall time.Duration, opts Options) *Report {
 	if wall > 0 {
 		rep.Throughput = float64(rep.Requests) / wall.Seconds()
 	}
-	for kind, durs := range byKind {
+	if len(opts.Targets) > 1 {
+		rep.Targets = foldStats(all, func(s sample) string { return s.target })
+	}
+	return rep
+}
+
+// foldStats groups samples by key and folds each group into its
+// EndpointStats — the same summary whether the key is a traffic class
+// (Endpoints) or a target node (Targets).
+func foldStats(all []sample, key func(sample) string) map[string]EndpointStats {
+	byKey := map[string][]time.Duration{}
+	counts := map[string]*EndpointStats{}
+	for _, s := range all {
+		k := key(s)
+		es := counts[k]
+		if es == nil {
+			es = &EndpointStats{}
+			counts[k] = es
+		}
+		es.Requests++
+		switch {
+		case s.code == 429:
+			es.Shed++
+		case s.code == 0 || s.code >= 500:
+			es.Errors++
+		}
+		byKey[k] = append(byKey[k], s.dur)
+	}
+	out := make(map[string]EndpointStats, len(byKey))
+	for k, durs := range byKey {
 		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
-		es := counts[kind]
+		es := counts[k]
 		es.P50ms = percentileMs(durs, 0.50)
 		es.P95ms = percentileMs(durs, 0.95)
 		es.P99ms = percentileMs(durs, 0.99)
@@ -133,9 +157,9 @@ func summarize(all []sample, wall time.Duration, opts Options) *Report {
 			sum += d
 		}
 		es.MeanMs = float64(sum) / float64(len(durs)) / float64(time.Millisecond)
-		rep.Endpoints[string(kind)] = *es
+		out[k] = *es
 	}
-	return rep
+	return out
 }
 
 // percentileMs is the nearest-rank percentile of a sorted slice, in
@@ -176,6 +200,24 @@ func (r *Report) Text() string {
 		es := r.Endpoints[k]
 		fmt.Fprintf(&b, "%-12s %8d %9.2fms %9.2fms %9.2fms %7.1fms %6d\n",
 			k, es.Requests, es.P50ms, es.P95ms, es.P99ms, es.MaxMs, es.Errors+es.Shed)
+	}
+	if len(r.Targets) > 0 {
+		targets := make([]string, 0, len(r.Targets))
+		for t := range r.Targets {
+			targets = append(targets, t)
+		}
+		sort.Strings(targets)
+		fmt.Fprintf(&b, "%-28s %8s %10s %10s %10s %7s\n",
+			"target", "reqs", "p50", "p95", "p99", "err")
+		for _, t := range targets {
+			es := r.Targets[t]
+			rate := 0.0
+			if es.Requests > 0 {
+				rate = float64(es.Errors) / float64(es.Requests) * 100
+			}
+			fmt.Fprintf(&b, "%-28s %8d %9.2fms %9.2fms %9.2fms %6.2f%%\n",
+				t, es.Requests, es.P50ms, es.P95ms, es.P99ms, rate)
+		}
 	}
 	for _, s := range r.SLO {
 		state := "ok"

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"pdcunplugged/internal/obs"
+	"pdcunplugged/internal/obs/fleet"
 	"pdcunplugged/internal/obs/slo"
 	"pdcunplugged/internal/obs/trace"
 )
@@ -36,6 +37,17 @@ type Config struct {
 	// SLO, when set, renders the objective panel with budget-remaining
 	// gauges and burn rates (one Evaluate per page render).
 	SLO *slo.Engine
+	// Fleet, when set, renders the per-node Fleet panel from the metrics
+	// federator's latest scrape.
+	Fleet *fleet.Scraper
+	// Profiles, when set, lists the breach-capture ring with download
+	// links.
+	Profiles *fleet.ProfileRing
+	// Peers supplies the fleet roster the trace view consults when asked
+	// to stitch a remote half (?remote=1).
+	Peers func() []fleet.Peer
+	// Client fetches remote trace halves; nil selects a 5s-timeout one.
+	Client *http.Client
 	// Refresh is the meta-refresh cadence; 0 selects 5s, negative
 	// disables auto-refresh.
 	Refresh time.Duration
@@ -121,24 +133,59 @@ type traceRow struct {
 	Err      bool
 }
 
+// fleetNodeRow is one node's line in the Fleet panel, shaped from the
+// federator's NodeStatus.
+type fleetNodeRow struct {
+	Node    string
+	Where   string // "self" or the peer URL
+	Age     string
+	ReqRate string
+	ErrRate string
+	MeanLat string
+	Lag     string
+	Budget  string
+	Series  string
+	Status  string
+	Bad     bool
+}
+
+// profileRow is one capture in the Profiles panel; Links are the
+// per-kind download URLs.
+type profileRow struct {
+	ID      string
+	At      string
+	Trigger string
+	Context string
+	Bytes   string
+	Err     string
+	Links   []profileLink
+}
+
+type profileLink struct {
+	Kind string
+	URL  string
+}
+
 type dashData struct {
-	Refresh   int // seconds; 0 omits the meta tag
-	Window    string
-	Windows   int
-	HTTP      []redRow
-	Query     []redRow
-	SLO       []sloRow
-	Engine    []statRow
-	Replica   []statRow
-	Fleet     []fleetRow
-	Search    []statRow
-	Caches    []cacheRow
-	Workers   []gaugeRow
-	Runtime   []statRow
-	RtSparks  []gaugeRow
-	Exemplars []exemplarRow
-	Traces    []traceRow
-	Retained  int
+	Refresh    int // seconds; 0 omits the meta tag
+	Window     string
+	Windows    int
+	HTTP       []redRow
+	Query      []redRow
+	SLO        []sloRow
+	Engine     []statRow
+	Replica    []statRow
+	Fleet      []fleetRow
+	FleetNodes []fleetNodeRow
+	Profiles   []profileRow
+	Search     []statRow
+	Caches     []cacheRow
+	Workers    []gaugeRow
+	Runtime    []statRow
+	RtSparks   []gaugeRow
+	Exemplars  []exemplarRow
+	Traces     []traceRow
+	Retained   int
 }
 
 func (h *handler) dashboard(w http.ResponseWriter, r *http.Request) {
@@ -176,6 +223,12 @@ func (h *handler) dashboard(w http.ResponseWriter, r *http.Request) {
 	}
 	if s := h.cfg.SLO; s != nil {
 		d.SLO = sloRows(s.Evaluate())
+	}
+	if f := h.cfg.Fleet; f != nil {
+		d.FleetNodes = fleetNodeRows(f.Status())
+	}
+	if p := h.cfg.Profiles; p != nil {
+		d.Profiles = profileRows(p.List())
 	}
 	if t := h.cfg.Tracer; t != nil {
 		d.Exemplars = exemplarRows(t.Exemplars())
@@ -410,10 +463,76 @@ func replicaRows(reg *obs.Registry) []statRow {
 		{"followers", fmtNum(get("pdcu_replica_fleet_followers"))},
 	}
 	if role == "follower" {
+		// Mean fetch-cycle wall time straight from the follower's
+		// pdcu_replica_fetch_duration_seconds histogram totals.
+		fetchMean := 0.0
+		if s := reg.Snapshot("pdcu_replica_fetch_duration_seconds"); len(s) == 1 && s[0].Count > 0 {
+			fetchMean = s[0].Sum / float64(s[0].Count)
+		}
 		rows = append(rows,
 			statRow{"lag", fmtNum(get("pdcu_replica_lag"))},
 			statRow{"fetches", fmtNum(fetches)},
-			statRow{"adopted", fmtNum(adopted)})
+			statRow{"adopted", fmtNum(adopted)},
+			statRow{"mean fetch", fmtSeconds(fetchMean)})
+	}
+	return rows
+}
+
+// fleetNodeRows shapes the federator's per-node summaries for the Fleet
+// panel: RED rates side by side for every node, replica lag, and the
+// tightest SLO budget each node reports.
+func fleetNodeRows(statuses []fleet.NodeStatus) []fleetNodeRow {
+	rows := make([]fleetNodeRow, 0, len(statuses))
+	for _, st := range statuses {
+		row := fleetNodeRow{
+			Node:    st.Node,
+			Where:   st.URL,
+			Age:     fmtAge(time.Duration(st.AgeSecs * float64(time.Second))),
+			ReqRate: fmtRate(st.ReqRate),
+			ErrRate: fmtRate(st.ErrRate),
+			MeanLat: fmtSeconds(st.MeanLatency),
+			Lag:     fmtNum(st.Lag),
+			Budget:  "–",
+			Series:  fmtNum(float64(st.Series)),
+			Status:  "ok",
+		}
+		if st.Self {
+			row.Where = "self"
+		}
+		if st.SLOBudget >= 0 {
+			row.Budget = fmtPct(st.SLOBudget)
+		}
+		switch {
+		case st.Err != "":
+			row.Status, row.Bad = "scrape failed: "+st.Err, true
+		case st.Breached:
+			row.Status, row.Bad = "SLO BREACHED", true
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// profileRows shapes the capture ring for the Profiles panel, with a
+// download link per stored profile kind.
+func profileRows(captures []fleet.Capture) []profileRow {
+	rows := make([]profileRow, 0, len(captures))
+	for _, c := range captures {
+		row := profileRow{
+			ID:      c.ID,
+			At:      c.At.Format("15:04:05"),
+			Trigger: c.Trigger,
+			Context: c.Context,
+			Bytes:   fmtBytes(float64(c.Bytes)),
+			Err:     c.Err,
+		}
+		for _, kind := range c.Kinds {
+			row.Links = append(row.Links, profileLink{
+				Kind: kind,
+				URL:  "/debug/obs/profiles/" + c.ID + "/" + kind,
+			})
+		}
+		rows = append(rows, row)
 	}
 	return rows
 }
@@ -592,6 +711,16 @@ svg.spark{vertical-align:middle}polyline{fill:none;stroke:#6cb6ff;stroke-width:1
 <tr>{{range .Replica}}<td class="num">{{.Value}}</td>{{end}}</tr></table>
 {{if .Fleet}}<table><tr><th>follower</th><th>lag</th></tr>
 {{range .Fleet}}<tr><td>{{.Node}}</td><td class="num">{{.Lag}}</td></tr>{{end}}</table>{{end}}
+
+<h2>Fleet <span class="dim">(<a href="/metrics/fleet">/metrics/fleet</a>, federated scrape)</span></h2>
+<table><tr><th>node</th><th>where</th><th>scraped</th><th>req rate</th><th>5xx rate</th><th>mean latency</th><th>lag</th><th>SLO budget</th><th>series</th><th>status</th></tr>
+{{range .FleetNodes}}<tr><td>{{.Node}}</td><td class="dim">{{.Where}}</td><td class="dim">{{.Age}}</td><td class="num">{{.ReqRate}}</td><td class="num">{{.ErrRate}}</td><td class="num">{{.MeanLat}}</td><td class="num">{{.Lag}}</td><td class="num">{{.Budget}}</td><td class="num">{{.Series}}</td><td{{if .Bad}} class="bad"{{end}}>{{.Status}}</td></tr>
+{{else}}<tr><td class="dim" colspan="10">no fleet scrape yet (run with -fleet-scrape, or hit /metrics/fleet)</td></tr>{{end}}</table>
+
+<h2>Captured profiles <span class="dim">(breach-triggered + <code>POST /debug/obs/profile</code>)</span></h2>
+<table><tr><th>capture</th><th>at</th><th>trigger</th><th>context</th><th>size</th><th>download</th><th></th></tr>
+{{range .Profiles}}<tr><td>{{.ID}}</td><td>{{.At}}</td><td>{{.Trigger}}</td><td class="dim">{{.Context}}</td><td class="num">{{.Bytes}}</td><td>{{range .Links}}<a href="{{.URL}}">{{.Kind}}</a> {{end}}</td><td class="bad">{{.Err}}</td></tr>
+{{else}}<tr><td class="dim" colspan="7">no captures yet</td></tr>{{end}}</table>
 
 <h2>Search index</h2>
 <table><tr>{{range .Search}}<th>{{.Name}}</th>{{end}}</tr>

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"pdcunplugged/internal/obs"
+	"pdcunplugged/internal/obs/fleet"
 	"pdcunplugged/internal/obs/slo"
 	"pdcunplugged/internal/obs/trace"
 )
@@ -126,7 +127,7 @@ func TestTraceWaterfallAndJSON(t *testing.T) {
 
 	rec = httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/obs/traces/"+id.String()+"?format=json", nil))
-	var full traceJSON
+	var full trace.WireTrace
 	if err := json.Unmarshal(rec.Body.Bytes(), &full); err != nil {
 		t.Fatalf("bad JSON: %v", err)
 	}
@@ -163,6 +164,54 @@ func TestTraceViewErrors(t *testing.T) {
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/obs/nope", nil))
 	if rec.Code != 404 {
 		t.Errorf("unknown subpath status = %d, want 404", rec.Code)
+	}
+}
+
+// TestTraceViewStitchesRemote: ?remote=1 pulls the peer's half of the
+// same trace ID over the wire format and renders one merged waterfall.
+func TestTraceViewStitchesRemote(t *testing.T) {
+	cfg, id := fixture(t)
+	local, _ := cfg.Tracer.Store().Get(id)
+
+	// The peer records a span continued from our trace via traceparent —
+	// exactly what the leader's middleware does when a follower's
+	// snapshot fetch carries the header.
+	peerTracer := trace.New(trace.Options{SampleRate: 1})
+	tp := "00-" + id.String() + "-" + local.Spans[len(local.Spans)-1].ID.String() + "-01"
+	_, remoteSpan := peerTracer.StartRemote(context.Background(),
+		"GET /replica/v1/snapshot", tp)
+	remoteSpan.End()
+	if _, ok := peerTracer.Store().Get(id); !ok {
+		t.Fatal("peer did not retain the traceparent-continued trace")
+	}
+	peer := httptest.NewServer(Handler(Config{Tracer: peerTracer}))
+	defer peer.Close()
+
+	cfg.Peers = func() []fleet.Peer { return []fleet.Peer{{Node: "leader", URL: peer.URL}} }
+	h := Handler(cfg)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/obs/traces/"+id.String()+"?remote=1", nil))
+	if rec.Code != 200 {
+		t.Fatalf("stitched view status = %d: %s", rec.Code, rec.Body.String())
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "GET /replica/v1/snapshot") {
+		t.Errorf("stitched waterfall missing the remote span:\n%s", body)
+	}
+	if !strings.Contains(body, "stitched 1 remote span") {
+		t.Errorf("stitched count missing from meta line:\n%s", body)
+	}
+
+	// The stitched JSON carries the union of spans.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET",
+		"/debug/obs/traces/"+id.String()+"?remote=1&format=json", nil))
+	var full trace.WireTrace
+	if err := json.Unmarshal(rec.Body.Bytes(), &full); err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Spans) != len(local.Spans)+1 {
+		t.Errorf("stitched JSON has %d spans, want %d", len(full.Spans), len(local.Spans)+1)
 	}
 }
 

@@ -54,19 +54,6 @@ func (h *handler) traceList(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// spanJSON augments SpanData with its hex IDs for JSON consumers.
-type spanJSON struct {
-	trace.SpanData
-	ID     string `json:"id"`
-	Parent string `json:"parent,omitempty"`
-}
-
-type traceJSON struct {
-	trace.Data
-	ID    string     `json:"id"`
-	Spans []spanJSON `json:"spans"`
-}
-
 // spanRow is one waterfall bar.
 type spanRow struct {
 	Indent   int // depth in the span tree
@@ -85,11 +72,20 @@ type waterfallData struct {
 	Duration string
 	Reason   string
 	Err      bool
-	Spans    []spanRow
+	// Stitched counts the spans pulled in from peer nodes (?remote=1);
+	// zero on a purely local view.
+	Stitched int
+	// Peers lists the nodes whose halves were merged or consulted.
+	Peers string
+	Spans []spanRow
 }
 
 // traceView serves /debug/obs/traces/<id>: an HTML waterfall by
-// default, the raw span JSON with ?format=json.
+// default, the trace's wire form with ?format=json. ?remote=1 federates
+// the view — the handler asks every fleet peer for its half of the same
+// trace ID and stitches the spans into one waterfall, which is how a
+// follower's fetch cycle and the leader's snapshot serve render as one
+// cross-node timeline.
 func (h *handler) traceView(w http.ResponseWriter, r *http.Request) {
 	idHex := strings.TrimPrefix(r.URL.Path, "/debug/obs/traces/")
 	id, err := trace.ParseTraceID(idHex)
@@ -107,25 +103,44 @@ func (h *handler) traceView(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "trace not retained (evicted or sampled out)", http.StatusNotFound)
 		return
 	}
-	if r.URL.Query().Get("format") == "json" {
-		out := traceJSON{Data: d, ID: d.ID.String(), Spans: make([]spanJSON, len(d.Spans))}
-		for i, sp := range d.Spans {
-			out.Spans[i] = spanJSON{SpanData: sp, ID: sp.ID.String()}
-			if !sp.Parent.IsZero() {
-				out.Spans[i].Parent = sp.Parent.String()
+
+	var stitched int
+	var peersAsked []string
+	if r.URL.Query().Get("remote") == "1" && h.cfg.Peers != nil {
+		for _, p := range h.cfg.Peers() {
+			if p.URL == "" {
+				continue
 			}
+			peersAsked = append(peersAsked, p.Node)
+			remote, ok, err := trace.FetchRemote(r.Context(), h.cfg.Client, p.URL, id)
+			if err != nil {
+				obs.Logger().Warn("remote trace fetch failed", "peer", p.Node, "err", err)
+				continue
+			}
+			if !ok {
+				continue
+			}
+			before := len(d.Spans)
+			d = trace.Merge(d, remote)
+			stitched += len(d.Spans) - before
 		}
+	}
+
+	if r.URL.Query().Get("format") == "json" {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
+		if err := enc.Encode(d.Wire()); err != nil {
 			obs.Logger().Warn("trace encode failed", "err", err)
 		}
 		return
 	}
 
+	wf := waterfall(d)
+	wf.Stitched = stitched
+	wf.Peers = strings.Join(peersAsked, ", ")
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	if err := waterfallTmpl.Execute(w, waterfall(d)); err != nil {
+	if err := waterfallTmpl.Execute(w, wf); err != nil {
 		obs.Logger().Warn("waterfall render failed", "err", err)
 	}
 }
@@ -219,7 +234,7 @@ h1{font-size:1.1em}a{color:#6cb6ff;text-decoration:none}
 .attrs{color:#7d8b99;padding-left:.6em;font-size:11px}
 </style></head><body>
 <h1>trace {{.ID}}</h1>
-<p class="meta">{{.Root}} · started {{.Start}} · {{.Duration}} · kept: <span{{if .Err}} class="bad"{{end}}>{{.Reason}}</span> · <a href="/debug/obs">← dashboard</a> · <a href="?format=json">json</a></p>
+<p class="meta">{{.Root}} · started {{.Start}} · {{.Duration}} · kept: <span{{if .Err}} class="bad"{{end}}>{{.Reason}}</span>{{if .Stitched}} · stitched {{.Stitched}} remote span{{if ne .Stitched 1}}s{{end}} from {{.Peers}}{{else if .Peers}} · no remote half on {{.Peers}}{{end}} · <a href="/debug/obs">← dashboard</a> · <a href="?format=json">json</a> · <a href="?remote=1">stitch fleet</a></p>
 {{range .Spans}}<div class="row">
 <div class="label" style="padding-left:{{.Indent}}em">{{.Name}}{{if .Err}} <span class="bad">✗ {{.Err}}</span>{{end}}{{if .Attrs}}<span class="attrs">{{.Attrs}}</span>{{end}}</div>
 <div class="lane"><div class="bar{{if .Err}} err{{end}}" style="left:{{printf "%.2f" .Left}}%;width:{{printf "%.2f" .Width}}%"></div></div>

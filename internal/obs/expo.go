@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file is the inverse of WritePrometheus: a parser for the text
+// exposition format (version 0.0.4) that turns a scraped /metrics body
+// back into labeled samples. The fleet scraper uses it to federate
+// follower metrics — every parsed sample is re-emitted under a node
+// label on /metrics/fleet — and to read individual series (replica lag,
+// SLO budget) for the per-node dashboard rows.
+//
+// The parser is deliberately tolerant where the writer is strict: bare
+// comments, blank lines, unknown TYPE keywords, and optional trailing
+// timestamps are all accepted, because a peer may one day not be us.
+
+// ExpoLabel is one parsed label pair, in source order.
+type ExpoLabel struct {
+	Name  string
+	Value string
+}
+
+// ExpoSample is one parsed sample line. Name is the full sample name,
+// including any _bucket/_sum/_count suffix, so re-emission is verbatim.
+type ExpoSample struct {
+	Name   string
+	Labels []ExpoLabel
+	Value  float64
+}
+
+// ExpoFamily groups the samples that belong to one # TYPE declaration.
+// Histogram families hold their _bucket/_sum/_count samples; untyped
+// samples become single-sample gauge families.
+type ExpoFamily struct {
+	Name    string
+	Help    string
+	Kind    Kind
+	Samples []ExpoSample
+}
+
+// Label returns the sample's value for one label name ("" when absent).
+func (s ExpoSample) Label(name string) string {
+	for _, l := range s.Labels {
+		if l.Name == name {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// ParseExposition parses a text-exposition body into families, in
+// source order. A malformed sample line is an error naming the line
+// number — a scrape that half-parses would federate silently-wrong
+// numbers.
+func ParseExposition(r io.Reader) ([]ExpoFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var fams []ExpoFamily
+	idx := map[string]int{}
+	ensure := func(name string) int {
+		if i, ok := idx[name]; ok {
+			return i
+		}
+		fams = append(fams, ExpoFamily{Name: name, Kind: KindGauge})
+		idx[name] = len(fams) - 1
+		return len(fams) - 1
+	}
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.SplitN(text, " ", 4)
+			if len(fields) < 3 {
+				continue // bare comment
+			}
+			switch fields[1] {
+			case "HELP":
+				i := ensure(fields[2])
+				if len(fields) == 4 {
+					fams[i].Help = fields[3]
+				}
+			case "TYPE":
+				i := ensure(fields[2])
+				if len(fields) == 4 {
+					switch fields[3] {
+					case "counter":
+						fams[i].Kind = KindCounter
+					case "gauge":
+						fams[i].Kind = KindGauge
+					case "histogram":
+						fams[i].Kind = KindHistogram
+					}
+				}
+			}
+			continue
+		}
+		smp, err := parseSampleLine(text)
+		if err != nil {
+			return nil, fmt.Errorf("obs: exposition line %d: %w", line, err)
+		}
+		i := familyFor(fams, idx, ensure, smp.Name)
+		fams[i].Samples = append(fams[i].Samples, smp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// familyFor resolves which family a sample belongs to: its exact name,
+// the base name of a histogram _bucket/_sum/_count suffix, or an
+// implicit untyped (gauge) family created on first sight.
+func familyFor(fams []ExpoFamily, idx map[string]int, ensure func(string) int, name string) int {
+	if i, ok := idx[name]; ok {
+		return i
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if !ok {
+			continue
+		}
+		if i, ok := idx[base]; ok && fams[i].Kind == KindHistogram {
+			return i
+		}
+	}
+	return ensure(name)
+}
+
+// parseSampleLine parses `name{label="value",...} value [timestamp]`.
+func parseSampleLine(s string) (ExpoSample, error) {
+	var smp ExpoSample
+	brace := strings.IndexByte(s, '{')
+	if brace < 0 {
+		name, rest, ok := strings.Cut(s, " ")
+		if !ok {
+			return smp, fmt.Errorf("sample %q: no value", s)
+		}
+		smp.Name = name
+		return smp, parseSampleValue(&smp, rest)
+	}
+	smp.Name = s[:brace]
+	i := brace + 1
+	for {
+		for i < len(s) && (s[i] == ',' || s[i] == ' ') {
+			i++
+		}
+		if i >= len(s) {
+			return smp, fmt.Errorf("sample %q: unterminated label block", s)
+		}
+		if s[i] == '}' {
+			i++
+			break
+		}
+		eq := strings.IndexByte(s[i:], '=')
+		if eq <= 0 {
+			return smp, fmt.Errorf("sample %q: malformed label", s)
+		}
+		lname := s[i : i+eq]
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return smp, fmt.Errorf("sample %q: label %s: unquoted value", s, lname)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return smp, fmt.Errorf("sample %q: label %s: unterminated value", s, lname)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(c)
+					val.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		smp.Labels = append(smp.Labels, ExpoLabel{Name: lname, Value: val.String()})
+	}
+	if smp.Name == "" {
+		return smp, fmt.Errorf("sample %q: empty name", s)
+	}
+	return smp, parseSampleValue(&smp, s[i:])
+}
+
+// parseSampleValue reads the value (first field; an optional trailing
+// timestamp is ignored). ParseFloat accepts +Inf/-Inf/NaN natively.
+func parseSampleValue(smp *ExpoSample, rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return fmt.Errorf("sample %s: no value", smp.Name)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return fmt.Errorf("sample %s: value %q: %w", smp.Name, fields[0], err)
+	}
+	smp.Value = v
+	return nil
+}
+
+// WriteSample renders one sample line, with extra label pairs prepended
+// before the sample's own labels — the fleet federator uses it to
+// re-emit every scraped series under a node label. Escaping and float
+// formatting match WritePrometheus, so a federated body round-trips
+// through this parser.
+func WriteSample(b *strings.Builder, smp ExpoSample, extra ...ExpoLabel) {
+	b.WriteString(smp.Name)
+	if len(extra)+len(smp.Labels) > 0 {
+		b.WriteByte('{')
+		first := true
+		for _, l := range append(append([]ExpoLabel{}, extra...), smp.Labels...) {
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			b.WriteString(l.Name)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(l.Value))
+			b.WriteString(`"`)
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(smp.Value))
+	b.WriteByte('\n')
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestParseExpositionRoundTrip pins the parser against the writer: a
+// registry rendered by WritePrometheus must parse back into the same
+// families, kinds, labels, and values — including escaped label values
+// and the histogram's cumulative bucket lines.
+func TestParseExpositionRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("rt_requests_total", "requests", "path", "code").With("/api", "200").Add(41)
+	reg.Counter("rt_requests_total", "requests", "path", "code").With("/api", "500").Add(2)
+	reg.Gauge("rt_lag", "lag").Set(3)
+	reg.Gauge("rt_weird", "escapes", "q").With(`sl\ash "quote"` + "\nnl").Set(-1.5)
+	h := reg.Histogram("rt_latency_seconds", "latency", []float64{0.01, 0.1}, "ep")
+	h.With("search").Observe(0.005)
+	h.With("search").Observe(0.05)
+	h.With("search").Observe(7)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v\nbody:\n%s", err, b.String())
+	}
+
+	byName := map[string]ExpoFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if len(byName) != 4 {
+		t.Fatalf("parsed %d families, want 4: %+v", len(byName), fams)
+	}
+
+	ctr := byName["rt_requests_total"]
+	if ctr.Kind != KindCounter || ctr.Help != "requests" {
+		t.Errorf("counter family = kind %v help %q", ctr.Kind, ctr.Help)
+	}
+	if len(ctr.Samples) != 2 {
+		t.Fatalf("counter samples = %d, want 2", len(ctr.Samples))
+	}
+	if s := ctr.Samples[0]; s.Value != 41 || s.Label("path") != "/api" || s.Label("code") != "200" {
+		t.Errorf("counter sample 0 = %+v", s)
+	}
+
+	weird := byName["rt_weird"]
+	if got, want := weird.Samples[0].Label("q"), `sl\ash "quote"`+"\nnl"; got != want {
+		t.Errorf("escaped label round-trip = %q, want %q", got, want)
+	}
+	if weird.Samples[0].Value != -1.5 {
+		t.Errorf("gauge value = %v, want -1.5", weird.Samples[0].Value)
+	}
+
+	// The histogram family absorbs its _bucket/_sum/_count samples:
+	// 3 cumulative buckets (two finite + +Inf) + sum + count.
+	hist := byName["rt_latency_seconds"]
+	if hist.Kind != KindHistogram {
+		t.Fatalf("histogram family kind = %v", hist.Kind)
+	}
+	if len(hist.Samples) != 5 {
+		t.Fatalf("histogram samples = %d, want 5: %+v", len(hist.Samples), hist.Samples)
+	}
+	var infBucket, count float64
+	for _, s := range hist.Samples {
+		switch {
+		case s.Name == "rt_latency_seconds_bucket" && s.Label("le") == "+Inf":
+			infBucket = s.Value
+		case s.Name == "rt_latency_seconds_count":
+			count = s.Value
+		}
+		if s.Label("ep") != "search" {
+			t.Errorf("histogram sample %s lost its ep label: %+v", s.Name, s.Labels)
+		}
+	}
+	if infBucket != 3 || count != 3 {
+		t.Errorf("+Inf bucket = %v, count = %v, want 3 and 3", infBucket, count)
+	}
+}
+
+// TestParseExpositionTolerance covers input our writer never produces
+// but a foreign peer might: untyped samples, timestamps, +Inf values,
+// comments, and blank lines.
+func TestParseExpositionTolerance(t *testing.T) {
+	body := `
+# a bare comment
+up 1 1712345678000
+
+# TYPE bound gauge
+bound{le="+Inf"} +Inf
+`
+	fams, err := ParseExposition(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ExpoFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	if up := byName["up"]; up.Kind != KindGauge || len(up.Samples) != 1 || up.Samples[0].Value != 1 {
+		t.Errorf("untyped sample = %+v", up)
+	}
+	if b := byName["bound"]; !math.IsInf(b.Samples[0].Value, 1) {
+		t.Errorf("+Inf value parsed as %v", b.Samples[0].Value)
+	}
+}
+
+// TestParseExpositionErrors: malformed sample lines fail loudly with the
+// line number instead of federating wrong numbers.
+func TestParseExpositionErrors(t *testing.T) {
+	for _, body := range []string{
+		"novalue\n",
+		`x{a="unterminated} 1` + "\n",
+		`x{a=unquoted} 1` + "\n",
+		"x notanumber\n",
+	} {
+		if _, err := ParseExposition(strings.NewReader(body)); err == nil {
+			t.Errorf("ParseExposition(%q) succeeded, want error", body)
+		}
+	}
+}
+
+// TestWriteSample pins the federated re-emission: extra labels are
+// prepended, escaping matches the writer, and the output re-parses.
+func TestWriteSample(t *testing.T) {
+	var b strings.Builder
+	WriteSample(&b, ExpoSample{
+		Name:   "m_total",
+		Labels: []ExpoLabel{{"path", "/x"}, {"le", "+Inf"}},
+		Value:  12,
+	}, ExpoLabel{"node", `f"1`})
+	want := `m_total{node="f\"1",path="/x",le="+Inf"} 12` + "\n"
+	if b.String() != want {
+		t.Errorf("WriteSample = %q, want %q", b.String(), want)
+	}
+	fams, err := ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fams[0].Samples[0].Label("node"); got != `f"1` {
+		t.Errorf("re-parsed node label = %q", got)
+	}
+	var c strings.Builder
+	WriteSample(&c, ExpoSample{Name: "bare", Value: 0.5})
+	if c.String() != "bare 0.5\n" {
+		t.Errorf("label-free sample = %q", c.String())
+	}
+}

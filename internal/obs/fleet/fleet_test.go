@@ -1,0 +1,189 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pdcunplugged/internal/obs"
+)
+
+// fakePeer serves a fixed registry as /metrics, standing in for a
+// follower node.
+func fakePeer(t *testing.T, reg *obs.Registry) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(reg.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestScraperFederates(t *testing.T) {
+	self := obs.NewRegistry()
+	self.Counter("pdcu_http_requests_total", "req", "path", "code").With("/q", "200").Add(10)
+	self.Gauge("pdcu_slo_budget_remaining_ratio", "budget", "objective").With("latency").Set(0.9)
+
+	remote := obs.NewRegistry()
+	remote.Counter("pdcu_http_requests_total", "req", "path", "code").With("/q", "500").Add(4)
+	remote.Gauge("pdcu_replica_lag", "lag").Set(2)
+	remote.Gauge("pdcu_slo_breached", "breached", "objective").With("latency").Set(1)
+	peer := fakePeer(t, remote)
+
+	s := New(self, Options{
+		SelfNode: "leader",
+		Peers:    func() []Peer { return []Peer{{Node: "f1", URL: peer.URL}} },
+	})
+	s.ScrapeOnce(context.Background())
+
+	var b strings.Builder
+	s.WriteFleet(&b)
+	body := b.String()
+	for _, want := range []string{
+		`pdcu_http_requests_total{node="leader",path="/q",code="200"} 10`,
+		`pdcu_http_requests_total{node="f1",path="/q",code="500"} 4`,
+		`pdcu_replica_lag{node="f1"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("fleet exposition missing %q:\n%s", want, body)
+		}
+	}
+	// The federated body must itself be parseable exposition.
+	if _, err := obs.ParseExposition(strings.NewReader(body)); err != nil {
+		t.Errorf("federated body does not re-parse: %v", err)
+	}
+
+	st := s.Status()
+	if len(st) != 2 || st[0].Node != "leader" || !st[0].Self || st[1].Node != "f1" {
+		t.Fatalf("Status order = %+v", st)
+	}
+	if st[1].Lag != 2 || !st[1].Breached {
+		t.Errorf("f1 status = %+v, want lag 2 breached", st[1])
+	}
+	if st[0].SLOBudget != 0.9 {
+		t.Errorf("leader SLO budget = %v, want 0.9", st[0].SLOBudget)
+	}
+
+	// Second scrape after more traffic: RED rates become visible.
+	remote.Counter("pdcu_http_requests_total", "req", "path", "code").With("/q", "500").Add(6)
+	time.Sleep(20 * time.Millisecond)
+	s.ScrapeOnce(context.Background())
+	st = s.Status()
+	if st[1].ReqRate <= 0 || st[1].ErrRate <= 0 {
+		t.Errorf("f1 rates after second scrape = %+v, want > 0", st[1])
+	}
+}
+
+func TestScraperPeerFailureAndDeparture(t *testing.T) {
+	self := obs.NewRegistry()
+	self.Gauge("x", "x").Set(1)
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusServiceUnavailable)
+	}))
+	defer bad.Close()
+
+	peers := []Peer{{Node: "f1", URL: bad.URL}}
+	s := New(self, Options{SelfNode: "leader", Peers: func() []Peer { return peers }})
+	s.ScrapeOnce(context.Background())
+	st := s.Status()
+	if len(st) != 2 || st[1].Err == "" {
+		t.Fatalf("failed peer status = %+v, want recorded error", st)
+	}
+
+	// Peer leaves the roster: its series stop being served.
+	peers = nil
+	s.ScrapeOnce(context.Background())
+	if st := s.Status(); len(st) != 1 || st[0].Node != "leader" {
+		t.Errorf("status after departure = %+v, want self only", st)
+	}
+}
+
+func TestScraperHandlerColdScrape(t *testing.T) {
+	self := obs.NewRegistry()
+	self.Gauge("cold_gauge", "g").Set(7)
+	s := New(self, Options{SelfNode: "n0"})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics/fleet", nil))
+	if !strings.Contains(rec.Body.String(), `cold_gauge{node="n0"} 7`) {
+		t.Errorf("cold handler body = %q", rec.Body.String())
+	}
+}
+
+func TestProfileRingCaptureAndServe(t *testing.T) {
+	p := NewProfileRing(ProfileOptions{CPUDuration: 20 * time.Millisecond})
+	c, err := p.Capture(context.Background(), "manual", "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Kinds) != 3 || c.Bytes == 0 {
+		t.Fatalf("capture = kinds %v bytes %d", c.Kinds, c.Bytes)
+	}
+
+	// List + download via the handler.
+	h := p.Handler()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/obs/profiles", nil))
+	var list []Capture
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil || len(list) != 1 {
+		t.Fatalf("profile list = %v %s", err, rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet,
+		"/debug/obs/profiles/"+c.ID+"/goroutine", nil))
+	if rec.Code != http.StatusOK || rec.Body.Len() == 0 {
+		t.Fatalf("profile download = %d, %d bytes", rec.Code, rec.Body.Len())
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet,
+		"/debug/obs/profiles/nope/cpu", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("missing profile download = %d, want 404", rec.Code)
+	}
+
+	// Manual trigger over HTTP with a bounded CPU window.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost,
+		"/debug/obs/profile?cpu=10ms&note=hi", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("manual capture = %d: %s", rec.Code, rec.Body.String())
+	}
+	var got Capture
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil || got.Context != "hi" {
+		t.Errorf("manual capture body = %v %+v", err, got)
+	}
+}
+
+func TestProfileRingBreachSuppression(t *testing.T) {
+	p := NewProfileRing(ProfileOptions{
+		CPUDuration: 5 * time.Millisecond,
+		MinInterval: time.Hour,
+	})
+	if _, err := p.Capture(context.Background(), "breach", "latency"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Capture(context.Background(), "breach", "latency"); err == nil {
+		t.Error("second breach capture within MinInterval succeeded, want suppression")
+	}
+	// Manual captures are never suppressed.
+	if _, err := p.Capture(context.Background(), "manual", ""); err != nil {
+		t.Errorf("manual capture after breach = %v", err)
+	}
+}
+
+func TestProfileRingEviction(t *testing.T) {
+	p := NewProfileRing(ProfileOptions{CPUDuration: time.Millisecond, MaxCaptures: 2})
+	for i := 0; i < 3; i++ {
+		if _, err := p.Capture(context.Background(), "manual", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	list := p.List()
+	if len(list) != 2 {
+		t.Fatalf("ring holds %d captures, want 2", len(list))
+	}
+	if list[0].ID != "cap-003" || list[1].ID != "cap-002" {
+		t.Errorf("ring kept %s, %s — want newest two", list[0].ID, list[1].ID)
+	}
+}

@@ -1,0 +1,273 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pdcunplugged/internal/obs"
+)
+
+var (
+	captureTotal = obs.Default().Counter("pdcu_obs_profile_captures_total",
+		"Profile capture attempts by trigger and outcome (ok, suppressed, busy, error).",
+		"trigger", "result")
+	captureCount = obs.Default().Gauge("pdcu_obs_profile_ring_captures",
+		"Captures currently held in the profile ring.")
+	captureBytes = obs.Default().Gauge("pdcu_obs_profile_ring_bytes",
+		"Bytes of profile data held in the ring.")
+)
+
+// profileKinds is what one capture grabs, in collection order. CPU runs
+// first because it blocks for its sampling window; heap and goroutine
+// are instantaneous snapshots of the state right after the window.
+var profileKinds = []string{"cpu", "heap", "goroutine"}
+
+// ProfileOptions bounds the capture ring.
+type ProfileOptions struct {
+	// CPUDuration is the CPU-profile sampling window (default 5s).
+	CPUDuration time.Duration
+	// MaxCaptures and MaxBytes cap the ring; the oldest capture is
+	// evicted when either is exceeded (defaults 8 captures, 32 MiB).
+	MaxCaptures int
+	MaxBytes    int64
+	// MinInterval suppresses breach-triggered captures that fire within
+	// this window of the previous breach capture (default 1m) — a
+	// flapping SLO must not turn the ring into a CPU-profiler loop.
+	// Manual captures are never suppressed.
+	MinInterval time.Duration
+}
+
+// Capture is one stored profiling snapshot: every profile kind taken at
+// one instant, keyed by what tripped it.
+type Capture struct {
+	ID      string    `json:"id"`
+	At      time.Time `json:"at"`
+	Trigger string    `json:"trigger"` // "breach" or "manual"
+	// Context names the cause: breached objective names, or the note
+	// passed to a manual capture.
+	Context string `json:"context,omitempty"`
+	// Err records per-kind failures (e.g. CPU profiler already running);
+	// the other kinds are still stored.
+	Err   string   `json:"err,omitempty"`
+	Bytes int64    `json:"bytes"`
+	Kinds []string `json:"kinds"`
+
+	profiles map[string][]byte
+}
+
+// ProfileRing captures bounded pprof snapshots on demand and on SLO
+// breach, and serves them for download. All captures share one ring;
+// the newest evidence wins when space runs out.
+type ProfileRing struct {
+	opts ProfileOptions
+
+	inflight atomic.Bool // CPU profiling is globally exclusive
+
+	mu         sync.Mutex
+	seq        int
+	captures   []*Capture // oldest first
+	totalBytes int64
+	lastBreach time.Time
+}
+
+// NewProfileRing builds a ring with defaults filled in.
+func NewProfileRing(opts ProfileOptions) *ProfileRing {
+	if opts.CPUDuration <= 0 {
+		opts.CPUDuration = 5 * time.Second
+	}
+	if opts.MaxCaptures <= 0 {
+		opts.MaxCaptures = 8
+	}
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = 32 << 20
+	}
+	if opts.MinInterval <= 0 {
+		opts.MinInterval = time.Minute
+	}
+	return &ProfileRing{opts: opts}
+}
+
+// CaptureAsync fires a capture in the background — the breach hook runs
+// inside the rollup tick and must not block for the CPU window.
+func (p *ProfileRing) CaptureAsync(trigger, note string) {
+	go p.Capture(context.Background(), trigger, note)
+}
+
+// Capture grabs one snapshot of every profile kind and stores it.
+// Breach-triggered captures within MinInterval of the previous breach
+// capture are suppressed; concurrent captures are rejected (the CPU
+// profiler is process-global).
+func (p *ProfileRing) Capture(ctx context.Context, trigger, note string) (*Capture, error) {
+	if trigger == "breach" {
+		p.mu.Lock()
+		since := time.Since(p.lastBreach)
+		if !p.lastBreach.IsZero() && since < p.opts.MinInterval {
+			p.mu.Unlock()
+			captureTotal.With(trigger, "suppressed").Inc()
+			return nil, fmt.Errorf("fleet: breach capture suppressed (%s since last, min %s)",
+				since.Round(time.Second), p.opts.MinInterval)
+		}
+		p.lastBreach = time.Now()
+		p.mu.Unlock()
+	}
+	if !p.inflight.CompareAndSwap(false, true) {
+		captureTotal.With(trigger, "busy").Inc()
+		return nil, fmt.Errorf("fleet: a capture is already in flight")
+	}
+	defer p.inflight.Store(false)
+
+	c := &Capture{
+		At:       time.Now(),
+		Trigger:  trigger,
+		Context:  note,
+		profiles: map[string][]byte{},
+	}
+	var errs []string
+
+	var cpu bytes.Buffer
+	if err := pprof.StartCPUProfile(&cpu); err != nil {
+		// Someone else (net/http/pprof) holds the profiler; keep going —
+		// heap and goroutine still tell the story.
+		errs = append(errs, "cpu: "+err.Error())
+	} else {
+		select {
+		case <-time.After(p.opts.CPUDuration):
+		case <-ctx.Done():
+		}
+		pprof.StopCPUProfile()
+		c.profiles["cpu"] = cpu.Bytes()
+	}
+	for _, kind := range profileKinds[1:] {
+		prof := pprof.Lookup(kind)
+		if prof == nil {
+			errs = append(errs, kind+": unknown profile")
+			continue
+		}
+		var b bytes.Buffer
+		if err := prof.WriteTo(&b, 0); err != nil {
+			errs = append(errs, kind+": "+err.Error())
+			continue
+		}
+		c.profiles[kind] = b.Bytes()
+	}
+	for _, kind := range profileKinds {
+		if data, ok := c.profiles[kind]; ok {
+			c.Kinds = append(c.Kinds, kind)
+			c.Bytes += int64(len(data))
+		}
+	}
+	c.Err = strings.Join(errs, "; ")
+	if len(c.profiles) == 0 {
+		captureTotal.With(trigger, "error").Inc()
+		return nil, fmt.Errorf("fleet: capture produced nothing: %s", c.Err)
+	}
+
+	p.mu.Lock()
+	p.seq++
+	c.ID = fmt.Sprintf("cap-%03d", p.seq)
+	p.captures = append(p.captures, c)
+	p.totalBytes += c.Bytes
+	for len(p.captures) > 1 &&
+		(len(p.captures) > p.opts.MaxCaptures || p.totalBytes > p.opts.MaxBytes) {
+		p.totalBytes -= p.captures[0].Bytes
+		p.captures = p.captures[1:]
+	}
+	captureCount.Set(float64(len(p.captures)))
+	captureBytes.Set(float64(p.totalBytes))
+	p.mu.Unlock()
+
+	captureTotal.With(trigger, "ok").Inc()
+	return c, nil
+}
+
+// List returns capture metadata, newest first.
+func (p *ProfileRing) List() []Capture {
+	p.mu.Lock()
+	out := make([]Capture, 0, len(p.captures))
+	for _, c := range p.captures {
+		cc := *c
+		cc.profiles = nil
+		out = append(out, cc)
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].At.After(out[j].At) })
+	return out
+}
+
+// Get returns one stored profile's bytes.
+func (p *ProfileRing) Get(id, kind string) ([]byte, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.captures {
+		if c.ID == id {
+			data, ok := c.profiles[kind]
+			return data, ok
+		}
+	}
+	return nil, false
+}
+
+// Handler serves the capture API under /debug/obs:
+//
+//	POST /debug/obs/profile            trigger a capture (?cpu=250ms)
+//	GET  /debug/obs/profiles           JSON capture list
+//	GET  /debug/obs/profiles/<id>/<k>  download one profile
+func (p *ProfileRing) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/obs/profile", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		ctx := r.Context()
+		if raw := r.URL.Query().Get("cpu"); raw != "" {
+			d, err := time.ParseDuration(raw)
+			if err != nil || d <= 0 || d > time.Minute {
+				http.Error(w, "cpu must be a duration in (0, 1m]", http.StatusBadRequest)
+				return
+			}
+			// Bound this one capture without mutating shared options.
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
+		c, err := p.Capture(ctx, "manual", r.URL.Query().Get("note"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(c)
+	})
+	mux.HandleFunc("/debug/obs/profiles", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(p.List())
+	})
+	mux.HandleFunc("/debug/obs/profiles/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/debug/obs/profiles/")
+		id, kind, ok := strings.Cut(rest, "/")
+		if !ok || id == "" || kind == "" {
+			http.Error(w, "want /debug/obs/profiles/<id>/<kind>", http.StatusBadRequest)
+			return
+		}
+		data, ok := p.Get(id, kind)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition",
+			fmt.Sprintf(`attachment; filename="%s-%s.pprof"`, id, kind))
+		w.Write(data)
+	})
+	return mux
+}

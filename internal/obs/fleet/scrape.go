@@ -1,0 +1,415 @@
+// Package fleet is the cross-node observability layer: a metrics
+// federator that scrapes every heartbeating replica's /metrics and
+// re-serves the union under node labels (/metrics/fleet), per-node RED
+// summaries for the dashboard's Fleet panel, and a breach-triggered
+// pprof capture ring (profile.go) that preserves the evidence of an SLO
+// burn. Everything here builds on the obs exposition parser and plain
+// HTTP — a peer is just a base URL that serves /metrics.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pdcunplugged/internal/obs"
+)
+
+var (
+	scrapeTotal = obs.Default().Counter("pdcu_obs_fleet_scrapes_total",
+		"Fleet metric scrapes by node and outcome (ok, error).", "node", "result")
+	scrapeDuration = obs.Default().Histogram("pdcu_obs_fleet_scrape_duration_seconds",
+		"Wall time of one full fleet scrape pass (self + every peer).", obs.DefBuckets())
+	fleetNodes = obs.Default().Gauge("pdcu_obs_fleet_nodes",
+		"Nodes in the latest fleet scrape (including self).")
+	fleetSeries = obs.Default().Gauge("pdcu_obs_fleet_series",
+		"Samples held by the fleet federator across all nodes.")
+)
+
+// Peer is one remote node the scraper federates: its fleet-roster name
+// and the base URL its /metrics (and /debug/obs) are reachable at.
+type Peer struct {
+	Node string
+	URL  string
+}
+
+// Options configures a Scraper.
+type Options struct {
+	// Interval is the background scrape cadence for Run (default 5s).
+	Interval time.Duration
+	// SelfNode labels this process's own series (default "self").
+	SelfNode string
+	// Peers supplies the current remote roster; called once per scrape
+	// pass so a follower joining the fleet is picked up automatically.
+	// Nil means self-only.
+	Peers func() []Peer
+	// Client fetches peer /metrics (default 5s timeout).
+	Client *http.Client
+}
+
+// nodeScrape is the latest parse of one node's exposition, plus the
+// previous pass's totals so Status can report rates as deltas.
+type nodeScrape struct {
+	node     string
+	url      string // empty for self
+	at       time.Time
+	families []obs.ExpoFamily
+	err      error
+
+	prevAt     time.Time
+	prev, curr redTotals
+}
+
+// redTotals are the cumulative counters a RED row derives from.
+type redTotals struct {
+	requests, errors5xx float64
+	durSum, durCount    float64
+	valid               bool
+}
+
+// NodeStatus is one node's row in the dashboard Fleet panel: request
+// and error rates over the last scrape interval, mean latency, replica
+// lag, and the tightest SLO budget — side by side for every node.
+type NodeStatus struct {
+	Node    string  `json:"node"`
+	URL     string  `json:"url,omitempty"`
+	Self    bool    `json:"self"`
+	AgeSecs float64 `json:"age_seconds"`
+	Err     string  `json:"err,omitempty"`
+	Series  int     `json:"series"`
+	// ReqRate/ErrRate are requests and 5xx per second between the two
+	// most recent scrapes; MeanLatency is seconds per request over the
+	// same window. Zero until a node has been scraped twice.
+	ReqRate     float64 `json:"req_rate"`
+	ErrRate     float64 `json:"err_rate"`
+	MeanLatency float64 `json:"mean_latency_seconds"`
+	// Lag is the node's pdcu_replica_lag (generations behind).
+	Lag float64 `json:"lag"`
+	// SLOBudget is the minimum pdcu_slo_budget_remaining_ratio across
+	// the node's objectives (-1 when the node exports none yet).
+	SLOBudget float64 `json:"slo_budget"`
+	// Breached reports any pdcu_slo_breached series at 1.
+	Breached bool `json:"breached"`
+}
+
+// Scraper federates metrics across the fleet. Construct with New, then
+// either Run it on its interval or call ScrapeOnce on demand.
+type Scraper struct {
+	self *obs.Registry
+	opts Options
+
+	mu    sync.Mutex
+	nodes map[string]*nodeScrape
+}
+
+// New builds a scraper over the local registry (scraped in-process, no
+// HTTP round trip for self).
+func New(self *obs.Registry, opts Options) *Scraper {
+	if opts.Interval <= 0 {
+		opts.Interval = 5 * time.Second
+	}
+	if opts.SelfNode == "" {
+		opts.SelfNode = "self"
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	return &Scraper{self: self, opts: opts, nodes: map[string]*nodeScrape{}}
+}
+
+// Run scrapes on the configured interval until ctx is done.
+func (s *Scraper) Run(ctx context.Context) {
+	t := time.NewTicker(s.opts.Interval)
+	defer t.Stop()
+	for {
+		s.ScrapeOnce(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// ScrapeOnce performs one full pass: the local registry rendered and
+// re-parsed (so self goes through the identical code path as a peer),
+// then every peer's /metrics over HTTP. Peers are scraped sequentially
+// — fleet sizes here are classroom-scale, and one slow peer delaying
+// the pass is more observable than interleaved partial state.
+func (s *Scraper) ScrapeOnce(ctx context.Context) {
+	done := scrapeDuration.With().Timer()
+	defer done()
+
+	type result struct {
+		node, url string
+		fams      []obs.ExpoFamily
+		err       error
+	}
+	var results []result
+
+	var buf bytes.Buffer
+	if err := s.self.WritePrometheus(&buf); err == nil {
+		fams, perr := obs.ParseExposition(&buf)
+		results = append(results, result{node: s.opts.SelfNode, fams: fams, err: perr})
+	} else {
+		results = append(results, result{node: s.opts.SelfNode, err: err})
+	}
+
+	var peers []Peer
+	if s.opts.Peers != nil {
+		peers = s.opts.Peers()
+	}
+	for _, p := range peers {
+		if p.Node == "" || p.URL == "" || p.Node == s.opts.SelfNode {
+			continue
+		}
+		fams, err := s.scrapePeer(ctx, p.URL)
+		results = append(results, result{node: p.Node, url: p.URL, fams: fams, err: err})
+	}
+
+	now := time.Now()
+	live := make(map[string]bool, len(results))
+	series := 0
+	s.mu.Lock()
+	for _, r := range results {
+		live[r.node] = true
+		ns := s.nodes[r.node]
+		if ns == nil {
+			ns = &nodeScrape{node: r.node}
+			s.nodes[r.node] = ns
+		}
+		ns.url = r.url
+		if r.err != nil {
+			// Keep the last good parse for display; the error rides along.
+			ns.err = r.err
+			scrapeTotal.With(r.node, "error").Inc()
+			continue
+		}
+		ns.err = nil
+		ns.prev, ns.prevAt = ns.curr, ns.at
+		ns.families, ns.at = r.fams, now
+		ns.curr = sumRED(r.fams)
+		scrapeTotal.With(r.node, "ok").Inc()
+	}
+	// Nodes that left the roster stop being served rather than going
+	// stale forever.
+	for node := range s.nodes {
+		if !live[node] {
+			delete(s.nodes, node)
+		}
+	}
+	for _, ns := range s.nodes {
+		for _, f := range ns.families {
+			series += len(f.Samples)
+		}
+	}
+	n := len(s.nodes)
+	s.mu.Unlock()
+	fleetNodes.Set(float64(n))
+	fleetSeries.Set(float64(series))
+}
+
+func (s *Scraper) scrapePeer(ctx context.Context, base string) ([]obs.ExpoFamily, error) {
+	ctx, cancel := context.WithTimeout(ctx, s.opts.Client.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.opts.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: %s/metrics returned %s", base, resp.Status)
+	}
+	return obs.ParseExposition(resp.Body)
+}
+
+// sumRED folds one node's families into the cumulative RED totals.
+func sumRED(fams []obs.ExpoFamily) redTotals {
+	var t redTotals
+	t.valid = true
+	for _, f := range fams {
+		switch f.Name {
+		case "pdcu_http_requests_total":
+			for _, smp := range f.Samples {
+				t.requests += smp.Value
+				if strings.HasPrefix(smp.Label("code"), "5") {
+					t.errors5xx += smp.Value
+				}
+			}
+		case "pdcu_http_request_duration_seconds":
+			for _, smp := range f.Samples {
+				switch smp.Name {
+				case "pdcu_http_request_duration_seconds_sum":
+					t.durSum += smp.Value
+				case "pdcu_http_request_duration_seconds_count":
+					t.durCount += smp.Value
+				}
+			}
+		}
+	}
+	return t
+}
+
+// gaugeValue scans one node's parse for a gauge/counter family and
+// returns the first (or label-matched) sample value.
+func gaugeValue(fams []obs.ExpoFamily, family string, match func(obs.ExpoSample) bool) (float64, bool) {
+	for _, f := range fams {
+		if f.Name != family {
+			continue
+		}
+		for _, smp := range f.Samples {
+			if match == nil || match(smp) {
+				return smp.Value, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Status summarizes every scraped node for the Fleet panel, self first
+// then peers sorted by node name.
+func (s *Scraper) Status() []NodeStatus {
+	now := time.Now()
+	s.mu.Lock()
+	out := make([]NodeStatus, 0, len(s.nodes))
+	for _, ns := range s.nodes {
+		st := NodeStatus{
+			Node: ns.node,
+			URL:  ns.url,
+			Self: ns.url == "",
+		}
+		if ns.err != nil {
+			st.Err = ns.err.Error()
+		}
+		if !ns.at.IsZero() {
+			st.AgeSecs = now.Sub(ns.at).Seconds()
+		}
+		for _, f := range ns.families {
+			st.Series += len(f.Samples)
+		}
+		if ns.prev.valid && ns.curr.valid && ns.at.After(ns.prevAt) {
+			secs := ns.at.Sub(ns.prevAt).Seconds()
+			dReq := ns.curr.requests - ns.prev.requests
+			dErr := ns.curr.errors5xx - ns.prev.errors5xx
+			dSum := ns.curr.durSum - ns.prev.durSum
+			dCnt := ns.curr.durCount - ns.prev.durCount
+			if dReq >= 0 && secs > 0 {
+				st.ReqRate = dReq / secs
+			}
+			if dErr >= 0 && secs > 0 {
+				st.ErrRate = dErr / secs
+			}
+			if dCnt > 0 && dSum >= 0 {
+				st.MeanLatency = dSum / dCnt
+			}
+		}
+		st.Lag, _ = gaugeValue(ns.families, "pdcu_replica_lag", nil)
+		st.SLOBudget = -1
+		for _, f := range ns.families {
+			switch f.Name {
+			case "pdcu_slo_budget_remaining_ratio":
+				for _, smp := range f.Samples {
+					if st.SLOBudget < 0 || smp.Value < st.SLOBudget {
+						st.SLOBudget = smp.Value
+					}
+				}
+			case "pdcu_slo_breached":
+				for _, smp := range f.Samples {
+					if smp.Value >= 1 {
+						st.Breached = true
+					}
+				}
+			}
+		}
+		out = append(out, st)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Self != out[j].Self {
+			return out[i].Self
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// WriteFleet renders the federated exposition: every scraped family,
+// grouped by family name, each sample re-labeled with node= first. The
+// output is itself valid exposition format (ParseExposition reads it
+// back), so a real Prometheus can scrape the whole fleet off one
+// endpoint.
+func (s *Scraper) WriteFleet(b *strings.Builder) {
+	type nodeFams struct {
+		node string
+		fams []obs.ExpoFamily
+	}
+	s.mu.Lock()
+	snap := make([]nodeFams, 0, len(s.nodes))
+	for _, ns := range s.nodes {
+		snap = append(snap, nodeFams{ns.node, ns.families})
+	}
+	s.mu.Unlock()
+	sort.Slice(snap, func(i, j int) bool { return snap[i].node < snap[j].node })
+
+	type famMeta struct {
+		help string
+		kind obs.Kind
+	}
+	metas := map[string]famMeta{}
+	var names []string
+	for _, nf := range snap {
+		for _, f := range nf.fams {
+			if _, ok := metas[f.Name]; !ok {
+				metas[f.Name] = famMeta{f.Help, f.Kind}
+				names = append(names, f.Name)
+			}
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := metas[name]
+		if m.help != "" {
+			fmt.Fprintf(b, "# HELP %s %s\n", name, m.help)
+		}
+		fmt.Fprintf(b, "# TYPE %s %s\n", name, m.kind)
+		for _, nf := range snap {
+			for _, f := range nf.fams {
+				if f.Name != name {
+					continue
+				}
+				for _, smp := range f.Samples {
+					obs.WriteSample(b, smp, obs.ExpoLabel{Name: "node", Value: nf.node})
+				}
+			}
+		}
+	}
+}
+
+// Handler serves /metrics/fleet. A cold cache (no scrape yet) performs
+// one synchronous pass first, so the endpoint is useful even without
+// the background loop running.
+func (s *Scraper) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		cold := len(s.nodes) == 0
+		s.mu.Unlock()
+		if cold {
+			ctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
+			s.ScrapeOnce(ctx)
+			cancel()
+		}
+		var b strings.Builder
+		s.WriteFleet(&b)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, b.String())
+	})
+}

@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// This file is the cross-node half of the tracing layer: a JSON wire
+// form for one retained trace (the shape /debug/obs/traces/<id>
+// ?format=json serves), the fetch that pulls the matching half of a
+// trace from a peer node, and the merge that stitches both halves into
+// one waterfall. A follower's fetch cycle and the leader's snapshot
+// serve share a trace ID via the traceparent header; WireTrace is how
+// the spans recorded on the other machine come home.
+
+// ParseSpanID decodes a 16-char lowercase-hex span ID.
+func ParseSpanID(s string) (SpanID, error) {
+	var id SpanID
+	if len(s) != 16 {
+		return id, errors.New("trace: span ID must be 16 hex characters")
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return SpanID{}, err
+	}
+	if id.IsZero() {
+		return SpanID{}, errors.New("trace: all-zero span ID")
+	}
+	return id, nil
+}
+
+// WireSpan is SpanData with its IDs rendered as hex for JSON consumers;
+// the embedded binary IDs are json:"-", so the outer fields win.
+type WireSpan struct {
+	SpanData
+	ID     string `json:"id"`
+	Parent string `json:"parent,omitempty"`
+}
+
+// WireTrace is Data in wire form. It is both what the dashboard serves
+// and what FetchRemote decodes, so the two sides cannot drift.
+type WireTrace struct {
+	Data
+	ID    string     `json:"id"`
+	Spans []WireSpan `json:"spans"`
+}
+
+// Wire renders a retained trace into its JSON wire form.
+func (d Data) Wire() WireTrace {
+	out := WireTrace{Data: d, ID: d.ID.String(), Spans: make([]WireSpan, len(d.Spans))}
+	for i, sp := range d.Spans {
+		out.Spans[i] = WireSpan{SpanData: sp, ID: sp.ID.String()}
+		if !sp.Parent.IsZero() {
+			out.Spans[i].Parent = sp.Parent.String()
+		}
+	}
+	return out
+}
+
+// Parse decodes the wire form back into Data, restoring the binary IDs.
+// Spans with malformed IDs are rejected — a half-parsed trace would
+// stitch into a silently-wrong waterfall.
+func (wt WireTrace) Parse() (Data, error) {
+	d := wt.Data
+	id, err := ParseTraceID(wt.ID)
+	if err != nil {
+		return Data{}, fmt.Errorf("trace %q: %w", wt.ID, err)
+	}
+	d.ID = id
+	d.Spans = make([]SpanData, len(wt.Spans))
+	for i, ws := range wt.Spans {
+		sd := ws.SpanData
+		if sd.ID, err = ParseSpanID(ws.ID); err != nil {
+			return Data{}, fmt.Errorf("span %q: %w", ws.ID, err)
+		}
+		if ws.Parent != "" {
+			if sd.Parent, err = ParseSpanID(ws.Parent); err != nil {
+				return Data{}, fmt.Errorf("span %s parent %q: %w", ws.ID, ws.Parent, err)
+			}
+		} else {
+			sd.Parent = SpanID{}
+		}
+		d.Spans[i] = sd
+	}
+	return d, nil
+}
+
+// Merge stitches two halves of one trace into a single record: spans
+// are unioned by span ID (local wins a collision), the envelope covers
+// both halves, and the root is re-resolved as the earliest span whose
+// parent is not itself a merged span — which is how the follower's
+// fetch-cycle root stays on top even though the leader's half arrived
+// with its own root flag. Mismatched trace IDs return local unchanged.
+func Merge(local, remote Data) Data {
+	if local.ID != remote.ID {
+		return local
+	}
+	out := local
+	seen := make(map[SpanID]bool, len(local.Spans))
+	out.Spans = append([]SpanData(nil), local.Spans...)
+	for _, sp := range local.Spans {
+		seen[sp.ID] = true
+	}
+	for _, sp := range remote.Spans {
+		if !seen[sp.ID] {
+			seen[sp.ID] = true
+			out.Spans = append(out.Spans, sp)
+		}
+	}
+	sort.SliceStable(out.Spans, func(i, j int) bool {
+		return out.Spans[i].Start.Before(out.Spans[j].Start)
+	})
+
+	out.Err = local.Err || remote.Err
+	out.Pinned = local.Pinned || remote.Pinned
+	if out.Reason == "" {
+		out.Reason = remote.Reason
+	}
+	start, end := local.Start, local.Start.Add(local.Duration)
+	if !remote.Start.IsZero() && (start.IsZero() || remote.Start.Before(start)) {
+		start = remote.Start
+	}
+	if re := remote.Start.Add(remote.Duration); re.After(end) {
+		end = re
+	}
+	out.Start, out.Duration = start, end.Sub(start)
+
+	// Root: earliest span not parented by another merged span.
+	for _, sp := range out.Spans {
+		if sp.Parent.IsZero() || !seen[sp.Parent] {
+			out.Root = sp.Name
+			break
+		}
+	}
+	return out
+}
+
+// FetchRemote pulls one trace's half from a peer node's dashboard API
+// (GET <base>/debug/obs/traces/<id>?format=json). A peer that does not
+// retain the trace — evicted, sampled out, or never saw it — returns
+// (zero, false, nil): absence is an answer, not an error.
+func FetchRemote(ctx context.Context, client *http.Client, base string, id TraceID) (Data, bool, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	url := fmt.Sprintf("%s/debug/obs/traces/%s?format=json", base, id)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return Data{}, false, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return Data{}, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+		return Data{}, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+		return Data{}, false, fmt.Errorf("trace: peer %s returned %s", base, resp.Status)
+	}
+	var wt WireTrace
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&wt); err != nil {
+		return Data{}, false, fmt.Errorf("trace: peer %s: %w", base, err)
+	}
+	d, err := wt.Parse()
+	if err != nil {
+		return Data{}, false, fmt.Errorf("trace: peer %s: %w", base, err)
+	}
+	if d.ID != id {
+		return Data{}, false, fmt.Errorf("trace: peer %s answered with trace %s, asked for %s", base, d.ID, id)
+	}
+	return d, true, nil
+}

@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mkTrace(t *testing.T, idHex string, spans ...SpanData) Data {
+	t.Helper()
+	id, err := ParseTraceID(idHex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Data{ID: id, Spans: spans, Reason: "sampled"}
+	if len(spans) > 0 {
+		d.Root = spans[0].Name
+		d.Start = spans[0].Start
+		d.Duration = spans[0].Duration
+	}
+	return d
+}
+
+func sid(b byte) SpanID { return SpanID{7: b} }
+
+func TestParseSpanID(t *testing.T) {
+	id, err := ParseSpanID("00000000000000a1")
+	if err != nil || id != (SpanID{7: 0xa1}) {
+		t.Fatalf("ParseSpanID = %v, %v", id, err)
+	}
+	for _, bad := range []string{"", "a1", "000000000000000g", "0000000000000000", "00000000000000A1x"} {
+		if _, err := ParseSpanID(bad); err == nil {
+			t.Errorf("ParseSpanID(%q) succeeded", bad)
+		}
+	}
+}
+
+// TestWireRoundTrip: Data → JSON → Data preserves IDs, parents, attrs,
+// and errors bit-for-bit.
+func TestWireRoundTrip(t *testing.T) {
+	t0 := time.Date(2026, 8, 8, 10, 0, 0, 0, time.UTC)
+	d := mkTrace(t, strings.Repeat("ab", 16),
+		SpanData{ID: sid(1), Name: "root", Start: t0, Duration: 80 * time.Millisecond},
+		SpanData{ID: sid(2), Parent: sid(1), Name: "child", Start: t0.Add(time.Millisecond),
+			Duration: 5 * time.Millisecond, Err: "boom", Attrs: []Attr{{Key: "k", Value: "v"}}},
+	)
+	raw, err := json.Marshal(d.Wire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wt WireTrace
+	if err := json.Unmarshal(raw, &wt); err != nil {
+		t.Fatal(err)
+	}
+	got, err := wt.Parse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != d.ID || len(got.Spans) != 2 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if got.Spans[1].Parent != sid(1) || got.Spans[1].Err != "boom" || got.Spans[1].Attrs[0].Value != "v" {
+		t.Errorf("child span round trip = %+v", got.Spans[1])
+	}
+	if !got.Spans[0].Parent.IsZero() {
+		t.Errorf("root span grew a parent: %v", got.Spans[0].Parent)
+	}
+}
+
+// TestMergeStitchesHalves models the replication stitch: the follower
+// half roots the trace (replica.fetch → http child), the leader half's
+// "root" is parented by the follower's http span. The merge must union
+// the spans, keep the follower's root on top, and extend the envelope.
+func TestMergeStitchesHalves(t *testing.T) {
+	t0 := time.Date(2026, 8, 8, 10, 0, 0, 0, time.UTC)
+	idHex := strings.Repeat("cd", 16)
+	follower := mkTrace(t, idHex,
+		SpanData{ID: sid(1), Name: "replica.fetch", Start: t0, Duration: 100 * time.Millisecond},
+		SpanData{ID: sid(2), Parent: sid(1), Name: "replica.fetch.http", Start: t0.Add(time.Millisecond), Duration: 60 * time.Millisecond},
+	)
+	leader := mkTrace(t, idHex,
+		SpanData{ID: sid(9), Parent: sid(2), Name: "GET /replica", Start: t0.Add(2 * time.Millisecond), Duration: 120 * time.Millisecond},
+	)
+	leader.Pinned, leader.Reason = true, "traceparent"
+
+	got := Merge(follower, leader)
+	if len(got.Spans) != 3 {
+		t.Fatalf("merged %d spans, want 3", len(got.Spans))
+	}
+	if got.Root != "replica.fetch" {
+		t.Errorf("merged root = %q, want replica.fetch", got.Root)
+	}
+	if !got.Pinned {
+		t.Error("merge dropped the pinned flag")
+	}
+	// Leader span outlives the follower root (clock view): envelope grows.
+	if want := 122 * time.Millisecond; got.Duration != want {
+		t.Errorf("merged duration = %v, want %v", got.Duration, want)
+	}
+
+	// Merging the same half twice must not duplicate spans.
+	again := Merge(got, leader)
+	if len(again.Spans) != 3 {
+		t.Errorf("re-merge grew to %d spans", len(again.Spans))
+	}
+
+	// Mismatched IDs: local wins untouched.
+	other := mkTrace(t, strings.Repeat("ef", 16), SpanData{ID: sid(5), Name: "x", Start: t0})
+	if out := Merge(follower, other); len(out.Spans) != 2 || out.Root != "replica.fetch" {
+		t.Errorf("mismatched-ID merge = %+v", out)
+	}
+}
+
+// TestFetchRemote drives the peer fetch against a fake dashboard
+// endpoint: hit, miss (404), and a corrupt body.
+func TestFetchRemote(t *testing.T) {
+	t0 := time.Now()
+	d := mkTrace(t, strings.Repeat("12", 16),
+		SpanData{ID: sid(3), Name: "remote", Start: t0, Duration: time.Millisecond})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case strings.Contains(r.URL.Path, strings.Repeat("12", 16)):
+			if r.URL.Query().Get("format") != "json" {
+				t.Errorf("peer fetch missed format=json: %s", r.URL)
+			}
+			json.NewEncoder(w).Encode(d.Wire())
+		case strings.Contains(r.URL.Path, "corrupt"):
+			w.Write([]byte("{"))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer srv.Close()
+
+	got, ok, err := FetchRemote(context.Background(), srv.Client(), srv.URL, d.ID)
+	if err != nil || !ok {
+		t.Fatalf("FetchRemote hit = ok=%v err=%v", ok, err)
+	}
+	if got.ID != d.ID || len(got.Spans) != 1 || got.Spans[0].Name != "remote" {
+		t.Errorf("FetchRemote = %+v", got)
+	}
+
+	missID, _ := ParseTraceID(strings.Repeat("34", 16))
+	if _, ok, err := FetchRemote(context.Background(), srv.Client(), srv.URL, missID); ok || err != nil {
+		t.Errorf("FetchRemote miss = ok=%v err=%v, want absent without error", ok, err)
+	}
+}

@@ -9,10 +9,12 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"pdcunplugged/internal/engine"
 	"pdcunplugged/internal/obs"
+	"pdcunplugged/internal/obs/trace"
 )
 
 var (
@@ -39,14 +41,40 @@ type Follower struct {
 	Base string
 	// Node identifies this follower in fleet status and metrics.
 	Node string
+	// Self, when set, is the base URL this follower's own HTTP server is
+	// reachable at. It rides along on heartbeats so the leader's fleet
+	// roster doubles as a scrape/trace-federation target list.
+	Self string
 	// Dir, when set, persists every adopted snapshot's raw bytes for
 	// cold starts.
 	Dir string
 	// Client is the HTTP client; nil selects a client whose timeout
 	// accommodates the long poll.
 	Client *http.Client
+	// Tracer records the per-cycle fetch traces; nil selects
+	// trace.Default(). Each fetch cycle roots a recorded trace whose
+	// traceparent travels on the snapshot request, so the leader's
+	// serve-side span lands in the same trace — the cross-node half the
+	// dashboard stitches back together.
+	Tracer *trace.Tracer
 
 	etag string
+	lag  atomic.Int64
+}
+
+// Lag reports the last observed generation lag behind the leader.
+func (f *Follower) Lag() int64 { return f.lag.Load() }
+
+func (f *Follower) setLag(v int64) {
+	f.lag.Store(v)
+	replicaLag.Set(float64(v))
+}
+
+func (f *Follower) tracer() *trace.Tracer {
+	if f.Tracer != nil {
+		return f.Tracer
+	}
+	return trace.Default()
 }
 
 // pollTimeout is the long-poll window the follower requests; the HTTP
@@ -91,10 +119,20 @@ func (f *Follower) Run(ctx context.Context) error {
 }
 
 // fetchOnce performs one long-poll cycle: at most one snapshot transfer,
-// ending in adoption, a no-change verdict, or an error.
-func (f *Follower) fetchOnce(ctx context.Context, client *http.Client) error {
+// ending in adoption, a no-change verdict, or an error. Every cycle
+// roots a recorded trace; the HTTP child span's traceparent goes out on
+// the snapshot request, so the leader's serve span joins the same trace
+// and the two halves stitch into one waterfall on either dashboard.
+func (f *Follower) fetchOnce(ctx context.Context, client *http.Client) (err error) {
 	done := fetchDuration.With().Timer()
 	defer done()
+
+	ctx, root := f.tracer().StartRecorded(ctx, "replica.fetch")
+	root.SetAttr("leader", f.Base)
+	defer func() {
+		root.FailErr(err)
+		root.End()
+	}()
 
 	var cur uint64
 	if g := f.Eng.Current(); g != nil {
@@ -108,7 +146,13 @@ func (f *Follower) fetchOnce(ctx context.Context, client *http.Client) error {
 	if f.etag != "" {
 		req.Header.Set("If-None-Match", f.etag)
 	}
+	_, hs := trace.StartSpan(ctx, "replica.fetch.http")
+	if tp := hs.Traceparent(); tp != "" {
+		req.Header.Set("Traceparent", tp)
+	}
 	resp, err := client.Do(req)
+	hs.FailErr(err)
+	hs.End()
 	if err != nil {
 		return err
 	}
@@ -116,11 +160,12 @@ func (f *Follower) fetchOnce(ctx context.Context, client *http.Client) error {
 
 	if seq := resp.Header.Get("Pdcu-Seq"); seq != "" {
 		if leaderSeq, err := strconv.ParseUint(seq, 10, 64); err == nil && leaderSeq >= cur {
-			replicaLag.Set(float64(leaderSeq - cur))
+			f.setLag(int64(leaderSeq - cur))
 		}
 	}
 	switch resp.StatusCode {
 	case http.StatusNotModified:
+		root.SetAttr("result", "unchanged")
 		fetchTotal.With("unchanged").Inc()
 		f.heartbeat(ctx, client)
 		return nil
@@ -135,17 +180,25 @@ func (f *Follower) fetchOnce(ctx context.Context, client *http.Client) error {
 		return err
 	}
 	fetchBytes.Add(float64(len(data)))
+	_, ds := trace.StartSpan(ctx, "replica.decode")
 	gen, err := Decode(data)
+	ds.FailErr(err)
+	ds.End()
 	if err != nil {
 		return fmt.Errorf("snapshot rejected: %w", err)
 	}
-	if !f.Eng.Adopt(gen) {
+	_, as := trace.StartSpan(ctx, "replica.adopt")
+	adopted := f.Eng.Adopt(gen)
+	as.End()
+	if !adopted {
+		root.SetAttr("result", "stale")
 		fetchTotal.With("stale").Inc()
 		f.heartbeat(ctx, client)
 		return nil
 	}
 	f.etag = resp.Header.Get("ETag")
-	replicaLag.Set(0)
+	f.setLag(0)
+	root.SetAttr("result", "adopted")
 	fetchTotal.With("adopted").Inc()
 	obs.Logger().Info("snapshot adopted",
 		"seq", gen.Seq, "generation", gen.ID, "bytes", len(data), "leader", f.Base)
@@ -165,7 +218,7 @@ func (f *Follower) heartbeat(ctx context.Context, client *http.Client) {
 	if g == nil || f.Node == "" {
 		return
 	}
-	body, _ := json.Marshal(heartbeat{Node: f.Node, Seq: g.Seq, Generation: g.ID})
+	body, _ := json.Marshal(heartbeat{Node: f.Node, URL: f.Self, Seq: g.Seq, Generation: g.ID})
 	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, f.Base+"/replica/v1/fleet", bytes.NewReader(body))

@@ -56,6 +56,7 @@ type encodedSnapshot struct {
 
 // followerState is one row of the fleet roster, keyed by node name.
 type followerState struct {
+	URL        string    `json:"url,omitempty"`
 	Seq        uint64    `json:"seq"`
 	Generation string    `json:"generation"`
 	LastSeen   time.Time `json:"lastSeen"`
@@ -251,9 +252,12 @@ func (l *Leader) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	w.Write(enc.data)
 }
 
-// heartbeat is the body a follower POSTs to /replica/v1/fleet.
+// heartbeat is the body a follower POSTs to /replica/v1/fleet. URL is
+// the follower's advertised base URL, when it has one — the hook that
+// turns the roster into a fleet-observability target list.
 type heartbeat struct {
 	Node       string `json:"node"`
+	URL        string `json:"url,omitempty"`
 	Seq        uint64 `json:"seq"`
 	Generation string `json:"generation"`
 }
@@ -261,6 +265,7 @@ type heartbeat struct {
 // FleetFollower is one follower's row in the fleet status response.
 type FleetFollower struct {
 	Node       string  `json:"node"`
+	URL        string  `json:"url,omitempty"`
 	Seq        uint64  `json:"seq"`
 	Generation string  `json:"generation"`
 	Lag        int64   `json:"lag"`
@@ -284,7 +289,7 @@ func (l *Leader) handleFleet(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		l.mu.Lock()
-		l.fleet[hb.Node] = followerState{Seq: hb.Seq, Generation: hb.Generation, LastSeen: time.Now()}
+		l.fleet[hb.Node] = followerState{URL: hb.URL, Seq: hb.Seq, Generation: hb.Generation, LastSeen: time.Now()}
 		l.mu.Unlock()
 		// Refresh the fleet gauges on every heartbeat so /metrics and the
 		// dashboard stay current without anyone polling /fleet.
@@ -318,6 +323,7 @@ func (l *Leader) FleetStatus() FleetStatus {
 		lag := int64(st.LeaderSeq) - int64(fs.Seq)
 		st.Followers = append(st.Followers, FleetFollower{
 			Node:       node,
+			URL:        fs.URL,
 			Seq:        fs.Seq,
 			Generation: fs.Generation,
 			Lag:        lag,
