@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check lint vet fmtcheck test test-race build fmt bench-smoke trace-overhead slo-smoke loadtest-baseline bench-index bench-index-record fuzz-smoke replica-smoke fleet-obs-smoke
+.PHONY: check lint vet fmtcheck test test-race build fmt bench-smoke trace-overhead slo-smoke loadtest-baseline bench-index bench-index-record fuzz-smoke replica-smoke fleet-obs-smoke federation-smoke
 
-check: lint test-race bench-smoke trace-overhead bench-index slo-smoke replica-smoke fleet-obs-smoke
+check: lint test-race bench-smoke trace-overhead bench-index slo-smoke replica-smoke fleet-obs-smoke federation-smoke
 
 # Static hygiene in one target: formatting and go vet.
 lint: fmtcheck vet
@@ -88,6 +88,15 @@ replica-smoke:
 # swaps must not clamp counter windows as resets.
 fleet-obs-smoke:
 	$(GO) test -race -run 'TestFleetObsSmoke|TestRollupWindowsSpanAdopt' -count=1 -v ./cmd/pdcu
+
+# Multi-corpus federation smoke under the race detector: a leader
+# federating two catalogs must serve the ?source= query dimension and
+# per-source facet counts, round-trip the contribution-validation
+# endpoint (accepted and needs-work), and replicate the federated
+# PDCUSNP2 snapshot to a follower that validates submissions without a
+# single local index build.
+federation-smoke:
+	$(GO) test -race -run TestFederationSmoke -count=1 -v ./cmd/pdcu
 
 # Tracing cost ceiling: with sampling off, the traced cached
 # /api/v1/search path must stay within 5% of the untraced one

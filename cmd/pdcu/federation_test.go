@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"pdcunplugged/internal/engine"
+	"pdcunplugged/internal/query"
+	"pdcunplugged/internal/replica"
+	"pdcunplugged/internal/search"
+)
+
+// federationValidBody is a complete, taxonomy-valid submission in the
+// curated frontmatter format; the contrib endpoint must accept it.
+const federationValidBody = `---
+title: "Federation Relay Probe"
+date: "2026-01-01"
+cs2013: ["PD_ParallelDecomposition"]
+tcpp: ["TCPP_Algorithms"]
+courses: ["CS1"]
+senses: ["visual"]
+cs2013details: ["PD_2"]
+tcppdetails: ["C_Reduction"]
+medium: ["cards"]
+---
+
+## Original Author/link
+
+Federation smoke fixture.
+
+---
+
+## Details
+
+Students relay a token across two rows to feel message latency.
+`
+
+// TestFederationSmoke is the multi-corpus tier end to end, the way
+// `make federation-smoke` gates it: a leader federating two catalogs,
+// the ?source= query dimension and per-source facet counts, the
+// contribution-validation endpoint (accepted and needs-work paths),
+// and a follower that adopts the federated PDCUSNP2 snapshot and
+// validates submissions without ever building an index locally.
+func TestFederationSmoke(t *testing.T) {
+	leader := newReplicaNode(t, builtEngine(t, func(c *engine.Config) {
+		c.Catalogs = engine.CatalogList{"builtin", "csinparallel"}
+		c.ContribRate = 0 // the smoke run must not shed its own probes
+	}))
+
+	// The snapshot surface speaks the federated codec revision.
+	code, _, snap := leader.get(t, "/replica/v1/snapshot")
+	if code != http.StatusOK || !bytes.HasPrefix(snap, []byte("PDCUSNP2")) {
+		t.Fatalf("snapshot = %d %.8s, want 200 PDCUSNP2", code, snap)
+	}
+
+	// ?source= filters on the per-source bitset dimension.
+	code, _, body := leader.get(t, "/api/v1/activities?source=csinparallel")
+	if code != http.StatusOK {
+		t.Fatalf("activities?source= = %d (%s)", code, body)
+	}
+	var acts struct {
+		Count      int `json:"count"`
+		Activities []struct {
+			Slug   string `json:"slug"`
+			Source string `json:"source"`
+		} `json:"activities"`
+	}
+	if err := json.Unmarshal(body, &acts); err != nil {
+		t.Fatal(err)
+	}
+	if acts.Count != 5 || len(acts.Activities) != 5 {
+		t.Fatalf("csinparallel activities = %d, want the 5 csp assignments", acts.Count)
+	}
+	for _, a := range acts.Activities {
+		if !strings.HasPrefix(a.Slug, "csp-") || a.Source != "csinparallel" {
+			t.Errorf("activity %q source %q, want csp-* from csinparallel", a.Slug, a.Source)
+		}
+	}
+
+	// The facets endpoint grows a per-source dimension under federation.
+	code, _, body = leader.get(t, "/api/v1/facets")
+	if code != http.StatusOK {
+		t.Fatalf("facets = %d", code)
+	}
+	var facets query.FacetsResponse
+	if err := json.Unmarshal(body, &facets); err != nil {
+		t.Fatal(err)
+	}
+	if got := facets.Facets["source"]; got["builtin"] != 38 || got["csinparallel"] != 5 {
+		t.Fatalf("source facet = %v, want builtin:38 csinparallel:5", got)
+	}
+
+	// Contribution validation round-trip: a valid submission is accepted,
+	// a broken one comes back structured (HTTP 200, accepted=false).
+	postValidate := func(n *replicaNode, slug, content string) *query.ContribValidation {
+		t.Helper()
+		resp, err := http.Post(n.srv.URL+"/api/v1/contrib/validate?slug="+slug,
+			"text/markdown", strings.NewReader(content))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("contrib validate = %d (%s)", resp.StatusCode, raw)
+		}
+		if gen := resp.Header.Get("Pdcu-Generation"); gen != n.eng.Current().ID {
+			t.Errorf("contrib tagged %q, want generation %q", gen, n.eng.Current().ID)
+		}
+		var v query.ContribValidation
+		if err := json.Unmarshal(raw, &v); err != nil {
+			t.Fatal(err)
+		}
+		return &v
+	}
+	if v := postValidate(leader, "federation-probe", federationValidBody); !v.Accepted {
+		t.Errorf("valid submission rejected: %v", v.Errors)
+	}
+	if v := postValidate(leader, "broken", "---\ntitle: unterminated"); v.Accepted || len(v.Errors) == 0 {
+		t.Errorf("broken submission = accepted=%v errors=%v, want rejection with errors", v.Accepted, v.Errors)
+	}
+
+	// A follower adopts the federated snapshot and serves the same
+	// source-filtered responses — and validates contributions against
+	// the snapshot's shipped index, never building one itself.
+	buildBefore := search.BuildCalls()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	follower := newReplicaNode(t, testEngine(t, func(c *engine.Config) { c.ContribRate = 0 }))
+	go (&replica.Follower{Eng: follower.eng, Base: leader.srv.URL, Node: "fed-f1"}).Run(ctx)
+	waitConverged(t, leader.eng, follower.eng)
+
+	_, _, want := leader.get(t, "/api/v1/activities?source=csinparallel")
+	_, _, got := follower.get(t, "/api/v1/activities?source=csinparallel")
+	if !bytes.Equal(want, got) {
+		t.Errorf("follower source-filtered body differs from leader (%d vs %d bytes)", len(got), len(want))
+	}
+	if v := postValidate(follower, "federation-probe", federationValidBody); !v.Accepted {
+		t.Errorf("follower rejected valid submission: %v", v.Errors)
+	}
+	if n := search.BuildCalls() - buildBefore; n != 0 {
+		t.Errorf("follower ran %d index builds; snapshot adoption plus contrib validation must run zero", n)
+	}
+}

@@ -45,10 +45,11 @@ func cmdLoadtest(args []string, w io.Writer) error {
 	// logging (per-request access logs would drown the report; the
 	// numbers ARE the output).
 	cfg.Rate = 0
+	cfg.ContribRate = 0
 	cfg.LogLevel = "warn"
 
 	target := fs.String("target", "", "load already-running server(s): one base URL, or a comma-separated fleet to round-robin across (default: self-serve in-process)")
-	mixStr := fs.String("mix", loadgen.DefaultMix().String(), "weighted traffic mix, kind=weight pairs (kinds: search, activities, facets, site)")
+	mixStr := fs.String("mix", loadgen.DefaultMix().String(), "weighted traffic mix, kind=weight pairs (kinds: search, typo, activities, facets, site, contrib)")
 	qps := fs.Float64("qps", 200, "open-loop arrival rate in requests/second")
 	conc := fs.Int("c", 16, "concurrent in-flight requests")
 	dur := fs.Duration("duration", 10*time.Second, "measured run length")
@@ -57,7 +58,7 @@ func cmdLoadtest(args []string, w io.Writer) error {
 	baseline := fs.String("baseline", "", "write the report to this file as the new baseline")
 	gatePath := fs.String("gate", "", "compare against this baseline; exit nonzero on regression")
 	asJSON := fs.Bool("json", false, "emit the report as JSON instead of the summary table")
-	fs.StringVar(&cfg.Src, "src", cfg.Src, "optional directory of activity .md files (self-serve)")
+	cfg.BindCorpusFlags(fs)
 	fs.Float64Var(&cfg.Rate, "rate", cfg.Rate, "self-served query API admission rate (0 disables; loadtest default)")
 	if err := fs.Parse(args); err != nil {
 		return err

@@ -526,7 +526,7 @@ func TestUnifiedFingerprint(t *testing.T) {
 	}
 
 	// The serve path publishes the same identity through the engine.
-	eng, err := engine.New(func() engine.Config { c := engine.Defaults(); c.Src = dir; return c }())
+	eng, err := engine.New(func() engine.Config { c := engine.Defaults(); c.Srcs = engine.DirSources(dir); return c }())
 	if err != nil {
 		t.Fatal(err)
 	}

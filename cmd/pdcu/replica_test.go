@@ -77,7 +77,7 @@ func waitConverged(t *testing.T, leader *engine.Engine, followers ...*engine.Eng
 // index.
 func TestReplicaSmoke(t *testing.T) {
 	dir := writeCorpus(t)
-	leader := newReplicaNode(t, builtEngine(t, func(c *engine.Config) { c.Src = dir }))
+	leader := newReplicaNode(t, builtEngine(t, func(c *engine.Config) { c.Srcs = engine.DirSources(dir) }))
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -179,7 +179,7 @@ func TestReplicaSmoke(t *testing.T) {
 func TestColdStartFromSnapshotDir(t *testing.T) {
 	snapDir := t.TempDir()
 	gen := func() *engine.Generation {
-		eng := builtEngine(t, func(c *engine.Config) { c.Src = writeCorpus(t) })
+		eng := builtEngine(t, func(c *engine.Config) { c.Srcs = engine.DirSources(writeCorpus(t)) })
 		g := eng.Current()
 		data, err := replica.Encode(g)
 		if err != nil {

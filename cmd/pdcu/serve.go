@@ -182,7 +182,7 @@ func cmdServe(args []string, w io.Writer) error {
 		fmt.Fprint(w, ", pprof: /debug/pprof/")
 	}
 	if cfg.Watch {
-		fmt.Fprintf(w, ", watching %s every %s", cfg.Src, cfg.Poll)
+		fmt.Fprintf(w, ", watching %s every %s", cfg.SourcesSummary(), cfg.Poll)
 	}
 	if cfg.Follow != "" {
 		fmt.Fprintf(w, ", following %s", cfg.Follow)

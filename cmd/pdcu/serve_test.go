@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"pdcunplugged"
+	"pdcunplugged/internal/corpus"
 	"pdcunplugged/internal/engine"
 	"pdcunplugged/internal/query"
 )
@@ -220,7 +221,7 @@ func writeCorpus(t *testing.T) string {
 
 func TestServeLiveSwap(t *testing.T) {
 	dir := writeCorpus(t)
-	eng := builtEngine(t, func(c *engine.Config) { c.Src = dir })
+	eng := builtEngine(t, func(c *engine.Config) { c.Srcs = engine.DirSources(dir) })
 	srv := httptest.NewServer(eng.Mux())
 	defer srv.Close()
 
@@ -270,7 +271,7 @@ func TestServeLiveSwap(t *testing.T) {
 // surface tracks the engine pointer with no state of its own.
 func TestEngineRebuildServe(t *testing.T) {
 	dir := writeCorpus(t)
-	eng := builtEngine(t, func(c *engine.Config) { c.Src = dir })
+	eng := builtEngine(t, func(c *engine.Config) { c.Srcs = engine.DirSources(dir) })
 	first := eng.Current()
 	if first == nil || first.Site.Len() == 0 {
 		t.Fatal("rebuild did not publish a generation")
@@ -415,7 +416,7 @@ func getJSON(t *testing.T, url string, v any) {
 // three surfaces report the new generation — no surface lags another.
 func TestServeQuerySwapUnderLoad(t *testing.T) {
 	dir := writeCorpus(t)
-	eng := builtEngine(t, func(c *engine.Config) { c.Src = dir })
+	eng := builtEngine(t, func(c *engine.Config) { c.Srcs = engine.DirSources(dir) })
 	srv := httptest.NewServer(eng.Mux())
 	defer srv.Close()
 
@@ -520,8 +521,10 @@ func TestServeQuerySwapUnderLoad(t *testing.T) {
 			t.Fatal(err)
 		}
 		// Record the generation this corpus will publish *before*
-		// swapping, so workers can never observe an unknown one.
-		next, err := pdcunplugged.LoadFS(os.DirFS(dir), ".")
+		// swapping, so workers can never observe an unknown one. The
+		// prediction must go through the same corpus adapter the engine
+		// uses so the provenance stamp is part of the fingerprint.
+		next, err := corpus.LoadAll(corpus.Dir("", dir))
 		if err != nil {
 			t.Fatal(err)
 		}

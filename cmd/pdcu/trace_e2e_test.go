@@ -86,7 +86,7 @@ func TestServeTraceparentEndToEnd(t *testing.T) {
 func TestRebuildTraceWaterfall(t *testing.T) {
 	dir := writeCorpus(t)
 	eng := testEngine(t, func(c *engine.Config) {
-		c.Src = dir
+		c.Srcs = engine.DirSources(dir)
 		c.TraceSample = 0
 	})
 

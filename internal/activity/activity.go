@@ -58,6 +58,13 @@ type Activity struct {
 	Title string
 	Date  string
 
+	// Source names the corpus adapter that contributed the activity
+	// ("builtin", "csinparallel", a -src directory name…). It is stamped
+	// by corpus loading, survives render→parse round-trips via the
+	// front-matter `source` key, and is therefore covered by
+	// Fingerprint(). Empty means unattributed (single-corpus legacy).
+	Source string
+
 	// Visible taxonomies (Section II-B).
 	CS2013  []string // knowledge-unit terms, e.g. PD_ParallelDecomposition
 	TCPP    []string // topic-area terms, e.g. TCPP_Algorithms
@@ -105,6 +112,11 @@ func (a *Activity) Terms(tax string) []string {
 		return a.TCPPDetails
 	case "medium":
 		return a.Medium
+	case "source":
+		if a.Source == "" {
+			return nil
+		}
+		return []string{a.Source}
 	default:
 		return nil
 	}
@@ -151,6 +163,7 @@ func Parse(slug, content string) (*Activity, error) {
 		Slug:          slug,
 		Title:         doc.Get("title"),
 		Date:          doc.Get("date"),
+		Source:        doc.Get("source"),
 		CS2013:        doc.GetList("cs2013"),
 		TCPP:          doc.GetList("tcpp"),
 		Courses:       doc.GetList("courses"),
@@ -269,6 +282,9 @@ func (a *Activity) Render() string {
 	doc.Set("title", a.Title)
 	if a.Date != "" {
 		doc.Set("date", a.Date)
+	}
+	if a.Source != "" {
+		doc.Set("source", a.Source)
 	}
 	for _, kv := range []struct {
 		key  string

@@ -77,6 +77,17 @@ func (r *Review) Summary() string {
 // Evaluate reviews a submission (slug + raw Markdown) against the current
 // repository.
 func Evaluate(repo *core.Repository, slug, content string) *Review {
+	// The memoized build means reviewing many submissions against one
+	// corpus inverts the index once.
+	return EvaluateIndexed(repo, search.BuildCached(repo.Fingerprint(), repo.All()), slug, content)
+}
+
+// EvaluateIndexed is Evaluate with a caller-supplied search index over
+// repo. The query tier's /api/v1/contrib/validate endpoint passes the
+// published generation's index here, so a follower that adopted a
+// decoded snapshot reviews submissions without ever building an index
+// locally (the cold-start invariant its tests pin).
+func EvaluateIndexed(repo *core.Repository, ix *search.Index, slug, content string) *Review {
 	r := &Review{}
 	a, err := activity.Parse(slug, content)
 	if err != nil {
@@ -109,10 +120,8 @@ func Evaluate(repo *core.Repository, slug, content string) *Review {
 		}
 	}
 
-	// Duplicate detection: rank the existing curation against the
-	// submission's title and details. The memoized build means reviewing
-	// many submissions against one corpus inverts the index once.
-	ix := search.BuildCached(repo.Fingerprint(), repo.All())
+	// Duplicate detection: rank the existing corpus against the
+	// submission's title and details.
 	hits := ix.Search(a.Title+" "+a.Details, 3)
 	for _, h := range hits {
 		if h.Score >= 0.5 {

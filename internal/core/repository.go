@@ -30,6 +30,9 @@ type Repository struct {
 	order      []string // sorted slugs
 	index      *taxonomy.Index
 
+	sources  []string            // sorted non-empty source names
+	bySource map[string][]string // source name -> sorted slugs
+
 	fpOnce sync.Once
 	fp     string
 }
@@ -41,8 +44,16 @@ func New(acts []*activity.Activity) (*Repository, error) {
 	var problems []string
 	var entries []taxonomy.Entry
 	for _, a := range acts {
-		if _, dup := r.activities[a.Slug]; dup {
-			problems = append(problems, fmt.Sprintf("duplicate activity slug %q", a.Slug))
+		if prev, dup := r.activities[a.Slug]; dup {
+			// Name both provenances: cross-source collisions are the
+			// federation failure mode an operator must resolve by hand.
+			if prev.Source != "" || a.Source != "" {
+				problems = append(problems, fmt.Sprintf(
+					"duplicate activity slug %q (sources %q and %q)",
+					a.Slug, sourceLabel(prev), sourceLabel(a)))
+			} else {
+				problems = append(problems, fmt.Sprintf("duplicate activity slug %q", a.Slug))
+			}
 			continue
 		}
 		for _, err := range a.Validate() {
@@ -56,6 +67,16 @@ func New(acts []*activity.Activity) (*Repository, error) {
 		return nil, fmt.Errorf("repository: %d problems:\n  %s", len(problems), strings.Join(problems, "\n  "))
 	}
 	sort.Strings(r.order)
+	r.bySource = map[string][]string{}
+	for _, slug := range r.order {
+		if src := r.activities[slug].Source; src != "" {
+			r.bySource[src] = append(r.bySource[src], slug)
+		}
+	}
+	for src := range r.bySource {
+		r.sources = append(r.sources, src)
+	}
+	sort.Strings(r.sources)
 	ixSpan := obs.StartSpan("repo.index")
 	ix, err := taxonomy.Build(taxonomy.Standard(), entries)
 	ixSpan.End()
@@ -154,6 +175,39 @@ func (r *Repository) Fingerprint() string {
 		r.fp = hex.EncodeToString(h.Sum(nil))
 	})
 	return r.fp
+}
+
+// Sources returns the distinct non-empty source names present in the
+// repository, sorted. A legacy single-corpus repository (no provenance
+// stamped) returns nil.
+func (r *Repository) Sources() []string { return append([]string(nil), r.sources...) }
+
+// BySource returns the slugs contributed by one source, sorted.
+func (r *Repository) BySource(source string) []string {
+	return append([]string(nil), r.bySource[source]...)
+}
+
+// SourceFingerprint returns a content hash over one source's activities
+// in slug order. Per-source site pages key their cache entries on this,
+// so editing one source invalidates only that source's browse page.
+func (r *Repository) SourceFingerprint(source string) string {
+	h := sha256.New()
+	io.WriteString(h, source)
+	h.Write([]byte{0})
+	for _, slug := range r.bySource[source] {
+		io.WriteString(h, slug)
+		h.Write([]byte{0})
+		io.WriteString(h, r.activities[slug].Fingerprint())
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func sourceLabel(a *activity.Activity) string {
+	if a.Source == "" {
+		return "unattributed"
+	}
+	return a.Source
 }
 
 // withTerm returns activities listing term under the taxonomy, slug-sorted.

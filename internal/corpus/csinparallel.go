@@ -1,0 +1,191 @@
+package corpus
+
+import "pdcunplugged/internal/activity"
+
+// csinparallel adapts a curated catalog in the shape of CSinParallel's
+// PDCAssignments collection (Brown, Shoop, Adams): five classic PDC
+// teaching assignments recast as unplugged activities, each cross-linked
+// to the internal/sim dramatization that rehearses its execution model.
+type csinparallel struct{}
+
+// CSinParallel returns the curated CSinParallel-style assignment catalog.
+func CSinParallel() Source { return csinparallel{} }
+
+func (csinparallel) Name() string { return "csinparallel" }
+
+func (csinparallel) Load() ([]*activity.Activity, error) {
+	src := cspActivities()
+	out := make([]*activity.Activity, len(src))
+	for i := range src {
+		a := src[i]
+		out[i] = &a
+	}
+	return out, nil
+}
+
+// cspSimulations cross-links each assignment to the registered
+// dramatization exercising the same execution model.
+var cspSimulations = map[string]string{
+	"csp-boids-flocking":          "barrier",          // lock-step flock updates
+	"csp-forestfire-montecarlo":   "loadbalance",      // trial farming across workers
+	"csp-heat-diffusion-pipeline": "pipeline",         // staged stencil sweeps
+	"csp-mandelbrot-area":         "simdgame",         // same instruction, many points
+	"csp-pin-finder":              "findsmallestcard", // partitioned parallel search
+}
+
+const cspSite = "https://csinparallel.org/"
+
+func cspActivities() []activity.Activity {
+	return []activity.Activity{
+		{
+			Slug:          "csp-boids-flocking",
+			Title:         "Boids: Flocking in Lock-Step Rounds",
+			Date:          "2014-03-01",
+			CS2013:        []string{"PD_ParallelDecomposition", "PD_ParallelAlgorithms"},
+			CS2013Details: []string{"PD_5", "PAAP_4"},
+			TCPP:          []string{"TCPP_Programming", "TCPP_Algorithms"},
+			TCPPDetails:   []string{"A_LoadBalancing", "C_BarrierSynchronization"},
+			Courses:       []string{"CS1", "CS2", "DSA"},
+			Senses:        []string{"visual", "movement"},
+			Medium:        []string{"role-play", "game"},
+			Author:        "CSinParallel (Brown, Shoop, Adams)",
+			Links:         []string{cspSite},
+			Details: `Each student is one boid holding a card with a position and
+heading. A round has two phases: everyone *reads* the positions of their
+nearest neighbors (separation, alignment, cohesion), then — only when the
+whole room says "ready" — everyone *writes* their new position at once.
+The ready call is a barrier: let one eager boid move early and its
+neighbors compute against a mixture of old and new state, and the flock
+visibly shears apart. Students discover why bulk-synchronous simulation
+needs double buffering and a barrier between read and write phases, and
+how the per-round work stays balanced because every boid does the same
+small update.`,
+			Accessibility: `Movement-based; works seated with cards passed between
+desks for students who do not move around the room.`,
+			Assessment: "Ask students to predict what goes wrong if the barrier is removed, then run one unsynchronized round and compare.",
+			Citations: []string{
+				"R. Brown, E. Shoop, and J. Adams, \"CSinParallel: Using map-reduce to teach parallel programming concepts across the CS curriculum,\" SIGCSE 2013.",
+				"C. W. Reynolds, \"Flocks, herds and schools: A distributed behavioral model,\" SIGGRAPH 1987.",
+			},
+		},
+		{
+			Slug:          "csp-forestfire-montecarlo",
+			Title:         "Forest Fire: Monte Carlo Trials on a Worker Farm",
+			Date:          "2014-03-01",
+			CS2013:        []string{"PD_ParallelAlgorithms", "PD_ParallelPerformance"},
+			CS2013Details: []string{"PAAP_5", "PP_1"},
+			TCPP:          []string{"TCPP_Programming", "TCPP_Algorithms"},
+			TCPPDetails:   []string{"A_LoadBalancing", "C_MasterWorker", "C_Speedup"},
+			Courses:       []string{"CS1", "CS2", "DSA"},
+			Senses:        []string{"visual", "touch"},
+			Medium:        []string{"paper", "cards", "game"},
+			Author:        "CSinParallel (Brown, Shoop, Adams)",
+			Links:         []string{cspSite},
+			Details: `How likely is a forest fire to burn across a grid when each tree
+ignites its neighbor with probability p? Nobody derives it — the class
+estimates it. Each student runs independent trials on a paper grid with a
+die, and a master tallies results on the board. The trials are
+embarrassingly parallel: doubling the students halves the wall-clock time
+almost perfectly, which the class measures. Then the twist: some grids
+burn out in two rolls, others smolder for dozens, so students finishing
+early return to the master for more work — dynamic scheduling emerging
+from politeness. The error bars shrink with the square root of the total
+trial count no matter who ran which trial.`,
+			Accessibility: `Dice and paper grids at desks; no movement required. The
+tally can be called aloud for low-vision participants.`,
+			Assessment: "Compare the class estimate and its spread against a pre-computed high-trial baseline; plot accuracy versus total trials.",
+			Citations: []string{
+				"R. Brown, E. Shoop, and J. Adams, \"CSinParallel: Using map-reduce to teach parallel programming concepts across the CS curriculum,\" SIGCSE 2013.",
+			},
+		},
+		{
+			Slug:          "csp-heat-diffusion-pipeline",
+			Title:         "Heat Diffusion: A Pipelined Stencil Sweep",
+			Date:          "2015-06-01",
+			CS2013:        []string{"PD_ParallelDecomposition", "PD_ParallelAlgorithms"},
+			CS2013Details: []string{"PD_4", "PAAP_9"},
+			TCPP:          []string{"TCPP_Architecture", "TCPP_Algorithms"},
+			TCPPDetails:   []string{"C_Pipelines", "C_PipelineParadigm"},
+			Courses:       []string{"CS2", "DSA", "Systems"},
+			Senses:        []string{"visual", "touch"},
+			Medium:        []string{"paper", "objects"},
+			Author:        "CSinParallel (Brown, Shoop, Adams)",
+			Links:         []string{cspSite},
+			Details: `A metal rod is a row of cups, each holding beans proportional to
+its temperature; one end sits over a flame (its cup is refilled every
+step). The update rule is a stencil: each cup's next value averages its
+two neighbors. Done naively, one student sweeps the whole row before the
+next time step begins. Pipelined, a second student starts the next time
+step as soon as the first student is two cups ahead — then a third, and a
+fourth. The room becomes a wavefront diagram: time steps in flight
+simultaneously, each student one stage. Students count steps to see the
+pipeline fill, drain, and reach steady state, and discover why the
+speedup tops out at the number of stages.`,
+			Accessibility: `Tactile by design — bean counts can be read by touch. Works
+on a table top without standing.`,
+			Assessment: "None known.",
+			Citations: []string{
+				"R. Brown and E. Shoop, \"Teaching parallel computing with higher-level languages and activity-based laboratories,\" JPDC 2017.",
+			},
+		},
+		{
+			Slug:          "csp-mandelbrot-area",
+			Title:         "Mandelbrot by Hand: Uneven Pixels, Even Effort",
+			Date:          "2015-06-01",
+			CS2013:        []string{"PD_ParallelDecomposition", "PD_ParallelPerformance"},
+			CS2013Details: []string{"PD_5", "PP_1", "PP_5"},
+			TCPP:          []string{"TCPP_Programming"},
+			TCPPDetails:   []string{"A_LoadBalancing", "C_SchedulingAndMapping", "C_Efficiency"},
+			Courses:       []string{"CS2", "DSA", "Systems"},
+			Senses:        []string{"visual"},
+			Medium:        []string{"paper", "pens"},
+			Author:        "CSinParallel (Brown, Shoop, Adams)",
+			Links:         []string{cspSite},
+			Details: `Each student iterates z² + c by calculator for a handful of grid
+points and colors a wall chart cell by how fast the point escapes. The
+catch every Mandelbrot lab turns on: points inside the set never escape,
+so their cells cost the full iteration budget while far-outside points
+finish in two steps. Students assigned a block of sky finish in minutes;
+students assigned the seahorse valley are still grinding when the period
+ends. Round two hands out single cells from a shuffled deck on demand —
+dynamic scheduling — and the chart fills at nearly uniform speed. The
+wall chart itself becomes the lesson: the work distribution is the image.`,
+			Accessibility: `Seated paper-and-pen work. Escape counts can be reported
+verbally and charted by a partner.`,
+			Assessment: "Time both rounds and compute efficiency per student; the block-assignment histogram makes the imbalance quantitative.",
+			Citations: []string{
+				"R. Brown, E. Shoop, and J. Adams, \"CSinParallel: Using map-reduce to teach parallel programming concepts across the CS curriculum,\" SIGCSE 2013.",
+			},
+		},
+		{
+			Slug:          "csp-pin-finder",
+			Title:         "Pin Finder: Cracking a PIN by Partitioned Search",
+			Date:          "2016-01-01",
+			CS2013:        []string{"PD_ParallelDecomposition", "PD_ParallelAlgorithms"},
+			CS2013Details: []string{"PD_2", "PAAP_3"},
+			TCPP:          []string{"TCPP_Algorithms"},
+			TCPPDetails:   []string{"A_ParallelSearch", "C_Reduction"},
+			Courses:       []string{"CS1", "CS2"},
+			Senses:        []string{"visual", "accessible"},
+			Medium:        []string{"cards", "discussion"},
+			Author:        "CSinParallel (Brown, Shoop, Adams)",
+			Links:         []string{cspSite},
+			Details: `A four-digit PIN is hidden in a sealed envelope; a stack of cards
+lists every candidate with a "checksum" only the teacher can verify. One
+student searching alone checks candidates one at a time. Then the deck is
+cut into equal ranges, one per student, and the room searches
+simultaneously — first finder shouts stop. The class measures speedup for
+different room sizes and notices it is nearly linear *on average* but
+wildly variable per run: whoever holds the lucky range wins instantly.
+That opens the classic search-space discussion — superlinear speedup when
+the parallel order happens to reach the answer early, and why "stop when
+anyone finds it" is itself a reduction everyone must hear.`,
+			Accessibility: `Card ranges can be any size, so pacing is self-selected;
+the stop signal is verbal. Judged generally accessible.`,
+			Assessment: "Run the search three times with different hidden PINs and have students explain the speedup variance.",
+			Citations: []string{
+				"R. Brown, E. Shoop, and J. Adams, \"CSinParallel: Using map-reduce to teach parallel programming concepts across the CS curriculum,\" SIGCSE 2013.",
+			},
+		},
+	}
+}

@@ -8,8 +8,10 @@ import (
 	"os"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 
+	"pdcunplugged/internal/corpus"
 	"pdcunplugged/internal/obs"
 )
 
@@ -20,9 +22,14 @@ import (
 // defaults are the already-layered values, so an unset flag keeps the
 // env (or default) value and a set flag wins.
 type Config struct {
-	// Src is a directory of activity .md files; empty selects the
-	// embedded curated corpus.
-	Src string
+	// Srcs are directory corpus sources (activity .md trees), each one
+	// corpus adapter. The -src flag is repeatable and accepts either a
+	// bare path (name derived from the base name) or name=path. Together
+	// with Catalogs an empty set selects the embedded curated corpus.
+	Srcs SourceList
+	// Catalogs are built-in named catalogs to federate ("builtin",
+	// "csinparallel"); the -catalog flag is repeatable.
+	Catalogs CatalogList
 	// Out is the build output directory.
 	Out string
 	// Addr is the serve listen address.
@@ -39,6 +46,11 @@ type Config struct {
 	// Burst is the admission token-bucket capacity; 0 selects 2*Rate.
 	// Negative is rejected.
 	Burst int
+	// ContribRate admits this many /api/v1/contrib/validate requests per
+	// second through a bucket separate from Rate, so a burst of
+	// submissions cannot crowd out read traffic (or vice versa). 0
+	// disables contrib admission control; negative is rejected.
+	ContribRate float64
 	// CacheSize is the query result-cache capacity; 0 selects the
 	// query package default. Negative is rejected.
 	CacheSize int
@@ -84,6 +96,114 @@ type Config struct {
 	Advertise string
 }
 
+// SourceSpec names one directory corpus source. An empty Name derives
+// one from the directory's base name at adapter-construction time.
+type SourceSpec struct {
+	Name string
+	Path string
+}
+
+// SourceList is the repeatable -src flag value: each occurrence is a
+// bare path or name=path.
+type SourceList []SourceSpec
+
+// String renders the list back to flag syntax.
+func (l SourceList) String() string {
+	parts := make([]string, len(l))
+	for i, s := range l {
+		if s.Name == "" {
+			parts[i] = s.Path
+		} else {
+			parts[i] = s.Name + "=" + s.Path
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// Add parses one -src occurrence ("path" or "name=path") and appends it.
+func (l *SourceList) Add(v string) error {
+	spec := SourceSpec{Path: v}
+	if i := strings.IndexByte(v, '='); i >= 0 {
+		spec = SourceSpec{Name: v[:i], Path: v[i+1:]}
+		if spec.Name == "" {
+			return fmt.Errorf("-src %q: empty source name", v)
+		}
+	}
+	if spec.Path == "" {
+		return fmt.Errorf("-src %q: empty path", v)
+	}
+	*l = append(*l, spec)
+	return nil
+}
+
+// DirSources is a test/embedding convenience: one unnamed source per path.
+func DirSources(paths ...string) SourceList {
+	l := make(SourceList, len(paths))
+	for i, p := range paths {
+		l[i] = SourceSpec{Path: p}
+	}
+	return l
+}
+
+// CatalogList is the repeatable -catalog flag value.
+type CatalogList []string
+
+// String renders the list back to flag syntax.
+func (l CatalogList) String() string { return strings.Join(l, ",") }
+
+// Add appends one catalog name.
+func (l *CatalogList) Add(v string) error {
+	if v == "" {
+		return fmt.Errorf("-catalog: empty catalog name")
+	}
+	*l = append(*l, v)
+	return nil
+}
+
+// srcFlag adapts SourceList to flag.Value with replace-on-first-set
+// semantics: the first CLI occurrence clears the env/default layer, so a
+// set flag wins wholesale instead of appending to the environment.
+type srcFlag struct {
+	list *SourceList
+	set  bool
+}
+
+func (f *srcFlag) String() string {
+	if f.list == nil {
+		return ""
+	}
+	return f.list.String()
+}
+
+func (f *srcFlag) Set(v string) error {
+	if !f.set {
+		*f.list = nil
+		f.set = true
+	}
+	return f.list.Add(v)
+}
+
+// catalogFlag mirrors srcFlag for CatalogList.
+type catalogFlag struct {
+	list *CatalogList
+	set  bool
+}
+
+func (f *catalogFlag) String() string {
+	if f.list == nil {
+		return ""
+	}
+	return f.list.String()
+}
+
+func (f *catalogFlag) Set(v string) error {
+	if !f.set {
+		*f.list = nil
+		f.set = true
+	}
+	return f.list.Add(v)
+}
+
 // Defaults returns the base configuration layer.
 func Defaults() Config {
 	return Config{
@@ -92,6 +212,7 @@ func Defaults() Config {
 		Jobs:        runtime.GOMAXPROCS(0),
 		Poll:        500 * time.Millisecond,
 		Rate:        100,
+		ContribRate: 5,
 		LogLevel:    "info",
 		TraceSample: 0.1,
 		TraceSlow:   250 * time.Millisecond,
@@ -165,7 +286,26 @@ func (c *Config) ApplyEnv(lookup func(string) (string, bool)) error {
 			*dst = d
 		}
 	}
-	str("PDCU_SRC", &c.Src)
+	if v, ok := lookup("PDCU_SRC"); ok {
+		c.Srcs = nil
+		for _, part := range strings.Split(v, ",") {
+			if part = strings.TrimSpace(part); part == "" {
+				continue
+			}
+			if err := c.Srcs.Add(part); err != nil {
+				fail("PDCU_SRC", v, "source list (path or name=path, comma-separated)")
+			}
+		}
+	}
+	if v, ok := lookup("PDCU_CATALOG"); ok {
+		c.Catalogs = nil
+		for _, part := range strings.Split(v, ",") {
+			if part = strings.TrimSpace(part); part == "" {
+				continue
+			}
+			c.Catalogs = append(c.Catalogs, part)
+		}
+	}
 	str("PDCU_OUT", &c.Out)
 	str("PDCU_ADDR", &c.Addr)
 	integer("PDCU_JOBS", &c.Jobs)
@@ -173,6 +313,7 @@ func (c *Config) ApplyEnv(lookup func(string) (string, bool)) error {
 	duration("PDCU_POLL", &c.Poll)
 	float("PDCU_RATE", &c.Rate)
 	integer("PDCU_BURST", &c.Burst)
+	float("PDCU_CONTRIB_RATE", &c.ContribRate)
 	integer("PDCU_CACHE_SIZE", &c.CacheSize)
 	boolean("PDCU_PPROF", &c.Pprof)
 	str("PDCU_LOG_LEVEL", &c.LogLevel)
@@ -192,26 +333,34 @@ func (c *Config) ApplyEnv(lookup func(string) (string, bool)) error {
 // current (env-layered) values.
 func (c *Config) BindBuildFlags(fs *flag.FlagSet) {
 	fs.StringVar(&c.Out, "out", c.Out, "output directory")
-	fs.StringVar(&c.Src, "src", c.Src, "optional directory of activity .md files (defaults to the embedded corpus)")
+	c.BindCorpusFlags(fs)
 	fs.IntVar(&c.Jobs, "j", c.Jobs, "render workers (must be >= 1)")
 	fs.BoolVar(&c.Verbose, "verbose", c.Verbose, "print per-phase span timings and debug logs")
 }
 
 // BindSearchFlags registers the `pdcu search` engine flags.
 func (c *Config) BindSearchFlags(fs *flag.FlagSet) {
-	fs.StringVar(&c.Src, "src", c.Src, "optional directory of activity .md files (defaults to the embedded corpus)")
+	c.BindCorpusFlags(fs)
+}
+
+// BindCorpusFlags registers the repeatable corpus-source flags shared by
+// every command that loads a corpus.
+func (c *Config) BindCorpusFlags(fs *flag.FlagSet) {
+	fs.Var(&srcFlag{list: &c.Srcs}, "src", "directory of activity .md files as one corpus source; repeatable, accepts name=path (default: the embedded corpus)")
+	fs.Var(&catalogFlag{list: &c.Catalogs}, "catalog", "built-in catalog to federate ("+strings.Join(corpus.CatalogNames(), ", ")+"); repeatable")
 }
 
 // BindServeFlags registers the `pdcu serve` flags, defaulting to c's
 // current (env-layered) values.
 func (c *Config) BindServeFlags(fs *flag.FlagSet) {
 	fs.StringVar(&c.Addr, "addr", c.Addr, "listen address")
-	fs.StringVar(&c.Src, "src", c.Src, "optional directory of activity .md files")
+	c.BindCorpusFlags(fs)
 	fs.IntVar(&c.Jobs, "j", c.Jobs, "render workers (must be >= 1)")
-	fs.BoolVar(&c.Watch, "watch", c.Watch, "poll -src for changes and rebuild incrementally (requires -src)")
+	fs.BoolVar(&c.Watch, "watch", c.Watch, "poll every -src directory for changes and rebuild incrementally (requires -src)")
 	fs.DurationVar(&c.Poll, "poll", c.Poll, "poll interval for -watch")
 	fs.Float64Var(&c.Rate, "rate", c.Rate, "query API admission rate in requests/second (0 disables)")
 	fs.IntVar(&c.Burst, "burst", c.Burst, "query API token-bucket burst (0 = 2x rate)")
+	fs.Float64Var(&c.ContribRate, "contrib-rate", c.ContribRate, "contribution-validation admission rate in requests/second, its own bucket (0 disables)")
 	fs.BoolVar(&c.Pprof, "pprof", c.Pprof, "mount net/http/pprof under /debug/pprof/")
 	fs.BoolVar(&c.Verbose, "verbose", c.Verbose, "debug logging (shorthand for -log-level debug)")
 	fs.StringVar(&c.LogLevel, "log-level", c.LogLevel, "log threshold: debug, info, warn, or error")
@@ -239,6 +388,9 @@ func (c Config) Validate() error {
 	if c.Burst < 0 {
 		return fmt.Errorf("-burst must be >= 0, got %d", c.Burst)
 	}
+	if c.ContribRate < 0 {
+		return fmt.Errorf("-contrib-rate must be >= 0, got %v", c.ContribRate)
+	}
 	if c.CacheSize < 0 {
 		return fmt.Errorf("cache size must be >= 0, got %d", c.CacheSize)
 	}
@@ -251,8 +403,30 @@ func (c Config) Validate() error {
 	if c.Poll <= 0 {
 		return fmt.Errorf("-poll must be > 0, got %v", c.Poll)
 	}
-	if c.Watch && c.Src == "" {
+	if c.Watch && len(c.Srcs) == 0 {
 		return fmt.Errorf("-watch requires -src (the embedded corpus cannot change)")
+	}
+	for _, name := range c.Catalogs {
+		if _, err := corpus.Catalog(name); err != nil {
+			return err
+		}
+	}
+	seen := map[string]bool{}
+	for _, name := range c.Catalogs {
+		if seen[name] {
+			return fmt.Errorf("duplicate corpus source name %q", name)
+		}
+		seen[name] = true
+	}
+	for _, s := range c.Srcs {
+		name := s.Name
+		if name == "" {
+			name = corpus.DeriveName(s.Path)
+		}
+		if seen[name] {
+			return fmt.Errorf("duplicate corpus source name %q", name)
+		}
+		seen[name] = true
 	}
 	if c.Follow != "" {
 		u, err := url.Parse(c.Follow)
@@ -279,6 +453,41 @@ func (c Config) Validate() error {
 		return fmt.Errorf("-log-level: %w", err)
 	}
 	return nil
+}
+
+// CorpusSources resolves the configured adapters: named catalogs first,
+// then directory sources, in flag order. An empty result makes the
+// corpus loader fall back to the builtin curation.
+func (c Config) CorpusSources() ([]corpus.Source, error) {
+	var out []corpus.Source
+	for _, name := range c.Catalogs {
+		s, err := corpus.Catalog(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	for _, spec := range c.Srcs {
+		out = append(out, corpus.Dir(spec.Name, spec.Path))
+	}
+	return out, nil
+}
+
+// SourcesSummary describes the configured corpus for logs and spans.
+func (c Config) SourcesSummary() string {
+	var parts []string
+	parts = append(parts, c.Catalogs...)
+	for _, s := range c.Srcs {
+		name := s.Name
+		if name == "" {
+			name = corpus.DeriveName(s.Path)
+		}
+		parts = append(parts, name+"="+s.Path)
+	}
+	if len(parts) == 0 {
+		return "builtin"
+	}
+	return strings.Join(parts, ",")
 }
 
 // SlogLevel resolves the effective log threshold (Verbose wins).

@@ -25,7 +25,12 @@ func TestValidateRejections(t *testing.T) {
 		{"sample below zero", func(c *Config) { c.TraceSample = -0.1 }, "-trace-sample must be in [0,1]"},
 		{"sample above one", func(c *Config) { c.TraceSample = 1.5 }, "-trace-sample must be in [0,1]"},
 		{"poll zero", func(c *Config) { c.Poll = 0 }, "-poll must be > 0"},
-		{"watch without src", func(c *Config) { c.Watch = true; c.Src = "" }, "-watch requires -src"},
+		{"watch without src", func(c *Config) { c.Watch = true; c.Srcs = nil }, "-watch requires -src"},
+		{"unknown catalog", func(c *Config) { c.Catalogs = CatalogList{"mystery"} }, "unknown catalog"},
+		{"duplicate source names", func(c *Config) {
+			c.Catalogs = CatalogList{"builtin"}
+			c.Srcs = SourceList{{Name: "builtin", Path: "content"}}
+		}, "duplicate corpus source name"},
 		{"bad log level", func(c *Config) { c.LogLevel = "shouty" }, "-log-level"},
 	}
 	for _, tc := range cases {
@@ -90,7 +95,7 @@ func TestApplyEnv(t *testing.T) {
 	if err := cfg.ApplyEnv(lookup); err != nil {
 		t.Fatal(err)
 	}
-	if cfg.Src != "content" || cfg.Addr != ":9999" || cfg.Jobs != 3 ||
+	if cfg.Srcs.String() != "content" || cfg.Addr != ":9999" || cfg.Jobs != 3 ||
 		!cfg.Watch || cfg.Poll != 2*time.Second || cfg.Rate != 50 ||
 		cfg.Burst != 7 || cfg.CacheSize != 64 || !cfg.Pprof ||
 		cfg.LogLevel != "debug" || cfg.TraceSample != 0.5 ||

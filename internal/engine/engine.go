@@ -23,7 +23,6 @@ package engine
 import (
 	"context"
 	"net/http"
-	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -31,6 +30,7 @@ import (
 	"time"
 
 	"pdcunplugged/internal/core"
+	"pdcunplugged/internal/corpus"
 	"pdcunplugged/internal/curation"
 	"pdcunplugged/internal/obs"
 	"pdcunplugged/internal/obs/fleet"
@@ -244,17 +244,23 @@ func (e *Engine) Subscribe(fn func(*Generation)) {
 	}
 }
 
-// Load runs the load stage only: the corpus from cfg.Src, or the
-// embedded curation when Src is empty. It is the single repository
-// entry point shared by `pdcu build`, `pdcu serve`, and `pdcu search`.
+// Load runs the load stage only: the federated corpus from the
+// configured adapters (catalogs + -src directories), or the embedded
+// curation when none are configured. It is the single repository entry
+// point shared by `pdcu build`, `pdcu serve`, and `pdcu search`.
 func (e *Engine) Load(ctx context.Context) (*core.Repository, error) {
 	_, span := trace.StartSpan(ctx, "engine.load")
 	var repo *core.Repository
-	var err error
-	if e.cfg.Src == "" {
-		repo, err = curation.Repository()
-	} else {
-		repo, err = core.LoadFS(os.DirFS(e.cfg.Src), ".")
+	sources, err := e.cfg.CorpusSources()
+	if err == nil {
+		if len(sources) == 0 {
+			// Unattributed single-corpus load: keeps the embedded
+			// curation's fingerprints (and the statistics tests that pin
+			// them) identical to the pre-federation era.
+			repo, err = curation.Repository()
+		} else {
+			repo, err = corpus.LoadAll(sources...)
+		}
 	}
 	if err != nil {
 		span.FailErr(err)
@@ -298,7 +304,7 @@ func (e *Engine) rebuildLocked(ctx context.Context) (gen *Generation, err error)
 		e.outcome.Store(o)
 	}()
 
-	root.SetAttr("src", e.cfg.Src)
+	root.SetAttr("src", e.cfg.SourcesSummary())
 	repo, err := e.Load(ctx)
 	if err != nil {
 		return nil, err
@@ -360,6 +366,10 @@ func (e *Engine) publishLocked(g *Generation) {
 		fn(g)
 	}
 	engineGeneration.Set(float64(g.Seq))
+	// Refresh per-source corpus gauges here rather than in the pipeline:
+	// adopted replica snapshots publish too, so followers report the
+	// leader's source mix.
+	corpus.ObserveRepository(g.Repo)
 	done()
 	obs.Logger().Info("generation published",
 		"seq", g.Seq, "generation", g.ID,
@@ -381,9 +391,10 @@ func (e *Engine) Query() *query.Service {
 			}
 			return nil
 		}, query.Options{
-			RateLimit: e.cfg.Rate,
-			Burst:     e.cfg.Burst,
-			CacheSize: e.cfg.CacheSize,
+			RateLimit:   e.cfg.Rate,
+			Burst:       e.cfg.Burst,
+			CacheSize:   e.cfg.CacheSize,
+			ContribRate: e.cfg.ContribRate,
 		})
 		e.Subscribe(func(*Generation) { e.query.Purge() })
 	})
@@ -485,12 +496,13 @@ func (e *Engine) readyExtras() map[string]any {
 	return nil
 }
 
-// Watch drives the live-reload loop: poll cfg.Src, run the pipeline on
-// every change, keep the previous generation on failure. Blocks until
-// ctx is done.
+// Watch drives the live-reload loop: poll every -src directory, run the
+// pipeline on any change, keep the previous generation on failure. One
+// watcher goroutine per source; a change in any directory rebuilds the
+// whole federated generation. Blocks until ctx is done.
 func (e *Engine) Watch(ctx context.Context) error {
 	log := obs.Logger()
-	return watch.Watch(ctx, e.cfg.Src, e.cfg.Poll, func() {
+	onChange := func() {
 		gen, err := e.Rebuild(ctx)
 		if err != nil {
 			log.Warn("rebuild failed; keeping previous generation", "err", err)
@@ -503,7 +515,23 @@ func (e *Engine) Watch(ctx context.Context) error {
 			"cache_hits", st.CacheHits, "cache_misses", st.CacheMisses,
 			"duration", st.Duration.Round(time.Millisecond).String(),
 			"trace_id", gen.TraceID)
-	})
+	}
+	if len(e.cfg.Srcs) == 1 {
+		return watch.Watch(ctx, e.cfg.Srcs[0].Path, e.cfg.Poll, onChange)
+	}
+	errs := make(chan error, len(e.cfg.Srcs))
+	for _, spec := range e.cfg.Srcs {
+		go func(dir string) {
+			errs <- watch.Watch(ctx, dir, e.cfg.Poll, onChange)
+		}(spec.Path)
+	}
+	var first error
+	for range e.cfg.Srcs {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // logGeneration is the access-log hook: the generation tag the engine's

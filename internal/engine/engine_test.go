@@ -43,7 +43,7 @@ func newTestEngine(t *testing.T, mutate func(*Config)) *Engine {
 }
 
 func TestRebuildPublishes(t *testing.T) {
-	e := newTestEngine(t, func(c *Config) { c.Src = smallCorpus(t) })
+	e := newTestEngine(t, func(c *Config) { c.Srcs = DirSources(smallCorpus(t)) })
 	if e.Current() != nil {
 		t.Fatal("a generation was published before the first Rebuild")
 	}
@@ -74,7 +74,7 @@ func TestRebuildPublishes(t *testing.T) {
 
 func TestRebuildFailureKeepsPreviousGeneration(t *testing.T) {
 	dir := smallCorpus(t)
-	e := newTestEngine(t, func(c *Config) { c.Src = dir })
+	e := newTestEngine(t, func(c *Config) { c.Srcs = DirSources(dir) })
 	first, err := e.Rebuild(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -98,7 +98,7 @@ func TestRebuildFailureKeepsPreviousGeneration(t *testing.T) {
 // registration order on every publish, and a subscriber registered
 // after a generation is live is caught up immediately.
 func TestSubscribers(t *testing.T) {
-	e := newTestEngine(t, func(c *Config) { c.Src = smallCorpus(t) })
+	e := newTestEngine(t, func(c *Config) { c.Srcs = DirSources(smallCorpus(t)) })
 	var calls []string
 	e.Subscribe(func(g *Generation) { calls = append(calls, "a:"+g.ID) })
 	e.Subscribe(func(g *Generation) { calls = append(calls, "b:"+g.ID) })
@@ -130,7 +130,11 @@ func TestSharedLoadFingerprint(t *testing.T) {
 		{"srcdir", smallCorpus(t)},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			e := newTestEngine(t, func(c *Config) { c.Src = tc.src })
+			e := newTestEngine(t, func(c *Config) {
+				if tc.src != "" {
+					c.Srcs = DirSources(tc.src)
+				}
+			})
 			repo, err := e.Load(context.Background())
 			if err != nil {
 				t.Fatal(err)
@@ -154,7 +158,7 @@ func TestSharedLoadFingerprint(t *testing.T) {
 // a publish is visible to queries with no separate swap step.
 func TestQueryTracksEnginePointer(t *testing.T) {
 	dir := smallCorpus(t)
-	e := newTestEngine(t, func(c *Config) { c.Src = dir })
+	e := newTestEngine(t, func(c *Config) { c.Srcs = DirSources(dir) })
 	if snap := e.Query().Snapshot(); snap != nil {
 		t.Fatalf("query snapshot before first publish = %v, want nil", snap)
 	}
@@ -186,7 +190,7 @@ func TestQueryTracksEnginePointer(t *testing.T) {
 // sets the pdcu_engine_generation gauge to the new sequence number and
 // observes the publish duration histogram.
 func TestPublishMetrics(t *testing.T) {
-	e := newTestEngine(t, func(c *Config) { c.Src = smallCorpus(t) })
+	e := newTestEngine(t, func(c *Config) { c.Srcs = DirSources(smallCorpus(t)) })
 	before := publishCount(t)
 	gen, err := e.Rebuild(context.Background())
 	if err != nil {

@@ -39,6 +39,7 @@ const (
 	KindActivities Kind = "activities" // /api/v1/activities with random facet filters
 	KindFacets     Kind = "facets"     // /api/v1/facets
 	KindSite       Kind = "site"       // static site pages
+	KindContrib    Kind = "contrib"    // POST /api/v1/contrib/validate with valid and invalid submissions
 )
 
 // MixEntry is one weighted traffic class.
@@ -71,9 +72,9 @@ func ParseMix(s string) (Mix, error) {
 			return nil, fmt.Errorf("mix entry %q: weight must be a positive number", part)
 		}
 		switch Kind(kind) {
-		case KindSearch, KindTypo, KindActivities, KindFacets, KindSite:
+		case KindSearch, KindTypo, KindActivities, KindFacets, KindSite, KindContrib:
 		default:
-			return nil, fmt.Errorf("mix entry %q: unknown kind (want search, typo, activities, facets, site)", part)
+			return nil, fmt.Errorf("mix entry %q: unknown kind (want search, typo, activities, facets, site, contrib)", part)
 		}
 		mix = append(mix, MixEntry{Kind: Kind(kind), Weight: w})
 	}
@@ -93,15 +94,18 @@ func (m Mix) String() string {
 }
 
 // DefaultMix is a cache-friendly read-heavy blend resembling the site's
-// real traffic shape, including the slice of misspelled queries real
-// users type (served by the fuzzy search path).
+// real traffic shape: mostly reads (including the slice of misspelled
+// queries real users type, served by the fuzzy search path) plus a
+// trickle of contribution validations — the one write-shaped,
+// uncacheable class, kept small the way real submission traffic is.
 func DefaultMix() Mix {
 	return Mix{
 		{KindSearch, 45},
 		{KindTypo, 5},
 		{KindActivities, 20},
 		{KindFacets, 10},
-		{KindSite, 20},
+		{KindSite, 18},
+		{KindContrib, 2},
 	}
 }
 
@@ -133,6 +137,11 @@ type Options struct {
 	// Queries is the KindSearch query pool (default a built-in PDC
 	// vocabulary).
 	Queries []string
+	// ContribBodies is the KindContrib submission pool; entries are
+	// POSTed round-robin-randomly to /api/v1/contrib/validate. The
+	// default pool holds one valid activity and one malformed file, so
+	// both review outcomes stay warm.
+	ContribBodies []string
 	// Client overrides the HTTP client (default: pooled transport
 	// sized to Concurrency).
 	Client *http.Client
@@ -175,6 +184,9 @@ func (o *Options) defaults() {
 	if len(o.Queries) == 0 {
 		o.Queries = defaultQueries()
 	}
+	if len(o.ContribBodies) == 0 {
+		o.ContribBodies = []string{contribValidBody, contribInvalidBody}
+	}
 	if o.Client == nil {
 		o.Client = &http.Client{
 			Transport: &http.Transport{
@@ -210,12 +222,49 @@ func typoQueries() []string {
 }
 
 // facetPool are valid /api/v1/activities filters drawn by KindActivities
-// traffic; about a third of listings go unfiltered.
+// traffic; about a third of listings go unfiltered. The source filter
+// exercises the per-source bitset dimension (empty results against an
+// unfederated server, which is itself a realistic shape).
 var facetPool = []struct{ param, value string }{
 	{"course", "CS1"}, {"course", "CS2"}, {"course", "CS0"},
 	{"medium", "cards"}, {"medium", "people"},
 	{"sense", "touch"}, {"sense", "sight"},
+	{"source", "builtin"},
 }
+
+// contribValidBody is a well-formed submission that passes validation,
+// so the accepted review path (duplicate ranking, impact scoring) stays
+// warm under load.
+const contribValidBody = `---
+title: "Loadgen Relay Probe"
+date: "2026-01-01"
+cs2013: ["PD_ParallelDecomposition"]
+tcpp: ["TCPP_Algorithms"]
+courses: ["CS1"]
+senses: ["visual"]
+cs2013details: ["PD_2"]
+tcppdetails: ["C_Reduction"]
+medium: ["cards"]
+---
+
+## Original Author/link
+
+Load generator probe
+
+No external resources found. See details below.
+
+---
+
+## Details
+
+Students pass a token down a line, timing the serial relay, then split
+into independent lines and race again, comparing the two wall-clock
+times to see speedup emerge from decomposition.
+`
+
+// contribInvalidBody is an unterminated frontmatter block: the parse
+// error keeps the rejected review path warm under load.
+const contribInvalidBody = "---\ntitle: unterminated frontmatter\n"
 
 // sample is one completed request.
 type sample struct {
@@ -265,7 +314,8 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		// has its own caches to prime.
 		for _, target := range opts.Targets {
 			for _, e := range opts.Mix {
-				req, _ := http.NewRequestWithContext(ctx, http.MethodGet, target+pathFor(e.Kind, rng, &opts), nil)
+				method, path, body := requestFor(e.Kind, rng, &opts)
+				req, _ := http.NewRequestWithContext(ctx, method, target+path, bodyReader(body))
 				if resp, err := opts.Client.Do(req); err == nil {
 					io.Copy(io.Discard, resp.Body)
 					resp.Body.Close()
@@ -367,7 +417,8 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 				}
 				kind := pick(rng)
 				target := nextTarget()
-				req, err := http.NewRequestWithContext(runCtx, http.MethodGet, target+pathFor(kind, rng, &opts), nil)
+				method, path, body := requestFor(kind, rng, &opts)
+				req, err := http.NewRequestWithContext(runCtx, method, target+path, bodyReader(body))
 				if err != nil {
 					continue
 				}
@@ -415,24 +466,38 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	return rep, nil
 }
 
-// pathFor draws one concrete request path for a traffic class.
-func pathFor(kind Kind, rng *rand.Rand, opts *Options) string {
+// requestFor draws one concrete request for a traffic class: the method,
+// path, and (for the contrib class) the submission body.
+func requestFor(kind Kind, rng *rand.Rand, opts *Options) (method, path, body string) {
 	switch kind {
 	case KindSearch:
 		q := opts.Queries[rng.Intn(len(opts.Queries))]
-		return "/api/v1/search?q=" + url.QueryEscape(q)
+		return http.MethodGet, "/api/v1/search?q=" + url.QueryEscape(q), ""
 	case KindTypo:
 		pool := typoQueries()
-		return "/api/v1/search?fuzzy=1&q=" + url.QueryEscape(pool[rng.Intn(len(pool))])
+		return http.MethodGet, "/api/v1/search?fuzzy=1&q=" + url.QueryEscape(pool[rng.Intn(len(pool))]), ""
 	case KindActivities:
 		if rng.Intn(3) == 0 {
-			return "/api/v1/activities"
+			return http.MethodGet, "/api/v1/activities", ""
 		}
 		f := facetPool[rng.Intn(len(facetPool))]
-		return "/api/v1/activities?" + f.param + "=" + url.QueryEscape(f.value)
+		return http.MethodGet, "/api/v1/activities?" + f.param + "=" + url.QueryEscape(f.value), ""
 	case KindFacets:
-		return "/api/v1/facets"
+		return http.MethodGet, "/api/v1/facets", ""
+	case KindContrib:
+		slug := fmt.Sprintf("loadgen-probe-%d", rng.Intn(8))
+		return http.MethodPost, "/api/v1/contrib/validate?slug=" + slug,
+			opts.ContribBodies[rng.Intn(len(opts.ContribBodies))]
 	default:
-		return opts.SitePaths[rng.Intn(len(opts.SitePaths))]
+		return http.MethodGet, opts.SitePaths[rng.Intn(len(opts.SitePaths))], ""
 	}
+}
+
+// bodyReader wraps a non-empty body for http.NewRequest (nil for GETs,
+// so requests stay trivially retryable/idempotent where they should be).
+func bodyReader(body string) io.Reader {
+	if body == "" {
+		return nil
+	}
+	return strings.NewReader(body)
 }

@@ -174,6 +174,8 @@ type dashData struct {
 	Query      []redRow
 	SLO        []sloRow
 	Engine     []statRow
+	Corpus     []corpusRow
+	Contrib    []statRow
 	Replica    []statRow
 	Fleet      []fleetRow
 	FleetNodes []fleetNodeRow
@@ -215,6 +217,8 @@ func (h *handler) dashboard(w http.ResponseWriter, r *http.Request) {
 	}
 	if reg := h.cfg.Registry; reg != nil {
 		d.Engine = engineRows(reg)
+		d.Corpus = corpusRows(reg)
+		d.Contrib = contribRows(reg)
 		d.Replica = replicaRows(reg)
 		d.Fleet = fleetRows(reg)
 		d.Search = searchIndexRows(reg)
@@ -426,6 +430,45 @@ func engineRows(reg *obs.Registry) []statRow {
 		{"publishes", fmtNum(float64(publishes))},
 		{"mean publish", fmtSeconds(mean)},
 	}
+}
+
+// corpusRow is one corpus source's line in the Corpus panel.
+type corpusRow struct {
+	Source     string
+	Activities string
+}
+
+// corpusRows lists per-source activity counts from the
+// pdcu_corpus_source_activities gauge the loader (and every snapshot
+// adoption) refreshes, so a follower's panel reflects the leader's
+// federation.
+func corpusRows(reg *obs.Registry) []corpusRow {
+	snaps := reg.Snapshot("pdcu_corpus_source_activities")
+	rows := make([]corpusRow, 0, len(snaps))
+	for _, s := range snaps {
+		if s.Value == 0 {
+			continue // a source that vanished on the last publish
+		}
+		rows = append(rows, corpusRow{Source: s.Labels["source"], Activities: fmtNum(s.Value)})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Source < rows[j].Source })
+	return rows
+}
+
+// contribRows summarizes /api/v1/contrib/validate traffic by review
+// outcome from the pdcu_contrib_requests_total counter.
+func contribRows(reg *obs.Registry) []statRow {
+	byOutcome := map[string]float64{}
+	total := 0.0
+	for _, s := range reg.Snapshot("pdcu_contrib_requests_total") {
+		byOutcome[s.Labels["outcome"]] += s.Value
+		total += s.Value
+	}
+	rows := []statRow{{"validations", fmtNum(total)}}
+	for _, outcome := range []string{"accepted", "needs_work", "bad_request", "shed", "unavailable"} {
+		rows = append(rows, statRow{outcome, fmtNum(byOutcome[outcome])})
+	}
+	return rows
 }
 
 // fleetRow is one follower's line in the Replication panel.
@@ -705,6 +748,13 @@ svg.spark{vertical-align:middle}polyline{fill:none;stroke:#6cb6ff;stroke-width:1
 <h2>Engine</h2>
 <table><tr>{{range .Engine}}<th>{{.Name}}</th>{{end}}</tr>
 <tr>{{range .Engine}}<td class="num">{{.Value}}</td>{{end}}</tr></table>
+
+<h2>Corpus <span class="dim">(federated sources · <a href="/api/v1/facets">/api/v1/facets</a>)</span></h2>
+<table><tr><th>source</th><th>activities</th></tr>
+{{range .Corpus}}<tr><td>{{.Source}}</td><td class="num">{{.Activities}}</td></tr>
+{{else}}<tr><td class="dim" colspan="2">no source-stamped corpus (embedded curation)</td></tr>{{end}}</table>
+<table><tr>{{range .Contrib}}<th>{{.Name}}</th>{{end}}</tr>
+<tr>{{range .Contrib}}<td class="num">{{.Value}}</td>{{end}}</tr></table>
 
 <h2>Replication <span class="dim">(<a href="/replica/v1/fleet">/replica/v1/fleet</a>)</span></h2>
 <table><tr>{{range .Replica}}<th>{{.Name}}</th>{{end}}</tr>

@@ -82,6 +82,39 @@ func TestDashboardRenders(t *testing.T) {
 	}
 }
 
+func TestDashboardCorpusPanel(t *testing.T) {
+	cfg, _ := fixture(t)
+
+	// Unfederated registry: the panel renders its empty state.
+	rec := httptest.NewRecorder()
+	Handler(cfg).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/obs", nil))
+	if !strings.Contains(rec.Body.String(), "no source-stamped corpus") {
+		t.Error("empty corpus state missing")
+	}
+
+	reg := cfg.Registry
+	reg.Gauge("pdcu_corpus_source_activities", "per-source", "source").With("builtin").Set(38)
+	reg.Gauge("pdcu_corpus_source_activities", "per-source", "source").With("csinparallel").Set(5)
+	reg.Gauge("pdcu_corpus_source_activities", "per-source", "source").With("gone").Set(0)
+	reg.Counter("pdcu_contrib_requests_total", "contrib", "outcome").With("accepted").Add(3)
+	reg.Counter("pdcu_contrib_requests_total", "contrib", "outcome").With("needs_work").Add(2)
+
+	rec = httptest.NewRecorder()
+	Handler(cfg).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/obs", nil))
+	body := rec.Body.String()
+	for _, want := range []string{"builtin", "csinparallel", "validations", "needs_work"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("corpus panel missing %q", want)
+		}
+	}
+	if strings.Contains(body, "gone") {
+		t.Error("zero-count source should be dropped from the panel")
+	}
+	if strings.Contains(body, "no source-stamped corpus") {
+		t.Error("empty state rendered despite federated sources")
+	}
+}
+
 func TestDashboardRefreshDisabled(t *testing.T) {
 	cfg, _ := fixture(t)
 	cfg.Refresh = -1

@@ -132,6 +132,16 @@ type Options struct {
 	Burst int
 	// MaxLimit clamps the search limit parameter (default 100).
 	MaxLimit int
+	// ContribRate admits this many contribution validations per second
+	// through a bucket separate from RateLimit — review is the one write-
+	// shaped, uncacheable endpoint, so its admission control cannot share
+	// tokens with the cached read path. 0 (or negative) disables it.
+	ContribRate float64
+	// ContribBurst is the contrib token-bucket capacity (default
+	// 2*ContribRate, min 1).
+	ContribBurst int
+	// ContribMaxBody caps a submission body in bytes (default 1 MiB).
+	ContribMaxBody int64
 }
 
 // Service answers the /api/v1/ endpoints from whatever Snapshot its
@@ -149,7 +159,10 @@ type Service struct {
 	cache   *resultCache
 	flight  *flightGroup
 	limiter *tokenBucket
-	router  *apiRouter
+	// contribLimiter admits /api/v1/contrib/validate separately: a burst
+	// of submissions must not evict read traffic, and vice versa.
+	contribLimiter *tokenBucket
+	router         *apiRouter
 
 	// renderHook, when non-nil, runs inside the singleflight leader just
 	// before rendering — a test seam for pinning coalescing behaviour.
@@ -186,6 +199,12 @@ func newService(opts Options) *Service {
 	if opts.RateLimit > 0 && opts.Burst <= 0 {
 		opts.Burst = int(math.Max(1, 2*opts.RateLimit))
 	}
+	if opts.ContribRate > 0 && opts.ContribBurst <= 0 {
+		opts.ContribBurst = int(math.Max(1, 2*opts.ContribRate))
+	}
+	if opts.ContribMaxBody <= 0 {
+		opts.ContribMaxBody = contribDefaultMaxBody
+	}
 	s := &Service{
 		opts:   opts,
 		cache:  newResultCache(opts.CacheSize),
@@ -194,10 +213,14 @@ func newService(opts Options) *Service {
 	if opts.RateLimit > 0 {
 		s.limiter = newTokenBucket(opts.RateLimit, opts.Burst)
 	}
+	if opts.ContribRate > 0 {
+		s.contribLimiter = newTokenBucket(opts.ContribRate, opts.ContribBurst)
+	}
 	s.router = &apiRouter{
 		search:     s.handle("search", parseSearch),
 		activities: s.handle("activities", parseActivities),
 		facets:     s.handle("facets", parseFacets),
+		contrib:    s.handleContrib(),
 	}
 	return s
 }
@@ -236,6 +259,7 @@ type apiRouter struct {
 	search     http.HandlerFunc
 	activities http.HandlerFunc
 	facets     http.HandlerFunc
+	contrib    http.HandlerFunc
 }
 
 func (rt *apiRouter) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -246,8 +270,10 @@ func (rt *apiRouter) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		rt.activities(w, r)
 	case "/api/v1/facets":
 		rt.facets(w, r)
+	case "/api/v1/contrib/validate":
+		rt.contrib(w, r)
 	default:
-		writeError(w, "other", http.StatusNotFound, "unknown endpoint; try /api/v1/search, /api/v1/activities, /api/v1/facets")
+		writeError(w, "other", http.StatusNotFound, "unknown endpoint; try /api/v1/search, /api/v1/activities, /api/v1/facets, /api/v1/contrib/validate")
 	}
 }
 
@@ -545,6 +571,7 @@ type ActivitySummary struct {
 	Courses       []string `json:"courses,omitempty"`
 	Senses        []string `json:"senses,omitempty"`
 	Medium        []string `json:"medium,omitempty"`
+	Source        string   `json:"source,omitempty"`
 	HasAssessment bool     `json:"hasAssessment"`
 	URL           string   `json:"url"`
 }
@@ -564,6 +591,7 @@ var facetParams = []struct{ param, taxonomy string }{
 	{"cs2013", "cs2013"},
 	{"medium", "medium"},
 	{"sense", "senses"},
+	{"source", "source"},
 	{"tcpp", "tcpp"},
 }
 
@@ -574,7 +602,7 @@ func parseActivities(_ *Service, v url.Values) (string, renderFn, error) {
 	}
 	for param := range v {
 		if _, ok := known[param]; !ok {
-			return "", nil, fmt.Errorf("unknown parameter %q (facets: course, cs2013, medium, sense, tcpp)", param)
+			return "", nil, fmt.Errorf("unknown parameter %q (facets: course, cs2013, medium, sense, source, tcpp)", param)
 		}
 	}
 	filters := map[string]string{}
@@ -631,7 +659,7 @@ func Activities(snap *Snapshot, filters map[string]string) *ActivitiesResponse {
 		resp.Activities = append(resp.Activities, ActivitySummary{
 			Slug: a.Slug, Title: a.Title, Author: a.Author,
 			CS2013: a.CS2013, TCPP: a.TCPP, Courses: a.Courses,
-			Senses: a.Senses, Medium: a.Medium,
+			Senses: a.Senses, Medium: a.Medium, Source: a.Source,
 			HasAssessment: a.HasAssessment(),
 			URL:           "/activities/" + a.Slug + "/",
 		})

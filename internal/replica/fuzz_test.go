@@ -12,6 +12,7 @@ func FuzzSnapshotDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte(magic))
 	f.Add([]byte("PDCUSNP0junk"))
+	f.Add([]byte(magicV1 + "junk")) // pre-federation envelope: refused, never parsed
 	// One real snapshot (and light corruptions of it) seeds coverage
 	// inside the section payloads, not just the envelope.
 	data, err := Encode(buildGen(f, corpusDir(f, 1)))

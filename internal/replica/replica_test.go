@@ -20,7 +20,7 @@ func newEngine(t testing.TB, src string) *engine.Engine {
 	t.Helper()
 	cfg := engine.Defaults()
 	cfg.Rate = 0
-	cfg.Src = src
+	cfg.Srcs = engine.DirSources(src)
 	eng, err := engine.New(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -32,8 +32,29 @@ import (
 
 // magic identifies a generation snapshot; the trailing digit is the
 // envelope version. A format change bumps the digit, so a node never
-// misinterprets an old snapshot — it refuses it and rebuilds.
-const magic = "PDCUSNP1"
+// misinterprets an old snapshot — it refuses it and rebuilds. Version 2
+// carries corpus provenance: activities gained a Source field (covered
+// by the fingerprint) and the meta section lists the federated sources,
+// so a v1 node's fingerprints can never collide with a v2 corpus.
+const magic = "PDCUSNP2"
+
+// magicV1 is the pre-federation envelope. It is recognized only to be
+// refused with an actionable error instead of a generic magic mismatch.
+const magicV1 = "PDCUSNP1"
+
+// checkMagic classifies the envelope header: nil for the current
+// version, a version-specific upgrade error for known-old magic, and a
+// generic error for anything else.
+func checkMagic(got string) error {
+	switch got {
+	case magic:
+		return nil
+	case magicV1:
+		return fmt.Errorf("replica: snapshot version %q predates corpus federation; rebuild or refetch from an upgraded leader (want %q)", got, magic)
+	default:
+		return fmt.Errorf("replica: not a snapshot (magic %q)", got)
+	}
+}
 
 // sectionNames is the fixed section order of the envelope. Fixed order
 // (rather than a directory) keeps encoding deterministic: the same
@@ -52,6 +73,10 @@ type meta struct {
 	TraceID       string            `json:"traceId,omitempty"`
 	Stats         site.BuildStats   `json:"stats"`
 	IndexStats    search.IndexStats `json:"indexStats"`
+	// Sources lists the corpus sources federated into this generation
+	// (empty for an unattributed pre-federation-style corpus), so a node
+	// can report provenance from the meta section alone.
+	Sources []string `json:"sources,omitempty"`
 }
 
 // Encode serializes a published generation into the snapshot envelope.
@@ -69,6 +94,7 @@ func Encode(g *engine.Generation) ([]byte, error) {
 		TraceID:       g.TraceID,
 		Stats:         g.Stats,
 		IndexStats:    g.IndexStats,
+		Sources:       g.Repo.Sources(),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("replica: encode meta: %w", err)
@@ -114,8 +140,10 @@ func Encode(g *engine.Generation) ([]byte, error) {
 // never invoked.
 func Decode(data []byte) (*engine.Generation, error) {
 	r := &envReader{buf: data}
-	if got := string(r.bytes(len(magic))); r.err == nil && got != magic {
-		return nil, fmt.Errorf("replica: not a snapshot (magic %q)", got)
+	if got := string(r.bytes(len(magic))); r.err == nil {
+		if err := checkMagic(got); err != nil {
+			return nil, err
+		}
 	}
 	sections := make([][]byte, len(sectionNames))
 	for i, want := range sectionNames {
@@ -156,6 +184,9 @@ func Decode(data []byte) (*engine.Generation, error) {
 	}
 	if len(m.Fingerprint) < len(m.ID) || m.Fingerprint[:len(m.ID)] != m.ID || m.ID == "" {
 		return nil, fmt.Errorf("replica: generation id %q is not a prefix of the fingerprint", m.ID)
+	}
+	if got := repo.Sources(); !equalStrings(got, m.Sources) {
+		return nil, fmt.Errorf("replica: corpus sources %v do not match snapshot meta %v", got, m.Sources)
 	}
 
 	sr := &envReader{buf: sections[2]}
@@ -212,8 +243,10 @@ func Decode(data []byte) (*engine.Generation, error) {
 // without paying for corpus validation.
 func DecodeMeta(data []byte) (seq uint64, id, fingerprint string, err error) {
 	r := &envReader{buf: data}
-	if got := string(r.bytes(len(magic))); r.err == nil && got != magic {
-		return 0, "", "", fmt.Errorf("replica: not a snapshot (magic %q)", got)
+	if got := string(r.bytes(len(magic))); r.err == nil {
+		if err := checkMagic(got); err != nil {
+			return 0, "", "", err
+		}
 	}
 	name := r.str()
 	n := int(r.u32())
@@ -230,6 +263,20 @@ func DecodeMeta(data []byte) (seq uint64, id, fingerprint string, err error) {
 		return 0, "", "", fmt.Errorf("replica: decode meta: %w", err)
 	}
 	return m.Seq, m.ID, m.Fingerprint, nil
+}
+
+// equalStrings compares two source lists element-wise (both are sorted
+// by construction; nil and empty compare equal).
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // writeU32 appends v little-endian.

@@ -5,6 +5,7 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"pdcunplugged/internal/activity"
@@ -39,7 +40,7 @@ func buildGen(t testing.TB, src string) *engine.Generation {
 	t.Helper()
 	cfg := engine.Defaults()
 	cfg.Rate = 0
-	cfg.Src = src
+	cfg.Srcs = engine.DirSources(src)
 	eng, err := engine.New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -215,5 +216,51 @@ func TestDecodeRejectsIdentityMismatch(t *testing.T) {
 	}
 	if _, err := Decode(data); err == nil {
 		t.Error("Decode accepted a generation ID that is not a fingerprint prefix")
+	}
+}
+
+// TestDecodeRejectsPreFederationMagic pins the upgrade path: a v1
+// envelope is refused with an error naming the version gap, not a
+// generic magic mismatch and never a misparse — v1 fingerprints do not
+// cover corpus provenance, so adopting one could serve wrong attributions.
+func TestDecodeRejectsPreFederationMagic(t *testing.T) {
+	data, err := Encode(buildGen(t, corpusDir(t, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data, magicV1)
+	if _, err := Decode(data); err == nil || !strings.Contains(err.Error(), "predates corpus federation") {
+		t.Errorf("Decode(v1) err = %v, want the federation upgrade error", err)
+	}
+	if _, _, _, err := DecodeMeta(data); err == nil || !strings.Contains(err.Error(), "predates corpus federation") {
+		t.Errorf("DecodeMeta(v1) err = %v, want the federation upgrade error", err)
+	}
+}
+
+// TestSnapshotCarriesSources pins the v2 payload addition: corpus
+// provenance survives the round trip (gob carries Activity.Source; meta
+// lists the federated source names), and a meta/corpus disagreement is
+// rejected.
+func TestSnapshotCarriesSources(t *testing.T) {
+	gen := buildGen(t, corpusDir(t, 2))
+	want := gen.Repo.Sources()
+	if len(want) == 0 {
+		t.Fatal("test generation has no corpus sources; the round trip would be vacuous")
+	}
+	data, err := Encode(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if have := got.Repo.Sources(); !equalStrings(have, want) {
+		t.Errorf("decoded sources %v, want %v", have, want)
+	}
+	for _, a := range got.Repo.All() {
+		if a.Source != want[0] {
+			t.Errorf("activity %s decoded with source %q, want %q", a.Slug, a.Source, want[0])
+		}
 	}
 }

@@ -333,13 +333,21 @@ func Build(acts []*activity.Activity) *Index {
 	}
 	ix.post = postings{offsets: offsets, ids: ids, tfs: tfs}
 
-	// Pass 4: facet bitsets for every standard taxonomy term in use.
+	// Pass 4: facet bitsets for every standard taxonomy term in use,
+	// plus the corpus-source provenance dimension. Source is a facet
+	// only — never tokenized into postings — so federating sources
+	// cannot perturb ranking (the search/2 parity contract).
+	facetDims := make([]string, 0, len(taxonomy.Standard())+1)
+	for _, def := range taxonomy.Standard() {
+		facetDims = append(facetDims, def.Name)
+	}
+	facetDims = append(facetDims, "source")
 	ix.facets = make(map[string]facet)
 	bitsetBytes := ix.all.Bytes()
-	for _, def := range taxonomy.Standard() {
+	for _, dim := range facetDims {
 		byTerm := map[string]Bitset{}
 		for d, a := range sorted {
-			for _, term := range a.Terms(def.Name) {
+			for _, term := range a.Terms(dim) {
 				bs := byTerm[term]
 				if bs == nil {
 					bs = NewBitset(n)
@@ -360,7 +368,7 @@ func Build(acts []*activity.Activity) *Index {
 			f.sets = append(f.sets, byTerm[term])
 			bitsetBytes += byTerm[term].Bytes()
 		}
-		ix.facets[def.Name] = f
+		ix.facets[dim] = f
 	}
 
 	ix.stats = IndexStats{

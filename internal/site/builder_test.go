@@ -2,9 +2,13 @@ package site
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
 	"testing"
 
 	"pdcunplugged/internal/core"
+	"pdcunplugged/internal/corpus"
 	"pdcunplugged/internal/curation"
 )
 
@@ -166,5 +170,74 @@ func TestBuildWorkerClamping(t *testing.T) {
 	}
 	if st := b.LastStats(); st.Workers != st.Jobs {
 		t.Errorf("Workers = %d, want clamped to %d jobs", st.Workers, st.Jobs)
+	}
+}
+
+// TestPerSourceJobInvalidation pins the federation dependency story:
+// per-source browse pages key on that source's fingerprint, so touching
+// one source's activity re-renders its own source page (plus the
+// overview and the usual activity/repository jobs) while every other
+// source's page stays cached.
+func TestPerSourceJobInvalidation(t *testing.T) {
+	files := curation.Files()
+	slugs := make([]string, 0, len(files))
+	for slug := range files {
+		slugs = append(slugs, slug)
+	}
+	sort.Strings(slugs)
+	dirs := [2]string{t.TempDir(), t.TempDir()}
+	for i, slug := range slugs[:4] {
+		path := filepath.Join(dirs[i/2], slug+".md")
+		if err := os.WriteFile(path, []byte(files[slug]), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	load := func() *core.Repository {
+		repo, err := corpus.LoadAll(corpus.Dir("alpha", dirs[0]), corpus.Dir("beta", dirs[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return repo
+	}
+
+	b := NewBuilder(Options{})
+	first, err := b.Build(load())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 activities x 2 jobs + the 9 repository jobs + one browse page per
+	// source + the sources overview.
+	wantJobs := 2*4 + 9 + 3
+	if st := b.LastStats(); st.Jobs != wantJobs || st.CacheMisses != wantJobs {
+		t.Fatalf("cold federated build: jobs=%d misses=%d, want %d/%d", st.Jobs, st.CacheMisses, wantJobs, wantJobs)
+	}
+	if first.Pages["sources/index.html"] == nil || first.Pages["sources/alpha/index.html"] == nil || first.Pages["sources/beta/index.html"] == nil {
+		t.Fatal("federated build is missing source browse pages")
+	}
+
+	// Touch one activity in alpha: its two activity-scoped jobs, the 8
+	// repository-scoped jobs, alpha's browse page, and the overview
+	// re-render — 12 misses — while beta's browse page stays cached.
+	touched := filepath.Join(dirs[0], slugs[0]+".md")
+	body, err := os.ReadFile(touched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(touched, append(body, []byte("\n- Federation invalidation probe.\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	second, err := b.Build(load())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := b.LastStats()
+	if st.CacheMisses != 12 {
+		t.Errorf("one-source rebuild: misses=%d, want 12", st.CacheMisses)
+	}
+	if st.CacheHits != st.Jobs-12 {
+		t.Errorf("one-source rebuild: hits=%d, want %d", st.CacheHits, st.Jobs-12)
+	}
+	if !bytes.Equal(second.Pages["sources/beta/index.html"], first.Pages["sources/beta/index.html"]) {
+		t.Error("untouched source's browse page changed across incremental rebuild")
 	}
 }

@@ -14,7 +14,7 @@ import (
 // template or generator changes invalidate cached pages even when the
 // content is unchanged. Bump it whenever rendered output can change for
 // the same repository.
-const engineVersion = "site/2"
+const engineVersion = "site/3"
 
 // job is one node of the page graph: a cache identity, a pipeline stage
 // (the metric label), a content-addressed fingerprint of everything the
@@ -55,6 +55,30 @@ func planJobs(repo *core.Repository) []job {
 			job{id: "assess/" + a.Slug, stage: "assess", fp: actFP,
 				render: func(rn *renderer) error { return rn.buildAssessmentPage(a) }},
 		)
+	}
+	// Per-source browse pages exist only for federated (source-stamped)
+	// corpora. Each keys on its own source fingerprint, so touching one
+	// source's activities re-renders that source's page but leaves every
+	// other source's page cached; the overview aggregates all sources and
+	// keys on all of their fingerprints.
+	if sources := repo.Sources(); len(sources) > 0 {
+		overviewParts := []string{engineVersion, markdown.EngineVersion, "sources-overview"}
+		for _, src := range sources {
+			src := src
+			jobs = append(jobs, job{
+				id:     "source/" + src,
+				stage:  "source",
+				fp:     fingerprint(engineVersion, markdown.EngineVersion, repo.SourceFingerprint(src)),
+				render: func(rn *renderer) error { return rn.buildSourcePage(src) },
+			})
+			overviewParts = append(overviewParts, repo.SourceFingerprint(src))
+		}
+		jobs = append(jobs, job{
+			id:     "sources",
+			stage:  "source",
+			fp:     fingerprint(overviewParts...),
+			render: (*renderer).buildSourcesPage,
+		})
 	}
 	repoFP := fingerprint(engineVersion, markdown.EngineVersion, repo.Fingerprint())
 	repoJob := func(id, stage string, render func(*renderer) error) job {

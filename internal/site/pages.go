@@ -7,7 +7,7 @@ import (
 
 	"pdcunplugged/internal/activity"
 	"pdcunplugged/internal/core"
-	"pdcunplugged/internal/curation"
+	"pdcunplugged/internal/corpus"
 	"pdcunplugged/internal/markdown"
 	"pdcunplugged/internal/taxonomy"
 )
@@ -67,7 +67,8 @@ var pageTmpl = template.Must(template.New("page").Parse(`<!DOCTYPE html>
 <a href="/views/courses/">Courses</a>
 <a href="/views/accessibility/">Accessibility</a>
 <a href="/views/dramatizations/">Dramatizations</a>
-</nav>
+{{if .HasSources}}<a href="/sources/">Sources</a>
+{{end}}</nav>
 </header>
 <main>
 <h2>{{.Title}}</h2>
@@ -83,14 +84,18 @@ type pageData struct {
 	Title  string
 	Badges []badge
 	Body   template.HTML
+	// HasSources gates the Sources nav link: only federated
+	// (source-stamped) corpora have per-source browse pages to link to.
+	HasSources bool
 }
 
 func (rn *renderer) renderPage(path, title string, badges []badge, bodyHTML string) error {
 	var b strings.Builder
 	err := pageTmpl.Execute(&b, pageData{
-		Title:  title,
-		Badges: badges,
-		Body:   template.HTML(bodyHTML), // built from escaped fragments below
+		Title:      title,
+		Badges:     badges,
+		Body:       template.HTML(bodyHTML), // built from escaped fragments below
+		HasSources: len(rn.repo.Sources()) > 0,
 	})
 	if err != nil {
 		return fmt.Errorf("site: render %s: %w", path, err)
@@ -118,9 +123,13 @@ func (rn *renderer) buildActivity(a *activity.Activity) error {
 		author.WriteString(activity.NoExternalNote + "\n")
 	}
 	section(activity.SecAuthor, author.String())
-	if simName, ok := curation.SimulationFor(a.Slug); ok {
+	if simName, ok := corpus.SimulationFor(a.Slug); ok {
 		section("Runnable Dramatization",
 			fmt.Sprintf("This activity ships with an executable goroutine dramatization: `pdcu sim run %s -trace`.", simName))
+	}
+	if a.Source != "" {
+		section("Corpus Source",
+			fmt.Sprintf("This activity entered the repository through the `%s` corpus source ([browse the source](/sources/%s/)).", a.Source, a.Source))
 	}
 	if len(a.CS2013Details)+len(a.TCPPDetails) > 0 {
 		section("Assessment Sheet",
@@ -167,6 +176,30 @@ func (rn *renderer) buildIndex() error {
 	fmt.Fprintf(&body, "<p>%d unplugged activities curated from thirty years of PDC literature.</p>\n", rn.repo.Len())
 	body.WriteString(rn.activityList(rn.repo.Slugs()))
 	return rn.renderPage("index.html", "All Activities", nil, body.String())
+}
+
+// buildSourcePage renders one corpus source's browse page: every
+// activity that entered the repository through that adapter.
+func (rn *renderer) buildSourcePage(src string) error {
+	slugs := rn.repo.BySource(src)
+	var body strings.Builder
+	fmt.Fprintf(&body, "<p>%d activities from the <code>%s</code> corpus source.</p>\n",
+		len(slugs), markdown.Escape(src))
+	body.WriteString(rn.activityList(slugs))
+	return rn.renderPage("sources/"+src+"/index.html", "Source: "+src, nil, body.String())
+}
+
+// buildSourcesPage renders the federation overview listing every corpus
+// source with its activity count.
+func (rn *renderer) buildSourcesPage() error {
+	var body strings.Builder
+	body.WriteString("<p>This site federates the following corpus sources.</p>\n<ul>\n")
+	for _, src := range rn.repo.Sources() {
+		fmt.Fprintf(&body, "<li><a href=\"/sources/%s/\">%s</a> — %d activities</li>\n",
+			src, markdown.Escape(src), len(rn.repo.BySource(src)))
+	}
+	body.WriteString("</ul>\n")
+	return rn.renderPage("sources/index.html", "Corpus Sources", nil, body.String())
 }
 
 func (rn *renderer) buildTermPages() error {

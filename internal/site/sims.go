@@ -5,7 +5,7 @@ import (
 	"sort"
 	"strings"
 
-	"pdcunplugged/internal/curation"
+	"pdcunplugged/internal/corpus"
 	"pdcunplugged/internal/markdown"
 	"pdcunplugged/internal/sim"
 	_ "pdcunplugged/internal/sim/activities" // register the dramatizations
@@ -19,7 +19,7 @@ func (rn *renderer) buildSimsPage() error {
 	// Invert the activity -> simulation links for this repository.
 	rehearses := map[string][]string{}
 	for _, slug := range rn.repo.Slugs() {
-		if name, ok := curation.SimulationFor(slug); ok {
+		if name, ok := corpus.SimulationFor(slug); ok {
 			rehearses[name] = append(rehearses[name], slug)
 		}
 	}

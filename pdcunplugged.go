@@ -21,6 +21,7 @@ import (
 	"pdcunplugged/internal/bib"
 	"pdcunplugged/internal/contrib"
 	"pdcunplugged/internal/core"
+	"pdcunplugged/internal/corpus"
 	"pdcunplugged/internal/coverage"
 	"pdcunplugged/internal/curation"
 	"pdcunplugged/internal/plan"
@@ -134,9 +135,32 @@ func Simulate(name string, cfg SimConfig) (*SimReport, error) {
 // Simulations returns the names of all registered dramatizations.
 func Simulations() []string { return sim.Names() }
 
-// SimulationFor returns the dramatization that rehearses a curated
-// activity (ok is false when none is linked).
-func SimulationFor(slug string) (string, bool) { return curation.SimulationFor(slug) }
+// SimulationFor returns the dramatization that rehearses an activity
+// from any registered corpus source (ok is false when none is linked).
+func SimulationFor(slug string) (string, bool) { return corpus.SimulationFor(slug) }
+
+// CorpusSource is one corpus adapter: a named provider of activities
+// that can be federated into a single repository.
+type CorpusSource = corpus.Source
+
+// BuiltinSource is the embedded 38-activity curation as a corpus source.
+func BuiltinSource() CorpusSource { return corpus.Builtin() }
+
+// DirSource adapts a directory tree of activity .md files as a corpus
+// source (an empty name derives one from the directory's base name).
+func DirSource(name, path string) CorpusSource { return corpus.Dir(name, path) }
+
+// CatalogSource resolves a built-in named catalog ("builtin",
+// "csinparallel") as a corpus source.
+func CatalogSource(name string) (CorpusSource, error) { return corpus.Catalog(name) }
+
+// OpenSources federates any number of corpus sources into one
+// repository, stamping every activity with its source's name and
+// rejecting cross-source slug collisions. No sources selects the
+// builtin curation.
+func OpenSources(sources ...CorpusSource) (*Repository, error) {
+	return corpus.LoadAll(sources...)
+}
 
 // BuildSite renders the repository to a static site with a one-shot
 // builder (one worker per CPU, no cache reuse across calls).
